@@ -1,0 +1,145 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. *Shared parse vs independent parses.*  The paper runs each rule
+   "independently of each other"; this framework preserves rule
+   independence but shares one parse per document.  The ablation
+   quantifies the saving (~the rule count, since parsing dominates).
+2. *Per-record gzip vs plain WARC.*  Common Crawl's layout compresses each
+   record separately to allow range reads; the ablation measures what that
+   costs on the sequential read path.
+3. *Prevalence-model correlation on/off.*  The corpus generator's copula
+   correlates violations within a domain; without it, the per-year
+   any-violation rate would overshoot the paper's ~68-75% band by ~20
+   points.  Verified numerically via the calibration machinery.
+"""
+from __future__ import annotations
+
+import io
+import random
+
+import numpy as np
+import pytest
+from scipy.stats import norm
+
+from repro.commoncrawl import calibration as cal
+from repro.commoncrawl.corpusgen import build_injector_targets, injector_cluster
+from repro.commoncrawl.templates import INJECTORS, build_page
+from repro.core import Checker
+from repro.core.rules import RULE_CLASSES
+from repro.html import parse
+from repro.warc import WARCRecord, WARCWriter, iter_records
+
+
+@pytest.fixture(scope="module")
+def dirty_page() -> str:
+    draft = build_page("ablate.example", "/", random.Random(3), use_svg=True)
+    for name in ("FB2", "DM3", "HF4", "DE3_2"):
+        INJECTORS[name].apply(draft, random.Random(4))
+    return draft.render()
+
+
+class TestSharedParseAblation:
+    def test_shared_parse(self, benchmark, dirty_page):
+        """Production path: one parse feeding all 20 rules."""
+        checker = Checker()
+        report = benchmark(checker.check_html, dirty_page)
+        assert report.findings
+
+    def test_independent_parses(self, benchmark, dirty_page):
+        """Ablation: re-parse per rule, as a literal reading of the paper's
+        'rules run independently' would do."""
+        rules = [rule_class() for rule_class in RULE_CLASSES]
+
+        def run():
+            findings = []
+            for rule in rules:
+                findings.extend(rule.check(parse(dirty_page)))
+            return findings
+
+        findings = benchmark(run)
+        # identical findings either way
+        assert {f.violation for f in findings} == {
+            f.violation for f in Checker().check_html(dirty_page).findings
+        }
+
+
+class TestWarcCompressionAblation:
+    def _build(self, use_gzip: bool) -> bytes:
+        buffer = io.BytesIO()
+        writer = WARCWriter(buffer, use_gzip=use_gzip)
+        payload = b"<html><body>" + b"x" * 3000 + b"</body></html>"
+        for index in range(200):
+            writer.write_record(
+                WARCRecord.response(
+                    f"http://a.example/p{index}", payload,
+                    "2022-01-15T00:00:00Z",
+                )
+            )
+        return buffer.getvalue()
+
+    def test_read_gzip_members(self, benchmark):
+        blob = self._build(use_gzip=True)
+
+        def run():
+            return sum(1 for _record in iter_records(io.BytesIO(blob)))
+
+        assert benchmark(run) == 200
+
+    def test_read_plain(self, benchmark):
+        blob = self._build(use_gzip=False)
+
+        def run():
+            return sum(1 for _record in iter_records(io.BytesIO(blob)))
+
+        assert benchmark(run) == 200
+
+
+class TestCorrelationAblation:
+    """Without the copula, the modeled any-violation rate overshoots."""
+
+    @staticmethod
+    def _any_rate(rho_fixable: float, rho_manual: float) -> float:
+        targets = build_injector_targets()
+        names = [name for name in targets if INJECTORS[name].effects]
+        rng = np.random.default_rng(7)
+        # independent trait/activation factors per cluster, matching the
+        # planner's two-factor structure
+        factors = {
+            cluster: (rng.standard_normal(8000), rng.standard_normal(8000))
+            for cluster in ("fixable", "manual")
+        }
+        year = len(cal.YEARS) - 1
+        keep = np.ones(8000)
+        for name in names:
+            cluster = injector_cluster(name)
+            rho = rho_manual if cluster == "manual" else rho_fixable
+            z, w = factors[cluster]
+            denom = np.sqrt(max(1e-12, 1 - rho * rho))
+            union = np.clip(targets[name].union, 1e-9, 1 - 1e-9)
+            conditional = np.clip(targets[name].conditional(year), 1e-9, 1 - 1e-9)
+            trait = norm.cdf((norm.ppf(union) - rho * z) / denom)
+            active = norm.cdf((norm.ppf(conditional) - rho * w) / denom)
+            keep *= 1.0 - trait * active
+        return float(np.mean(1.0 - keep))
+
+    def test_correlated_model(self, benchmark, save_report):
+        from repro.commoncrawl.corpusgen import calibrate_loadings
+
+        loadings = calibrate_loadings(build_injector_targets(), samples=8000)
+        rate = benchmark.pedantic(
+            self._any_rate, args=(loadings.fixable, loadings.manual),
+            rounds=3, iterations=1,
+        )
+        uncorrelated = self._any_rate(0.0, 0.0)
+        paper_2022 = cal.OVERALL_VIOLATING[2022]
+        assert abs(rate - paper_2022) < 0.06
+        assert uncorrelated > paper_2022 + 0.10, (
+            "independence overshoots the paper's rate by >10 points"
+        )
+        save_report(
+            "ablation_correlation",
+            "Ablation: violation-correlation model (2022 any-violation rate)\n"
+            f"  paper (Figure 9):      {paper_2022:.1%}\n"
+            f"  fitted copula model:   {rate:.1%}\n"
+            f"  independence ablation: {uncorrelated:.1%}\n",
+        )

@@ -1,0 +1,29 @@
+"""Figure 10 — trend of problem groups over the years.
+
+Shape claims: FB and DM are the largest groups (40-50%), HF in between
+and clearly falling, DE far below everything (~5%), every group trending
+down or flat.
+"""
+from __future__ import annotations
+
+from repro.analysis import figure10_group_trends, render_group_trends
+from repro.core import Group
+
+
+def test_fig10_group_trends(benchmark, study, save_report):
+    series = benchmark(figure10_group_trends, study.storage)
+
+    means = {
+        group: sum(s.fractions()) / len(s.fractions())
+        for group, s in series.items()
+    }
+    assert means[Group.FILTER_BYPASS] > means[Group.HTML_FORMATTING]
+    assert means[Group.DATA_MANIPULATION] > means[Group.HTML_FORMATTING]
+    assert means[Group.HTML_FORMATTING] > means[Group.DATA_EXFILTRATION]
+    assert means[Group.DATA_EXFILTRATION] < 0.15, "paper: DE is 4-5%"
+
+    # HF declines visibly (paper: 42% -> 33%)
+    hf = series[Group.HTML_FORMATTING].fractions()
+    assert hf[-1] < hf[0]
+
+    save_report("fig10_groups", render_group_trends(series))

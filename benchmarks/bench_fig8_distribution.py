@@ -1,0 +1,25 @@
+"""Figure 8 — average distribution of violations over the study period.
+
+Shape claims checked against the paper: FB2 and DM3 dominate (>2x the
+next), FB1 third among families, DE violations rare, HF5_3 nearly absent.
+"""
+from __future__ import annotations
+
+from repro.analysis import figure8_distribution, render_figure8
+
+
+def test_fig8_distribution(benchmark, study, save_report):
+    stats = benchmark(figure8_distribution, study.storage)
+
+    by_id = {entry.violation: entry for entry in stats.distribution}
+    top_two = {entry.violation for entry in stats.distribution[:2]}
+    assert top_two == {"FB2", "DM3"}, "paper: FB2/DM3 on >75% of domains"
+    assert by_id["FB1"].fraction > by_id["DM1"].fraction
+    # DE family is rare: none above ~10%
+    for violation in ("DE1", "DE2", "DE3_1", "DE3_2", "DE3_3", "DE4"):
+        assert by_id[violation].fraction < 0.15
+    assert by_id["HF5_3"].fraction < 0.02, "paper found 3 domains total"
+    # overall: ~92% of domains violated at least once over eight years
+    assert stats.any_violation_fraction > 0.75
+
+    save_report("fig8_distribution", render_figure8(stats))

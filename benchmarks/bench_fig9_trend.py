@@ -1,0 +1,25 @@
+"""Figure 9 — % of domains with at least one violation per year.
+
+Shape claims: every year a clear majority violates; the trend from 2015
+to 2022 points down; 2022 lands near the paper's 68%.
+"""
+from __future__ import annotations
+
+from repro.analysis import figure9_overall_trend, render_trend
+from repro.commoncrawl import calibration as cal
+
+
+def test_fig9_overall_trend(benchmark, study, save_report):
+    trend = benchmark(figure9_overall_trend, study.storage)
+
+    fractions = trend.fractions()
+    assert len(fractions) == 8
+    assert all(fraction > 0.5 for fraction in fractions)
+    # downward trend between endpoints (paper: 74.31% -> 68.38%)
+    assert fractions[-1] < fractions[0]
+    assert abs(fractions[-1] - cal.OVERALL_VIOLATING[2022]) < 0.12
+
+    save_report(
+        "fig9_trend",
+        render_trend(trend, "Figure 9: Domains with at least one violation"),
+    )

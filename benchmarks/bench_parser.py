@@ -1,0 +1,56 @@
+"""Parser substrate micro-benchmarks: tokenizer and tree builder
+throughput on representative documents (the per-page cost floor of the
+whole study)."""
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.commoncrawl.templates import INJECTORS, build_page
+from repro.html import parse
+from repro.html.tokenizer import Tokenizer
+
+
+@pytest.fixture(scope="module")
+def clean_page() -> str:
+    return build_page("bench.example", "/", random.Random(7), use_svg=True).render()
+
+
+@pytest.fixture(scope="module")
+def dirty_page() -> str:
+    draft = build_page("bench.example", "/", random.Random(7))
+    for name in ("FB2", "DM3", "HF4", "HF_CASCADE", "DE3_2"):
+        INJECTORS[name].apply(draft, random.Random(8))
+    return draft.render()
+
+
+def test_tokenizer_clean(benchmark, clean_page):
+    def run():
+        tokenizer = Tokenizer(clean_page)
+        return sum(1 for _token in tokenizer)
+
+    count = benchmark(run)
+    assert count > 10
+
+
+def test_full_parse_clean(benchmark, clean_page):
+    result = benchmark(parse, clean_page)
+    assert result.document.body is not None
+
+
+def test_full_parse_dirty(benchmark, dirty_page):
+    """Error-tolerant fix-ups (foster parenting, head cascade) add cost."""
+    result = benchmark(parse, dirty_page)
+    assert result.errors
+
+
+def test_parse_large_document(benchmark):
+    sections = "".join(
+        f"<section><h2>S{i}</h2><p>paragraph {i} with <a href='/l{i}'>links"
+        f"</a> &amp; entities</p></section>"
+        for i in range(300)
+    )
+    big = f"<!DOCTYPE html><html><head><title>big</title></head><body>{sections}</body></html>"
+    result = benchmark(parse, big)
+    assert len(result.document.find_all("section")) == 300

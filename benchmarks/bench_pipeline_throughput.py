@@ -1,0 +1,66 @@
+"""Framework throughput — the paper's operational claim that the Common
+Crawl approach "enables to analyze nearly a thousand pages per minute from
+one IP address" (section 3.3).  Our local equivalent measures the fetch +
+decode + check path per page and end-to-end over a domain.
+"""
+from __future__ import annotations
+
+import pytest
+
+from repro.commoncrawl import CommonCrawlClient, snapshot_name
+from repro.core import Checker
+from repro.pipeline import collect_metadata, fetch_pages
+from repro.pipeline.checker_stage import check_page
+
+
+@pytest.fixture(scope="module")
+def client(study):
+    return CommonCrawlClient(study.archive_dir)
+
+
+@pytest.fixture(scope="module")
+def sample_domain(study):
+    truth = study.ground_truth()
+    return truth["succeeded"]["2022"][0]
+
+
+def test_index_query(benchmark, client, sample_domain):
+    entries = benchmark(
+        lambda: list(
+            client.query(snapshot_name(2022), sample_domain, limit=100)
+        )
+    )
+    assert entries
+
+
+def test_record_fetch(benchmark, client, sample_domain):
+    entry = next(client.query(snapshot_name(2022), sample_domain))
+    record = benchmark(client.fetch, entry)
+    assert record.payload
+
+
+def test_check_page_full_path(benchmark, client, sample_domain):
+    """decode + parse + all 20 rules + mitigation detectors, per page."""
+    metadata = collect_metadata(client, snapshot_name(2022), sample_domain)
+    page = next(fetch_pages(client, metadata))
+    checker = Checker()
+    checked = benchmark(check_page, page, checker)
+    assert checked.utf8
+
+
+def test_domain_end_to_end(benchmark, client, sample_domain):
+    """Full per-domain pipeline: metadata -> fetch -> check all pages."""
+    checker = Checker()
+
+    def run_domain() -> int:
+        metadata = collect_metadata(
+            client, snapshot_name(2022), sample_domain, max_pages=100
+        )
+        pages = 0
+        for page in fetch_pages(client, metadata):
+            check_page(page, checker)
+            pages += 1
+        return pages
+
+    pages = benchmark(run_domain)
+    assert pages >= 1

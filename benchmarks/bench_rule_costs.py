@@ -1,0 +1,30 @@
+"""Per-rule cost breakdown (ablation): which of the 20 checks costs what.
+
+The checker's per-page cost is dominated by parsing; this bench shows the
+rule layer itself is cheap, and identifies the relatively expensive rules
+(the DOM-walking DM1/DM2/HF5_1 scans vs. the error-list filters).
+"""
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.commoncrawl.templates import INJECTORS, build_page
+from repro.core.rules import RULE_CLASSES
+from repro.html import parse
+
+
+@pytest.fixture(scope="module")
+def parsed_dirty_page():
+    draft = build_page("rules.example", "/", random.Random(5), use_svg=True)
+    for name in ("FB2", "FB1", "DM3", "DM1", "HF4", "DE3_2", "HF5_2"):
+        INJECTORS[name].apply(draft, random.Random(6))
+    return parse(draft.render())
+
+
+@pytest.mark.parametrize("rule_class", RULE_CLASSES, ids=lambda c: c.id)
+def test_rule_cost(benchmark, rule_class, parsed_dirty_page):
+    rule = rule_class()
+    findings = benchmark(rule.check, parsed_dirty_page)
+    assert isinstance(findings, list)

@@ -1,0 +1,21 @@
+"""Section 4.2 context numbers — math/svg element adoption trend.
+
+Shape claims: math usage is tiny but does not shrink (paper: 42 -> 224
+domains over the study), svg usage is widespread and growing — together
+they support the argument that HF5 violations stay rare despite adoption.
+"""
+from __future__ import annotations
+
+from repro.analysis import element_usage_trend, render_element_usage
+
+
+def test_sec42_element_usage(benchmark, study, save_report):
+    trend = benchmark(element_usage_trend, study.storage)
+
+    assert trend.math_is_growing, "paper: math adoption grows"
+    svg = [point.svg_fraction for point in trend.points]
+    assert svg[-1] > svg[0], "svg adoption grows (12% -> 40% in the corpus)"
+    math_fracs = [point.math_fraction for point in trend.points]
+    assert max(math_fracs) < 0.1, "math stays a niche feature"
+
+    save_report("sec42_element_usage", render_element_usage(trend))

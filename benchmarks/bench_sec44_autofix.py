@@ -1,0 +1,34 @@
+"""Section 4.4 — the auto-fix estimate (68% -> 37% violating, 46% fixed),
+plus the cost of the actual repair pass on violating pages."""
+from __future__ import annotations
+
+import random
+
+from repro.analysis import estimate_autofix, render_autofix
+from repro.commoncrawl.templates import INJECTORS, build_page
+from repro.core import autofix
+
+
+def test_sec44_autofix_estimate(benchmark, study, save_report):
+    estimate = benchmark(estimate_autofix, study.storage, 2022)
+
+    # shape: the repair removes a substantial fraction of violating
+    # domains (paper: >46%), and the remainder stays well above zero
+    assert 0.25 < estimate.fraction_fixed < 0.70
+    assert estimate.after_autofix_fraction < estimate.violating_fraction
+    assert abs(estimate.violating_fraction - 0.68) < 0.12
+    assert abs(estimate.after_autofix_fraction - 0.37) < 0.12
+
+    save_report("sec44_autofix", render_autofix(estimate))
+
+
+def test_sec44_autofix_repair_throughput(benchmark):
+    """Cost of actually repairing one realistic violating page."""
+    draft = build_page("bench.example", "/", random.Random(1))
+    for name in ("FB2", "DM3", "DM1"):
+        INJECTORS[name].apply(draft, random.Random(2))
+    html = draft.render()
+
+    result = benchmark(autofix, html)
+    assert result.changed
+    assert result.remaining == []

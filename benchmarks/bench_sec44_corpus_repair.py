@@ -1,0 +1,79 @@
+"""Section 4.4, the hard way: actually repair the 2022 corpus.
+
+The paper's 46% number is set arithmetic (which violations a domain has);
+this bench runs the real repair — fetch every 2022 page, apply
+`repro.core.autofix`, re-check the fixed source — and verifies that the
+measured outcome matches the estimate: repaired pages keep exactly their
+HF/DE violations and the per-domain recovery rate reproduces the ~46%.
+"""
+from __future__ import annotations
+
+import pytest
+
+from repro.commoncrawl import CommonCrawlClient, snapshot_name
+from repro.core import AUTO_FIXABLE_IDS, Checker, autofix
+from repro.html import decode_bytes
+from repro.pipeline import collect_metadata, fetch_pages
+
+
+@pytest.fixture(scope="module")
+def corpus_2022(study):
+    """(domain, page-text) pairs for every analyzable 2022 page."""
+    client = CommonCrawlClient(study.archive_dir)
+    truth = study.ground_truth()
+    pages: list[tuple[str, str]] = []
+    for domain in truth["succeeded"]["2022"]:
+        metadata = collect_metadata(client, snapshot_name(2022), domain)
+        for page in fetch_pages(client, metadata):
+            text = decode_bytes(page.payload)
+            if text is not None:
+                pages.append((domain, text))
+    return pages
+
+
+def _run_repair(pages):
+    checker = Checker()
+    violating_domains: set[str] = set()
+    clean_after_domains: dict[str, bool] = {}
+    for domain, text in pages:
+        report = checker.check_html(text)
+        if report.violated:
+            violating_domains.add(domain)
+        fixed_report = checker.check_html(autofix(text, checker=checker).fixed)
+        # invariant per page: all fixable gone, manual set preserved
+        assert fixed_report.violated & AUTO_FIXABLE_IDS == set()
+        assert fixed_report.violated == report.violated - AUTO_FIXABLE_IDS
+        still_violating = bool(fixed_report.violated)
+        clean_after_domains[domain] = (
+            clean_after_domains.get(domain, False) or still_violating
+        )
+    repaired = sum(
+        1 for domain in violating_domains if not clean_after_domains[domain]
+    )
+    return len(violating_domains), repaired
+
+
+def test_sec44_corpus_repair(benchmark, study, corpus_2022, save_report):
+    violating, repaired = benchmark.pedantic(
+        _run_repair, args=(corpus_2022,), rounds=1, iterations=1
+    )
+
+    assert violating > 0
+    fraction = repaired / violating
+    assert 0.25 < fraction < 0.70, "paper: >46% of violating sites fixable"
+
+    # the real repair must agree with the set-arithmetic estimate
+    estimate = study.autofix_estimate(2022)
+    assert repaired == estimate.fully_fixable_domains
+    assert violating == estimate.violating_domains
+
+    save_report(
+        "sec44_corpus_repair",
+        "Section 4.4 (executed repair over the full 2022 corpus)\n"
+        f"  pages repaired: {len(corpus_2022)}\n"
+        f"  violating domains: {violating}\n"
+        f"  fully repaired domains: {repaired} ({fraction:.1%}; "
+        "paper estimate: >46%)\n"
+        "  per-page invariant held: repaired pages retain exactly their "
+        "HF/DE violations\n",
+    )

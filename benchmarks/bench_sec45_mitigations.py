@@ -1,0 +1,27 @@
+"""Section 4.5 — existing mitigation footprints, 2015 vs 2022.
+
+Shape claims: the '<script'-in-attribute population never includes nonced
+scripts; newline-URLs are an order of magnitude more common than
+newline+'<' URLs; the newline+'<' population shrinks over time.
+"""
+from __future__ import annotations
+
+from repro.analysis import compare_mitigations, render_mitigations
+
+
+def test_sec45_mitigations(benchmark, study, save_report):
+    comparison = benchmark(compare_mitigations, study.storage)
+
+    assert not comparison.nonce_mitigation_affects_anyone, (
+        "paper: none of the '<script' attributes sit on nonced scripts"
+    )
+    first, last = comparison.first, comparison.last
+    assert first.nl_in_url_domains >= first.nl_lt_in_url_domains
+    assert last.nl_in_url_domains >= last.nl_lt_in_url_domains
+    # the blocked combination is rarer than plain newlines by a wide margin
+    if first.nl_in_url_domains:
+        assert (
+            first.nl_lt_in_url_domains / first.nl_in_url_domains < 0.5
+        )
+
+    save_report("sec45_mitigations", render_mitigations(comparison))

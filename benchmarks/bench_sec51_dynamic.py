@@ -1,0 +1,32 @@
+"""Section 5.1 — the dynamic-content pre-study.
+
+Shape claims from the paper: >60% of sites ship at least one violating
+dynamically loaded fragment; FB2 and DM3 sit in top positions; math
+violations hardly appear; the distribution correlates with the static
+Figure 8 ranking.
+"""
+from __future__ import annotations
+
+from repro.analysis import render_dynamic, run_dynamic_prestudy
+
+
+def test_sec51_dynamic_prestudy(benchmark, study, save_report):
+    prestudy = benchmark.pedantic(
+        run_dynamic_prestudy,
+        kwargs={"num_domains": 120, "fragments_per_domain": 12},
+        rounds=3, iterations=1,
+    )
+
+    assert 0.5 < prestudy.violating_fraction < 0.75, "paper: >60%"
+    top = prestudy.top_violations(2)
+    assert set(top) == {"FB2", "DM3"}, "paper: FB2/DM3 in top positions"
+    assert prestudy.distribution.get("HF5_3", 0) == 0, "math hardly appears"
+
+    static_counts = {
+        entry.violation: entry.domains
+        for entry in study.figure8().distribution
+    }
+    correlation = prestudy.rank_correlation_with_static(static_counts)
+    assert correlation > 0.6, "distribution similar to the static study"
+
+    save_report("sec51_dynamic", render_dynamic(prestudy, static_counts))

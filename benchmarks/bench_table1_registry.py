@@ -1,0 +1,30 @@
+"""Table 1 — the violation taxonomy, and the cost of assembling the rule
+set the checker runs (a fixed overhead of every checked page)."""
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.core import REGISTRY
+from repro.core.rules import default_rules
+
+
+def test_table1_registry(benchmark, save_report):
+    rules = benchmark(default_rules)
+    assert len(rules) == 20
+
+    rows = [
+        [
+            violation.id,
+            violation.name,
+            violation.category.value,
+            violation.group.value,
+            "yes" if violation.auto_fixable else "no",
+        ]
+        for violation in REGISTRY.values()
+    ]
+    save_report(
+        "table1_registry",
+        "Table 1: A list of all considered violations\n"
+        + render_table(
+            ["Id", "Definition", "Category", "Group", "Auto-fixable"], rows
+        ),
+    )

@@ -1,0 +1,18 @@
+"""Table 2 — analyzed domains per crawl (dataset construction + stats)."""
+from __future__ import annotations
+
+from repro.analysis import dataset_table, render_table2
+from repro.commoncrawl import calibration as cal
+
+
+def test_table2_dataset(benchmark, study, save_report):
+    summary = benchmark(dataset_table, study.storage)
+
+    # shape assertions against the paper
+    assert [row.year for row in summary.rows] == list(cal.YEARS)
+    for row in summary.rows:
+        assert row.success_rate > 0.9, "Table 2 success rates are 97.7-99.3%"
+    by_year = {row.year: row for row in summary.rows}
+    assert by_year[2017].analyzed >= by_year[2016].analyzed, "2017 growth"
+
+    save_report("table2_dataset", render_table2(summary))

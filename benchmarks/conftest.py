@@ -1,0 +1,39 @@
+"""Shared benchmark fixtures.
+
+Every table/figure bench runs against one cached study (built once per
+machine, reused across sessions via the study cache).  Each bench renders
+its paper-vs-measured report into ``reports/`` so the artifacts survive
+the run — EXPERIMENTS.md points at them.
+
+Scale knob: REPRO_SCALE multiplies the default 150-domain corpus.
+"""
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.study import StudyConfig, run_study
+
+REPORTS_DIR = Path(__file__).resolve().parent.parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def study():
+    """The shared end-to-end study all analysis benches read from."""
+    handle = run_study(StudyConfig.scaled())
+    yield handle
+    handle.close()
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    """Persist one bench's rendered paper-vs-measured output."""
+    REPORTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (REPORTS_DIR / f"{name}.txt").write_text(text)
+        print()
+        print(text)
+
+    return _save

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Section 4.4 in action: auto-repair a realistic batch of violating pages.
+
+Generates a batch of pages with the corpus injectors (the markup mistakes
+the paper found in the wild), runs the automated repair over each, and
+reports the before/after violation census — the per-page analogue of the
+paper's "46% of violating websites could be fixed automatically".
+"""
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+from repro.commoncrawl.templates import INJECTORS, build_page
+from repro.core import AUTO_FIXABLE_IDS, Checker, autofix
+
+BATCH = 120
+SEED = 2022
+
+
+def main() -> None:
+    rng = random.Random(SEED)
+    checker = Checker()
+    injector_names = sorted(INJECTORS)
+
+    before = Counter()
+    after = Counter()
+    pages_violating_before = 0
+    pages_violating_after = 0
+    bytes_changed = 0
+
+    for index in range(BATCH):
+        draft = build_page(f"site{index:03d}.example", "/", random.Random(index))
+        count = rng.choice((0, 1, 1, 2, 3))
+        chosen = rng.sample(injector_names, count)
+        chosen.sort(key=lambda name: INJECTORS[name].terminal)
+        for name in chosen:
+            INJECTORS[name].apply(draft, random.Random(index * 7 + 1))
+        html = draft.render()
+
+        report = checker.check_html(html)
+        before.update(report.violated)
+        if report.violated:
+            pages_violating_before += 1
+
+        result = autofix(html)
+        fixed_report = checker.check_html(result.fixed)
+        after.update(fixed_report.violated)
+        if fixed_report.violated:
+            pages_violating_after += 1
+        if result.changed:
+            bytes_changed += abs(len(result.fixed) - len(html))
+
+    print(f"pages: {BATCH}")
+    print(f"violating before repair: {pages_violating_before}")
+    print(f"violating after repair:  {pages_violating_after}")
+    fixed = pages_violating_before - pages_violating_after
+    if pages_violating_before:
+        print(f"fully repaired: {fixed} "
+              f"({fixed / pages_violating_before:.0%} of violating pages; "
+              "the paper estimates 46% of violating *domains*)")
+    print()
+    print(f"{'violation':<10} {'before':>7} {'after':>6}  note")
+    for violation in sorted(before | after):
+        note = ("auto-fixable" if violation in AUTO_FIXABLE_IDS
+                else "needs manual work")
+        print(f"{violation:<10} {before[violation]:>7} {after[violation]:>6}  {note}")
+    print(f"\nnet source-size delta across repaired pages: {bytes_changed} bytes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""The full longitudinal study, end to end (the paper's section 4).
+
+Builds (or reuses) a calibrated synthetic Common Crawl archive, runs the
+Figure 6 pipeline over all eight snapshots, and prints every table and
+figure with the paper's published values alongside.
+
+Scale with REPRO_SCALE (default corpus: 150 domains x 6 pages x 8 years):
+
+    REPRO_SCALE=3 python examples/longitudinal_study.py
+"""
+from __future__ import annotations
+
+from repro.analysis import (
+    render_autofix,
+    render_figure8,
+    render_group_trends,
+    render_mitigations,
+    render_table2,
+    render_trend,
+)
+from repro.analysis.longitudinal import APPENDIX_FIGURES
+from repro.study import StudyConfig, run_study
+
+
+def main() -> None:
+    config = StudyConfig.scaled()
+    print(f"running study: {config.num_domains} domains, "
+          f"{config.max_pages} pages/domain, 8 snapshots ...")
+    study = run_study(config)
+    print(f"archive: {study.archive_dir}")
+    print(f"results: {study.db_path}\n")
+
+    print(render_table2(study.table2()))
+    print(render_figure8(study.figure8()))
+    print(render_trend(study.figure9(),
+                       "Figure 9: Domains with at least one violation"))
+    print(render_group_trends(study.figure10()))
+
+    trends = study.violation_trends()
+    for figure_name, violation_ids in APPENDIX_FIGURES.items():
+        for violation_id in violation_ids:
+            print(render_trend(trends[violation_id], figure_name))
+
+    print(render_autofix(study.autofix_estimate()))
+    print(render_mitigations(study.mitigations()))
+    study.close()
+
+
+if __name__ == "__main__":
+    main()

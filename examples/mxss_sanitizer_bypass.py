@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Reproduce the Figure 1 mutation-XSS sanitizer bypass, then stop it.
+
+Implements a small DOMPurify-style sanitizer on top of `repro.html`'s
+fragment parser: parse the input, drop dangerous elements/attributes,
+serialize the clean DOM.  Exactly like the real DOMPurify < 2.1, it is
+bypassed by the paper's Figure 1 payload — not because the filter list is
+wrong, but because the *serialized output mutates* when the browser parses
+it a second time (the error-tolerant table/namespace fix-ups).
+
+The second half shows the paper's remedy: under a strict parser
+(section 5.3) the same payload is rejected outright.
+"""
+from __future__ import annotations
+
+from repro.core import StrictMode, StrictParserPolicy, parse_with_policy
+from repro.html import Element, inner_html, parse_fragment
+
+#: element/attribute deny-lists, in the spirit of a real HTML sanitizer
+FORBIDDEN_ELEMENTS = frozenset({"script", "iframe", "object", "embed", "base"})
+FORBIDDEN_ATTRIBUTE_PREFIXES = ("on",)
+FORBIDDEN_URL_SCHEMES = ("javascript:", "data:text/html")
+
+
+def sanitize(dirty: str) -> str:
+    """A DOMPurify-style sanitizer: parse, scrub, serialize."""
+    nodes, result = parse_fragment(dirty, "div")
+    root = nodes[0].parent if nodes else None
+    if root is None:
+        return ""
+    for node in list(root.iter()):
+        if not isinstance(node, Element):
+            continue
+        if node.name in FORBIDDEN_ELEMENTS and node.parent is not None:
+            node.parent.remove(node)
+            continue
+        for name in list(node.attributes):
+            value = node.attributes[name].lower().strip()
+            if name.startswith(FORBIDDEN_ATTRIBUTE_PREFIXES):
+                del node.attributes[name]
+            elif name in ("href", "src") and value.startswith(
+                FORBIDDEN_URL_SCHEMES
+            ):
+                del node.attributes[name]
+    return inner_html(root)
+
+
+def browser_renders(html: str) -> list[Element]:
+    """What a browser's innerHTML assignment would produce."""
+    nodes, _result = parse_fragment(html, "div")
+    return [node for node in nodes if isinstance(node, Element)]
+
+
+FIGURE_1A = (
+    "<math><mtext><table><mglyph><style><!--</style>"
+    '<img title="--&gt;&lt;img src=1 onerror=alert(1)&gt;">'
+)
+
+
+def main() -> None:
+    print("payload (Figure 1a):")
+    print(f"  {FIGURE_1A}\n")
+
+    clean = sanitize(FIGURE_1A)
+    print("sanitizer output (matches Figure 1b):")
+    print(f"  {clean}\n")
+
+    # The sanitizer found nothing to remove: no script, no on* attribute
+    # outside of an inert title attribute.  But render its output again...
+    rendered = browser_renders(clean)
+    live = [
+        element
+        for root in rendered
+        for element in [root, *root.iter_elements()]
+        if element.name == "img" and "onerror" in element.attributes
+    ]
+    print("second parse (the browser rendering the sanitized HTML):")
+    if live:
+        print(f"  !! LIVE XSS: <img onerror={live[0].get('onerror')!r}> "
+              "escaped the sanitizer via namespace mutation\n")
+    else:
+        print("  no live payload (bypass not reproduced)\n")
+
+    # The paper's fix: a strict parser refuses the page instead of
+    # guessing.  HF4 (table mutation) and HF5 (namespace confusion) are on
+    # the enforced list here.
+    policy = StrictParserPolicy(StrictMode.STRICT,
+                                monitor_url="https://monitor.example/r")
+    outcome = parse_with_policy(FIGURE_1A, policy, url="https://victim.example/")
+    print("same payload under STRICT-PARSER: strict")
+    print(f"  blocked: {outcome.blocked}")
+    print(f"  violations that tripped it: {sorted(outcome.blocked_violations)}")
+    for notification in outcome.notifications:
+        print(f"  monitor {notification.monitor_url} notified: "
+              f"{notification.violations}")
+
+
+if __name__ == "__main__":
+    main()

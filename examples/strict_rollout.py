@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Section 5.3: simulate the staged deprecation of error tolerance.
+
+Feeds *measured* per-year violation prevalence (from the study pipeline)
+into the rollout simulator: violations join the enforced list once their
+prevalence decays below a threshold, with a post-study decay assumption
+standing in for the developer-warning effect the paper expects.  Prints
+the stage-by-stage plan with expected breakage, plus the developer-console
+warning for each violation as it becomes enforced.
+"""
+from __future__ import annotations
+
+from repro.core import deprecation_warning, simulate_rollout
+from repro.core.violations import ALL_IDS
+from repro.study import StudyConfig, run_study
+
+
+def main() -> None:
+    study = run_study(StudyConfig.scaled())
+    trends = study.violation_trends()
+
+    prevalence_by_year: dict[int, dict[str, float]] = {}
+    for violation_id, series in trends.items():
+        for point in series.points:
+            prevalence_by_year.setdefault(point.year, {})[violation_id] = (
+                point.fraction
+            )
+
+    plan = simulate_rollout(
+        prevalence_by_year, threshold=0.01, annual_decay=0.5
+    )
+
+    print("STRICT-PARSER staged rollout (threshold: <1% of domains)\n")
+    announced: set[str] = set()
+    for stage in plan.stages:
+        phase = "measured" if stage.year <= 2022 else "projected"
+        print(f"{stage.year} [{phase}]  enforced: {len(stage.enforced)}/20  "
+              f"expected breakage: {stage.breakage:6.2%}  "
+              f"new: {', '.join(stage.newly_enforced) or '-'}")
+        for violation_id in stage.newly_enforced:
+            if violation_id not in announced:
+                announced.add(violation_id)
+    if plan.fully_enforced_year:
+        print(f"\ndefault mode equals strict mode from: "
+              f"{plan.fully_enforced_year}")
+    else:
+        print("\nfull enforcement not reached within the horizon")
+
+    print("\nexample developer-console warnings (shown before enforcement):")
+    for violation_id in ("FB2", "DM3", "HF4"):
+        print(f"  {deprecation_warning(violation_id)}")
+
+    missing = set(ALL_IDS) - {
+        rule for stage in plan.stages for rule in stage.newly_enforced
+    } - set(plan.stages[0].enforced)
+    if missing:
+        print(f"\nstill unenforceable at horizon end: {sorted(missing)}")
+    study.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""`repro.analysis` — every table and figure of the paper's section 4."""
+from .autofix_estimate import AutofixEstimate, estimate_autofix
+from .dataset import DatasetRow, DatasetSummary, dataset_table
+from .dynamic import DynamicPrestudy, render_dynamic, run_dynamic_prestudy
+from .element_usage import (
+    ElementUsageTrend,
+    UsagePoint,
+    element_usage_trend,
+    render_element_usage,
+)
+from .generalization import (
+    GeneralizationComparison,
+    PopulationStats,
+    render_generalization,
+    run_generalization_study,
+)
+from .longitudinal import (
+    APPENDIX_FIGURES,
+    TrendPoint,
+    TrendSeries,
+    all_violation_trends,
+    appendix_figure,
+    figure9_overall_trend,
+    figure10_group_trends,
+    violation_trend,
+)
+from .mitigations import (
+    MitigationComparison,
+    MitigationYear,
+    compare_mitigations,
+    measure_year,
+)
+from .report import (
+    render_autofix,
+    render_figure8,
+    render_group_trends,
+    render_mitigations,
+    render_table,
+    render_table2,
+    render_trend,
+)
+from .stats import DistributionEntry, GeneralStats, figure8_distribution
+
+__all__ = [
+    "APPENDIX_FIGURES",
+    "AutofixEstimate",
+    "DatasetRow",
+    "DatasetSummary",
+    "DistributionEntry",
+    "DynamicPrestudy",
+    "ElementUsageTrend",
+    "GeneralizationComparison",
+    "PopulationStats",
+    "GeneralStats",
+    "MitigationComparison",
+    "MitigationYear",
+    "TrendPoint",
+    "TrendSeries",
+    "UsagePoint",
+    "all_violation_trends",
+    "appendix_figure",
+    "compare_mitigations",
+    "dataset_table",
+    "element_usage_trend",
+    "estimate_autofix",
+    "figure8_distribution",
+    "figure9_overall_trend",
+    "figure10_group_trends",
+    "measure_year",
+    "render_autofix",
+    "render_dynamic",
+    "render_element_usage",
+    "render_figure8",
+    "render_generalization",
+    "render_group_trends",
+    "render_mitigations",
+    "render_table",
+    "render_table2",
+    "render_trend",
+    "run_dynamic_prestudy",
+    "run_generalization_study",
+    "violation_trend",
+]

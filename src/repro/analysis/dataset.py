@@ -1,0 +1,52 @@
+"""Table 2 — "Analyzed domains per crawl" — from measured study data."""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..commoncrawl import calibration as cal
+from ..pipeline import Storage
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetRow:
+    """One row of Table 2: snapshot, domain counts, average pages."""
+
+    snapshot: str
+    year: int
+    domains: int
+    analyzed: int
+    avg_pages: float
+
+    @property
+    def success_rate(self) -> float:
+        return self.analyzed / self.domains if self.domains else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetSummary:
+    rows: tuple[DatasetRow, ...]
+    total_domains: int          # analyzed at least once over all snapshots
+    total_pages: int
+    #: declared-encoding distribution (section 4.1 filter context)
+    encoding_distribution: dict = None  # type: ignore[assignment]
+    paper_rows: tuple[cal.SnapshotSpec, ...] = cal.SNAPSHOTS
+
+
+def dataset_table(storage: Storage) -> DatasetSummary:
+    """Compute Table 2 from the results database."""
+    rows = tuple(
+        DatasetRow(
+            snapshot=row["name"],
+            year=row["year"],
+            domains=row["found"],
+            analyzed=row["analyzed"],
+            avg_pages=row["avg_pages"],
+        )
+        for row in storage.dataset_stats()
+    )
+    return DatasetSummary(
+        rows=rows,
+        total_domains=storage.total_domains_analyzed(),
+        total_pages=storage.total_pages_checked(),
+        encoding_distribution=storage.declared_encoding_distribution(),
+    )

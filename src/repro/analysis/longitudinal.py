@@ -1,0 +1,166 @@
+"""Section 4.3 longitudinal analyses: Figures 9, 10 and 16–21.
+
+All series are fractions of *analyzed* domains in each year's snapshot,
+exactly as in the paper.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..commoncrawl import calibration as cal
+from ..core.violations import ALL_IDS, IDS_BY_GROUP, Group
+from ..pipeline import Storage
+
+
+@dataclass(frozen=True, slots=True)
+class TrendPoint:
+    year: int
+    analyzed_domains: int
+    violating_domains: int
+
+    @property
+    def fraction(self) -> float:
+        if not self.analyzed_domains:
+            return 0.0
+        return self.violating_domains / self.analyzed_domains
+
+
+@dataclass(frozen=True, slots=True)
+class TrendSeries:
+    """One line of a trend figure."""
+
+    label: str
+    points: tuple[TrendPoint, ...]
+    paper_values: tuple[float, ...] | None = None
+
+    def fractions(self) -> tuple[float, ...]:
+        return tuple(point.fraction for point in self.points)
+
+    @property
+    def direction(self) -> str:
+        """Rough trend direction between the first and last point."""
+        values = self.fractions()
+        if len(values) < 2:
+            return "flat"
+        delta = values[-1] - values[0]
+        if abs(delta) < 0.005:
+            return "flat"
+        return "down" if delta < 0 else "up"
+
+
+def _years(storage: Storage) -> list[int]:
+    return [year for _id, _name, year in storage.snapshots()]
+
+
+def figure9_overall_trend(storage: Storage) -> TrendSeries:
+    """Figure 9: % of domains with at least one violation, per year."""
+    points = []
+    for year in _years(storage):
+        points.append(
+            TrendPoint(
+                year=year,
+                analyzed_domains=storage.analyzed_domains(year),
+                violating_domains=storage.domains_with_any_violation(year),
+            )
+        )
+    paper = tuple(
+        cal.OVERALL_VIOLATING[point.year]
+        for point in points
+        if point.year in cal.OVERALL_VIOLATING
+    )
+    return TrendSeries(
+        label="Domains with violation",
+        points=tuple(points),
+        paper_values=paper or None,
+    )
+
+
+def figure10_group_trends(storage: Storage) -> dict[Group, TrendSeries]:
+    """Figure 10: per problem group, % of domains violating ≥1 group rule."""
+    series: dict[Group, TrendSeries] = {}
+    years = _years(storage)
+    for group, ids in IDS_BY_GROUP.items():
+        points = []
+        for year in years:
+            points.append(
+                TrendPoint(
+                    year=year,
+                    analyzed_domains=storage.analyzed_domains(year),
+                    violating_domains=storage.domains_with_violations_in(ids, year),
+                )
+            )
+        series[group] = TrendSeries(label=group.value, points=tuple(points))
+    return series
+
+
+def violation_trend(storage: Storage, violation_id: str) -> TrendSeries:
+    """One line of Figures 16–21: a single violation's yearly prevalence."""
+    points = []
+    for year in _years(storage):
+        counts = storage.violation_domain_counts(year)
+        points.append(
+            TrendPoint(
+                year=year,
+                analyzed_domains=storage.analyzed_domains(year),
+                violating_domains=counts.get(violation_id, 0),
+            )
+        )
+    paper = None
+    if violation_id in cal.YEARLY_PREVALENCE:
+        paper = tuple(
+            cal.YEARLY_PREVALENCE[violation_id][cal.YEARS.index(point.year)]
+            for point in points
+            if point.year in cal.YEARS
+        )
+    return TrendSeries(label=violation_id, points=tuple(points), paper_values=paper)
+
+
+def all_violation_trends(storage: Storage) -> dict[str, TrendSeries]:
+    """Every individual violation's trend (the appendix B figures).
+
+    Computed in one pass over per-year counts rather than 20 query rounds.
+    """
+    years = _years(storage)
+    analyzed = {year: storage.analyzed_domains(year) for year in years}
+    per_year_counts = {
+        year: storage.violation_domain_counts(year) for year in years
+    }
+    trends: dict[str, TrendSeries] = {}
+    for violation_id in ALL_IDS:
+        points = tuple(
+            TrendPoint(
+                year=year,
+                analyzed_domains=analyzed[year],
+                violating_domains=per_year_counts[year].get(violation_id, 0),
+            )
+            for year in years
+        )
+        paper = None
+        if violation_id in cal.YEARLY_PREVALENCE:
+            paper = tuple(
+                cal.YEARLY_PREVALENCE[violation_id][cal.YEARS.index(year)]
+                for year in years
+                if year in cal.YEARS
+            )
+        trends[violation_id] = TrendSeries(
+            label=violation_id, points=points, paper_values=paper
+        )
+    return trends
+
+
+#: The appendix figures and which violations each plots.
+APPENDIX_FIGURES: dict[str, tuple[str, ...]] = {
+    "figure16_filter_bypass": ("FB2", "FB1"),
+    "figure17_formatting_1": ("HF1", "HF2", "HF3"),
+    "figure18_formatting_2": ("HF4", "HF5_1", "HF5_2", "HF5_3"),
+    "figure19_data_manipulation": ("DM1", "DM2_1", "DM2_2", "DM2_3", "DM3"),
+    "figure20_data_exfiltration_1": ("DE3_1", "DE3_2", "DE3_3"),
+    "figure21_data_exfiltration_2": ("DE1", "DE2", "DE4"),
+}
+
+
+def appendix_figure(storage: Storage, figure: str) -> dict[str, TrendSeries]:
+    """All series of one appendix figure (e.g. ``figure16_filter_bypass``)."""
+    ids = APPENDIX_FIGURES[figure]
+    trends = all_violation_trends(storage)
+    return {violation_id: trends[violation_id] for violation_id in ids}

@@ -1,0 +1,214 @@
+"""Text renderers: print each table/figure the way the paper reports it,
+with a paper-vs-measured column so benchmark output is self-explaining.
+"""
+from __future__ import annotations
+
+from io import StringIO
+
+from ..commoncrawl import calibration as cal
+from ..core.violations import Group
+from .autofix_estimate import AutofixEstimate
+from .dataset import DatasetSummary
+from .longitudinal import TrendSeries
+from .mitigations import MitigationComparison
+from .stats import GeneralStats
+
+
+def _pct(value: float) -> str:
+    return f"{value * 100:5.2f}%"
+
+
+def render_table(headers: list[str], rows: list[list[str]]) -> str:
+    """A plain fixed-width table."""
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    out = StringIO()
+    line = "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+    out.write(line + "\n")
+    out.write("  ".join("-" * width for width in widths) + "\n")
+    for row in rows:
+        out.write(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)) + "\n"
+        )
+    return out.getvalue()
+
+
+def render_table2(summary: DatasetSummary) -> str:
+    """Table 2: analyzed domains per crawl, measured vs paper shape."""
+    paper_by_year = {spec.year: spec for spec in summary.paper_rows}
+    rows = []
+    for row in summary.rows:
+        paper = paper_by_year.get(row.year)
+        rows.append(
+            [
+                row.snapshot,
+                str(row.domains),
+                f"{row.analyzed} ({_pct(row.success_rate).strip()})",
+                f"{row.avg_pages:.1f}",
+                f"{paper.succeeded / paper.domains * 100:.1f}%" if paper else "-",
+                f"{paper.avg_pages:.1f}" if paper else "-",
+            ]
+        )
+    table = render_table(
+        ["Snapshot", "Domains", "Succ. Analyzed", "Avg Pages",
+         "Paper Succ.", "Paper Avg"],
+        rows,
+    )
+    footer = (
+        f"Total analyzed domains: {summary.total_domains} "
+        f"(paper: {cal.TOTAL_ANALYZED_DOMAINS}); "
+        f"pages checked: {summary.total_pages} "
+        f"(paper: {cal.TOTAL_ANALYZED_PAGES:,})\n"
+    )
+    if summary.encoding_distribution:
+        total_pages = sum(summary.encoding_distribution.values())
+        utf8 = summary.encoding_distribution.get("utf-8", 0)
+        footer += (
+            f"Declared encodings: {utf8 / total_pages:.1%} utf-8 "
+            f"(paper/CC: >90% utf-8); others: "
+            + ", ".join(
+                f"{name} {count}"
+                for name, count in summary.encoding_distribution.items()
+                if name != "utf-8"
+            )
+            + "\n"
+        )
+    return "Table 2: Analyzed domains per crawl\n" + table + footer
+
+
+def render_figure8(stats: GeneralStats) -> str:
+    """Figure 8: distribution of violations over the study period."""
+    rows = [
+        [
+            entry.violation,
+            str(entry.domains),
+            _pct(entry.fraction),
+            _pct(entry.paper_fraction),
+            "#" * max(1, int(entry.fraction * 60)) if entry.domains else "",
+        ]
+        for entry in stats.distribution
+    ]
+    table = render_table(
+        ["Violation", "Domains", "Measured", "Paper", ""], rows
+    )
+    footer = (
+        f"Domains with >=1 violation over all years: "
+        f"{stats.domains_with_any_violation}/{stats.total_domains} "
+        f"({_pct(stats.any_violation_fraction).strip()}; paper: "
+        f"{_pct(stats.paper_any_violation_fraction).strip()})\n"
+    )
+    return (
+        "Figure 8: Average distribution of violations over the study period\n"
+        + table + footer
+    )
+
+
+def render_trend(series: TrendSeries, title: str) -> str:
+    """One trend line: year-by-year measured vs paper values."""
+    rows = []
+    for index, point in enumerate(series.points):
+        paper = (
+            _pct(series.paper_values[index])
+            if series.paper_values and index < len(series.paper_values)
+            else "-"
+        )
+        rows.append(
+            [
+                str(point.year),
+                f"{point.violating_domains}/{point.analyzed_domains}",
+                _pct(point.fraction),
+                paper,
+            ]
+        )
+    table = render_table(["Year", "Domains", "Measured", "Paper"], rows)
+    return f"{title} [{series.label}] (trend: {series.direction})\n" + table
+
+
+def render_group_trends(series_by_group: dict[Group, TrendSeries]) -> str:
+    """Figure 10: problem-group trends, measured vs the quoted endpoints."""
+    out = StringIO()
+    out.write("Figure 10: Trend of problem groups over the years\n")
+    years = [point.year for point in next(iter(series_by_group.values())).points]
+    headers = ["Group"] + [str(year) for year in years] + ["Paper 2015->2022"]
+    rows = []
+    for group, series in series_by_group.items():
+        endpoints = cal.GROUP_TREND_ENDPOINTS.get(group.value)
+        paper = (
+            f"{endpoints[0] * 100:.0f}% -> {endpoints[1] * 100:.0f}%"
+            if endpoints
+            else "-"
+        )
+        rows.append(
+            [group.value]
+            + [_pct(point.fraction).strip() for point in series.points]
+            + [paper]
+        )
+    out.write(render_table(headers, rows))
+    return out.getvalue()
+
+
+def render_autofix(estimate: AutofixEstimate) -> str:
+    """Section 4.4 summary block."""
+    return (
+        f"Section 4.4: Automatic fixability ({estimate.year})\n"
+        f"  violating domains:        {estimate.violating_domains}/"
+        f"{estimate.analyzed_domains} ({_pct(estimate.violating_fraction).strip()}; "
+        f"paper: 68%)\n"
+        f"  after automated repair:   {estimate.after_autofix_domains}/"
+        f"{estimate.analyzed_domains} "
+        f"({_pct(estimate.after_autofix_fraction).strip()}; paper: 37%)\n"
+        f"  violating sites fixed:    {_pct(estimate.fraction_fixed).strip()} "
+        f"(paper: >46%)\n"
+    )
+
+
+def render_mitigations(comparison: MitigationComparison) -> str:
+    """Section 4.5 summary block."""
+    first, last = comparison.first, comparison.last
+    paper = comparison.paper
+    rows = [
+        [
+            "'<script' in attribute",
+            f"{first.script_in_attr_domains} "
+            f"({_pct(first.fraction(first.script_in_attr_domains)).strip()})",
+            f"{last.script_in_attr_domains} "
+            f"({_pct(last.fraction(last.script_in_attr_domains)).strip()})",
+            f"{paper['script_in_attr_2015'][0]} (1.5%) -> "
+            f"{paper['script_in_attr_2022'][0]} (1.4%)",
+        ],
+        [
+            "  ...on nonced scripts",
+            str(first.nonced_script_in_attr_domains),
+            str(last.nonced_script_in_attr_domains),
+            "0 -> 0",
+        ],
+        [
+            "newline in URL",
+            f"{first.nl_in_url_domains} "
+            f"({_pct(first.fraction(first.nl_in_url_domains)).strip()})",
+            f"{last.nl_in_url_domains} "
+            f"({_pct(last.fraction(last.nl_in_url_domains)).strip()})",
+            f"{paper['nl_in_url_2015'][0]} (11.2%) -> "
+            f"{paper['nl_in_url_2022'][0]} (11.0%)",
+        ],
+        [
+            "newline AND '<' in URL",
+            f"{first.nl_lt_in_url_domains} "
+            f"({_pct(first.fraction(first.nl_lt_in_url_domains)).strip()})",
+            f"{last.nl_lt_in_url_domains} "
+            f"({_pct(last.fraction(last.nl_lt_in_url_domains)).strip()})",
+            f"{paper['nl_lt_in_url_2015'][0]} (1.37%) -> "
+            f"{paper['nl_lt_in_url_2022'][0]} (0.76%)",
+        ],
+    ]
+    table = render_table(
+        ["Signal (domains)", str(first.year), str(last.year), "Paper"], rows
+    )
+    footer = (
+        "West 2017 telemetry (page views): newline "
+        f"{paper['west2017_pageviews_nl'] * 100:.4f}%, newline+'<' "
+        f"{paper['west2017_pageviews_nl_lt'] * 100:.4f}%\n"
+    )
+    return "Section 4.5: Existing mitigations\n" + table + footer

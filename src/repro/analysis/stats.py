@@ -1,0 +1,61 @@
+"""Section 4.2 general statistics and Figure 8.
+
+Figure 8 pools all eight snapshots: on how many domains did each violation
+appear at least once over the whole study period, ranked by prevalence.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..commoncrawl import calibration as cal
+from ..core.violations import ALL_IDS
+from ..pipeline import Storage
+
+
+@dataclass(frozen=True, slots=True)
+class DistributionEntry:
+    """One bar of Figure 8."""
+
+    violation: str
+    domains: int
+    fraction: float            # of all analyzed domains
+    paper_fraction: float      # the published value
+
+
+@dataclass(frozen=True, slots=True)
+class GeneralStats:
+    total_domains: int
+    domains_with_any_violation: int
+    distribution: tuple[DistributionEntry, ...]
+
+    @property
+    def any_violation_fraction(self) -> float:
+        if not self.total_domains:
+            return 0.0
+        return self.domains_with_any_violation / self.total_domains
+
+    #: the paper's value for the same statistic (92%)
+    paper_any_violation_fraction: float = (
+        cal.DOMAINS_WITH_ANY_VIOLATION / cal.TOTAL_ANALYZED_DOMAINS
+    )
+
+
+def figure8_distribution(storage: Storage) -> GeneralStats:
+    """Compute the Figure 8 distribution from the results database."""
+    total = storage.total_domains_analyzed()
+    counts = storage.violation_domain_counts(year=None)
+    entries = [
+        DistributionEntry(
+            violation=violation,
+            domains=counts.get(violation, 0),
+            fraction=(counts.get(violation, 0) / total) if total else 0.0,
+            paper_fraction=cal.UNION_PREVALENCE[violation],
+        )
+        for violation in ALL_IDS
+    ]
+    entries.sort(key=lambda entry: entry.domains, reverse=True)
+    return GeneralStats(
+        total_domains=total,
+        domains_with_any_violation=storage.domains_with_any_violation(year=None),
+        distribution=tuple(entries),
+    )

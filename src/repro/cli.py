@@ -1,0 +1,154 @@
+"""Command-line interface: run the study and print every table/figure.
+
+Usage::
+
+    repro-study run [--domains N] [--pages N] [--seed N] [--force]
+    repro-study check FILE.html
+    repro-study fix FILE.html
+    repro-study report [--domains N] ...
+"""
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .analysis import (
+    render_autofix,
+    render_dynamic,
+    render_element_usage,
+    render_figure8,
+    render_generalization,
+    render_group_trends,
+    render_mitigations,
+    render_table2,
+    render_trend,
+    run_dynamic_prestudy,
+    run_generalization_study,
+)
+from .analysis.longitudinal import APPENDIX_FIGURES
+from .core import Checker, autofix
+from .study import StudyConfig, run_study
+
+
+def _add_scale_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--domains", type=int, default=None,
+                        help="number of study domains (default: 150*REPRO_SCALE)")
+    parser.add_argument("--pages", type=int, default=6,
+                        help="max pages per domain (paper: 100)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--force", action="store_true",
+                        help="re-run even if cached results exist")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool size for the pipeline run")
+
+
+def _config(args: argparse.Namespace) -> StudyConfig:
+    if args.domains is None:
+        base = StudyConfig.scaled()
+        return StudyConfig(
+            num_domains=base.num_domains, max_pages=args.pages, seed=args.seed
+        )
+    return StudyConfig(
+        num_domains=args.domains, max_pages=args.pages, seed=args.seed
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    study = run_study(_config(args), force=args.force, workers=args.workers)
+    print(f"study complete: archive={study.archive_dir} db={study.db_path}")
+    print(render_table2(study.table2()))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    study = run_study(_config(args), force=args.force, workers=args.workers)
+    print(render_table2(study.table2()))
+    print(render_figure8(study.figure8()))
+    print(render_trend(study.figure9(), "Figure 9: Domains with >=1 violation"))
+    print(render_group_trends(study.figure10()))
+    trends = study.violation_trends()
+    for figure, ids in APPENDIX_FIGURES.items():
+        for violation_id in ids:
+            print(render_trend(trends[violation_id], figure))
+    print(render_autofix(study.autofix_estimate()))
+    print(render_mitigations(study.mitigations()))
+    print(render_element_usage(study.element_usage()))
+    return 0
+
+
+def cmd_dynamic(args: argparse.Namespace) -> int:
+    """Section 5.1 pre-study over synthesized dynamic fragments."""
+    prestudy = run_dynamic_prestudy(
+        num_domains=args.domains or 120, fragments_per_domain=args.fragments
+    )
+    print(render_dynamic(prestudy))
+    print(render_generalization(run_generalization_study(
+        num_domains=(args.domains or 120) // 2
+    )))
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    text = Path(args.file).read_text(encoding="utf-8")
+    report = Checker().check_html(text, url=args.file)
+    if not report.findings:
+        print("no violations found")
+        return 0
+    for finding in report.findings:
+        location = f"@{finding.offset}" if finding.offset >= 0 else ""
+        print(f"{finding.violation}{location}: {finding.message}")
+        if finding.evidence:
+            print(f"    {finding.evidence}")
+    print(f"{len(report.findings)} finding(s), "
+          f"{len(report.violated)} violation type(s)")
+    return 1
+
+
+def cmd_fix(args: argparse.Namespace) -> int:
+    text = Path(args.file).read_text(encoding="utf-8")
+    result = autofix(text)
+    sys.stdout.write(result.fixed)
+    print(
+        f"\n--- repaired {len(result.repaired)} finding(s); "
+        f"{len(result.remaining)} need manual work", file=sys.stderr,
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-study",
+        description="HTML specification violation study (IMC 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run the full pipeline")
+    _add_scale_args(run_parser)
+    run_parser.set_defaults(func=cmd_run)
+
+    report_parser = sub.add_parser("report", help="print every table/figure")
+    _add_scale_args(report_parser)
+    report_parser.set_defaults(func=cmd_report)
+
+    dynamic_parser = sub.add_parser(
+        "dynamic", help="run the section 5.1/5.2 side studies"
+    )
+    dynamic_parser.add_argument("--domains", type=int, default=None)
+    dynamic_parser.add_argument("--fragments", type=int, default=15)
+    dynamic_parser.set_defaults(func=cmd_dynamic)
+
+    check_parser = sub.add_parser("check", help="check one HTML file")
+    check_parser.add_argument("file")
+    check_parser.set_defaults(func=cmd_check)
+
+    fix_parser = sub.add_parser("fix", help="auto-repair one HTML file")
+    fix_parser.add_argument("file")
+    fix_parser.set_defaults(func=cmd_fix)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

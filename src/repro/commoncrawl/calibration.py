@@ -1,0 +1,184 @@
+"""The paper's published numbers, encoded as calibration targets.
+
+Two uses:
+
+1. The synthetic corpus generator (:mod:`repro.commoncrawl.corpusgen`)
+   injects violations so that per-violation, per-year domain prevalence
+   matches these targets — the workload substitution described in
+   DESIGN.md.
+2. The benchmark harness prints these values in the "paper" column next to
+   what the pipeline measured, for every table and figure.
+
+Sources, by constant:
+
+- :data:`SNAPSHOTS` — Table 2 (domains per crawl, success rate, avg pages).
+- :data:`UNION_PREVALENCE` — Figure 8 (per-violation % of domains over the
+  whole study period).
+- :data:`YEARLY_PREVALENCE` — Figures 16–21 (per-violation yearly trends;
+  values are read off the published plots, so they are approximate by
+  nature).
+- :data:`OVERALL_VIOLATING` — Figure 9 (% domains with ≥1 violation).
+- :data:`GROUP_TREND_ENDPOINTS` — Figure 10 / section 4.3 prose.
+- :data:`AUTOFIX` — section 4.4 (68% → 37% violating, 46% fixed).
+- :data:`MITIGATIONS` — section 4.5 (nonce-stealing and dangling-markup
+  mitigation prevalence, plus West's 2017 Chrome telemetry).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+YEARS = (2015, 2016, 2017, 2018, 2019, 2020, 2021, 2022)
+
+
+@dataclass(frozen=True, slots=True)
+class SnapshotSpec:
+    """One row of Table 2."""
+
+    name: str
+    year: int
+    domains: int          # domains present in the snapshot
+    succeeded: int        # successfully analyzed domains
+    avg_pages: float      # average analyzed pages per domain (cap 100)
+
+
+#: Table 2, verbatim.
+SNAPSHOTS: tuple[SnapshotSpec, ...] = (
+    SnapshotSpec("CC-MAIN-2015-14", 2015, 21068, 20579, 78.8),
+    SnapshotSpec("CC-MAIN-2016-07", 2016, 21156, 20705, 77.9),
+    SnapshotSpec("CC-MAIN-2017-04", 2017, 22311, 22038, 87.3),
+    SnapshotSpec("CC-MAIN-2018-05", 2018, 22504, 22271, 88.3),
+    SnapshotSpec("CC-MAIN-2019-04", 2019, 23049, 22830, 90.1),
+    SnapshotSpec("CC-MAIN-2020-05", 2020, 22923, 22736, 89.7),
+    SnapshotSpec("CC-MAIN-2021-04", 2021, 22843, 22668, 89.8),
+    SnapshotSpec("CC-MAIN-2022-05", 2022, 22583, 22429, 89.7),
+)
+
+SNAPSHOT_BY_YEAR = {spec.year: spec for spec in SNAPSHOTS}
+
+#: Paper dataset sizes (section 4.1).
+TRANCO_DATASET_SIZE = 24915     # unique domains on every Tranco list ≤ 50k
+FOUND_ON_CC = 24050             # found at least once on Common Crawl
+TOTAL_ANALYZED_DOMAINS = 23983  # successfully analyzed at least once
+TOTAL_ANALYZED_PAGES = 14_716_731
+DOMAINS_WITH_ANY_VIOLATION = 22187  # 92% over all eight years
+
+#: Figure 8 — fraction of the 23,983 domains with the violation at least
+#: once during the whole study period.
+UNION_PREVALENCE: dict[str, float] = {
+    "FB2": 0.7854, "DM3": 0.7514, "FB1": 0.4284, "HF4": 0.3964,
+    "HF1": 0.3613, "HF2": 0.3281, "HF3": 0.2852, "DM1": 0.2102,
+    "DM2_3": 0.1328, "HF5_1": 0.1012, "DE4": 0.0703, "DE3_2": 0.0525,
+    "DE3_1": 0.0446, "DM2_1": 0.0179, "DM2_2": 0.0131, "HF5_2": 0.0122,
+    "DE3_3": 0.0093, "DE2": 0.0027, "DE1": 0.0010, "HF5_3": 0.0001,
+}
+
+#: Figure 8 absolute domain counts (for the printed table).
+UNION_COUNTS: dict[str, int] = {
+    "FB2": 18837, "DM3": 18021, "FB1": 10274, "HF4": 9506, "HF1": 8666,
+    "HF2": 7870, "HF3": 6839, "DM1": 5042, "DM2_3": 3186, "HF5_1": 2428,
+    "DE4": 1686, "DE3_2": 1259, "DE3_1": 1070, "DM2_1": 430, "DM2_2": 315,
+    "HF5_2": 293, "DE3_3": 222, "DE2": 65, "DE1": 25, "HF5_3": 3,
+}
+
+#: Figures 16–21 — yearly fraction of analyzed domains violating each rule.
+#: Read off the published plots (linearly interpolated where the plot is
+#: smooth); anchored to exact numbers where the text gives them (DE3_1 and
+#: DE3_2 in section 4.5).
+YEARLY_PREVALENCE: dict[str, tuple[float, ...]] = {
+    #        2015    2016    2017    2018    2019    2020    2021    2022
+    "FB2":  (0.500,  0.495,  0.505,  0.480,  0.470,  0.455,  0.440,  0.425),
+    "FB1":  (0.220,  0.215,  0.220,  0.200,  0.190,  0.175,  0.165,  0.150),
+    "DM3":  (0.440,  0.435,  0.440,  0.430,  0.425,  0.415,  0.410,  0.405),
+    "DM1":  (0.100,  0.098,  0.100,  0.094,  0.090,  0.085,  0.080,  0.075),
+    "DM2_1": (0.009, 0.0085, 0.008, 0.0075, 0.007, 0.0068, 0.0065, 0.006),
+    "DM2_2": (0.006, 0.0058, 0.0056, 0.0054, 0.0052, 0.005, 0.0048, 0.0045),
+    "DM2_3": (0.065, 0.063,  0.062,  0.058,  0.056,  0.053,  0.051,  0.049),
+    "HF1":  (0.180,  0.175,  0.170,  0.155,  0.145,  0.135,  0.125,  0.120),
+    "HF2":  (0.150,  0.145,  0.140,  0.130,  0.125,  0.115,  0.110,  0.100),
+    "HF3":  (0.130,  0.125,  0.120,  0.110,  0.105,  0.095,  0.090,  0.085),
+    "HF4":  (0.250,  0.240,  0.235,  0.210,  0.195,  0.180,  0.165,  0.150),
+    "HF5_1": (0.030, 0.033,  0.036,  0.040,  0.043,  0.046,  0.048,  0.050),
+    "HF5_2": (0.005, 0.005,  0.0055, 0.0055, 0.006,  0.006,  0.0065, 0.0065),
+    "HF5_3": (0.00003, 0.00003, 0.00004, 0.00004, 0.00004, 0.00005, 0.00005, 0.00005),
+    "DE1":  (0.0004, 0.0004, 0.0004, 0.00035, 0.00035, 0.0003, 0.0003, 0.0003),
+    "DE2":  (0.0010, 0.0010, 0.0010, 0.0009, 0.0009, 0.0009, 0.0008, 0.0008),
+    "DE3_1": (0.0137, 0.0130, 0.0120, 0.0110, 0.0100, 0.0090, 0.0080, 0.0076),
+    "DE3_2": (0.0150, 0.0148, 0.0150, 0.0145, 0.0145, 0.0142, 0.0140, 0.0140),
+    "DE3_3": (0.0040, 0.0038, 0.0036, 0.0034, 0.0032, 0.0030, 0.0029, 0.0028),
+    "DE4":  (0.0200, 0.0200, 0.0195, 0.0190, 0.0190, 0.0185, 0.0180, 0.0180),
+}
+
+#: Figure 9 — % of analyzed domains with at least one violation, per year.
+OVERALL_VIOLATING: dict[int, float] = {
+    2015: 0.7431, 2016: 0.7357, 2017: 0.7485, 2018: 0.7168,
+    2019: 0.7171, 2020: 0.7029, 2021: 0.6922, 2022: 0.6838,
+}
+
+#: Problem groups (Table 1) and their members.
+GROUPS: dict[str, tuple[str, ...]] = {
+    "DE": ("DE1", "DE2", "DE3_1", "DE3_2", "DE3_3", "DE4"),
+    "DM": ("DM1", "DM2_1", "DM2_2", "DM2_3", "DM3"),
+    "HF": ("HF1", "HF2", "HF3", "HF4", "HF5_1", "HF5_2", "HF5_3"),
+    "FB": ("FB1", "FB2"),
+}
+
+#: Figure 10 endpoints quoted in section 4.3 (2015 → 2022, fractions).
+GROUP_TREND_ENDPOINTS: dict[str, tuple[float, float]] = {
+    "FB": (0.52, 0.43),
+    "DM": (0.47, 0.44),
+    "HF": (0.42, 0.33),
+    "DE": (0.05, 0.04),
+}
+
+#: Section 4.4 — auto-fix estimate.
+AUTOFIX = {
+    "violating_2022": 15337,            # 68% of 2022 domains
+    "violating_after_autofix": 8298,    # 37%
+    "fraction_fixed": 0.46,
+    "auto_fixable_rules": ("FB1", "FB2", "DM1", "DM2_1", "DM2_2", "DM2_3", "DM3"),
+}
+
+#: Section 4.5 — existing mitigations.
+MITIGATIONS = {
+    # '<script' inside an attribute value (nonce-stealing mitigation scope)
+    "script_in_attr_2015": (299, 0.015),
+    "script_in_attr_2022": (312, 0.014),
+    # URL with a newline (not yet blocked)
+    "nl_in_url_2015": (2314, 0.112),
+    "nl_in_url_2022": (2469, 0.110),
+    # URL with newline AND '<' (blocked by Chromium since 2017)
+    "nl_lt_in_url_2015": (281, 0.0137),
+    "nl_lt_in_url_2022": (170, 0.0076),
+    # West's 2017 Chrome telemetry, quoted for comparison
+    "west2017_pageviews_nl": 0.004708,
+    "west2017_pageviews_nl_lt": 0.000189,
+}
+
+#: Additional corpus features that are not Table-1 violations but are
+#: measured in section 4.5 / 4.2: URL-with-newline-only, and benign
+#: math/svg element usage (math domains grew 42 → 224).
+EXTRA_FEATURE_YEARLY: dict[str, tuple[float, ...]] = {
+    # newline in URL without '<' = nl_in_url minus DE3_1
+    "NL_URL": (0.0983, 0.0990, 0.1000, 0.1010, 0.1015, 0.1020, 0.1022, 0.1024),
+    # benign <math> usage (42/24050 ≈ 0.17% → 224/24050 ≈ 0.93%)
+    "MATH_USE": (0.0017, 0.0023, 0.0033, 0.0043, 0.0055, 0.0068, 0.0081, 0.0093),
+    # benign inline SVG usage (common and growing)
+    "SVG_USE": (0.12, 0.15, 0.19, 0.24, 0.28, 0.33, 0.37, 0.40),
+}
+
+#: Dynamic-content pre-study (section 5.1): >60% of top-1k sites had at
+#: least one violation in dynamically loaded fragments.
+DYNAMIC_PRESTUDY_VIOLATING = 0.60
+
+
+def yearly(rule: str, year: int) -> float:
+    """Target fraction of domains violating ``rule`` in ``year``."""
+    return YEARLY_PREVALENCE[rule][YEARS.index(year)]
+
+
+def union(rule: str) -> float:
+    """Target fraction of domains violating ``rule`` at least once ever."""
+    return UNION_PREVALENCE[rule]
+
+
+ALL_RULES: tuple[str, ...] = tuple(UNION_PREVALENCE)

@@ -1,0 +1,200 @@
+"""Dynamically-loaded HTML fragment generation (section 5.1 pre-study).
+
+The paper's Common Crawl methodology only sees static HTML, so the authors
+ran a pre-study on the *dynamically loaded* fragments of the top-1k Tranco
+sites (XHR partials, innerHTML templates, widget embeds) and found the
+same picture: >60% of sites ship at least one violating fragment, with
+FB2/DM3 on top and math-related violations nearly absent.
+
+This module synthesizes such fragments: realistic partial-markup templates
+(cards, table rows, option lists, toast messages) plus fragment-level
+violation injectors for the rules that can occur inside a fragment,
+calibrated to reproduce the pre-study's headline numbers.
+"""
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from . import calibration as cal
+
+#: target fraction of domains with >=1 violating fragment (paper: >60%)
+DYNAMIC_TARGET = cal.DYNAMIC_PRESTUDY_VIOLATING
+
+# ------------------------------------------------------------ fragment base
+
+
+def _card(rng: random.Random) -> str:
+    item = rng.randrange(1000)
+    return (
+        f'<div class="card" data-id="{item}">'
+        f'<img src="/img/{item}.jpg" alt="item {item}">'
+        f'<h3><a href="/item/{item}">Item {item}</a></h3>'
+        f"<p>In stock: {rng.randrange(50)}</p></div>"
+    )
+
+
+def _table_rows(rng: random.Random) -> str:
+    rows = "".join(
+        f"<tr><td>{index}</td><td>{rng.randrange(100)}</td></tr>"
+        for index in range(rng.randrange(2, 5))
+    )
+    return f"<table><tbody>{rows}</tbody></table>"
+
+
+def _option_list(rng: random.Random) -> str:
+    options = "".join(
+        f'<option value="{index}">Choice {index}</option>'
+        for index in range(rng.randrange(2, 6))
+    )
+    return f'<select name="choice">{options}</select>'
+
+
+def _toast(rng: random.Random) -> str:
+    return (
+        f'<div class="toast" role="status"><span>{rng.randrange(9)} new '
+        f'notifications</span><a href="/inbox">open</a></div>'
+    )
+
+
+def _comment_partial(rng: random.Random) -> str:
+    return (
+        f'<article class="comment" id="c{rng.randrange(10_000)}">'
+        f'<header><b>user{rng.randrange(100)}</b></header>'
+        "<p>Thanks, this helped a lot!</p></article>"
+    )
+
+
+_FRAGMENT_BUILDERS: tuple[Callable[[random.Random], str], ...] = (
+    _card, _table_rows, _option_list, _toast, _comment_partial,
+)
+
+
+def build_fragment(rng: random.Random) -> str:
+    """One conforming dynamically-loaded fragment."""
+    return rng.choice(_FRAGMENT_BUILDERS)(rng)
+
+
+# ------------------------------------------------------- fragment injectors
+
+
+def _frag_fb2(fragment: str, rng: random.Random) -> str:
+    return fragment + '<img src="/badge.png"alt="badge">'
+
+
+def _frag_fb1(fragment: str, rng: random.Random) -> str:
+    return fragment + '<img/src="/pixel.gif"/alt="">'
+
+
+def _frag_dm3(fragment: str, rng: random.Random) -> str:
+    return fragment + (
+        f'<span data-id="{rng.randrange(99)}" class="tag" '
+        'class="tag-new">new</span>'
+    )
+
+
+def _frag_hf4(fragment: str, rng: random.Random) -> str:
+    return fragment + "<table><tr><b>Total</b></tr><tr><td>42</td></tr></table>"
+
+
+def _frag_de3_2(fragment: str, rng: random.Random) -> str:
+    return fragment + '<div data-tpl="<script>hydrate()</script>"></div>'
+
+
+def _frag_de3_1(fragment: str, rng: random.Random) -> str:
+    return fragment + '<a href="/go?next=\n<home>">continue</a>'
+
+
+def _frag_de4(fragment: str, rng: random.Random) -> str:
+    return fragment + (
+        '<form action="/subscribe"><form action="/subscribe2">'
+        '<input name="email"></form>'
+    )
+
+
+def _frag_hf5_1(fragment: str, rng: random.Random) -> str:
+    return fragment + '<path d="M0 0h16v16z"></path>'
+
+
+def _frag_hf5_2(fragment: str, rng: random.Random) -> str:
+    return fragment + '<svg viewBox="0 0 16 16"><span>!</span></svg>'
+
+
+@dataclass(frozen=True, slots=True)
+class FragmentInjector:
+    rule: str
+    apply: Callable[[str, random.Random], str]
+    #: 2021 per-domain prevalence target within dynamic content; shaped
+    #: like the static 2021 rates, renormalized so that the overall
+    #: any-violation rate lands at the pre-study's >60%
+    rate: float
+
+
+#: the paper: "the most prevalent violations, FB2 and DM3, also appear in
+#: top positions for dynamic content, while ... violations related to the
+#: math element hardly appear"
+FRAGMENT_INJECTORS: tuple[FragmentInjector, ...] = (
+    FragmentInjector("FB2", _frag_fb2, 0.42),
+    FragmentInjector("DM3", _frag_dm3, 0.38),
+    FragmentInjector("FB1", _frag_fb1, 0.14),
+    FragmentInjector("HF4", _frag_hf4, 0.10),
+    FragmentInjector("HF5_1", _frag_hf5_1, 0.035),
+    FragmentInjector("DE4", _frag_de4, 0.015),
+    FragmentInjector("DE3_2", _frag_de3_2, 0.012),
+    FragmentInjector("DE3_1", _frag_de3_1, 0.007),
+    FragmentInjector("HF5_2", _frag_hf5_2, 0.005),
+)
+
+
+@dataclass(slots=True)
+class FragmentSpec:
+    """Ground truth for one generated fragment."""
+
+    domain: str
+    index: int
+    injected: tuple[str, ...]
+    html: str
+
+
+def generate_domain_fragments(
+    domain: str, *, count: int, seed: int
+) -> list[FragmentSpec]:
+    """All dynamic fragments one domain loads, with injected violations.
+
+    Violations are assigned per (domain, rule) — a site whose template has
+    the mistake repeats it across fragments — with a per-fragment share,
+    mirroring the static corpus model.
+    """
+    # A domain-level sloppiness gate correlates the rules (as in the main
+    # corpus model): without it, independent per-rule draws would put the
+    # any-violation rate near 75% instead of the pre-study's ~60%.
+    gate = DYNAMIC_TARGET + 0.06
+    sloppy = random.Random(f"{seed}:frag-clean:{domain}").random() < gate
+    active = [
+        injector
+        for injector in FRAGMENT_INJECTORS
+        if sloppy
+        and random.Random(f"{seed}:frag-trait:{domain}:{injector.rule}").random()
+        < min(1.0, injector.rate / gate)
+    ]
+    fragments: list[FragmentSpec] = []
+    for index in range(count):
+        rng = random.Random(f"{seed}:frag:{domain}:{index}")
+        html = build_fragment(rng)
+        injected = []
+        for injector in active:
+            share = random.Random(
+                f"{seed}:frag-share:{domain}:{injector.rule}"
+            ).uniform(0.15, 0.6)
+            if random.Random(
+                f"{seed}:frag-hit:{domain}:{injector.rule}:{index}"
+            ).random() < share:
+                html = injector.apply(html, rng)
+                injected.append(injector.rule)
+        fragments.append(
+            FragmentSpec(
+                domain=domain, index=index, injected=tuple(injected), html=html
+            )
+        )
+    return fragments

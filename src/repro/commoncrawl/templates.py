@@ -1,0 +1,457 @@
+"""HTML page templates and violation injectors for the synthetic corpus.
+
+A :class:`PageDraft` is a structured page under construction: head items,
+body items, and rendering flags.  The base builder produces *conforming*
+pages (property-tested: the checker finds nothing on them), and each
+injector mutates a draft to introduce exactly one violation pattern, using
+the markup shapes the paper reports finding in the wild (Figures 3–5,
+11–15).
+
+Injectors are the unit of calibration: each declares the set of violation
+rules it triggers (`effects`), because some real-world mistakes cascade —
+a stray element inside ``head`` implicitly closes the head, implicitly
+opens ``body``, and makes a later explicit ``<body>`` tag merge, firing
+HF1+HF2+HF3 together, exactly as a real parser behaves.
+"""
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+# --------------------------------------------------------------- page draft
+
+
+@dataclass(slots=True)
+class PageDraft:
+    """A page under construction."""
+
+    domain: str
+    path: str
+    title: str = ""
+    head_items: list[str] = field(default_factory=list)
+    #: markup emitted between ``</head>`` and ``<body>``
+    pre_body_items: list[str] = field(default_factory=list)
+    body_items: list[str] = field(default_factory=list)
+    body_attrs: str = ""
+    explicit_head: bool = True
+    explicit_body: bool = True
+    #: markup appended after the last body item, before the closing tags
+    tail_items: list[str] = field(default_factory=list)
+    #: when True the closing </body></html> tags are suppressed (used by
+    #: EOF-swallowing injectors such as the unterminated textarea)
+    suppress_closing_tags: bool = False
+
+    def render(self) -> str:
+        parts = ["<!DOCTYPE html>", '<html lang="en">']
+        if self.explicit_head:
+            parts.append("<head>")
+        parts.extend(self.head_items)
+        if self.explicit_head:
+            parts.append("</head>")
+        parts.extend(self.pre_body_items)
+        if self.explicit_body:
+            parts.append(f"<body{self.body_attrs}>")
+        parts.extend(self.body_items)
+        parts.extend(self.tail_items)
+        if not self.suppress_closing_tags:
+            if self.explicit_body:
+                parts.append("</body>")
+            parts.append("</html>")
+        return "\n".join(parts)
+
+
+_SECTION_TOPICS = (
+    "latest updates", "featured products", "community picks", "top stories",
+    "editor notes", "release highlights", "upcoming events", "archives",
+)
+
+_PARAGRAPHS = (
+    "The quick brown fox jumps over the lazy dog while the team ships a "
+    "new release every other week.",
+    "Our editors curate the most relevant items so you never miss an "
+    "update that matters to you.",
+    "Sign up for the newsletter to receive a weekly digest with zero spam "
+    "and one-click unsubscribe.",
+    "This site is operated by a small team that cares deeply about web "
+    "standards &amp; accessibility.",
+)
+
+
+def build_page(
+    domain: str,
+    path: str,
+    rng: random.Random,
+    *,
+    use_svg: bool = False,
+    use_math: bool = False,
+) -> PageDraft:
+    """Build a conforming page draft with realistic structure."""
+    title = f"{domain} — {rng.choice(_SECTION_TOPICS)}"
+    draft = PageDraft(domain=domain, path=path, title=title)
+    draft.head_items = [
+        f"<title>{title}</title>",
+        '<meta charset="utf-8">',
+        '<meta name="viewport" content="width=device-width, initial-scale=1">',
+        f'<link rel="stylesheet" href="/static/css/main.{rng.randrange(100)}.css">',
+        "<style>body{margin:0;font-family:sans-serif}.hero{padding:2rem}</style>",
+    ]
+    if rng.random() < 0.5:
+        draft.head_items.append(
+            f'<script src="/static/js/app.{rng.randrange(100)}.js" defer></script>'
+        )
+    body: list[str] = [
+        '<header class="site-header">',
+        f'<a class="brand" href="https://{domain}/">{domain}</a>',
+        "<nav><ul>",
+    ]
+    for index in range(rng.randrange(3, 6)):
+        body.append(f'<li><a href="/section/{index}">{rng.choice(_SECTION_TOPICS)}</a></li>')
+    body.append("</ul></nav></header>")
+    if use_svg:
+        body.append(
+            '<svg class="logo" viewBox="0 0 24 24" role="img">'
+            '<circle cx="12" cy="12" r="10" fill="#246"></circle>'
+            '<path d="M6 12h12" stroke="#fff"></path></svg>'
+        )
+    body.append('<main class="hero">')
+    for index in range(rng.randrange(2, 5)):
+        body.append(f"<section><h2>{rng.choice(_SECTION_TOPICS).title()}</h2>")
+        body.append(f"<p>{rng.choice(_PARAGRAPHS)}</p>")
+        if rng.random() < 0.4:
+            body.append(
+                f'<p><a href="/read/{rng.randrange(1000)}">Read more</a> or '
+                f'<a href="https://{domain}/feed.xml">subscribe</a>.</p>'
+            )
+        body.append("</section>")
+    if use_math:
+        body.append(
+            "<p>The update interval is <math><mi>t</mi><mo>=</mo><mn>7"
+            "</mn></math> days.</p>"
+        )
+    if rng.random() < 0.35:
+        body.append(
+            '<table class="stats"><thead><tr><th>Metric</th><th>Value</th>'
+            "</tr></thead><tbody>"
+            f"<tr><td>Visitors</td><td>{rng.randrange(10_000)}</td></tr>"
+            f"<tr><td>Articles</td><td>{rng.randrange(900)}</td></tr>"
+            "</tbody></table>"
+        )
+    if rng.random() < 0.4:
+        body.append(
+            '<form method="get" action="/search/">'
+            '<input name="q" type="text" placeholder="Search...">'
+            '<button type="submit">Go</button></form>'
+        )
+    body.append("</main>")
+    body.append(
+        f'<footer><p>&copy; 2022 {domain} &middot; '
+        '<a href="/privacy">privacy</a></p></footer>'
+    )
+    draft.body_items = body
+    return draft
+
+
+# ---------------------------------------------------------------- injectors
+
+
+@dataclass(frozen=True, slots=True)
+class Injector:
+    """A violation pattern: a mutator plus the rules it triggers."""
+
+    name: str
+    effects: tuple[str, ...]
+    apply: Callable[[PageDraft, random.Random], None]
+    #: injectors that swallow the rest of the document must run last
+    terminal: bool = False
+
+
+def _inject_fb2(draft: PageDraft, rng: random.Random) -> None:
+    variants = (
+        # the plain forgotten space
+        '<input name="q" type="text" placeholder="Search jobs by keyword..."'
+        'value="">',
+        # Figure 13 line 8: quote inside a single-quoted value
+        "<option-list><option value='Cote d'Ivoire'>Cote d'Ivoire</option>"
+        "</option-list>",
+        '<a class="cta"href="/signup">Join now</a>',
+    )
+    draft.body_items.insert(
+        max(1, len(draft.body_items) - 2), rng.choice(variants)
+    )
+
+
+def _inject_fb1(draft: PageDraft, rng: random.Random) -> None:
+    variants = (
+        '<img/src="/img/banner.png"/alt="seasonal banner">',
+        # Figure 13 line 10: broken quoting makes '/' a separator
+        '<a href="/out" target="_blank" onClick="img=new Image();'
+        'img.src="/foo?cl=16796306";">partner</a>',
+    )
+    draft.body_items.insert(
+        max(1, len(draft.body_items) - 2), rng.choice(variants)
+    )
+
+
+def _inject_dm3(draft: PageDraft, rng: random.Random) -> None:
+    variants = (
+        # Figure 14: alt added, existing alt forgotten
+        f'<img src="/img/item{rng.randrange(90)}.jpg" alt="" '
+        'width="120" alt="product photo">',
+        '<div id="cart" onclick="openCart()" class="btn" '
+        'onclick="trackClick()">Cart</div>',
+        '<img src="/img/hero-2x.png" src="/img/hero.png" alt="hero">',
+    )
+    draft.body_items.insert(
+        max(1, len(draft.body_items) - 2), rng.choice(variants)
+    )
+
+
+def _inject_dm1(draft: PageDraft, rng: random.Random) -> None:
+    variants = (
+        # Figure 15: refresh redirect outside head
+        '<meta http-equiv="Refresh" content="600; URL=/refresh">',
+        '<meta http-equiv="X-UA-Compatible" content="IE=edge">',
+    )
+    draft.body_items.insert(
+        max(1, len(draft.body_items) - 1), rng.choice(variants)
+    )
+
+
+def _strip_url_items(items: list[str]) -> list[str]:
+    """Remove head items that carry URLs (so DM2 variants stay disjoint).
+
+    base elements are kept (they are not URL *use* for DM2_3, and another
+    DM2 injector may have planted them), and stripping is skipped entirely
+    when a base is already present — in that case a DM2_3-style pattern is
+    wanted on this page and removing its preceding URL element would
+    destroy it.
+    """
+    if any(item.startswith("<base") for item in items):
+        return items
+    return [
+        item
+        for item in items
+        if "href=" not in item and "src=" not in item
+    ]
+
+
+def _inject_dm2_1(draft: PageDraft, rng: random.Random) -> None:
+    # base outside head, placed as the first body element and with the
+    # head's URL-bearing items removed, so that no URL-using element
+    # precedes it and DM2_3 does not fire as well.
+    draft.head_items = _strip_url_items(draft.head_items)
+    draft.body_items.insert(0, f'<base href="https://cdn.{draft.domain}/">')
+
+
+def _inject_dm2_2(draft: PageDraft, rng: random.Random) -> None:
+    # two base elements, both in head, before any URL-using element
+    draft.head_items = _strip_url_items(draft.head_items)
+    draft.head_items.insert(1, '<base target="_self">')
+    draft.head_items.insert(2, f'<base href="https://{draft.domain}/">')
+
+
+def _inject_dm2_3(draft: PageDraft, rng: random.Random) -> None:
+    # a single base, in head, but after a URL-using element (a stylesheet
+    # link) — the most common real-world shape.  Inserted directly after
+    # the last URL-bearing head item so that a co-injected broken-head
+    # cascade (which appends its stray element at the end of the head)
+    # does not additionally strand this base in the body.
+    base = f'<base href="https://{draft.domain}/app/">'
+    last_url_index = -1
+    for index, item in enumerate(draft.head_items):
+        # base elements do not count as URL *use* for the DM2_3 rule
+        if ("href=" in item or "src=" in item) and not item.startswith("<base"):
+            last_url_index = index
+    if last_url_index == -1:
+        draft.head_items.insert(
+            0, '<link rel="stylesheet" href="/static/css/base.css">'
+        )
+        last_url_index = 0
+    draft.head_items.insert(last_url_index + 1, base)
+
+
+def _inject_hf_cascade(draft: PageDraft, rng: random.Random) -> None:
+    """A stray element inside head: HF1 + HF2 + HF3 cascade."""
+    variants = (
+        '<div class="preload-modal" hidden><p>Loading...</p></div>',
+        '<svg class="sprite" hidden><path d="M0 0h24v24H0z"></path></svg>',
+        "<h1>Welcome</h1>",
+    )
+    draft.head_items.append(rng.choice(variants))
+
+
+def _inject_hf1_late_head(draft: PageDraft, rng: random.Random) -> None:
+    """Head content after </head>: HF1 without opening the body early."""
+    variants = (
+        '<link rel="stylesheet" href="/static/css/late.css">',
+        '<meta name="robots" content="index,follow">',
+        f'<title>{draft.domain}</title>',
+    )
+    # insert first: once any non-head content opens the body, head elements
+    # are no longer rerouted and the HF1 signal would vanish
+    draft.pre_body_items.insert(0, rng.choice(variants))
+
+
+def _inject_hf2_no_body_tag(draft: PageDraft, rng: random.Random) -> None:
+    """Content directly after head with the body tag omitted: HF2 only."""
+    draft.explicit_body = False
+    draft.pre_body_items.append(
+        f'<img src="https://metrics.{draft.domain}/pixel.gif" alt="">'
+    )
+
+
+def _inject_hf3_second_body(draft: PageDraft, rng: random.Random) -> None:
+    draft.body_items.insert(
+        len(draft.body_items) // 2,
+        f'<body class="theme-{rng.randrange(9)}" data-campaign="q{rng.randrange(4) + 1}">',
+    )
+
+
+def _inject_hf4(draft: PageDraft, rng: random.Random) -> None:
+    variants = (
+        # Figure 11: headline straight inside <tr>
+        "<table><tr><strong>Cozi Organizer</strong></tr>"
+        "<tr><td>The #1 organizing app for families</td>"
+        '<td><img src="/img/organizer.png" alt="" align="right"></td>'
+        "</tr></table>",
+        '<table class="layout"><form action="/vote" method="post">'
+        "<tr><td><button>Vote</button></td></tr></form></table>",
+        "<table><caption>Plans</caption><tr><td>Basic</td></tr>"
+        "<p>Contact sales for enterprise pricing.</p></table>",
+    )
+    draft.body_items.insert(
+        max(1, len(draft.body_items) - 2), rng.choice(variants)
+    )
+
+
+def _inject_hf5_1(draft: PageDraft, rng: random.Random) -> None:
+    """SVG/MathML-only elements outside any foreign root (wrong ns: HTML)."""
+    variants = (
+        '<g class="icon"><path d="M4 4h16v16H4z"></path></g>',
+        '<use href="#icon-cart"></use>',
+        "<mrow><mi>x</mi><mo>+</mo><mn>1</mn></mrow>",
+    )
+    draft.body_items.insert(
+        max(1, len(draft.body_items) - 2), rng.choice(variants)
+    )
+
+
+def _inject_hf5_2(draft: PageDraft, rng: random.Random) -> None:
+    """HTML breakout inside SVG (wrong ns: SVG)."""
+    variants = (
+        '<svg viewBox="0 0 24 24"><div class="overlay">beta</div></svg>',
+        '<svg width="90" height="20"><rect width="81" height="20"></rect>'
+        "<p>90% complete</p></svg>",
+    )
+    draft.body_items.insert(
+        max(1, len(draft.body_items) - 2), rng.choice(variants)
+    )
+
+
+def _inject_hf5_3(draft: PageDraft, rng: random.Random) -> None:
+    """HTML breakout inside MathML (wrong ns: MathML)."""
+    draft.body_items.insert(
+        max(1, len(draft.body_items) - 2),
+        "<math><mrow><div>x + 1</div></mrow></math>",
+    )
+
+
+def _inject_de1(draft: PageDraft, rng: random.Random) -> None:
+    """Figure 3: unterminated textarea swallows the rest of the page."""
+    draft.body_items.append(
+        '<form action="/feedback" method="post">'
+        '<input type="submit" value="Send"><textarea name="message">'
+    )
+    draft.tail_items.append("<p>We usually reply within two days.</p>")
+    draft.suppress_closing_tags = True
+
+
+def _inject_de2(draft: PageDraft, rng: random.Random) -> None:
+    """Unterminated select/option swallows the rest of the page."""
+    draft.body_items.append(
+        '<form action="/locale" method="get"><select name="country">'
+        "<option>France<option>Germany"
+    )
+    draft.tail_items.append("<p id=private>internal note</p>")
+    draft.suppress_closing_tags = True
+
+
+def _inject_de3_1(draft: PageDraft, rng: random.Random) -> None:
+    """Dangling-markup-shaped URL: newline and '<' inside a URL attribute."""
+    draft.body_items.insert(
+        max(1, len(draft.body_items) - 2),
+        '<a href="https://partner.example/redirect?target=\n'
+        '<page>&amp;campaign=spring">spring deals</a>',
+    )
+
+
+def _inject_nl_url(draft: PageDraft, rng: random.Random) -> None:
+    """Newline (but no '<') in a URL — measured by section 4.5 only."""
+    draft.body_items.insert(
+        max(1, len(draft.body_items) - 2),
+        f'<img src="https://cdn.{draft.domain}/assets/\nhero.jpg" alt="">',
+    )
+
+
+def _inject_de3_2(draft: PageDraft, rng: random.Random) -> None:
+    """'<script' inside an attribute value (never on a nonced script,
+    matching what section 4.5 found in the wild)."""
+    variants = (
+        '<iframe srcdoc="<script>parent.initWidget()</script>"></iframe>',
+        '<div data-html="<script src=/w.js></script>" class="embed"></div>',
+        '<input type="hidden" name="tpl" value="<script>render()</script>">',
+    )
+    draft.body_items.insert(
+        max(1, len(draft.body_items) - 2), rng.choice(variants)
+    )
+
+
+def _inject_de3_3(draft: PageDraft, rng: random.Random) -> None:
+    """Newline in a target attribute (window-name leak shape, Figure 5)."""
+    draft.body_items.insert(
+        max(1, len(draft.body_items) - 2),
+        '<a href="/promo" target="promo\nwindow">open promo</a>',
+    )
+
+
+def _inject_de4(draft: PageDraft, rng: random.Random) -> None:
+    """Figure 13 lines 1-2: copy-pasted nested form."""
+    draft.body_items.insert(
+        max(1, len(draft.body_items) - 2),
+        '<form method="get" action="/search/">'
+        '<form id="keywordsearch" name="keywordsearch" method="get" '
+        'action="/search">'
+        '<input name="q" type="text"><button>Search</button></form>',
+    )
+
+
+#: Registry of all injectors, keyed by name.  ``effects`` lists every
+#: violation rule the injector triggers (verified by tests).
+INJECTORS: dict[str, Injector] = {
+    injector.name: injector
+    for injector in (
+        Injector("FB2", ("FB2",), _inject_fb2),
+        Injector("FB1", ("FB1",), _inject_fb1),
+        Injector("DM3", ("DM3",), _inject_dm3),
+        Injector("DM1", ("DM1",), _inject_dm1),
+        Injector("DM2_1", ("DM2_1",), _inject_dm2_1),
+        Injector("DM2_2", ("DM2_2",), _inject_dm2_2),
+        Injector("DM2_3", ("DM2_3",), _inject_dm2_3),
+        Injector("HF_CASCADE", ("HF1", "HF2", "HF3"), _inject_hf_cascade),
+        Injector("HF1_LATE", ("HF1",), _inject_hf1_late_head),
+        Injector("HF2_NOBODY", ("HF2",), _inject_hf2_no_body_tag),
+        Injector("HF3_SECOND", ("HF3",), _inject_hf3_second_body),
+        Injector("HF4", ("HF4",), _inject_hf4),
+        Injector("HF5_1", ("HF5_1",), _inject_hf5_1),
+        Injector("HF5_2", ("HF5_2",), _inject_hf5_2),
+        Injector("HF5_3", ("HF5_3",), _inject_hf5_3),
+        Injector("DE1", ("DE1",), _inject_de1, terminal=True),
+        Injector("DE2", ("DE2",), _inject_de2, terminal=True),
+        Injector("DE3_1", ("DE3_1",), _inject_de3_1),
+        Injector("NL_URL", (), _inject_nl_url),
+        Injector("DE3_2", ("DE3_2",), _inject_de3_2),
+        Injector("DE3_3", ("DE3_3",), _inject_de3_3),
+        Injector("DE4", ("DE4",), _inject_de4),
+    )
+}

@@ -1,0 +1,151 @@
+"""Tranco top-list modelling and the paper's dataset-construction procedure.
+
+The paper (section 3.3/4.1) builds its domain set reproducibly:
+
+    "From these lists, we take the top 50,000 domains on every single
+    Tranco list and consider only the ones that appear on all lists. ...
+    Next, we order them by their average rank."
+
+This module implements that procedure over :class:`TrancoList` objects.
+Because the Tranco service is not reachable offline, it also synthesizes
+deterministic lists with realistic rank churn (Zipf-ish popularity with
+day-to-day jitter and trending in/out domains), so the intersection
+procedure has real work to do.
+"""
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+_TLDS = ("com", "org", "net", "io", "de", "co.uk", "fr", "jp", "ru", "br")
+
+_WORDS = (
+    "news", "shop", "cloud", "media", "games", "tech", "mail", "video",
+    "forum", "data", "web", "social", "store", "sport", "music", "photo",
+    "travel", "bank", "health", "auto", "book", "food", "home", "work",
+    "play", "live", "search", "stream", "chat", "learn",
+)
+
+
+def synth_domain_name(index: int) -> str:
+    """Deterministic, human-plausible domain name for pool index ``index``."""
+    first = _WORDS[index % len(_WORDS)]
+    second = _WORDS[(index // len(_WORDS)) % len(_WORDS)]
+    tld = _TLDS[index % len(_TLDS)]
+    return f"{first}-{second}{index:05d}.{tld}"
+
+
+@dataclass(slots=True)
+class TrancoList:
+    """One daily Tranco list: ``list_id`` plus domains in rank order."""
+
+    list_id: str
+    date: str
+    domains: list[str] = field(default_factory=list)
+
+    def rank_of(self) -> dict[str, int]:
+        """Map domain → 1-based rank."""
+        return {domain: rank for rank, domain in enumerate(self.domains, start=1)}
+
+    def top(self, cutoff: int) -> list[str]:
+        return self.domains[:cutoff]
+
+
+def generate_domain_pool(size: int) -> list[str]:
+    """The universe of domains, in intrinsic popularity order."""
+    return [synth_domain_name(index) for index in range(size)]
+
+
+def generate_tranco_lists(
+    pool: list[str],
+    *,
+    num_lists: int = 5,
+    list_size: int | None = None,
+    churn: float = 0.02,
+    jitter: float = 0.08,
+    seed: int = 7,
+) -> list[TrancoList]:
+    """Synthesize ``num_lists`` daily lists over ``pool``.
+
+    Each list perturbs the intrinsic order with Gaussian rank jitter and
+    replaces a ``churn`` fraction of entries with trending outsiders —
+    the outliers the paper's intersection step is designed to remove.
+    """
+    list_size = list_size or len(pool)
+    lists = []
+    for day in range(num_lists):
+        rng = random.Random(f"tranco:{seed}:{day}")
+        scored = []
+        for rank, domain in enumerate(pool):
+            noise = rng.gauss(0, jitter * (rank + 10))
+            scored.append((rank + noise, domain))
+        scored.sort()
+        ordered = [domain for _, domain in scored][:list_size]
+        # Trending outsiders: inject churn-fraction fake newcomers that do
+        # not exist in other lists.
+        num_churn = int(len(ordered) * churn)
+        for slot in range(num_churn):
+            position = rng.randrange(len(ordered))
+            ordered[position] = f"trending-{day}-{slot}.example"
+        lists.append(
+            TrancoList(
+                list_id=f"SYN{seed}{day:02d}",
+                date=f"2022-04-{day + 1:02d}",
+                domains=ordered,
+            )
+        )
+    return lists
+
+
+def save_tranco_csv(tranco_list: TrancoList, path: str) -> None:
+    """Write a list in the Tranco download format (``rank,domain`` lines)."""
+    with open(path, "w", encoding="utf-8") as stream:
+        for rank, domain in enumerate(tranco_list.domains, start=1):
+            stream.write(f"{rank},{domain}\n")
+
+
+def load_tranco_csv(path: str, *, list_id: str = "", date: str = "") -> TrancoList:
+    """Read a ``rank,domain`` CSV as downloaded from the Tranco service."""
+    domains: list[str] = []
+    with open(path, "r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            rank_text, _, domain = line.partition(",")
+            if not domain:
+                raise ValueError(f"malformed Tranco line: {line!r}")
+            try:
+                rank = int(rank_text)
+            except ValueError as exc:
+                raise ValueError(f"malformed Tranco rank: {line!r}") from exc
+            if rank != len(domains) + 1:
+                raise ValueError(
+                    f"non-contiguous rank {rank} at line {len(domains) + 1}"
+                )
+            domains.append(domain)
+    return TrancoList(list_id=list_id, date=date, domains=domains)
+
+
+def build_study_dataset(
+    lists: list[TrancoList], *, cutoff: int = 50_000
+) -> list[tuple[str, float]]:
+    """The paper's procedure: intersect top-``cutoff`` of all lists, order
+    by average rank.  Returns ``[(domain, average_rank), ...]`` best first.
+    """
+    if not lists:
+        return []
+    common: set[str] | None = None
+    for tranco_list in lists:
+        members = set(tranco_list.top(cutoff))
+        common = members if common is None else common & members
+    assert common is not None
+    totals: dict[str, float] = {domain: 0.0 for domain in common}
+    for tranco_list in lists:
+        ranks = tranco_list.rank_of()
+        for domain in common:
+            totals[domain] += ranks[domain]
+    count = len(lists)
+    averaged = [(domain, totals[domain] / count) for domain in common]
+    averaged.sort(key=lambda item: (item[1], item[0]))
+    return averaged

@@ -1,0 +1,90 @@
+"""`repro.core` — the paper's primary contribution.
+
+The security-relevant violation taxonomy (Table 1), one rule per
+sub-check, the checker that runs them at scale, the section 4.4 automatic
+repair, the section 4.5 mitigation detectors, and the section 5.3
+STRICT-PARSER hardening roadmap.
+"""
+from .autofix import AutofixResult, autofix, classify, estimate_fixability
+from .checker import Checker, CheckReport
+from .mitigations import (
+    MitigationReport,
+    ScriptInAttrHit,
+    measure_mitigations,
+    measure_mitigations_html,
+)
+from .rules import RULE_CLASSES, Rule, default_rules
+from .features import PageFeatures, measure_features, measure_features_html
+from .strictparse import (
+    INITIAL_ENFORCED,
+    MonitorCollector,
+    MonitorNotification,
+    RolloutPlan,
+    RolloutStage,
+    StrictHeaderError,
+    StrictMode,
+    StrictParseOutcome,
+    StrictParserPolicy,
+    deprecation_warning,
+    parse_strict_header,
+    parse_with_policy,
+    render_error_page,
+    simulate_rollout,
+)
+from .violations import (
+    ALL_IDS,
+    AUTO_FIXABLE_IDS,
+    FAMILIES,
+    IDS_BY_GROUP,
+    REGISTRY,
+    Category,
+    Finding,
+    Group,
+    ViolationType,
+    family_of,
+    group_of,
+)
+
+__all__ = [
+    "ALL_IDS",
+    "AUTO_FIXABLE_IDS",
+    "AutofixResult",
+    "Category",
+    "CheckReport",
+    "Checker",
+    "FAMILIES",
+    "Finding",
+    "Group",
+    "IDS_BY_GROUP",
+    "INITIAL_ENFORCED",
+    "MitigationReport",
+    "MonitorCollector",
+    "MonitorNotification",
+    "PageFeatures",
+    "REGISTRY",
+    "RolloutPlan",
+    "RolloutStage",
+    "RULE_CLASSES",
+    "Rule",
+    "ScriptInAttrHit",
+    "StrictHeaderError",
+    "StrictMode",
+    "StrictParseOutcome",
+    "StrictParserPolicy",
+    "ViolationType",
+    "autofix",
+    "classify",
+    "default_rules",
+    "deprecation_warning",
+    "estimate_fixability",
+    "family_of",
+    "group_of",
+    "measure_features",
+    "measure_features_html",
+    "measure_mitigations",
+    "measure_mitigations_html",
+    "parse_strict_header",
+    "parse_with_policy",
+    "render_error_page",
+    "simulate_rollout",
+]

@@ -1,0 +1,86 @@
+"""The checker: run the Table 1 rule set over a document.
+
+This is the "Checker" box of Figure 6.  Unlike the W3C validator — which
+stops parsing when it hits certain mXSS-shaped inputs (the paper's
+Figure 7) — this checker always processes the whole document: the parser
+is error-tolerant by construction and every rule sees the complete parse.
+"""
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..html import ParseResult, decode_bytes, parse, parse_fragment
+from .rules import Rule, default_rules
+from .violations import Finding
+
+
+@dataclass(slots=True)
+class CheckReport:
+    """All findings for one document."""
+
+    url: str
+    findings: list[Finding] = field(default_factory=list)
+    #: parse kept for debugging / secondary analyses; may be None when
+    #: the checker is run in low-memory mode
+    parse_result: ParseResult | None = None
+
+    @property
+    def violated(self) -> frozenset[str]:
+        """The set of violation ids present at least once."""
+        return frozenset(finding.violation for finding in self.findings)
+
+    @property
+    def counts(self) -> Counter:
+        return Counter(finding.violation for finding in self.findings)
+
+    def has(self, violation_id: str) -> bool:
+        return any(finding.violation == violation_id for finding in self.findings)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+
+class Checker:
+    """Run a rule set over documents.
+
+    ``rules`` defaults to the full Table 1 set; pass a subset to check
+    individual violations (the framework is extensible, section 3.1).
+    """
+
+    def __init__(self, rules: list[Rule] | None = None, *, keep_parse: bool = False) -> None:
+        self.rules = rules if rules is not None else default_rules()
+        self.keep_parse = keep_parse
+
+    def check_parse(self, result: ParseResult, url: str = "") -> CheckReport:
+        report = CheckReport(url=url, parse_result=result if self.keep_parse else None)
+        for rule in self.rules:
+            report.findings.extend(rule.check(result))
+        return report
+
+    def check_html(self, text: str, url: str = "") -> CheckReport:
+        return self.check_parse(parse(text), url=url)
+
+    def check_fragment(self, text: str, context: str = "div", url: str = "") -> CheckReport:
+        """Check an HTML *fragment* (the innerHTML algorithm).
+
+        This is how dynamically loaded content enters the document — the
+        paper's section 5.1 pre-study checks such fragments.  Rules that
+        reason about head/body structure see the fragment's synthetic
+        context, so the structural HF1/HF2 checks are intentionally inert
+        here; the attribute- and table-level checks behave exactly as on
+        full documents.
+        """
+        _nodes, result = parse_fragment(text, context)
+        return self.check_parse(result, url=url)
+
+    def check_bytes(self, data: bytes, url: str = "") -> CheckReport | None:
+        """Decode-and-check; returns None for non-UTF-8 documents.
+
+        Implements the paper's encoding filter (section 4.1): rather than
+        guessing charsets, only UTF-8-decodable documents are analysed.
+        """
+        text = decode_bytes(data)
+        if text is None:
+            return None
+        return self.check_html(text, url=url)

@@ -1,0 +1,72 @@
+"""Detectors for the deployed mitigations analysed in section 4.5.
+
+Two Chromium-side mitigations are evaluated by the paper:
+
+1. *Nonce stealing*: if a ``script`` element carries a CSP nonce and any
+   attribute contains the string ``<script``, the element is treated as
+   nonce-less (w3c/webappsec-csp#98).  The detector reports every element
+   with ``<script`` in an attribute and whether it is actually a nonced
+   script (the paper found none are).
+2. *Dangling markup*: URLs containing both ``\\n`` and ``<`` are blocked
+   since Chromium 2017 (Mike West's intent-to-remove).  The detector
+   reports URLs with a newline, and the subset that also contains ``<``.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..html import ParseResult, parse
+from .rules import URL_ATTRIBUTES, iter_start_tag_attrs
+
+
+@dataclass(frozen=True, slots=True)
+class ScriptInAttrHit:
+    """An element with '<script' inside an attribute value."""
+
+    element: str
+    attribute: str
+    #: True when the element is a <script> tag carrying a nonce attribute —
+    #: the only case the Chromium mitigation would actually neutralize.
+    is_nonced_script: bool
+
+
+@dataclass(slots=True)
+class MitigationReport:
+    """Per-document mitigation measurements."""
+
+    script_in_attr: list[ScriptInAttrHit] = field(default_factory=list)
+    urls_with_newline: int = 0
+    urls_with_newline_and_lt: int = 0
+
+    @property
+    def affected_by_nonce_mitigation(self) -> bool:
+        return any(hit.is_nonced_script for hit in self.script_in_attr)
+
+    @property
+    def conflicts_with_url_mitigation(self) -> bool:
+        return self.urls_with_newline_and_lt > 0
+
+
+def measure_mitigations(result: ParseResult) -> MitigationReport:
+    """Measure both mitigation footprints on one parsed document."""
+    report = MitigationReport()
+    for tag, name, value in iter_start_tag_attrs(result):
+        if "<script" in value.lower():
+            report.script_in_attr.append(
+                ScriptInAttrHit(
+                    element=tag.name,
+                    attribute=name,
+                    is_nonced_script=(
+                        tag.name == "script" and tag.has_attr("nonce")
+                    ),
+                )
+            )
+        if name in URL_ATTRIBUTES and "\n" in value:
+            report.urls_with_newline += 1
+            if "<" in value:
+                report.urls_with_newline_and_lt += 1
+    return report
+
+
+def measure_mitigations_html(text: str) -> MitigationReport:
+    return measure_mitigations(parse(text))

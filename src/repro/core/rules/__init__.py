@@ -1,0 +1,66 @@
+"""The violation rule set: one rule per Table 1 sub-check."""
+from .base import Rule, URL_ATTRIBUTES, iter_start_tag_attrs, snippet
+from .data_exfiltration import (
+    DanglingMarkupUrl,
+    NestedForm,
+    NewlineInTarget,
+    NonTerminatedSelect,
+    NonTerminatedTextarea,
+    ScriptInAttribute,
+)
+from .data_manipulation import (
+    BaseAfterUrlUse,
+    BaseOutsideHead,
+    DuplicateAttributes,
+    MetaOutsideHead,
+    MultipleBase,
+)
+from .filter_bypass import MissingSpaceBetweenAttributes, SlashBetweenAttributes
+from .formatting import (
+    BrokenHead,
+    BrokenTable,
+    ContentBeforeBody,
+    MultipleBody,
+    WrongNamespaceHtml,
+    WrongNamespaceMathml,
+    WrongNamespaceSvg,
+)
+
+#: All rule classes, in registry order.
+RULE_CLASSES: tuple[type[Rule], ...] = (
+    NonTerminatedTextarea,
+    NonTerminatedSelect,
+    DanglingMarkupUrl,
+    ScriptInAttribute,
+    NewlineInTarget,
+    NestedForm,
+    MetaOutsideHead,
+    BaseOutsideHead,
+    MultipleBase,
+    BaseAfterUrlUse,
+    DuplicateAttributes,
+    BrokenHead,
+    ContentBeforeBody,
+    MultipleBody,
+    BrokenTable,
+    WrongNamespaceHtml,
+    WrongNamespaceSvg,
+    WrongNamespaceMathml,
+    SlashBetweenAttributes,
+    MissingSpaceBetweenAttributes,
+)
+
+
+def default_rules() -> list[Rule]:
+    """Instantiate the full Table 1 rule set."""
+    return [rule_class() for rule_class in RULE_CLASSES]
+
+
+__all__ = [
+    "Rule",
+    "RULE_CLASSES",
+    "URL_ATTRIBUTES",
+    "default_rules",
+    "iter_start_tag_attrs",
+    "snippet",
+]

@@ -1,0 +1,134 @@
+"""Data Manipulation rules: DM1, DM2_1/2/3, DM3 (section 3.2 of the paper)."""
+from __future__ import annotations
+
+from ...html import ErrorCode, ParseResult
+from ...html.dom import Element
+from ..violations import Finding
+from .base import URL_ATTRIBUTES, Rule, snippet
+
+
+def _inside_head(element: Element) -> bool:
+    return any(
+        isinstance(ancestor, Element) and ancestor.name == "head"
+        for ancestor in element.ancestors()
+    )
+
+
+class MetaOutsideHead(Rule):
+    """DM1 — ``meta http-equiv`` outside the head section.
+
+    The content model (HTML 4.2.5) restricts http-equiv metas to head, but
+    the parsing algorithm honours them anywhere — redirects, cookies and
+    CSP included.
+    """
+
+    id = "DM1"
+
+    def check(self, result: ParseResult) -> list[Finding]:
+        findings = []
+        for element in result.document.iter_elements():
+            if (
+                element.name == "meta"
+                and element.is_html()
+                and "http-equiv" in element.attributes
+                and not _inside_head(element)
+            ):
+                findings.append(
+                    self.finding(
+                        element.source_offset,
+                        f"meta http-equiv={element.get('http-equiv')!r} "
+                        "outside head",
+                        snippet(result.source, element.source_offset),
+                    )
+                )
+        return findings
+
+
+def _base_elements(result: ParseResult) -> list[Element]:
+    return [
+        element
+        for element in result.document.iter_elements()
+        if element.name == "base" and element.is_html()
+    ]
+
+
+class BaseOutsideHead(Rule):
+    """DM2_1 — a ``base`` element outside the head section."""
+
+    id = "DM2_1"
+
+    def check(self, result: ParseResult) -> list[Finding]:
+        return [
+            self.finding(
+                element.source_offset,
+                "base element outside head",
+                snippet(result.source, element.source_offset),
+            )
+            for element in _base_elements(result)
+            if not _inside_head(element)
+        ]
+
+
+class MultipleBase(Rule):
+    """DM2_2 — more than one ``base`` element in the document."""
+
+    id = "DM2_2"
+
+    def check(self, result: ParseResult) -> list[Finding]:
+        bases = _base_elements(result)
+        return [
+            self.finding(
+                element.source_offset,
+                f"base element #{index + 2} (only one allowed)",
+                snippet(result.source, element.source_offset),
+            )
+            for index, element in enumerate(bases[1:])
+        ]
+
+
+class BaseAfterUrlUse(Rule):
+    """DM2_3 — ``base`` appearing after an element that uses a URL.
+
+    The spec requires base to precede every URL-bearing element; a late
+    base silently rebases nothing or (worse) only part of the document.
+    """
+
+    id = "DM2_3"
+
+    def check(self, result: ParseResult) -> list[Finding]:
+        findings = []
+        url_seen = False
+        for element in result.document.iter_elements():
+            if element.name == "base" and element.is_html():
+                if url_seen:
+                    findings.append(
+                        self.finding(
+                            element.source_offset,
+                            "base element after a URL-using element",
+                            snippet(result.source, element.source_offset),
+                        )
+                    )
+                continue
+            if any(name in URL_ATTRIBUTES for name in element.attributes):
+                url_seen = True
+        return findings
+
+
+class DuplicateAttributes(Rule):
+    """DM3 — the same attribute name twice on one tag.
+
+    Detected via the ``duplicate-attribute`` tokenizer error; the parser
+    keeps the first occurrence and drops the rest (HTML 13.2.5.33).
+    """
+
+    id = "DM3"
+
+    def check(self, result: ParseResult) -> list[Finding]:
+        return [
+            self.finding(
+                error.offset,
+                f"duplicate attribute {error.detail!r} ignored",
+                snippet(result.source, error.offset),
+            )
+            for error in result.errors_of(ErrorCode.DUPLICATE_ATTRIBUTE)
+        ]

@@ -1,0 +1,50 @@
+"""Filter Bypass rules: FB1 and FB2 (section 3.2.2 of the paper).
+
+Both are pure tokenizer error states — the parser names them, tolerates
+them, and thereby hands attackers a standard whitespace-filter bypass.
+"""
+from __future__ import annotations
+
+from ...html import ErrorCode, ParseResult
+from ..violations import Finding
+from .base import Rule, snippet
+
+
+class SlashBetweenAttributes(Rule):
+    """FB1 — ``<img/src="x"/onerror=...>``: '/' treated as whitespace.
+
+    Detected via the spec's ``unexpected-solidus-in-tag`` error state
+    (HTML 13.2.5.40).
+    """
+
+    id = "FB1"
+
+    def check(self, result: ParseResult) -> list[Finding]:
+        return [
+            self.finding(
+                error.offset,
+                "slash used as attribute separator",
+                snippet(result.source, error.offset),
+            )
+            for error in result.errors_of(ErrorCode.UNEXPECTED_SOLIDUS_IN_TAG)
+        ]
+
+
+class MissingSpaceBetweenAttributes(Rule):
+    """FB2 — ``<img src="x"onerror=...>``: quoted value directly followed
+    by the next attribute (``missing-whitespace-between-attributes``).
+    """
+
+    id = "FB2"
+
+    def check(self, result: ParseResult) -> list[Finding]:
+        return [
+            self.finding(
+                error.offset,
+                "attributes not separated by whitespace",
+                snippet(result.source, error.offset),
+            )
+            for error in result.errors_of(
+                ErrorCode.MISSING_WHITESPACE_BETWEEN_ATTRIBUTES
+            )
+        ]

@@ -1,0 +1,186 @@
+"""HTML Formatting rules: HF1–HF5 (section 3.2) — the mXSS enablers."""
+from __future__ import annotations
+
+from ...html import MATHML_NAMESPACE, SVG_NAMESPACE, ParseResult
+from ..violations import Finding
+from .base import Rule, snippet
+
+#: Element names that only exist in SVG (lower-cased as they appear when
+#: stranded in the HTML namespace).
+SVG_ONLY_NAMES = frozenset(
+    {
+        "path", "rect", "circle", "ellipse", "line", "polyline", "polygon",
+        "g", "defs", "use", "symbol", "marker", "pattern", "mask", "tspan",
+        "stop", "lineargradient", "radialgradient", "clippath",
+        "foreignobject", "textpath", "animate", "animatetransform",
+        "animatemotion", "fegaussianblur", "feoffset", "feblend", "femerge",
+        "glyphref",
+    }
+)
+
+#: Element names that only exist in MathML.
+MATHML_ONLY_NAMES = frozenset(
+    {
+        "mi", "mo", "mn", "ms", "mtext", "mrow", "mfrac", "msqrt", "mroot",
+        "msup", "msub", "msubsup", "munder", "mover", "munderover",
+        "mtable", "mtr", "mtd", "mstyle", "mspace", "mpadded", "mphantom",
+        "menclose", "maction", "semantics", "annotation", "annotation-xml",
+        "mglyph", "malignmark",
+    }
+)
+
+
+class BrokenHead(Rule):
+    """HF1 — broken head section.
+
+    Fires when head tags are omitted, when a disallowed element appears
+    inside the head (implicitly closing it and dragging the remaining head
+    content into the body), or when head-only elements appear after the
+    head was closed.  The paper: "We define missing head tags and a broken
+    head section as a violation."
+    """
+
+    id = "HF1"
+
+    _KINDS = (
+        "head-start-implied",
+        "head-end-implied",
+        "disallowed-in-head",
+        "head-element-after-head",
+    )
+
+    def check(self, result: ParseResult) -> list[Finding]:
+        findings = []
+        for event in result.events:
+            if event.kind in self._KINDS:
+                label = event.tag or event.detail or event.kind
+                findings.append(
+                    self.finding(
+                        event.offset,
+                        f"{event.kind} ({label})",
+                        snippet(result.source, event.offset),
+                    )
+                )
+        return findings
+
+
+class ContentBeforeBody(Rule):
+    """HF2 — content before the body tag implicitly opens the body.
+
+    Enables the Figure 4 attack where an unclosed tag absorbs the real
+    ``<body onload=...>``.  A body implied only by EOF or by the closing
+    ``</body>``/``</html>`` tags is not counted — there was no *content*
+    before the body then.
+    """
+
+    id = "HF2"
+
+    _NON_CONTENT_TRIGGERS = frozenset({"#eof", "/html", "/body"})
+
+    def check(self, result: ParseResult) -> list[Finding]:
+        return [
+            self.finding(
+                event.offset,
+                f"body implicitly opened by {event.detail!r}",
+                snippet(result.source, event.offset),
+            )
+            for event in result.events_of("body-start-implied")
+            if event.detail not in self._NON_CONTENT_TRIGGERS
+        ]
+
+
+class MultipleBody(Rule):
+    """HF3 — a second ``body`` start tag merged into the first
+    (attribute overwrite primitive, HTML 13.2.6.4.7).
+    """
+
+    id = "HF3"
+
+    def check(self, result: ParseResult) -> list[Finding]:
+        return [
+            self.finding(
+                event.offset,
+                "second body start tag merged",
+                snippet(result.source, event.offset),
+            )
+            for event in result.events_of("second-body-merged")
+        ]
+
+
+class BrokenTable(Rule):
+    """HF4 — content not allowed inside a table is foster-parented in
+    front of it (the Figure 1/Figure 11 mXSS mutation primitive).
+    """
+
+    id = "HF4"
+
+    def check(self, result: ParseResult) -> list[Finding]:
+        return [
+            self.finding(
+                event.offset,
+                f"{event.tag} foster-parented out of table",
+                snippet(result.source, event.offset),
+            )
+            for event in result.events_of("foster-parented")
+        ]
+
+
+class WrongNamespaceHtml(Rule):
+    """HF5_1 — SVG/MathML-only elements stranded in the HTML namespace
+    (e.g. a ``<path>`` pasted without its ``<svg>`` root).
+    """
+
+    id = "HF5_1"
+
+    def check(self, result: ParseResult) -> list[Finding]:
+        findings = []
+        for element in result.document.iter_elements():
+            if element.is_html() and (
+                element.name in SVG_ONLY_NAMES
+                or element.name in MATHML_ONLY_NAMES
+            ):
+                findings.append(
+                    self.finding(
+                        element.source_offset,
+                        f"foreign-only element <{element.name}> in HTML "
+                        "namespace",
+                        snippet(result.source, element.source_offset),
+                    )
+                )
+        return findings
+
+
+class _BreakoutRule(Rule):
+    namespace = ""
+
+    def check(self, result: ParseResult) -> list[Finding]:
+        return [
+            self.finding(
+                event.offset,
+                f"HTML element <{event.tag}> broke out of "
+                f"{self.namespace_label} content",
+                snippet(result.source, event.offset),
+            )
+            for event in result.events_of("foreign-breakout")
+            if event.namespace == self.namespace
+        ]
+
+    @property
+    def namespace_label(self) -> str:
+        return "SVG" if self.namespace == SVG_NAMESPACE else "MathML"
+
+
+class WrongNamespaceSvg(_BreakoutRule):
+    """HF5_2 — HTML elements inside SVG forcing a namespace breakout."""
+
+    id = "HF5_2"
+    namespace = SVG_NAMESPACE
+
+
+class WrongNamespaceMathml(_BreakoutRule):
+    """HF5_3 — HTML elements inside MathML forcing a namespace breakout
+    (the DOMPurify bypass shape from Figure 1).
+    """
+
+    id = "HF5_3"
+    namespace = MATHML_NAMESPACE

@@ -1,0 +1,314 @@
+"""The HTML parser hardening roadmap from section 5.3 of the paper.
+
+The paper proposes deprecating error tolerance via a new ``STRICT-PARSER``
+response header with three modes:
+
+* ``strict`` — every deprecated violation aborts parsing with an error
+  page (full opt-in to the secure parser);
+* ``unsafe`` — all deprecations ignored (escape hatch);
+* ``default`` — only the *enforced list* of violations blocks; the list
+  starts with the rarest violations (math-related, dangling markup) and
+  grows as usage of each violation decays, until default equals strict.
+
+Every mode accepts a monitor URL notified on violations, so developers can
+test without breaking anything (report-only deployment, like CSP's).
+
+This module implements the header, the strict parsing entry point, and a
+rollout simulator that stages violations onto the enforced list based on
+measured prevalence — the section 5.3 experiment.
+"""
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .checker import Checker, CheckReport
+from .violations import ALL_IDS, REGISTRY
+
+
+class StrictMode(enum.Enum):
+    STRICT = "strict"
+    UNSAFE = "unsafe"
+    DEFAULT = "default"
+
+
+#: The initial enforced list the paper suggests: violations that "rarely
+#: appear in our analysis, such as all math element-related violations or
+#: dangling markup".
+INITIAL_ENFORCED: tuple[str, ...] = ("HF5_3", "DE1", "DE2", "DE3_3", "DE3_1")
+
+
+@dataclass(frozen=True, slots=True)
+class StrictParserPolicy:
+    """A parsed ``STRICT-PARSER`` header."""
+
+    mode: StrictMode = StrictMode.DEFAULT
+    monitor_url: str | None = None
+
+    def header_value(self) -> str:
+        value = self.mode.value
+        if self.monitor_url:
+            value += f"; monitor={self.monitor_url}"
+        return value
+
+
+class StrictHeaderError(ValueError):
+    """Raised for malformed STRICT-PARSER header values."""
+
+
+def parse_strict_header(value: str | None) -> StrictParserPolicy:
+    """Parse a ``STRICT-PARSER`` header value; absent header → default."""
+    if value is None or not value.strip():
+        return StrictParserPolicy()
+    parts = [part.strip() for part in value.split(";")]
+    try:
+        mode = StrictMode(parts[0].lower())
+    except ValueError as exc:
+        raise StrictHeaderError(f"unknown mode {parts[0]!r}") from exc
+    monitor = None
+    for part in parts[1:]:
+        key, _, argument = part.partition("=")
+        if key.strip().lower() == "monitor" and argument:
+            monitor = argument.strip().strip('"')
+        elif part:
+            raise StrictHeaderError(f"unknown directive {part!r}")
+    return StrictParserPolicy(mode=mode, monitor_url=monitor)
+
+
+@dataclass(slots=True)
+class MonitorNotification:
+    """One report sent to a policy's monitor URL."""
+
+    url: str
+    monitor_url: str
+    violations: tuple[str, ...]
+    blocked: bool
+
+
+class MonitorCollector:
+    """Collects monitor notifications, like a CSP report-uri endpoint.
+
+    Developers "can find edge cases in the strict mode or test the policy
+    in the wild without breaking anything" (section 5.3.2) — this is the
+    receiving end: aggregate reports per violation and per page so a site
+    owner can prioritize fixes before enforcement.
+    """
+
+    def __init__(self) -> None:
+        self.notifications: list[MonitorNotification] = []
+
+    def receive(self, notification: "MonitorNotification") -> None:
+        self.notifications.append(notification)
+
+    def __len__(self) -> int:
+        return len(self.notifications)
+
+    def by_violation(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for notification in self.notifications:
+            for violation in notification.violations:
+                counts[violation] = counts.get(violation, 0) + 1
+        return dict(
+            sorted(counts.items(), key=lambda item: item[1], reverse=True)
+        )
+
+    def pages_that_would_break(self) -> list[str]:
+        return [n.url for n in self.notifications if n.blocked]
+
+    def summary(self) -> str:
+        lines = [
+            f"monitor received {len(self.notifications)} report(s); "
+            f"{len(self.pages_that_would_break())} page(s) would break",
+        ]
+        for violation, count in self.by_violation().items():
+            lines.append(f"  {violation}: {count} report(s)")
+        return "\n".join(lines)
+
+
+@dataclass(slots=True)
+class StrictParseOutcome:
+    """Result of parsing a page under a strict-parser policy."""
+
+    report: CheckReport
+    policy: StrictParserPolicy
+    blocked_violations: frozenset[str]
+    notifications: list[MonitorNotification] = field(default_factory=list)
+
+    @property
+    def blocked(self) -> bool:
+        """True when the page would show the error page instead of content."""
+        return bool(self.blocked_violations)
+
+
+def parse_with_policy(
+    html: str,
+    policy: StrictParserPolicy,
+    *,
+    enforced: frozenset[str] = frozenset(INITIAL_ENFORCED),
+    checker: Checker | None = None,
+    url: str = "",
+    monitor: MonitorCollector | None = None,
+) -> StrictParseOutcome:
+    """Parse ``html`` under ``policy`` with the given enforced list.
+
+    ``monitor`` optionally receives the notifications a browser would POST
+    to the policy's monitor URL.
+    """
+    checker = checker or Checker()
+    report = checker.check_html(html, url=url)
+    present = report.violated
+    if policy.mode is StrictMode.STRICT:
+        blocked = present
+    elif policy.mode is StrictMode.UNSAFE:
+        blocked = frozenset()
+    else:
+        blocked = present & enforced
+    outcome = StrictParseOutcome(
+        report=report, policy=policy, blocked_violations=blocked
+    )
+    if policy.monitor_url and present:
+        notification = MonitorNotification(
+            url=url,
+            monitor_url=policy.monitor_url,
+            violations=tuple(sorted(present)),
+            blocked=bool(blocked),
+        )
+        outcome.notifications.append(notification)
+        if monitor is not None:
+            monitor.receive(notification)
+    return outcome
+
+
+def render_error_page(outcome: StrictParseOutcome) -> str:
+    """The warning page a strict parser shows instead of a violating page
+    (section 5.3.2: "a violating page would end in an error state during
+    the parsing process and show a warning page").
+    """
+    items = "".join(
+        f"<li><code>{violation}</code>: {REGISTRY[violation].name}</li>"
+        for violation in sorted(outcome.blocked_violations)
+    )
+    url = outcome.report.url or "this page"
+    return (
+        "<!DOCTYPE html><html lang=\"en\"><head>"
+        "<title>Page blocked: HTML specification violations</title></head>"
+        "<body><h1>This page could not be displayed</h1>"
+        f"<p>The strict HTML parser refused to render {url} because its "
+        "markup violates the HTML specification in ways that are known "
+        "attack primitives:</p>"
+        f"<ul>{items}</ul>"
+        "<p>Site owners: fix the markup or (temporarily) opt out with "
+        "<code>STRICT-PARSER: unsafe</code>.</p>"
+        "</body></html>"
+    )
+
+
+# ------------------------------------------------------------------ rollout
+
+
+@dataclass(slots=True)
+class RolloutStage:
+    """One step of the staged deprecation."""
+
+    year: int
+    newly_enforced: tuple[str, ...]
+    enforced: tuple[str, ...]
+    #: fraction of domains that would break (violate an enforced rule)
+    breakage: float
+
+
+@dataclass(slots=True)
+class RolloutPlan:
+    stages: list[RolloutStage]
+
+    @property
+    def fully_enforced_year(self) -> int | None:
+        for stage in self.stages:
+            if set(stage.enforced) == set(ALL_IDS):
+                return stage.year
+        return None
+
+
+def simulate_rollout(
+    prevalence_by_year: dict[int, dict[str, float]],
+    *,
+    threshold: float = 0.01,
+    start_enforced: tuple[str, ...] = INITIAL_ENFORCED,
+    annual_decay: float = 0.5,
+    horizon: int = 15,
+) -> RolloutPlan:
+    """Simulate the staged enforcement the paper proposes.
+
+    ``prevalence_by_year`` is measured data (violation id → fraction of
+    domains, per year); after the last measured year, each violation's
+    prevalence is assumed to decay by ``annual_decay`` per year — the
+    paper's premise that developer warnings accelerate the downward trend
+    (as happened with HTTPS adoption).  A violation joins the enforced
+    list once its prevalence drops below ``threshold``.
+
+    Returns the stage-by-stage plan with expected breakage (upper bound:
+    assumes violating domains are independent across rules).
+    """
+    years = sorted(prevalence_by_year)
+    last_year = years[-1]
+    current = dict(prevalence_by_year[last_year])
+    enforced = list(dict.fromkeys(start_enforced))
+    stages: list[RolloutStage] = []
+
+    for year in years:
+        measured = prevalence_by_year[year]
+        newly = [
+            rule
+            for rule in ALL_IDS
+            if rule not in enforced and measured.get(rule, 0.0) < threshold
+        ]
+        enforced.extend(newly)
+        stages.append(
+            RolloutStage(
+                year=year,
+                newly_enforced=tuple(newly),
+                enforced=tuple(enforced),
+                breakage=_breakage(measured, enforced),
+            )
+        )
+
+    for offset in range(1, horizon + 1):
+        year = last_year + offset
+        current = {rule: value * annual_decay for rule, value in current.items()}
+        newly = [
+            rule
+            for rule in ALL_IDS
+            if rule not in enforced and current.get(rule, 0.0) < threshold
+        ]
+        enforced.extend(newly)
+        stages.append(
+            RolloutStage(
+                year=year,
+                newly_enforced=tuple(newly),
+                enforced=tuple(enforced),
+                breakage=_breakage(current, enforced),
+            )
+        )
+        if set(enforced) == set(ALL_IDS):
+            break
+    return RolloutPlan(stages=stages)
+
+
+def _breakage(prevalence: dict[str, float], enforced: list[str]) -> float:
+    """Upper-bound breakage: 1 - prod(1 - p) over enforced rules."""
+    keep = 1.0
+    for rule in enforced:
+        keep *= 1.0 - prevalence.get(rule, 0.0)
+    return 1.0 - keep
+
+
+def deprecation_warning(violation_id: str) -> str:
+    """The succinct, specific developer-console warning the paper calls
+    for (section 5.3.2) — one per violation type."""
+    violation = REGISTRY[violation_id]
+    return (
+        f"[Deprecation] {violation.id}: {violation.name}. {violation.definition}. "
+        f"See HTML spec section {violation.spec_section or '13.2'}. "
+        "This input will be rejected once strict parsing is enforced; "
+        "set the STRICT-PARSER header to opt in early or (temporarily) out."
+    )

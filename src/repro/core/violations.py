@@ -1,0 +1,188 @@
+"""The violation taxonomy: Table 1 of the paper, as code.
+
+Two categories (section 3.2):
+
+* **Definition violations** — the HTML specification defines one behaviour
+  but the parsing algorithm contradicts it without entering an error state
+  (e.g. ``textarea`` requires an end tag, yet the parser silently closes it
+  at EOF).
+* **Parsing errors** — the parser passes a named error state in the
+  tokenizer or tree builder but tolerates and "fixes" the input.
+
+Each violation belongs to one of four problem groups indicating its
+security impact: Data Exfiltration (DE), Data Manipulation (DM), HTML
+Formatting (HF — mXSS enablers), and Filter Bypass (FB).
+"""
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Category(enum.Enum):
+    DEFINITION = "definition-violation"
+    PARSING_ERROR = "parsing-error"
+
+
+class Group(enum.Enum):
+    DATA_EXFILTRATION = "DE"
+    DATA_MANIPULATION = "DM"
+    HTML_FORMATTING = "HF"
+    FILTER_BYPASS = "FB"
+
+
+@dataclass(frozen=True, slots=True)
+class ViolationType:
+    """One row (or sub-check) of Table 1."""
+
+    id: str                 # e.g. "DM2_1"
+    family: str             # e.g. "DM2"
+    name: str               # short human-readable name
+    definition: str         # what the spec requires / what goes wrong
+    category: Category
+    group: Group
+    #: section 4.4: can the violation be repaired mechanically without
+    #: changing what the current parser renders?
+    auto_fixable: bool
+    spec_section: str = ""  # HTML Living Standard reference
+
+
+def _v(
+    id: str,
+    name: str,
+    definition: str,
+    category: Category,
+    group: Group,
+    auto_fixable: bool,
+    spec_section: str = "",
+) -> ViolationType:
+    family = id.split("_")[0]
+    return ViolationType(
+        id=id, family=family, name=name, definition=definition,
+        category=category, group=group, auto_fixable=auto_fixable,
+        spec_section=spec_section,
+    )
+
+
+#: All 20 sub-checks, in Figure 8's prevalence order of families.
+REGISTRY: dict[str, ViolationType] = {
+    violation.id: violation
+    for violation in (
+        _v("DE1", "Non-terminated textarea element",
+           "textarea requires an end tag, yet the parser closes it at EOF, "
+           "letting injected forms exfiltrate the rest of the page",
+           Category.DEFINITION, Group.DATA_EXFILTRATION, False, "4.10.11/13.2.5.2"),
+        _v("DE2", "Non-terminated select/option elements",
+           "select/option left open are closed at EOF (or by the next "
+           "option/select tag), leaking following plain text",
+           Category.DEFINITION, Group.DATA_EXFILTRATION, False, "4.10.10/4.10.7"),
+        _v("DE3_1", "Dangling markup URL",
+           "a URL attribute containing both a newline and '<' — the classic "
+           "dangling-markup exfiltration shape",
+           Category.PARSING_ERROR, Group.DATA_EXFILTRATION, False, "13.2.5"),
+        _v("DE3_2", "Nonce-stealing attribute",
+           "the string '<script' inside an attribute value, indicating a "
+           "non-terminated attribute absorbed a script element",
+           Category.PARSING_ERROR, Group.DATA_EXFILTRATION, False, "13.2.5"),
+        _v("DE3_3", "Unclosed target attribute",
+           "a target attribute containing a newline — the window.name leak "
+           "shape",
+           Category.PARSING_ERROR, Group.DATA_EXFILTRATION, False, "13.2.5"),
+        _v("DE4", "Nested form element",
+           "a form may not contain a descendant form; the parser drops the "
+           "inner one, so an injected outer form hijacks submission",
+           Category.PARSING_ERROR, Group.DATA_EXFILTRATION, False,
+           "4.10.3/13.2.6.4.7"),
+        _v("DM1", "Meta tag outside head",
+           "meta http-equiv is only allowed in head but is honoured in the "
+           "body as well (redirects, cookies, CSP)",
+           Category.DEFINITION, Group.DATA_MANIPULATION, True, "4.2.5/13.2.6.4.7"),
+        _v("DM2_1", "Base tag outside head",
+           "base is only defined for head but parsed anywhere, rebasing "
+           "every later relative URL",
+           Category.DEFINITION, Group.DATA_MANIPULATION, True, "4.2.3"),
+        _v("DM2_2", "Multiple base tags",
+           "only one base element is allowed per document",
+           Category.DEFINITION, Group.DATA_MANIPULATION, True, "4.2.3"),
+        _v("DM2_3", "Base tag after URL use",
+           "base must appear before any other element that uses a URL",
+           Category.DEFINITION, Group.DATA_MANIPULATION, True, "4.2.3"),
+        _v("DM3", "Multiple same attributes",
+           "a duplicated attribute name is silently dropped, letting an "
+           "injection invalidate later handlers/classes",
+           Category.PARSING_ERROR, Group.DATA_MANIPULATION, True, "13.2.5.33"),
+        _v("HF1", "Broken head section",
+           "missing head tags or disallowed elements in head make the "
+           "parser guess which content belongs to which section",
+           Category.DEFINITION, Group.HTML_FORMATTING, False, "4.2.1"),
+        _v("HF2", "Content before body",
+           "content after head implicitly opens body, enabling "
+           "dangling-markup-like absorption of the real body tag",
+           Category.DEFINITION, Group.HTML_FORMATTING, False, "4.3.1"),
+        _v("HF3", "Multiple body elements",
+           "a second body start tag is merged into the first, allowing "
+           "attribute overwrites",
+           Category.PARSING_ERROR, Group.HTML_FORMATTING, False,
+           "4.3.1/13.2.6.4.7"),
+        _v("HF4", "Broken table element",
+           "content not allowed in a table is moved (foster-parented) in "
+           "front of it — a classic mXSS mutation primitive",
+           Category.PARSING_ERROR, Group.HTML_FORMATTING, False, "13.2.6.4.9"),
+        _v("HF5_1", "Wrong namespace: HTML",
+           "SVG/MathML-only elements stranded in the HTML namespace",
+           Category.PARSING_ERROR, Group.HTML_FORMATTING, False, "13.2.6.5"),
+        _v("HF5_2", "Wrong namespace: SVG",
+           "HTML elements inside SVG force a namespace breakout",
+           Category.PARSING_ERROR, Group.HTML_FORMATTING, False, "13.2.6.5"),
+        _v("HF5_3", "Wrong namespace: MathML",
+           "HTML elements inside MathML force a namespace breakout (the "
+           "DOMPurify bypass shape)",
+           Category.PARSING_ERROR, Group.HTML_FORMATTING, False, "13.2.6.5"),
+        _v("FB1", "Slash between attributes",
+           "a '/' between attributes is treated as whitespace "
+           "(unexpected-solidus-in-tag), a standard space-filter bypass",
+           Category.PARSING_ERROR, Group.FILTER_BYPASS, True, "13.2.5.40"),
+        _v("FB2", "Missing space between attributes",
+           "attributes concatenated without whitespace are silently "
+           "separated (missing-whitespace-between-attributes)",
+           Category.PARSING_ERROR, Group.FILTER_BYPASS, True, "13.2.5.39"),
+    )
+}
+
+ALL_IDS: tuple[str, ...] = tuple(REGISTRY)
+
+FAMILIES: tuple[str, ...] = tuple(
+    dict.fromkeys(violation.family for violation in REGISTRY.values())
+)
+
+#: ids per problem group, in registry order
+IDS_BY_GROUP: dict[Group, tuple[str, ...]] = {
+    group: tuple(v.id for v in REGISTRY.values() if v.group is group)
+    for group in Group
+}
+
+AUTO_FIXABLE_IDS: frozenset[str] = frozenset(
+    violation.id for violation in REGISTRY.values() if violation.auto_fixable
+)
+
+
+def family_of(violation_id: str) -> str:
+    return REGISTRY[violation_id].family
+
+
+def group_of(violation_id: str) -> Group:
+    return REGISTRY[violation_id].group
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One detected violation instance on one document."""
+
+    violation: str          # registry id, e.g. "FB2"
+    offset: int             # source offset, -1 if structural
+    message: str = ""
+    evidence: str = ""      # short source/context snippet
+
+    @property
+    def type(self) -> ViolationType:
+        return REGISTRY[self.violation]

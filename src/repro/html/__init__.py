@@ -1,0 +1,84 @@
+"""`repro.html` — a from-scratch WHATWG HTML parsing substrate.
+
+Implements the pipeline the paper describes in section 2.1: byte stream
+decoder → input stream preprocessor → tokenizer → tree builder, plus the
+serializer used by the automatic repair process.  Every error-tolerant
+fix-up is observable, either as a spec-named :class:`~repro.html.errors.ParseError`
+or as a :class:`~repro.html.treebuilder.TreeEvent`.
+
+Quick use::
+
+    from repro.html import parse
+    result = parse("<p>hello")
+    result.document          # DOM tree
+    result.errors            # spec-named parse errors
+    result.events            # error-tolerance fix-up events
+"""
+from .dom import (
+    HTML_NAMESPACE,
+    MATHML_NAMESPACE,
+    SVG_NAMESPACE,
+    CommentNode,
+    Document,
+    DocumentFragment,
+    DocumentType,
+    Element,
+    Node,
+    Text,
+)
+from .encoding import SniffResult, canonical_label, sniff_encoding
+from .entities import decode_entities
+from .errors import ErrorCode, ParseError, StrictParseError
+from .preprocessor import decode_bytes, preprocess
+from .serializer import inner_html, serialize
+from .tokenizer import Tokenizer, tokenize
+from .tokens import (
+    EOF,
+    Attribute,
+    Character,
+    Comment,
+    Doctype,
+    EndTag,
+    StartTag,
+    Token,
+)
+from .treebuilder import ParseResult, TreeBuilder, TreeEvent, parse, parse_fragment
+
+__all__ = [
+    "HTML_NAMESPACE",
+    "MATHML_NAMESPACE",
+    "SVG_NAMESPACE",
+    "Attribute",
+    "Character",
+    "Comment",
+    "CommentNode",
+    "Doctype",
+    "Document",
+    "DocumentFragment",
+    "DocumentType",
+    "EOF",
+    "Element",
+    "EndTag",
+    "ErrorCode",
+    "Node",
+    "ParseError",
+    "ParseResult",
+    "SniffResult",
+    "StartTag",
+    "StrictParseError",
+    "Text",
+    "Token",
+    "Tokenizer",
+    "TreeBuilder",
+    "TreeEvent",
+    "canonical_label",
+    "decode_bytes",
+    "decode_entities",
+    "sniff_encoding",
+    "inner_html",
+    "parse",
+    "parse_fragment",
+    "preprocess",
+    "serialize",
+    "tokenize",
+]

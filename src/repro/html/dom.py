@@ -1,0 +1,228 @@
+"""A minimal DOM for the tree-construction stage (HTML spec section 13.2.6).
+
+Only what the parser, the violation rules and the serializer need: a node
+tree with namespaces, ordered attributes, and traversal helpers.  The DOM is
+deliberately small — it is a measurement substrate, not a rendering engine.
+"""
+from __future__ import annotations
+
+from typing import Iterator
+
+HTML_NAMESPACE = "http://www.w3.org/1999/xhtml"
+SVG_NAMESPACE = "http://www.w3.org/2000/svg"
+MATHML_NAMESPACE = "http://www.w3.org/1998/Math/MathML"
+
+_NAMESPACE_SHORT = {
+    HTML_NAMESPACE: "html",
+    SVG_NAMESPACE: "svg",
+    MATHML_NAMESPACE: "math",
+}
+
+
+class Node:
+    """Base tree node."""
+
+    __slots__ = ("parent", "children")
+
+    def __init__(self) -> None:
+        self.parent: Node | None = None
+        self.children: list[Node] = []
+
+    # ------------------------------------------------------------- mutation
+
+    def append(self, child: "Node") -> "Node":
+        if child.parent is not None:
+            child.parent.remove(child)
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def insert_before(self, child: "Node", reference: "Node | None") -> "Node":
+        if reference is None:
+            return self.append(child)
+        if child.parent is not None:
+            child.parent.remove(child)
+        index = self.children.index(reference)
+        child.parent = self
+        self.children.insert(index, child)
+        return child
+
+    def remove(self, child: "Node") -> None:
+        self.children.remove(child)
+        child.parent = None
+
+    # ------------------------------------------------------------ traversal
+
+    def iter(self) -> Iterator["Node"]:
+        """Depth-first pre-order traversal including self."""
+        yield self
+        for child in list(self.children):
+            yield from child.iter()
+
+    def iter_elements(self) -> Iterator["Element"]:
+        for node in self.iter():
+            if isinstance(node, Element):
+                yield node
+
+    def find(self, tag: str, namespace: str | None = None) -> "Element | None":
+        """First descendant element named ``tag`` (excluding self)."""
+        for element in self.iter_elements():
+            if (
+                element is not self
+                and element.name == tag
+                and (namespace is None or element.namespace == namespace)
+            ):
+                return element
+        return None
+
+    def find_all(self, tag: str, namespace: str | None = None) -> list["Element"]:
+        """All descendant elements named ``tag`` (excluding self)."""
+        return [
+            element
+            for element in self.iter_elements()
+            if element is not self
+            and element.name == tag
+            and (namespace is None or element.namespace == namespace)
+        ]
+
+    def ancestors(self) -> Iterator["Node"]:
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def text_content(self) -> str:
+        parts = [node.data for node in self.iter() if isinstance(node, Text)]
+        return "".join(parts)
+
+
+class Document(Node):
+    __slots__ = ("doctype", "mode")
+
+    def __init__(self) -> None:
+        super().__init__()
+        from .quirks import QuirksMode  # local import avoids a cycle
+
+        self.doctype: DocumentType | None = None
+        #: document mode per spec 13.2.6.4.1 (no-quirks until determined)
+        self.mode = QuirksMode.NO_QUIRKS
+
+    @property
+    def quirks_mode(self) -> bool:
+        from .quirks import QuirksMode
+
+        return self.mode is QuirksMode.QUIRKS
+
+    @quirks_mode.setter
+    def quirks_mode(self, value: bool) -> None:
+        from .quirks import QuirksMode
+
+        self.mode = QuirksMode.QUIRKS if value else QuirksMode.NO_QUIRKS
+
+    @property
+    def document_element(self) -> "Element | None":
+        for child in self.children:
+            if isinstance(child, Element):
+                return child
+        return None
+
+    @property
+    def head(self) -> "Element | None":
+        root = self.document_element
+        if root is None:
+            return None
+        for child in root.children:
+            if isinstance(child, Element) and child.name == "head":
+                return child
+        return None
+
+    @property
+    def body(self) -> "Element | None":
+        root = self.document_element
+        if root is None:
+            return None
+        for child in root.children:
+            if isinstance(child, Element) and child.name in ("body", "frameset"):
+                return child
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Document children={len(self.children)}>"
+
+
+class DocumentFragment(Node):
+    __slots__ = ()
+
+
+class DocumentType(Node):
+    __slots__ = ("name", "public_id", "system_id")
+
+    def __init__(self, name: str, public_id: str = "", system_id: str = "") -> None:
+        super().__init__()
+        self.name = name
+        self.public_id = public_id
+        self.system_id = system_id
+
+
+class Element(Node):
+    __slots__ = ("name", "namespace", "attributes", "source_offset")
+
+    def __init__(
+        self,
+        name: str,
+        namespace: str = HTML_NAMESPACE,
+        attributes: dict[str, str] | None = None,
+        source_offset: int = -1,
+    ) -> None:
+        super().__init__()
+        self.name = name
+        self.namespace = namespace
+        self.attributes: dict[str, str] = dict(attributes or {})
+        #: offset of the ``<`` of the start tag in the source, -1 if implied
+        self.source_offset = source_offset
+
+    # -------------------------------------------------------------- helpers
+
+    def get(self, name: str, default: str | None = None) -> str | None:
+        return self.attributes.get(name, default)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.attributes
+
+    @property
+    def implied(self) -> bool:
+        """True when the parser inserted this element without a source tag."""
+        return self.source_offset < 0
+
+    @property
+    def namespace_short(self) -> str:
+        return _NAMESPACE_SHORT.get(self.namespace, self.namespace)
+
+    def is_html(self) -> bool:
+        return self.namespace == HTML_NAMESPACE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        prefix = "" if self.is_html() else f"{self.namespace_short} "
+        return f"<Element {prefix}{self.name} attrs={len(self.attributes)}>"
+
+
+class Text(Node):
+    __slots__ = ("data",)
+
+    def __init__(self, data: str = "") -> None:
+        super().__init__()
+        self.data = data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Text {self.data[:30]!r}>"
+
+
+class CommentNode(Node):
+    __slots__ = ("data",)
+
+    def __init__(self, data: str = "") -> None:
+        super().__init__()
+        self.data = data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Comment {self.data[:30]!r}>"

@@ -1,0 +1,54 @@
+"""Tree dumps in the html5lib-tests format.
+
+Used by the conformance tests and handy for debugging: each node on its
+own line, two-space indentation per depth, attributes sorted and printed
+on their own lines, foreign elements prefixed with their namespace.
+"""
+from __future__ import annotations
+
+from .dom import (
+    MATHML_NAMESPACE,
+    SVG_NAMESPACE,
+    CommentNode,
+    Document,
+    DocumentType,
+    Element,
+    Node,
+    Text,
+)
+
+_PREFIX = {SVG_NAMESPACE: "svg ", MATHML_NAMESPACE: "math "}
+
+
+def dump_tree(document: Document) -> str:
+    """Serialize a document in the html5lib tree-construction test format."""
+    lines: list[str] = []
+    for child in document.children:
+        _dump(child, 0, lines)
+    return "\n".join(lines)
+
+
+def _dump(node: Node, depth: int, lines: list[str]) -> None:
+    indent = "| " + "  " * depth
+    if isinstance(node, DocumentType):
+        name = node.name
+        if node.public_id or node.system_id:
+            lines.append(
+                f'{indent}<!DOCTYPE {name} "{node.public_id}" "{node.system_id}">'
+            )
+        else:
+            lines.append(f"{indent}<!DOCTYPE {name}>")
+        return
+    if isinstance(node, CommentNode):
+        lines.append(f"{indent}<!-- {node.data} -->")
+        return
+    if isinstance(node, Text):
+        lines.append(f'{indent}"{node.data}"')
+        return
+    if isinstance(node, Element):
+        prefix = _PREFIX.get(node.namespace, "")
+        lines.append(f"{indent}<{prefix}{node.name}>")
+        for name in sorted(node.attributes):
+            lines.append(f'{indent}  {name}="{node.attributes[name]}"')
+        for child in node.children:
+            _dump(child, depth + 1, lines)

@@ -1,0 +1,124 @@
+"""Encoding sniffing (HTML spec 13.2.3.2: the meta-charset prescan).
+
+The paper's framework deliberately does *not* guess encodings — "figuring
+out the exact encoding without knowing the context is impossible" — and
+filters to UTF-8-decodable documents instead.  This module implements what
+a browser's byte-stream decoder would do anyway (BOM detection plus the
+1024-byte meta prescan), so the pipeline can *report* declared encodings
+(Common Crawl's own statistics say >90% of pages are UTF-8) while the
+filter stays byte-exact.
+"""
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+PRESCAN_BYTES = 1024
+
+_BOMS = (
+    (b"\xef\xbb\xbf", "utf-8"),
+    (b"\xfe\xff", "utf-16-be"),
+    (b"\xff\xfe", "utf-16-le"),
+)
+
+_META_RE = re.compile(rb"<meta[\s/]", re.IGNORECASE)
+_COMMENT_RE = re.compile(rb"<!--.*?-->", re.DOTALL)
+_CHARSET_ATTR_RE = re.compile(
+    rb"charset\s*=\s*(\"([^\"]*)\"|'([^']*)'|([^\s;\"'>]+))",
+    re.IGNORECASE,
+)
+_HTTP_EQUIV_RE = re.compile(rb"http-equiv\s*=\s*[\"']?content-type", re.IGNORECASE)
+
+#: label → canonical name, per the Encoding Standard's most common labels
+_LABELS = {
+    "utf-8": "utf-8", "utf8": "utf-8", "unicode-1-1-utf-8": "utf-8",
+    "iso-8859-1": "windows-1252", "latin1": "windows-1252",
+    "iso8859-1": "windows-1252", "l1": "windows-1252",
+    "windows-1252": "windows-1252", "ascii": "windows-1252",
+    "us-ascii": "windows-1252", "iso-8859-15": "iso-8859-15",
+    "windows-1251": "windows-1251", "koi8-r": "koi8-r",
+    "shift_jis": "shift_jis", "shift-jis": "shift_jis", "sjis": "shift_jis",
+    "euc-jp": "euc-jp", "gb2312": "gbk", "gbk": "gbk", "gb18030": "gb18030",
+    "big5": "big5", "euc-kr": "euc-kr", "iso-8859-2": "iso-8859-2",
+    "windows-1250": "windows-1250", "windows-1254": "windows-1254",
+    "iso-8859-9": "windows-1254", "utf-16": "utf-16-le",
+    "utf-16le": "utf-16-le", "utf-16be": "utf-16-be",
+}
+
+
+def canonical_label(label: str) -> str | None:
+    """Resolve an encoding label the way the Encoding Standard would."""
+    return _LABELS.get(label.strip().lower())
+
+
+@dataclass(frozen=True, slots=True)
+class SniffResult:
+    """Outcome of encoding detection for one document."""
+
+    encoding: str | None   # canonical name, None when nothing was declared
+    source: str            # 'bom' | 'http' | 'meta' | 'none'
+
+
+def sniff_encoding(
+    data: bytes, *, http_content_type: str | None = None
+) -> SniffResult:
+    """Detect the declared encoding of ``data``.
+
+    Precedence per spec: BOM beats the HTTP ``Content-Type`` charset,
+    which beats an in-document ``<meta>`` declaration found by the
+    1024-byte prescan.
+    """
+    for bom, encoding in _BOMS:
+        if data.startswith(bom):
+            return SniffResult(encoding, "bom")
+    if http_content_type:
+        charset = _charset_from_content_type(http_content_type)
+        if charset:
+            canonical = canonical_label(charset)
+            if canonical:
+                return SniffResult(canonical, "http")
+    meta = _prescan(data[:PRESCAN_BYTES])
+    if meta:
+        return SniffResult(meta, "meta")
+    return SniffResult(None, "none")
+
+
+def _charset_from_content_type(content_type: str) -> str | None:
+    for part in content_type.split(";")[1:]:
+        name, _, value = part.partition("=")
+        if name.strip().lower() == "charset" and value:
+            return value.strip().strip("\"'")
+    return None
+
+
+def _prescan(head: bytes) -> str | None:
+    """Simplified spec prescan: find charset in meta tags, skip comments."""
+    head = _COMMENT_RE.sub(b"", head)
+    for match in _META_RE.finditer(head):
+        tag_end = head.find(b">", match.start())
+        tag = head[match.start() : tag_end if tag_end != -1 else len(head)]
+        charset_match = _CHARSET_ATTR_RE.search(tag)
+        if not charset_match:
+            continue
+        # For http-equiv metas the charset sits inside content="...";
+        # the regex finds it either way.  Plain charset= attributes on
+        # non-content-type http-equiv metas are still honoured, matching
+        # browser behaviour.
+        raw = (
+            charset_match.group(2)
+            or charset_match.group(3)
+            or charset_match.group(4)
+            or b""
+        )
+        try:
+            label = raw.decode("ascii")
+        except UnicodeDecodeError:
+            continue
+        canonical = canonical_label(label)
+        if canonical:
+            # Per spec, utf-16 meta declarations are read as utf-8 (the
+            # prescan itself proved the bytes are ASCII-compatible).
+            if canonical.startswith("utf-16"):
+                return "utf-8"
+            return canonical
+    return None

@@ -1,0 +1,208 @@
+"""Character-reference decoding (HTML spec sections 13.2.5.72 to 13.2.5.80).
+
+Implements the spec's character-reference state machine as a single function
+that the tokenizer calls when it encounters ``&``.  Named references come
+from the stdlib ``html.entities.html5`` table, which is the spec's own
+reference list; matching is longest-prefix, and references without a
+trailing semicolon are only honoured for legacy names (those present in the
+table without a semicolon), with the attribute-value special case applied.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from html.entities import html5 as _HTML5_ENTITIES
+
+from .errors import ErrorCode, ParseError
+
+#: Numeric-reference replacements for the C1 controls range (spec table).
+_NUMERIC_REPLACEMENTS = {
+    0x00: "�", 0x80: "€", 0x82: "‚", 0x83: "ƒ",
+    0x84: "„", 0x85: "…", 0x86: "†", 0x87: "‡",
+    0x88: "ˆ", 0x89: "‰", 0x8A: "Š", 0x8B: "‹",
+    0x8C: "Œ", 0x8E: "Ž", 0x91: "‘", 0x92: "’",
+    0x93: "“", 0x94: "”", 0x95: "•", 0x96: "–",
+    0x97: "—", 0x98: "˜", 0x99: "™", 0x9A: "š",
+    0x9B: "›", 0x9C: "œ", 0x9E: "ž", 0x9F: "Ÿ",
+}
+
+#: Longest entity name in the table (used to bound the lookahead).
+_MAX_ENTITY_LENGTH = max(len(name) for name in _HTML5_ENTITIES)
+
+#: Names grouped by first character for fast prefix search.
+_ENTITY_NAMES_BY_LENGTH = sorted(_HTML5_ENTITIES, key=len, reverse=True)
+
+
+@dataclass(slots=True)
+class CharRefResult:
+    """Outcome of attempting to consume a character reference.
+
+    ``text`` is the replacement text (or the raw consumed characters when no
+    reference matched), ``consumed`` the number of input characters eaten
+    *after* the ampersand, and ``errors`` any parse errors produced.
+    """
+
+    text: str
+    consumed: int
+    errors: list[ParseError]
+    matched: bool
+
+
+_ASCII_ALNUM = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+)
+_HEX_DIGITS = frozenset("0123456789abcdefABCDEF")
+_DIGITS = frozenset("0123456789")
+
+
+def consume_character_reference(
+    text: str, position: int, *, in_attribute: bool
+) -> CharRefResult:
+    """Consume a character reference starting just after ``&`` at ``position``.
+
+    ``position`` indexes the character *after* the ampersand.  Returns the
+    replacement text, how many characters were consumed, and parse errors.
+    When nothing matches, returns ``text="&"`` with zero consumed, letting
+    the caller treat the ampersand as data.
+    """
+    if position >= len(text):
+        return CharRefResult("&", 0, [], False)
+    char = text[position]
+    if char == "#":
+        return _consume_numeric(text, position)
+    if char in _ASCII_ALNUM:
+        return _consume_named(text, position, in_attribute=in_attribute)
+    return CharRefResult("&", 0, [], False)
+
+
+def _consume_numeric(text: str, position: int) -> CharRefResult:
+    # position points at '#'
+    errors: list[ParseError] = []
+    index = position + 1
+    hexadecimal = index < len(text) and text[index] in ("x", "X")
+    if hexadecimal:
+        index += 1
+        digit_set = _HEX_DIGITS
+        base = 16
+    else:
+        digit_set = _DIGITS
+        base = 10
+    start_digits = index
+    while index < len(text) and text[index] in digit_set:
+        index += 1
+    if index == start_digits:
+        errors.append(
+            ParseError(
+                ErrorCode.ABSENCE_OF_DIGITS_IN_NUMERIC_CHARACTER_REFERENCE, position
+            )
+        )
+        # Nothing consumed: the '&#' (and maybe 'x') are flushed as data.
+        return CharRefResult("&" + text[position:index], index - position, errors, False)
+    value = int(text[start_digits:index], base)
+    if index < len(text) and text[index] == ";":
+        index += 1
+    else:
+        errors.append(
+            ParseError(ErrorCode.MISSING_SEMICOLON_AFTER_CHARACTER_REFERENCE, index)
+        )
+    replacement, value_errors = _numeric_to_char(value, position)
+    errors.extend(value_errors)
+    return CharRefResult(replacement, index - position, errors, True)
+
+
+def _numeric_to_char(value: int, offset: int) -> tuple[str, list[ParseError]]:
+    errors: list[ParseError] = []
+    if value in _NUMERIC_REPLACEMENTS:
+        if value == 0x00:
+            errors.append(ParseError(ErrorCode.NULL_CHARACTER_REFERENCE, offset))
+        else:
+            errors.append(ParseError(ErrorCode.CONTROL_CHARACTER_REFERENCE, offset))
+        return _NUMERIC_REPLACEMENTS[value], errors
+    if value > 0x10FFFF:
+        errors.append(
+            ParseError(ErrorCode.CHARACTER_REFERENCE_OUTSIDE_UNICODE_RANGE, offset)
+        )
+        return "�", errors
+    if 0xD800 <= value <= 0xDFFF:
+        errors.append(ParseError(ErrorCode.SURROGATE_CHARACTER_REFERENCE, offset))
+        return "�", errors
+    if _is_noncharacter_code(value):
+        errors.append(
+            ParseError(ErrorCode.NONCHARACTER_CHARACTER_REFERENCE, offset)
+        )
+        return chr(value), errors
+    if value != 0x20 and (value < 0x20 or value == 0x7F) and value not in (0x09, 0x0A, 0x0C):
+        errors.append(ParseError(ErrorCode.CONTROL_CHARACTER_REFERENCE, offset))
+    return chr(value), errors
+
+
+def _is_noncharacter_code(code: int) -> bool:
+    if 0xFDD0 <= code <= 0xFDEF:
+        return True
+    return (code & 0xFFFE) == 0xFFFE
+
+
+def _consume_named(text: str, position: int, *, in_attribute: bool) -> CharRefResult:
+    # Gather the maximal alphanumeric run (plus one optional ';').
+    end = position
+    limit = min(len(text), position + _MAX_ENTITY_LENGTH)
+    while end < limit and text[end] in _ASCII_ALNUM:
+        end += 1
+    has_semicolon = end < len(text) and text[end] == ";"
+    candidate_with_semi = text[position:end] + ";" if has_semicolon else None
+
+    # Longest match wins.  Try the run with the semicolon first, then every
+    # prefix (the table contains legacy semicolon-less names like "amp").
+    if candidate_with_semi and candidate_with_semi in _HTML5_ENTITIES:
+        return CharRefResult(
+            _HTML5_ENTITIES[candidate_with_semi], end + 1 - position, [], True
+        )
+    for length in range(end - position, 0, -1):
+        name = text[position : position + length]
+        if (
+            position + length < len(text)
+            and text[position + length] == ";"
+            and name + ";" in _HTML5_ENTITIES
+        ):
+            return CharRefResult(_HTML5_ENTITIES[name + ";"], length + 1, [], True)
+        if name in _HTML5_ENTITIES:
+            # Legacy semicolon-less match.
+            next_index = position + length
+            next_char = text[next_index] if next_index < len(text) else ""
+            if in_attribute and (next_char == "=" or next_char in _ASCII_ALNUM):
+                # Historical-compat carve-out: leave as literal text.
+                return CharRefResult("&", 0, [], False)
+            errors = [
+                ParseError(
+                    ErrorCode.MISSING_SEMICOLON_AFTER_CHARACTER_REFERENCE, next_index
+                )
+            ]
+            return CharRefResult(_HTML5_ENTITIES[name], length, errors, True)
+
+    errors = []
+    if has_semicolon:
+        errors.append(
+            ParseError(ErrorCode.UNKNOWN_NAMED_CHARACTER_REFERENCE, position)
+        )
+    return CharRefResult("&", 0, errors, False)
+
+
+def decode_entities(text: str, *, in_attribute: bool = False) -> str:
+    """Decode every character reference in ``text`` (convenience helper)."""
+    if "&" not in text:
+        return text
+    out: list[str] = []
+    index = 0
+    while True:
+        amp = text.find("&", index)
+        if amp == -1:
+            out.append(text[index:])
+            break
+        out.append(text[index:amp])
+        result = consume_character_reference(text, amp + 1, in_attribute=in_attribute)
+        if result.matched:
+            out.append(result.text)
+            index = amp + 1 + result.consumed
+        else:
+            out.append("&")
+            index = amp + 1
+    return "".join(out)

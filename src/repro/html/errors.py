@@ -1,0 +1,160 @@
+"""Parse-error value types for the WHATWG HTML parser.
+
+The HTML Living Standard (section 13.2) names every condition under which a
+conforming parser *may* report a parse error yet must continue parsing.  The
+paper's "Parsing Errors" violation category is defined exactly in terms of
+these named error states (e.g. ``unexpected-solidus-in-tag`` for FB1), so the
+tokenizer and tree builder in this package record each one with its spec name
+and the source offset at which it occurred.
+"""
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ErrorCode(enum.Enum):
+    """Spec-named parse errors (HTML Living Standard section 13.2.2).
+
+    Only the codes that this parser can actually emit are listed; the value
+    is the name used by the specification and by validator.nu.
+    """
+
+    # Tokenizer: tag states
+    UNEXPECTED_SOLIDUS_IN_TAG = "unexpected-solidus-in-tag"
+    MISSING_WHITESPACE_BETWEEN_ATTRIBUTES = "missing-whitespace-between-attributes"
+    DUPLICATE_ATTRIBUTE = "duplicate-attribute"
+    UNEXPECTED_CHARACTER_IN_ATTRIBUTE_NAME = "unexpected-character-in-attribute-name"
+    UNEXPECTED_EQUALS_SIGN_BEFORE_ATTRIBUTE_NAME = (
+        "unexpected-equals-sign-before-attribute-name"
+    )
+    UNEXPECTED_CHARACTER_IN_UNQUOTED_ATTRIBUTE_VALUE = (
+        "unexpected-character-in-unquoted-attribute-value"
+    )
+    MISSING_ATTRIBUTE_VALUE = "missing-attribute-value"
+    UNEXPECTED_NULL_CHARACTER = "unexpected-null-character"
+    UNEXPECTED_QUESTION_MARK_INSTEAD_OF_TAG_NAME = (
+        "unexpected-question-mark-instead-of-tag-name"
+    )
+    INVALID_FIRST_CHARACTER_OF_TAG_NAME = "invalid-first-character-of-tag-name"
+    MISSING_END_TAG_NAME = "missing-end-tag-name"
+    EOF_BEFORE_TAG_NAME = "eof-before-tag-name"
+    EOF_IN_TAG = "eof-in-tag"
+    END_TAG_WITH_ATTRIBUTES = "end-tag-with-attributes"
+    END_TAG_WITH_TRAILING_SOLIDUS = "end-tag-with-trailing-solidus"
+
+    # Tokenizer: comment states
+    ABRUPT_CLOSING_OF_EMPTY_COMMENT = "abrupt-closing-of-empty-comment"
+    NESTED_COMMENT = "nested-comment"
+    INCORRECTLY_CLOSED_COMMENT = "incorrectly-closed-comment"
+    INCORRECTLY_OPENED_COMMENT = "incorrectly-opened-comment"
+    EOF_IN_COMMENT = "eof-in-comment"
+
+    # Tokenizer: DOCTYPE states
+    EOF_IN_DOCTYPE = "eof-in-doctype"
+    MISSING_WHITESPACE_BEFORE_DOCTYPE_NAME = "missing-whitespace-before-doctype-name"
+    MISSING_DOCTYPE_NAME = "missing-doctype-name"
+    INVALID_CHARACTER_SEQUENCE_AFTER_DOCTYPE_NAME = (
+        "invalid-character-sequence-after-doctype-name"
+    )
+    MISSING_WHITESPACE_AFTER_DOCTYPE_PUBLIC_KEYWORD = (
+        "missing-whitespace-after-doctype-public-keyword"
+    )
+    MISSING_WHITESPACE_AFTER_DOCTYPE_SYSTEM_KEYWORD = (
+        "missing-whitespace-after-doctype-system-keyword"
+    )
+    MISSING_DOCTYPE_PUBLIC_IDENTIFIER = "missing-doctype-public-identifier"
+    MISSING_DOCTYPE_SYSTEM_IDENTIFIER = "missing-doctype-system-identifier"
+    MISSING_QUOTE_BEFORE_DOCTYPE_PUBLIC_IDENTIFIER = (
+        "missing-quote-before-doctype-public-identifier"
+    )
+    MISSING_QUOTE_BEFORE_DOCTYPE_SYSTEM_IDENTIFIER = (
+        "missing-quote-before-doctype-system-identifier"
+    )
+    ABRUPT_DOCTYPE_PUBLIC_IDENTIFIER = "abrupt-doctype-public-identifier"
+    ABRUPT_DOCTYPE_SYSTEM_IDENTIFIER = "abrupt-doctype-system-identifier"
+    MISSING_WHITESPACE_BETWEEN_DOCTYPE_PUBLIC_AND_SYSTEM_IDENTIFIERS = (
+        "missing-whitespace-between-doctype-public-and-system-identifiers"
+    )
+    UNEXPECTED_CHARACTER_AFTER_DOCTYPE_SYSTEM_IDENTIFIER = (
+        "unexpected-character-after-doctype-system-identifier"
+    )
+
+    # Tokenizer: script data / CDATA
+    EOF_IN_SCRIPT_HTML_COMMENT_LIKE_TEXT = "eof-in-script-html-comment-like-text"
+    EOF_IN_CDATA = "eof-in-cdata"
+    CDATA_IN_HTML_CONTENT = "cdata-in-html-content"
+
+    # Tokenizer: character references
+    MISSING_SEMICOLON_AFTER_CHARACTER_REFERENCE = (
+        "missing-semicolon-after-character-reference"
+    )
+    UNKNOWN_NAMED_CHARACTER_REFERENCE = "unknown-named-character-reference"
+    ABSENCE_OF_DIGITS_IN_NUMERIC_CHARACTER_REFERENCE = (
+        "absence-of-digits-in-numeric-character-reference"
+    )
+    NULL_CHARACTER_REFERENCE = "null-character-reference"
+    CHARACTER_REFERENCE_OUTSIDE_UNICODE_RANGE = (
+        "character-reference-outside-unicode-range"
+    )
+    SURROGATE_CHARACTER_REFERENCE = "surrogate-character-reference"
+    NONCHARACTER_CHARACTER_REFERENCE = "noncharacter-character-reference"
+    CONTROL_CHARACTER_REFERENCE = "control-character-reference"
+
+    # Input stream preprocessing
+    CONTROL_CHARACTER_IN_INPUT_STREAM = "control-character-in-input-stream"
+    NONCHARACTER_IN_INPUT_STREAM = "noncharacter-in-input-stream"
+    SURROGATE_IN_INPUT_STREAM = "surrogate-in-input-stream"
+
+    # Tree construction (the spec only says "parse error" here; these names
+    # follow html5lib conventions so each tree-builder error is identifiable).
+    UNEXPECTED_TOKEN_IN_INITIAL_MODE = "expected-doctype-but-got-something-else"
+    NON_VOID_ELEMENT_START_TAG_WITH_TRAILING_SOLIDUS = (
+        "non-void-html-element-start-tag-with-trailing-solidus"
+    )
+    UNEXPECTED_START_TAG = "unexpected-start-tag"
+    UNEXPECTED_END_TAG = "unexpected-end-tag"
+    UNEXPECTED_DOCTYPE = "unexpected-doctype"
+    EOF_WITH_UNCLOSED_ELEMENTS = "expected-closing-tag-but-got-eof"
+    UNEXPECTED_CELL_OR_ROW = "unexpected-cell-or-row"
+    FOSTER_PARENTED_CONTENT = "foster-parented-content"
+    UNEXPECTED_FORM_IN_FORM = "unexpected-form-in-form"
+    SECOND_BODY_START_TAG = "unexpected-start-tag-body"
+    SECOND_HEAD_START_TAG = "unexpected-start-tag-head"
+    UNEXPECTED_HTML_ELEMENT_IN_FOREIGN_CONTENT = (
+        "unexpected-html-element-in-foreign-content"
+    )
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class ParseError:
+    """A single parse error observed while parsing a document.
+
+    ``offset`` is the index into the (preprocessed) input string at which the
+    error was detected; ``detail`` optionally carries extra context such as
+    the offending attribute name for ``duplicate-attribute``.
+    """
+
+    code: ErrorCode
+    offset: int
+    detail: str = ""
+
+    def __str__(self) -> str:
+        if self.detail:
+            return f"{self.code.value} at {self.offset} ({self.detail})"
+        return f"{self.code.value} at {self.offset}"
+
+
+class StrictParseError(Exception):
+    """Raised by the strict parsing mode when a deprecated violation occurs.
+
+    This is the behaviour the paper's roadmap (section 5.3.2) proposes: the
+    parser stops and returns an error instead of a fixed-up page.
+    """
+
+    def __init__(self, error: ParseError) -> None:
+        super().__init__(str(error))
+        self.error = error

@@ -1,0 +1,82 @@
+"""Byte-stream decoding and input-stream preprocessing (HTML spec 13.2.3).
+
+Two responsibilities, mirroring the first two boxes of the parsing pipeline
+described in the paper's section 2.1:
+
+* the *Byte Stream Decoder* turns raw bytes into characters.  Following the
+  paper's methodology (section 4.1), only documents that decode as UTF-8 are
+  analysed; everything else is filtered out rather than guessed at.
+* the *Input Stream Preprocessor* normalizes newlines: every CRLF pair and
+  every lone CR becomes a single LF, because CR is not allowed to reach the
+  tokenizer.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import ErrorCode, ParseError
+
+_BOM = "﻿"
+
+#: C0/C1 controls that are parse errors when they appear in the input stream
+#: (spec 13.2.3.5).  TAB, LF, FF, CR and NUL are handled separately.
+_CONTROL_CHARS = frozenset(
+    chr(c) for c in (*range(0x01, 0x09), 0x0B, *range(0x0E, 0x20), 0x7F)
+)
+
+
+def decode_bytes(data: bytes) -> str | None:
+    """Decode ``data`` as UTF-8, honouring a BOM; return None if not UTF-8.
+
+    The paper's framework "filters out documents that are not UTF-8
+    encodable" — a ``None`` return is that filter signal.
+    """
+    if data.startswith(b"\xef\xbb\xbf"):
+        data = data[3:]
+    try:
+        return data.decode("utf-8")
+    except UnicodeDecodeError:
+        return None
+
+
+@dataclass(slots=True)
+class PreprocessResult:
+    text: str
+    errors: list[ParseError]
+
+
+def preprocess(text: str, *, collect_errors: bool = False) -> PreprocessResult:
+    """Normalize an input stream per spec 13.2.3.5.
+
+    Replaces CRLF and CR with LF and strips a leading BOM.  When
+    ``collect_errors`` is true, also records control-character /
+    surrogate-in-input-stream parse errors (these are conformance errors
+    only; the characters themselves are passed through unchanged, as the
+    spec requires).
+    """
+    if text.startswith(_BOM):
+        text = text[1:]
+    if "\r" in text:
+        text = text.replace("\r\n", "\n").replace("\r", "\n")
+
+    errors: list[ParseError] = []
+    if collect_errors:
+        for index, char in enumerate(text):
+            if char in _CONTROL_CHARS:
+                errors.append(
+                    ParseError(ErrorCode.CONTROL_CHARACTER_IN_INPUT_STREAM, index)
+                )
+            elif "\ud800" <= char <= "\udfff":
+                errors.append(ParseError(ErrorCode.SURROGATE_IN_INPUT_STREAM, index))
+            elif _is_noncharacter(char):
+                errors.append(
+                    ParseError(ErrorCode.NONCHARACTER_IN_INPUT_STREAM, index)
+                )
+    return PreprocessResult(text=text, errors=errors)
+
+
+def _is_noncharacter(char: str) -> bool:
+    code = ord(char)
+    if 0xFDD0 <= code <= 0xFDEF:
+        return True
+    return (code & 0xFFFE) == 0xFFFE and code <= 0x10FFFF

@@ -1,0 +1,137 @@
+"""Quirks-mode determination from the DOCTYPE (HTML spec 13.2.6.4.1).
+
+The only tree-construction behaviour that depends on quirks mode is
+whether ``<table>`` closes an open ``<p>`` element, but real-world
+longitudinal data is full of legacy doctypes, so the detection is
+implemented in full: the spec's public-identifier prefix lists for quirks
+and limited-quirks modes.
+"""
+from __future__ import annotations
+
+import enum
+
+from .tokens import Doctype
+
+
+class QuirksMode(enum.Enum):
+    NO_QUIRKS = "no-quirks"
+    LIMITED_QUIRKS = "limited-quirks"
+    QUIRKS = "quirks"
+
+
+#: Public-ID prefixes forcing full quirks mode (spec list, verbatim).
+_QUIRKS_PUBLIC_PREFIXES = (
+    "+//silmaril//dtd html pro v0r11 19970101//",
+    "-//as//dtd html 3.0 aswedit + extensions//",
+    "-//advasoft ltd//dtd html 3.0 aswedit + extensions//",
+    "-//ietf//dtd html 2.0 level 1//",
+    "-//ietf//dtd html 2.0 level 2//",
+    "-//ietf//dtd html 2.0 strict level 1//",
+    "-//ietf//dtd html 2.0 strict level 2//",
+    "-//ietf//dtd html 2.0 strict//",
+    "-//ietf//dtd html 2.0//",
+    "-//ietf//dtd html 2.1e//",
+    "-//ietf//dtd html 3.0//",
+    "-//ietf//dtd html 3.2 final//",
+    "-//ietf//dtd html 3.2//",
+    "-//ietf//dtd html 3//",
+    "-//ietf//dtd html level 0//",
+    "-//ietf//dtd html level 1//",
+    "-//ietf//dtd html level 2//",
+    "-//ietf//dtd html level 3//",
+    "-//ietf//dtd html strict level 0//",
+    "-//ietf//dtd html strict level 1//",
+    "-//ietf//dtd html strict level 2//",
+    "-//ietf//dtd html strict level 3//",
+    "-//ietf//dtd html strict//",
+    "-//ietf//dtd html//",
+    "-//metrius//dtd metrius presentational//",
+    "-//microsoft//dtd internet explorer 2.0 html strict//",
+    "-//microsoft//dtd internet explorer 2.0 html//",
+    "-//microsoft//dtd internet explorer 2.0 tables//",
+    "-//microsoft//dtd internet explorer 3.0 html strict//",
+    "-//microsoft//dtd internet explorer 3.0 html//",
+    "-//microsoft//dtd internet explorer 3.0 tables//",
+    "-//netscape comm. corp.//dtd html//",
+    "-//netscape comm. corp.//dtd strict html//",
+    "-//o'reilly and associates//dtd html 2.0//",
+    "-//o'reilly and associates//dtd html extended 1.0//",
+    "-//o'reilly and associates//dtd html extended relaxed 1.0//",
+    "-//sq//dtd html 2.0 hotmetal + extensions//",
+    "-//softquad software//dtd hotmetal pro 6.0::19990601::extensions to html 4.0//",
+    "-//softquad//dtd hotmetal pro 4.0::19971010::extensions to html 4.0//",
+    "-//spyglass//dtd html 2.0 extended//",
+    "-//sun microsystems corp.//dtd hotjava html//",
+    "-//sun microsystems corp.//dtd hotjava strict html//",
+    "-//w3c//dtd html 3 1995-03-24//",
+    "-//w3c//dtd html 3.2 draft//",
+    "-//w3c//dtd html 3.2 final//",
+    "-//w3c//dtd html 3.2//",
+    "-//w3c//dtd html 3.2s draft//",
+    "-//w3c//dtd html 4.0 frameset//",
+    "-//w3c//dtd html 4.0 transitional//",
+    "-//w3c//dtd html experimental 19960712//",
+    "-//w3c//dtd html experimental 970421//",
+    "-//w3c//dtd w3 html//",
+    "-//w3o//dtd w3 html 3.0//",
+    "-//webtechs//dtd mozilla html 2.0//",
+    "-//webtechs//dtd mozilla html//",
+)
+
+_QUIRKS_PUBLIC_EXACT = (
+    "-//w3o//dtd w3 html strict 3.0//en//",
+    "-/w3c/dtd html 4.0 transitional/en",
+    "html",
+)
+
+_QUIRKS_SYSTEM_EXACT = (
+    "http://www.ibm.com/data/dtd/v11/ibmxhtml1-transitional.dtd",
+)
+
+#: prefixes that force quirks only when NO system identifier is present
+_QUIRKS_PUBLIC_PREFIXES_NO_SYSTEM = (
+    "-//w3c//dtd html 4.01 frameset//",
+    "-//w3c//dtd html 4.01 transitional//",
+)
+
+_LIMITED_PUBLIC_PREFIXES = (
+    "-//w3c//dtd xhtml 1.0 frameset//",
+    "-//w3c//dtd xhtml 1.0 transitional//",
+)
+
+#: prefixes that give limited quirks only when a system id IS present
+_LIMITED_PUBLIC_PREFIXES_WITH_SYSTEM = (
+    "-//w3c//dtd html 4.01 frameset//",
+    "-//w3c//dtd html 4.01 transitional//",
+)
+
+
+def quirks_mode_for(token: Doctype | None) -> QuirksMode:
+    """Determine the document mode from a DOCTYPE token (None = missing)."""
+    if token is None or token.force_quirks or token.name != "html":
+        return QuirksMode.QUIRKS
+    public = (token.public_id or "").lower()
+    system = (token.system_id or "").lower()
+    has_system = token.system_id is not None
+
+    if public in _QUIRKS_PUBLIC_EXACT:
+        return QuirksMode.QUIRKS
+    if system in _QUIRKS_SYSTEM_EXACT:
+        return QuirksMode.QUIRKS
+    if any(public.startswith(prefix) for prefix in _QUIRKS_PUBLIC_PREFIXES):
+        return QuirksMode.QUIRKS
+    if not has_system and any(
+        public.startswith(prefix)
+        for prefix in _QUIRKS_PUBLIC_PREFIXES_NO_SYSTEM
+    ):
+        return QuirksMode.QUIRKS
+
+    if any(public.startswith(prefix) for prefix in _LIMITED_PUBLIC_PREFIXES):
+        return QuirksMode.LIMITED_QUIRKS
+    if has_system and any(
+        public.startswith(prefix)
+        for prefix in _LIMITED_PUBLIC_PREFIXES_WITH_SYSTEM
+    ):
+        return QuirksMode.LIMITED_QUIRKS
+
+    return QuirksMode.NO_QUIRKS

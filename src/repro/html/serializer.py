@@ -1,0 +1,103 @@
+"""HTML serialization (HTML spec section 13.3).
+
+Serializing a parsed DOM back to markup is the core of the paper's proposed
+automatic repair for FB1/FB2 (section 4.4): "repairing these issues could be
+automated by serializing the entire document with the current HTML parser
+and deserializing it again.  The syntax would be fixed, but the semantics
+would still be broken."  The auto-fixer in :mod:`repro.core.autofix` uses
+this module for exactly that round-trip.
+"""
+from __future__ import annotations
+
+from .dom import (
+    CommentNode,
+    Document,
+    DocumentFragment,
+    DocumentType,
+    Element,
+    Node,
+    Text,
+)
+
+#: Void elements never get an end tag (spec 13.1.2).
+VOID_ELEMENTS = frozenset(
+    {
+        "area", "base", "basefont", "bgsound", "br", "col", "embed", "frame",
+        "hr", "img", "input", "keygen", "link", "meta", "param", "source",
+        "track", "wbr",
+    }
+)
+
+#: Elements whose text children are serialized raw (no escaping).
+RAW_TEXT_ELEMENTS = frozenset(
+    {"style", "script", "xmp", "iframe", "noembed", "noframes", "plaintext"}
+)
+
+
+def _escape_text(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("\xa0", "&nbsp;")
+        .replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _escape_attribute(value: str) -> str:
+    return (
+        value.replace("&", "&amp;").replace("\xa0", "&nbsp;").replace('"', "&quot;")
+    )
+
+
+def serialize(node: Node) -> str:
+    """Serialize a node tree to HTML per the spec's serialization algorithm."""
+    parts: list[str] = []
+    _serialize_into(node, parts)
+    return "".join(parts)
+
+
+def _serialize_into(node: Node, parts: list[str]) -> None:
+    if isinstance(node, (Document, DocumentFragment)):
+        for child in node.children:
+            _serialize_node(child, parts)
+    else:
+        _serialize_node(node, parts)
+
+
+def _serialize_node(node: Node, parts: list[str]) -> None:
+    if isinstance(node, DocumentType):
+        parts.append(f"<!DOCTYPE {node.name}>")
+    elif isinstance(node, CommentNode):
+        parts.append(f"<!--{node.data}-->")
+    elif isinstance(node, Text):
+        parent = node.parent
+        if isinstance(parent, Element) and parent.name in RAW_TEXT_ELEMENTS:
+            parts.append(node.data)
+        else:
+            parts.append(_escape_text(node.data))
+    elif isinstance(node, Element):
+        _serialize_element(node, parts)
+    elif isinstance(node, (Document, DocumentFragment)):
+        for child in node.children:
+            _serialize_node(child, parts)
+
+
+def _serialize_element(element: Element, parts: list[str]) -> None:
+    parts.append(f"<{element.name}")
+    for name, value in element.attributes.items():
+        if value == "":
+            parts.append(f" {name}=\"\"")
+        else:
+            parts.append(f' {name}="{_escape_attribute(value)}"')
+    parts.append(">")
+    if element.is_html() and element.name in VOID_ELEMENTS:
+        return
+    for child in element.children:
+        _serialize_node(child, parts)
+    parts.append(f"</{element.name}>")
+
+
+def inner_html(node: Node) -> str:
+    """Serialize only the children of ``node`` (the innerHTML getter)."""
+    parts: list[str] = []
+    for child in node.children:
+        _serialize_node(child, parts)
+    return "".join(parts)

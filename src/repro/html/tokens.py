@@ -1,0 +1,100 @@
+"""Token value types emitted by the HTML tokenizer (HTML spec section 13.2.5).
+
+The tokenizer produces a flat stream of these tokens; the tree builder
+consumes them.  Violation rules may also inspect the raw token stream (for
+example DE3 checks attribute values on :class:`StartTag` tokens directly).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class Attribute:
+    """One attribute on a start tag.
+
+    ``duplicate`` is set when the attribute's name collided with an earlier
+    attribute on the same tag (a ``duplicate-attribute`` parse error); per
+    spec the duplicate is dropped from the element, but we keep it on the
+    token so that rules such as DM3 can inspect what was discarded.
+    """
+
+    name: str
+    value: str = ""
+    offset: int = 0
+    duplicate: bool = False
+    #: True when the whitespace before this attribute was a '/' that the
+    #: tokenizer treated as a separator (unexpected-solidus-in-tag, FB1).
+    preceded_by_solidus: bool = False
+    #: True when this attribute directly followed a quoted value with no
+    #: whitespace (missing-whitespace-between-attributes, FB2).
+    missing_preceding_space: bool = False
+
+
+@dataclass(slots=True)
+class Token:
+    """Base class for all tokens."""
+
+    offset: int = 0
+
+
+@dataclass(slots=True)
+class Doctype(Token):
+    name: str = ""
+    public_id: str | None = None
+    system_id: str | None = None
+    force_quirks: bool = False
+
+
+@dataclass(slots=True)
+class StartTag(Token):
+    name: str = ""
+    attributes: list[Attribute] = field(default_factory=list)
+    self_closing: bool = False
+    #: set by the tree builder when the self-closing flag was not acknowledged
+    self_closing_acknowledged: bool = False
+    #: source offset one past the closing '>' (0 when synthesized)
+    end: int = 0
+
+    def attr(self, name: str) -> str | None:
+        """Return the value of the first (spec-visible) attribute ``name``."""
+        for attribute in self.attributes:
+            if attribute.name == name and not attribute.duplicate:
+                return attribute.value
+        return None
+
+    def has_attr(self, name: str) -> bool:
+        return self.attr(name) is not None
+
+    def visible_attributes(self) -> list[Attribute]:
+        """Attributes the DOM will keep (duplicates removed, per spec)."""
+        return [a for a in self.attributes if not a.duplicate]
+
+
+@dataclass(slots=True)
+class EndTag(Token):
+    name: str = ""
+    attributes: list[Attribute] = field(default_factory=list)
+    self_closing: bool = False
+    #: source offset one past the closing '>' (0 when synthesized)
+    end: int = 0
+
+
+@dataclass(slots=True)
+class Comment(Token):
+    data: str = ""
+
+
+@dataclass(slots=True)
+class Character(Token):
+    """A run of character data (the spec emits one char at a time; we batch)."""
+
+    data: str = ""
+
+    def is_whitespace(self) -> bool:
+        return not self.data.strip("\t\n\f\r ")
+
+
+@dataclass(slots=True)
+class EOF(Token):
+    pass

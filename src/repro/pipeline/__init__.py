@@ -1,0 +1,28 @@
+"""`repro.pipeline` — the Figure 6 crawling framework.
+
+Stage 1 (:mod:`metadata`) queries the CDX index, stage 2 (:mod:`crawler`)
+fetches WARC records, stage 3 (:mod:`checker_stage`) filters and checks,
+stage 4 (:mod:`storage`) persists to SQLite.  :class:`StudyRunner`
+orchestrates the whole longitudinal study.
+"""
+from .checker_stage import CheckedPage, check_page
+from .crawler import CrawlStats, FetchedPage, fetch_pages
+from .metadata import DomainMetadata, collect_metadata
+from .parallel import ParallelRunStats, ParallelStudyRunner
+from .runner import RunStats, StudyRunner
+from .storage import Storage
+
+__all__ = [
+    "CheckedPage",
+    "CrawlStats",
+    "DomainMetadata",
+    "FetchedPage",
+    "ParallelRunStats",
+    "ParallelStudyRunner",
+    "RunStats",
+    "Storage",
+    "StudyRunner",
+    "check_page",
+    "collect_metadata",
+    "fetch_pages",
+]

@@ -1,0 +1,73 @@
+"""Stage 2 of Figure 6: the crawler fetches individual HTML documents.
+
+Takes CDX metadata and range-reads the referenced WARC records; failed or
+malformed records are skipped but counted, mirroring a real crawl where a
+fraction of fetches fail.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..commoncrawl import CommonCrawlClient
+from ..warc import WARCFormatError
+from .metadata import DomainMetadata
+
+
+@dataclass(slots=True)
+class FetchedPage:
+    """One fetched document, still undecoded bytes."""
+
+    url: str
+    payload: bytes
+    content_type: str
+
+
+@dataclass(slots=True)
+class CrawlStats:
+    fetched: int = 0
+    failed: int = 0
+    retried: int = 0
+    errors: list[str] = field(default_factory=list)
+
+
+def fetch_pages(
+    client: CommonCrawlClient,
+    metadata: DomainMetadata,
+    *,
+    stats: CrawlStats | None = None,
+    retries: int = 0,
+) -> Iterator[FetchedPage]:
+    """Fetch every capture in ``metadata``, skipping broken records.
+
+    ``retries`` re-attempts transient fetch errors (the real pipeline
+    talks to S3, where sporadic failures are routine); a capture that
+    still fails after the retry budget is counted and skipped — one
+    broken record never aborts the domain.
+    """
+    stats = stats if stats is not None else CrawlStats()
+    for entry in metadata.entries:
+        record = None
+        last_error: Exception | None = None
+        for attempt in range(retries + 1):
+            try:
+                record = client.fetch(entry)
+                break
+            except (OSError, WARCFormatError) as exc:
+                last_error = exc
+                if attempt < retries:
+                    stats.retried += 1
+        if record is None:
+            stats.failed += 1
+            stats.errors.append(f"{entry.url}: {last_error}")
+            continue
+        response = record.http_response
+        if response is None or response.status_code != 200:
+            stats.failed += 1
+            continue
+        stats.fetched += 1
+        yield FetchedPage(
+            url=entry.url,
+            payload=response.body,
+            content_type=response.content_type,
+        )

@@ -1,0 +1,38 @@
+"""Stage 1 of Figure 6: collect Common Crawl metadata per domain.
+
+For each study domain, query the snapshot's CDX index for up to
+``max_pages`` HTML captures ("For each domain, the framework collects meta
+information from up to 100 pages and hands them to the crawler").
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..commoncrawl import CommonCrawlClient
+from ..warc import CDXEntry
+
+
+@dataclass(slots=True)
+class DomainMetadata:
+    """CDX captures found for one domain in one snapshot."""
+
+    domain: str
+    snapshot_id: str
+    entries: list[CDXEntry]
+
+    @property
+    def found(self) -> bool:
+        return bool(self.entries)
+
+
+def collect_metadata(
+    client: CommonCrawlClient,
+    snapshot_id: str,
+    domain: str,
+    *,
+    max_pages: int = 100,
+    mime: str = "text/html",
+) -> DomainMetadata:
+    """Query the index for up to ``max_pages`` HTML captures of ``domain``."""
+    entries = list(client.query(snapshot_id, domain, mime=mime, limit=max_pages))
+    return DomainMetadata(domain=domain, snapshot_id=snapshot_id, entries=entries)

@@ -1,0 +1,207 @@
+"""Multiprocess study execution.
+
+The measurement is embarrassingly parallel across domains (the paper ran
+"nearly a thousand pages per minute from one IP"; locally the parser is
+the bottleneck).  This module fans domains out to worker processes — each
+worker holds its own archive client and checker — and streams compact,
+picklable results back to the parent, which owns the single SQLite writer.
+
+Results are bit-identical to the sequential runner regardless of worker
+count: page checking is a pure function and writes happen in domain order.
+"""
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..commoncrawl import CommonCrawlClient
+from ..core import Checker
+from .checker_stage import check_page
+from .crawler import CrawlStats, fetch_pages
+from .metadata import collect_metadata
+from .storage import Storage
+
+# Per-process globals, set up once by the pool initializer.
+_client: CommonCrawlClient | None = None
+_checker: Checker | None = None
+
+
+def _init_worker(archive_root: str) -> None:
+    global _client, _checker
+    _client = CommonCrawlClient(archive_root)
+    _checker = Checker()
+
+
+@dataclass(slots=True)
+class PageResult:
+    """Picklable per-page outcome shipped from worker to parent."""
+
+    url: str
+    utf8: bool
+    checked: bool
+    findings: dict[str, int] = field(default_factory=dict)
+    mitigation: tuple[int, int, int, int] | None = None
+    features: tuple[int, int] | None = None
+    declared_encoding: str = ""
+
+
+@dataclass(slots=True)
+class DomainResult:
+    """Picklable per-domain outcome."""
+
+    domain: str
+    snapshot_id: str
+    found: bool
+    pages: list[PageResult] = field(default_factory=list)
+    fetch_failures: int = 0
+
+    @property
+    def analyzed_pages(self) -> int:
+        return sum(1 for page in self.pages if page.checked)
+
+
+def process_domain(snapshot_id: str, domain: str, max_pages: int) -> DomainResult:
+    """Worker task: run stages 1-3 for one domain, return compact results."""
+    assert _client is not None and _checker is not None
+    metadata = collect_metadata(_client, snapshot_id, domain, max_pages=max_pages)
+    result = DomainResult(domain=domain, snapshot_id=snapshot_id,
+                          found=metadata.found)
+    if not metadata.found:
+        return result
+    crawl_stats = CrawlStats()
+    for page in fetch_pages(_client, metadata, stats=crawl_stats):
+        checked = check_page(page, _checker)
+        page_result = PageResult(
+            url=page.url, utf8=checked.utf8,
+            checked=checked.report is not None,
+            declared_encoding=checked.declared_encoding,
+        )
+        if checked.report is not None and checked.report.counts:
+            page_result.findings = dict(checked.report.counts)
+        if checked.mitigation is not None:
+            mitigation = checked.mitigation
+            if (
+                mitigation.script_in_attr
+                or mitigation.urls_with_newline
+                or mitigation.urls_with_newline_and_lt
+            ):
+                page_result.mitigation = (
+                    len(mitigation.script_in_attr),
+                    sum(1 for hit in mitigation.script_in_attr
+                        if hit.is_nonced_script),
+                    mitigation.urls_with_newline,
+                    mitigation.urls_with_newline_and_lt,
+                )
+        if checked.features is not None and (
+            checked.features.uses_math or checked.features.uses_svg
+        ):
+            page_result.features = (
+                checked.features.math_elements, checked.features.svg_elements
+            )
+        result.pages.append(page_result)
+    result.fetch_failures = crawl_stats.failed
+    return result
+
+
+@dataclass(slots=True)
+class ParallelRunStats:
+    snapshots: int = 0
+    domains_processed: int = 0
+    pages_checked: int = 0
+    pages_filtered_non_utf8: int = 0
+    fetch_failures: int = 0
+
+
+class ParallelStudyRunner:
+    """Run the study with a process pool; same results as StudyRunner."""
+
+    def __init__(
+        self,
+        archive_root: str | Path,
+        storage: Storage,
+        *,
+        max_pages: int = 100,
+        workers: int = 2,
+    ) -> None:
+        self.archive_root = str(archive_root)
+        self.storage = storage
+        self.max_pages = max_pages
+        self.workers = workers
+
+    def run(self, domains: list[tuple[str, float]]) -> ParallelRunStats:
+        stats = ParallelRunStats()
+        catalog_client = CommonCrawlClient(self.archive_root)
+        domain_ids = {
+            name: self.storage.add_domain(name, rank) for name, rank in domains
+        }
+        names = [name for name, _rank in domains]
+        with ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_worker,
+            initargs=(self.archive_root,),
+        ) as pool:
+            for collection in catalog_client.collections():
+                snapshot_row_id = self.storage.add_snapshot(
+                    collection.id, collection.year
+                )
+                results = pool.map(
+                    process_domain,
+                    [collection.id] * len(names),
+                    names,
+                    [self.max_pages] * len(names),
+                    chunksize=8,
+                )
+                for result in results:
+                    self._store(result, snapshot_row_id,
+                                domain_ids[result.domain], stats)
+                self.storage.commit()
+                stats.snapshots += 1
+        return stats
+
+    def _store(
+        self,
+        result: DomainResult,
+        snapshot_row_id: int,
+        domain_row_id: int,
+        stats: ParallelRunStats,
+    ) -> None:
+        stats.domains_processed += 1
+        stats.fetch_failures += result.fetch_failures
+        if not result.found:
+            self.storage.set_domain_status(
+                snapshot_row_id, domain_row_id, found=False, analyzed=False,
+                pages=0,
+            )
+            return
+        for page in result.pages:
+            page_row_id = self.storage.add_page(
+                snapshot_row_id, domain_row_id, page.url,
+                utf8=page.utf8, checked=page.checked,
+                declared_encoding=page.declared_encoding,
+            )
+            if not page.checked:
+                stats.pages_filtered_non_utf8 += 1
+                continue
+            stats.pages_checked += 1
+            if page.findings:
+                self.storage.add_findings(page_row_id, page.findings)
+            if page.mitigation is not None:
+                script_in_attr, nonced, urls_nl, urls_nl_lt = page.mitigation
+                self.storage.add_mitigations(
+                    page_row_id, script_in_attr=script_in_attr, nonced=nonced,
+                    urls_nl=urls_nl, urls_nl_lt=urls_nl_lt,
+                )
+            if page.features is not None:
+                math_elements, svg_elements = page.features
+                self.storage.add_page_features(
+                    page_row_id, math_elements=math_elements,
+                    svg_elements=svg_elements,
+                )
+        self.storage.set_domain_status(
+            snapshot_row_id,
+            domain_row_id,
+            found=True,
+            analyzed=result.analyzed_pages > 0,
+            pages=result.analyzed_pages,
+        )

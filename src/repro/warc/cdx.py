@@ -1,0 +1,132 @@
+"""CDXJ index: the lookup layer between a URL and its WARC record.
+
+Common Crawl's index service maps a URL (in SURT form) to the WARC file,
+byte offset and length holding its capture.  This module implements the
+same contract locally: :func:`surt` canonicalization, a writer that emits
+sorted CDXJ lines, and a reader supporting exact-URL and domain-prefix
+queries — the two lookups the paper's metadata-collection stage performs
+("collect CC metadata" in Figure 6).
+"""
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+from urllib.parse import urlsplit
+
+
+def surt(url: str) -> str:
+    """Sort-friendly URI Reordering Transform.
+
+    ``http://www.example.com/path?q=1`` → ``com,example)/path?q=1``.
+    Matches the canonicalization Common Crawl's index uses (simplified:
+    no query-parameter reordering).
+    """
+    parts = urlsplit(url if "://" in url else "http://" + url)
+    host = parts.hostname or ""
+    if host.startswith("www."):
+        host = host[4:]
+    key = ",".join(reversed(host.split("."))) + ")"
+    path = parts.path or "/"
+    key += path.lower()
+    if parts.query:
+        key += "?" + parts.query.lower()
+    return key
+
+
+@dataclass(slots=True)
+class CDXEntry:
+    """One capture: where to find one URL's record in a WARC file."""
+
+    urlkey: str
+    timestamp: str
+    url: str
+    mime: str
+    status: int
+    digest: str
+    length: int
+    offset: int
+    filename: str
+
+    def to_line(self) -> str:
+        fields = {
+            "url": self.url,
+            "mime": self.mime,
+            "status": str(self.status),
+            "digest": self.digest,
+            "length": str(self.length),
+            "offset": str(self.offset),
+            "filename": self.filename,
+        }
+        return f"{self.urlkey} {self.timestamp} {json.dumps(fields)}"
+
+    @classmethod
+    def from_line(cls, line: str) -> "CDXEntry":
+        urlkey, timestamp, payload = line.split(" ", 2)
+        fields = json.loads(payload)
+        return cls(
+            urlkey=urlkey,
+            timestamp=timestamp,
+            url=fields["url"],
+            mime=fields.get("mime", ""),
+            status=int(fields.get("status", 0)),
+            digest=fields.get("digest", ""),
+            length=int(fields["length"]),
+            offset=int(fields["offset"]),
+            filename=fields["filename"],
+        )
+
+
+class CDXWriter:
+    """Accumulate entries and write a sorted CDXJ file."""
+
+    def __init__(self) -> None:
+        self.entries: list[CDXEntry] = []
+
+    def add(self, entry: CDXEntry) -> None:
+        self.entries.append(entry)
+
+    def write(self, path: str | Path) -> int:
+        self.entries.sort(key=lambda entry: (entry.urlkey, entry.timestamp))
+        with open(path, "w", encoding="utf-8") as stream:
+            for entry in self.entries:
+                stream.write(entry.to_line())
+                stream.write("\n")
+        return len(self.entries)
+
+
+class CDXIndex:
+    """In-memory CDXJ index with exact and domain-prefix lookup."""
+
+    def __init__(self, entries: list[CDXEntry]) -> None:
+        self.entries = sorted(entries, key=lambda entry: (entry.urlkey, entry.timestamp))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CDXIndex":
+        entries = []
+        with open(path, "r", encoding="utf-8") as stream:
+            for line in stream:
+                line = line.strip()
+                if line:
+                    entries.append(CDXEntry.from_line(line))
+        return cls(entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def lookup(self, url: str) -> list[CDXEntry]:
+        """All captures of an exact URL."""
+        key = surt(url)
+        return [entry for entry in self.entries if entry.urlkey == key]
+
+    def domain_query(self, domain: str, *, limit: int | None = None) -> Iterator[CDXEntry]:
+        """All captures under a domain (the ``example.com/*`` index query)."""
+        prefix = surt(f"http://{domain}/").split(")")[0] + ")"
+        count = 0
+        for entry in self.entries:
+            if entry.urlkey.startswith(prefix):
+                yield entry
+                count += 1
+                if limit is not None and count >= limit:
+                    return

@@ -1,0 +1,109 @@
+"""WARC/1.0 reader: sequential iteration and CDX-style random access.
+
+Handles both plain and per-record-gzipped WARC files (multi-member gzip
+streams, the Common Crawl layout).  :func:`read_record_at` mirrors how the
+paper's crawler fetches individual documents: a CDX entry supplies
+``(filename, offset, length)`` and the reader decompresses exactly that
+member — the local equivalent of an S3 range request.
+"""
+from __future__ import annotations
+
+import gzip
+import io
+import zlib
+from pathlib import Path
+from typing import BinaryIO, Iterator
+
+from .record import WARCRecord, canonical_header
+
+_GZIP_MAGIC = b"\x1f\x8b"
+
+
+class WARCFormatError(ValueError):
+    """Raised when a stream does not parse as WARC."""
+
+
+def _read_exact(stream: BinaryIO, size: int) -> bytes:
+    data = stream.read(size)
+    if len(data) != size:
+        raise WARCFormatError(f"truncated record: wanted {size}, got {len(data)}")
+    return data
+
+
+def _parse_record(stream: BinaryIO) -> WARCRecord | None:
+    """Parse one record from a plain (decompressed) stream, or None at EOF."""
+    # Skip inter-record blank lines.
+    line = stream.readline()
+    while line in (b"\r\n", b"\n"):
+        line = stream.readline()
+    if not line:
+        return None
+    version = line.strip().decode("latin-1")
+    if not version.startswith("WARC/"):
+        raise WARCFormatError(f"bad version line: {version!r}")
+    headers: dict[str, str] = {}
+    while True:
+        line = stream.readline()
+        if not line:
+            raise WARCFormatError("EOF inside record headers")
+        if line in (b"\r\n", b"\n"):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[canonical_header(name.strip())] = value.strip()
+    try:
+        length = int(headers.get("Content-Length", "0"))
+    except ValueError as exc:
+        raise WARCFormatError("bad Content-Length") from exc
+    content = _read_exact(stream, length)
+    return WARCRecord(headers=headers, content=content)
+
+
+def iter_records(stream: BinaryIO) -> Iterator[WARCRecord]:
+    """Iterate records from a WARC stream (gzipped or plain)."""
+    head = stream.read(2)
+    stream.seek(-len(head), io.SEEK_CUR)
+    if head == _GZIP_MAGIC:
+        yield from _iter_gzip_members(stream)
+        return
+    while True:
+        record = _parse_record(stream)
+        if record is None:
+            return
+        yield record
+
+
+def _iter_gzip_members(stream: BinaryIO) -> Iterator[WARCRecord]:
+    """Iterate records across concatenated gzip members."""
+    # gzip.GzipFile transparently reads across members; records may also
+    # span member boundaries in pathological files, so parse the joined
+    # stream rather than member-by-member.
+    with gzip.GzipFile(fileobj=stream, mode="rb") as plain:
+        buffered = io.BufferedReader(plain)  # type: ignore[arg-type]
+        while True:
+            record = _parse_record(buffered)
+            if record is None:
+                return
+            yield record
+
+
+def iter_warc_file(path: str | Path) -> Iterator[WARCRecord]:
+    """Iterate all records in a WARC file on disk."""
+    with open(path, "rb") as stream:
+        yield from iter_records(stream)
+
+
+def read_record_at(path: str | Path, offset: int, length: int) -> WARCRecord:
+    """Random access: read the single record stored at (offset, length).
+
+    This is the Common Crawl fetch path — a CDX hit gives the member's byte
+    range inside the WARC file; only that slice is read and decompressed.
+    """
+    with open(path, "rb") as stream:
+        stream.seek(offset)
+        blob = _read_exact(stream, length)
+    if blob[:2] == _GZIP_MAGIC:
+        blob = zlib.decompress(blob, wbits=zlib.MAX_WBITS | 16)
+    record = _parse_record(io.BytesIO(blob))
+    if record is None:
+        raise WARCFormatError("empty record slice")
+    return record

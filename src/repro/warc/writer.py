@@ -1,0 +1,57 @@
+"""WARC/1.0 writer with per-record gzip members (the Common Crawl layout).
+
+Common Crawl WARC files are a concatenation of independently gzipped
+records, which is what makes CDX random access possible: an index entry
+stores the byte ``offset`` and compressed ``length`` of one member, and a
+reader can fetch exactly that slice (Common Crawl serves these as S3 range
+reads).  This writer reports (offset, length) for every record so the CDX
+builder can index while writing.
+"""
+from __future__ import annotations
+
+import gzip
+import io
+from typing import BinaryIO
+
+from .record import WARC_VERSION, WARCRecord
+
+
+class WARCWriter:
+    """Write WARC records to a binary stream.
+
+    With ``use_gzip`` (the default, matching Common Crawl) each record is an
+    independent gzip member.  :meth:`write_record` returns the byte offset
+    and stored length of the record for CDX indexing.
+    """
+
+    def __init__(self, stream: BinaryIO, *, use_gzip: bool = True) -> None:
+        self.stream = stream
+        self.use_gzip = use_gzip
+        self._offset = 0
+
+    @property
+    def offset(self) -> int:
+        return self._offset
+
+    def write_record(self, record: WARCRecord) -> tuple[int, int]:
+        raw = self._serialize(record)
+        if self.use_gzip:
+            buffer = io.BytesIO()
+            with gzip.GzipFile(fileobj=buffer, mode="wb", mtime=0) as member:
+                member.write(raw)
+            raw = buffer.getvalue()
+        start = self._offset
+        self.stream.write(raw)
+        self._offset += len(raw)
+        return start, len(raw)
+
+    @staticmethod
+    def _serialize(record: WARCRecord) -> bytes:
+        record.headers["Content-Length"] = str(len(record.content))
+        lines = [WARC_VERSION.encode("latin-1")]
+        lines.extend(
+            f"{name}: {value}".encode("latin-1")
+            for name, value in record.headers.items()
+        )
+        head = b"\r\n".join(lines) + b"\r\n\r\n"
+        return head + record.content + b"\r\n\r\n"

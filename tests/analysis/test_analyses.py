@@ -1,0 +1,181 @@
+"""Analysis layer tests on a real (small) end-to-end study."""
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    APPENDIX_FIGURES,
+    appendix_figure,
+    compare_mitigations,
+    dataset_table,
+    estimate_autofix,
+    figure8_distribution,
+    figure9_overall_trend,
+    figure10_group_trends,
+    all_violation_trends,
+)
+from repro.commoncrawl import calibration as cal
+from repro.core import AUTO_FIXABLE_IDS, Group
+from repro.core.violations import ALL_IDS
+
+
+class TestTable2:
+    def test_eight_rows(self, small_study):
+        summary = dataset_table(small_study.storage)
+        assert [row.year for row in summary.rows] == list(cal.YEARS)
+
+    def test_snapshot_names_match_cc(self, small_study):
+        summary = dataset_table(small_study.storage)
+        assert summary.rows[0].snapshot == "CC-MAIN-2015-14"
+        assert summary.rows[-1].snapshot == "CC-MAIN-2022-05"
+
+    def test_success_rates_high(self, small_study):
+        summary = dataset_table(small_study.storage)
+        for row in summary.rows:
+            assert row.success_rate > 0.9
+
+    def test_2017_growth(self, small_study):
+        """Table 2: 'the number of domains we analyzed increased
+        tremendously in 2017'."""
+        summary = dataset_table(small_study.storage)
+        by_year = {row.year: row for row in summary.rows}
+        assert by_year[2017].analyzed >= by_year[2016].analyzed
+
+    def test_totals(self, small_study):
+        summary = dataset_table(small_study.storage)
+        assert summary.total_domains >= max(row.analyzed for row in summary.rows)
+        assert summary.total_pages > 0
+
+
+class TestFigure8:
+    def test_all_violations_listed(self, small_study):
+        stats = figure8_distribution(small_study.storage)
+        assert {entry.violation for entry in stats.distribution} == set(ALL_IDS)
+
+    def test_sorted_descending(self, small_study):
+        stats = figure8_distribution(small_study.storage)
+        counts = [entry.domains for entry in stats.distribution]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_fb2_dm3_dominate(self, small_study):
+        """Figure 8's headline: FB2 and DM3 are the two most common."""
+        stats = figure8_distribution(small_study.storage)
+        top_two = {entry.violation for entry in stats.distribution[:2]}
+        assert top_two == {"FB2", "DM3"}
+
+    def test_union_exceeds_any_single_year(self, small_study):
+        stats = figure8_distribution(small_study.storage)
+        trend = figure9_overall_trend(small_study.storage)
+        assert stats.any_violation_fraction >= max(trend.fractions())
+
+    def test_rare_violations_rare(self, small_study):
+        stats = figure8_distribution(small_study.storage)
+        by_id = {e.violation: e for e in stats.distribution}
+        assert by_id["HF5_3"].fraction < 0.05
+        assert by_id["DE1"].fraction < 0.05
+
+
+class TestFigure9:
+    def test_eight_points(self, small_study):
+        trend = figure9_overall_trend(small_study.storage)
+        assert [point.year for point in trend.points] == list(cal.YEARS)
+
+    def test_majority_violates_every_year(self, small_study):
+        trend = figure9_overall_trend(small_study.storage)
+        assert all(fraction > 0.5 for fraction in trend.fractions())
+
+    def test_within_band_of_paper(self, small_study):
+        trend = figure9_overall_trend(small_study.storage)
+        for point in trend.points:
+            paper = cal.OVERALL_VIOLATING[point.year]
+            assert abs(point.fraction - paper) < 0.15
+
+
+class TestFigure10:
+    def test_all_groups_present(self, small_study):
+        series = figure10_group_trends(small_study.storage)
+        assert set(series) == set(Group)
+
+    def test_de_group_is_smallest(self, small_study):
+        """Figure 10: DE violations are 'relatively rare compared to the
+        other groups' (5% vs 40-50%)."""
+        series = figure10_group_trends(small_study.storage)
+        de_mean = sum(series[Group.DATA_EXFILTRATION].fractions()) / 8
+        for group in (Group.FILTER_BYPASS, Group.DATA_MANIPULATION,
+                      Group.HTML_FORMATTING):
+            assert de_mean < sum(series[group].fractions()) / 8
+
+    def test_group_ordering_matches_paper(self, small_study):
+        """FB and DM lead, HF in between, DE far below."""
+        series = figure10_group_trends(small_study.storage)
+        means = {
+            group.value: sum(s.fractions()) / len(s.fractions())
+            for group, s in series.items()
+        }
+        assert means["FB"] > means["HF"] > means["DE"]
+        assert means["DM"] > means["HF"]
+
+
+class TestAppendixTrends:
+    def test_all_figures_defined(self):
+        plotted = {vid for ids in APPENDIX_FIGURES.values() for vid in ids}
+        assert plotted == set(ALL_IDS)
+
+    def test_appendix_figure_lookup(self, small_study):
+        series = appendix_figure(small_study.storage, "figure16_filter_bypass")
+        assert set(series) == {"FB1", "FB2"}
+
+    def test_fb2_above_fb1_every_year(self, small_study):
+        trends = all_violation_trends(small_study.storage)
+        for fb2, fb1 in zip(trends["FB2"].fractions(), trends["FB1"].fractions()):
+            assert fb2 >= fb1
+
+    def test_paper_values_attached(self, small_study):
+        trends = all_violation_trends(small_study.storage)
+        assert trends["FB2"].paper_values == cal.YEARLY_PREVALENCE["FB2"]
+
+
+class TestAutofixEstimate:
+    def test_after_autofix_fewer(self, small_study):
+        estimate = estimate_autofix(small_study.storage, 2022)
+        assert estimate.after_autofix_domains < estimate.violating_domains
+        assert estimate.fully_fixable_domains > 0
+
+    def test_fraction_fixed_positive(self, small_study):
+        estimate = estimate_autofix(small_study.storage, 2022)
+        assert 0.2 < estimate.fraction_fixed < 0.8
+
+    def test_consistency(self, small_study):
+        estimate = estimate_autofix(small_study.storage, 2022)
+        assert (
+            estimate.after_autofix_domains + estimate.fully_fixable_domains
+            == estimate.violating_domains
+        )
+        assert estimate.violating_fraction <= 1.0
+
+    def test_classification_matches_storage(self, small_study):
+        estimate = estimate_autofix(small_study.storage, 2022)
+        violation_sets = small_study.storage.domain_violation_sets(2022)
+        manual = sum(
+            1 for violations in violation_sets.values()
+            if violations - AUTO_FIXABLE_IDS
+        )
+        assert estimate.after_autofix_domains == manual
+
+
+class TestMitigations:
+    def test_no_nonced_scripts_hit(self, small_study):
+        """Section 4.5: 'none of these elements is a script tag that uses
+        a CSP nonce'."""
+        comparison = compare_mitigations(small_study.storage)
+        assert not comparison.nonce_mitigation_affects_anyone
+
+    def test_years(self, small_study):
+        comparison = compare_mitigations(small_study.storage)
+        assert comparison.first.year == 2015
+        assert comparison.last.year == 2022
+
+    def test_nl_subset_of_nl(self, small_study):
+        comparison = compare_mitigations(small_study.storage)
+        for year in (comparison.first, comparison.last):
+            assert year.nl_lt_in_url_domains <= year.nl_in_url_domains

@@ -1,0 +1,91 @@
+"""Section 5.1/5.2 study tests: fragment checking, calibration, shapes."""
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis import (
+    render_dynamic,
+    render_generalization,
+    run_dynamic_prestudy,
+    run_generalization_study,
+)
+from repro.commoncrawl.fragmentgen import (
+    FRAGMENT_INJECTORS,
+    build_fragment,
+    generate_domain_fragments,
+)
+from repro.core import Checker
+
+CHECKER = Checker()
+
+
+class TestFragmentChecking:
+    def test_clean_fragments_have_no_violations(self):
+        for seed in range(30):
+            fragment = build_fragment(random.Random(seed))
+            report = CHECKER.check_fragment(fragment)
+            assert report.violated == frozenset(), (seed, fragment)
+
+    @pytest.mark.parametrize(
+        "injector", FRAGMENT_INJECTORS, ids=lambda i: i.rule
+    )
+    def test_each_fragment_injector_triggers_its_rule(self, injector):
+        for seed in range(4):
+            rng = random.Random(seed)
+            fragment = injector.apply(build_fragment(rng), rng)
+            report = CHECKER.check_fragment(fragment)
+            assert injector.rule in report.violated, (injector.rule, fragment)
+
+    def test_fragment_context_matters(self):
+        # option content parsed in a select context behaves differently
+        report = CHECKER.check_fragment("<option>a<option>b", context="select")
+        assert isinstance(report.violated, frozenset)
+
+    def test_generate_domain_fragments_deterministic(self):
+        a = generate_domain_fragments("x.example", count=5, seed=1)
+        b = generate_domain_fragments("x.example", count=5, seed=1)
+        assert [f.html for f in a] == [f.html for f in b]
+
+    def test_injected_ground_truth_detected(self):
+        for spec in generate_domain_fragments("gt.example", count=30, seed=3):
+            report = CHECKER.check_fragment(spec.html)
+            assert set(spec.injected) <= set(report.violated), (
+                spec.injected, sorted(report.violated), spec.html
+            )
+
+
+class TestDynamicPrestudy:
+    @pytest.fixture(scope="class")
+    def prestudy(self):
+        return run_dynamic_prestudy(num_domains=100, fragments_per_domain=10)
+
+    def test_violating_fraction_near_60(self, prestudy):
+        assert 0.45 < prestudy.violating_fraction < 0.8
+
+    def test_fb2_dm3_top(self, prestudy):
+        assert set(prestudy.top_violations(2)) == {"FB2", "DM3"}
+
+    def test_math_hardly_appears(self, prestudy):
+        assert prestudy.distribution.get("HF5_3", 0) == 0
+
+    def test_render(self, prestudy):
+        out = render_dynamic(prestudy)
+        assert "paper: >60%" in out
+
+
+class TestGeneralization:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return run_generalization_study(num_domains=40)
+
+    def test_distributions_similar(self, comparison):
+        assert comparison.rank_correlation > 0.5
+
+    def test_popular_more_violations(self, comparison):
+        assert comparison.popular_has_more_violations
+
+    def test_render(self, comparison):
+        out = render_generalization(comparison)
+        assert "rank correlation" in out

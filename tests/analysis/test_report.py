@@ -1,0 +1,58 @@
+"""Report renderer tests: every table/figure prints with paper columns."""
+from __future__ import annotations
+
+from repro.analysis import (
+    render_autofix,
+    render_figure8,
+    render_group_trends,
+    render_mitigations,
+    render_table,
+    render_table2,
+    render_trend,
+)
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["A", "Blong"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert lines[0].startswith("A  ")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+
+class TestRenderers:
+    def test_table2(self, small_study):
+        out = render_table2(small_study.table2())
+        assert "CC-MAIN-2015-14" in out
+        assert "Paper" in out
+        assert "Total analyzed domains" in out
+
+    def test_figure8(self, small_study):
+        out = render_figure8(small_study.figure8())
+        assert "FB2" in out and "HF5_3" in out
+        assert "Paper" in out
+        assert "#" in out  # the ascii bar
+
+    def test_figure9_trend(self, small_study):
+        out = render_trend(small_study.figure9(), "Figure 9")
+        assert "2015" in out and "2022" in out
+        assert "74.31%" in out  # paper column
+
+    def test_figure10(self, small_study):
+        out = render_group_trends(small_study.figure10())
+        for group in ("FB", "DM", "HF", "DE"):
+            assert group in out
+        assert "52% -> 43%" in out
+
+    def test_autofix(self, small_study):
+        out = render_autofix(small_study.autofix_estimate())
+        assert "paper: 68%" in out
+        assert "paper: 37%" in out
+        assert "46%" in out
+
+    def test_mitigations(self, small_study):
+        out = render_mitigations(small_study.mitigations())
+        assert "'<script' in attribute" in out
+        assert "newline AND '<' in URL" in out
+        assert "West 2017" in out

@@ -1,0 +1,91 @@
+"""Self-consistency checks on the paper-constant tables."""
+from __future__ import annotations
+
+import pytest
+
+from repro.commoncrawl import calibration as cal
+from repro.core.violations import ALL_IDS, IDS_BY_GROUP
+
+
+class TestSnapshotTable:
+    def test_eight_snapshots(self):
+        assert len(cal.SNAPSHOTS) == 8
+        assert [spec.year for spec in cal.SNAPSHOTS] == list(cal.YEARS)
+
+    def test_success_rates_match_paper_band(self):
+        for spec in cal.SNAPSHOTS:
+            assert 0.975 <= spec.succeeded / spec.domains <= 0.995
+
+    def test_2017_growth(self):
+        assert cal.SNAPSHOT_BY_YEAR[2017].domains > cal.SNAPSHOT_BY_YEAR[2016].domains
+
+    def test_avg_pages_in_cap(self):
+        for spec in cal.SNAPSHOTS:
+            assert 0 < spec.avg_pages <= 100
+
+    def test_names_are_cc_main_ids(self):
+        for spec in cal.SNAPSHOTS:
+            assert spec.name.startswith("CC-MAIN-")
+            assert str(spec.year) in spec.name
+
+
+class TestPrevalenceTables:
+    def test_all_rules_covered(self):
+        assert set(cal.UNION_PREVALENCE) == set(ALL_IDS)
+        assert set(cal.YEARLY_PREVALENCE) == set(ALL_IDS)
+        assert set(cal.UNION_COUNTS) == set(ALL_IDS)
+
+    def test_eight_yearly_values_each(self):
+        for values in cal.YEARLY_PREVALENCE.values():
+            assert len(values) == 8
+
+    def test_yearly_below_union(self):
+        """A year's prevalence can never exceed the all-time union."""
+        for rule, values in cal.YEARLY_PREVALENCE.items():
+            assert max(values) <= cal.UNION_PREVALENCE[rule] + 1e-9, rule
+
+    def test_union_counts_match_fractions(self):
+        for rule, count in cal.UNION_COUNTS.items():
+            implied = count / cal.TOTAL_ANALYZED_DOMAINS
+            assert implied == pytest.approx(
+                cal.UNION_PREVALENCE[rule], abs=0.0006
+            ), rule
+
+    def test_figure8_ordering(self):
+        """FB2 > DM3 > FB1 > HF4 > ... as published."""
+        ordered = sorted(
+            cal.UNION_PREVALENCE, key=cal.UNION_PREVALENCE.__getitem__,
+            reverse=True,
+        )
+        assert ordered[:5] == ["FB2", "DM3", "FB1", "HF4", "HF1"]
+        assert ordered[-1] == "HF5_3"
+
+    def test_overall_violating_above_every_single_rule(self):
+        for index, year in enumerate(cal.YEARS):
+            highest = max(
+                values[index] for values in cal.YEARLY_PREVALENCE.values()
+            )
+            assert cal.OVERALL_VIOLATING[year] >= highest
+
+    def test_groups_partition_rules(self):
+        grouped = [rule for rules in cal.GROUPS.values() for rule in rules]
+        assert sorted(grouped) == sorted(ALL_IDS)
+        for group, rules in cal.GROUPS.items():
+            assert tuple(IDS_BY_GROUP[
+                next(g for g in IDS_BY_GROUP if g.value == group)
+            ]) == rules
+
+    def test_autofix_constants_consistent(self):
+        violating = cal.AUTOFIX["violating_2022"]
+        after = cal.AUTOFIX["violating_after_autofix"]
+        fixed = (violating - after) / violating
+        assert fixed == pytest.approx(cal.AUTOFIX["fraction_fixed"], abs=0.01)
+
+    def test_mitigation_counts_vs_fractions(self):
+        analyzed_2015 = cal.SNAPSHOT_BY_YEAR[2015].succeeded
+        count, fraction = cal.MITIGATIONS["nl_lt_in_url_2015"]
+        assert count / analyzed_2015 == pytest.approx(fraction, rel=0.05)
+
+    def test_helpers(self):
+        assert cal.yearly("FB2", 2015) == 0.500
+        assert cal.union("FB2") == 0.7854

@@ -1,0 +1,117 @@
+"""Template and injector tests: conforming base pages, exact injector
+effect sets (the corpus generator's correctness contract)."""
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.commoncrawl.templates import INJECTORS, build_page
+from repro.core import Checker
+from repro.core.violations import ALL_IDS
+
+CHECKER = Checker()
+
+
+class TestBasePages:
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.booleans(), st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_clean_pages_have_no_violations(self, seed, use_svg, use_math):
+        draft = build_page(
+            "clean.example", "/p", random.Random(seed),
+            use_svg=use_svg, use_math=use_math,
+        )
+        report = CHECKER.check_html(draft.render())
+        assert report.violated == frozenset(), sorted(report.violated)
+
+    def test_pages_are_deterministic(self):
+        a = build_page("d.example", "/", random.Random(5)).render()
+        b = build_page("d.example", "/", random.Random(5)).render()
+        assert a == b
+
+    def test_page_has_structure(self):
+        html = build_page("s.example", "/", random.Random(1)).render()
+        assert html.startswith("<!DOCTYPE html>")
+        for piece in ("<head>", "</head>", "<body>", "</body>", "</html>",
+                      "<title>", "<nav>"):
+            assert piece in html
+
+    def test_svg_flag(self):
+        html = build_page("s.example", "/", random.Random(1), use_svg=True).render()
+        assert "<svg" in html
+
+    def test_math_flag(self):
+        html = build_page("s.example", "/", random.Random(1), use_math=True).render()
+        assert "<math>" in html
+
+
+class TestInjectorRegistry:
+    def test_all_rules_covered(self):
+        covered = {
+            effect
+            for injector in INJECTORS.values()
+            for effect in injector.effects
+        }
+        assert covered == set(ALL_IDS)
+
+    def test_terminal_flags(self):
+        assert INJECTORS["DE1"].terminal
+        assert INJECTORS["DE2"].terminal
+        assert not INJECTORS["FB2"].terminal
+
+    def test_nl_url_has_no_table1_effect(self):
+        assert INJECTORS["NL_URL"].effects == ()
+
+
+@pytest.mark.parametrize("name", sorted(INJECTORS))
+def test_injector_triggers_exactly_its_effects(name):
+    """The central contract: each injector produces exactly its declared
+    violation set on an otherwise clean page, over several random pages."""
+    injector = INJECTORS[name]
+    for trial in range(6):
+        draft = build_page("inj.example", "/x", random.Random(1000 + trial))
+        injector.apply(draft, random.Random(2000 + trial))
+        report = CHECKER.check_html(draft.render())
+        assert report.violated == frozenset(injector.effects), (
+            name, trial, sorted(report.violated)
+        )
+
+
+def test_nl_url_injector_hits_mitigation_detector():
+    from repro.core import measure_mitigations_html
+
+    draft = build_page("nl.example", "/x", random.Random(3))
+    INJECTORS["NL_URL"].apply(draft, random.Random(4))
+    report = measure_mitigations_html(draft.render())
+    assert report.urls_with_newline >= 1
+    assert report.urls_with_newline_and_lt == 0
+
+
+@given(
+    st.lists(
+        st.sampled_from(sorted(n for n in INJECTORS if not INJECTORS[n].terminal)),
+        min_size=1, max_size=5, unique=True,
+    ),
+    st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=60, deadline=None)
+def test_nonterminal_combinations_superset(names, seed):
+    """Combined non-terminal injections must trigger at least the union of
+    their effects (cascade interactions may add head/body events, never
+    remove the injected ones)."""
+    draft = build_page("combo.example", "/x", random.Random(seed))
+    for name in names:
+        INJECTORS[name].apply(draft, random.Random(seed * 31 + hash(name) % 1009))
+    report = CHECKER.check_html(draft.render())
+    want = set()
+    for name in names:
+        want |= set(INJECTORS[name].effects)
+    # HF3 requires an explicit body tag; HF2_NOBODY removes it.
+    if "HF2_NOBODY" in names:
+        want.discard("HF3")
+    assert want <= set(report.violated), (
+        sorted(names), sorted(want - set(report.violated))
+    )

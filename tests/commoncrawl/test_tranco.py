@@ -1,0 +1,92 @@
+"""Tranco list synthesis and the paper's dataset-construction procedure."""
+from __future__ import annotations
+
+from repro.commoncrawl import (
+    TrancoList,
+    build_study_dataset,
+    generate_domain_pool,
+    generate_tranco_lists,
+    synth_domain_name,
+)
+
+
+class TestDomainPool:
+    def test_deterministic(self):
+        assert generate_domain_pool(50) == generate_domain_pool(50)
+
+    def test_unique_names(self):
+        pool = generate_domain_pool(500)
+        assert len(set(pool)) == 500
+
+    def test_names_look_like_domains(self):
+        name = synth_domain_name(17)
+        assert "." in name
+        assert " " not in name
+
+
+class TestListGeneration:
+    def test_deterministic_given_seed(self):
+        pool = generate_domain_pool(100)
+        a = generate_tranco_lists(pool, num_lists=3, seed=1)
+        b = generate_tranco_lists(pool, num_lists=3, seed=1)
+        assert [x.domains for x in a] == [y.domains for y in b]
+
+    def test_different_days_differ(self):
+        pool = generate_domain_pool(100)
+        lists = generate_tranco_lists(pool, num_lists=3, seed=1)
+        assert lists[0].domains != lists[1].domains
+
+    def test_churn_injects_outsiders(self):
+        pool = generate_domain_pool(200)
+        lists = generate_tranco_lists(pool, num_lists=2, churn=0.05, seed=2)
+        outsiders = [d for d in lists[0].domains if d.startswith("trending-")]
+        assert outsiders
+
+    def test_rank_of(self):
+        tranco = TrancoList("T", "2022-01-01", ["a.com", "b.com"])
+        assert tranco.rank_of() == {"a.com": 1, "b.com": 2}
+
+
+class TestStudyDataset:
+    def test_intersection_removes_churned(self):
+        pool = generate_domain_pool(200)
+        lists = generate_tranco_lists(pool, num_lists=4, churn=0.05, seed=3)
+        dataset = build_study_dataset(lists, cutoff=200)
+        names = [name for name, _rank in dataset]
+        assert all(not name.startswith("trending-") for name in names)
+
+    def test_ordered_by_average_rank(self):
+        pool = generate_domain_pool(150)
+        lists = generate_tranco_lists(pool, num_lists=4, seed=3)
+        dataset = build_study_dataset(lists, cutoff=150)
+        ranks = [rank for _name, rank in dataset]
+        assert ranks == sorted(ranks)
+
+    def test_only_domains_on_all_lists(self):
+        lists = [
+            TrancoList("A", "d1", ["a.com", "b.com", "c.com"]),
+            TrancoList("B", "d2", ["b.com", "a.com", "d.com"]),
+        ]
+        dataset = build_study_dataset(lists, cutoff=3)
+        assert {name for name, _ in dataset} == {"a.com", "b.com"}
+
+    def test_cutoff_applied_per_list(self):
+        lists = [
+            TrancoList("A", "d1", ["a.com", "b.com", "c.com"]),
+            TrancoList("B", "d2", ["c.com", "a.com", "b.com"]),
+        ]
+        dataset = build_study_dataset(lists, cutoff=2)
+        # c.com is rank 3 on list A -> excluded even though rank 1 on B
+        assert {name for name, _ in dataset} == {"a.com"}
+
+    def test_average_rank_value(self):
+        lists = [
+            TrancoList("A", "d1", ["a.com", "b.com"]),
+            TrancoList("B", "d2", ["b.com", "a.com"]),
+        ]
+        dataset = dict(build_study_dataset(lists, cutoff=2))
+        assert dataset["a.com"] == 1.5
+        assert dataset["b.com"] == 1.5
+
+    def test_empty_lists(self):
+        assert build_study_dataset([]) == []

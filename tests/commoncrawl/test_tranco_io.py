@@ -1,0 +1,91 @@
+"""Tranco CSV I/O and index pagination tests."""
+from __future__ import annotations
+
+import pytest
+
+from repro.commoncrawl import (
+    TrancoList,
+    generate_domain_pool,
+    load_tranco_csv,
+    save_tranco_csv,
+)
+
+
+class TestTrancoCsv:
+    def test_roundtrip(self, tmp_path):
+        original = TrancoList("T1", "2022-04-06", generate_domain_pool(50))
+        path = tmp_path / "tranco.csv"
+        save_tranco_csv(original, str(path))
+        loaded = load_tranco_csv(str(path), list_id="T1", date="2022-04-06")
+        assert loaded.domains == original.domains
+        assert loaded.list_id == "T1"
+
+    def test_format_matches_tranco_download(self, tmp_path):
+        tranco = TrancoList("T", "d", ["a.com", "b.com"])
+        path = tmp_path / "t.csv"
+        save_tranco_csv(tranco, str(path))
+        assert path.read_text() == "1,a.com\n2,b.com\n"
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,a.com\nnot-a-rank\n")
+        with pytest.raises(ValueError):
+            load_tranco_csv(str(path))
+
+    def test_non_contiguous_rank_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,a.com\n3,b.com\n")
+        with pytest.raises(ValueError):
+            load_tranco_csv(str(path))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("1,a.com\n\n2,b.com\n")
+        assert load_tranco_csv(str(path)).domains == ["a.com", "b.com"]
+
+
+class TestIndexPagination:
+    @pytest.fixture(scope="class")
+    def client_and_domain(self, tmp_path_factory):
+        from repro.commoncrawl import (
+            ArchiveBuilder,
+            CommonCrawlClient,
+            CorpusConfig,
+            CorpusPlanner,
+            snapshot_name,
+        )
+
+        root = tmp_path_factory.mktemp("page-archive")
+        config = CorpusConfig(num_domains=12, max_pages=6, seed=77, years=(2022,))
+        plan = CorpusPlanner(config).plan()
+        ArchiveBuilder(root).build(plan)
+        client = CommonCrawlClient(root)
+        # pick a domain with several pages
+        domain = max(
+            plan.succeeded[2022],
+            key=lambda name: len(plan.pages.get((name, 2022), ())),
+        )
+        return client, snapshot_name(2022), domain
+
+    def test_pages_partition_results(self, client_and_domain):
+        client, snapshot, domain = client_and_domain
+        everything = [e.url for e in client.query(snapshot, domain)]
+        paged: list[str] = []
+        page = 0
+        while True:
+            chunk = [
+                entry.url
+                for entry in client.query(
+                    snapshot, domain, page=page, page_size=2
+                )
+            ]
+            if not chunk:
+                break
+            paged.extend(chunk)
+            page += 1
+        assert paged == everything
+
+    def test_page_size_respected(self, client_and_domain):
+        client, snapshot, domain = client_and_domain
+        chunk = list(client.query(snapshot, domain, page=0, page_size=3))
+        assert len(chunk) <= 3

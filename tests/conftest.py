@@ -1,0 +1,22 @@
+"""Shared fixtures: a small end-to-end study, reused across test modules."""
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Checker
+from repro.study import StudyConfig, run_study
+
+
+@pytest.fixture(scope="session")
+def checker() -> Checker:
+    return Checker()
+
+
+@pytest.fixture(scope="session")
+def small_study(tmp_path_factory):
+    """A complete (tiny) study run: archive + pipeline + results DB."""
+    cache = tmp_path_factory.mktemp("study-cache")
+    config = StudyConfig(num_domains=80, max_pages=4, seed=11)
+    study = run_study(config, cache_dir=cache)
+    yield study
+    study.close()

@@ -1,0 +1,205 @@
+"""Auto-repair (section 4.4) tests: the fixer removes exactly the
+auto-fixable violations and leaves rendering and HF/DE findings intact."""
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.commoncrawl.templates import INJECTORS, build_page
+from repro.core import AUTO_FIXABLE_IDS, Checker, autofix, estimate_fixability
+from repro.html import inner_html, parse
+
+CHECKER = Checker()
+
+PAGE = (
+    "<!DOCTYPE html><html><head><title>t</title></head><body>{}</body></html>"
+)
+
+
+class TestTagRewrites:
+    def test_fb2_fixed(self):
+        result = autofix(PAGE.format('<img src="a.png"onerror="x()">'))
+        assert result.changed
+        assert "FB2" not in CHECKER.check_html(result.fixed).violated
+        assert 'src="a.png"' in result.fixed
+        assert 'onerror="x()"' in result.fixed
+
+    def test_fb1_fixed(self):
+        result = autofix(PAGE.format('<img/src="a.png"/alt="b">'))
+        assert "FB1" not in CHECKER.check_html(result.fixed).violated
+
+    def test_dm3_duplicate_removed(self):
+        result = autofix(PAGE.format('<div onclick="keep()" onclick="drop()">x</div>'))
+        fixed = result.fixed
+        assert "DM3" not in CHECKER.check_html(fixed).violated
+        assert 'onclick="keep()"' in fixed
+        assert "drop()" not in fixed
+
+    def test_rest_of_document_untouched(self):
+        html = PAGE.format('<p>before</p><img src="a"alt="b"><p>after</p>')
+        result = autofix(html)
+        assert "<p>before</p>" in result.fixed
+        assert "<p>after</p>" in result.fixed
+        # only the img tag was rewritten
+        assert result.fixed.count("<img") == 1
+
+    def test_dom_equivalent_after_fix(self):
+        """The repair must not change what the parser renders."""
+        html = PAGE.format('<img src="a.png"onerror="x()" class="big">')
+        fixed = autofix(html).fixed
+        original_body = inner_html(parse(html).document.body)
+        fixed_body = inner_html(parse(fixed).document.body)
+        assert original_body == fixed_body
+
+
+class TestHeadMoves:
+    def test_dm1_meta_moved_to_head(self):
+        html = PAGE.format('<meta http-equiv="Refresh" content="0; URL=/x">')
+        result = autofix(html)
+        report = CHECKER.check_html(result.fixed)
+        assert "DM1" not in report.violated
+        head = parse(result.fixed).document.head
+        assert any(
+            element.get("http-equiv") for element in head.find_all("meta")
+        )
+
+    def test_dm2_1_base_moved_to_head(self):
+        html = PAGE.format('<base href="https://cdn.example/">')
+        result = autofix(html)
+        report = CHECKER.check_html(result.fixed)
+        assert "DM2_1" not in report.violated
+
+    def test_dm2_2_surplus_base_dropped(self):
+        html = (
+            "<!DOCTYPE html><html><head><title>t</title>"
+            '<base href="/a/"><base href="/b/"></head><body>x</body></html>'
+        )
+        result = autofix(html)
+        fixed_doc = parse(result.fixed).document
+        assert len(fixed_doc.find_all("base")) == 1
+        assert fixed_doc.find("base").get("href") == "/a/"
+        assert "DM2_2" not in CHECKER.check_html(result.fixed).violated
+
+    def test_dm2_3_base_moved_before_urls(self):
+        html = (
+            "<!DOCTYPE html><html><head><title>t</title>"
+            '<link rel="stylesheet" href="/s.css"><base href="/app/">'
+            "</head><body>x</body></html>"
+        )
+        result = autofix(html)
+        assert "DM2_3" not in CHECKER.check_html(result.fixed).violated
+
+
+class TestManualViolationsKept:
+    def test_hf4_not_fixed(self):
+        html = PAGE.format(
+            "<table><tr><strong>X</strong></tr><tr><td>c</td></tr></table>"
+        )
+        result = autofix(html)
+        assert not result.changed
+        assert [f.violation for f in result.remaining] != []
+
+    def test_mixed_page_fixes_only_fixable(self):
+        html = PAGE.format(
+            '<img src="a"alt="b">'
+            "<table><tr><strong>X</strong></tr></table>"
+        )
+        result = autofix(html)
+        report = CHECKER.check_html(result.fixed)
+        assert "FB2" not in report.violated
+        assert "HF4" in report.violated
+
+    def test_clean_page_unchanged(self):
+        html = PAGE.format("<p>fine</p>")
+        result = autofix(html)
+        assert not result.changed
+        assert result.repaired == [] and result.remaining == []
+
+
+class TestEstimateFixability:
+    def test_fixable_only_page(self):
+        report = CHECKER.check_html(PAGE.format('<img src="a"alt="b">'))
+        assert estimate_fixability(report)
+
+    def test_manual_page(self):
+        report = CHECKER.check_html(PAGE.format(
+            "<table><tr><strong>X</strong></tr></table>"
+        ))
+        assert not estimate_fixability(report)
+
+    def test_clean_page_not_counted(self):
+        report = CHECKER.check_html(PAGE.format("<p>x</p>"))
+        assert not estimate_fixability(report)
+
+
+FIXABLE_INJECTORS = ["FB1", "FB2", "DM3", "DM1", "DM2_1", "DM2_2", "DM2_3"]
+MANUAL_INJECTORS = ["HF4", "HF5_2", "DE4", "DE3_2", "HF3_SECOND"]
+
+
+class TestOnGeneratedPages:
+    """Property: on realistic generated pages, autofix removes all
+    auto-fixable violations and changes nothing else."""
+
+    @pytest.mark.parametrize("name", FIXABLE_INJECTORS)
+    def test_each_fixable_injector_repaired(self, name):
+        for trial in range(3):
+            draft = build_page("fix.example", "/p", random.Random(trial))
+            INJECTORS[name].apply(draft, random.Random(trial + 50))
+            result = autofix(draft.render())
+            report = CHECKER.check_html(result.fixed)
+            assert report.violated & AUTO_FIXABLE_IDS == set(), (
+                name, trial, sorted(report.violated)
+            )
+
+    @pytest.mark.parametrize("name", MANUAL_INJECTORS)
+    def test_manual_injectors_survive(self, name):
+        draft = build_page("fix.example", "/p", random.Random(9))
+        INJECTORS[name].apply(draft, random.Random(10))
+        html = draft.render()
+        before = CHECKER.check_html(html).violated
+        result = autofix(html)
+        after = CHECKER.check_html(result.fixed).violated
+        assert after == before  # nothing fixable was present; untouched
+
+    @given(
+        st.lists(
+            st.sampled_from(FIXABLE_INJECTORS),
+            min_size=1, max_size=3, unique=True,
+        ),
+        st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_autofix_idempotent(self, names, seed):
+        """Repairing an already-repaired page changes nothing."""
+        draft = build_page("idem.example", "/p", random.Random(seed))
+        for name in names:
+            INJECTORS[name].apply(draft, random.Random(seed + 3))
+        once = autofix(draft.render())
+        assert once.changed
+        twice = autofix(once.fixed)
+        assert not twice.changed
+        assert twice.fixed == once.fixed
+
+    @given(
+        st.lists(
+            st.sampled_from(FIXABLE_INJECTORS + MANUAL_INJECTORS),
+            min_size=1, max_size=4, unique=True,
+        ),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_combined_injections(self, names, seed):
+        draft = build_page("prop.example", "/p", random.Random(seed))
+        for name in names:
+            INJECTORS[name].apply(draft, random.Random(seed + hash(name) % 97))
+        html = draft.render()
+        before_manual = CHECKER.check_html(html).violated - AUTO_FIXABLE_IDS
+        result = autofix(html)
+        report = CHECKER.check_html(result.fixed)
+        # all fixable gone
+        assert report.violated & AUTO_FIXABLE_IDS == set()
+        # manual-only set preserved
+        assert report.violated == before_manual

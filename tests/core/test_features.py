@@ -1,0 +1,43 @@
+"""Page-features measurement tests (math/svg adoption counters)."""
+from __future__ import annotations
+
+from repro.core.features import measure_features_html
+
+PAGE = (
+    "<!DOCTYPE html><html><head><title>t</title></head><body>{}</body></html>"
+)
+
+
+class TestMeasureFeatures:
+    def test_math_counted(self):
+        features = measure_features_html(PAGE.format(
+            "<math><mi>x</mi></math><math><mn>1</mn></math>"
+        ))
+        assert features.math_elements == 2
+        assert features.uses_math
+
+    def test_svg_counted(self):
+        features = measure_features_html(PAGE.format(
+            "<svg><circle r='1'/></svg>"
+        ))
+        assert features.svg_elements == 1
+        assert features.uses_svg
+        assert not features.uses_math
+
+    def test_plain_page(self):
+        features = measure_features_html(PAGE.format("<p>x</p>"))
+        assert not features.uses_math and not features.uses_svg
+
+    def test_stranded_foreign_names_not_counted(self):
+        # a <math>-less <mi> is an unknown HTML element, not math usage;
+        # likewise "svg" must be in the SVG namespace
+        features = measure_features_html(PAGE.format("<mi>x</mi>"))
+        assert features.math_elements == 0
+
+    def test_nested_svg_in_math_annotation(self):
+        features = measure_features_html(PAGE.format(
+            "<math><annotation-xml encoding='text/html'>"
+            "<svg><rect/></svg></annotation-xml></math>"
+        ))
+        assert features.math_elements == 1
+        assert features.svg_elements == 1

@@ -1,0 +1,77 @@
+"""Section 4.5 mitigation detector tests."""
+from __future__ import annotations
+
+from repro.core import measure_mitigations_html
+
+PAGE = (
+    "<!DOCTYPE html><html><head><title>t</title></head><body>{}</body></html>"
+)
+
+
+class TestScriptInAttribute:
+    def test_srcdoc_hit(self):
+        report = measure_mitigations_html(PAGE.format(
+            '<iframe srcdoc="<script>x()</script>"></iframe>'
+        ))
+        assert len(report.script_in_attr) == 1
+        hit = report.script_in_attr[0]
+        assert hit.element == "iframe"
+        assert hit.attribute == "srcdoc"
+        assert not hit.is_nonced_script
+
+    def test_custom_data_attribute_hit(self):
+        report = measure_mitigations_html(PAGE.format(
+            '<div data-embed="<script src=/w.js></script>">x</div>'
+        ))
+        assert report.script_in_attr
+        assert not report.affected_by_nonce_mitigation
+
+    def test_nonced_script_detected(self):
+        """The one shape the Chromium mitigation would neutralize: a nonced
+        script whose attribute swallowed a following '<script'."""
+        report = measure_mitigations_html(PAGE.format(
+            '<script src="https://evil.com/x.js" nonce="r4nd" '
+            'inj="<p>x</p><script id=in-action>"></script>'
+        ))
+        assert report.affected_by_nonce_mitigation
+
+    def test_clean_page(self):
+        report = measure_mitigations_html(PAGE.format("<p>x</p>"))
+        assert report.script_in_attr == []
+
+
+class TestUrlNewlines:
+    def test_newline_only(self):
+        report = measure_mitigations_html(PAGE.format(
+            '<img src="https://cdn/x\ny.png">'
+        ))
+        assert report.urls_with_newline == 1
+        assert report.urls_with_newline_and_lt == 0
+        assert not report.conflicts_with_url_mitigation
+
+    def test_newline_and_lt(self):
+        report = measure_mitigations_html(PAGE.format(
+            '<a href="https://e/?p=\n<q>">x</a>'
+        ))
+        assert report.urls_with_newline == 1
+        assert report.urls_with_newline_and_lt == 1
+        assert report.conflicts_with_url_mitigation
+
+    def test_lt_only_not_counted(self):
+        report = measure_mitigations_html(PAGE.format(
+            '<a href="https://e/?p=<q>">x</a>'
+        ))
+        assert report.urls_with_newline == 0
+
+    def test_newline_in_non_url_attribute_ignored(self):
+        report = measure_mitigations_html(PAGE.format(
+            '<div title="a\nb">x</div>'
+        ))
+        assert report.urls_with_newline == 0
+
+    def test_multiple_urls_counted(self):
+        report = measure_mitigations_html(PAGE.format(
+            '<img src="/a\nb"><img src="/c\nd"><a href="/e\n<f">x</a>'
+        ))
+        assert report.urls_with_newline == 3
+        assert report.urls_with_newline_and_lt == 1

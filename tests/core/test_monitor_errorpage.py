@@ -1,0 +1,86 @@
+"""Monitor collector and strict-mode error page tests (section 5.3.2)."""
+from __future__ import annotations
+
+from repro.core import (
+    Checker,
+    MonitorCollector,
+    StrictMode,
+    StrictParserPolicy,
+    parse_with_policy,
+    render_error_page,
+)
+
+PAGE = (
+    "<!DOCTYPE html><html><head><title>t</title></head><body>{}</body></html>"
+)
+FB2_PAGE = PAGE.format('<img src="a"onerror="x()">')
+MIXED_PAGE = PAGE.format(
+    '<img src="a"onerror="x()">'
+    "<table><tr><strong>X</strong></tr></table>"
+)
+CLEAN_PAGE = PAGE.format("<p>x</p>")
+
+
+class TestMonitorCollector:
+    def test_collects_notifications(self):
+        monitor = MonitorCollector()
+        policy = StrictParserPolicy(StrictMode.DEFAULT, "https://mon/r")
+        for index, page in enumerate((FB2_PAGE, MIXED_PAGE, CLEAN_PAGE)):
+            parse_with_policy(
+                page, policy, url=f"https://s/p{index}", monitor=monitor
+            )
+        assert len(monitor) == 2  # clean page reports nothing
+
+    def test_by_violation_counts(self):
+        monitor = MonitorCollector()
+        policy = StrictParserPolicy(StrictMode.DEFAULT, "https://mon/r")
+        parse_with_policy(FB2_PAGE, policy, url="https://s/1", monitor=monitor)
+        parse_with_policy(MIXED_PAGE, policy, url="https://s/2", monitor=monitor)
+        counts = monitor.by_violation()
+        assert counts["FB2"] == 2
+        assert counts["HF4"] == 1
+
+    def test_pages_that_would_break(self):
+        monitor = MonitorCollector()
+        strict = StrictParserPolicy(StrictMode.STRICT, "https://mon/r")
+        parse_with_policy(FB2_PAGE, strict, url="https://s/broken",
+                          monitor=monitor)
+        parse_with_policy(CLEAN_PAGE, strict, url="https://s/fine",
+                          monitor=monitor)
+        assert monitor.pages_that_would_break() == ["https://s/broken"]
+
+    def test_summary(self):
+        monitor = MonitorCollector()
+        policy = StrictParserPolicy(StrictMode.DEFAULT, "https://mon/r")
+        parse_with_policy(FB2_PAGE, policy, url="https://s/1", monitor=monitor)
+        out = monitor.summary()
+        assert "1 report(s)" in out
+        assert "FB2" in out
+
+    def test_no_monitor_url_no_collection(self):
+        monitor = MonitorCollector()
+        parse_with_policy(
+            FB2_PAGE, StrictParserPolicy(StrictMode.STRICT), monitor=monitor
+        )
+        assert len(monitor) == 0
+
+
+class TestErrorPage:
+    def test_error_page_lists_violations(self):
+        outcome = parse_with_policy(
+            MIXED_PAGE, StrictParserPolicy(StrictMode.STRICT),
+            url="https://victim.example/",
+        )
+        page = render_error_page(outcome)
+        assert "could not be displayed" in page
+        assert "FB2" in page and "HF4" in page
+        assert "https://victim.example/" in page
+
+    def test_error_page_is_itself_conforming(self):
+        """The warning page a strict browser shows must obviously pass the
+        strict parser itself."""
+        outcome = parse_with_policy(
+            FB2_PAGE, StrictParserPolicy(StrictMode.STRICT)
+        )
+        page = render_error_page(outcome)
+        assert Checker().check_html(page).violated == frozenset()

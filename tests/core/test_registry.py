@@ -1,0 +1,88 @@
+"""Violation registry (Table 1) consistency tests."""
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ALL_IDS,
+    AUTO_FIXABLE_IDS,
+    FAMILIES,
+    IDS_BY_GROUP,
+    REGISTRY,
+    Category,
+    Group,
+    family_of,
+    group_of,
+)
+from repro.core.rules import RULE_CLASSES
+
+
+class TestRegistry:
+    def test_twenty_subchecks(self):
+        assert len(REGISTRY) == 20
+
+    def test_fourteen_families(self):
+        """Table 1 lists 14 violation families."""
+        assert len(FAMILIES) == 14
+
+    def test_expected_ids(self):
+        assert set(ALL_IDS) == {
+            "DE1", "DE2", "DE3_1", "DE3_2", "DE3_3", "DE4",
+            "DM1", "DM2_1", "DM2_2", "DM2_3", "DM3",
+            "HF1", "HF2", "HF3", "HF4", "HF5_1", "HF5_2", "HF5_3",
+            "FB1", "FB2",
+        }
+
+    def test_groups_match_prefix(self):
+        for violation in REGISTRY.values():
+            assert violation.group.value == violation.id[:2]
+
+    def test_family_derivation(self):
+        assert family_of("DM2_1") == "DM2"
+        assert family_of("FB1") == "FB1"
+        assert family_of("HF5_3") == "HF5"
+
+    def test_group_lookup(self):
+        assert group_of("DE3_2") is Group.DATA_EXFILTRATION
+        assert group_of("FB2") is Group.FILTER_BYPASS
+
+    def test_ids_by_group_partition(self):
+        all_ids = [vid for ids in IDS_BY_GROUP.values() for vid in ids]
+        assert sorted(all_ids) == sorted(ALL_IDS)
+
+    def test_auto_fixable_set_matches_section_44(self):
+        """Section 4.4: FB and DM violations are automatically fixable,
+        HF and DE require manual work."""
+        assert AUTO_FIXABLE_IDS == {
+            "FB1", "FB2", "DM1", "DM2_1", "DM2_2", "DM2_3", "DM3"
+        }
+
+    def test_categories_match_paper(self):
+        definition = {v.id for v in REGISTRY.values()
+                      if v.category is Category.DEFINITION}
+        # section 3.2.1 lists DE1, DE2, DM1, DM2, HF1, HF2 as definition
+        # violations
+        assert {"DE1", "DE2", "DM1", "DM2_1", "DM2_2", "DM2_3", "HF1",
+                "HF2"} == definition
+
+    def test_every_violation_has_definition_text(self):
+        for violation in REGISTRY.values():
+            assert violation.name
+            assert len(violation.definition) > 20
+
+    def test_one_rule_per_subcheck(self):
+        rule_ids = [rule_class.id for rule_class in RULE_CLASSES]
+        assert sorted(rule_ids) == sorted(ALL_IDS)
+        assert len(set(rule_ids)) == len(rule_ids)
+
+    def test_rule_with_bad_id_rejected(self):
+        from repro.core.rules.base import Rule
+
+        class Bogus(Rule):
+            id = "XX9"
+
+            def check(self, result):  # pragma: no cover
+                return []
+
+        with pytest.raises(ValueError):
+            Bogus()

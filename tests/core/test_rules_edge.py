@@ -1,0 +1,132 @@
+"""Edge cases for the violation rules: attribute variants, offsets,
+evidence snippets, interactions."""
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Checker
+
+CHECKER = Checker()
+
+PAGE = (
+    "<!DOCTYPE html><html><head><title>t</title></head><body>{}</body></html>"
+)
+
+
+def violated(html: str) -> frozenset[str]:
+    return CHECKER.check_html(html).violated
+
+
+class TestUrlAttributeVariants:
+    @pytest.mark.parametrize("attr", ["href", "src", "action", "formaction",
+                                      "poster", "data", "cite", "srcset",
+                                      "ping", "background"])
+    def test_de3_1_across_url_attributes(self, attr):
+        html = PAGE.format(f'<x-el {attr}="https://e/?a=\n<b>">y</x-el>')
+        assert "DE3_1" in violated(html)
+
+    def test_xlink_href_in_svg(self):
+        html = PAGE.format(
+            '<svg><use xlink:href="#i\n<defs">x</use></svg>'
+        )
+        assert "DE3_1" in violated(html)
+
+    def test_unquoted_value_cannot_hold_newline(self):
+        # whitespace terminates an unquoted value, so no DE3_1 possible
+        html = PAGE.format("<a href=https://e/?a=\n<b>y</b></a>")
+        report = CHECKER.check_html(html)
+        assert "DE3_1" not in report.violated
+
+    def test_duplicate_attr_value_still_scanned(self):
+        """DE3 checks include values of duplicate (dropped) attributes —
+        the attacker-controlled copy is what matters."""
+        html = PAGE.format('<a href="/ok" href="https://e/\n<x>">y</a>')
+        assert "DE3_1" in violated(html)
+        assert "DM3" in violated(html)
+
+
+class TestOffsetsAndEvidence:
+    def test_finding_offsets_point_into_source(self):
+        html = PAGE.format('<img src="a.png"onerror="x()">')
+        report = CHECKER.check_html(html)
+        finding = next(f for f in report.findings if f.violation == "FB2")
+        assert 0 <= finding.offset < len(html)
+
+    def test_evidence_contains_context(self):
+        html = PAGE.format('<img src="a.png"onerror="x()">')
+        report = CHECKER.check_html(html)
+        finding = next(f for f in report.findings if f.violation == "FB2")
+        assert "onerror" in finding.evidence
+
+    def test_structural_finding_offsets(self):
+        html = "<html><body>x</body></html>"  # missing head tags
+        report = CHECKER.check_html(html)
+        hf1 = [f for f in report.findings if f.violation == "HF1"]
+        assert hf1
+        for finding in hf1:
+            assert finding.offset >= -1
+
+    def test_multiple_findings_counted_separately(self):
+        html = PAGE.format(
+            '<img src="a"alt="1"><img src="b"alt="2"><img src="c"alt="3">'
+        )
+        report = CHECKER.check_html(html)
+        assert report.counts["FB2"] == 3
+
+
+class TestInteractions:
+    def test_fb2_inside_foster_parented_content(self):
+        """Violations inside content the parser moves around must still be
+        attributed (the checker reads the token stream, not the DOM)."""
+        html = PAGE.format(
+            '<table><tr><img src="x"alt="y"><td>c</td></tr></table>'
+        )
+        report = CHECKER.check_html(html)
+        assert {"FB2", "HF4"} <= report.violated
+
+    def test_violations_inside_noscript(self):
+        html = PAGE.format(
+            '<noscript><img src="x"alt="y"></noscript>'
+        )
+        assert "FB2" in violated(html)
+
+    def test_violations_inside_svg_attributes(self):
+        html = PAGE.format('<svg><image href="a"width="1"></image></svg>')
+        assert "FB2" in violated(html)
+
+    def test_de3_2_in_rawtext_not_flagged(self):
+        """'<script' inside a real script body is not an attribute value."""
+        html = PAGE.format(
+            "<script>var tpl = \"<script src=/x>\";</script>"
+        )
+        report = CHECKER.check_html(html)
+        assert "DE3_2" not in report.violated
+
+    def test_comment_content_not_scanned(self):
+        html = PAGE.format('<!-- <img src="a"onerror="x"> -->')
+        assert violated(html) == frozenset()
+
+    def test_meta_inside_template_in_body(self):
+        # template content is document-inert; the DOM-based DM1 rule still
+        # sees it (the markup exists), matching a source-level checker
+        html = PAGE.format(
+            '<template><meta http-equiv="refresh" content="0"></template>'
+        )
+        report = CHECKER.check_html(html)
+        assert "DM1" in report.violated
+
+
+class TestLargeInputs:
+    def test_many_attributes(self):
+        attrs = " ".join(f'data-a{i}="{i}"' for i in range(300))
+        html = PAGE.format(f"<div {attrs}>x</div>")
+        assert violated(html) == frozenset()
+
+    def test_deep_nesting(self):
+        depth = 150
+        html = PAGE.format("<div>" * depth + "x" + "</div>" * depth)
+        assert violated(html) == frozenset()
+
+    def test_long_text_runs(self):
+        html = PAGE.format("<p>" + "word " * 20_000 + "</p>")
+        assert violated(html) == frozenset()

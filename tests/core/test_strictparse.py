@@ -1,0 +1,187 @@
+"""STRICT-PARSER roadmap (section 5.3) tests: header parsing, policy
+enforcement, monitor reports, and the staged rollout simulation."""
+from __future__ import annotations
+
+import pytest
+
+from repro.commoncrawl import calibration as cal
+from repro.core import (
+    INITIAL_ENFORCED,
+    StrictHeaderError,
+    StrictMode,
+    StrictParserPolicy,
+    deprecation_warning,
+    parse_strict_header,
+    parse_with_policy,
+    simulate_rollout,
+)
+from repro.core.violations import ALL_IDS
+
+PAGE = (
+    "<!DOCTYPE html><html><head><title>t</title></head><body>{}</body></html>"
+)
+FB2_PAGE = PAGE.format('<img src="a"onerror="x()">')
+DE_PAGE = "<!DOCTYPE html><html><body><select><option>France"
+CLEAN_PAGE = PAGE.format("<p>x</p>")
+
+
+class TestHeaderParsing:
+    def test_absent_header_is_default(self):
+        policy = parse_strict_header(None)
+        assert policy.mode is StrictMode.DEFAULT
+        assert policy.monitor_url is None
+
+    @pytest.mark.parametrize("value,mode", [
+        ("strict", StrictMode.STRICT),
+        ("STRICT", StrictMode.STRICT),
+        ("unsafe", StrictMode.UNSAFE),
+        ("default", StrictMode.DEFAULT),
+    ])
+    def test_modes(self, value, mode):
+        assert parse_strict_header(value).mode is mode
+
+    def test_monitor_directive(self):
+        policy = parse_strict_header(
+            'strict; monitor="https://rep.example/csp"'
+        )
+        assert policy.monitor_url == "https://rep.example/csp"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(StrictHeaderError):
+            parse_strict_header("lenient")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(StrictHeaderError):
+            parse_strict_header("strict; frobnicate=1")
+
+    def test_header_value_roundtrip(self):
+        policy = StrictParserPolicy(StrictMode.STRICT, "https://m/")
+        assert parse_strict_header(policy.header_value()) == policy
+
+
+class TestPolicyEnforcement:
+    def test_strict_blocks_any_violation(self):
+        outcome = parse_with_policy(
+            FB2_PAGE, StrictParserPolicy(StrictMode.STRICT)
+        )
+        assert outcome.blocked
+        assert "FB2" in outcome.blocked_violations
+
+    def test_strict_passes_clean_page(self):
+        outcome = parse_with_policy(
+            CLEAN_PAGE, StrictParserPolicy(StrictMode.STRICT)
+        )
+        assert not outcome.blocked
+
+    def test_unsafe_never_blocks(self):
+        outcome = parse_with_policy(
+            FB2_PAGE, StrictParserPolicy(StrictMode.UNSAFE)
+        )
+        assert not outcome.blocked
+
+    def test_default_blocks_only_enforced_list(self):
+        # FB2 is not on the initial enforced list
+        outcome = parse_with_policy(FB2_PAGE, StrictParserPolicy())
+        assert not outcome.blocked
+        # DE2 (rare, dangling-markup shaped) is
+        outcome = parse_with_policy(DE_PAGE, StrictParserPolicy())
+        assert outcome.blocked
+        assert "DE2" in outcome.blocked_violations
+
+    def test_default_with_grown_enforced_list(self):
+        outcome = parse_with_policy(
+            FB2_PAGE, StrictParserPolicy(),
+            enforced=frozenset(ALL_IDS),
+        )
+        assert outcome.blocked
+
+    def test_monitor_notified_even_when_not_blocked(self):
+        policy = StrictParserPolicy(StrictMode.DEFAULT, "https://mon/")
+        outcome = parse_with_policy(FB2_PAGE, policy, url="https://s/p")
+        assert len(outcome.notifications) == 1
+        notification = outcome.notifications[0]
+        assert notification.monitor_url == "https://mon/"
+        assert "FB2" in notification.violations
+        assert not notification.blocked
+
+    def test_no_notification_for_clean_page(self):
+        policy = StrictParserPolicy(StrictMode.STRICT, "https://mon/")
+        outcome = parse_with_policy(CLEAN_PAGE, policy)
+        assert outcome.notifications == []
+
+
+class TestInitialEnforcedList:
+    def test_contains_rare_violations_only(self):
+        """Section 5.3.2: the list starts with violations that 'rarely
+        appear in our analysis, such as all math element-related
+        violations or dangling markup'."""
+        for violation in INITIAL_ENFORCED:
+            assert cal.UNION_PREVALENCE[violation] < 0.05
+
+    def test_mathml_violation_enforced(self):
+        assert "HF5_3" in INITIAL_ENFORCED
+
+
+class TestRolloutSimulation:
+    def prevalence(self):
+        return {
+            year: {
+                rule: cal.YEARLY_PREVALENCE[rule][cal.YEARS.index(year)]
+                for rule in ALL_IDS
+            }
+            for year in cal.YEARS
+        }
+
+    def test_rollout_reaches_full_enforcement(self):
+        plan = simulate_rollout(self.prevalence())
+        assert plan.fully_enforced_year is not None
+
+    def test_enforced_list_grows_monotonically(self):
+        plan = simulate_rollout(self.prevalence())
+        sizes = [len(stage.enforced) for stage in plan.stages]
+        assert sizes == sorted(sizes)
+
+    def test_rare_rules_enforced_before_common(self):
+        plan = simulate_rollout(self.prevalence())
+        year_of = {}
+        for stage in plan.stages:
+            for rule in stage.newly_enforced:
+                year_of.setdefault(rule, stage.year)
+        for rule in INITIAL_ENFORCED:
+            year_of.setdefault(rule, plan.stages[0].year)
+        assert year_of["HF5_3"] <= year_of["FB2"]
+        assert year_of["DE1"] <= year_of["DM3"]
+
+    def test_breakage_bounded(self):
+        plan = simulate_rollout(self.prevalence())
+        for stage in plan.stages:
+            assert 0.0 <= stage.breakage <= 1.0
+
+    def test_threshold_respected_in_measured_years(self):
+        prevalence = self.prevalence()
+        plan = simulate_rollout(prevalence, threshold=0.005)
+        measured_years = set(prevalence)
+        for stage in plan.stages:
+            if stage.year not in measured_years:
+                continue
+            for rule in stage.newly_enforced:
+                assert prevalence[stage.year][rule] < 0.005
+
+    def test_faster_decay_finishes_sooner(self):
+        slow = simulate_rollout(self.prevalence(), annual_decay=0.8)
+        fast = simulate_rollout(self.prevalence(), annual_decay=0.3)
+        assert (fast.fully_enforced_year or 9999) <= (
+            slow.fully_enforced_year or 9999
+        )
+
+
+class TestDeprecationWarning:
+    def test_warning_is_specific(self):
+        message = deprecation_warning("FB2")
+        assert "FB2" in message
+        assert "whitespace" in message.lower()
+        assert "STRICT-PARSER" in message
+
+    def test_every_violation_has_warning(self):
+        for violation in ALL_IDS:
+            assert deprecation_warning(violation)

@@ -1,0 +1,130 @@
+"""Full DOCTYPE identifier state tests (spec 13.2.5.56–67)."""
+from __future__ import annotations
+
+import pytest
+
+from repro.html import tokenize
+from repro.html.errors import ErrorCode
+from repro.html.tokens import Doctype
+
+
+def first_doctype(text):
+    tokens, errors = tokenize(text)
+    doctype = next(t for t in tokens if isinstance(t, Doctype))
+    return doctype, [e.code for e in errors]
+
+
+class TestPublicIdentifier:
+    def test_well_formed(self):
+        doctype, errors = first_doctype(
+            '<!DOCTYPE html PUBLIC "-//W3C//DTD HTML 4.01//EN">'
+        )
+        assert doctype.public_id == "-//W3C//DTD HTML 4.01//EN"
+        assert doctype.system_id is None
+        assert errors == []
+
+    def test_single_quoted(self):
+        doctype, errors = first_doctype(
+            "<!DOCTYPE html PUBLIC '-//X//Y//EN'>"
+        )
+        assert doctype.public_id == "-//X//Y//EN"
+        assert errors == []
+
+    def test_missing_space_after_keyword(self):
+        doctype, errors = first_doctype('<!DOCTYPE html PUBLIC"p">')
+        assert doctype.public_id == "p"
+        assert ErrorCode.MISSING_WHITESPACE_AFTER_DOCTYPE_PUBLIC_KEYWORD in errors
+        assert not doctype.force_quirks
+
+    def test_missing_identifier(self):
+        doctype, errors = first_doctype("<!DOCTYPE html PUBLIC>")
+        assert ErrorCode.MISSING_DOCTYPE_PUBLIC_IDENTIFIER in errors
+        assert doctype.force_quirks
+
+    def test_unquoted_identifier_is_bogus(self):
+        doctype, errors = first_doctype("<!DOCTYPE html PUBLIC foo>")
+        assert ErrorCode.MISSING_QUOTE_BEFORE_DOCTYPE_PUBLIC_IDENTIFIER in errors
+        assert doctype.force_quirks
+
+    def test_abrupt_close_inside_identifier(self):
+        doctype, errors = first_doctype('<!DOCTYPE html PUBLIC "-//W3C>x')
+        assert ErrorCode.ABRUPT_DOCTYPE_PUBLIC_IDENTIFIER in errors
+        assert doctype.force_quirks
+        assert doctype.public_id == "-//W3C"
+
+    def test_eof_inside_identifier(self):
+        doctype, errors = first_doctype('<!DOCTYPE html PUBLIC "-//W3C')
+        assert ErrorCode.EOF_IN_DOCTYPE in errors
+        assert doctype.force_quirks
+
+
+class TestSystemIdentifier:
+    def test_public_then_system(self):
+        doctype, errors = first_doctype(
+            '<!DOCTYPE html PUBLIC "p" "s">'
+        )
+        assert doctype.public_id == "p"
+        assert doctype.system_id == "s"
+        assert errors == []
+
+    def test_system_alone(self):
+        doctype, errors = first_doctype(
+            '<!DOCTYPE html SYSTEM "about:legacy-compat">'
+        )
+        assert doctype.system_id == "about:legacy-compat"
+        assert doctype.public_id is None
+        assert errors == []
+
+    def test_missing_space_between_public_and_system(self):
+        doctype, errors = first_doctype('<!DOCTYPE html PUBLIC "p""s">')
+        assert doctype.system_id == "s"
+        assert (
+            ErrorCode.MISSING_WHITESPACE_BETWEEN_DOCTYPE_PUBLIC_AND_SYSTEM_IDENTIFIERS
+            in errors
+        )
+
+    def test_missing_system_identifier(self):
+        doctype, errors = first_doctype("<!DOCTYPE html SYSTEM >")
+        assert ErrorCode.MISSING_DOCTYPE_SYSTEM_IDENTIFIER in errors
+        assert doctype.force_quirks
+
+    def test_abrupt_system_identifier(self):
+        doctype, errors = first_doctype('<!DOCTYPE html SYSTEM "s>x')
+        assert ErrorCode.ABRUPT_DOCTYPE_SYSTEM_IDENTIFIER in errors
+
+    def test_trailing_junk_not_quirks(self):
+        """Per spec, junk after the system id is an error but does NOT
+        force quirks mode."""
+        doctype, errors = first_doctype('<!DOCTYPE html SYSTEM "s" junk>')
+        assert (
+            ErrorCode.UNEXPECTED_CHARACTER_AFTER_DOCTYPE_SYSTEM_IDENTIFIER
+            in errors
+        )
+        assert not doctype.force_quirks
+        assert doctype.system_id == "s"
+
+    def test_null_in_identifier_replaced(self):
+        doctype, errors = first_doctype('<!DOCTYPE html SYSTEM "a\x00b">')
+        assert doctype.system_id == "a�b"
+        assert ErrorCode.UNEXPECTED_NULL_CHARACTER in errors
+
+
+class TestBogusDoctype:
+    def test_bogus_consumes_to_gt(self):
+        doctype, errors = first_doctype("<!DOCTYPE html BOGUS stuff here>x")
+        assert ErrorCode.INVALID_CHARACTER_SEQUENCE_AFTER_DOCTYPE_NAME in errors
+        assert doctype.force_quirks
+
+    def test_bogus_at_eof(self):
+        doctype, errors = first_doctype("<!DOCTYPE html BOGUS never closed")
+        assert doctype.force_quirks
+
+    def test_quirks_detection_uses_parsed_ids(self):
+        from repro.html import parse
+        from repro.html.quirks import QuirksMode
+
+        document = parse(
+            '<!DOCTYPE html PUBLIC "-//W3C//DTD XHTML 1.0 Transitional//EN" '
+            '"http://www.w3.org/TR/xhtml1/DTD/xhtml1-transitional.dtd"><p>x'
+        ).document
+        assert document.mode is QuirksMode.LIMITED_QUIRKS

@@ -1,0 +1,37 @@
+"""Tree-dump utility tests."""
+from __future__ import annotations
+
+from repro.html import parse
+from repro.html.dump import dump_tree
+
+
+class TestDump:
+    def test_doctype_with_ids(self):
+        out = dump_tree(parse(
+            '<!DOCTYPE html PUBLIC "-//W3C//DTD HTML 4.01//EN" '
+            '"http://www.w3.org/TR/html4/strict.dtd">x'
+        ).document)
+        assert out.splitlines()[0] == (
+            '| <!DOCTYPE html "-//W3C//DTD HTML 4.01//EN" '
+            '"http://www.w3.org/TR/html4/strict.dtd">'
+        )
+
+    def test_comment(self):
+        out = dump_tree(parse("<!DOCTYPE html><body><!--note-->").document)
+        assert "<!-- note -->" in out
+
+    def test_text_quoted(self):
+        out = dump_tree(parse("<!DOCTYPE html>hi").document)
+        assert '| "hi"' in out or '"hi"' in out
+
+    def test_foreign_prefix(self):
+        out = dump_tree(parse("<!DOCTYPE html><svg></svg><math></math>").document)
+        assert "<svg svg>" in out
+        assert "<math math>" in out
+
+    def test_attribute_lines_sorted(self):
+        out = dump_tree(parse('<!DOCTYPE html><p z="1" a="2">').document)
+        lines = [line.strip("| ") for line in out.splitlines()]
+        a_index = lines.index('a="2"')
+        z_index = lines.index('z="1"')
+        assert a_index < z_index

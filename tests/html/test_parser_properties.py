@@ -1,0 +1,109 @@
+"""Property-based invariants of the tokenizer and tree builder."""
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.html import parse, tokenize
+from repro.html.dom import Element, Node
+from repro.html.tokens import EOF, EndTag, StartTag
+
+_MARKUPISH = st.text(
+    alphabet=st.sampled_from(list("<>/=&;\"' abcdefgh-!?#x0123\n\t")),
+    max_size=120,
+)
+
+
+class TestTokenizerInvariants:
+    @given(_MARKUPISH)
+    @settings(max_examples=250, deadline=None)
+    def test_never_crashes_and_ends_with_eof(self, text):
+        tokens, _errors = tokenize(text)
+        assert isinstance(tokens[-1], EOF)
+        assert sum(isinstance(t, EOF) for t in tokens) == 1
+
+    @given(_MARKUPISH)
+    @settings(max_examples=250, deadline=None)
+    def test_error_offsets_in_bounds(self, text):
+        _tokens, errors = tokenize(text)
+        for error in errors:
+            assert 0 <= error.offset <= len(text) + 1
+
+    @given(_MARKUPISH)
+    @settings(max_examples=250, deadline=None)
+    def test_tag_spans_well_formed(self, text):
+        tokens, _errors = tokenize(text)
+        for token in tokens:
+            if isinstance(token, (StartTag, EndTag)) and token.end:
+                assert 0 <= token.offset < token.end <= len(text)
+                assert text[token.offset] == "<"
+
+    @given(_MARKUPISH)
+    @settings(max_examples=250, deadline=None)
+    def test_token_offsets_nondecreasing(self, text):
+        tokens, _errors = tokenize(text)
+        tag_offsets = [
+            t.offset for t in tokens if isinstance(t, (StartTag, EndTag))
+        ]
+        assert tag_offsets == sorted(tag_offsets)
+
+    @given(_MARKUPISH)
+    @settings(max_examples=250, deadline=None)
+    def test_tag_names_lowercase(self, text):
+        tokens, _errors = tokenize(text)
+        for token in tokens:
+            if isinstance(token, (StartTag, EndTag)):
+                assert token.name == token.name.lower()
+                for attribute in token.attributes:
+                    # names are lowercased except for the error-recovery
+                    # characters the spec appends verbatim
+                    assert attribute.name == attribute.name.lower() or any(
+                        ch in attribute.name for ch in "\"'<"
+                    )
+
+
+class TestTreeInvariants:
+    @given(_MARKUPISH)
+    @settings(max_examples=200, deadline=None)
+    def test_tree_is_consistent(self, text):
+        document = parse(text).document
+        seen: set[int] = set()
+
+        def walk(node: Node) -> None:
+            assert id(node) not in seen, "node appears twice (cycle/dup)"
+            seen.add(id(node))
+            for child in node.children:
+                assert child.parent is node
+                walk(child)
+
+        walk(document)
+
+    @given(_MARKUPISH)
+    @settings(max_examples=200, deadline=None)
+    def test_document_has_html_root_when_nonempty(self, text):
+        result = parse(text)
+        elements = list(result.document.iter_elements())
+        if elements:
+            root = result.document.document_element
+            assert root is not None and root.name == "html"
+            # html/head/body appear at most once directly under the root
+            top = [c.name for c in root.children if isinstance(c, Element)]
+            assert top.count("head") <= 1
+            assert top.count("body") + top.count("frameset") <= 1
+
+    @given(_MARKUPISH)
+    @settings(max_examples=200, deadline=None)
+    def test_events_reference_valid_offsets(self, text):
+        result = parse(text)
+        for event in result.events:
+            assert event.offset >= -1
+            assert event.offset <= len(result.source) + 1
+
+    @given(_MARKUPISH)
+    @settings(max_examples=100, deadline=None)
+    def test_checker_never_crashes_on_soup(self, text):
+        from repro.core import Checker
+
+        report = Checker().check_html(text)
+        for finding in report.findings:
+            assert finding.violation

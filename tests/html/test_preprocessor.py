@@ -1,0 +1,76 @@
+"""Input-stream preprocessing (HTML 13.2.3) tests."""
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.html import decode_bytes, preprocess
+from repro.html.errors import ErrorCode
+
+
+class TestDecodeBytes:
+    def test_plain_utf8(self):
+        assert decode_bytes("héllo".encode("utf-8")) == "héllo"
+
+    def test_utf8_bom_stripped(self):
+        assert decode_bytes(b"\xef\xbb\xbfhi") == "hi"
+
+    def test_latin1_rejected(self):
+        assert decode_bytes("café".encode("latin-1")) is None
+
+    def test_utf16_rejected(self):
+        assert decode_bytes("hello".encode("utf-16")) is None
+
+    def test_empty(self):
+        assert decode_bytes(b"") == ""
+
+    def test_invalid_continuation_byte(self):
+        assert decode_bytes(b"ok\xc3\x28bad") is None
+
+
+class TestPreprocess:
+    def test_crlf_to_lf(self):
+        assert preprocess("a\r\nb").text == "a\nb"
+
+    def test_lone_cr_to_lf(self):
+        assert preprocess("a\rb").text == "a\nb"
+
+    def test_mixed_line_endings(self):
+        assert preprocess("a\r\r\nb\r").text == "a\n\nb\n"
+
+    def test_bom_stripped(self):
+        assert preprocess("﻿x").text == "x"
+
+    def test_no_cr_untouched(self):
+        text = "line1\nline2"
+        assert preprocess(text).text == text
+
+    def test_control_char_error_collected(self):
+        result = preprocess("a\x01b", collect_errors=True)
+        assert [e.code for e in result.errors] == [
+            ErrorCode.CONTROL_CHARACTER_IN_INPUT_STREAM
+        ]
+        assert result.errors[0].offset == 1
+
+    def test_tab_and_lf_are_not_errors(self):
+        result = preprocess("a\tb\nc", collect_errors=True)
+        assert result.errors == []
+
+    def test_noncharacter_error(self):
+        result = preprocess("a﷐b", collect_errors=True)
+        assert [e.code for e in result.errors] == [
+            ErrorCode.NONCHARACTER_IN_INPUT_STREAM
+        ]
+
+    def test_errors_not_collected_by_default(self):
+        assert preprocess("a\x01b").errors == []
+
+    @given(st.text())
+    def test_never_leaves_cr(self, text):
+        assert "\r" not in preprocess(text).text
+
+    @given(st.text())
+    def test_idempotent(self, text):
+        once = preprocess(text).text
+        assert preprocess(once).text == once

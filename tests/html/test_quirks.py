@@ -1,0 +1,105 @@
+"""Quirks-mode determination tests (spec 13.2.6.4.1)."""
+from __future__ import annotations
+
+import pytest
+
+from repro.html import parse
+from repro.html.quirks import QuirksMode, quirks_mode_for
+from repro.html.tokens import Doctype
+
+
+def mode_of(html: str) -> QuirksMode:
+    return parse(html).document.mode
+
+
+class TestQuirksFromDoctype:
+    def test_html5_doctype_no_quirks(self):
+        assert mode_of("<!DOCTYPE html><p>x") is QuirksMode.NO_QUIRKS
+
+    def test_missing_doctype_quirks(self):
+        assert mode_of("<p>x") is QuirksMode.QUIRKS
+
+    def test_legacy_compat_no_quirks(self):
+        assert mode_of(
+            '<!DOCTYPE html SYSTEM "about:legacy-compat"><p>x'
+        ) is QuirksMode.NO_QUIRKS
+
+    def test_html32_quirks(self):
+        assert mode_of(
+            '<!DOCTYPE HTML PUBLIC "-//W3C//DTD HTML 3.2 Final//EN"><p>x'
+        ) is QuirksMode.QUIRKS
+
+    def test_html401_transitional_without_system_quirks(self):
+        assert mode_of(
+            '<!DOCTYPE HTML PUBLIC "-//W3C//DTD HTML 4.01 Transitional//EN">'
+            "<p>x"
+        ) is QuirksMode.QUIRKS
+
+    def test_html401_transitional_with_system_limited(self):
+        assert mode_of(
+            '<!DOCTYPE HTML PUBLIC "-//W3C//DTD HTML 4.01 Transitional//EN" '
+            '"http://www.w3.org/TR/html4/loose.dtd"><p>x'
+        ) is QuirksMode.LIMITED_QUIRKS
+
+    def test_html401_strict_no_quirks(self):
+        assert mode_of(
+            '<!DOCTYPE HTML PUBLIC "-//W3C//DTD HTML 4.01//EN" '
+            '"http://www.w3.org/TR/html4/strict.dtd"><p>x'
+        ) is QuirksMode.NO_QUIRKS
+
+    def test_xhtml10_transitional_limited(self):
+        assert mode_of(
+            '<!DOCTYPE html PUBLIC "-//W3C//DTD XHTML 1.0 Transitional//EN" '
+            '"http://www.w3.org/TR/xhtml1/DTD/xhtml1-transitional.dtd"><p>x'
+        ) is QuirksMode.LIMITED_QUIRKS
+
+    def test_xhtml10_strict_no_quirks(self):
+        assert mode_of(
+            '<!DOCTYPE html PUBLIC "-//W3C//DTD XHTML 1.0 Strict//EN" '
+            '"http://www.w3.org/TR/xhtml1/DTD/xhtml1-strict.dtd"><p>x'
+        ) is QuirksMode.NO_QUIRKS
+
+    def test_ietf_html_quirks(self):
+        assert mode_of(
+            '<!DOCTYPE HTML PUBLIC "-//IETF//DTD HTML 2.0//EN"><p>x'
+        ) is QuirksMode.QUIRKS
+
+    def test_ibm_system_id_quirks(self):
+        token = Doctype(
+            name="html",
+            system_id="http://www.ibm.com/data/dtd/v11/ibmxhtml1-transitional.dtd",
+        )
+        assert quirks_mode_for(token) is QuirksMode.QUIRKS
+
+    def test_force_quirks_flag(self):
+        assert quirks_mode_for(Doctype(name="html", force_quirks=True)) is (
+            QuirksMode.QUIRKS
+        )
+
+    def test_non_html_name(self):
+        assert quirks_mode_for(Doctype(name="svg")) is QuirksMode.QUIRKS
+
+    def test_case_insensitive_public_id(self):
+        token = Doctype(name="html", public_id="-//w3c//dtd html 3.2//en")
+        assert quirks_mode_for(token) is QuirksMode.QUIRKS
+
+
+class TestQuirksBehaviour:
+    def test_table_in_p_quirks(self):
+        """In quirks mode <table> does NOT close an open <p>."""
+        result = parse("<p>text<table><tr><td>c</td></tr></table>")
+        paragraph = result.document.find("p")
+        assert paragraph.find("table") is not None
+
+    def test_table_in_p_no_quirks(self):
+        result = parse(
+            "<!DOCTYPE html><p>text<table><tr><td>c</td></tr></table>"
+        )
+        paragraph = result.document.find("p")
+        assert paragraph.find("table") is None
+
+    def test_quirks_bool_compatibility(self):
+        document = parse("<p>x").document
+        assert document.quirks_mode is True
+        document = parse("<!DOCTYPE html><p>x").document
+        assert document.quirks_mode is False

@@ -1,0 +1,128 @@
+"""Serialization (HTML 13.3) tests, including the parse→serialize stability
+property the auto-fixer relies on."""
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.html import inner_html, parse, serialize
+from repro.html.dom import Element, Text
+
+
+def roundtrip(text: str) -> str:
+    return serialize(parse(text).document)
+
+
+class TestBasicSerialization:
+    def test_doctype(self):
+        assert roundtrip("<!DOCTYPE html>").startswith("<!DOCTYPE html>")
+
+    def test_attributes_quoted(self):
+        out = roundtrip("<p id=a title='x y'>t</p>")
+        assert 'id="a"' in out and 'title="x y"' in out
+
+    def test_attribute_value_escaped(self):
+        out = roundtrip('<p title="a&quot;b">t</p>')
+        assert 'title="a&quot;b"' in out
+
+    def test_text_escaped(self):
+        out = roundtrip("<p>a &lt; b &amp; c</p>")
+        assert "a &lt; b &amp; c" in out
+
+    def test_void_element_no_end_tag(self):
+        out = roundtrip('<body><img src="x"><br></body>')
+        assert "</img>" not in out and "</br>" not in out
+
+    def test_raw_text_not_escaped(self):
+        out = roundtrip("<script>a < b && c</script>")
+        assert "a < b && c" in out
+
+    def test_comment(self):
+        assert "<!--note-->" in roundtrip("<body><!--note--></body>")
+
+    def test_empty_attribute(self):
+        out = roundtrip("<input disabled>")
+        assert 'disabled=""' in out
+
+    def test_inner_html(self):
+        result = parse("<body><p>one</p><p>two</p></body>")
+        assert inner_html(result.document.body) == "<p>one</p><p>two</p>"
+
+    def test_manual_tree(self):
+        root = Element("div", attributes={"id": "x"})
+        root.append(Text("hi"))
+        assert serialize(root) == '<div id="x">hi</div>'
+
+
+class TestStability:
+    """serialize(parse(x)) must be a fixed point of parse∘serialize for
+    non-adversarial documents — mXSS payloads are the exception that
+    proves the rule (see test_mxss.py)."""
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "<!DOCTYPE html><html><head><title>t</title></head><body><p>x</p></body></html>",
+            "<p>one<p>two",
+            "<ul><li>a<li>b</ul>",
+            '<img src="a"onerror="x()">',
+            '<img/src="a"/alt="b">',
+            "<table><tr><td>x</td></tr></table>",
+            '<div id="a" id="b">dup</div>',
+            "<svg><circle r='1'/></svg>",
+            "<select><option>a<option>b</select>",
+            "<pre>\ntext</pre>",
+        ],
+    )
+    def test_second_roundtrip_stable(self, text):
+        once = roundtrip(text)
+        assert roundtrip(once) == once
+
+    def test_fb_violations_gone_after_roundtrip(self):
+        from repro.core import Checker
+
+        checker = Checker()
+        dirty = '<body><img src="a"onerror="x()"><img/src="b"/alt="c"></body>'
+        assert {"FB1", "FB2"} <= checker.check_html(dirty).violated
+        clean = roundtrip(dirty)
+        assert checker.check_html(clean).violated & {"FB1", "FB2"} == set()
+
+
+@st.composite
+def html_soup(draw):
+    """Random tag soup from a constrained alphabet (fast to parse)."""
+    bits = draw(
+        st.lists(
+            st.sampled_from(
+                [
+                    "<p>", "</p>", "<div>", "</div>", "<b>", "</b>",
+                    "<table>", "</table>", "<tr>", "<td>", "text ",
+                    "<img src=x>", "&amp;", "&", "<", ">", '"',
+                    "<span id=a>", "</span>", "<!--c-->", "<select>",
+                    "<option>", "</select>", "<svg>", "</svg>", "<math>",
+                    "<textarea>", "</textarea>", "\n", "<head>", "<body>",
+                ]
+            ),
+            max_size=25,
+        )
+    )
+    return "".join(bits)
+
+
+class TestProperties:
+    @given(html_soup())
+    @settings(max_examples=150, deadline=None)
+    def test_parse_serialize_never_crashes(self, text):
+        serialize(parse(text).document)
+
+    @given(st.text(max_size=200))
+    @settings(max_examples=150, deadline=None)
+    def test_arbitrary_text_never_crashes(self, text):
+        serialize(parse(text).document)
+
+    @given(html_soup())
+    @settings(max_examples=80, deadline=None)
+    def test_serialized_output_reparses(self, text):
+        once = serialize(parse(text).document)
+        serialize(parse(once).document)  # must not crash either

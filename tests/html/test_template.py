@@ -1,0 +1,100 @@
+"""<template> insertion-mode tests (HTML 13.2.6.4.22)."""
+from __future__ import annotations
+
+from repro.html import inner_html, parse
+
+PAGE = (
+    "<!DOCTYPE html><html><head><title>t</title></head><body>{}</body></html>"
+)
+
+
+class TestTemplateParsing:
+    def test_simple_template(self):
+        result = parse(PAGE.format("<template><p>inside</p></template>"))
+        template = result.document.find("template")
+        assert template is not None
+        assert template.find("p") is not None
+        assert result.errors == [] and result.events == []
+
+    def test_table_parts_survive_in_template(self):
+        """Outside a table, a stray <tr> is dropped; inside a template the
+        'in template' mode routes it through the table modes."""
+        result = parse(PAGE.format(
+            '<template id="row"><tr><td>cell</td></tr></template>'
+        ))
+        template = result.document.find("template")
+        assert inner_html(template) == "<tr><td>cell</td></tr>"
+
+    def test_bare_cells_in_template(self):
+        result = parse(PAGE.format("<template><td>a</td><td>b</td></template>"))
+        template = result.document.find("template")
+        assert [e.name for e in template.find_all("td")] == ["td", "td"]
+
+    def test_col_in_template(self):
+        result = parse(PAGE.format('<template><col span="2"></template>'))
+        assert result.document.find("col") is not None
+
+    def test_template_in_head_stays_in_head(self):
+        result = parse(
+            "<!DOCTYPE html><html><head><template><p>x</p></template>"
+            "</head><body>y</body></html>"
+        )
+        head = result.document.head
+        assert head.find("template") is not None
+        # no broken-head events: template is allowed head content
+        assert result.events == []
+
+    def test_nested_templates(self):
+        result = parse(PAGE.format(
+            "<template><template><b>deep</b></template></template>"
+        ))
+        templates = result.document.find_all("template")
+        assert len(templates) == 2
+        assert templates[0].find("template") is templates[1]
+
+    def test_unclosed_template_reported_at_eof(self):
+        result = parse("<body><template><div>never closed")
+        assert "template" in {
+            event.tag for event in result.events_of("element-open-at-eof")
+        }
+
+    def test_content_after_unclosed_template_still_parsed(self):
+        result = parse("<body><template><div>x")
+        # EOF pops the template; the div ends up inside it
+        template = result.document.find("template")
+        assert template.find("div") is not None
+
+    def test_stray_end_template_ignored(self):
+        result = parse(PAGE.format("</template><p>after</p>"))
+        assert result.document.find("p") is not None
+
+    def test_template_end_tag_closes_open_elements(self):
+        result = parse(PAGE.format("<template><b><i>x</template><p>out</p>"))
+        paragraph = result.document.find("p")
+        assert paragraph is not None
+        assert paragraph.parent.name == "body"
+
+    def test_template_inside_table(self):
+        result = parse(PAGE.format(
+            "<table><template><tr><td>t</td></tr></template>"
+            "<tr><td>real</td></tr></table>"
+        ))
+        table = result.document.find("table")
+        assert table.find("template") is not None
+        # template content was not foster-parented
+        fostered = [e for e in result.events if e.kind == "foster-parented"]
+        assert fostered == []
+
+    def test_checker_sees_violations_inside_template(self):
+        from repro.core import Checker
+
+        report = Checker().check_html(PAGE.format(
+            '<template><img src="a"onerror="x()"></template>'
+        ))
+        assert "FB2" in report.violated
+
+    def test_select_inside_template(self):
+        result = parse(PAGE.format(
+            "<template><select><option>a</option></select></template>x"
+        ))
+        assert result.document.find("option") is not None

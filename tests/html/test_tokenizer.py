@@ -1,0 +1,294 @@
+"""Tokenizer state machine (HTML 13.2.5) tests — token shapes and every
+spec-named parse error the violation rules depend on."""
+from __future__ import annotations
+
+import pytest
+
+from repro.html import tokenize
+from repro.html.errors import ErrorCode
+from repro.html.tokens import (
+    EOF,
+    Character,
+    Comment,
+    Doctype,
+    EndTag,
+    StartTag,
+)
+
+
+def codes(errors):
+    return [error.code for error in errors]
+
+
+def tags(tokens):
+    return [t for t in tokens if isinstance(t, (StartTag, EndTag))]
+
+
+class TestBasicTokens:
+    def test_simple_start_tag(self):
+        tokens, errors = tokenize("<p>")
+        assert isinstance(tokens[0], StartTag)
+        assert tokens[0].name == "p"
+        assert errors == []
+
+    def test_tag_name_lowercased(self):
+        tokens, _ = tokenize("<DIV>")
+        assert tokens[0].name == "div"
+
+    def test_end_tag(self):
+        tokens, _ = tokenize("</p>")
+        assert isinstance(tokens[0], EndTag)
+        assert tokens[0].name == "p"
+
+    def test_text_runs_batched(self):
+        tokens, _ = tokenize("hello world")
+        chars = [t for t in tokens if isinstance(t, Character)]
+        assert "".join(c.data for c in chars) == "hello world"
+
+    def test_self_closing_flag(self):
+        tokens, errors = tokenize("<br/>")
+        assert tokens[0].self_closing
+        assert errors == []
+
+    def test_eof_token_last(self):
+        tokens, _ = tokenize("x")
+        assert isinstance(tokens[-1], EOF)
+
+    def test_attributes_parsed(self):
+        tokens, _ = tokenize('<a href="/x" id=main disabled>')
+        attrs = {a.name: a.value for a in tokens[0].attributes}
+        assert attrs == {"href": "/x", "id": "main", "disabled": ""}
+
+    def test_attribute_names_lowercased(self):
+        tokens, _ = tokenize("<a HREF='/x'>")
+        assert tokens[0].attributes[0].name == "href"
+
+    def test_single_quoted_value(self):
+        tokens, _ = tokenize("<a title='it''s'>")
+        assert tokens[0].attr("title") == "it"
+
+    def test_entity_in_attribute_decoded(self):
+        tokens, _ = tokenize('<a title="a &amp; b">')
+        assert tokens[0].attr("title") == "a & b"
+
+    def test_entity_in_text_decoded(self):
+        tokens, _ = tokenize("a &amp; b")
+        text = "".join(t.data for t in tokens if isinstance(t, Character))
+        assert text == "a & b"
+
+    def test_offsets_recorded(self):
+        tokens, _ = tokenize("ab<p>")
+        tag = tags(tokens)[0]
+        assert tag.offset == 2
+        assert tag.end == 5
+
+    def test_tag_spans_slice_source(self):
+        source = 'x<a href="/y" id=z>tail'
+        tokens, _ = tokenize(source)
+        tag = tags(tokens)[0]
+        assert source[tag.offset : tag.end] == '<a href="/y" id=z>'
+
+
+class TestFilterBypassErrors:
+    """The error states behind FB1 and FB2."""
+
+    def test_fb1_solidus_between_attributes(self):
+        tokens, errors = tokenize('<img/src="x"/onerror="y">')
+        assert codes(errors).count(ErrorCode.UNEXPECTED_SOLIDUS_IN_TAG) == 2
+        attrs = {a.name: a.value for a in tokens[0].attributes}
+        assert attrs == {"src": "x", "onerror": "y"}
+
+    def test_fb1_marks_attribute(self):
+        tokens, _ = tokenize('<img/src="x">')
+        assert tokens[0].attributes[0].preceded_by_solidus
+
+    def test_trailing_solidus_is_not_fb1(self):
+        _, errors = tokenize('<img src="x"/>')
+        assert ErrorCode.UNEXPECTED_SOLIDUS_IN_TAG not in codes(errors)
+
+    def test_fb2_missing_whitespace(self):
+        tokens, errors = tokenize('<img src="a"onerror="x">')
+        assert ErrorCode.MISSING_WHITESPACE_BETWEEN_ATTRIBUTES in codes(errors)
+        assert tokens[0].attributes[1].missing_preceding_space
+
+    def test_fb2_paper_example(self):
+        _, errors = tokenize(
+            '<img src="users/injection"onerror="alert(\'XSS\')">'
+        )
+        assert ErrorCode.MISSING_WHITESPACE_BETWEEN_ATTRIBUTES in codes(errors)
+
+    def test_properly_spaced_attributes_clean(self):
+        _, errors = tokenize('<img src="a" onerror="x">')
+        assert errors == []
+
+
+class TestDuplicateAttributes:
+    def test_dm3_duplicate_reported(self):
+        tokens, errors = tokenize('<div id="a" id="b">')
+        dups = [e for e in errors if e.code is ErrorCode.DUPLICATE_ATTRIBUTE]
+        assert len(dups) == 1
+        assert dups[0].detail == "id"
+
+    def test_first_value_wins(self):
+        tokens, _ = tokenize('<div onclick="evil()" onclick="benign()">')
+        assert tokens[0].attr("onclick") == "evil()"
+
+    def test_duplicate_flagged_on_token(self):
+        tokens, _ = tokenize('<div a="1" a="2">')
+        assert [a.duplicate for a in tokens[0].attributes] == [False, True]
+
+    def test_visible_attributes_drop_duplicates(self):
+        tokens, _ = tokenize('<div a="1" a="2" b="3">')
+        assert [a.name for a in tokens[0].visible_attributes()] == ["a", "b"]
+
+    def test_triple_duplicate(self):
+        _, errors = tokenize('<div a="1" a="2" a="3">')
+        assert codes(errors).count(ErrorCode.DUPLICATE_ATTRIBUTE) == 2
+
+
+class TestTagStateErrors:
+    def test_question_mark_bogus_comment(self):
+        tokens, errors = tokenize("<?xml version='1.0'?>")
+        assert ErrorCode.UNEXPECTED_QUESTION_MARK_INSTEAD_OF_TAG_NAME in codes(errors)
+        assert isinstance(tokens[0], Comment)
+
+    def test_invalid_first_char_emits_lt_as_text(self):
+        tokens, errors = tokenize("a < b")
+        assert ErrorCode.INVALID_FIRST_CHARACTER_OF_TAG_NAME in codes(errors)
+        text = "".join(t.data for t in tokens if isinstance(t, Character))
+        assert text == "a < b"
+
+    def test_missing_end_tag_name(self):
+        tokens, errors = tokenize("a</>b")
+        assert ErrorCode.MISSING_END_TAG_NAME in codes(errors)
+        assert not tags(tokens)
+
+    def test_eof_in_tag(self):
+        _, errors = tokenize("<div class=")
+        assert ErrorCode.EOF_IN_TAG in codes(errors)
+
+    def test_eof_before_tag_name(self):
+        tokens, errors = tokenize("x<")
+        assert ErrorCode.EOF_BEFORE_TAG_NAME in codes(errors)
+        text = "".join(t.data for t in tokens if isinstance(t, Character))
+        assert text == "x<"
+
+    def test_end_tag_with_attributes(self):
+        _, errors = tokenize('</div class="x">')
+        assert ErrorCode.END_TAG_WITH_ATTRIBUTES in codes(errors)
+
+    def test_unexpected_equals_before_attribute_name(self):
+        tokens, errors = tokenize("<div =foo>")
+        assert ErrorCode.UNEXPECTED_EQUALS_SIGN_BEFORE_ATTRIBUTE_NAME in codes(errors)
+
+    def test_quote_in_attribute_name(self):
+        _, errors = tokenize("<option value='Cote d'Ivoire'>")
+        assert ErrorCode.UNEXPECTED_CHARACTER_IN_ATTRIBUTE_NAME in codes(errors)
+
+    def test_missing_attribute_value(self):
+        _, errors = tokenize("<a href=>")
+        assert ErrorCode.MISSING_ATTRIBUTE_VALUE in codes(errors)
+
+    def test_lt_in_unquoted_value(self):
+        _, errors = tokenize("<a href=a<b>")
+        assert ErrorCode.UNEXPECTED_CHARACTER_IN_UNQUOTED_ATTRIBUTE_VALUE in codes(
+            errors
+        )
+
+    def test_null_in_tag_name(self):
+        tokens, errors = tokenize("<di\x00v>")
+        assert ErrorCode.UNEXPECTED_NULL_CHARACTER in codes(errors)
+        assert tokens[0].name == "di�v"
+
+
+class TestComments:
+    def test_simple_comment(self):
+        tokens, errors = tokenize("<!-- hi -->")
+        assert isinstance(tokens[0], Comment)
+        assert tokens[0].data == " hi "
+        assert errors == []
+
+    def test_abrupt_empty_comment(self):
+        tokens, errors = tokenize("<!-->x")
+        assert ErrorCode.ABRUPT_CLOSING_OF_EMPTY_COMMENT in codes(errors)
+        assert isinstance(tokens[0], Comment)
+
+    def test_abrupt_dash_comment(self):
+        _, errors = tokenize("<!--->x")
+        assert ErrorCode.ABRUPT_CLOSING_OF_EMPTY_COMMENT in codes(errors)
+
+    def test_eof_in_comment(self):
+        tokens, errors = tokenize("<!-- never closed")
+        assert ErrorCode.EOF_IN_COMMENT in codes(errors)
+        assert isinstance(tokens[0], Comment)
+
+    def test_nested_comment_error(self):
+        _, errors = tokenize("<!-- a <!-- b --> c -->")
+        assert ErrorCode.NESTED_COMMENT in codes(errors)
+
+    def test_incorrectly_closed_comment(self):
+        tokens, errors = tokenize("<!-- x --!>")
+        assert ErrorCode.INCORRECTLY_CLOSED_COMMENT in codes(errors)
+
+    def test_incorrectly_opened_comment(self):
+        tokens, errors = tokenize("<! bogus >")
+        assert ErrorCode.INCORRECTLY_OPENED_COMMENT in codes(errors)
+        assert isinstance(tokens[0], Comment)
+
+    def test_dashes_inside_comment(self):
+        tokens, _ = tokenize("<!-- a - b -- c -->")
+        assert tokens[0].data == " a - b -- c "
+
+    def test_comment_with_lt_bang(self):
+        tokens, errors = tokenize("<!-- <! -->")
+        assert isinstance(tokens[0], Comment)
+        assert ErrorCode.NESTED_COMMENT not in codes(errors)
+
+
+class TestDoctype:
+    def test_html5_doctype(self):
+        tokens, errors = tokenize("<!DOCTYPE html>")
+        assert isinstance(tokens[0], Doctype)
+        assert tokens[0].name == "html"
+        assert not tokens[0].force_quirks
+        assert errors == []
+
+    def test_case_insensitive_keyword(self):
+        tokens, _ = tokenize("<!doctype HTML>")
+        assert tokens[0].name == "html"
+
+    def test_public_identifier(self):
+        tokens, _ = tokenize(
+            '<!DOCTYPE html PUBLIC "-//W3C//DTD HTML 4.01//EN" '
+            '"http://www.w3.org/TR/html4/strict.dtd">'
+        )
+        assert tokens[0].public_id == "-//W3C//DTD HTML 4.01//EN"
+        assert tokens[0].system_id == "http://www.w3.org/TR/html4/strict.dtd"
+
+    def test_system_identifier(self):
+        tokens, _ = tokenize('<!DOCTYPE html SYSTEM "about:legacy-compat">')
+        assert tokens[0].system_id == "about:legacy-compat"
+
+    def test_missing_name(self):
+        tokens, errors = tokenize("<!DOCTYPE>")
+        assert ErrorCode.MISSING_DOCTYPE_NAME in codes(errors)
+        assert tokens[0].force_quirks
+
+    def test_eof_in_doctype(self):
+        _, errors = tokenize("<!DOCTYPE htm")
+        assert ErrorCode.EOF_IN_DOCTYPE in codes(errors)
+
+    def test_bogus_keyword_after_name(self):
+        tokens, errors = tokenize("<!DOCTYPE html BOGUS>")
+        assert ErrorCode.INVALID_CHARACTER_SEQUENCE_AFTER_DOCTYPE_NAME in codes(
+            errors
+        )
+        assert tokens[0].force_quirks
+
+
+class TestNullAndData:
+    def test_null_in_data_is_error_but_kept(self):
+        tokens, errors = tokenize("a\x00b")
+        assert ErrorCode.UNEXPECTED_NULL_CHARACTER in codes(errors)
+        text = "".join(t.data for t in tokens if isinstance(t, Character))
+        assert text == "a\x00b"

@@ -1,0 +1,267 @@
+"""Table-driven tree-construction conformance cases (html5lib-tests style).
+
+Each case maps an input document to the expected tree dump.  The inputs
+are drawn from the classic html5lib-tests corpus patterns: implied
+elements, misnesting, tables, formatting reconstruction, foreign content.
+"""
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.html import parse
+from repro.html.dump import dump_tree
+
+
+def check(text: str, expected: str) -> None:
+    actual = dump_tree(parse(text).document)
+    assert actual == textwrap.dedent(expected).strip("\n")
+
+
+class TestBasicTrees:
+    def test_minimal(self):
+        check(
+            "<!DOCTYPE html>x",
+            """
+            | <!DOCTYPE html>
+            | <html>
+            |   <head>
+            |   <body>
+            |     "x"
+            """,
+        )
+
+    def test_implied_everything(self):
+        check(
+            "hello",
+            """
+            | <html>
+            |   <head>
+            |   <body>
+            |     "hello"
+            """,
+        )
+
+    def test_attributes_sorted(self):
+        check(
+            '<!DOCTYPE html><p id="z" class="a">t</p>',
+            """
+            | <!DOCTYPE html>
+            | <html>
+            |   <head>
+            |   <body>
+            |     <p>
+            |       class="a"
+            |       id="z"
+            |       "t"
+            """,
+        )
+
+    def test_comment_placement(self):
+        check(
+            "<!DOCTYPE html><!--before--><html><body>x",
+            """
+            | <!DOCTYPE html>
+            | <!-- before -->
+            | <html>
+            |   <head>
+            |   <body>
+            |     "x"
+            """,
+        )
+
+
+class TestMisnesting:
+    def test_p_in_p(self):
+        check(
+            "<!DOCTYPE html><p>1<p>2",
+            """
+            | <!DOCTYPE html>
+            | <html>
+            |   <head>
+            |   <body>
+            |     <p>
+            |       "1"
+            |     <p>
+            |       "2"
+            """,
+        )
+
+    def test_b_reconstruction(self):
+        check(
+            "<!DOCTYPE html><p><b>bold<p>still bold",
+            """
+            | <!DOCTYPE html>
+            | <html>
+            |   <head>
+            |   <body>
+            |     <p>
+            |       <b>
+            |         "bold"
+            |     <p>
+            |       <b>
+            |         "still bold"
+            """,
+        )
+
+    def test_adoption_agency_classic(self):
+        check(
+            "<!DOCTYPE html><b>1<i>2</b>3</i>",
+            """
+            | <!DOCTYPE html>
+            | <html>
+            |   <head>
+            |   <body>
+            |     <b>
+            |       "1"
+            |       <i>
+            |         "2"
+            |     <i>
+            |       "3"
+            """,
+        )
+
+    def test_end_tag_closes_through_inline(self):
+        check(
+            "<!DOCTYPE html><div><span>x</div>after",
+            """
+            | <!DOCTYPE html>
+            | <html>
+            |   <head>
+            |   <body>
+            |     <div>
+            |       <span>
+            |         "x"
+            |     "after"
+            """,
+        )
+
+
+class TestTables:
+    def test_implied_tbody(self):
+        check(
+            "<!DOCTYPE html><table><tr><td>c</td></tr></table>",
+            """
+            | <!DOCTYPE html>
+            | <html>
+            |   <head>
+            |   <body>
+            |     <table>
+            |       <tbody>
+            |         <tr>
+            |           <td>
+            |             "c"
+            """,
+        )
+
+    def test_foster_parenting(self):
+        check(
+            "<!DOCTYPE html><table><b>moved</b><tr><td>c</td></tr></table>",
+            """
+            | <!DOCTYPE html>
+            | <html>
+            |   <head>
+            |   <body>
+            |     <b>
+            |       "moved"
+            |     <table>
+            |       <tbody>
+            |         <tr>
+            |           <td>
+            |             "c"
+            """,
+        )
+
+    def test_cell_implies_row_close(self):
+        check(
+            "<!DOCTYPE html><table><tr><td>1<td>2</table>",
+            """
+            | <!DOCTYPE html>
+            | <html>
+            |   <head>
+            |   <body>
+            |     <table>
+            |       <tbody>
+            |         <tr>
+            |           <td>
+            |             "1"
+            |           <td>
+            |             "2"
+            """,
+        )
+
+
+class TestForeign:
+    def test_svg_subtree(self):
+        check(
+            '<!DOCTYPE html><svg><g id="i"><rect/></g></svg>',
+            """
+            | <!DOCTYPE html>
+            | <html>
+            |   <head>
+            |   <body>
+            |     <svg svg>
+            |       <svg g>
+            |         id="i"
+            |         <svg rect>
+            """,
+        )
+
+    def test_math_text_integration(self):
+        check(
+            "<!DOCTYPE html><math><mtext><b>t</b></mtext></math>",
+            """
+            | <!DOCTYPE html>
+            | <html>
+            |   <head>
+            |   <body>
+            |     <math math>
+            |       <math mtext>
+            |         <b>
+            |           "t"
+            """,
+        )
+
+    def test_breakout(self):
+        check(
+            "<!DOCTYPE html><svg><p>out</p></svg>done",
+            """
+            | <!DOCTYPE html>
+            | <html>
+            |   <head>
+            |   <body>
+            |     <svg svg>
+            |     <p>
+            |       "out"
+            |     "done"
+            """,
+        )
+
+
+class TestHeadBody:
+    def test_meta_after_head_rerouted(self):
+        check(
+            '<!DOCTYPE html><head></head><meta charset="x"><body>t',
+            """
+            | <!DOCTYPE html>
+            | <html>
+            |   <head>
+            |     <meta>
+            |       charset="x"
+            |   <body>
+            |     "t"
+            """,
+        )
+
+    def test_text_after_head_opens_body(self):
+        check(
+            "<!DOCTYPE html><head></head>text",
+            """
+            | <!DOCTYPE html>
+            | <html>
+            |   <head>
+            |   <body>
+            |     "text"
+            """,
+        )

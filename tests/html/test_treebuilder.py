@@ -1,0 +1,372 @@
+"""Tree construction (HTML 13.2.6) tests: DOM shapes, implied elements,
+tables, formatting elements, foreign content."""
+from __future__ import annotations
+
+import pytest
+
+from repro.html import (
+    HTML_NAMESPACE,
+    MATHML_NAMESPACE,
+    SVG_NAMESPACE,
+    parse,
+    serialize,
+)
+from repro.html.dom import CommentNode, Element, Text
+
+
+def body_html(text: str) -> str:
+    result = parse(text)
+    body = result.document.body
+    assert body is not None
+    from repro.html import inner_html
+
+    return inner_html(body)
+
+
+class TestDocumentStructure:
+    def test_full_document(self):
+        result = parse(
+            "<!DOCTYPE html><html><head><title>t</title></head>"
+            "<body><p>x</p></body></html>"
+        )
+        document = result.document
+        assert document.doctype is not None and document.doctype.name == "html"
+        assert document.document_element.name == "html"
+        assert document.head.name == "head"
+        assert document.body.name == "body"
+        assert not document.quirks_mode
+
+    def test_implied_html_head_body(self):
+        result = parse("<p>bare</p>")
+        document = result.document
+        assert document.document_element is not None
+        assert document.head is not None and document.head.implied
+        assert document.body is not None and document.body.implied
+        assert document.body.find("p") is not None
+
+    def test_missing_doctype_sets_quirks(self):
+        assert parse("<html></html>").document.quirks_mode
+
+    def test_doctype_present_no_quirks(self):
+        assert not parse("<!DOCTYPE html>x").document.quirks_mode
+
+    def test_head_content_routed_to_head(self):
+        result = parse(
+            "<!DOCTYPE html><title>t</title><meta charset=utf-8><p>body</p>"
+        )
+        head = result.document.head
+        assert head.find("title") is not None
+        assert head.find("meta") is not None
+        assert result.document.body.find("p") is not None
+
+    def test_whitespace_before_html_ignored(self):
+        result = parse("   \n  <!-- c --><p>x</p>")
+        assert result.document.body.find("p") is not None
+
+    def test_comment_before_doctype_on_document(self):
+        result = parse("<!-- early --><!DOCTYPE html><p>x</p>")
+        assert any(
+            isinstance(node, CommentNode) for node in result.document.children
+        )
+
+    def test_html_attributes_merged_from_second_html(self):
+        result = parse('<html lang="en"><body><html data-x="1">')
+        root = result.document.document_element
+        assert root.get("lang") == "en"
+        assert root.get("data-x") == "1"
+
+    def test_text_content(self):
+        result = parse("<p>one <b>two</b> three</p>")
+        assert result.document.body.text_content() == "one two three"
+
+
+class TestImpliedEndTags:
+    def test_p_closed_by_p(self):
+        result = parse("<p>one<p>two")
+        paragraphs = result.document.body.find_all("p")
+        assert len(paragraphs) == 2
+        assert paragraphs[0].text_content() == "one"
+
+    def test_li_closed_by_li(self):
+        result = parse("<ul><li>a<li>b</ul>")
+        items = result.document.find_all("li")
+        assert [item.text_content() for item in items] == ["a", "b"]
+        assert all(item.parent.name == "ul" for item in items)
+
+    def test_dd_dt_sequence(self):
+        result = parse("<dl><dt>k<dd>v<dt>k2<dd>v2</dl>")
+        assert len(result.document.find_all("dt")) == 2
+        assert len(result.document.find_all("dd")) == 2
+
+    def test_p_closed_by_block(self):
+        result = parse("<p>text<div>block</div>")
+        paragraph = result.document.find("p")
+        assert paragraph.find("div") is None
+
+    def test_option_closed_by_option(self):
+        result = parse("<select><option>a<option>b</select>")
+        options = result.document.find_all("option")
+        assert len(options) == 2
+        assert [o.text_content() for o in options] == ["a", "b"]
+
+    def test_heading_closes_heading(self):
+        result = parse("<h1>one<h2>two")
+        assert result.document.find("h1").find("h2") is None
+
+
+class TestRawTextElements:
+    def test_script_content_not_parsed(self):
+        result = parse("<script>if (a < b) { x('<div>'); }</script>")
+        script = result.document.find("script")
+        assert script.text_content() == "if (a < b) { x('<div>'); }"
+        assert result.document.find("div") is None
+
+    def test_style_content_raw(self):
+        result = parse("<style>a > b { color: red }</style>")
+        assert ">" in result.document.find("style").text_content()
+
+    def test_title_entity_decoded(self):
+        result = parse("<title>a &amp; b</title>")
+        assert result.document.find("title").text_content() == "a & b"
+
+    def test_textarea_content_raw_tags(self):
+        result = parse("<body><textarea><p>not a tag</p></textarea>")
+        area = result.document.find("textarea")
+        assert area.text_content() == "<p>not a tag</p>"
+        assert result.document.find("p") is None
+
+    def test_script_escaped_comment(self):
+        content = "<!-- document.write('</scr' + 'ipt>') -->"
+        result = parse(f"<script>{content}</script>x")
+        assert result.document.find("script").text_content() == content
+
+    def test_textarea_leading_newline_dropped(self):
+        result = parse("<body><textarea>\nabc</textarea>")
+        assert result.document.find("textarea").text_content() == "abc"
+
+    def test_pre_leading_newline_dropped(self):
+        result = parse("<body><pre>\nabc</pre>")
+        assert result.document.find("pre").text_content() == "abc"
+
+
+class TestTables:
+    def test_well_formed_table(self):
+        result = parse(
+            "<table><thead><tr><th>h</th></tr></thead>"
+            "<tbody><tr><td>c</td></tr></tbody></table>"
+        )
+        table = result.document.find("table")
+        assert table.find("thead") is not None
+        assert table.find("tbody") is not None
+        assert result.events == [] or all(
+            event.kind != "foster-parented" for event in result.events
+        )
+
+    def test_implied_tbody(self):
+        result = parse("<table><tr><td>x</td></tr></table>")
+        table = result.document.find("table")
+        tbody = table.find("tbody")
+        assert tbody is not None and tbody.implied
+        assert tbody.find("tr") is not None
+
+    def test_implied_tr_for_stray_td(self):
+        result = parse("<table><td>x</td></table>")
+        assert result.document.find("tr") is not None
+
+    def test_foster_parenting_moves_content_before_table(self):
+        result = parse("<body><table><tr><strong>X</strong></tr></table>")
+        body = result.document.body
+        names = [c.name for c in body.children if isinstance(c, Element)]
+        assert names == ["strong", "table"]
+
+    def test_foster_parented_text(self):
+        result = parse("<body><table>loose text<tr><td>x</td></tr></table>")
+        body = result.document.body
+        first = body.children[0]
+        assert isinstance(first, Text)
+        assert first.data == "loose text"
+
+    def test_whitespace_in_table_not_fostered(self):
+        result = parse("<body><table>  <tr><td>x</td></tr>  </table>")
+        assert all(event.kind != "foster-parented" for event in result.events)
+
+    def test_nested_table_closes_outer_cell_scope(self):
+        result = parse(
+            "<table><tr><td><table><tr><td>inner</td></tr></table></td></tr></table>"
+        )
+        tables = result.document.find_all("table")
+        assert len(tables) == 2
+
+    def test_caption_and_colgroup(self):
+        result = parse(
+            "<table><caption>c</caption><colgroup><col span=2></colgroup>"
+            "<tr><td>x</td></tr></table>"
+        )
+        table = result.document.find("table")
+        assert table.find("caption") is not None
+        assert table.find("col") is not None
+
+    def test_hidden_input_allowed_in_table(self):
+        result = parse('<table><input type="hidden" name="t"><tr><td>x</td></tr></table>')
+        table = result.document.find("table")
+        assert table.find("input") is not None
+        assert all(event.kind != "foster-parented" for event in result.events)
+
+
+class TestFormattingElements:
+    def test_b_reconstructed_across_p(self):
+        result = parse("<p><b>one<p>two")
+        second_p = result.document.find_all("p")[1]
+        assert second_p.find("b") is not None
+
+    def test_adoption_agency_misnested_b_i(self):
+        result = parse("<p>1<b>2<i>3</b>4</i>5</p>")
+        # The i element must be split: one inside b, one after.
+        assert len(result.document.find_all("i")) == 2
+
+    def test_nobr_in_nobr(self):
+        result = parse("<nobr>a<nobr>b")
+        assert len(result.document.find_all("nobr")) == 2
+
+    def test_second_a_closes_first(self):
+        result = parse('<a href="/1">one<a href="/2">two')
+        anchors = result.document.find_all("a")
+        assert len(anchors) == 2
+        assert anchors[0].find("a") is None
+
+    def test_noahs_ark_limits_reconstruction(self):
+        pieces = "".join("<b>" for _ in range(6)) + "<p>text"
+        result = parse(pieces)
+        paragraph = result.document.find("p")
+        # at most three identical formatting entries get reconstructed
+        count = 0
+        node = paragraph
+        while node is not None:
+            node = node.find("b")
+            if node is not None:
+                count += 1
+        assert count <= 3
+
+
+class TestForeignContent:
+    def test_svg_namespace(self):
+        result = parse('<body><svg viewBox="0 0 1 1"><circle r="1"/></svg>')
+        svg = result.document.find("svg")
+        assert svg.namespace == SVG_NAMESPACE
+        assert svg.find("circle").namespace == SVG_NAMESPACE
+
+    def test_mathml_namespace(self):
+        result = parse("<body><math><mi>x</mi></math>")
+        math = result.document.find("math")
+        assert math.namespace == MATHML_NAMESPACE
+        assert math.find("mi").namespace == MATHML_NAMESPACE
+
+    def test_svg_case_adjustment(self):
+        result = parse("<body><svg><lineargradient></lineargradient></svg>")
+        assert result.document.find("linearGradient") is not None
+
+    def test_html_in_foreignobject_is_html(self):
+        result = parse("<body><svg><foreignobject><div>x</div></foreignobject></svg>")
+        div = result.document.find("div")
+        assert div is not None and div.namespace == HTML_NAMESPACE
+
+    def test_breakout_div_in_svg(self):
+        result = parse("<body><svg><div>broke</div></svg>")
+        div = result.document.find("div")
+        assert div.namespace == HTML_NAMESPACE
+        assert div.parent.name == "body"
+        events = [e for e in result.events if e.kind == "foreign-breakout"]
+        assert len(events) == 1
+        assert events[0].namespace == SVG_NAMESPACE
+
+    def test_mtext_is_integration_point(self):
+        result = parse("<body><math><mtext><p>fine</p></mtext></math>")
+        assert all(e.kind != "foreign-breakout" for e in result.events)
+        paragraph = result.document.find("p")
+        assert paragraph.namespace == HTML_NAMESPACE
+
+    def test_font_with_color_breaks_out(self):
+        result = parse('<body><svg><font color="red">x</font></svg>')
+        assert any(e.kind == "foreign-breakout" for e in result.events)
+
+    def test_font_without_attrs_stays_foreign(self):
+        result = parse("<body><svg><font>x</font></svg>")
+        assert all(e.kind != "foreign-breakout" for e in result.events)
+
+    def test_cdata_in_svg(self):
+        result = parse("<body><svg><desc><![CDATA[a < b]]></desc></svg>")
+        desc = result.document.find("desc")
+        assert desc.text_content() == "a < b"
+
+    def test_self_closing_foreign_element(self):
+        result = parse('<body><svg><path d="M0 0"/><rect/></svg>')
+        svg = result.document.find("svg")
+        assert svg.find("path") is not None
+        assert svg.find("rect") is not None
+        assert svg.find("path").children == []
+
+
+class TestSelect:
+    def test_select_structure(self):
+        result = parse(
+            "<select><optgroup label=g><option>a</option></optgroup></select>"
+        )
+        select = result.document.find("select")
+        assert select.find("optgroup") is not None
+        assert select.find("option") is not None
+
+    def test_tags_stripped_inside_select(self):
+        # non-option content inside select: tags ignored, text kept
+        result = parse("<select><p id=private>secret</p></select>")
+        select = result.document.find("select")
+        assert select.find("p") is None
+        assert "secret" in select.text_content()
+
+    def test_nested_select_closes(self):
+        result = parse("<select><select>")
+        assert len(result.document.find_all("select")) == 1
+
+    def test_input_closes_select(self):
+        result = parse("<select><option>a<input name=q>")
+        inputs = result.document.find_all("input")
+        assert len(inputs) == 1
+        assert inputs[0].parent.name != "select"
+
+
+class TestFramesets:
+    def test_frameset_document(self):
+        result = parse(
+            "<frameset><frame src='a.html'><frame src='b.html'></frameset>"
+        )
+        root = result.document.document_element
+        assert root.find("frameset") is not None
+        assert len(result.document.find_all("frame")) == 2
+
+    def test_frameset_replaces_body_when_ok(self):
+        result = parse("<head></head><frameset></frameset>")
+        assert result.document.body.name == "frameset"
+
+
+class TestResilience:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "<",
+            "</",
+            "<!",
+            ">",
+            "<><><>",
+            "</nonsense></more>",
+            "<p" + " " * 100,
+            "<table><table><table>",
+            "<b><i><u><s>" * 20,
+            "\x00\x00",
+            "<svg><svg><svg></div></div>",
+            "<!doctype html><!doctype html>",
+            "<body></body></body><p>after",
+        ],
+    )
+    def test_never_crashes(self, text):
+        result = parse(text)
+        serialize(result.document)

@@ -1,0 +1,150 @@
+"""Failure injection: corrupted records, flaky fetches, revisit records.
+
+The pipeline must degrade gracefully — one broken capture never loses a
+domain, transient errors are retried, and deduplicated (revisit) captures
+never reach the checker via the MIME filter.
+"""
+from __future__ import annotations
+
+import pytest
+
+from repro.commoncrawl import (
+    ArchiveBuilder,
+    CommonCrawlClient,
+    CorpusConfig,
+    CorpusPlanner,
+    snapshot_name,
+)
+from repro.pipeline import CrawlStats, collect_metadata, fetch_pages
+from repro.warc import WARCFormatError, WARCRecord
+
+
+@pytest.fixture(scope="module")
+def archive(tmp_path_factory):
+    root = tmp_path_factory.mktemp("fi-archive")
+    # large seed sweep so at least one revisit gets generated
+    config = CorpusConfig(num_domains=80, max_pages=4, seed=31, years=(2022,))
+    plan = CorpusPlanner(config).plan()
+    built = ArchiveBuilder(root).build(plan)
+    return root, plan, built
+
+
+class FlakyClient:
+    """Wrapper that fails the first ``failures`` fetches of each entry."""
+
+    def __init__(self, client: CommonCrawlClient, failures: int) -> None:
+        self._client = client
+        self._failures = failures
+        self._attempts: dict[str, int] = {}
+
+    def query(self, *args, **kwargs):
+        return self._client.query(*args, **kwargs)
+
+    def fetch(self, entry):
+        count = self._attempts.get(entry.url, 0)
+        self._attempts[entry.url] = count + 1
+        if count < self._failures:
+            raise OSError("simulated transient S3 failure")
+        return self._client.fetch(entry)
+
+
+class TestRetries:
+    def test_transient_failures_retried(self, archive):
+        root, plan, _built = archive
+        flaky = FlakyClient(CommonCrawlClient(root), failures=1)
+        domain = plan.succeeded[2022][0]
+        metadata = collect_metadata(flaky, snapshot_name(2022), domain)
+        stats = CrawlStats()
+        pages = list(fetch_pages(flaky, metadata, stats=stats, retries=2))
+        assert pages, "all pages recovered after one retry each"
+        assert stats.retried == len(metadata.entries)
+        assert stats.failed == 0
+
+    def test_exhausted_retries_skip_capture(self, archive):
+        root, plan, _built = archive
+        flaky = FlakyClient(CommonCrawlClient(root), failures=10)
+        domain = plan.succeeded[2022][0]
+        metadata = collect_metadata(flaky, snapshot_name(2022), domain)
+        stats = CrawlStats()
+        pages = list(fetch_pages(flaky, metadata, stats=stats, retries=2))
+        assert pages == []
+        assert stats.failed == len(metadata.entries)
+        assert stats.errors
+
+
+class TestCorruption:
+    def test_corrupted_record_skipped(self, archive, tmp_path):
+        root, plan, built = archive
+        client = CommonCrawlClient(root)
+        domain = plan.succeeded[2022][0]
+        metadata = collect_metadata(client, snapshot_name(2022), domain)
+        # truncate the WARC part mid-file: later captures fail, earlier ok
+        part = root / built[0].warc_parts[0]
+        original = part.read_bytes()
+        try:
+            part.write_bytes(original[: len(original) // 2])
+            stats = CrawlStats()
+            list(fetch_pages(client, metadata, stats=stats))
+            assert stats.failed > 0 or stats.fetched > 0
+        finally:
+            part.write_bytes(original)
+
+    def test_garbage_slice_raises_format_error(self, archive, tmp_path):
+        garbage = tmp_path / "garbage.warc.gz"
+        garbage.write_bytes(b"\x1f\x8b totally not gzip")
+        from repro.warc import read_record_at
+
+        with pytest.raises((WARCFormatError, OSError, Exception)):
+            read_record_at(garbage, 0, 10)
+
+
+class TestRevisits:
+    def _find_revisit(self, archive):
+        root, plan, built = archive
+        client = CommonCrawlClient(root)
+        for domain in plan.succeeded[2022]:
+            for entry in client.query(
+                snapshot_name(2022), domain, mime="warc/revisit"
+            ):
+                return client, entry
+        return client, None
+
+    def test_revisits_exist_in_corpus(self, archive):
+        _root, _plan, built = archive
+        assert sum(snapshot.revisits for snapshot in built) > 0
+
+    def test_html_mime_filter_excludes_revisits(self, archive):
+        root, plan, _built = archive
+        client = CommonCrawlClient(root)
+        for domain in plan.succeeded[2022]:
+            metadata = collect_metadata(client, snapshot_name(2022), domain)
+            assert all(
+                entry.mime == "text/html" for entry in metadata.entries
+            )
+
+    def test_revisit_record_shape(self, archive):
+        client, entry = self._find_revisit(archive)
+        if entry is None:
+            pytest.skip("no revisit in this corpus")
+        record = client.fetch(entry)
+        assert record.is_revisit
+        assert record.refers_to_uri == entry.url
+        assert record.payload == b""
+
+    def test_resolve_revisit_returns_original(self, archive):
+        client, entry = self._find_revisit(archive)
+        if entry is None:
+            pytest.skip("no revisit in this corpus")
+        record = client.fetch(entry)
+        original = client.resolve_revisit(snapshot_name(2022), record)
+        assert original is not None
+        assert not original.is_revisit
+        assert original.payload_digest == record.headers["WARC-Payload-Digest"]
+
+    def test_resolve_non_revisit_is_identity(self, archive):
+        root, plan, _built = archive
+        client = CommonCrawlClient(root)
+        domain = plan.succeeded[2022][0]
+        entry = next(client.query(snapshot_name(2022), domain))
+        record = client.fetch(entry)
+        assert client.resolve_revisit(snapshot_name(2022), record) is record

@@ -1,0 +1,124 @@
+"""Pipeline integration: the measured results must recover the corpus
+ground truth — the central correctness claim of the whole framework."""
+from __future__ import annotations
+
+import pytest
+
+from repro.commoncrawl import (
+    ArchiveBuilder,
+    CommonCrawlClient,
+    CorpusConfig,
+    CorpusPlanner,
+    snapshot_name,
+)
+from repro.commoncrawl.templates import INJECTORS
+from repro.pipeline import Storage, StudyRunner, collect_metadata, fetch_pages
+from repro.pipeline.checker_stage import check_page
+from repro.core import Checker
+
+
+@pytest.fixture(scope="module")
+def study(tmp_path_factory):
+    root = tmp_path_factory.mktemp("pipe-archive")
+    config = CorpusConfig(num_domains=60, max_pages=4, seed=17,
+                          years=(2015, 2022))
+    plan = CorpusPlanner(config).plan()
+    ArchiveBuilder(root).build(plan)
+    client = CommonCrawlClient(root)
+    storage = Storage(":memory:")
+    runner = StudyRunner(client, storage, max_pages=config.max_pages + 1)
+    stats = runner.run([(name, rank) for name, rank in plan.domains])
+    yield plan, storage, stats
+    storage.close()
+
+
+class TestRunStats:
+    def test_all_snapshots_processed(self, study):
+        _plan, _storage, stats = study
+        assert stats.snapshots == 2
+
+    def test_pages_checked_positive(self, study):
+        _plan, _storage, stats = study
+        assert stats.pages_checked > 50
+        assert stats.pages_fetched >= stats.pages_checked
+
+    def test_non_utf8_filtered(self, study):
+        plan, _storage, stats = study
+        planned_non_utf8 = sum(
+            1
+            for specs in plan.pages.values()
+            for spec in specs
+            if spec.html and not spec.utf8
+        )
+        assert stats.pages_filtered_non_utf8 == planned_non_utf8
+
+
+class TestGroundTruthRecovery:
+    """Measured domain status and violations == planned ones, exactly."""
+
+    def test_domain_presence_matches_plan(self, study):
+        plan, storage, _stats = study
+        for row in storage.dataset_stats():
+            year = row["year"]
+            assert row["analyzed"] == len(plan.succeeded[year])
+
+    def test_violating_domains_match_plan(self, study):
+        plan, storage, _stats = study
+        for year in (2015, 2022):
+            assert (
+                storage.domains_with_any_violation(year)
+                == plan.domains_violating(year)
+            )
+
+    @pytest.mark.parametrize("rule", ["FB2", "DM3", "HF4", "HF1", "DE4"])
+    def test_per_rule_domain_counts_match_plan(self, study, rule):
+        plan, storage, _stats = study
+        for year in (2015, 2022):
+            expected = sum(
+                1
+                for domain in plan.succeeded[year]
+                if any(
+                    rule in INJECTORS[name].effects
+                    for name in plan.active.get((domain, year), ())
+                )
+            )
+            measured = storage.violation_domain_counts(year).get(rule, 0)
+            # cascade interactions can only add HF1/HF2 events, never
+            # remove them, so equality is expected for these rules
+            assert measured == expected, (rule, year)
+
+    def test_json_pages_never_fetched(self, study):
+        _plan, storage, _stats = study
+        rows = storage.conn.execute(
+            "SELECT url FROM pages WHERE url LIKE '%json%'"
+        ).fetchall()
+        assert rows == []
+
+
+class TestStages:
+    def test_metadata_stage(self, study, tmp_path_factory):
+        plan, _storage, _stats = study
+        root = plan  # unused; stage-level checks below use a fresh archive
+
+    def test_stage_functions_compose(self, tmp_path):
+        config = CorpusConfig(num_domains=10, max_pages=2, seed=5, years=(2022,))
+        plan = CorpusPlanner(config).plan()
+        ArchiveBuilder(tmp_path).build(plan)
+        client = CommonCrawlClient(tmp_path)
+        domain = plan.succeeded[2022][0]
+        metadata = collect_metadata(client, snapshot_name(2022), domain, max_pages=2)
+        assert metadata.found
+        checker = Checker()
+        checked = [
+            check_page(page, checker) for page in fetch_pages(client, metadata)
+        ]
+        assert checked
+        assert all(page.report is not None for page in checked if page.utf8)
+
+    def test_absent_domain_not_found(self, tmp_path):
+        config = CorpusConfig(num_domains=10, max_pages=2, seed=5, years=(2022,))
+        plan = CorpusPlanner(config).plan()
+        ArchiveBuilder(tmp_path).build(plan)
+        client = CommonCrawlClient(tmp_path)
+        metadata = collect_metadata(client, snapshot_name(2022), "missing.example")
+        assert not metadata.found

@@ -1,0 +1,64 @@
+"""Parallel runner tests: results must be identical to the sequential
+runner, independent of worker count."""
+from __future__ import annotations
+
+import pytest
+
+from repro.commoncrawl import ArchiveBuilder, CorpusConfig, CorpusPlanner
+from repro.pipeline import ParallelStudyRunner, Storage, StudyRunner
+
+
+@pytest.fixture(scope="module")
+def archive(tmp_path_factory):
+    root = tmp_path_factory.mktemp("par-archive")
+    config = CorpusConfig(num_domains=30, max_pages=3, seed=23,
+                          years=(2015, 2022))
+    plan = CorpusPlanner(config).plan()
+    ArchiveBuilder(root).build(plan)
+    return root, plan
+
+
+def _snapshot(storage: Storage) -> dict:
+    return {
+        "dataset": storage.dataset_stats(),
+        "counts_union": dict(storage.violation_domain_counts()),
+        "counts_2022": dict(storage.violation_domain_counts(2022)),
+        "any_2015": storage.domains_with_any_violation(2015),
+        "any_2022": storage.domains_with_any_violation(2022),
+        "mitigations": storage.mitigation_domain_counts(2022),
+        "features": storage.element_usage_counts(2022),
+        "utf8": storage.utf8_filter_stats(),
+        "encodings": storage.declared_encoding_distribution(),
+    }
+
+
+class TestParallelEqualsSequential:
+    def test_identical_results(self, archive):
+        root, plan = archive
+        domains = [(name, rank) for name, rank in plan.domains]
+
+        from repro.commoncrawl import CommonCrawlClient
+
+        with Storage(":memory:") as sequential_storage:
+            StudyRunner(
+                CommonCrawlClient(root), sequential_storage, max_pages=4
+            ).run(domains)
+            expected = _snapshot(sequential_storage)
+
+        with Storage(":memory:") as parallel_storage:
+            stats = ParallelStudyRunner(
+                root, parallel_storage, max_pages=4, workers=3
+            ).run(domains)
+            actual = _snapshot(parallel_storage)
+
+        assert stats.snapshots == 2
+        assert stats.pages_checked > 0
+        assert actual == expected
+
+    def test_single_worker_also_identical(self, archive):
+        root, plan = archive
+        domains = [(name, rank) for name, rank in plan.domains]
+        with Storage(":memory:") as a, Storage(":memory:") as b:
+            ParallelStudyRunner(root, a, max_pages=4, workers=1).run(domains)
+            ParallelStudyRunner(root, b, max_pages=4, workers=4).run(domains)
+            assert _snapshot(a) == _snapshot(b)

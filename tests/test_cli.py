@@ -1,0 +1,70 @@
+"""CLI tests (check / fix subcommands; run/report share the study path)."""
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+DIRTY = (
+    "<!DOCTYPE html><html><head><title>t</title></head><body>"
+    '<img src="a.png"onerror="x()"></body></html>'
+)
+CLEAN = (
+    "<!DOCTYPE html><html><head><title>t</title></head>"
+    "<body><p>x</p></body></html>"
+)
+
+
+class TestCheckCommand:
+    def test_dirty_file_reports_and_exits_1(self, tmp_path, capsys):
+        path = tmp_path / "dirty.html"
+        path.write_text(DIRTY)
+        assert main(["check", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "FB2" in out
+
+    def test_clean_file_exits_0(self, tmp_path, capsys):
+        path = tmp_path / "clean.html"
+        path.write_text(CLEAN)
+        assert main(["check", str(path)]) == 0
+        assert "no violations" in capsys.readouterr().out
+
+
+class TestFixCommand:
+    def test_fix_outputs_repaired_html(self, tmp_path, capsys):
+        path = tmp_path / "dirty.html"
+        path.write_text(DIRTY)
+        assert main(["fix", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert 'src="a.png" onerror="x()"' in captured.out
+        assert "repaired 1 finding" in captured.err
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+@pytest.mark.slow
+class TestStudyCommands:
+    def test_run_and_report(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        assert main(["run", "--domains", "40", "--pages", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert main(["report", "--domains", "40", "--pages", "2"]) == 0
+        out = capsys.readouterr().out
+        for piece in ("Figure 8", "Figure 9", "Figure 10",
+                      "Section 4.4", "Section 4.5", "Section 4.2"):
+            assert piece in out
+
+    def test_dynamic_command(self, capsys):
+        assert main(["dynamic", "--domains", "40", "--fragments", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Dynamic-content pre-study" in out
+        assert "Generalization" in out

@@ -1,0 +1,52 @@
+"""Smoke tests: the runnable examples must actually run and demonstrate
+what they claim."""
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 180) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "FB2" in out
+        assert "autofix repaired" in out
+        assert "no violations" in out
+
+    def test_mxss_sanitizer_bypass(self):
+        out = run_example("mxss_sanitizer_bypass.py")
+        assert "LIVE XSS" in out
+        assert "blocked: True" in out
+
+    def test_autofix_sweep(self):
+        out = run_example("autofix_sweep.py")
+        assert "violating before repair" in out
+        assert "auto-fixable" in out
+
+    @pytest.mark.slow
+    def test_longitudinal_study(self):
+        out = run_example("longitudinal_study.py", timeout=600)
+        assert "Figure 9" in out
+        assert "Section 4.4" in out
+
+    @pytest.mark.slow
+    def test_strict_rollout(self):
+        out = run_example("strict_rollout.py", timeout=600)
+        assert "STRICT-PARSER staged rollout" in out
+        assert "[Deprecation]" in out

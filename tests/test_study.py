@@ -1,0 +1,58 @@
+"""Study driver tests: caching, determinism, ground-truth file."""
+from __future__ import annotations
+
+import json
+
+from repro.study import StudyConfig, build_archive, run_study
+
+
+class TestStudyConfig:
+    def test_key_distinct(self):
+        a = StudyConfig(num_domains=10, seed=1)
+        b = StudyConfig(num_domains=10, seed=2)
+        assert a.key() != b.key()
+
+    def test_scaled_respects_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2")
+        assert StudyConfig.scaled().num_domains == 300
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        assert StudyConfig.scaled().num_domains == 150
+
+
+class TestCaching:
+    def test_archive_reused(self, tmp_path):
+        config = StudyConfig(num_domains=40, max_pages=2, seed=13)
+        first = build_archive(config, tmp_path)
+        marker = first / "collinfo.json"
+        stamp = marker.stat().st_mtime_ns
+        second = build_archive(config, tmp_path)
+        assert second == first
+        assert marker.stat().st_mtime_ns == stamp
+
+    def test_results_cached_and_reloadable(self, tmp_path):
+        config = StudyConfig(num_domains=40, max_pages=2, seed=13)
+        study = run_study(config, cache_dir=tmp_path)
+        first = study.figure9().fractions()
+        study.close()
+        again = run_study(config, cache_dir=tmp_path)
+        assert again.figure9().fractions() == first
+        again.close()
+
+    def test_ground_truth_available(self, tmp_path):
+        config = StudyConfig(num_domains=40, max_pages=2, seed=13)
+        study = run_study(config, cache_dir=tmp_path)
+        truth = study.ground_truth()
+        assert truth["num_domains"] == 40
+        assert "active" in truth
+        study.close()
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self, tmp_path):
+        config = StudyConfig(num_domains=40, max_pages=2, seed=13)
+        a = run_study(config, cache_dir=tmp_path / "a")
+        b = run_study(config, cache_dir=tmp_path / "b")
+        assert a.figure9().fractions() == b.figure9().fractions()
+        assert a.figure8().distribution == b.figure8().distribution
+        a.close()
+        b.close()
