@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Pre-merge gate: the full tier-1 test suite, then the staticcheck lint.
+# Both must pass before a change lands (see ROADMAP.md).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+echo "==> pytest"
+python -m pytest -x -q
+
+echo "==> staticcheck lint"
+python -c 'import sys; from repro.cli import main; sys.exit(main(sys.argv[1:]))' \
+    lint --fail-on error
+
+echo "==> ci OK"

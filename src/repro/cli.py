@@ -6,6 +6,7 @@ Usage::
     repro-study check FILE.html
     repro-study fix FILE.html
     repro-study report [--domains N] ...
+    repro-study lint [PATH] [--format text|json] [--fail-on warning|error]
 """
 from __future__ import annotations
 
@@ -28,6 +29,7 @@ from .analysis import (
 )
 from .analysis.longitudinal import APPENDIX_FIGURES
 from .core import Checker, autofix
+from .staticcheck import Severity, render_json, render_text, run_lint, write_baseline
 from .study import StudyConfig, run_study
 
 
@@ -116,6 +118,32 @@ def cmd_fix(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the staticcheck pass suite over the repo's own source.
+
+    With no PATH, lints the installed ``repro`` package — the repo
+    machine-checks itself (tier-1 via tests/staticcheck/test_self_lint.py).
+    """
+    if args.path is not None:
+        root = Path(args.path)
+        if not root.is_dir():
+            print(f"lint: {args.path} is not a directory", file=sys.stderr)
+            return 2
+        label = args.path
+    else:
+        root = Path(__file__).resolve().parent
+        label = "src/repro"
+    result = run_lint(root, root_label=label)
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    if args.baseline:
+        write_baseline(result, Path(args.baseline), root_label=label)
+        print(f"baseline written to {args.baseline}", file=sys.stderr)
+    return result.exit_code(Severity.parse(args.fail_on))
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-study",
@@ -146,8 +174,33 @@ def main(argv: list[str] | None = None) -> int:
     fix_parser.add_argument("file")
     fix_parser.set_defaults(func=cmd_fix)
 
+    lint_parser = sub.add_parser(
+        "lint", help="static-analyse the repo's own source (staticcheck)"
+    )
+    lint_parser.add_argument(
+        "path", nargs="?", default=None,
+        help="tree to lint (default: the installed repro package)",
+    )
+    lint_parser.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    lint_parser.add_argument(
+        "--fail-on", choices=("warning", "error"), default="error",
+        help="minimum severity that makes the exit status non-zero",
+    )
+    lint_parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="also write the drift-diffable baseline report to FILE",
+    )
+    lint_parser.set_defaults(func=cmd_lint)
+
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # downstream consumer (e.g. `| head`) closed the pipe: not an error
+        sys.stderr.close()
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

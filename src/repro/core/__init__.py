@@ -40,6 +40,7 @@ from .violations import (
     Category,
     Finding,
     Group,
+    UnknownRuleIdError,
     ViolationType,
     family_of,
     group_of,
@@ -71,6 +72,7 @@ __all__ = [
     "StrictMode",
     "StrictParseOutcome",
     "StrictParserPolicy",
+    "UnknownRuleIdError",
     "ViolationType",
     "autofix",
     "classify",

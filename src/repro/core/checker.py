@@ -17,25 +17,43 @@ from .violations import Finding
 
 @dataclass(slots=True)
 class CheckReport:
-    """All findings for one document."""
+    """All findings for one document.
+
+    ``findings`` is append-only by convention (the checker extends it,
+    analyses read it); :attr:`violated` caches its frozenset keyed on the
+    list length, so the per-page hot loops in the longitudinal analyses
+    (which call ``violated``/``has`` once per rule id per page) no longer
+    rescan every finding on every call.
+    """
 
     url: str
     findings: list[Finding] = field(default_factory=list)
     #: parse kept for debugging / secondary analyses; may be None when
     #: the checker is run in low-memory mode
     parse_result: ParseResult | None = None
+    #: (findings length when computed, cached id set)
+    _violated_cache: tuple[int, frozenset[str]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def violated(self) -> frozenset[str]:
         """The set of violation ids present at least once."""
-        return frozenset(finding.violation for finding in self.findings)
+        cache = self._violated_cache
+        if cache is None or cache[0] != len(self.findings):
+            cache = (
+                len(self.findings),
+                frozenset(finding.violation for finding in self.findings),
+            )
+            self._violated_cache = cache
+        return cache[1]
 
     @property
     def counts(self) -> Counter:
         return Counter(finding.violation for finding in self.findings)
 
     def has(self, violation_id: str) -> bool:
-        return any(finding.violation == violation_id for finding in self.findings)
+        return violation_id in self.violated
 
     def __len__(self) -> int:
         return len(self.findings)

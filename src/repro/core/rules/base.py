@@ -12,7 +12,7 @@ from abc import ABC, abstractmethod
 from typing import Iterator
 
 from ...html import ParseResult, StartTag
-from ..violations import REGISTRY, Finding
+from ..violations import REGISTRY, Finding, UnknownRuleIdError
 
 #: Attributes whose values are URLs (used by DE3_1 and the section 4.5
 #: mitigation detectors).  Matches the attributes browsers actually load.
@@ -33,7 +33,7 @@ class Rule(ABC):
 
     def __init__(self) -> None:
         if self.id not in REGISTRY:
-            raise ValueError(f"rule id {self.id!r} not in violation registry")
+            raise UnknownRuleIdError(self.id)
 
     @abstractmethod
     def check(self, result: ParseResult) -> list[Finding]:

@@ -52,7 +52,8 @@ class NonTerminatedSelect(Rule):
 class DanglingMarkupUrl(Rule):
     """DE3_1 — a URL attribute containing both a newline and ``<``.
 
-    The shape of a classic dangling-markup exfiltration URL; Chromium
+    The shape of a classic dangling-markup exfiltration URL (an
+    unterminated attribute per HTML 13.2.5 tokenization); Chromium
     blocks loading such URLs since 2017 (section 4.5 of the paper).
     """
 
@@ -76,8 +77,9 @@ class DanglingMarkupUrl(Rule):
 class ScriptInAttribute(Rule):
     """DE3_2 — the string ``<script`` inside an attribute value.
 
-    Indicates a non-terminated attribute absorbed a following script
-    element (the CSP nonce-stealing shape, Figure 2 of the paper).
+    Indicates a non-terminated attribute (HTML 13.2.5 tokenization)
+    absorbed a following script element (the CSP nonce-stealing shape,
+    Figure 2 of the paper).
     """
 
     id = "DE3_2"
@@ -101,8 +103,8 @@ class NewlineInTarget(Rule):
     """DE3_3 — a ``target`` attribute containing a newline.
 
     The window-name exfiltration shape (Figure 5 of the paper): an
-    unterminated target attribute absorbs following markup, and window
-    names survive cross-origin navigation.
+    unterminated target attribute (HTML 13.2.5 tokenization) absorbs
+    following markup, and window names survive cross-origin navigation.
     """
 
     id = "DE3_3"

@@ -53,7 +53,8 @@ def _base_elements(result: ParseResult) -> list[Element]:
 
 
 class BaseOutsideHead(Rule):
-    """DM2_1 — a ``base`` element outside the head section."""
+    """DM2_1 — a ``base`` element outside the head section (HTML 4.2.3
+    restricts base to head; the parser honours it anywhere)."""
 
     id = "DM2_1"
 
@@ -70,7 +71,8 @@ class BaseOutsideHead(Rule):
 
 
 class MultipleBase(Rule):
-    """DM2_2 — more than one ``base`` element in the document."""
+    """DM2_2 — more than one ``base`` element in the document (HTML
+    4.2.3 allows exactly one)."""
 
     id = "DM2_2"
 
@@ -89,8 +91,9 @@ class MultipleBase(Rule):
 class BaseAfterUrlUse(Rule):
     """DM2_3 — ``base`` appearing after an element that uses a URL.
 
-    The spec requires base to precede every URL-bearing element; a late
-    base silently rebases nothing or (worse) only part of the document.
+    The spec (HTML 4.2.3) requires base to precede every URL-bearing
+    element; a late base silently rebases nothing or (worse) only part
+    of the document.
     """
 
     id = "DM2_3"

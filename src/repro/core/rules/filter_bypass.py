@@ -32,7 +32,8 @@ class SlashBetweenAttributes(Rule):
 
 class MissingSpaceBetweenAttributes(Rule):
     """FB2 — ``<img src="x"onerror=...>``: quoted value directly followed
-    by the next attribute (``missing-whitespace-between-attributes``).
+    by the next attribute (``missing-whitespace-between-attributes``,
+    HTML 13.2.5.39).
     """
 
     id = "FB2"

@@ -31,7 +31,7 @@ MATHML_ONLY_NAMES = frozenset(
 
 
 class BrokenHead(Rule):
-    """HF1 — broken head section.
+    """HF1 — broken head section (HTML 4.2.1 content model).
 
     Fires when head tags are omitted, when a disallowed element appears
     inside the head (implicitly closing it and dragging the remaining head
@@ -65,7 +65,8 @@ class BrokenHead(Rule):
 
 
 class ContentBeforeBody(Rule):
-    """HF2 — content before the body tag implicitly opens the body.
+    """HF2 — content before the body tag implicitly opens the body
+    (HTML 4.3.1 requires body to follow head directly).
 
     Enables the Figure 4 attack where an unclosed tag absorbs the real
     ``<body onload=...>``.  A body implied only by EOF or by the closing
@@ -109,7 +110,8 @@ class MultipleBody(Rule):
 
 class BrokenTable(Rule):
     """HF4 — content not allowed inside a table is foster-parented in
-    front of it (the Figure 1/Figure 11 mXSS mutation primitive).
+    front of it (HTML 13.2.6.4.9, the Figure 1/Figure 11 mXSS mutation
+    primitive).
     """
 
     id = "HF4"
@@ -127,7 +129,8 @@ class BrokenTable(Rule):
 
 class WrongNamespaceHtml(Rule):
     """HF5_1 — SVG/MathML-only elements stranded in the HTML namespace
-    (e.g. a ``<path>`` pasted without its ``<svg>`` root).
+    (e.g. a ``<path>`` pasted without its ``<svg>`` root; HTML 13.2.6.5
+    governs foreign content).
     """
 
     id = "HF5_1"
@@ -171,7 +174,8 @@ class _BreakoutRule(Rule):
 
 
 class WrongNamespaceSvg(_BreakoutRule):
-    """HF5_2 — HTML elements inside SVG forcing a namespace breakout."""
+    """HF5_2 — HTML elements inside SVG forcing a namespace breakout
+    (HTML 13.2.6.5)."""
 
     id = "HF5_2"
     namespace = SVG_NAMESPACE
@@ -179,7 +183,7 @@ class WrongNamespaceSvg(_BreakoutRule):
 
 class WrongNamespaceMathml(_BreakoutRule):
     """HF5_3 — HTML elements inside MathML forcing a namespace breakout
-    (the DOMPurify bypass shape from Figure 1).
+    (HTML 13.2.6.5; the DOMPurify bypass shape from Figure 1).
     """
 
     id = "HF5_3"

@@ -19,6 +19,24 @@ import enum
 from dataclasses import dataclass
 
 
+class UnknownRuleIdError(ValueError):
+    """A rule declared an ``id`` that is not a :data:`REGISTRY` key.
+
+    Raised by ``Rule.__init__`` at instantiation time; the
+    ``registry-consistency`` staticcheck pass enforces the same invariant
+    statically against the same registry, so the error is normally caught
+    before any rule ever runs.  Subclasses :class:`ValueError` for
+    backwards compatibility.
+    """
+
+    def __init__(self, rule_id: str) -> None:
+        super().__init__(
+            f"rule id {rule_id!r} not in violation registry "
+            f"(known ids: {', '.join(REGISTRY)})"
+        )
+        self.rule_id = rule_id
+
+
 class Category(enum.Enum):
     DEFINITION = "definition-violation"
     PARSING_ERROR = "parsing-error"

@@ -1,0 +1,43 @@
+"""repro.staticcheck — machine-checked invariants for the reproduction.
+
+A self-contained static-analysis framework (AST visitor engine, severity
+/location/fix-hint findings, suppression comments, text/JSON/baseline
+reporters) plus a suite of repo-specific passes that lint this codebase
+against the invariants the paper's methodology depends on: a one-to-one
+rule registry, a deterministic pipeline, an exhaustive parser state
+machine, backtracking-safe rule regexes, and an error-transparent
+pipeline.  Run it via ``repro-study lint`` or
+:func:`repro.staticcheck.run_lint`.
+"""
+from .engine import (
+    ENGINE_PASS_ID,
+    LintPass,
+    LintResult,
+    SourceFile,
+    Suppressions,
+    iter_python_files,
+    run_lint,
+)
+from .findings import LintFinding, Location, Severity
+from .passes import ALL_PASSES, default_passes, pass_by_id
+from .reporter import render_baseline, render_json, render_text, write_baseline
+
+__all__ = [
+    "ALL_PASSES",
+    "ENGINE_PASS_ID",
+    "LintFinding",
+    "LintPass",
+    "LintResult",
+    "Location",
+    "Severity",
+    "SourceFile",
+    "Suppressions",
+    "default_passes",
+    "iter_python_files",
+    "pass_by_id",
+    "render_baseline",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "write_baseline",
+]

@@ -1,0 +1,322 @@
+"""The staticcheck engine: a visitor-based lint-pass runner over Python ASTs.
+
+Design (mirrors flake8/pylint's checker architecture, sized for this repo):
+
+* every ``*.py`` file under the lint root is parsed **once** into a
+  :class:`SourceFile` (source text, AST, suppression comments);
+* each :class:`LintPass` declares interest in files via :meth:`select` and
+  in node types by defining ``visit_<NodeType>`` methods.  The engine walks
+  each AST a single time and dispatches every node to every interested
+  pass — N passes cost one traversal, not N;
+* passes may keep state across files and emit whole-tree findings from
+  :meth:`LintPass.finish` (used by cross-file invariants such as
+  "every REGISTRY entry has exactly one implementing rule");
+* findings are filtered through suppression comments and returned sorted,
+  so output is deterministic for a given tree — the same property the
+  study demands of its own pipeline.
+
+Suppression syntax (documented in README.md):
+
+* trailing comment — ``x = random.random()  # staticcheck: ignore[determinism]``
+  silences findings of the listed passes **on that line only**;
+* standalone comment line — ``# staticcheck: ignore[regex-safety]``
+  anywhere on a line of its own silences the listed passes for the
+  **whole file**;
+* ``ignore[*]`` matches every pass; multiple ids may be comma-separated.
+"""
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from abc import ABC
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator, Sequence
+
+from .findings import LintFinding, Location, Severity
+
+#: pseudo pass id for engine-level problems (unreadable/unparsable files)
+ENGINE_PASS_ID = "staticcheck"
+
+_SUPPRESS_RE = re.compile(r"#\s*staticcheck:\s*ignore\[([^\]]+)\]")
+
+
+@dataclass(slots=True)
+class Suppressions:
+    """Parsed ``# staticcheck: ignore[...]`` comments for one file."""
+
+    file_level: frozenset[str] = frozenset()
+    by_line: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    def allows(self, pass_id: str, line: int) -> bool:
+        """True when a finding from ``pass_id`` at ``line`` is suppressed."""
+        for ids in (self.file_level, self.by_line.get(line, frozenset())):
+            if "*" in ids or pass_id in ids:
+                return True
+        return False
+
+
+def _parse_suppressions(text: str) -> Suppressions:
+    file_level: set[str] = set()
+    by_line: dict[int, frozenset[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return Suppressions()
+    code_lines = {
+        line
+        for token in tokens
+        if token.type not in (
+            tokenize.COMMENT, tokenize.NL, tokenize.NEWLINE,
+            tokenize.INDENT, tokenize.DEDENT, tokenize.ENDMARKER,
+        )
+        for line in range(token.start[0], token.end[0] + 1)
+    }
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        ids = frozenset(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        if not ids:
+            continue
+        line = token.start[0]
+        if line in code_lines:  # trailing comment: line-scoped
+            by_line[line] = by_line.get(line, frozenset()) | ids
+        else:                   # standalone comment line: file-scoped
+            file_level |= ids
+    return Suppressions(file_level=frozenset(file_level), by_line=by_line)
+
+
+@dataclass(slots=True)
+class SourceFile:
+    """One parsed module under the lint root."""
+
+    path: Path
+    rel: str                  # posix path relative to the lint root
+    text: str
+    tree: ast.Module
+    suppressions: Suppressions
+
+    @property
+    def parts(self) -> tuple[str, ...]:
+        return tuple(self.rel.split("/"))
+
+    @property
+    def module_name(self) -> str:
+        return Path(self.rel).stem
+
+
+class LintPass(ABC):
+    """One invariant checked over the tree.
+
+    Subclasses set :attr:`id`/:attr:`name`/:attr:`description`, narrow
+    :meth:`select`, and define ``visit_<NodeType>(self, file, node)``
+    methods; the engine discovers those by name.  ``begin_file`` /
+    ``end_file`` bracket each selected file and :meth:`finish` runs once
+    after the walk — the place for cross-file verdicts.
+    """
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+
+    def __init__(self) -> None:
+        self._findings: list[LintFinding] = []
+        self._visitors: dict[str, Callable] = {
+            attr[len("visit_"):]: getattr(self, attr)
+            for attr in dir(type(self))
+            if attr.startswith("visit_") and callable(getattr(self, attr))
+        }
+
+    # ------------------------------------------------------------- hooks
+
+    def select(self, file: SourceFile) -> bool:
+        """Whether this pass wants ``file`` visited (default: every file)."""
+        return True
+
+    def begin_file(self, file: SourceFile) -> None:
+        """Called before ``file``'s AST is walked."""
+
+    def end_file(self, file: SourceFile) -> None:
+        """Called after ``file``'s AST is walked."""
+
+    def finish(self) -> None:
+        """Called once after every file; emit cross-file findings here."""
+
+    # ---------------------------------------------------------- reporting
+
+    def report(
+        self,
+        file: SourceFile | None,
+        node: ast.AST | None,
+        message: str,
+        *,
+        severity: Severity = Severity.ERROR,
+        fix_hint: str = "",
+        line: int | None = None,
+    ) -> None:
+        location = Location(
+            path=file.rel if file is not None else ".",
+            line=line if line is not None else getattr(node, "lineno", 0),
+            column=getattr(node, "col_offset", 0),
+        )
+        self._findings.append(
+            LintFinding(
+                pass_id=self.id, severity=severity, location=location,
+                message=message, fix_hint=fix_hint,
+            )
+        )
+
+    # ----------------------------------------------------------- engine API
+
+    def _dispatch(self, file: SourceFile, node: ast.AST) -> None:
+        visitor = self._visitors.get(type(node).__name__)
+        if visitor is not None:
+            visitor(file, node)
+
+    def _take_findings(self) -> list[LintFinding]:
+        findings, self._findings = self._findings, []
+        return findings
+
+
+@dataclass(slots=True)
+class LintResult:
+    """Outcome of one engine run."""
+
+    root: str                       # display label for the lint root
+    pass_ids: tuple[str, ...]
+    files: tuple[str, ...]          # root-relative paths scanned
+    findings: tuple[LintFinding, ...]
+    suppressed: int                 # findings silenced by ignore comments
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for finding in self.findings if finding.severity is severity)
+
+    @property
+    def max_severity(self) -> Severity | None:
+        return max((f.severity for f in self.findings), default=None)
+
+    def exit_code(self, fail_on: Severity = Severity.ERROR) -> int:
+        return 1 if any(f.severity >= fail_on for f in self.findings) else 0
+
+
+def iter_python_files(root: Path) -> Iterator[Path]:
+    """All ``*.py`` files under ``root``, in sorted (deterministic) order."""
+    yield from sorted(
+        path for path in root.rglob("*.py")
+        if "__pycache__" not in path.parts
+    )
+
+
+def load_source_file(path: Path, root: Path) -> tuple[SourceFile | None, LintFinding | None]:
+    """Parse one file; on failure return an engine-level ERROR finding."""
+    rel = path.relative_to(root).as_posix()
+    try:
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+    except (OSError, SyntaxError, ValueError) as exc:
+        finding = LintFinding(
+            pass_id=ENGINE_PASS_ID,
+            severity=Severity.ERROR,
+            location=Location(path=rel, line=getattr(exc, "lineno", 0) or 0),
+            message=f"cannot parse file: {exc}",
+        )
+        return None, finding
+    return SourceFile(
+        path=path, rel=rel, text=text, tree=tree,
+        suppressions=_parse_suppressions(text),
+    ), None
+
+
+def run_lint(
+    root: Path,
+    passes: Sequence[LintPass] | None = None,
+    *,
+    root_label: str | None = None,
+) -> LintResult:
+    """Run ``passes`` (default: the full suite) over every module under ``root``."""
+    if passes is None:
+        from .passes import default_passes
+
+        passes = default_passes()
+    root = root.resolve()
+    findings: list[LintFinding] = []
+    suppressed = 0
+    files: list[SourceFile] = []
+    scanned: list[str] = []
+
+    for path in iter_python_files(root):
+        file, parse_finding = load_source_file(path, root)
+        if parse_finding is not None:
+            findings.append(parse_finding)
+            continue
+        assert file is not None
+        files.append(file)
+        scanned.append(file.rel)
+
+    for file in files:
+        interested = [p for p in passes if p.select(file)]
+        if not interested:
+            continue
+        for lint_pass in interested:
+            lint_pass.begin_file(file)
+        for node in ast.walk(file.tree):
+            for lint_pass in interested:
+                lint_pass._dispatch(file, node)
+        for lint_pass in interested:
+            lint_pass.end_file(file)
+            for finding in lint_pass._take_findings():
+                if file.suppressions.allows(finding.pass_id, finding.location.line):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
+
+    suppressions_by_rel = {file.rel: file.suppressions for file in files}
+    for lint_pass in passes:
+        lint_pass.finish()
+        for finding in lint_pass._take_findings():
+            suppression = suppressions_by_rel.get(finding.location.path)
+            if suppression is not None and suppression.allows(
+                finding.pass_id, finding.location.line
+            ):
+                suppressed += 1
+            else:
+                findings.append(finding)
+
+    return LintResult(
+        root=root_label if root_label is not None else str(root),
+        pass_ids=tuple(p.id for p in passes),
+        files=tuple(scanned),
+        findings=tuple(sorted(findings, key=lambda f: f.sort_key)),
+        suppressed=suppressed,
+    )
+
+
+# --------------------------------------------------------------- AST helpers
+# Shared by several passes; kept here so passes stay single-purpose.
+
+def attribute_chain(node: ast.AST) -> tuple[str, ...]:
+    """``ast.Attribute``/``ast.Name`` chain as names, e.g. ``np.random.rand``
+    -> ``("np", "random", "rand")``; empty tuple when the chain involves
+    calls or subscripts."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+def literal_str(node: ast.AST | None) -> str | None:
+    """The value of a string-literal expression node, else None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None

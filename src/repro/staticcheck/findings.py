@@ -1,0 +1,81 @@
+"""Finding types for the staticcheck framework.
+
+A lint finding is deliberately shaped like the study's own
+:class:`repro.core.violations.Finding` — an id, a location, a message and
+some evidence — because the framework plays the same role one level up:
+the checker machine-checks documents against the HTML spec, staticcheck
+machine-checks *the checker* against the invariants the paper's
+methodology depends on.
+"""
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is; ordering is meaningful (``--fail-on``)."""
+
+    NOTE = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, name: str) -> "Severity":
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            raise ValueError(f"unknown severity {name!r}") from None
+
+
+@dataclass(frozen=True, slots=True)
+class Location:
+    """Where a finding anchors: root-relative path, 1-based line, 0-based column."""
+
+    path: str
+    line: int = 0
+    column: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}"
+
+
+@dataclass(frozen=True, slots=True)
+class LintFinding:
+    """One invariant violation in the repo's own source."""
+
+    pass_id: str            # e.g. "registry-consistency"
+    severity: Severity
+    location: Location
+    message: str
+    fix_hint: str = ""      # short, actionable remediation
+
+    @property
+    def sort_key(self) -> tuple:
+        return (
+            self.location.path, self.location.line, self.location.column,
+            self.pass_id, self.message,
+        )
+
+    def format(self) -> str:
+        text = f"{self.location}: {self.severity} [{self.pass_id}] {self.message}"
+        if self.fix_hint:
+            text += f" (hint: {self.fix_hint})"
+        return text
+
+    def to_json(self) -> dict:
+        return {
+            "pass": self.pass_id,
+            "severity": str(self.severity),
+            "path": self.location.path,
+            "line": self.location.line,
+            "column": self.location.column,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+        }
+
+    def with_severity(self, severity: Severity) -> "LintFinding":
+        return replace(self, severity=severity)

@@ -1,0 +1,42 @@
+"""The pass suite: one module per repo-specific invariant."""
+from __future__ import annotations
+
+from ..engine import LintPass
+from .determinism import DeterminismPass
+from .exception_hygiene import ExceptionHygienePass
+from .registry_consistency import RegistryConsistencyPass
+from .regex_safety import RegexSafetyPass
+from .state_machine import StateMachinePass
+
+#: every pass, in documentation order
+ALL_PASSES: tuple[type[LintPass], ...] = (
+    RegistryConsistencyPass,
+    DeterminismPass,
+    StateMachinePass,
+    RegexSafetyPass,
+    ExceptionHygienePass,
+)
+
+
+def default_passes() -> list[LintPass]:
+    """Fresh instances of the full suite (passes keep per-run state)."""
+    return [pass_class() for pass_class in ALL_PASSES]
+
+
+def pass_by_id(pass_id: str) -> type[LintPass]:
+    for pass_class in ALL_PASSES:
+        if pass_class.id == pass_id:
+            return pass_class
+    raise KeyError(pass_id)
+
+
+__all__ = [
+    "ALL_PASSES",
+    "DeterminismPass",
+    "ExceptionHygienePass",
+    "RegexSafetyPass",
+    "RegistryConsistencyPass",
+    "StateMachinePass",
+    "default_passes",
+    "pass_by_id",
+]

@@ -1,0 +1,115 @@
+"""Determinism pass: the reproducibility guard.
+
+The study's claim to reproducibility (and the whole longitudinal design —
+eight yearly snapshots that must be comparable) rests on every pipeline
+decision being a pure function of ``StudyConfig.seed``.  The codebase
+enforces this by idiom: every random draw goes through a
+``random.Random(f"{seed}:...")`` instance keyed on the seed plus a stable
+label, timestamps come from the corpus plan rather than the wall clock,
+and environment variables are read only at the configuration boundary
+(``repro/study.py``), never deep inside a stage.
+
+This pass turns the idiom into an invariant over ``analysis/``,
+``pipeline/`` and ``commoncrawl/``:
+
+* **wall clock** — ``time.time()``/``time_ns``/``localtime``/``gmtime``/
+  ``ctime`` and ``datetime.now()``/``utcnow``/``today`` make output depend
+  on when the run happened;
+* **shared global RNG** — module-level ``random.random()`` etc. draw from
+  interpreter-global state that other code (or a process pool's import
+  order) perturbs; ``random.Random(seed)`` instances are fine, as are
+  ``numpy.random.default_rng(seed)`` generators (the legacy
+  ``np.random.*`` global functions are flagged);
+* **ambient configuration** — ``os.environ`` / ``os.getenv`` reads outside
+  config modules let the environment silently change results; thread
+  values through ``StudyConfig`` instead.
+
+Modules whose stem is in :data:`EXEMPT_MODULES` (configuration
+boundaries) are skipped entirely.
+"""
+from __future__ import annotations
+
+import ast
+
+from ..engine import LintPass, SourceFile, attribute_chain
+from ..findings import Severity
+
+PASS_ID = "determinism"
+
+#: directories (any path component) the reproducibility guard covers
+GUARDED_DIRS = frozenset({"analysis", "pipeline", "commoncrawl"})
+
+#: module stems allowed to read ambient state (configuration boundaries)
+EXEMPT_MODULES = frozenset({"config", "settings"})
+
+_CLOCK_CALLS = frozenset({"time", "time_ns", "localtime", "gmtime", "ctime"})
+_DATETIME_CALLS = frozenset({"now", "utcnow", "today"})
+_SEEDED_RANDOM_ATTRS = frozenset({"Random", "SystemRandom"})
+_SEEDED_NUMPY_ATTRS = frozenset({"default_rng", "Generator", "SeedSequence"})
+
+
+class DeterminismPass(LintPass):
+    id = PASS_ID
+    name = "Reproducibility guard"
+    description = (
+        "no wall-clock reads, unseeded global RNG draws, or os.environ "
+        "access in analysis/, pipeline/ and commoncrawl/"
+    )
+
+    def select(self, file: SourceFile) -> bool:
+        return (
+            any(part in GUARDED_DIRS for part in file.parts[:-1])
+            and file.module_name not in EXEMPT_MODULES
+        )
+
+    def visit_Call(self, file: SourceFile, node: ast.Call) -> None:
+        chain = attribute_chain(node.func)
+        if len(chain) < 2:
+            return
+        if chain[0] == "time" and chain[1] in _CLOCK_CALLS and len(chain) == 2:
+            self.report(
+                file, node,
+                f"wall-clock read time.{chain[1]}() is not reproducible",
+                fix_hint="take timestamps from the corpus plan / caller",
+            )
+        elif chain[-1] in _DATETIME_CALLS and chain[-2] in ("datetime", "date"):
+            self.report(
+                file, node,
+                f"wall-clock read {'.'.join(chain)}() is not reproducible",
+                fix_hint="derive dates from the snapshot year / StudyConfig",
+            )
+        elif chain == ("os", "getenv"):
+            self.report(
+                file, node,
+                "os.getenv() read outside a config module",
+                fix_hint="thread the value through StudyConfig",
+            )
+        elif chain[0] == "random" and len(chain) == 2:
+            if chain[1] not in _SEEDED_RANDOM_ATTRS:
+                self.report(
+                    file, node,
+                    f"random.{chain[1]}() draws from the shared global RNG",
+                    fix_hint="use a random.Random(f\"{seed}:...\") instance",
+                )
+        elif len(chain) >= 3 and chain[-2] == "random":
+            # numpy-style module RNG: np.random.<fn>(...)
+            if chain[-1] not in _SEEDED_NUMPY_ATTRS:
+                self.report(
+                    file, node,
+                    f"{'.'.join(chain)}() draws from the legacy global "
+                    "numpy RNG",
+                    fix_hint="use numpy.random.default_rng(seed)",
+                )
+
+    def visit_Attribute(self, file: SourceFile, node: ast.Attribute) -> None:
+        if (
+            node.attr == "environ"
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "os"
+        ):
+            self.report(
+                file, node,
+                "os.environ access outside a config module",
+                fix_hint="read the environment only at the StudyConfig "
+                "boundary (repro/study.py)",
+            )

@@ -1,0 +1,92 @@
+"""Exception-hygiene pass: the pipeline must not swallow errors.
+
+The Figure 6 pipeline is the part of the system that touches the outside
+world (WARC archives, storage, process pools).  A handler that catches
+everything and silently continues turns an I/O or data-format bug into a
+*smaller measured corpus* — the study would report fewer violations, not
+an error, which is the worst possible failure mode for a measurement.
+Web Execution Bundles make the same argument for crawl tooling:
+reproducible measurement requires failures to be recorded, not absorbed.
+
+Flagged in ``pipeline/``:
+
+* **bare ``except:``** — always an error; it also catches
+  ``KeyboardInterrupt``/``SystemExit`` and can make workers unkillable;
+* **blanket ``except Exception``/``BaseException``** (alone or in a
+  tuple) whose handler neither re-raises nor visibly records the error
+  (no ``raise``, no logging/warnings call, no print) — a warning: catch
+  the specific exceptions the stage can actually handle, as
+  ``crawler.py`` does with ``(OSError, WARCFormatError)``.
+"""
+from __future__ import annotations
+
+import ast
+
+from ..engine import LintPass, SourceFile
+from ..findings import Severity
+
+PASS_ID = "exception-hygiene"
+
+_BLANKET_NAMES = frozenset({"Exception", "BaseException"})
+_LOGGING_ATTRS = frozenset(
+    {"debug", "info", "warning", "warn", "error", "exception", "critical", "log"}
+)
+
+
+def _caught_names(node: ast.ExceptHandler) -> list[str]:
+    if node.type is None:
+        return []
+    types = node.type.elts if isinstance(node.type, ast.Tuple) else [node.type]
+    names = []
+    for type_node in types:
+        if isinstance(type_node, ast.Name):
+            names.append(type_node.id)
+        elif isinstance(type_node, ast.Attribute):
+            names.append(type_node.attr)
+    return names
+
+
+def _records_error(node: ast.ExceptHandler) -> bool:
+    """True when the handler re-raises or visibly records the exception."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Raise):
+            return True
+        if isinstance(sub, ast.Call):
+            func = sub.func
+            if isinstance(func, ast.Attribute) and func.attr in _LOGGING_ATTRS:
+                return True
+            if isinstance(func, ast.Name) and func.id in ("print", "warn"):
+                return True
+    return False
+
+
+class ExceptionHygienePass(LintPass):
+    id = PASS_ID
+    name = "Pipeline exception hygiene"
+    description = (
+        "no bare excepts and no blanket Exception handlers that swallow "
+        "errors in pipeline/"
+    )
+
+    def select(self, file: SourceFile) -> bool:
+        return "pipeline" in file.parts[:-1]
+
+    def visit_ExceptHandler(self, file: SourceFile, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(
+                file, node,
+                "bare `except:` catches everything, including "
+                "KeyboardInterrupt",
+                fix_hint="catch the specific exceptions this stage can "
+                "handle",
+            )
+            return
+        blanket = [name for name in _caught_names(node) if name in _BLANKET_NAMES]
+        if blanket and not _records_error(node):
+            self.report(
+                file, node,
+                f"blanket `except {blanket[0]}` swallows errors silently",
+                severity=Severity.WARNING,
+                fix_hint="narrow the exception types, or re-raise/log so "
+                "failures shrink nothing silently",
+            )

@@ -1,0 +1,335 @@
+"""Regex-safety pass: no catastrophic backtracking in checker hot paths.
+
+``core/`` rules run over every document of every yearly snapshot —
+hundreds of thousands of attacker-influenced inputs per study run.  A
+pattern with ambiguously-nested quantifiers (``(a+)+``, ``(\\w*)*``) or an
+unbounded alternation whose branches overlap (``(a|ab)+``) backtracks
+exponentially on crafted input, which on this corpus is a
+denial-of-service against the measurement itself (and at the ROADMAP's
+production scale, against the service).
+
+The pass finds ``re.compile``/``re.search``/... calls whose pattern is a
+string literal, parses the pattern with the stdlib's own parser
+(``re._parser``), and flags:
+
+* **ambiguous nested repeats** — an unbounded (or huge, >= 32) repeat
+  whose body *ends* in another unbounded repeat that can match the same
+  characters the next iteration would start with.  ``(a+)+`` and
+  ``(\\w*)*`` are flagged; ``(?:\\.\\d+)*`` is not, because the digits the
+  inner repeat consumes can never be re-consumed by the ``\\.`` that must
+  begin the next iteration — the delimiter removes the ambiguity;
+* **overlapping alternation under a repeat** — an unbounded repeat over
+  branches that can begin with the same character, or with an empty
+  (nullable) alternative.  Note ``sre`` factors common prefixes, so
+  ``(a|ab)+`` reaches us as ``(?:a(?:|b))+`` — the empty branch is the
+  ambiguity;
+* **invalid patterns** — ``re.error`` at analysis time is reported
+  outright: the pattern would raise at run time anyway.
+
+Character sets are computed conservatively (literals, classes, ranges,
+``\\d``/``\\w``/``\\s`` categories, ``.`` as universal); unknown constructs
+analyse as "no overlap" so the pass errs toward silence, not noise.
+Patterns built dynamically (f-strings, concatenation) are out of scope —
+the repo convention, now machine-checked, is literal patterns in core/.
+"""
+from __future__ import annotations
+
+import ast
+import re as _re
+import string
+
+try:  # Python 3.11+
+    from re import _parser as sre_parse  # type: ignore[attr-defined]
+except ImportError:  # pragma: no cover - older interpreters
+    import sre_parse  # type: ignore[no-redef]
+
+from ..engine import LintPass, SourceFile, literal_str
+
+PASS_ID = "regex-safety"
+
+#: re module functions whose first argument is a pattern
+_PATTERN_FUNCS = frozenset(
+    {
+        "compile", "search", "match", "fullmatch", "findall", "finditer",
+        "sub", "subn", "split",
+    }
+)
+
+#: a bounded repeat at least this large is treated as unbounded
+_HUGE = 32
+
+_MAXREPEAT = sre_parse.MAXREPEAT
+
+#: sentinel member meaning "can match any character" (``.``, negated sets)
+_UNIVERSAL = -1
+
+_CATEGORY_CHARS = {
+    "CATEGORY_DIGIT": frozenset(map(ord, string.digits)),
+    "CATEGORY_WORD": frozenset(map(ord, string.ascii_letters + string.digits + "_")),
+    "CATEGORY_SPACE": frozenset(map(ord, " \t\n\r\f\v")),
+}
+
+_REPEAT_OPS = frozenset({"MAX_REPEAT", "MIN_REPEAT", "POSSESSIVE_REPEAT"})
+
+
+def _is_unbounded(max_count: int) -> bool:
+    return max_count == _MAXREPEAT or max_count >= _HUGE
+
+
+def _iter_subpatterns(item):
+    """Child subpatterns of one parsed (op, arg) item."""
+    op, arg = item
+    name = str(op)
+    if name in _REPEAT_OPS:
+        yield arg[2]
+    elif name == "SUBPATTERN":
+        yield arg[3]
+    elif name == "BRANCH":
+        yield from arg[1]
+    elif name in ("ASSERT", "ASSERT_NOT"):
+        yield arg[1]
+    elif name == "ATOMIC_GROUP":
+        yield arg
+    elif name == "GROUPREF_EXISTS":
+        for branch in arg[1:]:
+            if branch is not None:
+                yield branch
+
+
+def _in_chars(items) -> set[int] | None:
+    """Character set of an ``IN`` class; None when unknown/negated."""
+    chars: set[int] = set()
+    for op, arg in items:
+        name = str(op)
+        if name == "LITERAL":
+            chars.add(arg)
+        elif name == "RANGE":
+            low, high = arg
+            chars.update(range(low, min(high, low + 512) + 1))
+        elif name == "CATEGORY":
+            category = _CATEGORY_CHARS.get(str(arg))
+            if category is None:
+                return None
+            chars.update(category)
+        elif name == "NEGATE":
+            return {_UNIVERSAL}  # negated class: nearly anything
+        else:
+            return None
+    return chars
+
+
+def _nullable(subpattern) -> bool:
+    """True when the subpattern can match the empty string."""
+    for item in subpattern:
+        op, arg = item
+        name = str(op)
+        if name == "AT":
+            continue
+        if name in _REPEAT_OPS:
+            if arg[0] == 0 or _nullable(arg[2]):
+                continue
+            return False
+        if name == "SUBPATTERN":
+            if _nullable(arg[3]):
+                continue
+            return False
+        if name == "BRANCH":
+            if any(_nullable(branch) for branch in arg[1]):
+                continue
+            return False
+        if name in ("ASSERT", "ASSERT_NOT"):
+            continue
+        return False
+    return True
+
+
+def _first_chars(subpattern) -> set[int] | None:
+    """Conservative set of characters the subpattern can start with.
+
+    ``None`` means "unknown construct" — callers treat that as
+    non-overlapping so the pass never guesses.  The sentinel
+    :data:`_UNIVERSAL` marks ``.``/negated classes.
+    """
+    chars: set[int] = set()
+    for item in subpattern:
+        op, arg = item
+        name = str(op)
+        if name == "AT":
+            continue
+        if name == "LITERAL":
+            chars.add(arg)
+            return chars
+        if name == "ANY":
+            chars.add(_UNIVERSAL)
+            return chars
+        if name == "IN":
+            inner = _in_chars(arg)
+            if inner is None:
+                return None
+            chars |= inner
+            return chars
+        if name == "SUBPATTERN":
+            inner = _first_chars(arg[3])
+            if inner is None:
+                return None
+            chars |= inner
+            if _nullable(arg[3]):
+                continue
+            return chars
+        if name in _REPEAT_OPS:
+            inner = _first_chars(arg[2])
+            if inner is None:
+                return None
+            chars |= inner
+            if arg[0] == 0:
+                continue  # optional: the next item can also start the match
+            return chars
+        if name == "BRANCH":
+            for branch in arg[1]:
+                inner = _first_chars(branch)
+                if inner is None:
+                    return None
+                chars |= inner
+            if any(_nullable(branch) for branch in arg[1]):
+                continue
+            return chars
+        return None
+    return chars  # fully nullable prefix: whatever accumulated
+
+
+def _tail_repeat_chars(subpattern) -> set[int] | None:
+    """First-chars of an unbounded repeat that can end the subpattern."""
+    for item in reversed(list(subpattern)):
+        op, arg = item
+        name = str(op)
+        if name == "AT":
+            continue
+        if name in _REPEAT_OPS:
+            if _is_unbounded(arg[1]):
+                return _first_chars(arg[2])
+            if arg[0] == 0:
+                continue  # optional bounded repeat: look further back
+            return None
+        if name == "SUBPATTERN":
+            inner = _tail_repeat_chars(arg[3])
+            if inner:
+                return inner
+            if _nullable(arg[3]):
+                continue
+            return None
+        if name == "BRANCH":
+            union: set[int] = set()
+            for branch in arg[1]:
+                inner = _tail_repeat_chars(branch)
+                if inner:
+                    union |= inner
+            if union:
+                return union
+            return None
+        return None
+    return None
+
+
+def _overlaps(left: set[int] | None, right: set[int] | None) -> bool:
+    if not left or not right:
+        return False
+    if _UNIVERSAL in left or _UNIVERSAL in right:
+        return True
+    return bool(left & right)
+
+
+def _branches_in(subpattern):
+    """Every BRANCH alternative-list nested anywhere in the subpattern."""
+    for item in subpattern:
+        op, arg = item
+        if str(op) == "BRANCH":
+            yield arg[1]
+        for child in _iter_subpatterns(item):
+            yield from _branches_in(child)
+
+
+def _risky_branch(branches) -> bool:
+    if any(len(branch) == 0 for branch in branches):
+        return True  # empty alternative: epsilon-ambiguous under a repeat
+    first_sets = [_first_chars(branch) for branch in branches]
+    known = [chars for chars in first_sets if chars]
+    for index, chars in enumerate(known):
+        for other in known[index + 1:]:
+            if _overlaps(chars, other):
+                return True
+    return False
+
+
+def analyze_pattern(pattern: str) -> str | None:
+    """Return a problem description for ``pattern``, or None if it looks safe."""
+    try:
+        parsed = sre_parse.parse(pattern)
+    except _re.error as exc:
+        return f"invalid regular expression: {exc}"
+    return _analyze_subpattern(parsed)
+
+
+def _analyze_subpattern(subpattern) -> str | None:
+    for item in subpattern:
+        op, arg = item
+        name = str(op)
+        if name in ("MAX_REPEAT", "MIN_REPEAT") and _is_unbounded(arg[1]):
+            body = arg[2]
+            if _overlaps(_tail_repeat_chars(body), _first_chars(body)):
+                return (
+                    "nested unbounded quantifier (catastrophic "
+                    "backtracking risk)"
+                )
+            for branches in _branches_in(body):
+                if _risky_branch(branches):
+                    return (
+                        "unbounded repeat over overlapping alternation "
+                        "(catastrophic backtracking risk)"
+                    )
+        for child in _iter_subpatterns(item):
+            problem = _analyze_subpattern(child)
+            if problem is not None:
+                return problem
+    return None
+
+
+class RegexSafetyPass(LintPass):
+    id = PASS_ID
+    name = "Regex backtracking safety"
+    description = (
+        "no catastrophic-backtracking-prone literal patterns in core/ "
+        "(ambiguous nested quantifiers, overlapping alternation)"
+    )
+
+    def select(self, file: SourceFile) -> bool:
+        return "core" in file.parts[:-1]
+
+    def visit_Call(self, file: SourceFile, node: ast.Call) -> None:
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "re"
+            and func.attr in _PATTERN_FUNCS
+        ):
+            return
+        if not node.args:
+            return
+        pattern = literal_str(node.args[0])
+        if pattern is None:
+            if not isinstance(node.args[0], ast.JoinedStr):
+                return
+            self.report(
+                file, node.args[0],
+                "dynamically built regex pattern cannot be safety-checked",
+                fix_hint="prefer literal patterns in core/",
+            )
+            return
+        problem = analyze_pattern(pattern)
+        if problem is not None:
+            self.report(
+                file, node.args[0],
+                f"pattern {pattern!r}: {problem}",
+                fix_hint="rewrite so quantified groups cannot re-match the "
+                "same text (unroll, atomic-group, or bound the repeat)",
+            )

@@ -1,0 +1,236 @@
+"""Registry-consistency pass: the rule set and Table 1 must agree.
+
+The study's headline numbers are per-violation-id counts, so the mapping
+between :data:`repro.core.violations.REGISTRY` (Table 1 as code) and the
+``Rule`` subclasses implementing it must be exactly one-to-one.  Before
+this pass, that invariant was enforced only at *runtime* — by
+``Rule.__init__`` raising :class:`repro.core.violations.UnknownRuleIdError`
+when instantiated — which misses rules that are never instantiated and
+registry rows that are never implemented.
+
+Checked invariants:
+
+* every concrete ``Rule`` subclass defines ``id`` as a non-empty string
+  **literal** (not computed — the id must be statically auditable);
+* that id exists in ``REGISTRY`` (the same source of truth the runtime
+  check uses);
+* no two rule classes implement the same id;
+* every ``REGISTRY`` entry has exactly one implementing rule class, and
+  ``RULE_CLASSES`` in ``core/rules/__init__.py`` lists each exactly once
+  (checked only when that module is inside the lint root);
+* every concrete rule class docstring cites an HTML spec section
+  (a dotted section number such as ``13.2.5.40``) — the paper's rules are
+  each anchored to a spec clause, ours must be too.
+
+Heuristics: a class is rule-derived when one of its bases resolves —
+transitively, within the same module — to a name ending in ``Rule``
+imported from the rules package (or literally ``Rule``).  Classes whose
+name starts with ``_`` are treated as abstract helpers and exempt from
+the concrete-rule checks.
+"""
+from __future__ import annotations
+
+import ast
+import re
+
+from ...core.violations import REGISTRY
+from ..engine import LintPass, SourceFile, literal_str
+from ..findings import Severity
+
+PASS_ID = "registry-consistency"
+
+#: dotted spec-section citation, e.g. "4.2.3" or "13.2.5.40"
+SPEC_CITATION_RE = re.compile(r"\b\d+\.\d+(?:\.\d+)*\b")
+
+_RULES_INIT_SUFFIX = "core/rules/__init__.py"
+
+
+def _base_names(node: ast.ClassDef) -> list[str]:
+    names = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def _rule_classes_in(tree: ast.Module) -> dict[str, ast.ClassDef]:
+    """Classes in ``tree`` deriving (transitively, locally) from ``Rule``."""
+    class_defs = {
+        node.name: node for node in tree.body if isinstance(node, ast.ClassDef)
+    }
+    derived: dict[str, ast.ClassDef] = {}
+    changed = True
+    while changed:
+        changed = False
+        for name, node in class_defs.items():
+            if name in derived or name == "Rule":
+                continue
+            for base in _base_names(node):
+                if base == "Rule" or base in derived:
+                    derived[name] = node
+                    changed = True
+                    break
+    return derived
+
+
+def _class_id_assignment(node: ast.ClassDef) -> ast.Assign | ast.AnnAssign | None:
+    for statement in node.body:
+        if isinstance(statement, ast.Assign):
+            targets = [t.id for t in statement.targets if isinstance(t, ast.Name)]
+            if "id" in targets:
+                return statement
+        elif isinstance(statement, ast.AnnAssign):
+            if isinstance(statement.target, ast.Name) and statement.target.id == "id":
+                return statement
+    return None
+
+
+class RegistryConsistencyPass(LintPass):
+    id = PASS_ID
+    name = "Rule registry consistency"
+    description = (
+        "Rule subclasses and repro.core.violations.REGISTRY are one-to-one, "
+        "ids are string literals, docstrings cite a spec section"
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: violation id -> [(file, class node)] implementing it
+        self._implementations: dict[str, list[tuple[SourceFile, ast.ClassDef]]] = {}
+        #: concrete rule class name -> (file, node)
+        self._concrete: dict[str, tuple[SourceFile, ast.ClassDef]] = {}
+        self._rules_init: SourceFile | None = None
+        self._rule_classes_tuple: ast.Assign | None = None
+        self._listed_names: list[str] = []
+        self._current_rules: dict[str, ast.ClassDef] = {}
+
+    # the pass scans every module: rule subclasses may be declared anywhere
+    def select(self, file: SourceFile) -> bool:
+        return True
+
+    def begin_file(self, file: SourceFile) -> None:
+        self._current_rules = _rule_classes_in(file.tree)
+        if file.rel.endswith(_RULES_INIT_SUFFIX):
+            self._rules_init = file
+            self._collect_rule_classes_tuple(file)
+
+    def _collect_rule_classes_tuple(self, file: SourceFile) -> None:
+        for node in file.tree.body:
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            if "RULE_CLASSES" not in names:
+                continue
+            value = node.value
+            if isinstance(value, (ast.Tuple, ast.List)):
+                self._rule_classes_tuple = node  # type: ignore[assignment]
+                self._listed_names = [
+                    element.id
+                    for element in value.elts
+                    if isinstance(element, ast.Name)
+                ]
+            return
+
+    def visit_ClassDef(self, file: SourceFile, node: ast.ClassDef) -> None:
+        if node.name not in self._current_rules:
+            return
+        if node.name.startswith("_"):
+            return  # abstract helper (e.g. _BreakoutRule); subclasses are checked
+        self._check_concrete_rule(file, node)
+
+    def _check_concrete_rule(self, file: SourceFile, node: ast.ClassDef) -> None:
+        self._concrete[node.name] = (file, node)
+        assignment = _class_id_assignment(node)
+        if assignment is None:
+            self.report(
+                file, node,
+                f"Rule subclass {node.name} does not define an id",
+                fix_hint="add a class-level `id = \"<REGISTRY id>\"` literal",
+            )
+            return
+        rule_id = literal_str(assignment.value)
+        if rule_id is None:
+            self.report(
+                file, assignment,
+                f"Rule subclass {node.name} id is not a string literal",
+                fix_hint="ids must be statically auditable string literals",
+            )
+            return
+        if rule_id not in REGISTRY:
+            known = ", ".join(sorted(REGISTRY))
+            self.report(
+                file, assignment,
+                f"rule id {rule_id!r} ({node.name}) is not in "
+                "repro.core.violations.REGISTRY",
+                fix_hint=f"register it or fix the typo; known ids: {known}",
+            )
+        else:
+            self._implementations.setdefault(rule_id, []).append((file, node))
+        docstring = ast.get_docstring(node) or ""
+        if not SPEC_CITATION_RE.search(docstring):
+            self.report(
+                file, node,
+                f"rule {node.name} docstring does not cite an HTML spec "
+                "section",
+                severity=Severity.WARNING,
+                fix_hint="cite the Living Standard clause, e.g. (HTML 13.2.5.40)",
+            )
+
+    def finish(self) -> None:
+        for rule_id, implementations in sorted(self._implementations.items()):
+            for file, node in implementations[1:]:
+                first = implementations[0][1].name
+                self.report(
+                    file, node,
+                    f"rule id {rule_id!r} implemented by both {first} and "
+                    f"{node.name}",
+                    fix_hint="each REGISTRY entry must have exactly one rule",
+                )
+        if self._rules_init is None:
+            return  # fixture tree without the canonical rules package
+        init = self._rules_init
+        anchor = self._rule_classes_tuple
+        for rule_id in REGISTRY:
+            if rule_id not in self._implementations:
+                self.report(
+                    init, anchor,
+                    f"REGISTRY entry {rule_id!r} has no implementing Rule "
+                    "subclass",
+                    fix_hint="implement the rule or retire the registry row",
+                )
+        if anchor is None:
+            self.report(
+                init, None,
+                "core/rules/__init__.py does not define a literal "
+                "RULE_CLASSES tuple",
+                line=1,
+            )
+            return
+        listed = set(self._listed_names)
+        for name in sorted(self._concrete):
+            if name not in listed:
+                file, node = self._concrete[name]
+                self.report(
+                    file, node,
+                    f"rule class {name} is not listed in RULE_CLASSES",
+                    fix_hint="add it so default_rules() instantiates it",
+                )
+        seen: set[str] = set()
+        for name in self._listed_names:
+            if name in seen:
+                self.report(
+                    init, anchor,
+                    f"rule class {name} listed twice in RULE_CLASSES",
+                )
+            seen.add(name)
+            if name not in self._concrete:
+                self.report(
+                    init, anchor,
+                    f"RULE_CLASSES lists {name} but no such concrete rule "
+                    "class was found",
+                )

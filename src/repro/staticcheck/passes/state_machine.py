@@ -1,0 +1,157 @@
+"""State-machine exhaustiveness pass over the HTML parser.
+
+The tokenizer (``repro/html/tokenizer.py``) and tree builder
+(``repro/html/treebuilder.py``) are method-per-state machines: states are
+methods matching a naming convention (``_<name>_state`` /
+``_mode_<name>``) and transitions are attribute references
+(``self._state = self._tag_open_state``, ``self.mode =
+self._mode_in_body``).  The paper's violation definitions are anchored on
+*named* tokenizer error states and insertion modes, so a handler that
+exists but is never reachable — or a transition naming a handler that was
+renamed away — silently changes which violations can ever fire.
+
+For every class that looks like a state machine (three or more methods
+matching a handler pattern) this pass checks:
+
+* **no unreachable handlers** — every handler method is referenced as
+  ``self.<handler>`` somewhere in the class (entry states are referenced
+  by ``__init__``/``switch_to``, so they count);
+* **no dangling transitions** — every ``self.<x>`` reference matching a
+  handler pattern resolves to a defined method;
+* **content-model coverage** — when a method holds a dispatch dict whose
+  values are all handler references (the tokenizer's ``switch_to``),
+  its keys must cover every public ALL-CAPS module-level string constant
+  (the declared content models: DATA, RCDATA, RAWTEXT, ...).
+
+Limitations (documented, suppressible): handlers inherited from a base
+class in another module would be reported as dangling; the parser defines
+its machines in single classes, so this does not arise today.
+"""
+from __future__ import annotations
+
+import ast
+import re
+
+from ..engine import LintPass, SourceFile
+
+PASS_ID = "state-machine"
+
+#: naming conventions that mark a method as a state handler
+HANDLER_PATTERNS: tuple[re.Pattern[str], ...] = (
+    re.compile(r"\A_\w+_state\Z"),   # tokenizer states
+    re.compile(r"\A_mode_\w+\Z"),    # tree-builder insertion modes
+)
+
+#: a class is treated as a state machine once it has this many handlers
+MIN_HANDLERS = 3
+
+
+def _matching(pattern: re.Pattern[str], names: set[str]) -> set[str]:
+    return {name for name in names if pattern.match(name)}
+
+
+class StateMachinePass(LintPass):
+    id = PASS_ID
+    name = "Parser state-machine exhaustiveness"
+    description = (
+        "tokenizer/tree-builder handler tables have no unreachable "
+        "states, no dangling transitions, and cover every declared "
+        "content model"
+    )
+
+    def select(self, file: SourceFile) -> bool:
+        return "html" in file.parts[:-1]
+
+    def visit_ClassDef(self, file: SourceFile, node: ast.ClassDef) -> None:
+        methods = {
+            statement.name: statement
+            for statement in node.body
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        self_refs: dict[str, ast.Attribute] = {}
+        stored: set[str] = set()
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Attribute)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id == "self"
+            ):
+                self_refs.setdefault(sub.attr, sub)
+                if isinstance(sub.ctx, ast.Store):
+                    # an instance *variable* (e.g. the tokenizer's
+                    # ``self._return_state`` holding a state), not a handler
+                    stored.add(sub.attr)
+
+        for pattern in HANDLER_PATTERNS:
+            defined = _matching(pattern, set(methods))
+            if len(defined) < MIN_HANDLERS:
+                continue
+            referenced = _matching(pattern, set(self_refs))
+            for name in sorted(defined - referenced):
+                self.report(
+                    file, methods[name],
+                    f"state handler {node.name}.{name} is defined but never "
+                    "referenced (unreachable state)",
+                    fix_hint="wire a transition to it or delete it",
+                )
+            for name in sorted(referenced - defined - stored):
+                self.report(
+                    file, self_refs[name],
+                    f"transition references undefined handler self.{name} "
+                    f"in {node.name}",
+                    fix_hint="define the handler or fix the transition name",
+                )
+
+        self._check_dispatch_dicts(file, node, methods)
+
+    def _check_dispatch_dicts(
+        self,
+        file: SourceFile,
+        node: ast.ClassDef,
+        methods: dict[str, ast.AST],
+    ) -> None:
+        declared = self._declared_content_models(file.tree)
+        if not declared:
+            return
+        for method in methods.values():
+            for sub in ast.walk(method):
+                if not isinstance(sub, ast.Dict) or not sub.values:
+                    continue
+                if not all(
+                    isinstance(value, ast.Attribute)
+                    and isinstance(value.value, ast.Name)
+                    and value.value.id == "self"
+                    and any(p.match(value.attr) for p in HANDLER_PATTERNS)
+                    for value in sub.values
+                ):
+                    continue
+                keys = {
+                    key.id for key in sub.keys if isinstance(key, ast.Name)
+                }
+                for name in sorted(declared - keys):
+                    self.report(
+                        file, sub,
+                        f"declared content-model state {name} has no entry "
+                        "in the dispatch table",
+                        fix_hint="add the state to the switch_to table",
+                    )
+
+    @staticmethod
+    def _declared_content_models(tree: ast.Module) -> set[str]:
+        declared: set[str] = set()
+        for statement in tree.body:
+            if not isinstance(statement, ast.Assign):
+                continue
+            if not (
+                isinstance(statement.value, ast.Constant)
+                and isinstance(statement.value.value, str)
+            ):
+                continue
+            for target in statement.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id.isupper()
+                    and not target.id.startswith("_")
+                ):
+                    declared.add(target.id)
+        return declared

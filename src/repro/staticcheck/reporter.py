@@ -1,0 +1,85 @@
+"""Reporters: render a :class:`~repro.staticcheck.engine.LintResult`.
+
+Three formats:
+
+* **text** — one line per finding plus a summary; what ``repro-study
+  lint`` prints by default;
+* **json** — machine-readable, stable key order, for CI and tooling;
+* **baseline** — a deliberately coarse summary (pass list, files
+  scanned, finding counts) with no absolute paths or timestamps, so the
+  committed ``reports/staticcheck_baseline.txt`` diffs cleanly across
+  machines and PRs and any lint drift shows up in review.
+"""
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .engine import LintResult
+from .findings import Severity
+from .passes import ALL_PASSES
+
+
+def render_text(result: LintResult) -> str:
+    lines = [f"staticcheck: {len(result.files)} files, "
+             f"{len(result.pass_ids)} passes ({', '.join(result.pass_ids)})"]
+    for finding in result.findings:
+        lines.append(finding.format())
+    errors = result.count(Severity.ERROR)
+    warnings = result.count(Severity.WARNING)
+    if result.findings:
+        lines.append(
+            f"{len(result.findings)} finding(s): {errors} error(s), "
+            f"{warnings} warning(s); {result.suppressed} suppressed"
+        )
+    else:
+        lines.append(f"clean ({result.suppressed} suppressed)")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    payload = {
+        "tool": "repro.staticcheck",
+        "root": result.root,
+        "passes": list(result.pass_ids),
+        "files_scanned": len(result.files),
+        "findings": [finding.to_json() for finding in result.findings],
+        "counts": {
+            "error": result.count(Severity.ERROR),
+            "warning": result.count(Severity.WARNING),
+            "note": result.count(Severity.NOTE),
+            "suppressed": result.suppressed,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def render_baseline(result: LintResult, *, root_label: str = "src/repro") -> str:
+    """Stable drift-diffable summary; committed under ``reports/``."""
+    descriptions = {pass_class.id: pass_class.description for pass_class in ALL_PASSES}
+    lines = [
+        "repro.staticcheck baseline",
+        "==========================",
+        f"root: {root_label}",
+        f"files scanned: {len(result.files)}",
+        "",
+        "passes:",
+    ]
+    for pass_id in result.pass_ids:
+        lines.append(f"  - {pass_id}: {descriptions.get(pass_id, '')}")
+    lines += [
+        "",
+        f"findings: {len(result.findings)} "
+        f"({result.count(Severity.ERROR)} error, "
+        f"{result.count(Severity.WARNING)} warning, "
+        f"{result.count(Severity.NOTE)} note)",
+        f"suppressed: {result.suppressed}",
+    ]
+    for finding in result.findings:
+        lines.append(f"  {finding.format()}")
+    return "\n".join(lines) + "\n"
+
+
+def write_baseline(result: LintResult, path: Path, *, root_label: str = "src/repro") -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_baseline(result, root_label=root_label), encoding="utf-8")

@@ -1,0 +1,21 @@
+"""Shared fixture helpers: build throwaway source trees and lint them."""
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture
+def make_tree(tmp_path):
+    """Write ``{relative_path: source}`` files under tmp_path, return the root."""
+
+    def _make(files: dict[str, str]) -> Path:
+        for rel, text in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(text), encoding="utf-8")
+        return tmp_path
+
+    return _make

@@ -1,0 +1,137 @@
+"""Engine mechanics: dispatch, suppression scoping, reporters, exit codes."""
+from __future__ import annotations
+
+import ast
+import json
+
+from repro.staticcheck import (
+    ENGINE_PASS_ID,
+    LintPass,
+    Severity,
+    render_baseline,
+    render_json,
+    render_text,
+    run_lint,
+)
+
+
+class FlagBadNames(LintPass):
+    """Test pass: flags every Name node spelled ``bad``."""
+
+    id = "flag-bad"
+    name = "flag bad names"
+    description = "flags identifiers named 'bad'"
+
+    def __init__(self, severity=Severity.ERROR):
+        super().__init__()
+        self._severity = severity
+
+    def visit_Name(self, file, node: ast.Name) -> None:
+        if node.id == "bad":
+            self.report(file, node, "bad name", severity=self._severity,
+                        fix_hint="rename it")
+
+
+class TestDispatchAndResult:
+    def test_findings_located_and_sorted(self, make_tree):
+        root = make_tree({
+            "b.py": "bad = 1\n",
+            "a.py": "x = 1\nbad = 2\n",
+        })
+        result = run_lint(root, [FlagBadNames()])
+        assert [f.location.path for f in result.findings] == ["a.py", "b.py"]
+        assert result.findings[0].location.line == 2
+        assert result.findings[0].pass_id == "flag-bad"
+        assert result.files == ("a.py", "b.py")
+
+    def test_exit_code_thresholds(self, make_tree):
+        root = make_tree({"a.py": "bad = 1\n"})
+        warning_result = run_lint(root, [FlagBadNames(Severity.WARNING)])
+        assert warning_result.exit_code(Severity.ERROR) == 0
+        assert warning_result.exit_code(Severity.WARNING) == 1
+        error_result = run_lint(root, [FlagBadNames(Severity.ERROR)])
+        assert error_result.exit_code(Severity.ERROR) == 1
+
+    def test_unparsable_file_reported_not_fatal(self, make_tree):
+        root = make_tree({"broken.py": "def f(:\n", "ok.py": "x = 1\n"})
+        result = run_lint(root, [FlagBadNames()])
+        assert result.files == ("ok.py",)
+        engine_findings = [
+            f for f in result.findings if f.pass_id == ENGINE_PASS_ID
+        ]
+        assert len(engine_findings) == 1
+        assert "cannot parse" in engine_findings[0].message
+
+
+class TestSuppression:
+    def test_trailing_comment_is_line_scoped(self, make_tree):
+        root = make_tree({
+            "a.py": "bad = 1  # staticcheck: ignore[flag-bad]\nbad = 2\n",
+        })
+        result = run_lint(root, [FlagBadNames()])
+        assert len(result.findings) == 1
+        assert result.findings[0].location.line == 2
+        assert result.suppressed == 1
+
+    def test_standalone_comment_is_file_scoped(self, make_tree):
+        root = make_tree({
+            "a.py": "# staticcheck: ignore[flag-bad]\nbad = 1\nbad = 2\n",
+            "b.py": "bad = 3\n",
+        })
+        result = run_lint(root, [FlagBadNames()])
+        assert [f.location.path for f in result.findings] == ["b.py"]
+        assert result.suppressed == 2
+
+    def test_wildcard_and_lists(self, make_tree):
+        root = make_tree({
+            "a.py": "bad = 1  # staticcheck: ignore[*]\n",
+            "b.py": "bad = 1  # staticcheck: ignore[other, flag-bad]\n",
+        })
+        result = run_lint(root, [FlagBadNames()])
+        assert result.findings == ()
+        assert result.suppressed == 2
+
+    def test_unrelated_pass_id_does_not_suppress(self, make_tree):
+        root = make_tree({
+            "a.py": "bad = 1  # staticcheck: ignore[determinism]\n",
+        })
+        result = run_lint(root, [FlagBadNames()])
+        assert len(result.findings) == 1
+        assert result.suppressed == 0
+
+
+class TestReporters:
+    def test_text_report(self, make_tree):
+        root = make_tree({"a.py": "bad = 1\n"})
+        result = run_lint(root, [FlagBadNames()])
+        text = render_text(result)
+        assert "a.py:1:0: error [flag-bad] bad name (hint: rename it)" in text
+        assert "1 finding(s): 1 error(s), 0 warning(s)" in text
+
+    def test_text_report_clean(self, make_tree):
+        root = make_tree({"a.py": "x = 1\n"})
+        text = render_text(run_lint(root, [FlagBadNames()]))
+        assert "clean" in text
+
+    def test_json_report_round_trips(self, make_tree):
+        root = make_tree({"a.py": "bad = 1\n"})
+        result = run_lint(root, [FlagBadNames()], root_label="fixture")
+        payload = json.loads(render_json(result))
+        assert payload["tool"] == "repro.staticcheck"
+        assert payload["root"] == "fixture"
+        assert payload["files_scanned"] == 1
+        assert payload["counts"]["error"] == 1
+        (finding,) = payload["findings"]
+        assert finding == {
+            "pass": "flag-bad", "severity": "error", "path": "a.py",
+            "line": 1, "column": 0, "message": "bad name",
+            "fix_hint": "rename it",
+        }
+
+    def test_baseline_report_has_no_absolute_paths(self, make_tree):
+        root = make_tree({"a.py": "x = 1\n"})
+        result = run_lint(root, [FlagBadNames()])
+        baseline = render_baseline(result, root_label="src/repro")
+        assert str(root) not in baseline
+        assert "root: src/repro" in baseline
+        assert "findings: 0" in baseline

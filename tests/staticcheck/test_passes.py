@@ -1,0 +1,402 @@
+"""Per-pass behaviour on injected-violation fixture trees."""
+from __future__ import annotations
+
+from repro.cli import main
+from repro.staticcheck import Severity, run_lint
+from repro.staticcheck.passes import (
+    DeterminismPass,
+    ExceptionHygienePass,
+    RegexSafetyPass,
+    RegistryConsistencyPass,
+    StateMachinePass,
+)
+
+
+def messages(result):
+    return [finding.message for finding in result.findings]
+
+
+class TestRegistryConsistency:
+    def test_unregistered_id_flagged(self, make_tree):
+        root = make_tree({
+            "core/rules/evil.py": '''
+                class Evil(Rule):
+                    """ZZ9 — bogus (HTML 1.2.3)."""
+                    id = "ZZ9"
+                    def check(self, result):
+                        return []
+            ''',
+        })
+        result = run_lint(root, [RegistryConsistencyPass()])
+        assert len(result.findings) == 1
+        assert "'ZZ9'" in result.findings[0].message
+        assert result.findings[0].severity is Severity.ERROR
+
+    def test_lint_cli_exits_nonzero_on_unregistered_rule(self, make_tree, capsys):
+        root = make_tree({
+            "core/rules/evil.py": '''
+                class Evil(Rule):
+                    """ZZ9 — bogus (HTML 1.2.3)."""
+                    id = "ZZ9"
+                    def check(self, result):
+                        return []
+            ''',
+        })
+        assert main(["lint", str(root)]) == 1
+        assert "registry-consistency" in capsys.readouterr().out
+
+    def test_missing_and_nonliteral_ids(self, make_tree):
+        root = make_tree({
+            "core/rules/evil.py": '''
+                PREFIX = "F"
+
+                class NoId(Rule):
+                    """No id at all (HTML 1.2.3)."""
+                    def check(self, result):
+                        return []
+
+                class ComputedId(Rule):
+                    """Computed id (HTML 1.2.3)."""
+                    id = PREFIX + "B1"
+                    def check(self, result):
+                        return []
+            ''',
+        })
+        result = run_lint(root, [RegistryConsistencyPass()])
+        assert any("does not define an id" in m for m in messages(result))
+        assert any("not a string literal" in m for m in messages(result))
+
+    def test_duplicate_implementation_flagged(self, make_tree):
+        root = make_tree({
+            "core/rules/a.py": '''
+                class First(Rule):
+                    """FB1 once (HTML 13.2.5.40)."""
+                    id = "FB1"
+                    def check(self, result):
+                        return []
+            ''',
+            "core/rules/b.py": '''
+                class Second(Rule):
+                    """FB1 again (HTML 13.2.5.40)."""
+                    id = "FB1"
+                    def check(self, result):
+                        return []
+            ''',
+        })
+        result = run_lint(root, [RegistryConsistencyPass()])
+        assert any("implemented by both" in m for m in messages(result))
+
+    def test_missing_spec_citation_is_warning(self, make_tree):
+        root = make_tree({
+            "core/rules/a.py": '''
+                class NoCitation(Rule):
+                    """FB1 with no citation anywhere."""
+                    id = "FB1"
+                    def check(self, result):
+                        return []
+            ''',
+        })
+        result = run_lint(root, [RegistryConsistencyPass()])
+        assert len(result.findings) == 1
+        assert result.findings[0].severity is Severity.WARNING
+        assert "spec section" in result.findings[0].message
+
+    def test_transitive_subclasses_and_abstract_helpers(self, make_tree):
+        root = make_tree({
+            "core/rules/a.py": '''
+                class _Helper(Rule):
+                    def check(self, result):
+                        return []
+
+                class Leaf(_Helper):
+                    """Unknown id via helper base (HTML 1.2)."""
+                    id = "NOPE"
+            ''',
+        })
+        result = run_lint(root, [RegistryConsistencyPass()])
+        assert len(result.findings) == 1
+        assert "'NOPE'" in result.findings[0].message
+
+
+class TestDeterminism:
+    def test_flags_seeded_randomness_regression(self, make_tree):
+        root = make_tree({
+            "analysis/evil.py": '''
+                import random
+
+                def sample():
+                    return random.random()
+            ''',
+        })
+        result = run_lint(root, [DeterminismPass()])
+        assert len(result.findings) == 1
+        assert "shared global RNG" in result.findings[0].message
+
+    def test_suppression_silences_exactly_one_finding(self, make_tree):
+        root = make_tree({
+            "analysis/evil.py": '''
+                import random
+
+                def sample():
+                    a = random.random()  # staticcheck: ignore[determinism]
+                    b = random.random()
+                    return a + b
+            ''',
+        })
+        result = run_lint(root, [DeterminismPass()])
+        assert len(result.findings) == 1
+        assert result.suppressed == 1
+        # the un-suppressed draw is the `b = ...` line (line 6 of the file:
+        # dedent keeps the leading blank line of the triple-quoted fixture)
+        assert result.findings[0].location.line == 6
+
+    def test_wall_clock_environ_and_datetime(self, make_tree):
+        root = make_tree({
+            "pipeline/evil.py": '''
+                import os
+                import time
+                from datetime import datetime
+
+                def stamp():
+                    when = time.time()
+                    today = datetime.now()
+                    scale = os.environ.get("REPRO_SCALE")
+                    other = os.getenv("HOME")
+                    return when, today, scale, other
+            ''',
+        })
+        result = run_lint(root, [DeterminismPass()])
+        assert len(result.findings) == 4
+
+    def test_seeded_idioms_allowed(self, make_tree):
+        root = make_tree({
+            "commoncrawl/fine.py": '''
+                import random
+                import numpy as np
+
+                def draw(seed, domain):
+                    rng = random.Random(f"{seed}:{domain}")
+                    arr = np.random.default_rng(seed).integers(0, 10, 4)
+                    return rng.random() + arr.sum()
+            ''',
+        })
+        result = run_lint(root, [DeterminismPass()])
+        assert result.findings == ()
+
+    def test_config_modules_and_other_dirs_exempt(self, make_tree):
+        root = make_tree({
+            "analysis/config.py": "import os\nSCALE = os.environ.get('X')\n",
+            "study.py": "import os\nCACHE = os.environ.get('Y')\n",
+        })
+        result = run_lint(root, [DeterminismPass()])
+        assert result.findings == ()
+
+
+class TestStateMachine:
+    def test_unreachable_handler_flagged(self, make_tree):
+        root = make_tree({
+            "html/machine.py": '''
+                class Machine:
+                    def __init__(self):
+                        self._state = self._a_state
+
+                    def _a_state(self):
+                        self._state = self._b_state
+
+                    def _b_state(self):
+                        self._state = self._a_state
+
+                    def _c_state(self):
+                        return None
+            ''',
+        })
+        result = run_lint(root, [StateMachinePass()])
+        assert len(result.findings) == 1
+        assert "Machine._c_state" in result.findings[0].message
+        assert "unreachable" in result.findings[0].message
+
+    def test_dangling_transition_flagged(self, make_tree):
+        root = make_tree({
+            "html/machine.py": '''
+                class Machine:
+                    def _a_state(self):
+                        self._state = self._b_state
+
+                    def _b_state(self):
+                        self._state = self._typo_state
+
+                    def _c_state(self):
+                        self._state = self._a_state
+            ''',
+        })
+        result = run_lint(root, [StateMachinePass()])
+        dangling = [m for m in messages(result) if "undefined handler" in m]
+        assert len(dangling) == 1
+        assert "self._typo_state" in dangling[0]
+
+    def test_state_variable_not_treated_as_dangling(self, make_tree):
+        root = make_tree({
+            "html/machine.py": '''
+                class Machine:
+                    def __init__(self):
+                        self._return_state = None
+
+                    def _a_state(self):
+                        self._state = self._b_state
+
+                    def _b_state(self):
+                        self._return_state = self._a_state
+
+                    def _c_state(self):
+                        self._state = self._return_state
+            ''',
+        })
+        result = run_lint(root, [StateMachinePass()])
+        assert all("_return_state" not in m for m in messages(result))
+
+    def test_dispatch_dict_coverage(self, make_tree):
+        root = make_tree({
+            "html/machine.py": '''
+                DATA = "data"
+                RCDATA = "rcdata"
+
+                class Machine:
+                    def switch_to(self, model):
+                        states = {DATA: self._a_state}
+                        self._state = states[model]
+
+                    def _a_state(self):
+                        self._state = self._b_state
+
+                    def _b_state(self):
+                        self._state = self._c_state
+
+                    def _c_state(self):
+                        self._state = self._a_state
+            ''',
+        })
+        result = run_lint(root, [StateMachinePass()])
+        coverage = [m for m in messages(result) if "content-model" in m]
+        assert len(coverage) == 1
+        assert "RCDATA" in coverage[0]
+
+    def test_small_classes_ignored(self, make_tree):
+        root = make_tree({
+            "html/tiny.py": '''
+                class NotAMachine:
+                    def _only_state(self):
+                        return None
+            ''',
+        })
+        result = run_lint(root, [StateMachinePass()])
+        assert result.findings == ()
+
+
+class TestRegexSafety:
+    def test_nested_quantifier_flagged(self, make_tree):
+        root = make_tree({
+            "core/patterns.py": '''
+                import re
+
+                EVIL = re.compile(r"(a+)+b")
+            ''',
+        })
+        result = run_lint(root, [RegexSafetyPass()])
+        assert len(result.findings) == 1
+        assert "nested unbounded quantifier" in result.findings[0].message
+
+    def test_overlapping_alternation_flagged(self, make_tree):
+        root = make_tree({
+            "core/patterns.py": '''
+                import re
+
+                EVIL = re.compile(r"(a|ab)+$")
+            ''',
+        })
+        result = run_lint(root, [RegexSafetyPass()])
+        assert len(result.findings) == 1
+        assert "overlapping alternation" in result.findings[0].message
+
+    def test_safe_patterns_pass(self, make_tree):
+        root = make_tree({
+            "core/patterns.py": '''
+                import re
+
+                SPEC = re.compile(r"\\b\\d+\\.\\d+(?:\\.\\d+)*\\b")
+                TAG = re.compile(r"<([a-z][a-z0-9]*)\\s*")
+                found = re.search(r"charset=([\\w-]+)", "charset=utf-8")
+            ''',
+        })
+        result = run_lint(root, [RegexSafetyPass()])
+        assert result.findings == ()
+
+    def test_invalid_pattern_reported(self, make_tree):
+        root = make_tree({
+            "core/patterns.py": 'import re\nBAD = re.compile("(unclosed")\n',
+        })
+        result = run_lint(root, [RegexSafetyPass()])
+        assert len(result.findings) == 1
+        assert "invalid regular expression" in result.findings[0].message
+
+    def test_only_core_scanned(self, make_tree):
+        root = make_tree({
+            "analysis/patterns.py": 'import re\nEVIL = re.compile(r"(a+)+b")\n',
+        })
+        result = run_lint(root, [RegexSafetyPass()])
+        assert result.findings == ()
+
+
+class TestExceptionHygiene:
+    def test_bare_except_is_error(self, make_tree):
+        root = make_tree({
+            "pipeline/evil.py": '''
+                def run(stage):
+                    try:
+                        stage()
+                    except:
+                        pass
+            ''',
+        })
+        result = run_lint(root, [ExceptionHygienePass()])
+        assert len(result.findings) == 1
+        assert result.findings[0].severity is Severity.ERROR
+        assert "bare" in result.findings[0].message
+
+    def test_blanket_swallow_is_warning(self, make_tree):
+        root = make_tree({
+            "pipeline/evil.py": '''
+                def run(stage):
+                    try:
+                        stage()
+                    except Exception:
+                        return None
+            ''',
+        })
+        result = run_lint(root, [ExceptionHygienePass()])
+        assert len(result.findings) == 1
+        assert result.findings[0].severity is Severity.WARNING
+
+    def test_logged_or_reraised_blanket_allowed(self, make_tree):
+        root = make_tree({
+            "pipeline/ok.py": '''
+                import logging
+
+                logger = logging.getLogger(__name__)
+
+                def run(stage):
+                    try:
+                        stage()
+                    except Exception:
+                        logger.exception("stage failed")
+                    try:
+                        stage()
+                    except (Exception, KeyboardInterrupt):
+                        raise
+                    try:
+                        stage()
+                    except ValueError:
+                        return None
+            ''',
+        })
+        result = run_lint(root, [ExceptionHygienePass()])
+        assert result.findings == ()

@@ -1,0 +1,54 @@
+"""Tier-1 self-lint: the repo must satisfy its own machine-checked invariants.
+
+This is the staticcheck analogue of the conformance suites for the HTML
+parser — if any pass fires on ``src/repro`` itself, this test (and
+``repro-study lint --fail-on error`` in scripts/ci.sh) fails the build.
+"""
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import repro
+from repro.staticcheck import ALL_PASSES, run_lint
+
+SRC = Path(repro.__file__).resolve().parent
+
+
+class TestSelfLint:
+    def test_repo_is_clean(self):
+        result = run_lint(SRC, root_label="src/repro")
+        assert result.findings == (), "\n".join(
+            finding.format() for finding in result.findings
+        )
+
+    def test_all_five_passes_ran(self):
+        result = run_lint(SRC, root_label="src/repro")
+        assert set(result.pass_ids) == {
+            "registry-consistency", "determinism", "state-machine",
+            "regex-safety", "exception-hygiene",
+        }
+        assert len(ALL_PASSES) == 5
+
+    def test_scans_the_whole_package(self):
+        result = run_lint(SRC, root_label="src/repro")
+        scanned = set(result.files)
+        for expected in (
+            "core/rules/base.py",
+            "html/tokenizer.py",
+            "html/treebuilder.py",
+            "pipeline/runner.py",
+            "staticcheck/engine.py",
+        ):
+            assert expected in scanned
+
+    def test_runs_under_five_seconds(self):
+        start = time.perf_counter()
+        run_lint(SRC)
+        assert time.perf_counter() - start < 5.0
+
+    def test_is_deterministic(self):
+        first = run_lint(SRC, root_label="src/repro")
+        second = run_lint(SRC, root_label="src/repro")
+        assert first.files == second.files
+        assert first.findings == second.findings

@@ -1,9 +1,12 @@
-"""CLI tests (check / fix subcommands; run/report share the study path)."""
+"""CLI tests (check / fix / lint subcommands; run/report share the study path)."""
 from __future__ import annotations
+
+import json
 
 import pytest
 
 from repro.cli import main
+from repro.core import Checker
 
 DIRTY = (
     "<!DOCTYPE html><html><head><title>t</title></head><body>"
@@ -12,6 +15,16 @@ DIRTY = (
 CLEAN = (
     "<!DOCTYPE html><html><head><title>t</title></head>"
     "<body><p>x</p></body></html>"
+)
+#: several violation families at once: FB2 (no space between attributes),
+#: FB1 (slash separator), DM3 (duplicate attribute), DM2_1 (base in body)
+MULTI_DIRTY = (
+    "<!DOCTYPE html><html><head><title>t</title></head><body>"
+    '<img src="a.png"onerror="x()">'
+    '<img/src="b.png"/alt="b">'
+    '<p id="a" id="b">dup</p>'
+    '<base href="https://evil.example/">'
+    "</body></html>"
 )
 
 
@@ -29,6 +42,19 @@ class TestCheckCommand:
         assert main(["check", str(path)]) == 0
         assert "no violations" in capsys.readouterr().out
 
+    def test_multi_violation_document_end_to_end(self, tmp_path, capsys):
+        path = tmp_path / "multi.html"
+        path.write_text(MULTI_DIRTY)
+        assert main(["check", str(path)]) == 1
+        out = capsys.readouterr().out
+        for violation_id in ("FB1", "FB2", "DM3", "DM2_1"):
+            assert violation_id in out, out
+        # findings carry source offsets and evidence snippets
+        assert "@" in out
+        assert "onerror" in out
+        # the summary counts both findings and distinct violation types
+        assert "violation type(s)" in out
+
 
 class TestFixCommand:
     def test_fix_outputs_repaired_html(self, tmp_path, capsys):
@@ -38,6 +64,63 @@ class TestFixCommand:
         captured = capsys.readouterr()
         assert 'src="a.png" onerror="x()"' in captured.out
         assert "repaired 1 finding" in captured.err
+
+    def test_fix_repairs_every_auto_fixable_violation(self, tmp_path, capsys):
+        path = tmp_path / "multi.html"
+        path.write_text(MULTI_DIRTY)
+        assert main(["fix", str(path)]) == 0
+        captured = capsys.readouterr()
+        fixed_html = captured.out
+        # re-check the repaired output: the auto-fixable families are gone
+        report = Checker().check_html(fixed_html)
+        for violation_id in ("FB1", "FB2", "DM3", "DM2_1"):
+            assert not report.has(violation_id), (violation_id, fixed_html)
+        assert "repaired" in captured.err
+
+    def test_fix_clean_file_is_identity(self, tmp_path, capsys):
+        path = tmp_path / "clean.html"
+        path.write_text(CLEAN)
+        assert main(["fix", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.rstrip("\n") == CLEAN
+        assert "repaired 0 finding" in captured.err
+
+
+class TestLintCommand:
+    def test_lint_repo_is_clean_and_exits_0(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+        assert "registry-consistency" in out
+
+    def test_lint_json_format(self, capsys):
+        assert main(["lint", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "repro.staticcheck"
+        assert payload["counts"]["error"] == 0
+        assert payload["counts"]["warning"] == 0
+
+    def test_lint_writes_baseline(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.txt"
+        assert main(["lint", "--baseline", str(baseline)]) == 0
+        assert baseline.exists()
+        assert "repro.staticcheck baseline" in baseline.read_text()
+
+    def test_lint_fail_on_warning_fixture(self, tmp_path, capsys):
+        target = tmp_path / "pipeline"
+        target.mkdir()
+        (target / "swallow.py").write_text(
+            "def run(stage):\n"
+            "    try:\n"
+            "        stage()\n"
+            "    except Exception:\n"
+            "        return None\n"
+        )
+        # a blanket-swallow handler is warning severity: error gate passes,
+        # warning gate fails
+        assert main(["lint", str(tmp_path), "--fail-on", "error"]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(tmp_path), "--fail-on", "warning"]) == 1
 
 
 class TestParser:
