@@ -1,0 +1,63 @@
+"""Fuzz harness throughput — executions per second per oracle.
+
+Not a paper figure: this tracks the operational cost of the repo's own
+differential-fuzzing gate (`repro-study fuzz`, the ci.sh smoke stage).
+The numbers bound how many iterations a time-boxed CI smoke can afford
+and flag regressions in the generator/mutator/oracle path itself —
+a 10x slowdown here usually means an oracle grew an accidental
+quadratic, which the step-budget oracle alone would not catch.
+"""
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.fuzz import FuzzConfig, run_fuzz
+from repro.fuzz.harness import DEFAULT_ORACLES
+
+ITERATIONS = 150
+
+
+@pytest.mark.parametrize("oracle", sorted(set(DEFAULT_ORACLES) - {"parallel"}))
+def test_single_oracle_throughput(benchmark, oracle):
+    report = benchmark(
+        run_fuzz,
+        FuzzConfig(
+            seed=1, iterations=ITERATIONS, oracles=(oracle,), minimize=False
+        ),
+    )
+    assert report.executions == ITERATIONS
+    assert report.findings == []
+
+
+def test_full_harness_throughput(benchmark, save_report):
+    config = FuzzConfig(seed=1, iterations=ITERATIONS)
+
+    start = time.perf_counter()
+    report = run_fuzz(config)
+    elapsed = time.perf_counter() - start
+    assert report.findings == []
+
+    total_executions = sum(report.oracle_executions.values())
+    lines = [
+        "fuzz harness throughput",
+        "=======================",
+        f"iterations: {report.iterations} (seed {report.seed})",
+        f"oracle executions: {total_executions}",
+        f"skips: {report.skips}",
+        f"wall time: {elapsed:.2f}s",
+        f"executions/sec: {total_executions / elapsed:.0f}",
+        "",
+        "per-oracle executions:",
+    ]
+    lines.extend(
+        f"  {name}: {count}"
+        for name, count in sorted(report.oracle_executions.items())
+    )
+    save_report("bench_fuzz_throughput", "\n".join(lines))
+
+    benchmark(
+        run_fuzz,
+        FuzzConfig(seed=1, iterations=40, oracles=("tokenize", "roundtrip")),
+    )

@@ -15,4 +15,12 @@ echo "==> staticcheck lint"
 python -c 'import sys; from repro.cli import main; sys.exit(main(sys.argv[1:]))' \
     lint --fail-on error
 
+echo "==> fuzz smoke (200 iterations, seed 1)"
+python -c 'import sys; from repro.cli import main; sys.exit(main(sys.argv[1:]))' \
+    fuzz --iterations 200 --seed 1
+
+echo "==> fuzz corpus replay"
+python -c 'import sys; from repro.cli import main; sys.exit(main(sys.argv[1:]))' \
+    fuzz --replay tests/fuzz_corpus
+
 echo "==> ci OK"

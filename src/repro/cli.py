@@ -7,6 +7,8 @@ Usage::
     repro-study fix FILE.html
     repro-study report [--domains N] ...
     repro-study lint [PATH] [--format text|json] [--fail-on warning|error]
+    repro-study fuzz [--seed N] [--iterations N] [--oracle NAME ...]
+                     [--no-minimize] [--save DIR] [--replay DIR]
 """
 from __future__ import annotations
 
@@ -144,6 +146,76 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return result.exit_code(Severity.parse(args.fail_on))
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Run the deterministic differential-fuzzing harness.
+
+    Exit status 1 when any finding bucket is non-empty (so CI can gate on
+    a clean smoke run), 0 otherwise.  ``--replay`` instead re-runs a
+    saved corpus directory through the current oracles.
+    """
+    from .fuzz import (
+        CorpusEntry,
+        CorpusFormatError,
+        FuzzConfig,
+        load_corpus,
+        render_report,
+        replay_entry,
+        run_fuzz,
+        save_entry,
+    )
+    from .fuzz.harness import DEFAULT_ORACLES
+
+    if args.replay is not None:
+        try:
+            entries = load_corpus(args.replay)
+        except CorpusFormatError as exc:
+            print(f"fuzz: {exc}", file=sys.stderr)
+            return 2
+        if not entries:
+            print(f"fuzz: no corpus entries under {args.replay}", file=sys.stderr)
+            return 2
+        failures = 0
+        for entry in entries:
+            try:
+                replay_entry(entry)
+            except Exception as exc:  # noqa: BLE001 - report, don't crash
+                failures += 1
+                print(f"REGRESSION {entry.source}: {exc}")
+            else:
+                print(f"ok {entry.source}")
+        print(f"{len(entries)} corpus entries, {failures} regression(s)")
+        return 1 if failures else 0
+
+    config = FuzzConfig(
+        seed=args.seed,
+        iterations=args.iterations,
+        oracles=tuple(args.oracle) if args.oracle else DEFAULT_ORACLES,
+        minimize=not args.no_minimize,
+    )
+    try:
+        report = run_fuzz(config)
+    except ValueError as exc:
+        print(f"fuzz: {exc}", file=sys.stderr)
+        return 2
+    print(render_report(report))
+    if args.save and report.findings:
+        for finding in report.findings:
+            entry = CorpusEntry(
+                oracle=finding.bucket.oracle,
+                data=finding.minimized,
+                bucket=(
+                    finding.bucket.oracle,
+                    finding.bucket.kind,
+                    finding.bucket.frame,
+                ),
+                note=finding.message,
+                origin=f"fuzz seed={config.seed} iteration={finding.iteration}",
+            )
+            path = save_entry(args.save, entry)
+            print(f"saved {path}", file=sys.stderr)
+    return 1 if report.findings else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-study",
@@ -193,6 +265,29 @@ def main(argv: list[str] | None = None) -> int:
         help="also write the drift-diffable baseline report to FILE",
     )
     lint_parser.set_defaults(func=cmd_lint)
+
+    fuzz_parser = sub.add_parser(
+        "fuzz", help="run the deterministic differential-fuzzing harness"
+    )
+    fuzz_parser.add_argument("--seed", type=int, default=1)
+    fuzz_parser.add_argument("--iterations", type=int, default=1000)
+    fuzz_parser.add_argument(
+        "--oracle", action="append", metavar="NAME", default=None,
+        help="run only this oracle (repeatable; default: all)",
+    )
+    fuzz_parser.add_argument(
+        "--no-minimize", action="store_true",
+        help="skip greedy minimization of failing inputs",
+    )
+    fuzz_parser.add_argument(
+        "--save", metavar="DIR", default=None,
+        help="write minimized findings as corpus entries under DIR",
+    )
+    fuzz_parser.add_argument(
+        "--replay", metavar="DIR", default=None,
+        help="replay a saved corpus directory instead of fuzzing",
+    )
+    fuzz_parser.set_defaults(func=cmd_fuzz)
 
     args = parser.parse_args(argv)
     try:

@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..html import parse
-from ..html.tokens import StartTag
+from ..html.tokens import Character, Comment, Doctype, StartTag
 from .checker import Checker, CheckReport
 from .violations import AUTO_FIXABLE_IDS, Finding
 
@@ -45,7 +45,9 @@ class AutofixResult:
     fixed: str
     #: findings that the pass repaired
     repaired: list[Finding] = field(default_factory=list)
-    #: findings that require manual work (HF/DE)
+    #: findings that require manual work (HF/DE), plus auto-fixable
+    #: findings whose offending tag no longer exists in the source (e.g.
+    #: a start tag truncated by EOF) and therefore cannot be rewritten
     remaining: list[Finding] = field(default_factory=list)
 
     @property
@@ -93,32 +95,53 @@ def autofix(html: str, *, checker: Checker | None = None) -> AutofixResult:
 
     source = result.source
     edits: list[tuple[int, int, str]] = []  # (start, end, replacement)
+    #: source spans whose tag an edit rewrote, moved, or dropped; a
+    #: fixable finding counts as repaired only when its offset falls in
+    #: one of these — claiming repairs that were never applied would make
+    #: ``autofix`` diverge instead of reaching a fix-point
+    edited_spans: list[tuple[int, int]] = []
 
     fixable_ids = {finding.violation for finding in fixable}
 
+    # --- DM1 / DM2: move meta/base into the head --------------------------
+    moves = _collect_head_moves(result, fixable)
+    moved_offsets = {start for start, _end, _markup, _drop in moves}
+
     # --- FB1 / FB2 / DM3: rewrite the offending start tags in place -------
+    # A tag that is also being moved is skipped here: the move re-renders
+    # it through the same _render_tag, and emitting both edits would
+    # duplicate the element.
     if fixable_ids & {"FB1", "FB2", "DM3"}:
-        bad_offsets = _tag_offsets_with_attr_problems(result)
+        bad_offsets = _tag_offsets_with_attr_problems(result) - moved_offsets
         for token in result.tokens:
             if isinstance(token, StartTag) and token.offset in bad_offsets:
                 if token.end > token.offset:
                     edits.append((token.offset, token.end, _render_tag(token)))
+                    edited_spans.append((token.offset, token.end))
 
-    # --- DM1 / DM2: move meta/base into the head --------------------------
-    moves = _collect_head_moves(result, fixable)
     if moves:
-        insert_at = _head_insertion_point(source)
+        insert_at = _head_insertion_point(result)
         moved_markup: list[str] = []
         for start, end, markup, drop in moves:
             edits.append((start, end, ""))
+            edited_spans.append((start, end))
             if not drop:
                 moved_markup.append(markup)
         if moved_markup:
             edits.append((insert_at, insert_at, "".join(moved_markup)))
 
+    repaired: list[Finding] = []
+    unapplied: list[Finding] = []
+    for finding in fixable:
+        if any(start <= finding.offset < end for start, end in edited_spans):
+            repaired.append(finding)
+        else:
+            unapplied.append(finding)
+
     fixed = _apply_edits(source, edits)
     return AutofixResult(
-        original=html, fixed=fixed, repaired=fixable, remaining=manual
+        original=html, fixed=fixed, repaired=repaired,
+        remaining=manual + unapplied,
     )
 
 
@@ -171,20 +194,50 @@ def _collect_head_moves(result, fixable: list[Finding]):
     return moves
 
 
-def _head_insertion_point(source: str) -> int:
+def _head_insertion_point(result) -> int:
     """Where repaired head elements should be re-inserted.
 
-    Right after the explicit ``<head...>`` tag when present (which also
-    satisfies DM2_3's before-any-URL requirement), otherwise after
-    ``<html...>``, otherwise position 0.
+    Derived from the parse, not a text search — a literal ``<head`` can
+    occur inside an attribute or comment where inserting would corrupt
+    the document.  Right after the explicit ``<head...>`` start tag when
+    present (which also satisfies DM2_3's before-any-URL requirement),
+    otherwise after ``<html...>``, otherwise the top of the document —
+    but past any doctype, since markup inserted before the doctype would
+    demote the reparsed document to quirks mode.
     """
-    lowered = source.lower()
-    for opener in ("<head", "<html"):
-        index = lowered.find(opener)
-        if index != -1:
-            close = lowered.find(">", index)
-            if close != -1:
-                return close + 1
+    document = result.document
+    offsets = [
+        element.source_offset
+        for element in (document.head, document.document_element)
+        if element is not None and not element.implied
+    ]
+    for offset in offsets:
+        for token in result.tokens:
+            if (
+                isinstance(token, StartTag)
+                and token.offset == offset
+                and token.end > token.offset
+            ):
+                return token.end
+    # No explicit head/html: insert at the top of the document, but past
+    # a *leading* doctype — markup before it would demote the reparse to
+    # quirks mode.  A doctype that appeared after content was ignored by
+    # the parser (document.doctype stays unset) and must not move the
+    # insertion point; nor can a token offset be used here, since
+    # character tokens are batched and an offset inside a batch could
+    # split an entity reference.
+    if document.doctype is not None:
+        for token in result.tokens:
+            if isinstance(token, Doctype):
+                close = result.source.find(">", token.offset)
+                if close != -1:
+                    return close + 1
+                break
+            if isinstance(token, Comment):
+                continue
+            if isinstance(token, Character) and not token.data.strip():
+                continue
+            break
     return 0
 
 

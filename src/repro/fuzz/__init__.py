@@ -1,0 +1,64 @@
+"""`repro.fuzz` — deterministic differential fuzzing of the parsing substrate.
+
+The study pipeline treats "check one page" as a pure, crash-free function:
+that is what makes the longitudinal comparison sound and the parallel
+runner safe to shard.  This package machine-checks that assumption with a
+seeded fuzzing harness over the from-scratch tokenizer, tree builder,
+serializer, autofixer, WARC layer and CDX index:
+
+* :mod:`repro.fuzz.generator` — structure-aware input generation, seeded
+  from the synthetic-corpus templates plus an adversarial markup-soup
+  alphabet;
+* :mod:`repro.fuzz.mutators` — byte-level mutators (splice, tag-swap,
+  entity-corrupt, encoding-mangle, truncate, nesting-bomb);
+* :mod:`repro.fuzz.oracles` — the differential and property oracles
+  (tokenizer step budget, parse→serialize→reparse equivalence, autofix
+  fix-point, WARC byte round-trip, CDX typed-rejection, sequential vs
+  parallel checker equality);
+* :mod:`repro.fuzz.bucketing` — crash dedup by (oracle, exception type,
+  top repro frame);
+* :mod:`repro.fuzz.minimize` — greedy byte-chunk input minimization;
+* :mod:`repro.fuzz.corpus` — the replayable regression corpus committed
+  under ``tests/fuzz_corpus/`` and replayed by tier-1;
+* :mod:`repro.fuzz.harness` — the deterministic driver behind
+  ``repro-study fuzz``.
+
+Every random draw threads an explicit ``random.Random(f"{seed}:...")``
+instance (enforced by the staticcheck determinism pass): the same seed and
+iteration count always produce the same executions and the same finding
+buckets.
+"""
+from .bucketing import Bucket, bucket_for
+from .corpus import (
+    CorpusEntry,
+    CorpusFormatError,
+    load_corpus,
+    replay_entry,
+    save_entry,
+)
+from .harness import FuzzConfig, FuzzFinding, FuzzReport, render_report, run_fuzz
+from .minimize import minimize
+from .mutators import MUTATORS, mutate
+from .oracles import BATCH_ORACLES, ORACLES, OracleFailure, SkipInput
+
+__all__ = [
+    "BATCH_ORACLES",
+    "Bucket",
+    "CorpusEntry",
+    "CorpusFormatError",
+    "FuzzConfig",
+    "FuzzFinding",
+    "FuzzReport",
+    "MUTATORS",
+    "ORACLES",
+    "OracleFailure",
+    "SkipInput",
+    "bucket_for",
+    "load_corpus",
+    "minimize",
+    "mutate",
+    "render_report",
+    "replay_entry",
+    "run_fuzz",
+    "save_entry",
+]

@@ -1,0 +1,65 @@
+"""Crash bucketing: deduplicate findings by where and how they fail.
+
+A fuzzing session over a buggy state machine produces thousands of
+failures from a handful of root causes.  The bucket key mirrors what
+crash triage services (and OSS-Fuzz) use: the oracle that tripped, the
+exception type, and the **top repro frame** — the innermost stack frame
+inside the checked package (excluding the fuzzing machinery itself).
+Property violations carry their own stable ``detail`` code instead of a
+frame, so "serialize-not-idempotent" is one bucket no matter which input
+shape triggered it.
+"""
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass
+
+from .oracles import OracleFailure
+
+_NO_FRAME = "<no-repro-frame>"
+
+
+@dataclass(frozen=True, slots=True)
+class Bucket:
+    """One deduplicated failure class."""
+
+    oracle: str
+    kind: str    # exception type name, e.g. "RecursionError"
+    frame: str   # "module:function" of the top repro frame, or detail code
+
+    @property
+    def label(self) -> str:
+        return f"{self.oracle}/{self.kind}@{self.frame}"
+
+    @property
+    def slug(self) -> str:
+        """Filesystem-safe form used for corpus file names."""
+        raw = f"{self.oracle}-{self.kind}-{self.frame}"
+        return "".join(
+            ch if ch.isalnum() or ch in "-_" else "_" for ch in raw.lower()
+        )
+
+
+def top_repro_frame(exc: BaseException) -> str:
+    """``module:function`` of the innermost frame inside ``repro``
+    (excluding ``repro/fuzz`` itself, which merely drives the code)."""
+    frames = traceback.extract_tb(exc.__traceback__)
+    for frame in reversed(frames):
+        path = frame.filename.replace("\\", "/")
+        if "/repro/" in path and "/repro/fuzz/" not in path:
+            stem = path.rsplit("/", 1)[-1]
+            if stem.endswith(".py"):
+                stem = stem[:-3]
+            return f"{stem}:{frame.name}"
+    return _NO_FRAME
+
+
+def bucket_for(oracle_name: str, exc: BaseException) -> Bucket:
+    """The bucket a failure belongs to."""
+    if isinstance(exc, OracleFailure):
+        return Bucket(oracle=oracle_name, kind="OracleFailure", frame=exc.detail)
+    return Bucket(
+        oracle=oracle_name,
+        kind=type(exc).__name__,
+        frame=top_repro_frame(exc),
+    )

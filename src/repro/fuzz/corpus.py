@@ -1,0 +1,117 @@
+"""The replayable regression corpus.
+
+Every bug the fuzzing harness surfaces is fixed and its *minimized* input
+committed under ``tests/fuzz_corpus/`` as a small JSON file: the oracle to
+run, the bucket the input used to land in (for the record), the input
+bytes (base64, since fuzzed inputs are rarely valid UTF-8), and a note
+describing the original failure.  Tier-1 replays every entry through its
+oracle on every run — the corpus is the harness's long-term memory, the
+same role the html5lib-tests fixtures play for the conformance suite.
+"""
+from __future__ import annotations
+
+import base64
+import binascii
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .oracles import BATCH_ORACLES, ORACLES, SkipInput
+
+
+class CorpusFormatError(ValueError):
+    """Raised when a corpus file does not parse."""
+
+
+@dataclass(slots=True)
+class CorpusEntry:
+    """One minimized regression input."""
+
+    oracle: str
+    data: bytes
+    #: the (oracle, kind, frame) bucket the input originally crashed in
+    bucket: tuple[str, str, str] = ("", "", "")
+    #: human-readable description of the original failure
+    note: str = ""
+    #: ``seed:iteration`` of the fuzz execution that found it
+    origin: str = ""
+    source: Path | None = field(default=None, compare=False)
+
+    @property
+    def digest(self) -> str:
+        return hashlib.sha1(self.data).hexdigest()[:10]
+
+
+def entry_filename(entry: CorpusEntry) -> str:
+    slug = "-".join(part for part in entry.bucket if part) or entry.oracle
+    slug = "".join(
+        ch if ch.isalnum() or ch in "-_" else "_" for ch in slug.lower()
+    )
+    return f"{slug}-{entry.digest}.json"
+
+
+def save_entry(directory: str | Path, entry: CorpusEntry) -> Path:
+    """Write one corpus entry; returns the path (stable per content)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / entry_filename(entry)
+    payload = {
+        "oracle": entry.oracle,
+        "bucket": list(entry.bucket),
+        "note": entry.note,
+        "origin": entry.origin,
+        "data_base64": base64.b64encode(entry.data).decode("ascii"),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def load_entry(path: str | Path) -> CorpusEntry:
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        data = base64.b64decode(payload["data_base64"])
+        bucket = tuple(payload.get("bucket", ("", "", "")))
+        if len(bucket) != 3:
+            raise ValueError(f"bucket must have 3 parts, got {len(bucket)}")
+        return CorpusEntry(
+            oracle=payload["oracle"],
+            data=data,
+            bucket=bucket,  # type: ignore[arg-type]
+            note=payload.get("note", ""),
+            origin=payload.get("origin", ""),
+            source=path,
+        )
+    except (KeyError, ValueError, TypeError, binascii.Error) as exc:
+        raise CorpusFormatError(f"{path}: {exc}") from exc
+
+
+def load_corpus(directory: str | Path) -> list[CorpusEntry]:
+    """All entries under ``directory``, sorted by file name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return [load_entry(path) for path in sorted(directory.glob("*.json"))]
+
+
+def replay_entry(entry: CorpusEntry) -> None:
+    """Run the entry's oracle on its input; raises on regression.
+
+    A :class:`SkipInput` outcome counts as a pass — the regression being
+    guarded is a crash or property violation, and "the oracle now
+    declines this input" means the original failure is gone.
+    """
+    if entry.oracle in ORACLES:
+        try:
+            ORACLES[entry.oracle].run(entry.data)
+        except SkipInput:
+            pass
+        return
+    if entry.oracle in BATCH_ORACLES:
+        try:
+            BATCH_ORACLES[entry.oracle].run_batch([entry.data])
+        except SkipInput:
+            pass
+        return
+    raise CorpusFormatError(f"unknown oracle {entry.oracle!r}")

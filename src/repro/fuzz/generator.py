@@ -1,0 +1,90 @@
+"""Structure-aware input generation for the fuzzing harness.
+
+Two complementary sources, mixed per iteration:
+
+* **template pages** — realistic conforming pages from
+  :mod:`repro.commoncrawl.templates` with zero to three violation
+  injectors applied, the same building blocks the synthetic study corpus
+  uses.  These exercise the deep, well-structured paths (head/body modes,
+  tables, forms, foreign content).
+* **markup soup** — short adversarial strings assembled from an alphabet
+  of tokenizer- and tree-builder-hostile atoms (half-open tags, comment
+  and CDATA openers, entity fragments, NULs, raw-text and table context
+  switches).  These reach the error-recovery corners no template visits.
+
+Everything is a pure function of the :class:`random.Random` instance
+passed in; the harness derives one per iteration from the run seed.
+"""
+from __future__ import annotations
+
+import random
+
+from ..commoncrawl.templates import INJECTORS, build_page
+
+#: Adversarial markup atoms.  Biased toward state-machine edges: half-open
+#: constructs, context-switching start tags, entity fragments, NULs.
+SOUP_ATOMS: tuple[str, ...] = (
+    # bare syntax characters
+    "<", ">", "/", "=", "&", ";", "\"", "'", " ", "\n", "\t", "\f", "\x00",
+    "-", "!", "?", "#", "x", "0", "1", "a", "b", "\xa0", "é",
+    # half-open and degenerate constructs
+    "<!--", "-->", "<!-", "<!", "</", "</ ", "<?", "<![CDATA[", "]]>",
+    "<!doctype html>", "<!DOCTYPE", "<a href=", "<a href='x",
+    # context-switching start tags
+    "<b>", "<i>", "<nobr>", "<font size=1>", "</b>", "</i>",
+    "<table>", "<tr>", "<td>", "<caption>", "<colgroup>", "<col>",
+    "</table>", "<select>", "<option>", "<optgroup>", "<textarea>",
+    "</textarea>", "<script>", "</script>", "<style>", "</style>",
+    "<title>", "</title>", "<xmp>", "<iframe>", "<noscript>", "<noembed>",
+    "<noframes>", "<plaintext>", "<template>", "</template>", "<svg>",
+    "</svg>", "<math>", "</math>", "<mi>", "<desc>", "<foreignObject>",
+    "<form>", "</form>", "<input type=hidden>", "<button>", "<frameset>",
+    "<frame>", "<head>", "</head>", "<body>", "</body>", "<html>",
+    "</html>", "<p>", "</p>", "<li>", "<dd>", "<h1>", "<br/>", "<img/>",
+    "<meta charset=utf-8>", "<base href='/x'>", "<a href='x'>", "</a>",
+    # attribute shrapnel and entity fragments
+    "<a b=c>", "<a b c>", "<a 'x'>", "<a b=\"", "id=\"x\"", "=''",
+    "&amp;", "&amp", "&AMP", "&#x41;", "&#65;", "&#", "&#x", "&notin;",
+    "&notit;", "&not", "&#xD800;", "&#1114112;", "&nbsp;",
+)
+
+
+def generate_soup(rng: random.Random) -> str:
+    """A short adversarial markup string."""
+    length = rng.randrange(1, 64)
+    return "".join(rng.choice(SOUP_ATOMS) for _ in range(length))
+
+
+def generate_template_page(rng: random.Random) -> str:
+    """A realistic page with zero to three study injectors applied."""
+    domain = f"fuzz{rng.randrange(10_000)}.example"
+    draft = build_page(
+        domain,
+        f"/page/{rng.randrange(100)}",
+        rng,
+        use_svg=rng.random() < 0.25,
+        use_math=rng.random() < 0.25,
+    )
+    names = sorted(INJECTORS)
+    # terminal injectors swallow the rest of the document, so apply at
+    # most one of them and apply it last, matching the corpus generator
+    chosen = [INJECTORS[rng.choice(names)] for _ in range(rng.randrange(0, 4))]
+    chosen.sort(key=lambda injector: injector.terminal)
+    seen_terminal = False
+    for injector in chosen:
+        if injector.terminal:
+            if seen_terminal:
+                continue
+            seen_terminal = True
+        injector.apply(draft, rng)
+    return draft.render()
+
+
+def generate(rng: random.Random) -> bytes:
+    """One seed input for an iteration: soup-heavy, with template pages
+    mixed in for structural depth."""
+    if rng.random() < 0.2:
+        text = generate_template_page(rng)
+    else:
+        text = generate_soup(rng)
+    return text.encode("utf-8")

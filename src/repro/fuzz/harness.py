@@ -1,0 +1,216 @@
+"""The deterministic fuzzing driver behind ``repro-study fuzz``.
+
+One run is a pure function of :class:`FuzzConfig`: iteration ``i`` seeds
+its own ``random.Random(f"{seed}:{i}")``, generates an input, mutates it,
+and feeds it to every selected per-input oracle.  Failures are bucketed
+(:mod:`repro.fuzz.bucketing`), one exemplar per bucket is kept, and after
+the loop each exemplar is greedily minimized while preserving its bucket.
+Batch oracles (sequential-vs-parallel equality) run once over a
+deterministic sample of the generated corpus.
+
+There is deliberately no wall-clock anywhere in this module — time-boxing
+is the caller's job (CI passes a small ``--iterations``), and the report
+must be bit-identical across runs so "same seed, same buckets" is itself
+a testable invariant.
+"""
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from .bucketing import Bucket, bucket_for
+from .generator import generate
+from .minimize import minimize
+from .mutators import mutate
+from .oracles import BATCH_ORACLES, ORACLES, SkipInput
+
+#: every oracle, per-input first, in stable order
+DEFAULT_ORACLES: tuple[str, ...] = tuple(sorted(ORACLES)) + tuple(
+    sorted(BATCH_ORACLES)
+)
+
+
+@dataclass(slots=True)
+class FuzzConfig:
+    """Parameters of one fuzzing session."""
+
+    seed: int = 1
+    iterations: int = 1000
+    oracles: tuple[str, ...] = DEFAULT_ORACLES
+    minimize: bool = True
+    #: predicate-call budget per finding during minimization
+    minimize_attempts: int = 384
+    max_mutations: int = 3
+    #: corpus sample size for the batch (parallel) oracles
+    parallel_sample: int = 24
+    parallel_workers: int = 2
+
+
+@dataclass(slots=True)
+class FuzzFinding:
+    """One bucket's exemplar."""
+
+    bucket: Bucket
+    iteration: int          # first iteration that hit the bucket
+    data: bytes             # first failing input
+    minimized: bytes        # after greedy minimization (== data when off)
+    count: int = 1          # executions that landed in this bucket
+    message: str = ""       # str() of the first exception
+
+
+@dataclass(slots=True)
+class FuzzReport:
+    """Outcome of one session, comparable across runs for determinism."""
+
+    seed: int
+    iterations: int
+    oracles: tuple[str, ...]
+    executions: int = 0
+    skips: int = 0
+    oracle_executions: dict[str, int] = field(default_factory=dict)
+    findings: list[FuzzFinding] = field(default_factory=list)
+
+    def bucket_summary(self) -> tuple[str, ...]:
+        """Stable per-bucket lines; two runs of the same config must
+        produce equal summaries."""
+        return tuple(
+            f"{finding.bucket.label} x{finding.count}"
+            for finding in sorted(
+                self.findings, key=lambda f: f.bucket.label
+            )
+        )
+
+
+def run_oracle_bucket(oracle_name: str, data: bytes) -> Bucket | None:
+    """Run one per-input oracle; the bucket it fails in, else None.
+
+    A skipped input (e.g. a minimization candidate that mutated into
+    non-UTF-8) lands in no bucket, same as a pass.
+    """
+    try:
+        ORACLES[oracle_name].run(data)
+    except SkipInput:
+        return None
+    except KeyboardInterrupt:
+        raise
+    except BaseException as exc:  # bucket *everything* else, incl. RecursionError
+        return bucket_for(oracle_name, exc)
+    return None
+
+
+def run_fuzz(config: FuzzConfig) -> FuzzReport:
+    """Execute one deterministic fuzzing session."""
+    unknown = [
+        name for name in config.oracles
+        if name not in ORACLES and name not in BATCH_ORACLES
+    ]
+    if unknown:
+        raise ValueError(
+            f"unknown oracle(s) {unknown}; "
+            f"available: {', '.join(DEFAULT_ORACLES)}"
+        )
+    per_input = [name for name in config.oracles if name in ORACLES]
+    batch = [name for name in config.oracles if name in BATCH_ORACLES]
+
+    report = FuzzReport(
+        seed=config.seed, iterations=config.iterations, oracles=config.oracles
+    )
+    report.oracle_executions = {name: 0 for name in config.oracles}
+    findings: dict[Bucket, FuzzFinding] = {}
+    sample: list[bytes] = []
+    sample_every = max(1, config.iterations // max(1, config.parallel_sample))
+
+    def record(oracle_name: str, exc: BaseException, data: bytes, i: int) -> None:
+        bucket = bucket_for(oracle_name, exc)
+        finding = findings.get(bucket)
+        if finding is None:
+            findings[bucket] = FuzzFinding(
+                bucket=bucket, iteration=i, data=data, minimized=data,
+                message=str(exc)[:200],
+            )
+        else:
+            finding.count += 1
+            if len(data) < len(finding.data):
+                finding.data = data
+                finding.minimized = data
+
+    for i in range(config.iterations):
+        rng = random.Random(f"{config.seed}:{i}")
+        data = mutate(generate(rng), rng, max_mutations=config.max_mutations)
+        if batch and len(sample) < config.parallel_sample and i % sample_every == 0:
+            sample.append(data)
+        for oracle_name in per_input:
+            report.oracle_executions[oracle_name] += 1
+            report.executions += 1
+            try:
+                ORACLES[oracle_name].run(data)
+            except SkipInput:
+                report.skips += 1
+            except KeyboardInterrupt:
+                raise
+            except BaseException as exc:
+                record(oracle_name, exc, data, i)
+
+    for oracle_name in batch:
+        report.oracle_executions[oracle_name] += 1
+        report.executions += 1
+        try:
+            BATCH_ORACLES[oracle_name].run_batch(
+                sample, workers=config.parallel_workers
+            )
+        except SkipInput:
+            report.skips += 1
+        except KeyboardInterrupt:
+            raise
+        except BaseException as exc:
+            record(oracle_name, exc, sample[0] if sample else b"", -1)
+
+    if config.minimize:
+        for finding in findings.values():
+            if finding.bucket.oracle in ORACLES and finding.data:
+                finding.minimized = minimize(
+                    finding.data,
+                    lambda cand, b=finding.bucket: (
+                        run_oracle_bucket(b.oracle, cand) == b
+                    ),
+                    max_attempts=config.minimize_attempts,
+                )
+
+    report.findings = sorted(findings.values(), key=lambda f: f.bucket.label)
+    return report
+
+
+def render_report(report: FuzzReport) -> str:
+    """Human-readable session summary (stable across identical runs)."""
+    lines = [
+        "repro.fuzz session report",
+        "=========================",
+        f"seed: {report.seed}",
+        f"iterations: {report.iterations}",
+        f"oracle executions: {report.executions} "
+        f"({report.skips} skipped as out-of-contract)",
+    ]
+    for name in report.oracles:
+        description = (
+            ORACLES[name].description
+            if name in ORACLES
+            else BATCH_ORACLES[name].description
+        )
+        lines.append(
+            f"  - {name}: {report.oracle_executions.get(name, 0)} execs "
+            f"({description})"
+        )
+    if not report.findings:
+        lines.append("findings: none — all oracles held")
+        return "\n".join(lines)
+    lines.append(f"findings: {len(report.findings)} bucket(s)")
+    for finding in report.findings:
+        lines.append(f"  [{finding.bucket.label}] x{finding.count}")
+        lines.append(f"    first at iteration {finding.iteration}")
+        if finding.message:
+            lines.append(f"    {finding.message}")
+        lines.append(
+            f"    minimized ({len(finding.minimized)} bytes): "
+            f"{finding.minimized[:120]!r}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Greedy input minimization (a bounded ddmin variant).
+
+Given a failing input and a predicate "still fails in the same bucket",
+repeatedly delete byte chunks — halving the chunk size whenever a full
+sweep makes no progress — until single-byte deletions stop reproducing or
+the attempt budget runs out.  The budget keeps minimization time-boxed for
+the CI smoke run; determinism follows from the algorithm being a pure
+function of ``(data, predicate)``.
+"""
+from __future__ import annotations
+
+from typing import Callable
+
+
+def minimize(
+    data: bytes,
+    predicate: Callable[[bytes], bool],
+    *,
+    max_attempts: int = 384,
+) -> bytes:
+    """Smallest input found that still satisfies ``predicate``.
+
+    ``predicate`` must return True for ``data`` itself; if it does not
+    (a flaky failure), the input is returned unchanged.
+    """
+    if not data or not predicate(data):
+        return data
+    attempts = 0
+    chunk = max(1, len(data) // 2)
+    while True:
+        progressed = False
+        start = 0
+        while start < len(data) and attempts < max_attempts:
+            candidate = data[:start] + data[start + chunk:]
+            attempts += 1
+            if predicate(candidate):
+                data = candidate
+                progressed = True
+                # keep the same start: the next chunk slid into place
+            else:
+                start += chunk
+        if attempts >= max_attempts:
+            return data
+        if not progressed:
+            if chunk == 1:
+                return data
+            chunk = max(1, chunk // 2)

@@ -1,0 +1,132 @@
+"""Byte-level mutators applied to generated seed inputs.
+
+Each mutator is a pure function ``(data, rng) -> data`` registered in
+:data:`MUTATORS`.  They operate on bytes — below the UTF-8 layer — so the
+encoding-decode filter (:func:`repro.html.preprocessor.decode_bytes`) is
+itself inside the fuzzed surface: a mutation may turn a valid document
+into a non-UTF-8 byte stream, which the oracles must *reject*, not crash
+on.
+"""
+from __future__ import annotations
+
+import random
+import re
+from typing import Callable
+
+Mutator = Callable[[bytes, random.Random], bytes]
+
+#: hard cap on mutated input size, so splice/nesting growth stays bounded
+MAX_INPUT_BYTES = 65_536
+
+_TAG_RE = re.compile(rb"</?([a-zA-Z][a-zA-Z0-9]*)")
+
+#: tag names nesting_bomb wraps with (formatting elements stress the
+#: adoption agency and the active-formatting reconstruction path)
+_BOMB_TAGS = (b"b", b"i", b"em", b"nobr", b"font", b"div", b"span", b"small")
+
+#: byte strings encoding_mangle splices in: invalid UTF-8 (lone
+#: continuation, truncated multibyte, overlong, surrogate half), a BOM,
+#: CR/CRLF, NUL and C1 controls
+_MANGLE_BYTES = (
+    b"\x80", b"\xc3", b"\xe2\x82", b"\xf0\x9f\x92", b"\xc0\xaf",
+    b"\xed\xa0\x80", b"\xef\xbb\xbf", b"\r", b"\r\n", b"\x00", b"\x1b",
+    b"\x85", b"\xff", b"\xfe",
+)
+
+
+def splice(data: bytes, rng: random.Random) -> bytes:
+    """Copy a random slice of the input over or into another position."""
+    if len(data) < 2:
+        return data
+    start = rng.randrange(len(data))
+    end = min(len(data), start + rng.randrange(1, 32))
+    chunk = data[start:end]
+    at = rng.randrange(len(data) + 1)
+    if rng.random() < 0.5:  # insert
+        return data[:at] + chunk + data[at:]
+    return data[:at] + chunk + data[at + len(chunk):]  # overwrite
+
+
+def tag_swap(data: bytes, rng: random.Random) -> bytes:
+    """Rename one tag occurrence to another tag name seen in the input.
+
+    Swapping names between contexts (e.g. ``table`` for ``select``,
+    ``script`` for ``b``) is what drives the tree builder into the
+    in-table / in-select / raw-text mode interactions.
+    """
+    matches = list(_TAG_RE.finditer(data))
+    if len(matches) < 2:
+        return data
+    victim = matches[rng.randrange(len(matches))]
+    donor = matches[rng.randrange(len(matches))]
+    return data[: victim.start(1)] + donor.group(1) + data[victim.end(1):]
+
+
+def entity_corrupt(data: bytes, rng: random.Random) -> bytes:
+    """Damage a character reference, or plant a malformed one."""
+    corrupt = rng.choice((
+        b"&", b"&#", b"&#x", b"&amp", b"&notit;", b"&#xD800;",
+        b"&#1114112;", b"&#0;", b"&ampamp;", b"&;",
+    ))
+    amp = data.find(b"&")
+    if amp != -1 and rng.random() < 0.5:
+        # truncate an existing reference mid-name
+        cut = amp + rng.randrange(1, 6)
+        return data[:cut] + corrupt + data[cut:]
+    at = rng.randrange(len(data) + 1)
+    return data[:at] + corrupt + data[at:]
+
+
+def encoding_mangle(data: bytes, rng: random.Random) -> bytes:
+    """Splice in bytes that are invalid or troublesome below the UTF-8
+    layer (lone continuation bytes, truncated sequences, BOM, CR, NUL)."""
+    out = data
+    for _ in range(rng.randrange(1, 4)):
+        at = rng.randrange(len(out) + 1)
+        out = out[:at] + rng.choice(_MANGLE_BYTES) + out[at:]
+    return out
+
+
+def truncate(data: bytes, rng: random.Random) -> bytes:
+    """Cut the input off, usually mid-construct (the EOF-in-X states)."""
+    if len(data) < 2:
+        return data
+    if rng.random() < 0.25:  # drop a prefix instead
+        return data[rng.randrange(1, len(data)):]
+    return data[: rng.randrange(1, len(data))]
+
+
+def nesting_bomb(data: bytes, rng: random.Random) -> bytes:
+    """Wrap the input in deeply nested formatting elements.
+
+    Stresses the adoption agency, active-formatting reconstruction, and —
+    historically — every recursive tree walker (serializer, dumper,
+    ``Node.iter``), which had to become iterative to survive this.
+    """
+    depth = rng.choice((8, 64, 384, 1100, 1600))
+    tag = rng.choice(_BOMB_TAGS)
+    opener = b"<" + tag + b">"
+    budget = max(0, MAX_INPUT_BYTES - len(data)) // len(opener)
+    depth = min(depth, budget)
+    return opener * depth + data
+
+
+#: Registry of all mutators, keyed by name (sorted iteration keeps the
+#: harness deterministic).
+MUTATORS: dict[str, Mutator] = {
+    "splice": splice,
+    "tag_swap": tag_swap,
+    "entity_corrupt": entity_corrupt,
+    "encoding_mangle": encoding_mangle,
+    "truncate": truncate,
+    "nesting_bomb": nesting_bomb,
+}
+
+_MUTATOR_NAMES = tuple(sorted(MUTATORS))
+
+
+def mutate(data: bytes, rng: random.Random, *, max_mutations: int = 3) -> bytes:
+    """Apply zero to ``max_mutations`` randomly chosen mutators."""
+    for _ in range(rng.randrange(0, max_mutations + 1)):
+        data = MUTATORS[rng.choice(_MUTATOR_NAMES)](data, rng)
+    return data[:MAX_INPUT_BYTES]

@@ -1,0 +1,437 @@
+"""Differential and property oracles over the parsing substrate.
+
+Each per-input oracle is a pure function ``run(data: bytes) -> None`` with
+three outcomes:
+
+* **pass** — return normally;
+* **property violation** — raise :class:`OracleFailure` with a stable
+  ``detail`` code (bucketed by that code);
+* **crash** — any other exception escaping the checked code (bucketed by
+  exception type and top repro frame).
+
+:class:`SkipInput` is the fourth, neutral outcome: the input is outside
+the oracle's contract (non-UTF-8 bytes for the HTML oracles, documents
+the HTML spec itself declares non-round-trippable for the serializer).
+
+The ``parallel`` oracle is a *batch* oracle: it runs once per fuzz session
+over a sample of the generated corpus and asserts the pipeline's core
+scaling assumption — checking a page is a pure function, so a process
+pool must produce bit-identical results to a sequential loop.
+"""
+from __future__ import annotations
+
+import io
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core import Checker, autofix
+from ..html import decode_bytes, parse, serialize
+from ..html.dom import Element, Text
+from ..html.dump import dump_tree
+from ..html.serializer import RAW_TEXT_ELEMENTS
+from ..html.treebuilder import SPECIAL_ELEMENTS
+from ..html.tokenizer import Tokenizer
+from ..html.tokens import EOF
+from ..warc import WARCFormatError, WARCRecord, WARCWriter, iter_records, surt
+from ..warc.cdx import CDXEntry, CDXFormatError
+
+
+class OracleFailure(AssertionError):
+    """A checked property does not hold.  ``detail`` is a stable short
+    code used as the bucket key (instead of a stack frame)."""
+
+    def __init__(self, detail: str, message: str = "") -> None:
+        self.detail = detail
+        super().__init__(message or detail)
+
+
+class SkipInput(Exception):
+    """The input is outside this oracle's contract (not a failure)."""
+
+
+@dataclass(frozen=True, slots=True)
+class Oracle:
+    """One per-input oracle."""
+
+    name: str
+    description: str
+    run: Callable[[bytes], None]
+
+
+@dataclass(frozen=True, slots=True)
+class BatchOracle:
+    """A once-per-session oracle over a corpus sample."""
+
+    name: str
+    description: str
+    run_batch: Callable[..., None]
+
+
+def _decode(data: bytes) -> str:
+    text = decode_bytes(data)
+    if text is None:
+        # the paper's methodology: non-UTF-8 documents are filtered, not
+        # parsed — so the HTML oracles have nothing to check
+        raise SkipInput("non-utf8")
+    return text
+
+
+# ------------------------------------------------------------- tokenizer
+
+#: token budget: a linear function of input length.  The spec machine
+#: emits at most one token per input character plus bounded overhead; a
+#: tokenizer that exceeds this is looping.
+TOKEN_BUDGET_BASE = 256
+TOKEN_BUDGET_PER_CHAR = 16
+
+
+def oracle_tokenize(data: bytes) -> None:
+    """The tokenizer never raises and never loops (step budget), and
+    emits exactly one EOF token, last."""
+    text = _decode(data)
+    budget = TOKEN_BUDGET_BASE + TOKEN_BUDGET_PER_CHAR * len(text)
+    steps = 0
+    last = None
+    for token in Tokenizer(text):
+        steps += 1
+        if steps > budget:
+            raise OracleFailure(
+                "token-budget-exceeded",
+                f"{steps} tokens from {len(text)} chars: {text[:80]!r}",
+            )
+        if isinstance(last, EOF):
+            raise OracleFailure("tokens-after-eof", repr(text[:80]))
+        last = token
+    if not isinstance(last, EOF):
+        raise OracleFailure("missing-eof", repr(text[:80]))
+
+
+# ------------------------------------------------------------- round-trip
+
+
+def _serialization_lossy(document) -> bool:
+    """True for documents the HTML spec's own serialization section
+    declares non-round-trippable.
+
+    ``plaintext`` can never be closed, so its serialized end tag re-parses
+    as text; raw-text elements (script/style/...) whose character data
+    contains comment or tag openers re-tokenize differently (the spec's
+    "string round-trips" warning — the same lossiness behind mXSS); and a
+    carriage return placed in the DOM by ``&#xD;`` serializes as a raw CR
+    (spec escaping covers only ``&``/nbsp/``<``/``>``) which re-parsing's
+    preprocessor normalizes to LF.
+    """
+    for node in document.iter():
+        if isinstance(node, Text):
+            if "\r" in node.data:
+                return True
+            continue
+        if not isinstance(node, Element):
+            continue
+        element = node
+        if any("\r" in value for value in element.attributes.values()):
+            return True
+        if element.name == "plaintext":
+            return True
+        if element.name in RAW_TEXT_ELEMENTS:
+            text = element.text_content().lower()
+            if "<!--" in text or "</" in text or "<script" in text:
+                return True
+    return False
+
+
+def _contains_unnestable(document) -> bool:
+    """True for trees bearing the adoption-agency's fingerprints.
+
+    ``a`` and ``nobr`` are the formatting elements whose start tag
+    auto-closes an open same-name element (via the adoption agency), so
+    same-name nesting — which the agency's reconstruction step can
+    itself build — is a shape re-parsing will never reproduce.  The same
+    goes for an ``a``/``nobr`` directly containing a *special* (block)
+    element: serializing keeps the block inside, but re-parsing
+    reconstructs the formatting element around the block's contents
+    instead.
+    """
+    for element in document.iter_elements():
+        if element.name not in ("a", "nobr") or not element.is_html():
+            continue
+        if any(
+            getattr(ancestor, "name", None) == element.name
+            for ancestor in element.ancestors()
+        ):
+            return True
+        for child in element.children:
+            if (
+                isinstance(child, Element)
+                and child.is_html()
+                and child.name in SPECIAL_ELEMENTS
+            ):
+                return True
+    return False
+
+
+def _normalized_dump(document) -> str:
+    """html5lib-format dump with the doctype reduced to its name (the
+    serializer emits ``<!DOCTYPE name>`` only, per spec 13.3)."""
+    lines = []
+    for line in dump_tree(document).split("\n"):
+        if line.startswith("| <!DOCTYPE "):
+            name = line[len("| <!DOCTYPE "):].split('"')[0].strip(" >")
+            line = f"| <!DOCTYPE {name}>"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def oracle_roundtrip(data: bytes) -> None:
+    """parse → serialize → reparse reaches a tree fix-point.
+
+    The reparsed tree must equal the original parse (modulo the doctype
+    ids the spec's serialization drops), and serializing it again must be
+    byte-identical — the serializer faithfully externalizes the DOM.
+
+    One spec-sanctioned exception: foster parenting can build trees that
+    re-parsing will never rebuild — ``<a><table><a>`` nests the fostered
+    ``a`` inside the first, but re-parsing the serialization closes the
+    first ``a`` instead (likewise ``nobr``, ``p``-closers, implied end
+    tags).  Foreign content has an analogous asymmetry: an in-body
+    ``</p>`` seen inside ``<math>``/``<svg>`` inserts an HTML ``p``
+    *inside* the foreign element, which the breakout rule pops right out
+    on reparse.  Both shapes need an enabling context — an open table
+    (possibly via template) or a foreign element — so a first-round
+    mismatch in such a document is accepted **iff** the second round is a
+    genuine fix-point; otherwise every mismatch is a failure.
+    """
+    text = _decode(data)
+    first = parse(text)
+    if _serialization_lossy(first.document):
+        raise SkipInput("spec-lossy-serialization")
+    serialized = serialize(first.document)
+    second = parse(serialized)
+    if _normalized_dump(second.document) != _normalized_dump(first.document):
+        lossy_context = any(
+            first.document.find(name) is not None
+            for name in ("table", "template", "math", "svg")
+        ) or _contains_unnestable(first.document)
+        if lossy_context:
+            # serialize∘parse must still reach a fix-point — one round
+            # per level of adoption-agency re-nesting, so the budget
+            # scales with how misnested a document can get before the
+            # input-size cap; a byte-stable serialization implies a
+            # stable tree, since parse is a pure function of the string
+            current = serialize(second.document)
+            for _ in range(24):
+                next_round = serialize(parse(current).document)
+                if next_round == current:
+                    raise SkipInput("reparse-lossy-context")
+                current = next_round
+        raise OracleFailure(
+            "reparse-tree-mismatch",
+            f"input {text[:60]!r} serialized {serialized[:60]!r}",
+        )
+    reserialized = serialize(second.document)
+    if reserialized != serialized:
+        raise OracleFailure(
+            "serialize-not-idempotent",
+            f"{serialized[:60]!r} -> {reserialized[:60]!r}",
+        )
+
+
+# ---------------------------------------------------------------- autofix
+
+
+def oracle_autofix(data: bytes) -> None:
+    """The automatic repair is a fix-point: ``fix(fix(x)) == fix(x)``,
+    and the repaired output no longer violates the repaired rules."""
+    text = _decode(data)
+    first = autofix(text)
+    second = autofix(first.fixed)
+    if second.fixed != first.fixed:
+        raise OracleFailure(
+            "autofix-not-fixpoint",
+            f"{first.fixed[:60]!r} -> {second.fixed[:60]!r}",
+        )
+    repaired = {finding.violation for finding in first.repaired}
+    still = {
+        finding.violation
+        for finding in (*second.repaired, *second.remaining)
+    } & repaired
+    if still:
+        raise OracleFailure(
+            "autofix-residual-violations", f"{sorted(still)} in {text[:60]!r}"
+        )
+
+
+# ------------------------------------------------------------------- WARC
+
+_WARC_DATE = "2022-01-01T00:00:00Z"
+
+
+def oracle_warc(data: bytes) -> None:
+    """WARC write → read is a byte-exact round-trip (plain and gzip), and
+    corrupted/truncated gzip members fail with the typed
+    :class:`WARCFormatError`, never a raw gzip/zlib exception."""
+    record = WARCRecord.response("http://fuzz.example/page", data, _WARC_DATE)
+    tail = WARCRecord.response("http://fuzz.example/tail", b"tail", _WARC_DATE)
+    gzip_blob = b""
+    member_span = (0, 0)
+    for use_gzip in (False, True):
+        buffer = io.BytesIO()
+        writer = WARCWriter(buffer, use_gzip=use_gzip)
+        member_span = writer.write_record(record)
+        writer.write_record(tail)
+        blob = buffer.getvalue()
+        records = list(iter_records(io.BytesIO(blob)))
+        if len(records) != 2:
+            raise OracleFailure("warc-record-count", f"{len(records)} != 2")
+        if records[0].content != record.content:
+            raise OracleFailure("warc-content-mismatch", f"{len(data)} bytes")
+        if records[0].headers != record.headers:
+            raise OracleFailure("warc-header-mismatch", str(record.headers))
+        if use_gzip:
+            gzip_blob = blob
+
+    # CDX-style random access: one member decompresses to one record
+    offset, length = member_span
+    member = gzip_blob[offset:offset + length]
+    alone = list(iter_records(io.BytesIO(member)))
+    if len(alone) != 1 or alone[0].content != record.content:
+        raise OracleFailure("warc-member-access", f"{len(alone)} records")
+
+    # corruption tolerance: deterministic truncations and bit flips must
+    # either still parse (slack bytes) or raise the typed error
+    probe = zlib.crc32(data)
+    corrupted = [
+        member[: max(1, length // 3)],
+        member[: max(1, length - 1)],
+        member[:probe % length] + bytes([member[probe % length] ^ 0x55])
+        + member[probe % length + 1:],
+    ]
+    for blob in corrupted:
+        try:
+            list(iter_records(io.BytesIO(blob)))
+        except WARCFormatError:
+            pass
+
+
+# -------------------------------------------------------------------- CDX
+
+
+def _valid_cdx_entry() -> CDXEntry:
+    return CDXEntry(
+        urlkey=surt("http://fuzz.example/x"),
+        timestamp="20220101000000",
+        url="http://fuzz.example/x",
+        mime="text/html",
+        status=200,
+        digest="sha1:FUZZ",
+        length=128,
+        offset=0,
+        filename="fuzz-00000.warc.gz",
+    )
+
+
+def oracle_cdx(data: bytes) -> None:
+    """CDX lines either parse or raise the typed :class:`CDXFormatError`;
+    a written line always round-trips field-for-field."""
+    entry = _valid_cdx_entry()
+    line = entry.to_line()
+    if CDXEntry.from_line(line) != entry:
+        raise OracleFailure("cdx-roundtrip-mismatch", line)
+
+    text = data.decode("utf-8", "replace")
+    text = text.replace("\r", " ").replace("\n", " ")
+    probe = zlib.crc32(data) % (len(line) - 1)
+    variants = (
+        text,                               # arbitrary junk as a line
+        line[:probe],                       # truncated line
+        line[:probe] + text + line[probe:],  # junk spliced into a line
+        f"{entry.urlkey} {entry.timestamp} {text}",  # junk JSON payload
+    )
+    for variant in variants:
+        try:
+            CDXEntry.from_line(variant)
+        except CDXFormatError:
+            pass
+
+
+# --------------------------------------------------- sequential ∥ parallel
+
+
+def check_counts(data: bytes) -> tuple[bool, tuple[tuple[str, int], ...]]:
+    """The per-page result the study stores, as a comparable value.
+
+    Module-level (not a closure) so a process pool can pickle it — the
+    same constraint the real :mod:`repro.pipeline.parallel` workers obey.
+    """
+    report = Checker().check_bytes(data)
+    if report is None:
+        return (False, ())
+    return (True, tuple(sorted(report.counts.items())))
+
+
+def parallel_equivalence(
+    corpus: Sequence[bytes], *, workers: int = 2
+) -> None:
+    """Checking fuzzed pages through a process pool must equal the
+    sequential loop element-for-element (the sharding soundness claim).
+
+    The sequential pass runs first so a crashing input fails in-process
+    with an attributable traceback rather than through pool plumbing.
+    """
+    if not corpus:
+        raise SkipInput("empty-corpus-sample")
+    sequential = [check_counts(data) for data in corpus]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        parallel = list(pool.map(check_counts, corpus, chunksize=4))
+    for index, (left, right) in enumerate(zip(sequential, parallel)):
+        if left != right:
+            raise OracleFailure(
+                "parallel-divergence",
+                f"input {index}: sequential {left} != parallel {right}",
+            )
+
+
+# --------------------------------------------------------------- registry
+
+#: per-input oracles, keyed by CLI name
+ORACLES: dict[str, Oracle] = {
+    oracle.name: oracle
+    for oracle in (
+        Oracle(
+            "tokenize",
+            "tokenizer never raises, never loops (step budget), single EOF",
+            oracle_tokenize,
+        ),
+        Oracle(
+            "roundtrip",
+            "parse -> serialize -> reparse tree equivalence and idempotence",
+            oracle_roundtrip,
+        ),
+        Oracle(
+            "autofix",
+            "autofix is a fix-point and clears the rules it repairs",
+            oracle_autofix,
+        ),
+        Oracle(
+            "warc",
+            "WARC write -> read byte round-trip; corrupt gzip fails typed",
+            oracle_warc,
+        ),
+        Oracle(
+            "cdx",
+            "CDX lines parse or raise CDXFormatError; written lines round-trip",
+            oracle_cdx,
+        ),
+    )
+}
+
+#: batch oracles, run once per fuzz session over a corpus sample
+BATCH_ORACLES: dict[str, BatchOracle] = {
+    "parallel": BatchOracle(
+        "parallel",
+        "sequential and process-pool checking produce identical results",
+        parallel_equivalence,
+    ),
+}

@@ -54,10 +54,17 @@ class Node:
     # ------------------------------------------------------------ traversal
 
     def iter(self) -> Iterator["Node"]:
-        """Depth-first pre-order traversal including self."""
-        yield self
-        for child in list(self.children):
-            yield from child.iter()
+        """Depth-first pre-order traversal including self.
+
+        Iterative: the parser happily builds trees thousands of elements
+        deep (e.g. unclosed-tag repetition), which a recursive walk would
+        turn into a RecursionError.
+        """
+        stack: list[Node] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
 
     def iter_elements(self) -> Iterator["Element"]:
         for node in self.iter():

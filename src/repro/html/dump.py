@@ -22,13 +22,21 @@ _PREFIX = {SVG_NAMESPACE: "svg ", MATHML_NAMESPACE: "math "}
 
 def dump_tree(document: Document) -> str:
     """Serialize a document in the html5lib tree-construction test format."""
+    # Iterative (explicit stack of (node, depth)) — dumping must work on
+    # arbitrarily deep parsed trees, e.g. when debugging fuzz findings.
     lines: list[str] = []
-    for child in document.children:
-        _dump(child, 0, lines)
+    stack = [(child, 0) for child in reversed(document.children)]
+    while stack:
+        node, depth = stack.pop()
+        _dump_node(node, depth, lines)
+        if isinstance(node, Element):
+            stack.extend(
+                (child, depth + 1) for child in reversed(node.children)
+            )
     return "\n".join(lines)
 
 
-def _dump(node: Node, depth: int, lines: list[str]) -> None:
+def _dump_node(node: Node, depth: int, lines: list[str]) -> None:
     indent = "| " + "  " * depth
     if isinstance(node, DocumentType):
         name = node.name
@@ -50,5 +58,3 @@ def _dump(node: Node, depth: int, lines: list[str]) -> None:
         lines.append(f"{indent}<{prefix}{node.name}>")
         for name in sorted(node.attributes):
             lines.append(f'{indent}  {name}="{node.attributes[name]}"')
-        for child in node.children:
-            _dump(child, depth + 1, lines)

@@ -63,24 +63,37 @@ def _serialize_into(node: Node, parts: list[str]) -> None:
 
 
 def _serialize_node(node: Node, parts: list[str]) -> None:
-    if isinstance(node, DocumentType):
-        parts.append(f"<!DOCTYPE {node.name}>")
-    elif isinstance(node, CommentNode):
-        parts.append(f"<!--{node.data}-->")
-    elif isinstance(node, Text):
-        parent = node.parent
-        if isinstance(parent, Element) and parent.name in RAW_TEXT_ELEMENTS:
-            parts.append(node.data)
-        else:
-            parts.append(_escape_text(node.data))
-    elif isinstance(node, Element):
-        _serialize_element(node, parts)
-    elif isinstance(node, (Document, DocumentFragment)):
-        for child in node.children:
-            _serialize_node(child, parts)
+    # Iterative with an explicit work stack: parsed trees can nest
+    # thousands of elements deep, far past the recursion limit.  Each
+    # stack item is either a node to open or a literal string (a pending
+    # end tag) to emit.
+    stack: list[Node | str] = [node]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, str):
+            parts.append(item)
+            continue
+        if isinstance(item, DocumentType):
+            parts.append(f"<!DOCTYPE {item.name}>")
+        elif isinstance(item, CommentNode):
+            parts.append(f"<!--{item.data}-->")
+        elif isinstance(item, Text):
+            parent = item.parent
+            if isinstance(parent, Element) and parent.name in RAW_TEXT_ELEMENTS:
+                parts.append(item.data)
+            else:
+                parts.append(_escape_text(item.data))
+        elif isinstance(item, Element):
+            _open_element(item, parts)
+            if item.is_html() and item.name in VOID_ELEMENTS:
+                continue
+            stack.append(f"</{item.name}>")
+            stack.extend(reversed(item.children))
+        elif isinstance(item, (Document, DocumentFragment)):
+            stack.extend(reversed(item.children))
 
 
-def _serialize_element(element: Element, parts: list[str]) -> None:
+def _open_element(element: Element, parts: list[str]) -> None:
     parts.append(f"<{element.name}")
     for name, value in element.attributes.items():
         if value == "":
@@ -88,11 +101,6 @@ def _serialize_element(element: Element, parts: list[str]) -> None:
         else:
             parts.append(f' {name}="{_escape_attribute(value)}"')
     parts.append(">")
-    if element.is_html() and element.name in VOID_ELEMENTS:
-        return
-    for child in element.children:
-        _serialize_node(child, parts)
-    parts.append(f"</{element.name}>")
 
 
 def inner_html(node: Node) -> str:

@@ -9,8 +9,14 @@ label, timestamps come from the corpus plan rather than the wall clock,
 and environment variables are read only at the configuration boundary
 (``repro/study.py``), never deep inside a stage.
 
+The fuzz harness (``repro/fuzz/``) extends the same contract: "same seed,
+same buckets" only holds if every draw threads an explicit
+``random.Random(seed)`` — a bare ``random.Random()`` seeds itself from
+the OS and silently breaks replay, so it is flagged alongside the
+module-level RNG.
+
 This pass turns the idiom into an invariant over ``analysis/``,
-``pipeline/`` and ``commoncrawl/``:
+``pipeline/``, ``commoncrawl/`` and ``fuzz/``:
 
 * **wall clock** — ``time.time()``/``time_ns``/``localtime``/``gmtime``/
   ``ctime`` and ``datetime.now()``/``utcnow``/``today`` make output depend
@@ -20,6 +26,9 @@ This pass turns the idiom into an invariant over ``analysis/``,
   order) perturbs; ``random.Random(seed)`` instances are fine, as are
   ``numpy.random.default_rng(seed)`` generators (the legacy
   ``np.random.*`` global functions are flagged);
+* **unseeded instance RNG** — a no-argument ``random.Random()`` seeds
+  itself from OS entropy, so two runs with the same ``StudyConfig.seed``
+  (or the same ``repro-study fuzz --seed``) diverge;
 * **ambient configuration** — ``os.environ`` / ``os.getenv`` reads outside
   config modules let the environment silently change results; thread
   values through ``StudyConfig`` instead.
@@ -37,7 +46,7 @@ from ..findings import Severity
 PASS_ID = "determinism"
 
 #: directories (any path component) the reproducibility guard covers
-GUARDED_DIRS = frozenset({"analysis", "pipeline", "commoncrawl"})
+GUARDED_DIRS = frozenset({"analysis", "pipeline", "commoncrawl", "fuzz"})
 
 #: module stems allowed to read ambient state (configuration boundaries)
 EXEMPT_MODULES = frozenset({"config", "settings"})
@@ -52,8 +61,9 @@ class DeterminismPass(LintPass):
     id = PASS_ID
     name = "Reproducibility guard"
     description = (
-        "no wall-clock reads, unseeded global RNG draws, or os.environ "
-        "access in analysis/, pipeline/ and commoncrawl/"
+        "no wall-clock reads, unseeded RNGs (global draws or bare "
+        "random.Random()), or os.environ access in analysis/, pipeline/, "
+        "commoncrawl/ and fuzz/"
     )
 
     def select(self, file: SourceFile) -> bool:
@@ -90,6 +100,14 @@ class DeterminismPass(LintPass):
                     file, node,
                     f"random.{chain[1]}() draws from the shared global RNG",
                     fix_hint="use a random.Random(f\"{seed}:...\") instance",
+                )
+            elif chain[1] == "Random" and not node.args:
+                self.report(
+                    file, node,
+                    "random.Random() without a seed argument draws its "
+                    "state from OS entropy",
+                    fix_hint="pass an explicit seed: "
+                    "random.Random(f\"{seed}:...\")",
                 )
         elif len(chain) >= 3 and chain[-2] == "random":
             # numpy-style module RNG: np.random.<fn>(...)

@@ -4,13 +4,14 @@ A from-scratch replacement for ``warcio`` providing exactly what the
 measurement pipeline needs: writing per-record-gzipped WARC files,
 sequential reading, CDX-indexed random access, and SURT canonicalization.
 """
-from .cdx import CDXEntry, CDXIndex, CDXWriter, surt
+from .cdx import CDXEntry, CDXFormatError, CDXIndex, CDXWriter, surt
 from .reader import WARCFormatError, iter_records, iter_warc_file, read_record_at
 from .record import HTTPResponse, WARCRecord, parse_http_response
 from .writer import WARCWriter
 
 __all__ = [
     "CDXEntry",
+    "CDXFormatError",
     "CDXIndex",
     "CDXWriter",
     "HTTPResponse",

@@ -16,6 +16,16 @@ from typing import Iterator
 from urllib.parse import urlsplit
 
 
+class CDXFormatError(ValueError):
+    """Raised when a line does not parse as a CDXJ entry.
+
+    The one typed rejection the index layer is allowed: malformed lines
+    (wrong field count, non-object JSON, missing or non-numeric fields)
+    must surface as this error, never as a bare ``KeyError``/``TypeError``
+    from the JSON plumbing.
+    """
+
+
 def surt(url: str) -> str:
     """Sort-friendly URI Reordering Transform.
 
@@ -63,19 +73,28 @@ class CDXEntry:
 
     @classmethod
     def from_line(cls, line: str) -> "CDXEntry":
-        urlkey, timestamp, payload = line.split(" ", 2)
-        fields = json.loads(payload)
-        return cls(
-            urlkey=urlkey,
-            timestamp=timestamp,
-            url=fields["url"],
-            mime=fields.get("mime", ""),
-            status=int(fields.get("status", 0)),
-            digest=fields.get("digest", ""),
-            length=int(fields["length"]),
-            offset=int(fields["offset"]),
-            filename=fields["filename"],
-        )
+        """Parse one CDXJ line; raises :class:`CDXFormatError` on any
+        malformed input (wrong field count, bad JSON, missing fields)."""
+        try:
+            urlkey, timestamp, payload = line.split(" ", 2)
+            fields = json.loads(payload)
+            if not isinstance(fields, dict):
+                raise ValueError(f"payload is {type(fields).__name__}, not object")
+            return cls(
+                urlkey=urlkey,
+                timestamp=timestamp,
+                url=fields["url"],
+                mime=fields.get("mime", ""),
+                status=int(fields.get("status", 0)),
+                digest=fields.get("digest", ""),
+                length=int(fields["length"]),
+                offset=int(fields["offset"]),
+                filename=fields["filename"],
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            # json.JSONDecodeError is a ValueError subclass; KeyError covers
+            # missing required fields, TypeError non-string/number values
+            raise CDXFormatError(f"bad CDXJ line {line[:80]!r}: {exc}") from exc
 
 
 class CDXWriter:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import gzip
 import io
+import struct
 import zlib
 from pathlib import Path
 from typing import BinaryIO, Iterator
@@ -73,17 +74,26 @@ def iter_records(stream: BinaryIO) -> Iterator[WARCRecord]:
 
 
 def _iter_gzip_members(stream: BinaryIO) -> Iterator[WARCRecord]:
-    """Iterate records across concatenated gzip members."""
+    """Iterate records across concatenated gzip members.
+
+    All decompression failures — truncated members (EOFError), corrupt
+    headers (BadGzipFile), CRC/stream errors (zlib.error) — surface as
+    :class:`WARCFormatError`, so callers handling damaged archives catch
+    one typed error instead of the gzip module's internals.
+    """
     # gzip.GzipFile transparently reads across members; records may also
     # span member boundaries in pathological files, so parse the joined
     # stream rather than member-by-member.
-    with gzip.GzipFile(fileobj=stream, mode="rb") as plain:
-        buffered = io.BufferedReader(plain)  # type: ignore[arg-type]
-        while True:
-            record = _parse_record(buffered)
-            if record is None:
-                return
-            yield record
+    try:
+        with gzip.GzipFile(fileobj=stream, mode="rb") as plain:
+            buffered = io.BufferedReader(plain)  # type: ignore[arg-type]
+            while True:
+                record = _parse_record(buffered)
+                if record is None:
+                    return
+                yield record
+    except (EOFError, gzip.BadGzipFile, zlib.error, struct.error) as exc:
+        raise WARCFormatError(f"corrupt gzip member: {exc}") from exc
 
 
 def iter_warc_file(path: str | Path) -> Iterator[WARCRecord]:
@@ -102,7 +112,10 @@ def read_record_at(path: str | Path, offset: int, length: int) -> WARCRecord:
         stream.seek(offset)
         blob = _read_exact(stream, length)
     if blob[:2] == _GZIP_MAGIC:
-        blob = zlib.decompress(blob, wbits=zlib.MAX_WBITS | 16)
+        try:
+            blob = zlib.decompress(blob, wbits=zlib.MAX_WBITS | 16)
+        except zlib.error as exc:
+            raise WARCFormatError(f"corrupt gzip member: {exc}") from exc
     record = _parse_record(io.BytesIO(blob))
     if record is None:
         raise WARCFormatError("empty record slice")

@@ -1,0 +1,71 @@
+"""Tier-1 replay of the committed regression corpus.
+
+Every file under ``tests/fuzz_corpus/`` is a minimized input that once
+crashed an oracle or violated a checked property.  Replaying them through
+the current oracles on every test run keeps the fixed bugs fixed.
+"""
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.corpus import (
+    CorpusEntry,
+    CorpusFormatError,
+    entry_filename,
+    load_corpus,
+    load_entry,
+    replay_entry,
+    save_entry,
+)
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "fuzz_corpus"
+ENTRIES = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_populated():
+    assert len(ENTRIES) >= 5
+
+
+@pytest.mark.parametrize(
+    "entry", ENTRIES, ids=[entry.source.name for entry in ENTRIES]
+)
+def test_corpus_entry_replays_clean(entry):
+    replay_entry(entry)
+
+
+def test_entries_carry_triage_metadata():
+    for entry in ENTRIES:
+        assert entry.note, f"{entry.source} has no failure note"
+        assert entry.origin, f"{entry.source} has no origin"
+        assert all(entry.bucket), f"{entry.source} has an incomplete bucket"
+
+
+def test_save_load_round_trip(tmp_path):
+    entry = CorpusEntry(
+        oracle="tokenize",
+        data=b"<b>\x00\xff</b>",  # non-UTF-8 on purpose: base64 must carry it
+        bucket=("tokenize", "Boom", "mod:func"),
+        note="synthetic",
+        origin="unit test",
+    )
+    path = save_entry(tmp_path, entry)
+    assert path.name == entry_filename(entry)
+    loaded = load_entry(path)
+    assert loaded.data == entry.data
+    assert loaded.bucket == entry.bucket
+    assert loaded.note == "synthetic"
+
+
+def test_malformed_corpus_file_raises_typed_error(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"oracle": "tokenize"}', encoding="utf-8")
+    with pytest.raises(CorpusFormatError):
+        load_entry(bad)
+
+
+def test_unknown_oracle_in_entry_is_rejected():
+    entry = CorpusEntry(oracle="not-an-oracle", data=b"x")
+    with pytest.raises(CorpusFormatError):
+        replay_entry(entry)

@@ -1,0 +1,58 @@
+"""Generator and mutator determinism and contract tests."""
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.fuzz.generator import SOUP_ATOMS, generate, generate_soup
+from repro.fuzz.mutators import MAX_INPUT_BYTES, MUTATORS, mutate
+
+
+def test_generate_is_deterministic():
+    for i in range(20):
+        first = generate(random.Random(f"42:{i}"))
+        second = generate(random.Random(f"42:{i}"))
+        assert first == second
+
+
+def test_generate_returns_bounded_utf8_bytes():
+    for i in range(50):
+        data = generate(random.Random(i))
+        assert isinstance(data, bytes)
+        data.decode("utf-8")  # generator output is always valid UTF-8
+
+
+def test_soup_draws_from_adversarial_atoms():
+    text = generate_soup(random.Random(3))
+    assert text
+    assert any(atom in text for atom in SOUP_ATOMS)
+
+
+def test_mutate_is_deterministic():
+    base = generate(random.Random(0))
+    first = mutate(base, random.Random("m:1"))
+    second = mutate(base, random.Random("m:1"))
+    assert first == second
+
+
+def test_mutate_respects_size_cap():
+    base = b"<div>" * 30_000  # 150 KB, far past the cap
+    out = mutate(base, random.Random(1))
+    assert len(out) <= MAX_INPUT_BYTES
+
+
+@pytest.mark.parametrize("name", sorted(MUTATORS))
+def test_each_mutator_returns_bytes(name):
+    rng = random.Random(f"mut:{name}")
+    data = generate(random.Random(5))
+    out = MUTATORS[name](data, rng)
+    assert isinstance(out, bytes)
+
+
+def test_mutators_can_leave_input_untouched():
+    # max_mutations draws 0..N, so some seed applies no mutator at all
+    base = generate(random.Random(9))
+    assert any(
+        mutate(base, random.Random(f"id:{i}")) == base for i in range(40)
+    )

@@ -1,0 +1,58 @@
+"""End-to-end harness determinism and CLI wiring."""
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.fuzz import FuzzConfig, render_report, run_fuzz
+from repro.fuzz.harness import DEFAULT_ORACLES
+
+
+def test_run_fuzz_is_deterministic():
+    config = FuzzConfig(seed=11, iterations=40)
+    first = run_fuzz(config)
+    second = run_fuzz(config)
+    assert render_report(first) == render_report(second)
+    assert first.bucket_summary() == second.bucket_summary()
+
+
+def test_run_fuzz_counts_executions():
+    report = run_fuzz(FuzzConfig(seed=2, iterations=25, oracles=("tokenize",)))
+    assert report.oracle_executions == {"tokenize": 25}
+    assert report.executions == 25
+
+
+def test_run_fuzz_smoke_finds_nothing_on_current_tree():
+    report = run_fuzz(FuzzConfig(seed=1, iterations=60))
+    assert report.findings == []
+
+
+def test_unknown_oracle_is_rejected():
+    with pytest.raises(ValueError, match="unknown oracle"):
+        run_fuzz(FuzzConfig(oracles=("nope",)))
+
+
+def test_default_oracles_cover_every_registry_entry():
+    from repro.fuzz.oracles import BATCH_ORACLES, ORACLES
+
+    assert set(DEFAULT_ORACLES) == set(ORACLES) | set(BATCH_ORACLES)
+
+
+def test_cli_fuzz_exits_zero_on_clean_run(capsys):
+    exit_code = main(
+        ["fuzz", "--iterations", "30", "--seed", "1", "--oracle", "tokenize"]
+    )
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "findings: none" in out
+
+
+def test_cli_fuzz_replays_committed_corpus(capsys):
+    exit_code = main(["fuzz", "--replay", "tests/fuzz_corpus"])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "0 regression(s)" in out
+
+
+def test_cli_fuzz_replay_missing_directory(capsys, tmp_path):
+    assert main(["fuzz", "--replay", str(tmp_path / "nope")]) == 2

@@ -1,11 +1,15 @@
 """Property-based invariants of the tokenizer and tree builder."""
 from __future__ import annotations
 
+import random
+from html.entities import html5
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.html import parse, tokenize
+from repro.html import parse, serialize, tokenize
 from repro.html.dom import Element, Node
+from repro.html.preprocessor import preprocess
 from repro.html.tokens import EOF, EndTag, StartTag
 
 _MARKUPISH = st.text(
@@ -107,3 +111,65 @@ class TestTreeInvariants:
         report = Checker().check_html(text)
         for finding in report.findings:
             assert finding.violation
+
+
+class TestEntityRoundTrip:
+    """Every named character reference survives parse → serialize → parse.
+
+    Pure stdlib ``random`` (seeded) rather than hypothesis: the test is
+    exhaustive over the entity table, and the random part only varies the
+    surrounding context, so a fixed seed keeps it deterministic.
+    """
+
+    def test_every_named_entity_roundtrips_through_serializer(self):
+        rng = random.Random(1729)
+        letters = "abcdefgh"
+        for name in sorted(html5):
+            expansion = html5[name]
+            prefix = "".join(
+                rng.choice(letters) for _ in range(rng.randrange(0, 4))
+            )
+            # the space stops a semicolon-less (legacy) reference from
+            # absorbing the suffix into a longer candidate name
+            suffix = " " + "".join(
+                rng.choice(letters) for _ in range(rng.randrange(0, 4))
+            )
+            source = f"<p>{prefix}&{name}{suffix}</p>"
+            document = parse(source).document
+            text = document.text_content()
+            assert expansion in text, f"&{name} did not decode"
+            reparsed = parse(serialize(document)).document
+            assert reparsed.text_content() == text, (
+                f"&{name} did not round-trip through the serializer"
+            )
+
+    def test_named_entities_roundtrip_inside_attributes(self):
+        rng = random.Random(8128)
+        sample = rng.sample(sorted(n for n in html5 if n.endswith(";")), 200)
+        for name in sample:
+            source = f'<p title="x&{name}y">t</p>'
+            document = parse(source).document
+            paragraph = document.find("p")
+            value = paragraph.attributes["title"]
+            assert value == f"x{html5[name]}y"
+            reparsed = parse(serialize(document)).document
+            assert reparsed.find("p").attributes["title"] == value
+
+
+class TestPreprocessorIdempotence:
+    """CRLF/NUL normalization is a fix-point (stdlib random, seeded)."""
+
+    def test_preprocess_idempotent_on_crlf_nul_soup(self):
+        rng = random.Random(4242)
+        alphabet = "\r\n\x00aZ<&;"
+        for _ in range(400):
+            text = "".join(
+                rng.choice(alphabet)
+                for _ in range(rng.randrange(0, 64))
+            )
+            once = preprocess(text).text
+            assert "\r" not in once
+            assert preprocess(once).text == once
+
+    def test_preprocess_normalizes_all_cr_forms(self):
+        assert preprocess("a\r\nb\rc\nd").text == "a\nb\nc\nd"

@@ -191,6 +191,44 @@ class TestDeterminism:
         result = run_lint(root, [DeterminismPass()])
         assert result.findings == ()
 
+    def test_fuzz_dir_is_guarded(self, make_tree):
+        root = make_tree({
+            "fuzz/evil.py": '''
+                import random
+
+                def pick():
+                    return random.choice("ab")
+            ''',
+        })
+        result = run_lint(root, [DeterminismPass()])
+        assert len(result.findings) == 1
+        assert "shared global RNG" in result.findings[0].message
+
+    def test_unseeded_random_instance_flagged(self, make_tree):
+        root = make_tree({
+            "fuzz/evil.py": '''
+                import random
+
+                def make_rng():
+                    return random.Random()
+            ''',
+        })
+        result = run_lint(root, [DeterminismPass()])
+        assert len(result.findings) == 1
+        assert "OS entropy" in result.findings[0].message
+
+    def test_seeded_random_instance_allowed_in_fuzz(self, make_tree):
+        root = make_tree({
+            "fuzz/fine.py": '''
+                import random
+
+                def make_rng(seed, iteration):
+                    return random.Random(f"{seed}:{iteration}")
+            ''',
+        })
+        result = run_lint(root, [DeterminismPass()])
+        assert result.findings == ()
+
 
 class TestStateMachine:
     def test_unreachable_handler_flagged(self, make_tree):

@@ -1,0 +1,104 @@
+"""Corruption fuzzing of the WARC reader: typed errors, never raw ones.
+
+The fuzz harness's ``warc`` oracle probes the reader with deliberately
+corrupted archives.  These tests pin the contract those probes rely on:
+any corruption of a well-formed gzip WARC either still yields records or
+raises :class:`WARCFormatError` — never a bare ``gzip``/``zlib``/``struct``
+exception, and never a hang.
+"""
+from __future__ import annotations
+
+import io
+import random
+
+import pytest
+
+from repro.warc import (
+    WARCFormatError,
+    WARCRecord,
+    WARCWriter,
+    iter_records,
+    read_record_at,
+)
+
+
+def build_archive(records: int = 3) -> bytes:
+    stream = io.BytesIO()
+    writer = WARCWriter(stream)
+    for index in range(records):
+        writer.write_record(
+            WARCRecord.response(
+                f"http://example.com/p{index}",
+                b"<html>" + bytes([65 + index]) * 40 + b"</html>",
+                "2015-03-20T10:00:00Z",
+            )
+        )
+    return stream.getvalue()
+
+
+def drain(data: bytes) -> int:
+    return sum(1 for _ in iter_records(io.BytesIO(data)))
+
+
+class TestTypedCorruptionErrors:
+    def test_truncated_member_raises_warc_format_error(self):
+        data = build_archive()
+        with pytest.raises(WARCFormatError):
+            drain(data[: len(data) // 2])
+
+    def test_truncated_final_trailer_raises_warc_format_error(self):
+        data = build_archive()
+        with pytest.raises(WARCFormatError):
+            drain(data[:-4])  # cuts into the last member's CRC/ISIZE trailer
+
+    def test_bit_flipped_crc_raises_warc_format_error(self):
+        data = bytearray(build_archive(1))
+        data[-5] ^= 0xFF  # inside the CRC32 trailer of the only member
+        with pytest.raises(WARCFormatError):
+            drain(bytes(data))
+
+    def test_garbage_after_gzip_magic_raises_warc_format_error(self):
+        with pytest.raises(WARCFormatError):
+            drain(b"\x1f\x8b" + b"\x00" * 32)
+
+    def test_random_access_corruption_raises_warc_format_error(self, tmp_path):
+        stream = io.BytesIO()
+        writer = WARCWriter(stream)
+        offset, length = writer.write_record(
+            WARCRecord.response(
+                "http://example.com/", b"<html>x</html>", "2015-03-20T10:00:00Z"
+            )
+        )
+        data = bytearray(stream.getvalue())
+        data[offset + length // 2] ^= 0x55
+        path = tmp_path / "corrupt.warc.gz"
+        path.write_bytes(bytes(data))
+        with pytest.raises(WARCFormatError):
+            read_record_at(path, offset, length)
+
+
+class TestSeededBitFlipSweep:
+    def test_bit_flips_yield_records_or_typed_error(self):
+        # Seeded sweep: every single-byte corruption must resolve to
+        # either a (possibly shorter) record stream or WARCFormatError.
+        base = build_archive()
+        rng = random.Random(20260805)
+        for _ in range(200):
+            data = bytearray(base)
+            position = rng.randrange(len(data))
+            data[position] ^= 1 << rng.randrange(8)
+            try:
+                count = drain(bytes(data))
+            except WARCFormatError:
+                continue
+            assert 0 <= count <= 3
+
+    def test_truncation_sweep_never_leaks_raw_gzip_errors(self):
+        base = build_archive()
+        rng = random.Random(97)
+        for _ in range(60):
+            cut = rng.randrange(1, len(base))
+            try:
+                drain(base[:cut])
+            except WARCFormatError:
+                continue
