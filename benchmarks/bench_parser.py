@@ -25,12 +25,59 @@ def dirty_page() -> str:
     return draft.render()
 
 
-def test_tokenizer_clean(benchmark, clean_page):
-    def run():
-        tokenizer = Tokenizer(clean_page)
-        return sum(1 for _token in tokenizer)
+@pytest.fixture(scope="module")
+def plaintext_page() -> str:
+    """A page ending in a large PLAINTEXT block (pure text-run scanning)."""
+    body = "".join(
+        f"line {i}: plain text with <angle brackets> &amp; ampersands\n"
+        for i in range(120)
+    )
+    return (
+        "<!DOCTYPE html><html><head><title>pt</title></head>"
+        f"<body><p>intro</p><plaintext>{body}"
+    )
 
-    count = benchmark(run)
+
+@pytest.fixture(scope="module")
+def script_escape_page() -> str:
+    """A page dominated by script-data escaped/double-escaped content."""
+    chunk = (
+        "<script><!--\n"
+        "  var a = 1 < 2, b = {};\n"
+        "  document.write('<script>inner()<\\/script>');\n"
+        "  // dashes -- inside -- comment-like text\n"
+        "--></script>\n"
+    )
+    return (
+        "<!DOCTYPE html><html><head><title>esc</title></head><body>"
+        + chunk * 40
+        + "</body></html>"
+    )
+
+
+def _count_tokens(text: str) -> int:
+    return sum(1 for _token in Tokenizer(text))
+
+
+def test_tokenizer_clean(benchmark, clean_page):
+    count = benchmark(_count_tokens, clean_page)
+    assert count > 10
+
+
+def test_tokenizer_dirty(benchmark, dirty_page):
+    """Violation-laden markup exercises the error-reporting slow paths."""
+    count = benchmark(_count_tokens, dirty_page)
+    assert count > 10
+
+
+def test_tokenizer_plaintext(benchmark, plaintext_page):
+    count = benchmark(_count_tokens, plaintext_page)
+    assert count > 10
+
+
+def test_tokenizer_script_escape(benchmark, script_escape_page):
+    """Script-data (double-)escaped states are the trickiest chunked states."""
+    count = benchmark(_count_tokens, script_escape_page)
     assert count > 10
 
 

@@ -23,4 +23,16 @@ echo "==> fuzz corpus replay"
 python -c 'import sys; from repro.cli import main; sys.exit(main(sys.argv[1:]))' \
     fuzz --replay tests/fuzz_corpus
 
+echo "==> tokenizer fast-path equivalence"
+python -m pytest -x -q tests/html/test_tokenizer_equivalence.py
+
+echo "==> bench smoke (one quick iteration + JSON snapshot)"
+BENCH_SMOKE_OUT="${TMPDIR:-/tmp}/BENCH_ci_smoke.json"
+python -c 'import sys; from repro.cli import main; sys.exit(main(sys.argv[1:]))' \
+    bench --quick --output "$BENCH_SMOKE_OUT"
+python -c "import json, sys; s = json.load(open(sys.argv[1])); \
+assert s['schema'] == 'repro-bench/1' and s['cases'], 'bad bench snapshot'" \
+    "$BENCH_SMOKE_OUT"
+rm -f "$BENCH_SMOKE_OUT"
+
 echo "==> ci OK"

@@ -1,0 +1,268 @@
+"""Benchmark regression tracking: machine-readable perf snapshots.
+
+The paper's crawl rate ("nearly a thousand pages per minute from one IP",
+section 3.3) makes per-page parse cost the study's throughput floor, so
+the repo records its perf trajectory as data, not folklore: ``repro-study
+bench`` runs the parser-substrate benchmarks and writes a ``BENCH_*.json``
+snapshot (tokens/sec, chars/sec, pages/sec per case, plus per-rule check
+costs).  Committed snapshots under ``reports/`` give every perf PR a
+before/after table (see EXPERIMENTS.md); the CI bench-smoke stage runs one
+quick iteration so a syntactically-broken benchmark fails the build, not
+the next perf investigation.
+
+Timing uses best-of-``repeat`` over ``number`` inner iterations (the
+``timeit`` discipline: the *minimum* is the least-noise estimate of the
+true cost; means smear scheduler jitter into the signal).  Snapshots
+deliberately contain no wall-clock timestamp — two runs of the same code
+should produce comparable files; label provenance with ``--label``.
+
+The fixture pages mirror ``benchmarks/bench_parser.py``: a clean template
+page, a violation-injected dirty page (the states the paper's violations
+exercise), a PLAINTEXT-heavy page and a script-data-escape-heavy page
+(the content models the chunked fast path targets), and a large many-
+section document.  Only :mod:`repro` absolute imports here, so the module
+also runs against an older checkout for before/after numbers (copy the
+file outside ``src/`` first — running it by path would put ``src/repro``
+on ``sys.path`` and shadow the stdlib ``html`` package)::
+
+    cp src/repro/bench.py /tmp/bench_snapshot.py
+    PYTHONPATH=old/src python /tmp/bench_snapshot.py --output before.json
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.commoncrawl.templates import INJECTORS, build_page
+from repro.core import Checker
+from repro.html import parse
+from repro.html.tokenizer import Tokenizer
+
+SCHEMA = "repro-bench/1"
+
+#: injected violations for the dirty fixture (matches bench_parser.py)
+DIRTY_INJECTORS = ("FB2", "DM3", "HF4", "HF_CASCADE", "DE3_2")
+
+
+# ------------------------------------------------------------------ fixtures
+
+
+def clean_page() -> str:
+    return build_page(
+        "bench.example", "/", random.Random(7), use_svg=True
+    ).render()
+
+
+def dirty_page() -> str:
+    draft = build_page("bench.example", "/", random.Random(7))
+    for name in DIRTY_INJECTORS:
+        INJECTORS[name].apply(draft, random.Random(8))
+    return draft.render()
+
+
+def plaintext_page() -> str:
+    """A page ending in a large PLAINTEXT block (pure text-run scanning)."""
+    body = "".join(
+        f"line {i}: plain text with <angle brackets> &amp; ampersands\n"
+        for i in range(120)
+    )
+    return (
+        "<!DOCTYPE html><html><head><title>pt</title></head>"
+        f"<body><p>intro</p><plaintext>{body}"
+    )
+
+
+def script_escape_page() -> str:
+    """A page dominated by script-data escaped/double-escaped content."""
+    chunk = (
+        "<script><!--\n"
+        "  var a = 1 < 2, b = {};\n"
+        "  document.write('<script>inner()<\\/script>');\n"
+        "  // dashes -- inside -- comment-like text\n"
+        "--></script>\n"
+    )
+    return (
+        "<!DOCTYPE html><html><head><title>esc</title></head><body>"
+        + chunk * 40
+        + "</body></html>"
+    )
+
+
+def large_page() -> str:
+    sections = "".join(
+        f"<section><h2>S{i}</h2><p>paragraph {i} with <a href='/l{i}'>links"
+        f"</a> &amp; entities</p></section>"
+        for i in range(300)
+    )
+    return (
+        "<!DOCTYPE html><html><head><title>big</title></head>"
+        f"<body>{sections}</body></html>"
+    )
+
+
+#: case name -> (kind, fixture); tokenizer cases measure pure scanning,
+#: parse cases the full tree-construction pipeline
+CASES: dict[str, tuple[str, Callable[[], str]]] = {
+    "tokenizer_clean": ("tokenize", clean_page),
+    "tokenizer_dirty": ("tokenize", dirty_page),
+    "tokenizer_plaintext": ("tokenize", plaintext_page),
+    "tokenizer_script_escape": ("tokenize", script_escape_page),
+    "parse_clean": ("parse", clean_page),
+    "parse_dirty": ("parse", dirty_page),
+    "parse_large": ("parse", large_page),
+}
+
+
+# -------------------------------------------------------------------- timing
+
+
+def best_seconds(func: Callable[[], object], *, repeat: int, number: int) -> float:
+    """Minimum per-call seconds over ``repeat`` rounds of ``number`` calls."""
+    best = float("inf")
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        for _ in range(max(1, number)):
+            func()
+        elapsed = (time.perf_counter() - start) / max(1, number)
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def _token_count(text: str) -> int:
+    return sum(1 for _token in Tokenizer(text))
+
+
+@dataclass(slots=True)
+class BenchConfig:
+    repeat: int = 5
+    number: int = 20
+    rules: bool = True
+    label: str = ""
+
+
+def run_benchmarks(config: BenchConfig) -> dict:
+    """Run every case (and per-rule costs) and return the snapshot dict."""
+    snapshot: dict = {
+        "schema": SCHEMA,
+        "label": config.label,
+        "config": {"repeat": config.repeat, "number": config.number},
+        "cases": {},
+        "rules": {},
+    }
+    for name, (kind, fixture) in CASES.items():
+        text = fixture()
+        if kind == "tokenize":
+            tokens = _token_count(text)
+            seconds = best_seconds(
+                lambda t=text: _token_count(t),
+                repeat=config.repeat, number=config.number,
+            )
+        else:
+            tokens = _token_count(text)
+            seconds = best_seconds(
+                lambda t=text: parse(t),
+                repeat=config.repeat, number=config.number,
+            )
+        snapshot["cases"][name] = {
+            "kind": kind,
+            "chars": len(text),
+            "tokens": tokens,
+            "best_seconds": seconds,
+            "chars_per_second": len(text) / seconds if seconds else 0.0,
+            "tokens_per_second": tokens / seconds if seconds else 0.0,
+            "pages_per_second": 1.0 / seconds if seconds else 0.0,
+        }
+    if config.rules:
+        result = parse(dirty_page())
+        for rule in Checker().rules:
+            seconds = best_seconds(
+                lambda r=rule: r.check(result),
+                repeat=config.repeat, number=config.number,
+            )
+            snapshot["rules"][rule.id] = {"best_seconds": seconds}
+    return snapshot
+
+
+def render_snapshot(snapshot: dict) -> str:
+    """Human-readable table of one snapshot."""
+    lines = ["repro-study bench"]
+    if snapshot.get("label"):
+        lines[0] += f" [{snapshot['label']}]"
+    lines.append("=" * len(lines[0]))
+    lines.append(
+        f"{'case':<24} {'ms/op':>9} {'Mchars/s':>9} "
+        f"{'ktokens/s':>10} {'pages/s':>9}"
+    )
+    for name, case in snapshot["cases"].items():
+        lines.append(
+            f"{name:<24} {case['best_seconds'] * 1e3:>9.3f} "
+            f"{case['chars_per_second'] / 1e6:>9.2f} "
+            f"{case['tokens_per_second'] / 1e3:>10.1f} "
+            f"{case['pages_per_second']:>9.1f}"
+        )
+    if snapshot["rules"]:
+        total = sum(r["best_seconds"] for r in snapshot["rules"].values())
+        slowest = sorted(
+            snapshot["rules"].items(),
+            key=lambda item: item[1]["best_seconds"],
+            reverse=True,
+        )[:5]
+        lines.append(
+            f"rule checks on parse_dirty: {len(snapshot['rules'])} rules, "
+            f"{total * 1e3:.3f} ms total; slowest: "
+            + ", ".join(
+                f"{rule_id} {r['best_seconds'] * 1e6:.0f}us"
+                for rule_id, r in slowest
+            )
+        )
+    return "\n".join(lines)
+
+
+def write_snapshot(snapshot: dict, path: Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(snapshot, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="parser-substrate benchmarks with JSON snapshot output"
+    )
+    parser.add_argument("--output", metavar="FILE", default=None,
+                        help="write the BENCH_*.json snapshot here")
+    parser.add_argument("--repeat", type=int, default=5,
+                        help="timing rounds; the minimum wins (default 5)")
+    parser.add_argument("--number", type=int, default=20,
+                        help="inner iterations per round (default 20)")
+    parser.add_argument("--quick", action="store_true",
+                        help="single iteration of everything (CI smoke)")
+    parser.add_argument("--no-rules", action="store_true",
+                        help="skip the per-rule cost measurements")
+    parser.add_argument("--label", default="",
+                        help="provenance label stored in the snapshot")
+    args = parser.parse_args(argv)
+    config = BenchConfig(
+        repeat=1 if args.quick else args.repeat,
+        number=1 if args.quick else args.number,
+        rules=not args.no_rules,
+        label=args.label,
+    )
+    snapshot = run_benchmarks(config)
+    print(render_snapshot(snapshot))
+    if args.output:
+        write_snapshot(snapshot, Path(args.output))
+        print(f"snapshot written to {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

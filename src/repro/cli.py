@@ -216,6 +216,24 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 1 if report.findings else 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the parser-substrate benchmarks, optionally writing a snapshot."""
+    from .bench import BenchConfig, render_snapshot, run_benchmarks, write_snapshot
+
+    config = BenchConfig(
+        repeat=1 if args.quick else args.repeat,
+        number=1 if args.quick else args.number,
+        rules=not args.no_rules,
+        label=args.label,
+    )
+    snapshot = run_benchmarks(config)
+    print(render_snapshot(snapshot))
+    if args.output:
+        write_snapshot(snapshot, Path(args.output))
+        print(f"snapshot written to {args.output}", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-study",
@@ -288,6 +306,35 @@ def main(argv: list[str] | None = None) -> int:
         help="replay a saved corpus directory instead of fuzzing",
     )
     fuzz_parser.set_defaults(func=cmd_fuzz)
+
+    bench_parser = sub.add_parser(
+        "bench", help="run parser benchmarks and write a BENCH_*.json snapshot"
+    )
+    bench_parser.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="write the machine-readable snapshot here",
+    )
+    bench_parser.add_argument(
+        "--repeat", type=int, default=5,
+        help="timing rounds; the minimum wins (default 5)",
+    )
+    bench_parser.add_argument(
+        "--number", type=int, default=20,
+        help="inner iterations per round (default 20)",
+    )
+    bench_parser.add_argument(
+        "--quick", action="store_true",
+        help="single iteration of everything (CI smoke)",
+    )
+    bench_parser.add_argument(
+        "--no-rules", action="store_true",
+        help="skip the per-rule cost measurements",
+    )
+    bench_parser.add_argument(
+        "--label", default="",
+        help="provenance label stored in the snapshot",
+    )
+    bench_parser.set_defaults(func=cmd_bench)
 
     args = parser.parse_args(argv)
     try:

@@ -32,6 +32,7 @@ from ..html.dom import Element, Text
 from ..html.dump import dump_tree
 from ..html.serializer import RAW_TEXT_ELEMENTS
 from ..html.treebuilder import SPECIAL_ELEMENTS
+from ..html.reference_tokenizer import reference_tokenize
 from ..html.tokenizer import Tokenizer
 from ..html.tokens import EOF
 from ..warc import WARCFormatError, WARCRecord, WARCWriter, iter_records, surt
@@ -106,6 +107,49 @@ def oracle_tokenize(data: bytes) -> None:
         last = token
     if not isinstance(last, EOF):
         raise OracleFailure("missing-eof", repr(text[:80]))
+
+
+def oracle_fastpath(data: bytes) -> None:
+    """The chunked fast-path scanner and the per-character reference
+    scanner produce the identical token stream and the identical
+    spec-named parse-error sequence.
+
+    The parse errors are the study's violation signal (FB1/FB2/DM3 and
+    parts of DE3 are detected from them), so this oracle is what licenses
+    the tokenizer's bulk-scanning optimisations: any divergence — an
+    extra token, a reordered error, a shifted offset — is a measurement
+    bug, not just a perf bug.
+    """
+    text = _decode(data)
+    fast = Tokenizer(text)
+    fast_tokens = list(fast)
+    ref_tokens, ref_errors = reference_tokenize(text)
+    if fast_tokens != ref_tokens:
+        for index, (left, right) in enumerate(zip(fast_tokens, ref_tokens)):
+            if left != right:
+                raise OracleFailure(
+                    "fastpath-token-divergence",
+                    f"token {index}: fast {left!r} != reference {right!r} "
+                    f"in {text[:80]!r}",
+                )
+        raise OracleFailure(
+            "fastpath-token-divergence",
+            f"{len(fast_tokens)} fast vs {len(ref_tokens)} reference tokens "
+            f"in {text[:80]!r}",
+        )
+    if fast.errors != ref_errors:
+        for index, (left, right) in enumerate(zip(fast.errors, ref_errors)):
+            if left != right:
+                raise OracleFailure(
+                    "fastpath-error-divergence",
+                    f"error {index}: fast {left!r} != reference {right!r} "
+                    f"in {text[:80]!r}",
+                )
+        raise OracleFailure(
+            "fastpath-error-divergence",
+            f"{len(fast.errors)} fast vs {len(ref_errors)} reference errors "
+            f"in {text[:80]!r}",
+        )
 
 
 # ------------------------------------------------------------- round-trip
@@ -403,6 +447,12 @@ ORACLES: dict[str, Oracle] = {
             "tokenize",
             "tokenizer never raises, never loops (step budget), single EOF",
             oracle_tokenize,
+        ),
+        Oracle(
+            "fastpath",
+            "chunked fast-path and per-char reference scanner emit identical "
+            "tokens and parse errors",
+            oracle_fastpath,
         ),
         Oracle(
             "roundtrip",

@@ -9,6 +9,7 @@ table without a semicolon), with the attribute-value special case applied.
 """
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from html.entities import html5 as _HTML5_ENTITIES
 
@@ -53,6 +54,13 @@ _ASCII_ALNUM = frozenset(
 _HEX_DIGITS = frozenset("0123456789abcdefABCDEF")
 _DIGITS = frozenset("0123456789")
 
+# Run patterns matching the frozensets above: the maximal digit/name run is
+# consumed with one C-level scan instead of a per-character loop (the same
+# chunked-scanning discipline as the tokenizer's CHUNK_BREAK_SETS states).
+_RE_ALNUM_RUN = re.compile(r"[0-9A-Za-z]+")
+_RE_HEX_RUN = re.compile(r"[0-9A-Fa-f]+")
+_RE_DIGIT_RUN = re.compile(r"[0-9]+")
+
 
 def consume_character_reference(
     text: str, position: int, *, in_attribute: bool
@@ -81,14 +89,15 @@ def _consume_numeric(text: str, position: int) -> CharRefResult:
     hexadecimal = index < len(text) and text[index] in ("x", "X")
     if hexadecimal:
         index += 1
-        digit_set = _HEX_DIGITS
+        run = _RE_HEX_RUN
         base = 16
     else:
-        digit_set = _DIGITS
+        run = _RE_DIGIT_RUN
         base = 10
     start_digits = index
-    while index < len(text) and text[index] in digit_set:
-        index += 1
+    digits_match = run.match(text, index)
+    if digits_match is not None:
+        index = digits_match.end()
     if index == start_digits:
         errors.append(
             ParseError(
@@ -143,10 +152,9 @@ def _is_noncharacter_code(code: int) -> bool:
 
 def _consume_named(text: str, position: int, *, in_attribute: bool) -> CharRefResult:
     # Gather the maximal alphanumeric run (plus one optional ';').
-    end = position
     limit = min(len(text), position + _MAX_ENTITY_LENGTH)
-    while end < limit and text[end] in _ASCII_ALNUM:
-        end += 1
+    run_match = _RE_ALNUM_RUN.match(text, position, limit)
+    end = run_match.end() if run_match is not None else position
     has_semicolon = end < len(text) and text[end] == ";"
     candidate_with_semi = text[position:end] + ";" if has_semicolon else None
 

@@ -1,0 +1,381 @@
+"""The retained per-character reference scanner.
+
+:class:`~repro.html.tokenizer.Tokenizer` bulk-scans its text-ish states to
+the next significant delimiter (see ``CHUNK_BREAK_SETS`` there) — the classic
+html5lib-style optimisation.  This module retains the *spec-literal*
+one-character-at-a-time scanning loops for every state the fast path chunks,
+so that a second, independent scanning implementation exists to diff against:
+the ``fastpath`` fuzz oracle and the tier-1 equivalence test assert that both
+produce the **identical token stream and identical spec-named parse-error
+sequence** over fuzzed inputs, the regression corpus and every synthetic
+template page.  The parse errors *are* the paper's violation signal (FB1,
+FB2, DM3, parts of DE3), so scanning equivalence is what keeps the perf work
+from silently changing the study's measurements.
+
+Only the scanning loops are duplicated.  Delimiter handling, token plumbing
+(`_emit`/`_flush_chars`/offsets), character references, and every
+single-character state (tag-open, comment dashes, DOCTYPE keywords, ...) are
+shared with the base class by design: the fast path falls back to those very
+handlers at delimiters, so they are exercised identically by both scanners
+and are covered by the conformance suites instead.
+
+This class is for differential testing; it is deliberately slow.  Use
+:class:`~repro.html.tokenizer.Tokenizer` everywhere else.
+"""
+from __future__ import annotations
+
+from .errors import ErrorCode
+from .tokenizer import (
+    _REPLACEMENT,
+    _TO_ASCII_LOWER,
+    _WHITESPACE,
+    CHUNK_BREAK_SETS,
+    Tokenizer,
+)
+
+
+class ReferenceTokenizer(Tokenizer):
+    """Per-character twin of :class:`Tokenizer`.
+
+    Every method here overrides a chunked fast-path state with the direct
+    transcription of the spec's consume-one-character loop.  The set of
+    overridden states is asserted (in the tier-1 equivalence test) to equal
+    ``CHUNK_BREAK_SETS`` exactly, so a newly chunked state cannot ship
+    without its per-character twin.
+    """
+
+    # --------------------------------------------------------- data states
+
+    def _data_state(self) -> None:
+        char = self._next()
+        if char is None:
+            self._emit_eof()
+        elif char == "&":
+            self._consume_char_ref(self._data_state)
+        elif char == "<":
+            self._tag_start_offset = self.pos - 1
+            self._state = self._tag_open_state
+        elif char == "\x00":
+            self._error(ErrorCode.UNEXPECTED_NULL_CHARACTER)
+            self._emit_char(char)
+        else:
+            self._emit_char(char)
+
+    def _rcdata_state(self) -> None:
+        char = self._next()
+        if char is None:
+            self._emit_eof()
+        elif char == "&":
+            self._consume_char_ref(self._rcdata_state)
+        elif char == "<":
+            self._state = self._rcdata_less_than_state
+        elif char == "\x00":
+            self._error(ErrorCode.UNEXPECTED_NULL_CHARACTER)
+            self._emit_char(_REPLACEMENT)
+        else:
+            self._emit_char(char)
+
+    def _rawtext_state(self) -> None:
+        char = self._next()
+        if char is None:
+            self._emit_eof()
+        elif char == "<":
+            self._state = self._rawtext_less_than_state
+        elif char == "\x00":
+            self._error(ErrorCode.UNEXPECTED_NULL_CHARACTER)
+            self._emit_char(_REPLACEMENT)
+        else:
+            self._emit_char(char)
+
+    def _script_data_state(self) -> None:
+        char = self._next()
+        if char is None:
+            self._emit_eof()
+        elif char == "<":
+            self._state = self._script_data_less_than_state
+        elif char == "\x00":
+            self._error(ErrorCode.UNEXPECTED_NULL_CHARACTER)
+            self._emit_char(_REPLACEMENT)
+        else:
+            self._emit_char(char)
+
+    def _plaintext_state(self) -> None:
+        char = self._next()
+        if char is None:
+            self._emit_eof()
+        elif char == "\x00":
+            self._error(ErrorCode.UNEXPECTED_NULL_CHARACTER)
+            self._emit_char(_REPLACEMENT)
+        else:
+            self._emit_char(char)
+
+    # ---------------------------------------------------------- tag states
+
+    def _tag_name_state(self) -> None:
+        tag = self._current_tag
+        assert tag is not None
+        while True:
+            char = self._next()
+            if char is None:
+                self._error(ErrorCode.EOF_IN_TAG)
+                self._emit_eof()
+                return
+            if char in _WHITESPACE:
+                self._state = self._before_attribute_name_state
+                return
+            if char == "/":
+                self._state = self._self_closing_start_tag_state
+                return
+            if char == ">":
+                self._emit_current_tag()
+                return
+            if char == "\x00":
+                self._error(ErrorCode.UNEXPECTED_NULL_CHARACTER)
+                tag.name += _REPLACEMENT
+            else:
+                tag.name += char.translate(_TO_ASCII_LOWER)
+
+    def _attribute_name_state(self) -> None:
+        attr = self._current_attr
+        assert attr is not None
+        while True:
+            char = self._next()
+            if char is None or char in "/>" or char in _WHITESPACE:
+                self._reconsume()
+                self._state = self._after_attribute_name_state
+                return
+            if char == "=":
+                self._state = self._before_attribute_value_state
+                return
+            if char == "\x00":
+                self._error(ErrorCode.UNEXPECTED_NULL_CHARACTER)
+                attr.name += _REPLACEMENT
+            elif char in "\"'<":
+                self._error(
+                    ErrorCode.UNEXPECTED_CHARACTER_IN_ATTRIBUTE_NAME, detail=char
+                )
+                attr.name += char
+            else:
+                attr.name += char.translate(_TO_ASCII_LOWER)
+
+    def _attribute_value_double_state(self) -> None:
+        self._reference_quoted_value('"', self._attribute_value_double_state)
+
+    def _attribute_value_single_state(self) -> None:
+        self._reference_quoted_value("'", self._attribute_value_single_state)
+
+    def _reference_quoted_value(self, quote: str, state) -> None:
+        """Per-character quoted attribute value (spec 13.2.5.36/37)."""
+        attr = self._current_attr
+        assert attr is not None
+        while True:
+            char = self._next()
+            if char is None:
+                self._error(ErrorCode.EOF_IN_TAG)
+                self._emit_eof()
+                return
+            if char == quote:
+                self._state = self._after_attribute_value_quoted_state
+                return
+            if char == "&":
+                self._consume_char_ref(state)
+                return
+            if char == "\x00":
+                self._error(ErrorCode.UNEXPECTED_NULL_CHARACTER)
+                attr.value += _REPLACEMENT
+            else:
+                attr.value += char
+
+    def _attribute_value_unquoted_state(self) -> None:
+        attr = self._current_attr
+        assert attr is not None
+        while True:
+            char = self._next()
+            if char is None:
+                self._error(ErrorCode.EOF_IN_TAG)
+                self._emit_eof()
+                return
+            if char in _WHITESPACE:
+                self._state = self._before_attribute_name_state
+                return
+            if char == "&":
+                self._consume_char_ref(self._attribute_value_unquoted_state)
+                return
+            if char == ">":
+                self._emit_current_tag()
+                return
+            if char == "\x00":
+                self._error(ErrorCode.UNEXPECTED_NULL_CHARACTER)
+                attr.value += _REPLACEMENT
+            elif char in "\"'<=`":
+                self._error(
+                    ErrorCode.UNEXPECTED_CHARACTER_IN_UNQUOTED_ATTRIBUTE_VALUE,
+                    detail=char,
+                )
+                attr.value += char
+            else:
+                attr.value += char
+
+    # ------------------------------------------------------------ script data
+
+    def _script_data_escaped_state(self) -> None:
+        char = self._next()
+        if char is None:
+            self._error(ErrorCode.EOF_IN_SCRIPT_HTML_COMMENT_LIKE_TEXT)
+            self._emit_eof()
+        elif char == "-":
+            self._emit_char("-")
+            self._state = self._script_data_escaped_dash_state
+        elif char == "<":
+            self._state = self._script_data_escaped_less_than_state
+        elif char == "\x00":
+            self._error(ErrorCode.UNEXPECTED_NULL_CHARACTER)
+            self._emit_char(_REPLACEMENT)
+        else:
+            self._emit_char(char)
+
+    def _script_data_double_escaped_state(self) -> None:
+        char = self._next()
+        if char is None:
+            self._error(ErrorCode.EOF_IN_SCRIPT_HTML_COMMENT_LIKE_TEXT)
+            self._emit_eof()
+        elif char == "-":
+            self._emit_char("-")
+            self._state = self._script_data_double_escaped_dash_state
+        elif char == "<":
+            self._emit_char("<")
+            self._state = self._script_data_double_escaped_less_than_state
+        elif char == "\x00":
+            self._error(ErrorCode.UNEXPECTED_NULL_CHARACTER)
+            self._emit_char(_REPLACEMENT)
+        else:
+            self._emit_char(char)
+
+    # --------------------------------------------------------------- comments
+
+    def _comment_state(self) -> None:
+        comment = self._current_comment
+        assert comment is not None
+        while True:
+            char = self._next()
+            if char is None:
+                self._error(ErrorCode.EOF_IN_COMMENT)
+                self._emit_comment()
+                self._emit_eof()
+                return
+            if char == "<":
+                comment.data += char
+                self._state = self._comment_less_than_state
+                return
+            if char == "-":
+                self._state = self._comment_end_dash_state
+                return
+            if char == "\x00":
+                self._error(ErrorCode.UNEXPECTED_NULL_CHARACTER)
+                comment.data += _REPLACEMENT
+            else:
+                comment.data += char
+
+    def _bogus_comment_state(self) -> None:
+        comment = self._current_comment
+        assert comment is not None
+        while True:
+            char = self._next()
+            if char is None:
+                self._emit(comment)
+                self._current_comment = None
+                self._emit_eof()
+                return
+            if char == ">":
+                self._emit(comment)
+                self._current_comment = None
+                self._state = self._data_state
+                return
+            if char == "\x00":
+                self._error(ErrorCode.UNEXPECTED_NULL_CHARACTER)
+                comment.data += _REPLACEMENT
+            else:
+                comment.data += char
+
+    # ---------------------------------------------------------------- doctype
+
+    def _doctype_name_state(self) -> None:
+        doctype = self._current_doctype
+        assert doctype is not None
+        while True:
+            char = self._next()
+            if char is None:
+                self._error(ErrorCode.EOF_IN_DOCTYPE)
+                doctype.force_quirks = True
+                self._emit(doctype)
+                self._current_doctype = None
+                self._emit_eof()
+                return
+            if char in _WHITESPACE:
+                self._state = self._after_doctype_name_state
+                return
+            if char == ">":
+                self._emit(doctype)
+                self._current_doctype = None
+                self._state = self._data_state
+                return
+            if char == "\x00":
+                self._error(ErrorCode.UNEXPECTED_NULL_CHARACTER)
+                doctype.name += _REPLACEMENT
+            else:
+                doctype.name += char.translate(_TO_ASCII_LOWER)
+
+    def _bogus_doctype_state(self) -> None:
+        while True:
+            char = self._next()
+            if char is None:
+                self._emit_doctype(at_eof=True)
+                return
+            if char == ">":
+                self._emit_doctype()
+                return
+            if char == "\x00":
+                self._error(ErrorCode.UNEXPECTED_NULL_CHARACTER)
+
+    # ------------------------------------------------------------------ CDATA
+
+    def _cdata_section_state(self) -> None:
+        while True:
+            char = self._next()
+            if char is None:
+                self._error(ErrorCode.EOF_IN_CDATA)
+                self._emit_eof()
+                return
+            if char == "]":
+                if self._peek(2) == "]>":
+                    self.pos += 2
+                    self._state = self._data_state
+                    return
+                self._emit_char("]")
+            else:
+                self._emit_char(char)
+
+
+#: the fast-path states this class re-implements per character; compared
+#: against ``CHUNK_BREAK_SETS`` by the tier-1 equivalence test so the two
+#: stay in lock-step.
+REFERENCE_OVERRIDES: frozenset[str] = frozenset(
+    name
+    for name in vars(ReferenceTokenizer)
+    if name.endswith("_state") and not name.startswith("__")
+)
+
+
+def reference_tokenize(text: str) -> tuple[list, list]:
+    """Tokenize ``text`` with the per-character reference scanner."""
+    tokenizer = ReferenceTokenizer(text)
+    tokens = list(tokenizer)
+    return tokens, tokenizer.errors
+
+
+__all__ = [
+    "ReferenceTokenizer",
+    "REFERENCE_OVERRIDES",
+    "reference_tokenize",
+    "CHUNK_BREAK_SETS",
+]

@@ -15,6 +15,7 @@ the matching text state, exactly as the spec's tree-construction stage does.
 """
 from __future__ import annotations
 
+import re
 from collections import deque
 from typing import Iterator
 
@@ -28,12 +29,123 @@ _ASCII_ALPHA = frozenset(
 )
 _REPLACEMENT = "�"
 
+#: ASCII-only lowercasing for tag/attribute/doctype names (the spec's
+#: "ASCII lowercase": add 0x20 to A-Z, leave everything else — including
+#: cased non-ASCII letters — untouched).  A translation table rather than
+#: ``str.lower`` so that lowering a bulk-scanned slice is guaranteed
+#: character-wise identical to lowering one character at a time
+#: (``str.lower`` applies context-sensitive Unicode mappings such as the
+#: Greek final sigma, which would make the two paths diverge).
+_TO_ASCII_LOWER = str.maketrans(
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZ", "abcdefghijklmnopqrstuvwxyz"
+)
+
 # Tokenizer content-model states the tree builder may switch into.
 DATA = "data"
 RCDATA = "rcdata"
 RAWTEXT = "rawtext"
 SCRIPT_DATA = "script_data"
 PLAINTEXT = "plaintext"
+
+# --------------------------------------------------------- chunked scanning
+#
+# The hot text-ish states do not dispatch per character: each bulk-scans to
+# its next significant delimiter with a precompiled regex and hands only the
+# delimiter itself to the per-character spec transitions.  Every chunked
+# state declares its delimiter ("break") set here — the single source of
+# truth its run pattern is compiled from.  The staticcheck ``state-machine``
+# pass verifies (a) every declared break character has an explicit
+# per-character handler branch in the named state (or a helper it calls), so
+# widening a break set without handling the new delimiter is a lint error,
+# and (b) every ``_scanner(...)`` pattern below is derived from a declared
+# entry.  The per-character twins live in ``reference_tokenizer.py``; the
+# ``fastpath`` fuzz oracle diffs the two token/error streams.
+
+#: delimiter sets of the chunked fast-path states, keyed by handler name
+CHUNK_BREAK_SETS: dict[str, str] = {
+    "_data_state": "&<\x00",
+    "_rcdata_state": "&<\x00",
+    "_rawtext_state": "<\x00",
+    "_script_data_state": "<\x00",
+    "_plaintext_state": "\x00",
+    "_tag_name_state": "\t\n\f />\x00",
+    "_attribute_name_state": "\t\n\f />=\x00\"'<",
+    "_attribute_value_double_state": "\"&\x00",
+    "_attribute_value_single_state": "'&\x00",
+    "_attribute_value_unquoted_state": "\t\n\f >&\x00\"'<=`",
+    "_comment_state": "-<\x00",
+    "_bogus_comment_state": ">\x00",
+    "_script_data_escaped_state": "-<\x00",
+    "_script_data_double_escaped_state": "-<\x00",
+    "_doctype_name_state": "\t\n\f >\x00",
+    "_bogus_doctype_state": ">\x00",
+    "_cdata_section_state": "]",
+}
+
+
+def _scanner(state: str) -> re.Pattern[str]:
+    """Compile ``state``'s longest-run pattern from its declared break set."""
+    return re.compile("[^" + re.escape(CHUNK_BREAK_SETS[state]) + "]+")
+
+
+_RUN_DATA = _scanner("_data_state")
+_RUN_RCDATA = _scanner("_rcdata_state")
+_RUN_RAWTEXT = _scanner("_rawtext_state")
+_RUN_SCRIPT_DATA = _scanner("_script_data_state")
+_RUN_PLAINTEXT = _scanner("_plaintext_state")
+_RUN_TAG_NAME = _scanner("_tag_name_state")
+_RUN_ATTR_NAME = _scanner("_attribute_name_state")
+_RUN_ATTR_VALUE_DOUBLE = _scanner("_attribute_value_double_state")
+_RUN_ATTR_VALUE_SINGLE = _scanner("_attribute_value_single_state")
+_RUN_ATTR_VALUE_UNQUOTED = _scanner("_attribute_value_unquoted_state")
+_RUN_COMMENT = _scanner("_comment_state")
+_RUN_BOGUS_COMMENT = _scanner("_bogus_comment_state")
+_RUN_SCRIPT_ESCAPED = _scanner("_script_data_escaped_state")
+_RUN_SCRIPT_DOUBLE_ESCAPED = _scanner("_script_data_double_escaped_state")
+_RUN_DOCTYPE_NAME = _scanner("_doctype_name_state")
+_RUN_BOGUS_DOCTYPE = _scanner("_bogus_doctype_state")
+_RUN_CDATA = _scanner("_cdata_section_state")
+
+# Fused whole-tag patterns for the data state's happy path: a start/end tag
+# that cannot produce a parse error, parse-error flag (``preceded_by_solidus``
+# / ``missing_preceding_space``) or character reference is recognised with a
+# single regex instead of 10+ state dispatches.  Anything else — NULs, quotes
+# in names, ``=`` before a name, missing whitespace, ``&`` in values, stray
+# solidi, EOF — fails the match and falls back to the per-state machine, so
+# the error paths (the study's violation signal) stay in exactly one place.
+# The character classes are the complements of the CHUNK_BREAK_SETS entries
+# for the corresponding states.
+_RE_FAST_START_TAG = re.compile(
+    r"([a-zA-Z][^\t\n\f />\x00]*)"            # tag name
+    # Attributes are separated by whitespace, or — the FB2 shape — by
+    # nothing at all directly after a quoted value (the lookbehind):
+    # missing-whitespace-between-attributes is the one parse error common
+    # enough in the wild that the fast path reproduces it instead of
+    # bailing out to the state machine.
+    r"((?:(?:[\t\n\f ]+|(?<=[\"']))[^\t\n\f />=\x00\"'<]+"
+    r"(?:[\t\n\f ]*=[\t\n\f ]*"               # ... with optional =value
+    r"(?:\"[^\"&\x00]*\"|'[^'&\x00]*'|[^\t\n\f >&\x00\"'<=`]+))?)*)"
+    r"[\t\n\f ]*(/?)>"
+)
+_RE_FAST_ATTR = re.compile(
+    r"([\t\n\f ]*)([^\t\n\f />=\x00\"'<]+)"
+    r"(?:[\t\n\f ]*=[\t\n\f ]*"
+    r"(\"[^\"&\x00]*\"|'[^'&\x00]*'|[^\t\n\f >&\x00\"'<=`]+))?"
+)
+_RE_FAST_END_TAG = re.compile(r"/([a-zA-Z][^\t\n\f />\x00]*)[\t\n\f ]*>")
+#: shortcut for the most common shape — a lowercase, attribute-less start
+#: tag (``<p>``, ``<div>``): skips the attribute machinery entirely.
+_RE_FAST_SIMPLE_TAG = re.compile(r"([a-z][a-z0-9]*)>")
+
+#: Start-tag names after which the tree builder may call ``switch_to`` to
+#: change the content model (RCDATA/RAWTEXT/script data/PLAINTEXT).  The
+#: data-state batch loop returns to the pull loop after emitting one of
+#: these so the builder's switch happens before the next character is
+#: scanned; every other tag is safe to tokenize straight through.
+_MODE_SWITCH_TAGS = frozenset({
+    "title", "textarea", "style", "xmp", "iframe", "noembed",
+    "noframes", "noscript", "script", "plaintext",
+})
 
 
 class Tokenizer:
@@ -73,9 +185,11 @@ class Tokenizer:
     # ------------------------------------------------------------------ API
 
     def __iter__(self) -> Iterator[Token]:
+        queue = self._queue
+        popleft = queue.popleft
         while True:
-            while self._queue:
-                yield self._queue.popleft()
+            while queue:
+                yield popleft()
             if self._done:
                 return
             self._state()
@@ -125,7 +239,8 @@ class Tokenizer:
             self._char_buffer = []
 
     def _emit(self, token: Token) -> None:
-        self._flush_chars()
+        if self._char_buffer:
+            self._flush_chars()
         self._queue.append(token)
 
     def _emit_eof(self) -> None:
@@ -210,74 +325,210 @@ class Tokenizer:
 
     # --------------------------------------------------------- data states
 
-    def _scan_run(self, specials: str) -> str | None:
-        """Emit the maximal run of plain text, then return the special char.
+    def _scan_run(self, run: re.Pattern[str]) -> str | None:
+        """Emit the maximal run of plain text, then return the break char.
 
-        Fast path for the text-ish states: scans ahead for the next character
-        in ``specials`` (or EOF), emits everything before it as character
-        data, consumes and returns the special character (None at EOF).
+        Fast path for the text-ish states: bulk-scans with the state's
+        precompiled run pattern, emits everything before the next break
+        character as one source slice, consumes and returns the break
+        character (None at EOF).
         """
         text = self.text
         pos = self.pos
         if pos >= len(text):
-            self.pos += 1
+            self.pos = pos + 1
             return None
-        best = len(text)
-        for special in specials:
-            found = text.find(special, pos, best)
-            if found != -1:
-                best = found
-        if best > pos:
+        match = run.match(text, pos)
+        if match is not None:
+            end = match.end()
             if not self._char_buffer:
                 self._char_start = pos
-            self._char_buffer.append(text[pos:best])
-            self.pos = best
-        if best == len(text):
-            self.pos += 1
-            return None
-        self.pos = best + 1
-        return text[best]
+            self._char_buffer.append(text[pos:end])
+            if end == len(text):
+                self.pos = end + 1
+                return None
+            pos = end
+        self.pos = pos + 1
+        return text[pos]
 
     def _data_state(self) -> None:
-        char = self._scan_run("&<\x00")
-        if char is None:
-            self._emit_eof()
-        elif char == "&":
-            self._consume_char_ref(self._data_state)
-        elif char == "<":
-            self._tag_start_offset = self.pos - 1
-            self._state = self._tag_open_state
+        """Data state, batched: text runs and error-free tags are consumed
+        in a loop until EOF, a slow-path construct (``_fast_tag`` bailout),
+        or a tag that may switch the content model hands control back."""
+        text = self.text
+        length = len(text)
+        buffer = self._char_buffer
+        while True:
+            pos = self.pos
+            if pos >= length:
+                self.pos = pos + 1
+                self._emit_eof()
+                return
+            match = _RUN_DATA.match(text, pos)
+            if match is not None:
+                end = match.end()
+                if not buffer:
+                    self._char_start = pos
+                buffer.append(text[pos:end])
+                if end == length:
+                    self.pos = end + 1
+                    self._emit_eof()
+                    return
+                pos = end
+            self.pos = pos + 1
+            char = text[pos]
+            if char == "<":
+                tag = self._fast_tag()
+                if tag is None:
+                    self._tag_start_offset = pos
+                    self._state = self._tag_open_state
+                    return
+                buffer = self._char_buffer  # _fast_tag flushed the old one
+                if tag.__class__ is StartTag and tag.name in _MODE_SWITCH_TAGS:
+                    return
+            elif char == "&":
+                self._consume_char_ref(self._data_state)
+            elif char == "\x00":
+                self._error(ErrorCode.UNEXPECTED_NULL_CHARACTER)
+                self._emit_char(char)
+
+    def _fast_tag(self) -> StartTag | EndTag | None:
+        """Recognise one error-free tag at ``pos`` with a single regex.
+
+        Returns the emitted tag when the whole tag (name, attributes,
+        ``>``) was consumed; None bails out to ``_tag_open_state`` with no
+        input consumed.  Must be behaviourally invisible: every input it
+        accepts produces exactly the token the state machine would, and
+        any input that could produce a parse error fails the match.
+        """
+        text = self.text
+        pos = self.pos  # just past "<"
+        if not text.startswith("/", pos):
+            match = _RE_FAST_SIMPLE_TAG.match(text, pos)
+            if match is not None:
+                name = match[1]
+                tag = StartTag(pos - 1, name)
+                tag.end = self.pos = match.end()
+                self._last_start_tag = name
+                buffer = self._char_buffer
+                if buffer:
+                    self._queue.append(
+                        Character(
+                            self._char_start,
+                            buffer[0] if len(buffer) == 1 else "".join(buffer),
+                        )
+                    )
+                    self._char_buffer = []
+                self._queue.append(tag)
+                return tag
+            match = _RE_FAST_START_TAG.match(text, pos)
+            if match is None:
+                return None
+            name = match[1]
+            if not name.islower():
+                name = name.translate(_TO_ASCII_LOWER)
+            tag = StartTag(pos - 1, name)
+            if match.end(2) > match.start(2):
+                attrs = tag.attributes
+                seen: set[str] = set()
+                # The state machine reports a duplicate attribute when the
+                # NEXT attribute starts (or the tag ends), after any
+                # missing-whitespace error for that next attribute — so the
+                # duplicate report is deferred one attribute to keep the
+                # error sequence identical.
+                pending_dup: tuple[str, int] | None = None
+                for attr_match in _RE_FAST_ATTR.finditer(
+                    text, match.start(2), match.end(2)
+                ):
+                    name_start = attr_match.start(2)
+                    glued = attr_match.start(1) == name_start
+                    if glued:
+                        self._error(
+                            ErrorCode.MISSING_WHITESPACE_BETWEEN_ATTRIBUTES,
+                            offset=name_start + 1,
+                        )
+                    if pending_dup is not None:
+                        self._error(
+                            ErrorCode.DUPLICATE_ATTRIBUTE,
+                            detail=pending_dup[0],
+                            offset=pending_dup[1],
+                        )
+                        pending_dup = None
+                    value = attr_match[3]
+                    if value is None:
+                        value = ""
+                    elif value[0] in "\"'":
+                        value = value[1:-1]
+                    attr_name = attr_match[2]
+                    if not attr_name.islower():
+                        attr_name = attr_name.translate(_TO_ASCII_LOWER)
+                    attr = Attribute(attr_name, value, name_start)
+                    if glued:
+                        attr.missing_preceding_space = True
+                    if attr_name in seen:
+                        attr.duplicate = True
+                        pending_dup = (attr_name, name_start)
+                    else:
+                        seen.add(attr_name)
+                    attrs.append(attr)
+                if pending_dup is not None:
+                    self._error(
+                        ErrorCode.DUPLICATE_ATTRIBUTE,
+                        detail=pending_dup[0],
+                        offset=pending_dup[1],
+                    )
+            if match[3]:
+                tag.self_closing = True
+            tag.end = self.pos = match.end()
+            self._last_start_tag = name
         else:
-            self._error(ErrorCode.UNEXPECTED_NULL_CHARACTER)
-            self._emit_char(char)
+            match = _RE_FAST_END_TAG.match(text, pos)
+            if match is None:
+                return None
+            name = match[1]
+            if not name.islower():
+                name = name.translate(_TO_ASCII_LOWER)
+            tag = EndTag(pos - 1, name)
+            tag.end = self.pos = match.end()
+        buffer = self._char_buffer
+        if buffer:
+            self._queue.append(
+                Character(
+                    self._char_start,
+                    buffer[0] if len(buffer) == 1 else "".join(buffer),
+                )
+            )
+            self._char_buffer = []
+        self._queue.append(tag)
+        return tag
 
     def _rcdata_state(self) -> None:
-        char = self._scan_run("&<\x00")
+        char = self._scan_run(_RUN_RCDATA)
         if char is None:
             self._emit_eof()
         elif char == "&":
             self._consume_char_ref(self._rcdata_state)
         elif char == "<":
             self._state = self._rcdata_less_than_state
-        else:
+        elif char == "\x00":
             self._error(ErrorCode.UNEXPECTED_NULL_CHARACTER)
             self._emit_char(_REPLACEMENT)
 
     def _rawtext_state(self) -> None:
-        char = self._scan_run("<\x00")
+        char = self._scan_run(_RUN_RAWTEXT)
         if char is None:
             self._emit_eof()
         elif char == "<":
             self._state = self._rawtext_less_than_state
-        else:
+        elif char == "\x00":
             self._error(ErrorCode.UNEXPECTED_NULL_CHARACTER)
             self._emit_char(_REPLACEMENT)
 
     def _plaintext_state(self) -> None:
-        char = self._scan_run("\x00")
+        char = self._scan_run(_RUN_PLAINTEXT)
         if char is None:
             self._emit_eof()
-        else:
+        elif char == "\x00":
             self._error(ErrorCode.UNEXPECTED_NULL_CHARACTER)
             self._emit_char(_REPLACEMENT)
 
@@ -331,7 +582,12 @@ class Tokenizer:
     def _tag_name_state(self) -> None:
         tag = self._current_tag
         assert tag is not None
+        text = self.text
         while True:
+            match = _RUN_TAG_NAME.match(text, self.pos)
+            if match is not None:
+                tag.name += match.group().translate(_TO_ASCII_LOWER)
+                self.pos = match.end()
             char = self._next()
             if char is None:
                 self._error(ErrorCode.EOF_IN_TAG)
@@ -349,8 +605,6 @@ class Tokenizer:
             if char == "\x00":
                 self._error(ErrorCode.UNEXPECTED_NULL_CHARACTER)
                 tag.name += _REPLACEMENT
-            else:
-                tag.name += char.lower()
 
     def _before_attribute_name_state(self) -> None:
         char = self._next()
@@ -371,7 +625,12 @@ class Tokenizer:
     def _attribute_name_state(self) -> None:
         attr = self._current_attr
         assert attr is not None
+        text = self.text
         while True:
+            match = _RUN_ATTR_NAME.match(text, self.pos)
+            if match is not None:
+                attr.name += match.group().translate(_TO_ASCII_LOWER)
+                self.pos = match.end()
             char = self._next()
             if char is None or char in "/>" or char in _WHITESPACE:
                 self._reconsume()
@@ -388,8 +647,6 @@ class Tokenizer:
                     ErrorCode.UNEXPECTED_CHARACTER_IN_ATTRIBUTE_NAME, detail=char
                 )
                 attr.name += char
-            else:
-                attr.name += char.lower()
 
     def _after_attribute_name_state(self) -> None:
         char = self._next()
@@ -428,48 +685,49 @@ class Tokenizer:
             self._state = self._attribute_value_unquoted_state
 
     def _attribute_value_double_state(self) -> None:
-        self._quoted_value_state('"', self._attribute_value_double_state)
+        self._quoted_value_state(
+            '"', _RUN_ATTR_VALUE_DOUBLE, self._attribute_value_double_state
+        )
 
     def _attribute_value_single_state(self) -> None:
-        self._quoted_value_state("'", self._attribute_value_single_state)
+        self._quoted_value_state(
+            "'", _RUN_ATTR_VALUE_SINGLE, self._attribute_value_single_state
+        )
 
-    def _quoted_value_state(self, quote: str, state) -> None:
+    def _quoted_value_state(self, quote: str, run: re.Pattern[str], state) -> None:
         """Shared quoted-value scanner; consumes runs, not characters."""
         attr = self._current_attr
         assert attr is not None
         text = self.text
-        length = len(text)
         while True:
-            pos = self.pos
-            if pos >= length:
-                self.pos += 1
+            match = run.match(text, self.pos)
+            if match is not None:
+                attr.value += match.group()
+                self.pos = match.end()
+            char = self._next()
+            if char is None:
                 self._error(ErrorCode.EOF_IN_TAG)
                 self._emit_eof()
                 return
-            best = length
-            for special in (quote, "&", "\x00"):
-                found = text.find(special, pos, best)
-                if found != -1:
-                    best = found
-            if best > pos:
-                attr.value += text[pos:best]
-                self.pos = best
-                continue
-            char = text[best]
-            self.pos = best + 1
             if char == quote:
                 self._state = self._after_attribute_value_quoted_state
                 return
             if char == "&":
                 self._consume_char_ref(state)
                 return
-            self._error(ErrorCode.UNEXPECTED_NULL_CHARACTER)
-            attr.value += _REPLACEMENT
+            if char == "\x00":
+                self._error(ErrorCode.UNEXPECTED_NULL_CHARACTER)
+                attr.value += _REPLACEMENT
 
     def _attribute_value_unquoted_state(self) -> None:
         attr = self._current_attr
         assert attr is not None
+        text = self.text
         while True:
+            match = _RUN_ATTR_VALUE_UNQUOTED.match(text, self.pos)
+            if match is not None:
+                attr.value += match.group()
+                self.pos = match.end()
             char = self._next()
             if char is None:
                 self._error(ErrorCode.EOF_IN_TAG)
@@ -492,8 +750,6 @@ class Tokenizer:
                     ErrorCode.UNEXPECTED_CHARACTER_IN_UNQUOTED_ATTRIBUTE_VALUE,
                     detail=char,
                 )
-                attr.value += char
-            else:
                 attr.value += char
 
     def _after_attribute_value_quoted_state(self) -> None:
@@ -598,12 +854,12 @@ class Tokenizer:
     # ------------------------------------------------------------ script data
 
     def _script_data_state(self) -> None:
-        char = self._scan_run("<\x00")
+        char = self._scan_run(_RUN_SCRIPT_DATA)
         if char is None:
             self._emit_eof()
         elif char == "<":
             self._state = self._script_data_less_than_state
-        else:
+        elif char == "\x00":
             self._error(ErrorCode.UNEXPECTED_NULL_CHARACTER)
             self._emit_char(_REPLACEMENT)
 
@@ -659,7 +915,7 @@ class Tokenizer:
             self._state = self._script_data_state
 
     def _script_data_escaped_state(self) -> None:
-        char = self._next()
+        char = self._scan_run(_RUN_SCRIPT_ESCAPED)
         if char is None:
             self._error(ErrorCode.EOF_IN_SCRIPT_HTML_COMMENT_LIKE_TEXT)
             self._emit_eof()
@@ -671,8 +927,6 @@ class Tokenizer:
         elif char == "\x00":
             self._error(ErrorCode.UNEXPECTED_NULL_CHARACTER)
             self._emit_char(_REPLACEMENT)
-        else:
-            self._emit_char(char)
 
     def _script_data_escaped_dash_state(self) -> None:
         char = self._next()
@@ -759,7 +1013,7 @@ class Tokenizer:
             self._state = self._script_data_escaped_state
 
     def _script_data_double_escaped_state(self) -> None:
-        char = self._next()
+        char = self._scan_run(_RUN_SCRIPT_DOUBLE_ESCAPED)
         if char is None:
             self._error(ErrorCode.EOF_IN_SCRIPT_HTML_COMMENT_LIKE_TEXT)
             self._emit_eof()
@@ -772,8 +1026,6 @@ class Tokenizer:
         elif char == "\x00":
             self._error(ErrorCode.UNEXPECTED_NULL_CHARACTER)
             self._emit_char(_REPLACEMENT)
-        else:
-            self._emit_char(char)
 
     def _script_data_double_escaped_dash_state(self) -> None:
         char = self._next()
@@ -872,7 +1124,12 @@ class Tokenizer:
     def _bogus_comment_state(self) -> None:
         comment = self._current_comment
         assert comment is not None
+        text = self.text
         while True:
+            match = _RUN_BOGUS_COMMENT.match(text, self.pos)
+            if match is not None:
+                comment.data += match.group()
+                self.pos = match.end()
             char = self._next()
             if char is None:
                 self._emit(comment)
@@ -887,8 +1144,6 @@ class Tokenizer:
             if char == "\x00":
                 self._error(ErrorCode.UNEXPECTED_NULL_CHARACTER)
                 comment.data += _REPLACEMENT
-            else:
-                comment.data += char
 
     def _comment_start_state(self) -> None:
         char = self._next()
@@ -926,26 +1181,17 @@ class Tokenizer:
         comment = self._current_comment
         assert comment is not None
         text = self.text
-        length = len(text)
         while True:
-            pos = self.pos
-            if pos >= length:
-                self.pos += 1
+            match = _RUN_COMMENT.match(text, self.pos)
+            if match is not None:
+                comment.data += match.group()
+                self.pos = match.end()
+            char = self._next()
+            if char is None:
                 self._error(ErrorCode.EOF_IN_COMMENT)
                 self._emit_comment()
                 self._emit_eof()
                 return
-            best = length
-            for special in ("<", "-", "\x00"):
-                found = text.find(special, pos, best)
-                if found != -1:
-                    best = found
-            if best > pos:
-                comment.data += text[pos:best]
-                self.pos = best
-                continue
-            char = text[best]
-            self.pos = best + 1
             if char == "<":
                 comment.data += char
                 self._state = self._comment_less_than_state
@@ -953,8 +1199,9 @@ class Tokenizer:
             if char == "-":
                 self._state = self._comment_end_dash_state
                 return
-            self._error(ErrorCode.UNEXPECTED_NULL_CHARACTER)
-            comment.data += _REPLACEMENT
+            if char == "\x00":
+                self._error(ErrorCode.UNEXPECTED_NULL_CHARACTER)
+                comment.data += _REPLACEMENT
 
     def _comment_less_than_state(self) -> None:
         char = self._next()
@@ -1103,7 +1350,12 @@ class Tokenizer:
     def _doctype_name_state(self) -> None:
         doctype = self._current_doctype
         assert doctype is not None
+        text = self.text
         while True:
+            match = _RUN_DOCTYPE_NAME.match(text, self.pos)
+            if match is not None:
+                doctype.name += match.group().translate(_TO_ASCII_LOWER)
+                self.pos = match.end()
             char = self._next()
             if char is None:
                 self._error(ErrorCode.EOF_IN_DOCTYPE)
@@ -1123,8 +1375,6 @@ class Tokenizer:
             if char == "\x00":
                 self._error(ErrorCode.UNEXPECTED_NULL_CHARACTER)
                 doctype.name += _REPLACEMENT
-            else:
-                doctype.name += char.lower()
 
     def _emit_doctype(self, *, quirks: bool = False, at_eof: bool = False) -> None:
         doctype = self._current_doctype
@@ -1366,7 +1616,12 @@ class Tokenizer:
             self._state = self._bogus_doctype_state
 
     def _bogus_doctype_state(self) -> None:
+        text = self.text
         while True:
+            match = _RUN_BOGUS_DOCTYPE.match(text, self.pos)
+            if match is not None:
+                # bogus DOCTYPE content is discarded wholesale (spec 13.2.5.68)
+                self.pos = match.end()
             char = self._next()
             if char is None:
                 self._emit_doctype(at_eof=True)
@@ -1381,7 +1636,7 @@ class Tokenizer:
 
     def _cdata_section_state(self) -> None:
         while True:
-            char = self._next()
+            char = self._scan_run(_RUN_CDATA)
             if char is None:
                 self._error(ErrorCode.EOF_IN_CDATA)
                 self._emit_eof()
@@ -1392,8 +1647,6 @@ class Tokenizer:
                     self._state = self._data_state
                     return
                 self._emit_char("]")
-            else:
-                self._emit_char(char)
 
 
 def tokenize(text: str) -> tuple[list[Token], list[ParseError]]:

@@ -11,9 +11,11 @@ count: page checking is a pure function and writes happen in domain order.
 """
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Callable
 
 from ..commoncrawl import CommonCrawlClient
 from ..core import Checker
@@ -111,10 +113,22 @@ class ParallelRunStats:
     pages_checked: int = 0
     pages_filtered_non_utf8: int = 0
     fetch_failures: int = 0
+    seconds: float = 0.0
+
+    @property
+    def pages_per_second(self) -> float:
+        return self.pages_checked / self.seconds if self.seconds else 0.0
 
 
 class ParallelStudyRunner:
-    """Run the study with a process pool; same results as StudyRunner."""
+    """Run the study with a process pool; same results as StudyRunner.
+
+    Mirrors :class:`~repro.pipeline.runner.StudyRunner`'s interface:
+    ``snapshot_ids`` restricts the run to the named collections and
+    ``progress`` is an optional callback ``(snapshot_name, domains_done,
+    domains_total)`` invoked as worker results stream back (so it reports
+    completion order, which the deterministic store order does not follow).
+    """
 
     def __init__(
         self,
@@ -123,15 +137,26 @@ class ParallelStudyRunner:
         *,
         max_pages: int = 100,
         workers: int = 2,
+        progress: Callable[[str, int, int], None] | None = None,
     ) -> None:
         self.archive_root = str(archive_root)
         self.storage = storage
         self.max_pages = max_pages
         self.workers = workers
+        self.progress = progress
 
-    def run(self, domains: list[tuple[str, float]]) -> ParallelRunStats:
+    def run(
+        self,
+        domains: list[tuple[str, float]],
+        *,
+        snapshot_ids: list[str] | None = None,
+    ) -> ParallelRunStats:
         stats = ParallelRunStats()
+        started = time.monotonic()
         catalog_client = CommonCrawlClient(self.archive_root)
+        collections = catalog_client.collections()
+        if snapshot_ids is not None:
+            collections = [c for c in collections if c.id in snapshot_ids]
         domain_ids = {
             name: self.storage.add_domain(name, rank) for name, rank in domains
         }
@@ -141,7 +166,7 @@ class ParallelStudyRunner:
             initializer=_init_worker,
             initargs=(self.archive_root,),
         ) as pool:
-            for collection in catalog_client.collections():
+            for collection in collections:
                 snapshot_row_id = self.storage.add_snapshot(
                     collection.id, collection.year
                 )
@@ -152,11 +177,14 @@ class ParallelStudyRunner:
                     [self.max_pages] * len(names),
                     chunksize=8,
                 )
-                for result in results:
+                for index, result in enumerate(results):
                     self._store(result, snapshot_row_id,
                                 domain_ids[result.domain], stats)
+                    if self.progress is not None:
+                        self.progress(collection.id, index + 1, len(names))
                 self.storage.commit()
                 stats.snapshots += 1
+        stats.seconds = time.monotonic() - started
         return stats
 
     def _store(

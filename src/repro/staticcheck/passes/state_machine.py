@@ -23,16 +23,42 @@ matching a handler pattern) this pass checks:
   its keys must cover every public ALL-CAPS module-level string constant
   (the declared content models: DATA, RCDATA, RAWTEXT, ...).
 
-Limitations (documented, suppressible): handlers inherited from a base
-class in another module would be reported as dangling; the parser defines
-its machines in single classes, so this does not arise today.
+The tokenizer's chunked fast path adds a fourth family of invariants,
+driven by its ``CHUNK_BREAK_SETS`` declaration (handler name -> the
+delimiter set its bulk-scan run pattern stops at).  When a module declares
+that dict, the pass verifies:
+
+* **declared handlers exist** — every ``CHUNK_BREAK_SETS`` key names a
+  defined state handler in the module;
+* **run patterns come from declarations** — every ``_scanner("...")``
+  call names a declared key, and every key is compiled by exactly such a
+  call (a break set nobody scans with is dead, a scanner without a
+  declaration is unchecked);
+* **handlers use their own pattern** — the handler's body references the
+  module-level run pattern compiled from its declaration, so a chunked
+  state cannot silently scan with another state's delimiters;
+* **every break character is handled** — each character of the declared
+  break set appears in a string literal inside the handler, a helper
+  method it calls on ``self``, or a module string constant those bodies
+  reference (``_WHITESPACE``).  Widening a break set without adding the
+  per-character branch for the new delimiter is a lint error: the run
+  pattern would stop at a character the state then silently drops.
+
+Limitations (documented, suppressible): classes with explicit base
+classes are skipped by the unreachable/dangling checks — their handlers
+may be referenced by (or inherited from) a base defined in another
+module, which a single-file AST pass cannot resolve.  The
+``ReferenceTokenizer`` per-character twin is the one such class today;
+its lock-step with the fast path is enforced instead by the tier-1
+equivalence test (``REFERENCE_OVERRIDES == set(CHUNK_BREAK_SETS)``) and
+the ``fastpath`` fuzz oracle.
 """
 from __future__ import annotations
 
 import ast
 import re
 
-from ..engine import LintPass, SourceFile
+from ..engine import LintPass, SourceFile, literal_str
 
 PASS_ID = "state-machine"
 
@@ -45,9 +71,18 @@ HANDLER_PATTERNS: tuple[re.Pattern[str], ...] = (
 #: a class is treated as a state machine once it has this many handlers
 MIN_HANDLERS = 3
 
+#: the tokenizer's chunked-state declaration and its pattern factory
+BREAK_SETS_NAME = "CHUNK_BREAK_SETS"
+SCANNER_NAME = "_scanner"
+
 
 def _matching(pattern: re.Pattern[str], names: set[str]) -> set[str]:
     return {name for name in names if pattern.match(name)}
+
+
+def _printable(char: str) -> str:
+    """A break character as it should appear in a lint message."""
+    return repr(char)
 
 
 class StateMachinePass(LintPass):
@@ -55,12 +90,102 @@ class StateMachinePass(LintPass):
     name = "Parser state-machine exhaustiveness"
     description = (
         "tokenizer/tree-builder handler tables have no unreachable "
-        "states, no dangling transitions, and cover every declared "
-        "content model"
+        "states, no dangling transitions, cover every declared content "
+        "model, and chunked fast-path states handle every declared "
+        "break character"
     )
 
     def select(self, file: SourceFile) -> bool:
         return "html" in file.parts[:-1]
+
+    # ----------------------------------------------------------- module level
+
+    def visit_Module(self, file: SourceFile, node: ast.Module) -> None:
+        break_sets, dict_node = self._break_set_declaration(node)
+        if break_sets is None or dict_node is None:
+            return
+
+        handlers = {
+            statement.name
+            for cls in node.body
+            if isinstance(cls, ast.ClassDef)
+            for statement in cls.body
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for state in sorted(set(break_sets) - handlers):
+            self.report(
+                file, dict_node,
+                f"{BREAK_SETS_NAME} declares a break set for {state}, which "
+                "is not a defined state handler in this module",
+                fix_hint="remove the entry or define the handler",
+            )
+
+        compiled: set[str] = set()
+        for sub in ast.walk(node):
+            if not (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Name)
+                and sub.func.id == SCANNER_NAME
+            ):
+                continue
+            state = literal_str(sub.args[0]) if sub.args else None
+            if state is None:
+                self.report(
+                    file, sub,
+                    f"{SCANNER_NAME}(...) must be called with a literal "
+                    f"{BREAK_SETS_NAME} key",
+                    fix_hint="pass the state name as a string literal",
+                )
+                continue
+            if state not in break_sets:
+                self.report(
+                    file, sub,
+                    f"{SCANNER_NAME}({state!r}) compiles a run pattern for "
+                    f"a state with no {BREAK_SETS_NAME} entry",
+                    fix_hint=f"declare the state in {BREAK_SETS_NAME}",
+                )
+                continue
+            compiled.add(state)
+        for state in sorted(set(break_sets) - compiled):
+            self.report(
+                file, dict_node,
+                f"{BREAK_SETS_NAME} entry {state} is never compiled by "
+                f"{SCANNER_NAME}() (declared break set is unused)",
+                fix_hint="compile a run pattern from it or drop the entry",
+            )
+
+    @staticmethod
+    def _break_set_declaration(
+        tree: ast.Module,
+    ) -> tuple[dict[str, str] | None, ast.Dict | None]:
+        """The module's ``CHUNK_BREAK_SETS`` literal, if it declares one."""
+        for statement in tree.body:
+            if isinstance(statement, ast.AnnAssign):
+                targets = [statement.target]
+                value = statement.value
+            elif isinstance(statement, ast.Assign):
+                targets = list(statement.targets)
+                value = statement.value
+            else:
+                continue
+            if not any(
+                isinstance(target, ast.Name) and target.id == BREAK_SETS_NAME
+                for target in targets
+            ):
+                continue
+            if not isinstance(value, ast.Dict):
+                return None, None
+            declared: dict[str, str] = {}
+            for key, entry in zip(value.keys, value.values):
+                state = literal_str(key)
+                breaks = literal_str(entry)
+                if state is None or breaks is None:
+                    return None, None
+                declared[state] = breaks
+            return declared, value
+        return None, None
+
+    # ------------------------------------------------------------ class level
 
     def visit_ClassDef(self, file: SourceFile, node: ast.ClassDef) -> None:
         methods = {
@@ -68,6 +193,10 @@ class StateMachinePass(LintPass):
             for statement in node.body
             if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
         }
+        has_base = any(
+            not (isinstance(base, ast.Name) and base.id == "object")
+            for base in node.bases
+        )
         self_refs: dict[str, ast.Attribute] = {}
         stored: set[str] = set()
         for sub in ast.walk(node):
@@ -82,27 +211,150 @@ class StateMachinePass(LintPass):
                     # ``self._return_state`` holding a state), not a handler
                     stored.add(sub.attr)
 
-        for pattern in HANDLER_PATTERNS:
-            defined = _matching(pattern, set(methods))
-            if len(defined) < MIN_HANDLERS:
-                continue
-            referenced = _matching(pattern, set(self_refs))
-            for name in sorted(defined - referenced):
-                self.report(
-                    file, methods[name],
-                    f"state handler {node.name}.{name} is defined but never "
-                    "referenced (unreachable state)",
-                    fix_hint="wire a transition to it or delete it",
-                )
-            for name in sorted(referenced - defined - stored):
-                self.report(
-                    file, self_refs[name],
-                    f"transition references undefined handler self.{name} "
-                    f"in {node.name}",
-                    fix_hint="define the handler or fix the transition name",
-                )
+        if not has_base:
+            # with a base class, handlers may override states reached via
+            # base-class transitions, and transitions may target inherited
+            # handlers — neither resolvable from this file's AST alone
+            for pattern in HANDLER_PATTERNS:
+                defined = _matching(pattern, set(methods))
+                if len(defined) < MIN_HANDLERS:
+                    continue
+                referenced = _matching(pattern, set(self_refs))
+                for name in sorted(defined - referenced):
+                    self.report(
+                        file, methods[name],
+                        f"state handler {node.name}.{name} is defined but "
+                        "never referenced (unreachable state)",
+                        fix_hint="wire a transition to it or delete it",
+                    )
+                for name in sorted(referenced - defined - stored):
+                    self.report(
+                        file, self_refs[name],
+                        f"transition references undefined handler "
+                        f"self.{name} in {node.name}",
+                        fix_hint="define the handler or fix the transition name",
+                    )
 
         self._check_dispatch_dicts(file, node, methods)
+        self._check_break_sets(file, node, methods)
+
+    # ------------------------------------------------- chunked-state coverage
+
+    def _check_break_sets(
+        self,
+        file: SourceFile,
+        node: ast.ClassDef,
+        methods: dict[str, ast.AST],
+    ) -> None:
+        break_sets, _ = self._break_set_declaration(file.tree)
+        if not break_sets:
+            return
+        run_names = self._run_pattern_names(file.tree)
+        module_strings = self._module_string_constants(file.tree)
+        for state, breaks in sorted(break_sets.items()):
+            handler = methods.get(state)
+            if handler is None:
+                continue  # declared-but-undefined is reported at module level
+            reachable = self._reachable_strings(handler, methods, module_strings)
+            run_name = run_names.get(state)
+            if run_name is not None and run_name not in reachable.names:
+                self.report(
+                    file, handler,
+                    f"chunked state {node.name}.{state} never references its "
+                    f"run pattern {run_name} (scans with the wrong pattern "
+                    "or not at all)",
+                    fix_hint=f"scan with {run_name} or undeclare the state",
+                )
+            handled = "".join(reachable.strings)
+            for char in breaks:
+                if char not in handled:
+                    self.report(
+                        file, handler,
+                        f"chunked state {node.name}.{state} declares break "
+                        f"character {_printable(char)} but no reachable "
+                        "branch handles it (silently dropped delimiter)",
+                        fix_hint="add the per-character branch or narrow "
+                        f"the {BREAK_SETS_NAME} entry",
+                    )
+
+    class _Reachable:
+        __slots__ = ("strings", "names")
+
+        def __init__(self) -> None:
+            self.strings: list[str] = []
+            self.names: set[str] = set()
+
+    def _reachable_strings(
+        self,
+        handler: ast.AST,
+        methods: dict[str, ast.AST],
+        module_strings: dict[str, str],
+    ) -> "StateMachinePass._Reachable":
+        """String literals visible from ``handler``: its own body, helper
+        methods it calls on ``self`` (one hop), and module string constants
+        either body references by name."""
+        reachable = self._Reachable()
+        bodies: list[ast.AST] = [handler]
+        for sub in ast.walk(handler):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and isinstance(sub.func.value, ast.Name)
+                and sub.func.value.id == "self"
+                and sub.func.attr in methods
+            ):
+                helper = methods[sub.func.attr]
+                if helper is not handler:
+                    bodies.append(helper)
+        for body in bodies:
+            for sub in ast.walk(body):
+                if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                    reachable.strings.append(sub.value)
+                elif isinstance(sub, ast.Name):
+                    reachable.names.add(sub.id)
+                    constant = module_strings.get(sub.id)
+                    if constant is not None:
+                        reachable.strings.append(constant)
+        return reachable
+
+    @staticmethod
+    def _run_pattern_names(tree: ast.Module) -> dict[str, str]:
+        """Map declared state -> module constant holding its run pattern
+        (``_RUN_DATA = _scanner("_data_state")`` -> ``{"_data_state":
+        "_RUN_DATA"}``)."""
+        names: dict[str, str] = {}
+        for statement in tree.body:
+            if not isinstance(statement, ast.Assign):
+                continue
+            value = statement.value
+            if not (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id == SCANNER_NAME
+                and value.args
+            ):
+                continue
+            state = literal_str(value.args[0])
+            if state is None:
+                continue
+            for target in statement.targets:
+                if isinstance(target, ast.Name):
+                    names[state] = target.id
+        return names
+
+    @staticmethod
+    def _module_string_constants(tree: ast.Module) -> dict[str, str]:
+        constants: dict[str, str] = {}
+        for statement in tree.body:
+            if not isinstance(statement, ast.Assign):
+                continue
+            value = literal_str(statement.value)
+            if value is None:
+                continue
+            for target in statement.targets:
+                if isinstance(target, ast.Name):
+                    constants[target.id] = value
+        return constants
 
     def _check_dispatch_dicts(
         self,

@@ -1,0 +1,124 @@
+"""Tier-1 equivalence: chunked fast path vs per-character reference scanner.
+
+The tokenizer's hot states bulk-scan to the next delimiter
+(``CHUNK_BREAK_SETS`` in :mod:`repro.html.tokenizer`);
+:class:`repro.html.reference_tokenizer.ReferenceTokenizer` retains the
+spec-literal one-character-at-a-time loops for exactly those states.  These
+tests replay every regression-corpus entry and every synthetic Common Crawl
+template page (clean and violation-injected) through both scanners and
+assert the **identical token stream and identical parse-error sequence** —
+the errors are the study's violation signal, so any divergence here is a
+measurement bug.
+"""
+from __future__ import annotations
+
+import random
+import unittest
+from pathlib import Path
+
+from repro.commoncrawl.templates import INJECTORS, build_page
+from repro.fuzz import load_corpus
+from repro.html import decode_bytes
+from repro.html.reference_tokenizer import (
+    CHUNK_BREAK_SETS,
+    REFERENCE_OVERRIDES,
+    reference_tokenize,
+)
+from repro.html.tokenizer import Tokenizer
+
+CORPUS_DIR = Path(__file__).resolve().parents[1] / "fuzz_corpus"
+
+
+def fast_tokenize(text: str) -> tuple[list, list]:
+    tokenizer = Tokenizer(text)
+    return list(tokenizer), tokenizer.errors
+
+
+def assert_equivalent(test: unittest.TestCase, text: str, source: str) -> None:
+    fast_tokens, fast_errors = fast_tokenize(text)
+    ref_tokens, ref_errors = reference_tokenize(text)
+    test.assertEqual(
+        fast_tokens, ref_tokens, f"token stream diverged on {source}"
+    )
+    test.assertEqual(
+        fast_errors, ref_errors, f"parse-error sequence diverged on {source}"
+    )
+
+
+class TestScannerLockstep(unittest.TestCase):
+    """The two scanners must stay structurally in sync."""
+
+    def test_every_chunked_state_has_a_reference_twin(self):
+        # A newly chunked state cannot ship without its per-character twin,
+        # and a stale override (for a state no longer chunked) is equally
+        # a bug: it would silently stop being compared.
+        self.assertEqual(REFERENCE_OVERRIDES, frozenset(CHUNK_BREAK_SETS))
+
+
+class TestCorpusEquivalence(unittest.TestCase):
+    """Every regression-corpus entry tokenizes identically on both paths."""
+
+    def test_corpus_entries(self):
+        entries = load_corpus(CORPUS_DIR)
+        self.assertGreater(len(entries), 0)
+        checked = 0
+        for entry in entries:
+            text = decode_bytes(entry.data)
+            if text is None:
+                continue  # non-UTF-8 inputs are outside the study's scope
+            assert_equivalent(self, text, entry.source)
+            checked += 1
+        self.assertGreater(checked, 0)
+
+
+class TestTemplateEquivalence(unittest.TestCase):
+    """Every synthetic study page tokenizes identically on both paths."""
+
+    def test_clean_pages(self):
+        rng = random.Random(1302)
+        for index in range(12):
+            draft = build_page(
+                f"domain{index}.example",
+                f"/page/{index}",
+                rng,
+                use_svg=index % 3 == 0,
+                use_math=index % 4 == 0,
+            )
+            assert_equivalent(self, draft.render(), f"clean page {index}")
+
+    def test_injected_pages(self):
+        # every injector appears at least once, singly and combined
+        rng = random.Random(1303)
+        names = sorted(INJECTORS)
+        for name in names:
+            draft = build_page(f"{name.lower()}.example", "/", rng)
+            INJECTORS[name].apply(draft, rng)
+            assert_equivalent(self, draft.render(), f"injector {name}")
+        for index in range(12):
+            draft = build_page(f"multi{index}.example", "/", rng)
+            picks = rng.sample(names, k=3)
+            # terminal injectors rewrite the page tail; they must run last
+            picks.sort(key=lambda n: INJECTORS[n].terminal)
+            for name in picks:
+                INJECTORS[name].apply(draft, rng)
+            assert_equivalent(
+                self, draft.render(), f"injected page {index} ({picks})"
+            )
+
+    def test_plaintext_and_script_escape_content(self):
+        # the content-model states the fast path chunks hardest
+        cases = [
+            "<plaintext>never closed &amp; <b>not markup</b>\x00 tail",
+            "<script><!-- if (a<b) { c-- } --></script>",
+            "<script><!--<script>nested</script>--></script>",
+            "<title>rcdata &amp; entities &notin; <b></title>",
+            "<textarea>\r\nline&#10;line</textarea>",
+            "<style>a[href^=\"x\"] { content: '</'; }</style>",
+            "<!--comment with -- dashes --->text<![CDATA[in html]]>",
+        ]
+        for case in cases:
+            assert_equivalent(self, case, repr(case))
+
+
+if __name__ == "__main__":
+    unittest.main()

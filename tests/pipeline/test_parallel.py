@@ -62,3 +62,68 @@ class TestParallelEqualsSequential:
             ParallelStudyRunner(root, a, max_pages=4, workers=1).run(domains)
             ParallelStudyRunner(root, b, max_pages=4, workers=4).run(domains)
             assert _snapshot(a) == _snapshot(b)
+
+
+class TestRunnerParity:
+    """ParallelStudyRunner mirrors StudyRunner's run() interface."""
+
+    def test_snapshot_ids_filter_matches_sequential(self, archive):
+        root, plan = archive
+        domains = [(name, rank) for name, rank in plan.domains]
+
+        from repro.commoncrawl import CommonCrawlClient
+
+        client = CommonCrawlClient(root)
+        only = [client.collections()[-1].id]
+
+        with Storage(":memory:") as sequential_storage:
+            StudyRunner(client, sequential_storage, max_pages=4).run(
+                domains, snapshot_ids=only
+            )
+            expected = _snapshot(sequential_storage)
+
+        with Storage(":memory:") as parallel_storage:
+            stats = ParallelStudyRunner(
+                root, parallel_storage, max_pages=4, workers=3
+            ).run(domains, snapshot_ids=only)
+            actual = _snapshot(parallel_storage)
+
+        assert stats.snapshots == 1
+        assert actual == expected
+
+    def test_unknown_snapshot_id_processes_nothing(self, archive):
+        root, plan = archive
+        domains = [(name, rank) for name, rank in plan.domains]
+        with Storage(":memory:") as storage:
+            stats = ParallelStudyRunner(
+                root, storage, max_pages=4, workers=2
+            ).run(domains, snapshot_ids=["no-such-snapshot"])
+        assert stats.snapshots == 0
+        assert stats.domains_processed == 0
+
+    def test_progress_callback_and_throughput(self, archive):
+        root, plan = archive
+        domains = [(name, rank) for name, rank in plan.domains]
+        calls: list[tuple[str, int, int]] = []
+
+        with Storage(":memory:") as storage:
+            stats = ParallelStudyRunner(
+                root, storage, max_pages=4, workers=2,
+                progress=lambda name, done, total: calls.append(
+                    (name, done, total)
+                ),
+            ).run(domains)
+
+        # one call per (snapshot, domain), counting up to the total
+        assert len(calls) == stats.snapshots * len(domains)
+        per_snapshot: dict[str, list[int]] = {}
+        for name, done, total in calls:
+            assert total == len(domains)
+            per_snapshot.setdefault(name, []).append(done)
+        for counts in per_snapshot.values():
+            assert counts == list(range(1, len(domains) + 1))
+
+        assert stats.seconds > 0.0
+        assert stats.pages_per_second == pytest.approx(
+            stats.pages_checked / stats.seconds
+        )

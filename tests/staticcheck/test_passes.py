@@ -329,6 +329,130 @@ class TestStateMachine:
         result = run_lint(root, [StateMachinePass()])
         assert result.findings == ()
 
+    def test_subclass_overrides_not_flagged(self, make_tree):
+        # a per-character twin overriding base-class states: its handlers
+        # are reached via base transitions this pass cannot see, so classes
+        # with a base are exempt from unreachable/dangling
+        root = make_tree({
+            "html/reference.py": '''
+                class ReferenceMachine(Machine):
+                    def _a_state(self):
+                        self._state = self._b_state
+
+                    def _b_state(self):
+                        self._state = self._inherited_state
+
+                    def _c_state(self):
+                        return None
+            ''',
+        })
+        result = run_lint(root, [StateMachinePass()])
+        assert result.findings == ()
+
+
+CHUNKED_MACHINE = '''
+    CHUNK_BREAK_SETS = {{"_a_state": {breaks!r}}}
+
+    _WHITESPACE = "\\t\\n "
+
+    def _scanner(state):
+        return CHUNK_BREAK_SETS[state]
+
+    _RUN_A = _scanner("_a_state")
+
+    class Machine:
+        def __init__(self):
+            self._state = self._a_state
+
+        def _a_state(self):
+            run = {run_name}
+            char = "?"
+            if char in _WHITESPACE:
+                self._state = self._b_state
+            elif char == "<":
+                self._helper()
+            else:
+                self._state = self._c_state
+
+        def _helper(self):
+            if "&" == "&":
+                return None
+
+        def _b_state(self):
+            self._state = self._a_state
+
+        def _c_state(self):
+            self._state = self._a_state
+'''
+
+
+class TestStateMachineBreakSets:
+    def make_machine(self, make_tree, *, breaks="<&\t\n ", run_name="_RUN_A",
+                     extra=""):
+        source = CHUNKED_MACHINE.format(breaks=breaks, run_name=run_name)
+        return make_tree({"html/machine.py": source + extra})
+
+    def test_clean_chunked_machine(self, make_tree):
+        # "<" handled inline, "&" via the one-hop helper, whitespace via
+        # the module constant — all three lookup paths exercised
+        root = self.make_machine(make_tree)
+        result = run_lint(root, [StateMachinePass()])
+        assert result.findings == ()
+
+    def test_unhandled_break_character_flagged(self, make_tree):
+        root = self.make_machine(make_tree, breaks="<&]")
+        result = run_lint(root, [StateMachinePass()])
+        dropped = [m for m in messages(result) if "silently dropped" in m]
+        assert len(dropped) == 1
+        assert "']'" in dropped[0]
+        assert "Machine._a_state" in dropped[0]
+
+    def test_handler_missing_run_pattern_flagged(self, make_tree):
+        root = self.make_machine(make_tree, run_name="object")
+        result = run_lint(root, [StateMachinePass()])
+        wrong = [m for m in messages(result) if "run pattern" in m]
+        assert len(wrong) == 1
+        assert "_RUN_A" in wrong[0]
+
+    def test_undeclared_scanner_call_flagged(self, make_tree):
+        root = self.make_machine(
+            make_tree, extra='    _RUN_B = _scanner("_b_state")\n'
+        )
+        result = run_lint(root, [StateMachinePass()])
+        undeclared = [
+            m for m in messages(result) if "no CHUNK_BREAK_SETS entry" in m
+        ]
+        assert len(undeclared) == 1
+        assert "_b_state" in undeclared[0]
+
+    def test_declared_but_never_compiled_flagged(self, make_tree):
+        source = CHUNKED_MACHINE.format(breaks="<&\t\n ", run_name="_RUN_A")
+        source = source.replace(
+            '{"_a_state"', '{"_c_state": "<", "_a_state"'
+        )
+        # _c_state handles "<"? it does not scan at all — the unused
+        # declaration is the finding under test
+        root = make_tree({"html/machine.py": source})
+        result = run_lint(root, [StateMachinePass()])
+        unused = [m for m in messages(result) if "never compiled" in m]
+        assert len(unused) == 1
+        assert "_c_state" in unused[0]
+
+    def test_declared_handler_must_exist(self, make_tree):
+        source = CHUNKED_MACHINE.format(breaks="<&\t\n ", run_name="_RUN_A")
+        source = source.replace(
+            '{"_a_state"', '{"_ghost_state": "<", "_a_state"'
+        )
+        source += '    _RUN_GHOST = _scanner("_ghost_state")\n'
+        root = make_tree({"html/machine.py": source})
+        result = run_lint(root, [StateMachinePass()])
+        ghost = [
+            m for m in messages(result)
+            if "not a defined state handler" in m
+        ]
+        assert len(ghost) == 1
+        assert "_ghost_state" in ghost[0]
+
 
 class TestRegexSafety:
     def test_nested_quantifier_flagged(self, make_tree):

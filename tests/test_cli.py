@@ -123,6 +123,33 @@ class TestLintCommand:
         assert main(["lint", str(tmp_path), "--fail-on", "warning"]) == 1
 
 
+class TestBenchCommand:
+    def test_quick_writes_valid_snapshot(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_test.json"
+        assert main(["bench", "--quick", "--no-rules",
+                     "--label", "cli-test", "--output", str(out_path)]) == 0
+        table = capsys.readouterr().out
+        assert "tokenizer_clean" in table and "pages/s" in table
+        snapshot = json.loads(out_path.read_text())
+        assert snapshot["schema"] == "repro-bench/1"
+        assert snapshot["label"] == "cli-test"
+        assert snapshot["rules"] == {}
+        case = snapshot["cases"]["tokenizer_dirty"]
+        assert case["chars"] > 0 and case["tokens"] > 0
+        assert case["best_seconds"] > 0
+        assert case["chars_per_second"] == pytest.approx(
+            case["chars"] / case["best_seconds"]
+        )
+
+    def test_rule_costs_keyed_by_rule_id(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_rules.json"
+        assert main(["bench", "--quick", "--output", str(out_path)]) == 0
+        snapshot = json.loads(out_path.read_text())
+        rule_ids = {rule.id for rule in Checker().rules}
+        assert set(snapshot["rules"]) == rule_ids
+        assert all(r["best_seconds"] > 0 for r in snapshot["rules"].values())
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
