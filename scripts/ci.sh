@@ -26,6 +26,9 @@ python -c 'import sys; from repro.cli import main; sys.exit(main(sys.argv[1:]))'
 echo "==> tokenizer fast-path equivalence"
 python -m pytest -x -q tests/html/test_tokenizer_equivalence.py
 
+echo "==> serve smoke (ephemeral port, full surface, graceful drain)"
+python scripts/serve_smoke.py
+
 echo "==> bench smoke (one quick iteration + JSON snapshot)"
 BENCH_SMOKE_OUT="${TMPDIR:-/tmp}/BENCH_ci_smoke.json"
 python -c 'import sys; from repro.cli import main; sys.exit(main(sys.argv[1:]))' \

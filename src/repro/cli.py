@@ -9,6 +9,8 @@ Usage::
     repro-study lint [PATH] [--format text|json] [--fail-on warning|error]
     repro-study fuzz [--seed N] [--iterations N] [--oracle NAME ...]
                      [--no-minimize] [--save DIR] [--replay DIR]
+    repro-study serve [--host H] [--port N] [--workers N] [--cache-size N]
+                      [--queue-limit N] [--deadline SECONDS]
 """
 from __future__ import annotations
 
@@ -30,7 +32,7 @@ from .analysis import (
     run_generalization_study,
 )
 from .analysis.longitudinal import APPENDIX_FIGURES
-from .core import Checker, autofix
+from .core import Checker, DecodeFailure, autofix
 from .staticcheck import Severity, render_json, render_text, run_lint, write_baseline
 from .study import StudyConfig, run_study
 
@@ -94,8 +96,16 @@ def cmd_dynamic(args: argparse.Namespace) -> int:
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    text = Path(args.file).read_text(encoding="utf-8")
-    report = Checker().check_html(text, url=args.file)
+    data = Path(args.file).read_bytes()
+    report = Checker().check_bytes(data, url=args.file)
+    if isinstance(report, DecodeFailure):
+        declared = report.declared_encoding or "none"
+        print(
+            f"not UTF-8-decodable (declared encoding: {declared}) — "
+            "the paper's framework filters such documents out",
+            file=sys.stderr,
+        )
+        return 2
     if not report.findings:
         print("no violations found")
         return 0
@@ -216,6 +226,29 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 1 if report.findings else 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the checker-as-a-service HTTP front end (repro.service).
+
+    Binds, prints one ``repro.service listening on HOST:PORT`` line on
+    stdout (port 0 selects an ephemeral port — scripted callers parse
+    that line), then serves until SIGINT/SIGTERM, draining in-flight
+    requests before exiting 0.
+    """
+    from .service import ServiceConfig, run_service
+
+    config = ServiceConfig(
+        workers=args.workers,
+        cache_size=args.cache_size,
+        max_body=args.max_body,
+        queue_limit=args.queue_limit,
+        deadline=args.deadline,
+    )
+    return run_service(
+        config, host=args.host, port=args.port,
+        access_log=not args.no_access_log,
+    )
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """Run the parser-substrate benchmarks, optionally writing a snapshot."""
     from .bench import BenchConfig, render_snapshot, run_benchmarks, write_snapshot
@@ -306,6 +339,40 @@ def main(argv: list[str] | None = None) -> int:
         help="replay a saved corpus directory instead of fuzzing",
     )
     fuzz_parser.set_defaults(func=cmd_fuzz)
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the checker as an HTTP service (repro.service)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=8645,
+        help="listening port; 0 binds an ephemeral port (default 8645)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size for parse/check/fix work (default 1)",
+    )
+    serve_parser.add_argument(
+        "--cache-size", type=int, default=1024,
+        help="content-hash LRU entries; 0 disables caching (default 1024)",
+    )
+    serve_parser.add_argument(
+        "--max-body", type=int, default=2 * 1024 * 1024,
+        help="request body limit in bytes (default 2 MiB)",
+    )
+    serve_parser.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="max admitted CPU requests before answering 429 (default 64)",
+    )
+    serve_parser.add_argument(
+        "--deadline", type=float, default=30.0,
+        help="per-request wall-clock budget in seconds (default 30)",
+    )
+    serve_parser.add_argument(
+        "--no-access-log", action="store_true",
+        help="suppress the JSON access log on stderr",
+    )
+    serve_parser.set_defaults(func=cmd_serve)
 
     bench_parser = sub.add_parser(
         "bench", help="run parser benchmarks and write a BENCH_*.json snapshot"

@@ -6,7 +6,7 @@ repair, the section 4.5 mitigation detectors, and the section 5.3
 STRICT-PARSER hardening roadmap.
 """
 from .autofix import AutofixResult, autofix, classify, estimate_fixability
-from .checker import Checker, CheckReport
+from .checker import Checker, CheckReport, DecodeFailure
 from .mitigations import (
     MitigationReport,
     ScriptInAttrHit,
@@ -53,6 +53,7 @@ __all__ = [
     "Category",
     "CheckReport",
     "Checker",
+    "DecodeFailure",
     "FAMILIES",
     "Finding",
     "Group",

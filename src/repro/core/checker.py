@@ -10,9 +10,27 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
-from ..html import ParseResult, decode_bytes, parse, parse_fragment
+from ..html import ParseResult, decode_bytes, parse, parse_fragment, sniff_encoding
 from .rules import Rule, default_rules
 from .violations import Finding
+
+
+@dataclass(frozen=True, slots=True)
+class DecodeFailure:
+    """Typed outcome for bytes the section 4.1 encoding filter rejects.
+
+    The batch pipeline only needs "skip this page", but a service endpoint
+    must distinguish "clean page" from "page we could not even look at" —
+    a silent ``None`` there turns into a blank 200.  ``declared_encoding``
+    carries what the document *claims* to be (BOM / meta prescan), so the
+    client learns why the UTF-8-only methodology rejected it.
+    """
+
+    url: str = ""
+    reason: str = "not-utf8"
+    #: the encoding the document declares (sniffed, never trusted); ""
+    #: when nothing was declared
+    declared_encoding: str = ""
 
 
 @dataclass(slots=True)
@@ -92,13 +110,20 @@ class Checker:
         _nodes, result = parse_fragment(text, context)
         return self.check_parse(result, url=url)
 
-    def check_bytes(self, data: bytes, url: str = "") -> CheckReport | None:
-        """Decode-and-check; returns None for non-UTF-8 documents.
+    def check_bytes(self, data: bytes, url: str = "") -> CheckReport | DecodeFailure:
+        """Decode-and-check; a :class:`DecodeFailure` for non-UTF-8 bytes.
 
         Implements the paper's encoding filter (section 4.1): rather than
         guessing charsets, only UTF-8-decodable documents are analysed.
+        Undecodable input yields a :class:`DecodeFailure` carrying the
+        sniffed declared encoding, never a bare ``None`` — callers that
+        must report the rejection (the service's 422 path) get a typed
+        value to branch on with ``isinstance``.
         """
         text = decode_bytes(data)
         if text is None:
-            return None
+            return DecodeFailure(
+                url=url,
+                declared_encoding=sniff_encoding(data).encoding or "",
+            )
         return self.check_html(text, url=url)

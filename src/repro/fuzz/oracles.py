@@ -26,7 +26,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-from ..core import Checker, autofix
+from ..core import Checker, DecodeFailure, autofix
 from ..html import decode_bytes, parse, serialize
 from ..html.dom import Element, Text
 from ..html.dump import dump_tree
@@ -400,6 +400,81 @@ def oracle_cdx(data: bytes) -> None:
             pass
 
 
+# ---------------------------------------------------------------- service
+
+#: one inline-mode app reused across iterations; its result cache stays
+#: enabled on purpose — a content-hash collision or stale-entry bug would
+#: surface as a parity divergence on the next input
+_SERVICE_APP = None
+
+
+def _service_app():
+    global _SERVICE_APP
+    if _SERVICE_APP is None:
+        from ..service import ServiceApp, ServiceConfig
+
+        _SERVICE_APP = ServiceApp(ServiceConfig(cache_size=64))
+    return _SERVICE_APP
+
+
+def oracle_service_parity(data: bytes) -> None:
+    """The HTTP service layer is a faithful wrapper over the checker.
+
+    Routes the input through the in-process request handler (the same
+    ``ServiceApp.handle`` production traffic hits — routing, admission,
+    cache and all) and diffs the JSON response against a direct
+    :meth:`Checker.check_html` call.  Any divergence — a dropped finding,
+    a shifted offset, a cache entry served for the wrong body — means the
+    service is *measuring differently than the study*, the exact bug
+    class the fastpath oracle guards against one layer down.
+
+    Non-UTF-8 input must map to a 422 whose payload names the encoding
+    filter; after verifying that, the input is out of the HTML oracles'
+    contract and is skipped.
+    """
+    import json
+
+    from ..service import ServiceApp  # noqa: F401 - ensures import errors surface here
+    from ..service.app import post
+    from ..service.workers import report_payload
+
+    app = _service_app()
+    response = app.handle_sync(post("/check", data, url="http://fuzz.example/page"))
+
+    text = decode_bytes(data)
+    if text is None:
+        if response.status != 422:
+            raise OracleFailure(
+                "service-non-utf8-status",
+                f"expected 422 for undecodable body, got {response.status}",
+            )
+        payload = json.loads(response.body)
+        if payload.get("error") != "undecodable-body":
+            raise OracleFailure(
+                "service-non-utf8-payload", repr(payload)[:120]
+            )
+        raise SkipInput("non-utf8")
+
+    if response.status != 200:
+        raise OracleFailure(
+            "service-status",
+            f"{response.status} for decodable {len(data)}-byte body",
+        )
+    served = json.loads(response.body)
+    direct = report_payload(
+        Checker().check_html(text, url="http://fuzz.example/page")
+    )
+    if served != direct:
+        for key in sorted(set(served) | set(direct)):
+            if served.get(key) != direct.get(key):
+                raise OracleFailure(
+                    "service-parity-divergence",
+                    f"field {key!r}: served {str(served.get(key))[:80]} != "
+                    f"direct {str(direct.get(key))[:80]}",
+                )
+        raise OracleFailure("service-parity-divergence", "unlocated diff")
+
+
 # --------------------------------------------------- sequential ∥ parallel
 
 
@@ -410,7 +485,8 @@ def check_counts(data: bytes) -> tuple[bool, tuple[tuple[str, int], ...]]:
     same constraint the real :mod:`repro.pipeline.parallel` workers obey.
     """
     report = Checker().check_bytes(data)
-    if report is None:
+    if isinstance(report, DecodeFailure):
+        # the encoding filter rejected the page
         return (False, ())
     return (True, tuple(sorted(report.counts.items())))
 
@@ -463,6 +539,12 @@ ORACLES: dict[str, Oracle] = {
             "autofix",
             "autofix is a fix-point and clears the rules it repairs",
             oracle_autofix,
+        ),
+        Oracle(
+            "service_parity",
+            "the HTTP service handler returns byte-for-byte the same check "
+            "result as a direct Checker.check_html call",
+            oracle_service_parity,
         ),
         Oracle(
             "warc",

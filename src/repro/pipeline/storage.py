@@ -59,21 +59,54 @@ CREATE TABLE IF NOT EXISTS page_features (
     math_elements INTEGER NOT NULL,
     svg_elements INTEGER NOT NULL
 );
-CREATE INDEX IF NOT EXISTS idx_findings_page ON findings(page_id);
-CREATE INDEX IF NOT EXISTS idx_findings_violation ON findings(violation);
-CREATE INDEX IF NOT EXISTS idx_pages_snapshot ON pages(snapshot_id, domain_id);
 """
+
+#: secondary indexes backing the aggregation queries; kept out of
+#: ``_SCHEMA`` so the bench can measure the untuned layout
+#: (``benchmarks/bench_pipeline_throughput.py`` writes the before/after
+#: ``reports/BENCH_pipeline_*.json`` pair)
+_INDEXES = """
+CREATE INDEX IF NOT EXISTS idx_findings_page ON findings(page_id);
+CREATE INDEX IF NOT EXISTS idx_pages_snapshot ON pages(snapshot_id, domain_id);
+-- covering index for violation_domain_counts / domains_with_violations_in:
+-- both group or filter on violation and only then reach for page_id, so
+-- the pair satisfies them without touching the findings table itself
+CREATE INDEX IF NOT EXISTS idx_findings_violation_page
+    ON findings(violation, page_id);
+"""
+
+#: write-path pragmas: WAL keeps readers unblocked during the runner's
+#: batched inserts and turns fsync-per-commit into fsync-per-checkpoint;
+#: NORMAL is durable through application crashes (the study can always
+#: re-run a snapshot, so power-loss durability is the wrong trade);
+#: temp_store keeps GROUP BY spill files in memory
+_TUNING_PRAGMAS = (
+    "PRAGMA journal_mode=WAL",
+    "PRAGMA synchronous=NORMAL",
+    "PRAGMA temp_store=MEMORY",
+    "PRAGMA cache_size=-8192",
+)
 
 
 class Storage:
-    """SQLite-backed results store with the study's aggregation queries."""
+    """SQLite-backed results store with the study's aggregation queries.
 
-    def __init__(self, path: str | Path = ":memory:") -> None:
+    ``tuned=False`` opens the store with SQLite's defaults (rollback
+    journal, ``synchronous=FULL``) and without the secondary indexes —
+    only the throughput bench uses it, to keep the before/after pair
+    honest and reproducible.
+    """
+
+    def __init__(self, path: str | Path = ":memory:", *, tuned: bool = True) -> None:
         self.path = str(path)
+        self.tuned = tuned
         self.conn = sqlite3.connect(self.path)
-        self.conn.execute("PRAGMA journal_mode=WAL")
-        self.conn.execute("PRAGMA synchronous=NORMAL")
+        if tuned:
+            for pragma in _TUNING_PRAGMAS:
+                self.conn.execute(pragma)
         self.conn.executescript(_SCHEMA)
+        if tuned:
+            self.conn.executescript(_INDEXES)
 
     # ------------------------------------------------------------ lifecycle
 

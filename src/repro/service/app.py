@@ -1,0 +1,257 @@
+"""The checker service application: routing, admission, cache, deadlines.
+
+:class:`ServiceApp` is deliberately transport-free — it maps one
+:class:`~repro.service.http.Request` to one
+:class:`~repro.service.http.Response` and never touches a socket.  The
+asyncio server (``server.py``), the unit tests, the throughput bench, and
+the ``service_parity`` fuzz oracle all drive the *same* ``handle``
+coroutine, which is what makes the differential oracle meaningful: the
+code it certifies is the code production traffic hits.
+
+Request lifecycle for the CPU endpoints (``/check``, ``/check-fragment``,
+``/fix``)::
+
+    request ─ size gate ─ cache probe ──hit──────────────► response
+                  │           │miss
+                  │      admission gate ──full──► 429 + Retry-After
+                  │           │admitted
+                  │      worker pool (deadline-bounded) ──timeout──► 503
+                  │           │result
+                  └──────► cache fill ───────────────────► response
+
+Every failure mode has exactly one HTTP status; handler bugs are caught
+at the top of :meth:`handle`, logged, counted, and mapped to 500 — the
+request loop itself can never see an exception.
+"""
+from __future__ import annotations
+
+import asyncio
+import logging
+import time
+from concurrent.futures import Executor
+from dataclasses import dataclass
+
+from .cache import ResultCache, content_key
+from .http import (
+    DEFAULT_MAX_BODY,
+    HTTPError,
+    Request,
+    Response,
+    error_response,
+    json_response,
+)
+from .metrics import ServiceMetrics
+from . import workers
+
+logger = logging.getLogger("repro.service")
+
+#: CPU-bound endpoints and the worker entry point each dispatches to
+CPU_ENDPOINTS = frozenset({"/check", "/check-fragment", "/fix"})
+
+
+@dataclass(slots=True)
+class ServiceConfig:
+    """Tunables for one service instance (CLI flags map 1:1)."""
+
+    workers: int = 1
+    cache_size: int = 1024
+    max_body: int = DEFAULT_MAX_BODY
+    #: max CPU requests admitted concurrently (queued + running); beyond
+    #: this the service answers 429 instead of buffering unbounded work
+    queue_limit: int = 64
+    #: per-request wall-clock budget once admitted, seconds
+    deadline: float = 30.0
+    #: Retry-After hint on 429/503, seconds
+    retry_after: int = 1
+
+
+class ServiceApp:
+    """One service instance: cache + metrics + (optional) worker pool.
+
+    ``executor=None`` is *inline mode*: worker functions run directly on
+    the calling thread.  Inline mode has no admission queue contention
+    and no deadline enforcement — it exists so oracles, tests, and the
+    cached-path bench exercise the handler without forking processes.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        executor: Executor | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.executor = executor
+        self.cache = ResultCache(self.config.cache_size)
+        self.metrics = ServiceMetrics()
+        self.healthy = True
+
+    # --------------------------------------------------------------- routing
+
+    async def handle(self, request: Request) -> Response:
+        """Map one request to one response; never raises."""
+        started = time.monotonic()
+        self.metrics.record_request(request.path, len(request.body))
+        try:
+            response = await self._route(request)
+        except asyncio.CancelledError:
+            raise  # shutdown: let the server's drain logic see it
+        except Exception:
+            # last-resort mapping of handler bugs to a 500 — logged and
+            # counted, so a failure shrinks nothing silently
+            logger.exception("unhandled error for %s %s", request.method,
+                             request.path)
+            self.metrics.internal_errors += 1
+            response = error_response(500, "internal error")
+        self.metrics.record_response(
+            response.status, time.monotonic() - started, len(response.body)
+        )
+        return response
+
+    async def _route(self, request: Request) -> Response:
+        path = request.path
+        if path == "/healthz":
+            if request.method not in ("GET", "HEAD"):
+                return self._method_not_allowed("GET, HEAD")
+            return json_response(200, self._health_payload())
+        if path == "/metrics":
+            if request.method not in ("GET", "HEAD"):
+                return self._method_not_allowed("GET, HEAD")
+            return json_response(200, self.metrics.snapshot())
+        if path in CPU_ENDPOINTS:
+            if request.method != "POST":
+                return self._method_not_allowed("POST")
+            return await self._run_cpu_endpoint(path, request)
+        self.metrics.bad_requests += 1
+        return error_response(404, f"no route for {path}")
+
+    def _method_not_allowed(self, allowed: str) -> Response:
+        self.metrics.bad_requests += 1
+        response = error_response(405, f"use {allowed}")
+        response.headers["allow"] = allowed
+        return response
+
+    def _health_payload(self) -> dict:
+        return {
+            "status": "ok" if self.healthy else "draining",
+            "workers": self.config.workers,
+            "inline": self.executor is None,
+            "queue_depth": self.metrics.queue_depth,
+            "queue_limit": self.config.queue_limit,
+            "cache_entries": len(self.cache),
+        }
+
+    # ------------------------------------------------------- CPU dispatching
+
+    async def _run_cpu_endpoint(self, endpoint: str, request: Request) -> Response:
+        if len(request.body) > self.config.max_body:
+            self.metrics.bad_requests += 1
+            return error_response(
+                413, f"body exceeds {self.config.max_body} bytes"
+            )
+
+        query = request.query
+        url = query.get("url", "")
+        context = query.get("context", "div")
+        options = f"url={url}"
+        if endpoint == "/check-fragment":
+            options += f"&context={context}"
+        key = content_key(endpoint, options, request.body)
+
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.metrics.record_cache(hit=True)
+            status, body = cached
+            response = Response(
+                status=status, body=body, headers={"x-cache": "hit"},
+            )
+            response.cache_state = "hit"
+            return response
+        self.metrics.record_cache(hit=False)
+
+        # admission control: bound the work we accept, shed the rest with
+        # an explicit signal rather than queueing without limit
+        if self.metrics.queue_depth >= self.config.queue_limit:
+            self.metrics.rejected_overload += 1
+            response = error_response(429, "admission queue full")
+            response.headers["retry-after"] = str(self.config.retry_after)
+            return response
+
+        if endpoint == "/check":
+            call = (workers.run_check, request.body, url)
+        elif endpoint == "/check-fragment":
+            call = (workers.run_check_fragment, request.body, context, url)
+        else:
+            call = (workers.run_fix, request.body, url)
+
+        self.metrics.enter_queue()
+        try:
+            outcome = await self._dispatch(*call)
+        except asyncio.TimeoutError:
+            self.metrics.deadline_timeouts += 1
+            response = error_response(
+                503, f"deadline of {self.config.deadline}s exceeded"
+            )
+            response.headers["retry-after"] = str(self.config.retry_after)
+            return response
+        finally:
+            self.metrics.leave_queue()
+
+        status = outcome["status"]
+        if status == 422:
+            self.metrics.decode_failures += 1
+        response = json_response(
+            status, outcome["payload"], headers={"x-cache": "miss"}
+        )
+        response.cache_state = "miss"
+        if status in (200, 422):
+            # deterministic outcomes are cacheable; overload/timeouts are not
+            self.cache.put(key, (status, response.body))
+        return response
+
+    async def _dispatch(self, func, *args) -> dict:
+        """Run one worker function, inline or pooled with a deadline."""
+        if self.executor is None:
+            return func(*args)
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(self.executor, func, *args)
+        # on timeout wait_for cancels the future: a job the pool has not
+        # started is reclaimed, but a *running* job cannot be interrupted
+        # (ProcessPoolExecutor limitation, documented in DESIGN.md §3.8)
+        # and finishes into the void
+        return await asyncio.wait_for(future, timeout=self.config.deadline)
+
+    # ----------------------------------------------------------- sync facade
+
+    def handle_sync(self, request: Request) -> Response:
+        """Drive :meth:`handle` from synchronous code (oracles, tests)."""
+        return asyncio.run(self.handle(request))
+
+
+def post(path: str, body: bytes, *, url: str = "", context: str = "") -> Request:
+    """Build an in-process POST request (oracle/bench/test helper)."""
+    params = []
+    if url:
+        params.append(f"url={url}")
+    if context:
+        params.append(f"context={context}")
+    target = path + ("?" + "&".join(params) if params else "")
+    return Request(
+        method="POST", target=target, version="HTTP/1.1",
+        headers={"content-length": str(len(body))}, body=body,
+    )
+
+
+def get(path: str) -> Request:
+    """Build an in-process GET request."""
+    return Request(method="GET", target=path, version="HTTP/1.1", headers={})
+
+
+__all__ = [
+    "CPU_ENDPOINTS",
+    "HTTPError",
+    "ServiceApp",
+    "ServiceConfig",
+    "get",
+    "post",
+]

@@ -1,0 +1,205 @@
+"""A minimal HTTP/1.1 request parser and response writer.
+
+The service layer follows the repo's substitution philosophy (DESIGN.md
+§2): just as ``repro.warc`` replaces warcio, this module replaces an HTTP
+framework with the small, inspectable subset the checker service needs —
+request-line + header parsing, ``Content-Length`` bodies, keep-alive, and
+hard input limits.  Everything a client can get wrong is mapped to a
+typed :class:`HTTPError` carrying the status the connection loop should
+answer with, so malformed traffic can never crash the acceptor.
+
+Deliberate non-features: no chunked transfer encoding (501 — the service
+consumes bounded documents, not streams), no multipart, no TLS (terminate
+upstream), no HTTP/2.
+"""
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlsplit
+
+#: hard ceiling on the request line + headers block, in bytes
+MAX_HEADER_BYTES = 16 * 1024
+#: default ceiling on a request body, in bytes (override per service)
+DEFAULT_MAX_BODY = 2 * 1024 * 1024
+
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    411: "Length Required",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+_SUPPORTED_METHODS = frozenset({"GET", "HEAD", "POST"})
+
+
+class HTTPError(Exception):
+    """A protocol-level problem with a well-defined HTTP answer.
+
+    ``status`` is what the connection loop responds with; ``close`` says
+    whether the connection is still framed well enough to keep alive
+    (after an over-long or truncated body it is not).
+    """
+
+    def __init__(self, status: int, detail: str, *, close: bool = True) -> None:
+        self.status = status
+        self.detail = detail
+        self.close = close
+        super().__init__(f"{status} {REASONS.get(status, '')}: {detail}")
+
+
+@dataclass(slots=True)
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    target: str                       # raw request target, e.g. "/check?url=x"
+    version: str                      # "HTTP/1.1"
+    headers: dict[str, str]           # keys lower-cased, values stripped
+    body: bytes = b""
+    #: peer address for access logs; "" for in-process calls
+    remote: str = ""
+
+    @property
+    def path(self) -> str:
+        return urlsplit(self.target).path or "/"
+
+    @property
+    def query(self) -> dict[str, str]:
+        """Decoded query parameters (last value wins on duplicates)."""
+        return dict(parse_qsl(urlsplit(self.target).query))
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+
+@dataclass(slots=True)
+class Response:
+    """One HTTP response, serializable with :meth:`to_bytes`."""
+
+    status: int
+    body: bytes = b""
+    headers: dict[str, str] = field(default_factory=dict)
+    #: set by the app for the access log / metrics ("hit" | "miss" | "")
+    cache_state: str = ""
+
+    @property
+    def reason(self) -> str:
+        return REASONS.get(self.status, "Unknown")
+
+    def to_bytes(self, *, head_only: bool = False, close: bool = False) -> bytes:
+        lines = [f"HTTP/1.1 {self.status} {self.reason}"]
+        headers = dict(self.headers)
+        headers.setdefault("content-type", "application/json; charset=utf-8")
+        headers["content-length"] = str(len(self.body))
+        if close:
+            headers["connection"] = "close"
+        for name, value in headers.items():
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+        return head if head_only else head + self.body
+
+
+def json_response(
+    status: int, payload: dict, *, headers: dict[str, str] | None = None
+) -> Response:
+    """A JSON response with a deterministic (sorted-keys) body."""
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+    return Response(status=status, body=body, headers=dict(headers or {}))
+
+
+def error_response(status: int, detail: str) -> Response:
+    return json_response(status, {"error": REASONS.get(status, ""), "detail": detail})
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    *,
+    max_body: int = DEFAULT_MAX_BODY,
+    max_header: int = MAX_HEADER_BYTES,
+    remote: str = "",
+) -> Request | None:
+    """Read one request off ``reader``; ``None`` on clean EOF.
+
+    Raises :class:`HTTPError` for anything malformed — the caller maps it
+    to a response.  The body is fully buffered (the checker needs the
+    whole document anyway); ``max_body`` bounds it *before* the read, so
+    an attacker cannot make the server buffer an unbounded payload.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between requests
+        raise HTTPError(400, "truncated request head") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HTTPError(413, "request head exceeds buffer limit") from exc
+    if len(head) > max_header:
+        raise HTTPError(413, f"request head exceeds {max_header} bytes")
+
+    request_line, _, header_block = head.partition(b"\r\n")
+    try:
+        method, target, version = request_line.decode("ascii").split(" ", 2)
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise HTTPError(400, "malformed request line") from exc
+    version = version.strip()
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise HTTPError(400, f"unsupported protocol version {version!r}")
+    if method not in _SUPPORTED_METHODS:
+        raise HTTPError(501, f"method {method!r} not implemented", close=False)
+
+    headers: dict[str, str] = {}
+    for raw_line in header_block.split(b"\r\n"):
+        if not raw_line.strip():
+            continue
+        name, sep, value = raw_line.partition(b":")
+        if not sep or not name.strip():
+            raise HTTPError(400, f"malformed header line {raw_line[:40]!r}")
+        try:
+            headers[name.decode("ascii").strip().lower()] = value.decode(
+                "latin-1"
+            ).strip()
+        except UnicodeDecodeError as exc:
+            raise HTTPError(400, "non-ascii header name") from exc
+
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HTTPError(501, "chunked transfer encoding not supported")
+
+    body = b""
+    if method == "POST":
+        raw_length = headers.get("content-length")
+        if raw_length is None:
+            raise HTTPError(411, "POST requires Content-Length", close=False)
+        try:
+            length = int(raw_length)
+        except ValueError as exc:
+            raise HTTPError(400, f"bad Content-Length {raw_length!r}") from exc
+        if length < 0:
+            raise HTTPError(400, f"bad Content-Length {raw_length!r}")
+        if length > max_body:
+            # the body was never read, so the connection framing is gone
+            raise HTTPError(413, f"body of {length} bytes exceeds {max_body}")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise HTTPError(400, "body shorter than Content-Length") from exc
+
+    return Request(
+        method=method, target=target, version=version, headers=headers,
+        body=body, remote=remote,
+    )

@@ -1,0 +1,172 @@
+"""Cumulative service counters and latency quantiles for ``/metrics``.
+
+The study's methodology treats "fewer results" as the worst failure mode
+(see the exception-hygiene lint pass): a service that silently sheds load
+has exactly that bug at runtime.  So every admission rejection, deadline
+timeout, decode failure, and internal error is counted here and surfaced
+on ``/metrics`` — an operator can see shed load as data, not guess it
+from missing traffic.
+
+Latency quantiles use a bounded reservoir of the most recent
+``RESERVOIR_SIZE`` observations: p50/p99 over recent traffic is what an
+operator acts on, and the memory bound is what a long-lived process
+needs.  Everything else is a monotonic counter since process start.
+"""
+from __future__ import annotations
+
+import json
+import time
+from collections import Counter, deque
+from typing import IO
+
+
+RESERVOIR_SIZE = 2048
+
+
+def quantile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank quantile of an ascending list; 0.0 when empty."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+class ServiceMetrics:
+    """All counters for one service process."""
+
+    def __init__(self) -> None:
+        self.started = time.monotonic()
+        self.requests_total = 0
+        self.responses_by_status: Counter[int] = Counter()
+        self.requests_by_endpoint: Counter[str] = Counter()
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.rejected_overload = 0      # 429s from admission control
+        self.deadline_timeouts = 0      # 503s from per-request deadlines
+        self.decode_failures = 0        # 422s from the encoding filter
+        self.internal_errors = 0        # 500s from handler bugs
+        self.bad_requests = 0           # 4xx protocol errors
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.queue_depth = 0            # CPU jobs admitted right now
+        self.queue_high_water = 0
+        self.connections_open = 0
+        self.connections_total = 0
+        self._latencies: deque[float] = deque(maxlen=RESERVOIR_SIZE)
+
+    # ------------------------------------------------------------- recording
+
+    def record_request(self, endpoint: str, bytes_in: int) -> None:
+        self.requests_total += 1
+        self.requests_by_endpoint[endpoint] += 1
+        self.bytes_in += bytes_in
+
+    def record_response(self, status: int, seconds: float, bytes_out: int) -> None:
+        self.responses_by_status[status] += 1
+        self.bytes_out += bytes_out
+        self._latencies.append(seconds)
+
+    def record_cache(self, hit: bool) -> None:
+        if hit:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+
+    def enter_queue(self) -> None:
+        self.queue_depth += 1
+        if self.queue_depth > self.queue_high_water:
+            self.queue_high_water = self.queue_depth
+
+    def leave_queue(self) -> None:
+        self.queue_depth -= 1
+
+    # ------------------------------------------------------------- reporting
+
+    def snapshot(self) -> dict:
+        """The ``/metrics`` payload: cumulative counters + recent quantiles."""
+        latencies = sorted(self._latencies)
+        return {
+            "uptime_seconds": round(time.monotonic() - self.started, 3),
+            "requests_total": self.requests_total,
+            "requests_by_endpoint": dict(sorted(self.requests_by_endpoint.items())),
+            "responses_by_status": {
+                str(status): count
+                for status, count in sorted(self.responses_by_status.items())
+            },
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "hit_rate": round(
+                    self.cache_hits / (self.cache_hits + self.cache_misses), 4
+                ) if (self.cache_hits + self.cache_misses) else 0.0,
+            },
+            "rejected_overload": self.rejected_overload,
+            "deadline_timeouts": self.deadline_timeouts,
+            "decode_failures": self.decode_failures,
+            "internal_errors": self.internal_errors,
+            "bad_requests": self.bad_requests,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "queue": {
+                "depth": self.queue_depth,
+                "high_water": self.queue_high_water,
+            },
+            "connections": {
+                "open": self.connections_open,
+                "total": self.connections_total,
+            },
+            "latency_seconds": {
+                "count": len(latencies),
+                "p50": round(quantile(latencies, 0.50), 6),
+                "p90": round(quantile(latencies, 0.90), 6),
+                "p99": round(quantile(latencies, 0.99), 6),
+            },
+        }
+
+
+class AccessLogger:
+    """Structured JSON access logs, one object per line.
+
+    Lines go to ``stream`` (default: nothing — the server passes stderr).
+    Fields are flat and stable so the output is greppable and machine-
+    parseable; ``clock`` is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self, stream: IO[str] | None = None, *, clock=time.time
+    ) -> None:
+        self.stream = stream
+        self.clock = clock
+
+    def log(
+        self,
+        *,
+        remote: str,
+        method: str,
+        path: str,
+        status: int,
+        seconds: float,
+        bytes_in: int,
+        bytes_out: int,
+        cache: str = "",
+    ) -> None:
+        if self.stream is None:
+            return
+        record = {
+            "t": round(self.clock(), 3),
+            "remote": remote,
+            "method": method,
+            "path": path,
+            "status": status,
+            "ms": round(seconds * 1000, 3),
+            "in": bytes_in,
+            "out": bytes_out,
+        }
+        if cache:
+            record["cache"] = cache
+        self.stream.write(json.dumps(record, sort_keys=True) + "\n")
+        try:
+            self.stream.flush()
+        except (OSError, ValueError):
+            # a closed/broken log stream must never take the service down
+            pass

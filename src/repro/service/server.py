@@ -1,0 +1,203 @@
+"""The asyncio acceptor: sockets in, :class:`ServiceApp` responses out.
+
+``asyncio.start_server`` gives us the event loop and stream plumbing; this
+module adds what a long-lived checker service needs on top:
+
+* a per-connection request loop with keep-alive and an idle timeout, so
+  one stalled client cannot pin a connection task forever;
+* protocol errors (:class:`~repro.service.http.HTTPError`) answered with
+  their mapped status — a malformed request is a *response*, never a
+  traceback;
+* structured JSON access logs per request;
+* graceful shutdown: stop accepting, let in-flight requests finish
+  (bounded by ``drain_timeout``), then tear down the worker pool.  The
+  ci.sh serve-smoke stage asserts this drain behaviour end-to-end.
+
+The process exposes exactly one stdout line on startup::
+
+    repro.service listening on 127.0.0.1:8645
+
+so scripted callers (CI, the bench) can bind port 0 and discover the
+ephemeral port.
+"""
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+
+from .app import ServiceApp, ServiceConfig
+from .http import HTTPError, Request, error_response, read_request
+from .metrics import AccessLogger
+from .workers import create_pool
+
+#: seconds a keep-alive connection may sit idle between requests
+IDLE_TIMEOUT = 30.0
+#: seconds shutdown waits for in-flight requests before cancelling them
+DRAIN_TIMEOUT = 10.0
+
+
+class CheckerService:
+    """One listening checker service bound to an app instance."""
+
+    def __init__(
+        self,
+        app: ServiceApp,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        access_logger: AccessLogger | None = None,
+        idle_timeout: float = IDLE_TIMEOUT,
+        drain_timeout: float = DRAIN_TIMEOUT,
+    ) -> None:
+        self.app = app
+        self.host = host
+        self.port = port
+        self.access = access_logger or AccessLogger(None)
+        self.idle_timeout = idle_timeout
+        self.drain_timeout = drain_timeout
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._draining = False
+
+    # -------------------------------------------------------------- lifecycle
+
+    async def start(self) -> int:
+        """Bind and listen; returns the actual port (for ``port=0``)."""
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def shutdown(self) -> None:
+        """Graceful drain: no new work, finish what was admitted."""
+        self._draining = True
+        self.app.healthy = False
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._connections:
+            # in-flight requests get drain_timeout to complete; after
+            # that the tasks are cancelled (clients see a reset, but the
+            # process still exits cleanly)
+            _done, pending = await asyncio.wait(
+                self._connections, timeout=self.drain_timeout
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        if self.app.executor is not None:
+            self.app.executor.shutdown(wait=True, cancel_futures=True)
+
+    # ------------------------------------------------------------ connections
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        self.app.metrics.connections_open += 1
+        self.app.metrics.connections_total += 1
+        try:
+            await self._serve_connection(reader, writer)
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            # client went away or shutdown cancelled the drain — both are
+            # normal ends of a connection, not service errors
+            pass
+        finally:
+            self.app.metrics.connections_open -= 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = writer.get_extra_info("peername")
+        remote = f"{peer[0]}:{peer[1]}" if isinstance(peer, tuple) else ""
+        while True:
+            try:
+                request = await asyncio.wait_for(
+                    read_request(
+                        reader,
+                        max_body=self.app.config.max_body,
+                        remote=remote,
+                    ),
+                    timeout=self.idle_timeout,
+                )
+            except asyncio.TimeoutError:
+                return  # idle keep-alive connection: just close it
+            except HTTPError as exc:
+                self.app.metrics.bad_requests += 1
+                response = error_response(exc.status, exc.detail)
+                writer.write(response.to_bytes(close=True))
+                await writer.drain()
+                self.access.log(
+                    remote=remote, method="-", path="-",
+                    status=exc.status, seconds=0.0, bytes_in=0,
+                    bytes_out=len(response.body),
+                )
+                if exc.close:
+                    return
+                continue
+            if request is None:
+                return  # clean EOF
+
+            loop = asyncio.get_running_loop()
+            started = loop.time()
+            response = await self.app.handle(request)
+            close = self._draining or not request.keep_alive
+            writer.write(
+                response.to_bytes(
+                    head_only=request.method == "HEAD", close=close
+                )
+            )
+            await writer.drain()
+            self.access.log(
+                remote=remote, method=request.method, path=request.path,
+                status=response.status, seconds=loop.time() - started,
+                bytes_in=len(request.body), bytes_out=len(response.body),
+                cache=response.cache_state,
+            )
+            if close:
+                return
+
+
+async def _serve_until_signalled(service: CheckerService) -> None:
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):
+            # non-main thread or platform without signal support: the
+            # caller stops us by cancelling serve_forever instead
+            pass
+    port = await service.start()
+    print(
+        f"repro.service listening on {service.host}:{port}", flush=True
+    )
+    await stop.wait()
+    print("repro.service draining", file=sys.stderr, flush=True)
+    await service.shutdown()
+
+
+def run_service(
+    config: ServiceConfig,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8645,
+    access_log: bool = True,
+) -> int:
+    """Blocking entry point behind ``repro-study serve``; returns 0."""
+    app = ServiceApp(config, executor=create_pool(config.workers))
+    logger = AccessLogger(sys.stderr if access_log else None)
+    service = CheckerService(app, host=host, port=port, access_logger=logger)
+    asyncio.run(_serve_until_signalled(service))
+    return 0

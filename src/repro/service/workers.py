@@ -1,0 +1,129 @@
+"""Worker-side entry points for the checker service.
+
+Everything here must be picklable module-level code: the functions are
+submitted to a ``ProcessPoolExecutor`` and the results travel back as
+plain dicts (the exact JSON the endpoint returns).  Keeping the worker
+payloads primitive also means the in-process *inline* mode — used by the
+``service_parity`` fuzz oracle and the unit tests — executes literally
+the same code path as a pooled worker, so the differential oracle covers
+what production runs.
+
+Workers are forked warm: :func:`warm_worker` runs as the pool
+initializer, importing the rule registry and doing one tiny parse+check
+so the first real request does not pay import/compile cost.
+"""
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+from ..core import Checker, DecodeFailure, autofix
+from ..core.checker import CheckReport
+from ..html import decode_bytes, sniff_encoding
+
+#: per-process checker, built once by :func:`warm_worker` (or lazily on
+#: first use when the function runs inline)
+_CHECKER: Checker | None = None
+
+
+def _checker() -> Checker:
+    global _CHECKER
+    if _CHECKER is None:
+        _CHECKER = Checker()
+    return _CHECKER
+
+
+def warm_worker() -> None:
+    """Pool initializer: import, instantiate, and prime the hot path."""
+    checker = _checker()
+    checker.check_html("<!doctype html><p>warm")
+
+
+def create_pool(workers: int) -> ProcessPoolExecutor:
+    """A worker pool whose processes pre-import the rule registry."""
+    return ProcessPoolExecutor(max_workers=workers, initializer=warm_worker)
+
+
+# ----------------------------------------------------------------- payloads
+
+
+def report_payload(report: CheckReport) -> dict:
+    """The canonical JSON shape for one check result.
+
+    This is the contract the ``service_parity`` fuzz oracle diffs against
+    a direct :meth:`Checker.check_html` call — change it only in lockstep
+    with the oracle.
+    """
+    return {
+        "url": report.url,
+        "findings": [
+            {
+                "violation": finding.violation,
+                "offset": finding.offset,
+                "message": finding.message,
+                "evidence": finding.evidence,
+            }
+            for finding in report.findings
+        ],
+        "counts": {k: v for k, v in sorted(report.counts.items())},
+        "violated": sorted(report.violated),
+        "total": len(report.findings),
+    }
+
+
+def decode_failure_payload(failure: DecodeFailure) -> dict:
+    return {
+        "error": "undecodable-body",
+        "reason": failure.reason,
+        "declared_encoding": failure.declared_encoding,
+        "url": failure.url,
+    }
+
+
+# ------------------------------------------------------------ entry points
+# Each returns {"status": <http status>, "payload": <json dict>} so the
+# event-loop side maps outcomes without unpickling exceptions.
+
+
+def run_check(body: bytes, url: str) -> dict:
+    """``POST /check``: full-document decode + parse + all rules."""
+    report = _checker().check_bytes(body, url=url)
+    if isinstance(report, DecodeFailure):
+        return {"status": 422, "payload": decode_failure_payload(report)}
+    return {"status": 200, "payload": report_payload(report)}
+
+
+def run_check_fragment(body: bytes, context: str, url: str) -> dict:
+    """``POST /check-fragment``: the innerHTML algorithm (section 5.1)."""
+    text = decode_bytes(body)
+    if text is None:
+        return _decode_failure(body, url)
+    report = _checker().check_fragment(text, context=context or "div", url=url)
+    return {"status": 200, "payload": report_payload(report)}
+
+
+def run_fix(body: bytes, url: str) -> dict:
+    """``POST /fix``: the section 4.4 automatic repair."""
+    text = decode_bytes(body)
+    if text is None:
+        return _decode_failure(body, url)
+    result = autofix(text, checker=_checker())
+    return {
+        "status": 200,
+        "payload": {
+            "url": url,
+            "fixed": result.fixed,
+            "changed": result.changed,
+            "repaired": sorted({f.violation for f in result.repaired}),
+            "remaining": sorted({f.violation for f in result.remaining}),
+            "repaired_count": len(result.repaired),
+            "remaining_count": len(result.remaining),
+        },
+    }
+
+
+def _decode_failure(body: bytes, url: str) -> dict:
+    """The 422 outcome shared by the fragment and fix endpoints."""
+    failure = DecodeFailure(
+        url=url, declared_encoding=sniff_encoding(body).encoding or ""
+    )
+    return {"status": 422, "payload": decode_failure_payload(failure)}

@@ -1,4 +1,4 @@
-"""Exception-hygiene pass: the pipeline must not swallow errors.
+"""Exception-hygiene pass: the pipeline and service must not swallow errors.
 
 The Figure 6 pipeline is the part of the system that touches the outside
 world (WARC archives, storage, process pools).  A handler that catches
@@ -8,7 +8,13 @@ an error, which is the worst possible failure mode for a measurement.
 Web Execution Bundles make the same argument for crawl tooling:
 reproducible measurement requires failures to be recorded, not absorbed.
 
-Flagged in ``pipeline/``:
+``service/`` is held to the same bar for the same reason from the other
+direction: a request handler that absorbs an error silently turns a
+checker bug into a wrong-but-200 response.  The service's one sanctioned
+catch-all (the 500 mapping at the top of ``ServiceApp.handle``) passes
+because it logs with ``logger.exception`` and counts the failure.
+
+Flagged in ``pipeline/`` and ``service/``:
 
 * **bare ``except:``** — always an error; it also catches
   ``KeyboardInterrupt``/``SystemExit`` and can make workers unkillable;
@@ -62,14 +68,15 @@ def _records_error(node: ast.ExceptHandler) -> bool:
 
 class ExceptionHygienePass(LintPass):
     id = PASS_ID
-    name = "Pipeline exception hygiene"
+    name = "Pipeline/service exception hygiene"
     description = (
         "no bare excepts and no blanket Exception handlers that swallow "
-        "errors in pipeline/"
+        "errors in pipeline/ or service/"
     )
 
     def select(self, file: SourceFile) -> bool:
-        return "pipeline" in file.parts[:-1]
+        parents = file.parts[:-1]
+        return "pipeline" in parents or "service" in parents
 
     def visit_ExceptHandler(self, file: SourceFile, node: ast.ExceptHandler) -> None:
         if node.type is None:

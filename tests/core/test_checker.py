@@ -3,7 +3,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import Checker
+from repro.core import Checker, CheckReport, DecodeFailure
 from repro.core.rules import MissingSpaceBetweenAttributes, SlashBetweenAttributes
 
 DIRTY = (
@@ -58,15 +58,33 @@ class TestChecker:
 class TestEncodingFilter:
     def test_utf8_bytes_checked(self):
         report = Checker().check_bytes(DIRTY.encode("utf-8"))
-        assert report is not None
+        assert isinstance(report, CheckReport)
         assert "FB2" in report.violated
 
-    def test_non_utf8_filtered(self):
-        assert Checker().check_bytes("café".encode("latin-1")) is None
+    def test_non_utf8_yields_typed_failure(self):
+        outcome = Checker().check_bytes("café".encode("latin-1"))
+        assert isinstance(outcome, DecodeFailure)
+        assert outcome.reason == "not-utf8"
+
+    def test_failure_carries_url(self):
+        outcome = Checker().check_bytes(b"\xff\xfe\x00", url="https://s/p")
+        assert isinstance(outcome, DecodeFailure)
+        assert outcome.url == "https://s/p"
+
+    def test_failure_reports_declared_encoding(self):
+        page = b'<meta charset="shift_jis">\x93\xfa\x96\x7b'
+        outcome = Checker().check_bytes(page)
+        assert isinstance(outcome, DecodeFailure)
+        assert outcome.declared_encoding == "shift_jis"
+
+    def test_failure_without_declaration(self):
+        outcome = Checker().check_bytes("café".encode("latin-1"))
+        assert isinstance(outcome, DecodeFailure)
+        assert outcome.declared_encoding == ""
 
     def test_bom_handled(self):
         report = Checker().check_bytes(b"\xef\xbb\xbf" + DIRTY.encode())
-        assert report is not None
+        assert isinstance(report, CheckReport)
 
 
 class TestIndependence:

@@ -1,0 +1,109 @@
+"""Encoding declaration conflicts: precedence, prescan limits, bad tails.
+
+The paper's framework filters to UTF-8-decodable documents and *reports*
+declared encodings separately; these tests pin down the sniffing
+behaviour when the declarations disagree with each other or with the
+bytes — the cases where a wrong precedence order would silently change
+the study's encoding distribution (Table 1's population).
+"""
+from repro.html import decode_bytes, sniff_encoding
+from repro.html.encoding import PRESCAN_BYTES
+
+
+class TestBomConflicts:
+    def test_bom_beats_contradicting_meta(self):
+        data = b"\xef\xbb\xbf<meta charset=shift_jis><p>\xe3\x81\x82"
+        result = sniff_encoding(data)
+        assert result.encoding == "utf-8"
+        assert result.source == "bom"
+        # and the filter agrees: the bytes really are UTF-8
+        assert decode_bytes(data) is not None
+
+    def test_bom_beats_http_charset(self):
+        data = b"\xef\xbb\xbf<p>x"
+        result = sniff_encoding(
+            data, http_content_type="text/html; charset=koi8-r"
+        )
+        assert result.encoding == "utf-8"
+        assert result.source == "bom"
+
+    def test_utf16_bom_sniffs_but_fails_the_filter(self):
+        # "<p>" in UTF-16-LE with its BOM: declared fine, not UTF-8
+        data = b"\xff\xfe" + "<p>hi".encode("utf-16-le")
+        result = sniff_encoding(data)
+        assert result.encoding == "utf-16-le"
+        assert result.source == "bom"
+        assert decode_bytes(data) is None
+
+
+class TestHttpVsMeta:
+    def test_http_charset_beats_meta(self):
+        data = b"<meta charset=windows-1251><p>x"
+        result = sniff_encoding(
+            data, http_content_type="text/html; charset=koi8-r"
+        )
+        assert result.encoding == "koi8-r"
+        assert result.source == "http"
+
+    def test_unknown_http_label_falls_through_to_meta(self):
+        data = b"<meta charset=windows-1251><p>x"
+        result = sniff_encoding(
+            data, http_content_type="text/html; charset=x-made-up"
+        )
+        assert result.encoding == "windows-1251"
+        assert result.source == "meta"
+
+    def test_bare_content_type_without_charset_uses_meta(self):
+        data = b"<meta charset=utf-8>"
+        result = sniff_encoding(data, http_content_type="text/html")
+        assert result.source == "meta"
+
+
+class TestPrescanLimits:
+    def test_meta_inside_comment_ignored(self):
+        data = b"<!-- <meta charset=koi8-r> --><meta charset=utf-8>"
+        result = sniff_encoding(data)
+        assert result.encoding == "utf-8"
+
+    def test_comment_hiding_all_declarations_yields_none(self):
+        data = b"<!-- <meta charset=koi8-r> --><p>x"
+        result = sniff_encoding(data)
+        assert result.encoding is None
+        assert result.source == "none"
+
+    def test_meta_beyond_prescan_window_ignored(self):
+        padding = b"<!DOCTYPE html>" + b" " * PRESCAN_BYTES
+        data = padding + b"<meta charset=koi8-r>"
+        result = sniff_encoding(data)
+        assert result.encoding is None
+
+    def test_first_of_two_conflicting_metas_wins(self):
+        data = b"<meta charset=shift_jis><meta charset=utf-8>"
+        assert sniff_encoding(data).encoding == "shift_jis"
+
+    def test_utf16_meta_read_as_utf8(self):
+        # spec: a prescan that finds utf-16 proves the bytes are ASCII-
+        # compatible, so the declaration is read as utf-8
+        assert sniff_encoding(b"<meta charset=utf-16>").encoding == "utf-8"
+
+
+class TestTruncatedTails:
+    def test_truncated_multibyte_tail_fails_the_filter(self):
+        whole = "café".encode("utf-8")
+        truncated = whole[:-1]  # cut the 2-byte sequence in half
+        assert decode_bytes(whole) == "café"
+        assert decode_bytes(truncated) is None
+
+    def test_truncated_tail_still_reports_declared_encoding(self):
+        # the sniffer reads declarations, not body bytes: a truncated
+        # document still contributes to the declared-encoding stats
+        data = b"<meta charset=utf-8><p>caf" + "é".encode("utf-8")[:-1]
+        result = sniff_encoding(data)
+        assert result.encoding == "utf-8"
+        assert result.source == "meta"
+        assert decode_bytes(data) is None
+
+    def test_bom_with_truncated_tail(self):
+        data = b"\xef\xbb\xbf<p>" + "あ".encode("utf-8")[:2]
+        assert sniff_encoding(data).source == "bom"
+        assert decode_bytes(data) is None

@@ -1,0 +1,179 @@
+"""ServiceApp routing, caching, admission, deadlines — all inline, no pool."""
+import json
+from concurrent.futures import Executor, Future
+
+import pytest
+
+from repro.core import Checker
+from repro.service import ServiceApp, ServiceConfig, get, post
+from repro.service.workers import report_payload
+
+PAGE = b"<!DOCTYPE html><html><head><title>t</title></head><body><p>hi</p></body></html>"
+DIRTY = b"<p>text<form><p><form><p>nested</p></form></form>"
+NOT_UTF8 = b"\xff\xfe broken \x81"
+
+
+@pytest.fixture
+def app():
+    return ServiceApp(ServiceConfig(cache_size=8, max_body=4096))
+
+
+def body_of(response) -> dict:
+    return json.loads(response.body.decode("utf-8"))
+
+
+class TestRouting:
+    def test_healthz(self, app):
+        response = app.handle_sync(get("/healthz"))
+        assert response.status == 200
+        payload = body_of(response)
+        assert payload["status"] == "ok"
+        assert payload["inline"] is True
+
+    def test_unknown_path_404(self, app):
+        assert app.handle_sync(get("/nope")).status == 404
+
+    def test_cpu_endpoint_requires_post(self, app):
+        response = app.handle_sync(get("/check"))
+        assert response.status == 405
+        assert response.headers["allow"] == "POST"
+
+    def test_healthz_rejects_post(self, app):
+        response = app.handle_sync(post("/healthz", b""))
+        assert response.status == 405
+        assert response.headers["allow"] == "GET, HEAD"
+
+    def test_metrics_route(self, app):
+        app.handle_sync(post("/check", PAGE))
+        payload = body_of(app.handle_sync(get("/metrics")))
+        # the /metrics request has already counted itself by snapshot time
+        assert payload["requests_total"] == 2
+        assert payload["requests_by_endpoint"] == {"/check": 1, "/metrics": 1}
+
+
+class TestCheckEndpoint:
+    def test_parity_with_direct_checker(self, app):
+        response = app.handle_sync(
+            post("/check", DIRTY, url="http://t.example/")
+        )
+        assert response.status == 200
+        direct = Checker().check_html(
+            DIRTY.decode("utf-8"), url="http://t.example/"
+        )
+        assert body_of(response) == report_payload(direct)
+
+    def test_non_utf8_is_422(self, app):
+        response = app.handle_sync(post("/check", NOT_UTF8))
+        assert response.status == 422
+        assert body_of(response)["error"] == "undecodable-body"
+        assert app.metrics.decode_failures == 1
+
+    def test_oversize_body_is_413(self, app):
+        response = app.handle_sync(post("/check", b"x" * 5000))
+        assert response.status == 413
+
+    def test_fix_endpoint_shape(self, app):
+        response = app.handle_sync(post("/fix", DIRTY))
+        assert response.status == 200
+        payload = body_of(response)
+        assert set(payload) == {
+            "url", "fixed", "changed", "repaired", "remaining",
+            "repaired_count", "remaining_count",
+        }
+
+    def test_fragment_context_changes_result_identity(self, app):
+        first = app.handle_sync(
+            post("/check-fragment", b"<td>x</td>", context="tr")
+        )
+        second = app.handle_sync(
+            post("/check-fragment", b"<td>x</td>", context="div")
+        )
+        assert first.status == second.status == 200
+        # different context = different cache key: both were misses
+        assert app.metrics.cache_misses == 2
+        assert app.metrics.cache_hits == 0
+
+
+class TestCaching:
+    def test_miss_then_hit_same_payload(self, app):
+        first = app.handle_sync(post("/check", DIRTY))
+        second = app.handle_sync(post("/check", DIRTY))
+        assert first.headers["x-cache"] == "miss"
+        assert second.headers["x-cache"] == "hit"
+        assert first.body == second.body
+        assert app.metrics.cache_hits == 1
+
+    def test_422_is_cached_too(self, app):
+        app.handle_sync(post("/check", NOT_UTF8))
+        repeat = app.handle_sync(post("/check", NOT_UTF8))
+        assert repeat.status == 422
+        assert repeat.headers["x-cache"] == "hit"
+
+    def test_url_option_busts_cache(self, app):
+        app.handle_sync(post("/check", PAGE, url="http://a/"))
+        other = app.handle_sync(post("/check", PAGE, url="http://b/"))
+        assert other.headers["x-cache"] == "miss"
+
+
+class TestAdmission:
+    def test_full_queue_is_429_with_retry_after(self, app):
+        app.metrics.queue_depth = app.config.queue_limit
+        response = app.handle_sync(post("/check", PAGE))
+        assert response.status == 429
+        assert response.headers["retry-after"] == str(app.config.retry_after)
+        assert app.metrics.rejected_overload == 1
+        app.metrics.queue_depth = 0
+
+    def test_429_is_not_cached(self, app):
+        app.metrics.queue_depth = app.config.queue_limit
+        app.handle_sync(post("/check", PAGE))
+        app.metrics.queue_depth = 0
+        relief = app.handle_sync(post("/check", PAGE))
+        assert relief.status == 200
+
+    def test_queue_depth_returns_to_zero(self, app):
+        app.handle_sync(post("/check", PAGE))
+        assert app.metrics.queue_depth == 0
+        assert app.metrics.queue_high_water == 1
+
+
+class _NeverFinishes(Executor):
+    """An executor whose jobs never start — forces the deadline path."""
+
+    def submit(self, fn, /, *args, **kwargs):
+        return Future()
+
+
+class TestDeadline:
+    def test_deadline_exceeded_is_503(self):
+        config = ServiceConfig(deadline=0.01, cache_size=8)
+        app = ServiceApp(config, executor=_NeverFinishes())
+        response = app.handle_sync(post("/check", PAGE))
+        assert response.status == 503
+        assert response.headers["retry-after"] == str(config.retry_after)
+        assert app.metrics.deadline_timeouts == 1
+        assert app.metrics.queue_depth == 0
+
+    def test_timeout_result_is_not_cached(self):
+        app = ServiceApp(
+            ServiceConfig(deadline=0.01, cache_size=8),
+            executor=_NeverFinishes(),
+        )
+        app.handle_sync(post("/check", PAGE))
+        assert len(app.cache) == 0
+
+
+class TestInternalErrors:
+    def test_handler_bug_maps_to_500(self, app, monkeypatch):
+        from repro.service import workers
+
+        def boom(body, url):
+            raise RuntimeError("synthetic handler bug")
+
+        monkeypatch.setattr(workers, "run_check", boom)
+        response = app.handle_sync(post("/check", PAGE))
+        assert response.status == 500
+        assert app.metrics.internal_errors == 1
+        # the failure is visible in /metrics, not swallowed
+        snapshot = body_of(app.handle_sync(get("/metrics")))
+        assert snapshot["internal_errors"] == 1

@@ -1,0 +1,74 @@
+"""Content-hash LRU cache: key identity, eviction order, counters."""
+from repro.service import ResultCache, content_key
+
+
+class TestContentKey:
+    def test_same_inputs_same_key(self):
+        assert content_key("/check", "url=x", b"<p>") == content_key(
+            "/check", "url=x", b"<p>"
+        )
+
+    def test_endpoint_distinguishes(self):
+        assert content_key("/check", "", b"<p>") != content_key(
+            "/fix", "", b"<p>"
+        )
+
+    def test_options_distinguish(self):
+        assert content_key("/check", "url=a", b"<p>") != content_key(
+            "/check", "url=b", b"<p>"
+        )
+
+    def test_no_concatenation_collisions(self):
+        # without length prefixes these two would hash identical streams
+        assert content_key("/check", "ab", b"c") != content_key(
+            "/check", "a", b"bc"
+        )
+        assert content_key("/checka", "", b"") != content_key(
+            "/check", "a", b""
+        )
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache(4)
+        key = content_key("/check", "", b"doc")
+        assert cache.get(key) is None
+        cache.put(key, (200, b"{}"))
+        assert cache.get(key) == (200, b"{}")
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_eviction_is_lru_ordered(self):
+        cache = ResultCache(2)
+        cache.put("a", (200, b"a"))
+        cache.put("b", (200, b"b"))
+        assert cache.get("a") is not None  # touch a: b is now oldest
+        cache.put("c", (200, b"c"))
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+        assert cache.stats.evictions == 1
+
+    def test_put_refreshes_recency(self):
+        cache = ResultCache(2)
+        cache.put("a", (200, b"1"))
+        cache.put("b", (200, b"2"))
+        cache.put("a", (200, b"3"))  # rewrite refreshes a, b is oldest
+        cache.put("c", (200, b"4"))
+        assert cache.get("b") is None
+        assert cache.get("a") == (200, b"3")
+
+    def test_zero_capacity_disables(self):
+        cache = ResultCache(0)
+        cache.put("a", (200, b"a"))
+        assert len(cache) == 0
+        assert cache.get("a") is None
+        assert cache.stats.evictions == 0
+
+    def test_clear(self):
+        cache = ResultCache(4)
+        cache.put("a", (200, b"a"))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("a") is None

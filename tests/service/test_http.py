@@ -1,0 +1,155 @@
+"""The HTTP/1.1 parser: every malformed input maps to a typed status."""
+import asyncio
+
+import pytest
+
+from repro.service import HTTPError, Request, Response, json_response
+from repro.service.http import read_request
+
+
+def parse(raw: bytes, **kwargs):
+    """Drive read_request over a fed-and-closed stream."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, **kwargs)
+
+    return asyncio.run(go())
+
+
+def parse_error(raw: bytes, **kwargs) -> HTTPError:
+    with pytest.raises(HTTPError) as excinfo:
+        parse(raw, **kwargs)
+    return excinfo.value
+
+
+class TestRequestLine:
+    def test_simple_get(self):
+        request = parse(b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/healthz"
+        assert request.headers["host"] == "x"
+        assert request.body == b""
+
+    def test_query_parsing(self):
+        request = parse(
+            b"GET /check?url=http%3A%2F%2Fa%2F&context=td HTTP/1.1\r\n\r\n"
+        )
+        assert request.path == "/check"
+        assert request.query == {"url": "http://a/", "context": "td"}
+
+    def test_clean_eof_is_none(self):
+        assert parse(b"") is None
+
+    def test_truncated_head_is_400(self):
+        assert parse_error(b"GET /x HTTP/1.1\r\nhost").status == 400
+
+    def test_malformed_request_line_is_400(self):
+        assert parse_error(b"NONSENSE\r\n\r\n").status == 400
+
+    def test_unknown_protocol_is_400(self):
+        assert parse_error(b"GET / HTTP/9.9\r\n\r\n").status == 400
+
+    def test_unimplemented_method_is_501_keep_alive(self):
+        error = parse_error(b"DELETE /check HTTP/1.1\r\n\r\n")
+        assert error.status == 501
+        assert error.close is False  # framing intact: connection survives
+
+
+class TestHeaders:
+    def test_header_names_lowercased_values_stripped(self):
+        request = parse(b"GET / HTTP/1.1\r\nX-Thing:  padded  \r\n\r\n")
+        assert request.headers["x-thing"] == "padded"
+
+    def test_malformed_header_line_is_400(self):
+        assert parse_error(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n").status == 400
+
+    def test_oversized_head_is_413(self):
+        raw = b"GET / HTTP/1.1\r\nx: " + b"a" * 200 + b"\r\n\r\n"
+        assert parse_error(raw, max_header=64).status == 413
+
+    def test_chunked_is_501(self):
+        raw = (
+            b"POST /check HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n"
+        )
+        assert parse_error(raw).status == 501
+
+
+class TestBody:
+    def test_post_with_body(self):
+        request = parse(
+            b"POST /check HTTP/1.1\r\ncontent-length: 5\r\n\r\nhello"
+        )
+        assert request.body == b"hello"
+
+    def test_post_without_length_is_411_keep_alive(self):
+        error = parse_error(b"POST /check HTTP/1.1\r\n\r\n")
+        assert error.status == 411
+        assert error.close is False
+
+    def test_bad_length_is_400(self):
+        raw = b"POST /check HTTP/1.1\r\ncontent-length: nope\r\n\r\nx"
+        assert parse_error(raw).status == 400
+
+    def test_negative_length_is_400(self):
+        raw = b"POST /check HTTP/1.1\r\ncontent-length: -3\r\n\r\n"
+        assert parse_error(raw).status == 400
+
+    def test_oversize_body_is_413_and_closes(self):
+        raw = b"POST /check HTTP/1.1\r\ncontent-length: 100\r\n\r\n"
+        error = parse_error(raw, max_body=10)
+        assert error.status == 413
+        assert error.close is True  # unread body: framing is gone
+
+    def test_body_shorter_than_length_is_400(self):
+        raw = b"POST /check HTTP/1.1\r\ncontent-length: 50\r\n\r\nshort"
+        assert parse_error(raw).status == 400
+
+
+class TestKeepAlive:
+    def test_http11_default_keep_alive(self):
+        request = parse(b"GET / HTTP/1.1\r\n\r\n")
+        assert request.keep_alive is True
+
+    def test_http11_connection_close(self):
+        request = parse(b"GET / HTTP/1.1\r\nconnection: Close\r\n\r\n")
+        assert request.keep_alive is False
+
+    def test_http10_default_close(self):
+        request = parse(b"GET / HTTP/1.0\r\n\r\n")
+        assert request.keep_alive is False
+
+    def test_http10_explicit_keep_alive(self):
+        request = parse(b"GET / HTTP/1.0\r\nconnection: keep-alive\r\n\r\n")
+        assert request.keep_alive is True
+
+
+class TestResponse:
+    def test_to_bytes_sets_length_and_type(self):
+        raw = Response(status=200, body=b"{}").to_bytes()
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert body == b"{}"
+        assert b"content-length: 2" in head
+        assert b"application/json" in head
+
+    def test_close_header(self):
+        raw = Response(status=200).to_bytes(close=True)
+        assert b"connection: close" in raw
+
+    def test_head_only_omits_body_keeps_length(self):
+        raw = Response(status=200, body=b"abcd").to_bytes(head_only=True)
+        assert raw.endswith(b"\r\n\r\n")
+        assert b"content-length: 4" in raw
+
+    def test_json_response_deterministic(self):
+        a = json_response(200, {"b": 1, "a": 2}).body
+        b = json_response(200, {"a": 2, "b": 1}).body
+        assert a == b == b'{"a":2,"b":1}'
+
+    def test_request_default_path(self):
+        request = Request(
+            method="GET", target="", version="HTTP/1.1", headers={}
+        )
+        assert request.path == "/"

@@ -1,0 +1,182 @@
+"""Socket-level tests: the asyncio acceptor, keep-alive, and drain."""
+import asyncio
+
+import pytest
+
+from repro.service import CheckerService, ServiceApp, ServiceConfig
+
+PAGE = b"<!DOCTYPE html><html><head><title>t</title></head><body><p>hi</p></body></html>"
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def started_service(**kwargs) -> CheckerService:
+    app = ServiceApp(ServiceConfig(cache_size=8))
+    service = CheckerService(app, **kwargs)
+    await service.start()
+    return service
+
+
+async def send_and_read(port: int, raw: bytes) -> bytes:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(raw)
+    await writer.drain()
+    writer.write_eof()
+    data = await reader.read()
+    writer.close()
+    return data
+
+
+def status_line(raw: bytes) -> str:
+    return raw.split(b"\r\n", 1)[0].decode("ascii", "replace")
+
+
+class TestRoundTrips:
+    def test_healthz_over_socket(self):
+        async def go():
+            service = await started_service()
+            try:
+                raw = await send_and_read(
+                    service.port, b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n"
+                )
+            finally:
+                await service.shutdown()
+            return raw
+
+        raw = run(go())
+        assert " 200 " in status_line(raw)
+        assert b'"status":"ok"' in raw
+
+    def test_check_over_socket(self):
+        async def go():
+            service = await started_service()
+            head = (
+                f"POST /check HTTP/1.1\r\ncontent-length: {len(PAGE)}\r\n\r\n"
+            ).encode()
+            try:
+                raw = await send_and_read(service.port, head + PAGE)
+            finally:
+                await service.shutdown()
+            return raw
+
+        raw = run(go())
+        assert " 200 " in status_line(raw)
+        assert b'"findings"' in raw
+
+    def test_keep_alive_serves_two_requests(self):
+        async def go():
+            service = await started_service()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", service.port
+                )
+                request = b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n"
+                writer.write(request)
+                await writer.drain()
+                first = await reader.readuntil(b"}")
+                writer.write(request)
+                await writer.drain()
+                second = await reader.readuntil(b"}")
+                writer.close()
+            finally:
+                await service.shutdown()
+            return first, second
+
+        first, second = run(go())
+        assert b"200 OK" in first
+        assert b"200 OK" in second
+        # one connection, two requests
+
+    def test_malformed_request_gets_400_response(self):
+        async def go():
+            service = await started_service()
+            try:
+                raw = await send_and_read(service.port, b"GARBAGE\r\n\r\n")
+            finally:
+                await service.shutdown()
+            return raw
+
+        raw = run(go())
+        assert " 400 " in status_line(raw)
+
+    def test_unimplemented_method_keeps_connection(self):
+        async def go():
+            service = await started_service()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", service.port
+                )
+                writer.write(b"DELETE /check HTTP/1.1\r\nhost: t\r\n\r\n")
+                await writer.drain()
+                first = await reader.readuntil(b"}")
+                writer.write(b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n")
+                await writer.drain()
+                second = await reader.readuntil(b"}")
+                writer.close()
+            finally:
+                await service.shutdown()
+            return first, second
+
+        first, second = run(go())
+        assert b"501" in first.split(b"\r\n", 1)[0]
+        assert b"200 OK" in second
+
+
+class TestLifecycle:
+    def test_idle_timeout_closes_connection(self):
+        async def go():
+            service = await started_service(idle_timeout=0.05)
+            try:
+                reader, _writer = await asyncio.open_connection(
+                    "127.0.0.1", service.port
+                )
+                data = await asyncio.wait_for(reader.read(), timeout=5)
+            finally:
+                await service.shutdown()
+            return data
+
+        assert run(go()) == b""  # server closed the idle connection
+
+    def test_graceful_drain_finishes_in_flight_request(self):
+        async def go():
+            service = await started_service(drain_timeout=5)
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", service.port
+            )
+            head = (
+                f"POST /check HTTP/1.1\r\ncontent-length: {len(PAGE)}\r\n\r\n"
+            ).encode()
+            # request is mid-body when shutdown begins
+            writer.write(head + PAGE[: len(PAGE) // 2])
+            await writer.drain()
+            await asyncio.sleep(0.05)
+            shutdown = asyncio.create_task(service.shutdown())
+            await asyncio.sleep(0.05)
+            writer.write(PAGE[len(PAGE) // 2:])
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(), timeout=5)
+            await shutdown
+            writer.close()
+            return raw, service.app.healthy
+
+        raw, healthy = run(go())
+        assert " 200 " in status_line(raw)
+        assert b"connection: close" in raw  # draining forces close
+        assert healthy is False
+
+    def test_shutdown_refuses_new_connections(self):
+        async def go():
+            service = await started_service()
+            port = service.port
+            await service.shutdown()
+            try:
+                await asyncio.wait_for(
+                    asyncio.open_connection("127.0.0.1", port), timeout=2
+                )
+            except (ConnectionRefusedError, asyncio.TimeoutError):
+                return True
+            return False
+
+        assert run(go()) is True

@@ -42,6 +42,25 @@ class TestCheckCommand:
         assert main(["check", str(path)]) == 0
         assert "no violations" in capsys.readouterr().out
 
+    def test_non_utf8_file_reports_typed_failure_and_exits_2(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "legacy.html"
+        path.write_bytes("<p>äöü".encode("latin-1"))
+        assert main(["check", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "not UTF-8-decodable" in err
+
+    def test_non_utf8_failure_mentions_declared_encoding(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "declared.html"
+        path.write_bytes(
+            b'<meta charset="shift_jis"><p>\x83e\x83X\x83g'
+        )
+        assert main(["check", str(path)]) == 2
+        assert "shift_jis" in capsys.readouterr().err
+
     def test_multi_violation_document_end_to_end(self, tmp_path, capsys):
         path = tmp_path / "multi.html"
         path.write_text(MULTI_DIRTY)
