@@ -4,19 +4,35 @@ one IP address" (section 3.3).  Our local equivalent measures the fetch +
 decode + check path per page and end-to-end over a domain.
 
 Run under pytest for the fetch/check benches, or standalone for the
-storage-layer throughput snapshot (the ``BENCH_pipeline_*.json`` pair
+study-pipeline throughput snapshot (the ``BENCH_pipeline_*.json`` pairs
 referenced by EXPERIMENTS.md)::
 
     PYTHONPATH=src python benchmarks/bench_pipeline_throughput.py \
-        --untuned --output reports/BENCH_pipeline_before.json
+        --legacy --output reports/BENCH_pipeline_pr5_before.json
     PYTHONPATH=src python benchmarks/bench_pipeline_throughput.py \
         --output reports/BENCH_pipeline_after.json
 
-The standalone mode measures the SQLite write path (pages + findings
-inserts with the runner's per-snapshot commit cadence) and the
-aggregation queries behind Table 2 / Figures 8-10, with the storage
-tuning (WAL, ``synchronous=NORMAL``, secondary indexes) on or off — the
-two snapshots make the tuning's effect a recorded fact, not folklore.
+The standalone mode measures four layers, each with an explicit
+before/after axis so a perf claim is always a recorded pair:
+
+* **storage** (``--untuned``): the SQLite write path (pages + findings
+  inserts with the runner's commit cadence) and the aggregation queries
+  behind Table 2 / Figures 8-10, with the WAL/NORMAL/index tuning on or
+  off;
+* **CDX index** (``--legacy``): open + exact ``lookup`` + ``domain_query``
+  against the eager linear-scan reference loader vs the mmap-backed
+  binary-search index;
+* **per-stage pipeline attribution**: the sequential measurement loop with
+  each stage (index query / WARC fetch / check / store) timed separately,
+  so an end-to-end delta is explainable stage by stage;
+* **end-to-end runners**: :class:`StudyRunner` and the parallel runner
+  (``--legacy`` replays the old per-snapshot ``pool.map`` barrier
+  orchestration; default is the completion-streamed runner).
+
+The script deliberately runs on older checkouts too (every post-rework
+API is feature-detected and falls back to the legacy path), so a
+"before" snapshot can be captured from the pre-rework tree with the same
+workload.
 """
 from __future__ import annotations
 
@@ -29,10 +45,17 @@ from pathlib import Path
 
 import pytest
 
-from repro.commoncrawl import CommonCrawlClient, snapshot_name
+from repro.commoncrawl import (
+    ArchiveBuilder,
+    CommonCrawlClient,
+    CorpusConfig,
+    CorpusPlanner,
+    snapshot_name,
+)
 from repro.core import Checker
 from repro.pipeline import Storage, collect_metadata, fetch_pages
 from repro.pipeline.checker_stage import check_page
+from repro.warc import CDXEntry, CDXIndex, CDXWriter, surt
 
 
 @pytest.fixture(scope="module")
@@ -232,6 +255,384 @@ def run_storage_bench(*, tuned: bool, rounds: int, label: str) -> dict:
     }
 
 
+# ---------------------------------------------------------------------------
+# Feature detection: every post-rework API degrades to the legacy path so
+# the same script captures honest numbers from an older checkout.
+# ---------------------------------------------------------------------------
+
+
+def _open_cdx_index(path: Path, *, legacy: bool):
+    """(index, backend-name): the mmap binary-search index when available
+    and not in legacy mode, else the eager linear-scan reference."""
+    if not legacy:
+        try:
+            from repro.warc import MMapCDXIndex
+
+            return MMapCDXIndex.open(path), "mmap"
+        except ImportError:
+            pass
+    return CDXIndex.load(path), "linear"
+
+
+def _make_client(root: Path, *, legacy: bool) -> CommonCrawlClient:
+    """An archive client pinned to the requested index/fetch generation."""
+    if legacy:
+        try:
+            # post-rework tree: ask for the pre-rework data paths
+            return CommonCrawlClient(root, index_backend="linear", handle_cache=0)
+        except TypeError:
+            return CommonCrawlClient(root)  # pre-rework tree: already legacy
+    return CommonCrawlClient(root)
+
+
+def _store_domain(storage, snapshot_row_id, domain_row_id, page_rows, findings,
+                  *, batched: bool) -> None:
+    """The parent's per-domain ingest; bulk executemany when available.
+
+    ``page_rows`` are ``(url, utf8, checked, declared_encoding)`` tuples in
+    page order; ``findings`` maps page index -> counts dict.
+    """
+    if batched and hasattr(storage, "add_pages"):
+        page_ids = storage.add_pages(
+            snapshot_row_id, domain_row_id, page_rows
+        )
+        rows = [
+            (page_ids[index], violation, count)
+            for index, counts in findings.items()
+            for violation, count in counts.items()
+        ]
+        storage.add_findings_rows(rows)
+    else:
+        for index, (url, utf8, checked, declared) in enumerate(page_rows):
+            page_id = storage.add_page(
+                snapshot_row_id, domain_row_id, url,
+                utf8=utf8, checked=checked, declared_encoding=declared,
+            )
+            counts = findings.get(index)
+            if counts:
+                storage.add_findings(page_id, counts)
+    storage.set_domain_status(
+        snapshot_row_id, domain_row_id,
+        found=True, analyzed=bool(page_rows), pages=len(page_rows),
+    )
+
+
+# ---------------------------------------------------------------------------
+# CDX index microbench (the ``>= 3x on domain_query`` acceptance case)
+# ---------------------------------------------------------------------------
+
+#: synthetic index shape: enough lines that scan cost, not parse constants,
+#: dominates the linear path; domain names interleave lexicographically so
+#: prefix ranges sit mid-file
+CDX_DOMAINS = 240
+CDX_PAGES_PER_DOMAIN = 40
+#: domains probed per timed query round (spread across the key space)
+CDX_QUERY_SAMPLE = 16
+
+
+def _cdx_domain(index: int) -> str:
+    return f"site{index:04d}.example"
+
+
+def _build_cdx_file(path: Path) -> int:
+    writer = CDXWriter()
+    for d in range(CDX_DOMAINS):
+        domain = _cdx_domain(d)
+        for p in range(CDX_PAGES_PER_DOMAIN):
+            url = f"http://{domain}/page{p:03d}"
+            writer.add(CDXEntry(
+                urlkey=surt(url),
+                timestamp=f"2022{p % 12 + 1:02d}01000000",
+                url=url,
+                mime="text/html",
+                status=200,
+                digest=f"sha1:{d:04d}{p:03d}",
+                length=1000 + p,
+                offset=p * 2048,
+                filename=f"part-{d % 8:05d}.warc.gz",
+            ))
+    return writer.write(path)
+
+
+def run_cdx_bench(*, legacy: bool, rounds: int) -> tuple[dict, str]:
+    """Time index open, exact lookup and domain-prefix query; returns
+    (cases, backend-name)."""
+    sample = [
+        _cdx_domain(d * CDX_DOMAINS // CDX_QUERY_SAMPLE)
+        for d in range(CDX_QUERY_SAMPLE)
+    ]
+    urls = [f"http://{domain}/page007" for domain in sample]
+    open_best = query_best = lookup_best = float("inf")
+    entries_per_query = 0
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cdx-") as tmp:
+        path = Path(tmp) / "index.cdxj"
+        lines = _build_cdx_file(path)
+        for _ in range(max(1, rounds)):
+            started = time.perf_counter()
+            index, backend = _open_cdx_index(path, legacy=legacy)
+            open_best = min(open_best, time.perf_counter() - started)
+
+            started = time.perf_counter()
+            for domain in sample:
+                entries_per_query = len(list(index.domain_query(domain)))
+            query_best = min(
+                query_best,
+                (time.perf_counter() - started) / len(sample),
+            )
+
+            started = time.perf_counter()
+            for url in urls:
+                hits = index.lookup(url)
+                assert hits, url
+            lookup_best = min(
+                lookup_best, (time.perf_counter() - started) / len(urls)
+            )
+            close = getattr(index, "close", None)
+            if close is not None:
+                close()
+    cases = {
+        "cdx_open": {
+            "kind": "cdx",
+            "lines": lines,
+            "best_seconds": open_best,
+            "lines_per_second": lines / open_best if open_best else 0.0,
+        },
+        "cdx_domain_query": {
+            "kind": "cdx",
+            "lines": lines,
+            "entries_per_query": entries_per_query,
+            "best_seconds": query_best,
+            "queries_per_second": 1.0 / query_best if query_best else 0.0,
+        },
+        "cdx_lookup": {
+            "kind": "cdx",
+            "lines": lines,
+            "best_seconds": lookup_best,
+            "queries_per_second": 1.0 / lookup_best if lookup_best else 0.0,
+        },
+    }
+    return cases, backend
+
+
+# ---------------------------------------------------------------------------
+# Per-stage pipeline attribution + end-to-end runners
+# ---------------------------------------------------------------------------
+
+#: mini study corpus: two snapshots over ~100 domains — small enough to
+#: build in seconds, large enough that per-domain stage costs dominate
+#: process-pool constants.  The archive carries more captures per domain
+#: than the run fetches (paper shape: a large per-snapshot index, 100
+#: pages fetched from it), so index-query cost is visible next to check
+#: cost instead of vanishing behind it.
+PIPELINE_CONFIG = CorpusConfig(
+    num_domains=110, max_pages=6, seed=17, years=(2015, 2022)
+)
+#: per-domain fetch cap during the benchmarked run (< max_pages above)
+PIPELINE_FETCH_PAGES = 3
+PIPELINE_WORKERS = 2
+
+
+def _build_pipeline_archive(root: Path) -> list[tuple[str, float]]:
+    plan = CorpusPlanner(PIPELINE_CONFIG).plan()
+    ArchiveBuilder(root).build(plan)
+    return plan.domains
+
+
+def run_staged_pipeline(root: Path, domains, *, legacy: bool) -> tuple[dict, int]:
+    """One sequential pass with each stage timed separately.
+
+    Returns (stages-seconds dict, pages stored).  The stage split mirrors
+    the measurement loop: CDX index query -> WARC range-read -> check ->
+    SQLite store (the store stage includes the per-snapshot commit).
+    """
+    stages = {"index": 0.0, "fetch": 0.0, "check": 0.0, "store": 0.0}
+    client = _make_client(root, legacy=legacy)
+    checker = Checker()
+    pages_stored = 0
+    with Storage(":memory:") as storage:
+        domain_ids = {
+            name: storage.add_domain(name, rank) for name, rank in domains
+        }
+        for collection in client.collections():
+            snapshot_row_id = storage.add_snapshot(collection.id, collection.year)
+            for name, _rank in domains:
+                started = time.perf_counter()
+                metadata = collect_metadata(
+                    client, collection.id, name,
+                    max_pages=PIPELINE_FETCH_PAGES,
+                )
+                stages["index"] += time.perf_counter() - started
+
+                started = time.perf_counter()
+                pages = list(fetch_pages(client, metadata))
+                stages["fetch"] += time.perf_counter() - started
+
+                started = time.perf_counter()
+                checked = [check_page(page, checker) for page in pages]
+                stages["check"] += time.perf_counter() - started
+
+                started = time.perf_counter()
+                if metadata.found:
+                    page_rows = [
+                        (page.url, result.utf8, result.report is not None,
+                         result.declared_encoding)
+                        for page, result in zip(pages, checked)
+                    ]
+                    findings = {
+                        index: dict(result.report.counts)
+                        for index, result in enumerate(checked)
+                        if result.report is not None and result.report.counts
+                    }
+                    _store_domain(
+                        storage, snapshot_row_id, domain_ids[name],
+                        page_rows, findings, batched=not legacy,
+                    )
+                    pages_stored += len(page_rows)
+                else:
+                    storage.set_domain_status(
+                        snapshot_row_id, domain_ids[name],
+                        found=False, analyzed=False, pages=0,
+                    )
+                stages["store"] += time.perf_counter() - started
+            started = time.perf_counter()
+            storage.commit()
+            stages["store"] += time.perf_counter() - started
+    return stages, pages_stored
+
+
+def _legacy_barrier_parallel_run(root: Path, domains, *, max_pages: int,
+                                 workers: int) -> int:
+    """The pre-rework orchestration: per-snapshot ``pool.map`` barrier.
+
+    Replayed here (against whatever worker internals the tree ships) so the
+    scheduling layer itself has a measurable before/after.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.pipeline import parallel as par
+
+    pages_checked = 0
+    catalog = CommonCrawlClient(root)
+    with Storage(":memory:") as storage:
+        domain_ids = {
+            name: storage.add_domain(name, rank) for name, rank in domains
+        }
+        names = [name for name, _rank in domains]
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=par._init_worker,
+            initargs=(str(root),),
+        ) as pool:
+            for collection in catalog.collections():
+                snapshot_row_id = storage.add_snapshot(
+                    collection.id, collection.year
+                )
+                results = pool.map(
+                    par.process_domain,
+                    [collection.id] * len(names),
+                    names,
+                    [max_pages] * len(names),
+                    chunksize=8,
+                )
+                for result in results:
+                    for page in result.pages:
+                        page_id = storage.add_page(
+                            snapshot_row_id, domain_ids[result.domain],
+                            page.url, utf8=page.utf8, checked=page.checked,
+                            declared_encoding=page.declared_encoding,
+                        )
+                        if page.findings:
+                            storage.add_findings(page_id, page.findings)
+                        if page.checked:
+                            pages_checked += 1
+                    storage.set_domain_status(
+                        snapshot_row_id, domain_ids[result.domain],
+                        found=result.found,
+                        analyzed=result.analyzed_pages > 0,
+                        pages=result.analyzed_pages,
+                    )
+                storage.commit()
+    return pages_checked
+
+
+def run_pipeline_bench(*, legacy: bool, rounds: int) -> dict:
+    """Per-stage attribution + end-to-end sequential and parallel runs."""
+    from repro.pipeline import ParallelStudyRunner, StudyRunner
+
+    staged_best: dict | None = None
+    staged_total = float("inf")
+    sequential_best = float("inf")
+    parallel_best = float("inf")
+    pages = seq_pages = par_pages = 0
+    with tempfile.TemporaryDirectory(prefix="repro-bench-pipe-") as tmp:
+        root = Path(tmp)
+        domains = _build_pipeline_archive(root)
+        for _ in range(max(1, rounds)):
+            stages, pages = run_staged_pipeline(root, domains, legacy=legacy)
+            total = sum(stages.values())
+            if total < staged_total:
+                staged_total, staged_best = total, stages
+
+            with Storage(":memory:") as storage:
+                started = time.perf_counter()
+                stats = StudyRunner(
+                    _make_client(root, legacy=legacy), storage,
+                    max_pages=PIPELINE_FETCH_PAGES,
+                ).run(domains)
+                sequential_best = min(
+                    sequential_best, time.perf_counter() - started
+                )
+                seq_pages = stats.pages_checked
+
+            if legacy:
+                started = time.perf_counter()
+                par_pages = _legacy_barrier_parallel_run(
+                    root, domains, max_pages=PIPELINE_FETCH_PAGES,
+                    workers=PIPELINE_WORKERS,
+                )
+                parallel_best = min(
+                    parallel_best, time.perf_counter() - started
+                )
+            else:
+                with Storage(":memory:") as storage:
+                    started = time.perf_counter()
+                    stats = ParallelStudyRunner(
+                        root, storage, max_pages=PIPELINE_FETCH_PAGES,
+                        workers=PIPELINE_WORKERS,
+                    ).run(domains)
+                    parallel_best = min(
+                        parallel_best, time.perf_counter() - started
+                    )
+                    par_pages = stats.pages_checked
+    assert staged_best is not None
+    return {
+        "pipeline_stages": {
+            "kind": "pipeline",
+            "pages": pages,
+            "best_seconds": staged_total,
+            "pages_per_second": pages / staged_total if staged_total else 0.0,
+            "stages": staged_best,
+        },
+        "pipeline_sequential": {
+            "kind": "pipeline",
+            "pages": seq_pages,
+            "best_seconds": sequential_best,
+            "pages_per_second": (
+                seq_pages / sequential_best if sequential_best else 0.0
+            ),
+        },
+        "pipeline_parallel_w2": {
+            "kind": "pipeline",
+            "pages": par_pages,
+            "workers": PIPELINE_WORKERS,
+            "best_seconds": parallel_best,
+            "pages_per_second": (
+                par_pages / parallel_best if parallel_best else 0.0
+            ),
+        },
+    }
+
+
 def render_storage_snapshot(snapshot: dict) -> str:
     write = snapshot["cases"]["storage_write"]
     durable = snapshot["cases"]["storage_write_durable"]
@@ -254,24 +655,76 @@ def render_storage_snapshot(snapshot: dict) -> str:
     )
 
 
+def render_pipeline_cases(snapshot: dict) -> str:
+    cases = snapshot["cases"]
+    backend = snapshot["config"].get("cdx_backend", "?")
+    lines = [f"cdx index [{backend}]"]
+    for name in ("cdx_open", "cdx_domain_query", "cdx_lookup"):
+        if name not in cases:
+            continue
+        case = cases[name]
+        lines.append(
+            f"  {name.removeprefix('cdx_'):<13} "
+            f"{case['best_seconds'] * 1e6:>10.1f} us/op"
+        )
+    mode = "legacy" if snapshot["config"].get("legacy") else "reworked"
+    lines.append(f"pipeline [{mode}]")
+    for name in (
+        "pipeline_stages", "pipeline_sequential", "pipeline_parallel_w2"
+    ):
+        if name not in cases:
+            continue
+        case = cases[name]
+        line = (
+            f"  {name.removeprefix('pipeline_'):<13} {case['pages']} pages in "
+            f"{case['best_seconds'] * 1e3:.1f} ms "
+            f"({case['pages_per_second']:.0f} pages/s)"
+        )
+        if "stages" in case:
+            line += " — " + ", ".join(
+                f"{stage} {seconds * 1e3:.1f}ms"
+                for stage, seconds in case["stages"].items()
+            )
+        lines.append(line)
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        description="storage-layer throughput snapshot (repro-bench/1)"
+        description="study-pipeline throughput snapshot (repro-bench/1)"
     )
     parser.add_argument("--output", metavar="FILE", default=None,
                         help="write the BENCH_pipeline_*.json snapshot here")
     parser.add_argument("--untuned", action="store_true",
-                        help="measure without pragmas/secondary indexes "
-                        "(the 'before' half of the pair)")
+                        help="measure storage without pragmas/secondary "
+                        "indexes (the 'before' half of the storage pair)")
+    parser.add_argument("--legacy", action="store_true",
+                        help="measure the pre-rework data paths: linear CDX "
+                        "scan, per-fetch file opens, row-at-a-time ingest, "
+                        "pool.map barrier scheduling")
     parser.add_argument("--rounds", type=int, default=5,
                         help="timing rounds; the minimum wins (default 5)")
+    parser.add_argument("--pipeline-rounds", type=int, default=3,
+                        help="timing rounds for the end-to-end pipeline "
+                        "cases (default 3)")
     parser.add_argument("--label", default="",
                         help="provenance label stored in the snapshot")
     args = parser.parse_args(argv)
     snapshot = run_storage_bench(
         tuned=not args.untuned, rounds=args.rounds, label=args.label
     )
+    cdx_cases, backend = run_cdx_bench(legacy=args.legacy, rounds=args.rounds)
+    snapshot["cases"].update(cdx_cases)
+    snapshot["cases"].update(
+        run_pipeline_bench(legacy=args.legacy, rounds=args.pipeline_rounds)
+    )
+    snapshot["config"]["legacy"] = args.legacy
+    snapshot["config"]["cdx_backend"] = backend
+    snapshot["config"]["cdx_lines"] = CDX_DOMAINS * CDX_PAGES_PER_DOMAIN
+    snapshot["config"]["pipeline_domains"] = PIPELINE_CONFIG.num_domains
+    snapshot["config"]["pipeline_years"] = list(PIPELINE_CONFIG.years)
     print(render_storage_snapshot(snapshot))
+    print(render_pipeline_cases(snapshot))
     if args.output:
         path = Path(args.output)
         path.parent.mkdir(parents=True, exist_ok=True)

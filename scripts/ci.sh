@@ -34,7 +34,10 @@ BENCH_SMOKE_OUT="${TMPDIR:-/tmp}/BENCH_ci_smoke.json"
 python -c 'import sys; from repro.cli import main; sys.exit(main(sys.argv[1:]))' \
     bench --quick --output "$BENCH_SMOKE_OUT"
 python -c "import json, sys; s = json.load(open(sys.argv[1])); \
-assert s['schema'] == 'repro-bench/1' and s['cases'], 'bad bench snapshot'" \
+assert s['schema'] == 'repro-bench/1' and s['cases'], 'bad bench snapshot'; \
+p = s['pipeline']; \
+assert set(p['stages']) == {'index', 'fetch', 'check', 'store'}, p; \
+assert p['pages'] > 0 and p['best_seconds'] > 0, 'empty pipeline case'" \
     "$BENCH_SMOKE_OUT"
 rm -f "$BENCH_SMOKE_OUT"
 

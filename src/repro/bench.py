@@ -144,7 +144,129 @@ class BenchConfig:
     repeat: int = 5
     number: int = 20
     rules: bool = True
+    pipeline: bool = True
     label: str = ""
+
+
+# ------------------------------------------------- miniature pipeline case
+
+#: miniature end-to-end corpus: small enough for the CI smoke, large
+#: enough that every stage (CDX query, WARC fetch, check, SQLite store)
+#: registers nonzero time
+PIPELINE_BENCH_DOMAINS = 8
+PIPELINE_BENCH_MAX_PAGES = 2
+PIPELINE_BENCH_SEED = 11
+
+
+def _staged_pipeline_run(root, domains) -> tuple[dict, int]:
+    """One sequential end-to-end pass with per-stage timing.
+
+    Mirrors ``benchmarks/bench_pipeline_throughput.py``'s attribution
+    split: metadata/index time vs WARC fetch vs check vs store (store
+    includes the per-snapshot commit), so the smoke snapshot carries the
+    same per-stage fields the committed before/after pairs report.
+    """
+    from repro.commoncrawl import CommonCrawlClient
+    from repro.pipeline import Storage
+    from repro.pipeline.checker_stage import check_page
+    from repro.pipeline.crawler import fetch_pages
+    from repro.pipeline.metadata import collect_metadata
+
+    stages = {"index": 0.0, "fetch": 0.0, "check": 0.0, "store": 0.0}
+    checker = Checker()
+    pages_stored = 0
+    client = CommonCrawlClient(root)
+    with Storage(":memory:") as storage:
+        domain_ids = {
+            name: storage.add_domain(name, rank) for name, rank in domains
+        }
+        for collection in client.collections():
+            snapshot_row_id = storage.add_snapshot(collection.id, collection.year)
+            for name, _rank in domains:
+                started = time.perf_counter()
+                metadata = collect_metadata(
+                    client, collection.id, name,
+                    max_pages=PIPELINE_BENCH_MAX_PAGES,
+                )
+                stages["index"] += time.perf_counter() - started
+
+                started = time.perf_counter()
+                pages = list(fetch_pages(client, metadata))
+                stages["fetch"] += time.perf_counter() - started
+
+                started = time.perf_counter()
+                checked = [check_page(page, checker) for page in pages]
+                stages["check"] += time.perf_counter() - started
+
+                started = time.perf_counter()
+                if metadata.found:
+                    analyzed = 0
+                    for page, result in zip(pages, checked):
+                        page_row_id = storage.add_page(
+                            snapshot_row_id, domain_ids[name], page.url,
+                            utf8=result.utf8,
+                            checked=result.report is not None,
+                            declared_encoding=result.declared_encoding,
+                        )
+                        if result.report is not None:
+                            analyzed += 1
+                            if result.report.counts:
+                                storage.add_findings(
+                                    page_row_id, dict(result.report.counts)
+                                )
+                    storage.set_domain_status(
+                        snapshot_row_id, domain_ids[name], found=True,
+                        analyzed=analyzed > 0, pages=analyzed,
+                    )
+                    pages_stored += len(pages)
+                else:
+                    storage.set_domain_status(
+                        snapshot_row_id, domain_ids[name],
+                        found=False, analyzed=False, pages=0,
+                    )
+                stages["store"] += time.perf_counter() - started
+            started = time.perf_counter()
+            storage.commit()
+            stages["store"] += time.perf_counter() - started
+    closer = getattr(client, "close", None)
+    if closer is not None:
+        closer()
+    return stages, pages_stored
+
+
+def run_pipeline_case(config: BenchConfig) -> dict:
+    """Best-of-``repeat`` miniature end-to-end pipeline measurement."""
+    import tempfile
+
+    from repro.commoncrawl import ArchiveBuilder, CorpusConfig, CorpusPlanner
+
+    corpus = CorpusConfig(
+        num_domains=PIPELINE_BENCH_DOMAINS,
+        max_pages=PIPELINE_BENCH_MAX_PAGES,
+        seed=PIPELINE_BENCH_SEED,
+        years=(2022,),
+    )
+    plan = CorpusPlanner(corpus).plan()
+    domains = [(name, rank) for name, rank in plan.domains]
+    best_stages: dict | None = None
+    best_total = float("inf")
+    pages = 0
+    with tempfile.TemporaryDirectory() as root:
+        ArchiveBuilder(root).build(plan)
+        for _ in range(max(1, config.repeat)):
+            stages, pages = _staged_pipeline_run(root, domains)
+            total = sum(stages.values())
+            if total < best_total:
+                best_total = total
+                best_stages = stages
+    assert best_stages is not None
+    return {
+        "domains": len(domains),
+        "pages": pages,
+        "best_seconds": best_total,
+        "pages_per_second": pages / best_total if best_total else 0.0,
+        "stages": best_stages,
+    }
 
 
 def run_benchmarks(config: BenchConfig) -> dict:
@@ -187,6 +309,8 @@ def run_benchmarks(config: BenchConfig) -> dict:
                 repeat=config.repeat, number=config.number,
             )
             snapshot["rules"][rule.id] = {"best_seconds": seconds}
+    if config.pipeline:
+        snapshot["pipeline"] = run_pipeline_case(config)
     return snapshot
 
 
@@ -206,6 +330,18 @@ def render_snapshot(snapshot: dict) -> str:
             f"{case['chars_per_second'] / 1e6:>9.2f} "
             f"{case['tokens_per_second'] / 1e3:>10.1f} "
             f"{case['pages_per_second']:>9.1f}"
+        )
+    if snapshot.get("pipeline"):
+        pipeline = snapshot["pipeline"]
+        stage_text = ", ".join(
+            f"{stage} {seconds * 1e3:.1f}ms"
+            for stage, seconds in pipeline["stages"].items()
+        )
+        lines.append(
+            f"pipeline e2e: {pipeline['pages']} pages over "
+            f"{pipeline['domains']} domains in "
+            f"{pipeline['best_seconds'] * 1e3:.1f}ms "
+            f"({pipeline['pages_per_second']:.0f} pages/s; {stage_text})"
         )
     if snapshot["rules"]:
         total = sum(r["best_seconds"] for r in snapshot["rules"].values())
@@ -247,6 +383,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="single iteration of everything (CI smoke)")
     parser.add_argument("--no-rules", action="store_true",
                         help="skip the per-rule cost measurements")
+    parser.add_argument("--no-pipeline", action="store_true",
+                        help="skip the miniature end-to-end pipeline case")
     parser.add_argument("--label", default="",
                         help="provenance label stored in the snapshot")
     args = parser.parse_args(argv)
@@ -254,6 +392,7 @@ def main(argv: list[str] | None = None) -> int:
         repeat=1 if args.quick else args.repeat,
         number=1 if args.quick else args.number,
         rules=not args.no_rules,
+        pipeline=not args.no_pipeline,
         label=args.label,
     )
     snapshot = run_benchmarks(config)

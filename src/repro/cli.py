@@ -257,6 +257,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         repeat=1 if args.quick else args.repeat,
         number=1 if args.quick else args.number,
         rules=not args.no_rules,
+        pipeline=not args.no_pipeline,
         label=args.label,
     )
     snapshot = run_benchmarks(config)
@@ -396,6 +397,10 @@ def main(argv: list[str] | None = None) -> int:
     bench_parser.add_argument(
         "--no-rules", action="store_true",
         help="skip the per-rule cost measurements",
+    )
+    bench_parser.add_argument(
+        "--no-pipeline", action="store_true",
+        help="skip the miniature end-to-end pipeline case",
     )
     bench_parser.add_argument(
         "--label", default="",

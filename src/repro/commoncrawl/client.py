@@ -13,7 +13,9 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator
 
-from ..warc import CDXEntry, CDXIndex, WARCRecord, read_record_at
+from ..warc import CDXEntry, CDXIndex, MMapCDXIndex, WARCFileCache, WARCRecord
+
+INDEX_BACKENDS = ("mmap", "linear")
 
 
 @dataclass(frozen=True, slots=True)
@@ -27,16 +29,35 @@ class Collection:
 
 
 class CommonCrawlClient:
-    """Read-only access to a local archive built by :class:`ArchiveBuilder`."""
+    """Read-only access to a local archive built by :class:`ArchiveBuilder`.
 
-    def __init__(self, root: str | Path) -> None:
+    ``index_backend`` selects the CDX implementation: ``"mmap"`` (default)
+    binary-searches the memory-mapped file; ``"linear"`` eagerly parses it
+    (the reference implementation, kept for equivalence testing).
+    ``handle_cache`` bounds the LRU of open WARC file handles used by
+    :meth:`fetch`; ``0`` re-opens the file per record.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        index_backend: str = "mmap",
+        handle_cache: int = 8,
+    ) -> None:
         self.root = Path(root)
         if not (self.root / "collinfo.json").exists():
             raise FileNotFoundError(
                 f"{self.root} is not a Common Crawl archive (no collinfo.json)"
             )
+        if index_backend not in INDEX_BACKENDS:
+            raise ValueError(
+                f"unknown index backend {index_backend!r}; expected one of {INDEX_BACKENDS}"
+            )
+        self.index_backend = index_backend
         self._collections: list[Collection] | None = None
-        self._indexes: dict[str, CDXIndex] = {}
+        self._indexes: dict[str, CDXIndex | MMapCDXIndex] = {}
+        self._handles = WARCFileCache(maxsize=handle_cache)
 
     # -------------------------------------------------------------- catalog
 
@@ -62,10 +83,14 @@ class CommonCrawlClient:
 
     # ---------------------------------------------------------------- index
 
-    def index(self, snapshot_id: str) -> CDXIndex:
+    def index(self, snapshot_id: str) -> CDXIndex | MMapCDXIndex:
         if snapshot_id not in self._indexes:
             collection = self.collection(snapshot_id)
-            self._indexes[snapshot_id] = CDXIndex.load(self.root / collection.cdx_api)
+            path = self.root / collection.cdx_api
+            if self.index_backend == "mmap":
+                self._indexes[snapshot_id] = MMapCDXIndex.open(path)
+            else:
+                self._indexes[snapshot_id] = CDXIndex.load(path)
         return self._indexes[snapshot_id]
 
     def query(
@@ -85,27 +110,54 @@ class CommonCrawlClient:
         2015-14 snapshot, the first with MIME metadata).  ``page`` and
         ``page_size`` mirror the real index server's paged API for large
         domains.
+
+        Precedence when both are given: ``limit`` caps the mime-filtered
+        capture stream first, then ``page``/``page_size`` window into that
+        capped stream — so no page ever extends past ``limit``, and a
+        ``limit`` spanning several pages truncates exactly the last page
+        that crosses it.
         """
-        count = 0
+        passed = 0  # position within the limit-capped, mime-filtered stream
+        yielded = 0  # captures yielded from the current page
         skip = page * page_size if page_size else 0
         for entry in self.index(snapshot_id).domain_query(domain):
             if mime is not None and entry.mime != mime:
                 continue
+            if limit is not None and passed >= limit:
+                return
+            passed += 1
             if skip:
                 skip -= 1
                 continue
             yield entry
-            count += 1
-            if page_size is not None and count >= page_size:
-                return
-            if limit is not None and count >= limit:
+            yielded += 1
+            if page_size is not None and yielded >= page_size:
                 return
 
     # ---------------------------------------------------------------- fetch
 
     def fetch(self, entry: CDXEntry) -> WARCRecord:
         """Range-read one record (the S3 fetch in the real pipeline)."""
-        return read_record_at(self.root / entry.filename, entry.offset, entry.length)
+        return self._handles.read_record_at(
+            self.root / entry.filename, entry.offset, entry.length
+        )
+
+    # -------------------------------------------------------------- lifetime
+
+    def close(self) -> None:
+        """Release cached WARC handles and mapped indexes."""
+        self._handles.close()
+        for index in self._indexes.values():
+            closer = getattr(index, "close", None)
+            if closer is not None:
+                closer()
+        self._indexes.clear()
+
+    def __enter__(self) -> "CommonCrawlClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def resolve_revisit(
         self, snapshot_id: str, record: WARCRecord

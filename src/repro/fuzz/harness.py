@@ -154,9 +154,15 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
     for oracle_name in batch:
         report.oracle_executions[oracle_name] += 1
         report.executions += 1
+        # vary the pool shape per session (deterministically: same seed,
+        # same shape) so the reorder buffer is differentially fuzzed
+        # across worker counts and in-flight windows, not just one layout
+        batch_rng = random.Random(f"{config.seed}:batch:{oracle_name}")
+        workers = batch_rng.randint(1, max(1, config.parallel_workers))
+        window = batch_rng.randint(1, max(2, len(sample)))
         try:
             BATCH_ORACLES[oracle_name].run_batch(
-                sample, workers=config.parallel_workers
+                sample, workers=workers, window=window
             )
         except SkipInput:
             report.skips += 1

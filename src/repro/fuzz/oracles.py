@@ -492,24 +492,44 @@ def check_counts(data: bytes) -> tuple[bool, tuple[tuple[str, int], ...]]:
 
 
 def parallel_equivalence(
-    corpus: Sequence[bytes], *, workers: int = 2
+    corpus: Sequence[bytes], *, workers: int = 2, window: int | None = None
 ) -> None:
     """Checking fuzzed pages through a process pool must equal the
     sequential loop element-for-element (the sharding soundness claim).
 
+    The pool is driven through :func:`repro.pipeline.reorder.streamed_map`
+    — the exact completion-streamed scheduler the study's parallel runner
+    uses — so this batch oracle differentially fuzzes the reorder buffer
+    too: the harness varies ``workers`` and the in-flight ``window``
+    (``None`` means the whole corpus at once) per session, and any
+    ordering bug surfaces as an index whose sequential and parallel
+    results disagree.
+
     The sequential pass runs first so a crashing input fails in-process
     with an attributable traceback rather than through pool plumbing.
     """
+    from ..pipeline.reorder import streamed_map
+
     if not corpus:
         raise SkipInput("empty-corpus-sample")
+    if window is None:
+        window = len(corpus)
     sequential = [check_counts(data) for data in corpus]
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        parallel = list(pool.map(check_counts, corpus, chunksize=4))
+        submit = lambda data: pool.submit(check_counts, data)
+        parallel = list(streamed_map(submit, list(corpus), window=window))
+    if len(parallel) != len(sequential):
+        raise OracleFailure(
+            "parallel-length-divergence",
+            f"{len(parallel)} parallel results != {len(sequential)} inputs "
+            f"(workers={workers}, window={window})",
+        )
     for index, (left, right) in enumerate(zip(sequential, parallel)):
         if left != right:
             raise OracleFailure(
                 "parallel-divergence",
-                f"input {index}: sequential {left} != parallel {right}",
+                f"input {index}: sequential {left} != parallel {right} "
+                f"(workers={workers}, window={window})",
             )
 
 

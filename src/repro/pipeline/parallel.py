@@ -6,8 +6,17 @@ the bottleneck).  This module fans domains out to worker processes — each
 worker holds its own archive client and checker — and streams compact,
 picklable results back to the parent, which owns the single SQLite writer.
 
+Scheduling: every snapshot×domain task is submitted up front and consumed
+as workers finish, through the deterministic reorder buffer in
+:mod:`repro.pipeline.reorder` — so a slow domain no longer stalls its
+whole snapshot behind a ``pool.map`` barrier, while results are still
+*stored* in exactly the sequential order.  A bounded in-flight window
+keeps parent memory flat regardless of how completion order scrambles.
+
 Results are bit-identical to the sequential runner regardless of worker
-count: page checking is a pure function and writes happen in domain order.
+count: page checking is a pure function, the reorder buffer restores
+submission order, and the parent batches each domain's rows in the same
+order the sequential runner writes them.
 """
 from __future__ import annotations
 
@@ -22,17 +31,26 @@ from ..core import Checker
 from .checker_stage import check_page
 from .crawler import CrawlStats, fetch_pages
 from .metadata import collect_metadata
+from .reorder import streamed_map
 from .storage import Storage
 
 # Per-process globals, set up once by the pool initializer.
 _client: CommonCrawlClient | None = None
 _checker: Checker | None = None
+_fetch_retries: int = 2
+_measure_mitigations: bool = True
 
 
-def _init_worker(archive_root: str) -> None:
-    global _client, _checker
+def _init_worker(
+    archive_root: str,
+    fetch_retries: int = 2,
+    measure_mitigations: bool = True,
+) -> None:
+    global _client, _checker, _fetch_retries, _measure_mitigations
     _client = CommonCrawlClient(archive_root)
     _checker = Checker()
+    _fetch_retries = fetch_retries
+    _measure_mitigations = measure_mitigations
 
 
 @dataclass(slots=True)
@@ -72,8 +90,12 @@ def process_domain(snapshot_id: str, domain: str, max_pages: int) -> DomainResul
     if not metadata.found:
         return result
     crawl_stats = CrawlStats()
-    for page in fetch_pages(_client, metadata, stats=crawl_stats):
-        checked = check_page(page, _checker)
+    for page in fetch_pages(
+        _client, metadata, stats=crawl_stats, retries=_fetch_retries
+    ):
+        checked = check_page(
+            page, _checker, measure_mitigation_signals=_measure_mitigations
+        )
         page_result = PageResult(
             url=page.url, utf8=checked.utf8,
             checked=checked.report is not None,
@@ -123,11 +145,17 @@ class ParallelRunStats:
 class ParallelStudyRunner:
     """Run the study with a process pool; same results as StudyRunner.
 
-    Mirrors :class:`~repro.pipeline.runner.StudyRunner`'s interface:
-    ``snapshot_ids`` restricts the run to the named collections and
-    ``progress`` is an optional callback ``(snapshot_name, domains_done,
-    domains_total)`` invoked as worker results stream back (so it reports
-    completion order, which the deterministic store order does not follow).
+    Mirrors :class:`~repro.pipeline.runner.StudyRunner`'s interface
+    (including ``fetch_retries`` and ``measure_mitigations``, which are
+    shipped to the worker initializer): ``snapshot_ids`` restricts the run
+    to the named collections and ``progress`` is an optional callback
+    ``(snapshot_name, domains_done, domains_total)``.  Results flow back
+    in completion order but are reordered before storing, so ``progress``
+    reports the deterministic store order — a straggler holds the count
+    while later domains finish behind it.
+
+    ``window`` bounds how many tasks may be outstanding (in flight plus
+    reorder-buffered); the default scales with ``workers``.
     """
 
     def __init__(
@@ -137,12 +165,18 @@ class ParallelStudyRunner:
         *,
         max_pages: int = 100,
         workers: int = 2,
+        window: int | None = None,
+        fetch_retries: int = 2,
+        measure_mitigations: bool = True,
         progress: Callable[[str, int, int], None] | None = None,
     ) -> None:
         self.archive_root = str(archive_root)
         self.storage = storage
         self.max_pages = max_pages
         self.workers = workers
+        self.window = window if window is not None else max(4 * workers, 8)
+        self.fetch_retries = fetch_retries
+        self.measure_mitigations = measure_mitigations
         self.progress = progress
 
     def run(
@@ -155,33 +189,64 @@ class ParallelStudyRunner:
         started = time.monotonic()
         catalog_client = CommonCrawlClient(self.archive_root)
         collections = catalog_client.collections()
+        catalog_client.close()
         if snapshot_ids is not None:
             collections = [c for c in collections if c.id in snapshot_ids]
         domain_ids = {
             name: self.storage.add_domain(name, rank) for name, rank in domains
         }
         names = [name for name, _rank in domains]
+        if not names:
+            # degenerate run: same snapshot rows + commits as StudyRunner
+            for collection in collections:
+                self.storage.add_snapshot(collection.id, collection.year)
+                self.storage.commit()
+                stats.snapshots += 1
+            stats.seconds = time.monotonic() - started
+            return stats
+        # Every snapshot×domain task, submitted up front: workers roll
+        # straight from one snapshot's stragglers into the next snapshot's
+        # domains instead of idling at a per-snapshot barrier.
+        tasks = [
+            (collection.id, name, self.max_pages)
+            for collection in collections
+            for name in names
+        ]
         with ProcessPoolExecutor(
             max_workers=self.workers,
             initializer=_init_worker,
-            initargs=(self.archive_root,),
+            initargs=(
+                self.archive_root,
+                self.fetch_retries,
+                self.measure_mitigations,
+            ),
         ) as pool:
-            for collection in collections:
-                snapshot_row_id = self.storage.add_snapshot(
-                    collection.id, collection.year
-                )
-                results = pool.map(
-                    process_domain,
-                    [collection.id] * len(names),
-                    names,
-                    [self.max_pages] * len(names),
-                    chunksize=8,
-                )
-                for index, result in enumerate(results):
-                    self._store(result, snapshot_row_id,
-                                domain_ids[result.domain], stats)
-                    if self.progress is not None:
-                        self.progress(collection.id, index + 1, len(names))
+            submit = lambda task: pool.submit(process_domain, *task)
+            results = streamed_map(submit, tasks, window=self.window)
+            snapshot_row_id = 0
+            current = -1
+            for index, result in enumerate(results):
+                snapshot_index, domain_index = divmod(index, len(names))
+                if snapshot_index != current:
+                    # crossed a snapshot boundary in store order: commit
+                    # the finished snapshot, open the next — the exact
+                    # write cadence of the sequential runner
+                    if current >= 0:
+                        self.storage.commit()
+                        stats.snapshots += 1
+                    collection = collections[snapshot_index]
+                    snapshot_row_id = self.storage.add_snapshot(
+                        collection.id, collection.year
+                    )
+                    current = snapshot_index
+                self._store(result, snapshot_row_id,
+                            domain_ids[result.domain], stats)
+                if self.progress is not None:
+                    self.progress(
+                        collections[snapshot_index].id, domain_index + 1,
+                        len(names),
+                    )
+            if current >= 0:
                 self.storage.commit()
                 stats.snapshots += 1
         stats.seconds = time.monotonic() - started
@@ -194,6 +259,14 @@ class ParallelStudyRunner:
         domain_row_id: int,
         stats: ParallelRunStats,
     ) -> None:
+        """Bulk-write one domain's results.
+
+        Rows are batched per table in page order, so every autoincrement
+        id comes out exactly as the sequential runner's row-at-a-time
+        writes produce it (pages ids are contiguous per batch; findings
+        rows follow page order; mitigations/page_features are keyed by
+        page id).  The bit-identical parity test holds this to account.
+        """
         stats.domains_processed += 1
         stats.fetch_failures += result.fetch_failures
         if not result.found:
@@ -202,30 +275,35 @@ class ParallelStudyRunner:
                 pages=0,
             )
             return
-        for page in result.pages:
-            page_row_id = self.storage.add_page(
-                snapshot_row_id, domain_row_id, page.url,
-                utf8=page.utf8, checked=page.checked,
-                declared_encoding=page.declared_encoding,
-            )
+        page_ids = self.storage.add_pages(
+            snapshot_row_id,
+            domain_row_id,
+            [
+                (page.url, page.utf8, page.checked, page.declared_encoding)
+                for page in result.pages
+            ],
+        )
+        findings_rows: list[tuple[int, str, int]] = []
+        mitigation_rows: list[tuple[int, int, int, int, int]] = []
+        feature_rows: list[tuple[int, int, int]] = []
+        for page_row_id, page in zip(page_ids, result.pages):
             if not page.checked:
                 stats.pages_filtered_non_utf8 += 1
                 continue
             stats.pages_checked += 1
-            if page.findings:
-                self.storage.add_findings(page_row_id, page.findings)
+            for violation, count in page.findings.items():
+                findings_rows.append((page_row_id, violation, count))
             if page.mitigation is not None:
                 script_in_attr, nonced, urls_nl, urls_nl_lt = page.mitigation
-                self.storage.add_mitigations(
-                    page_row_id, script_in_attr=script_in_attr, nonced=nonced,
-                    urls_nl=urls_nl, urls_nl_lt=urls_nl_lt,
+                mitigation_rows.append(
+                    (page_row_id, script_in_attr, nonced, urls_nl, urls_nl_lt)
                 )
             if page.features is not None:
                 math_elements, svg_elements = page.features
-                self.storage.add_page_features(
-                    page_row_id, math_elements=math_elements,
-                    svg_elements=svg_elements,
-                )
+                feature_rows.append((page_row_id, math_elements, svg_elements))
+        self.storage.add_findings_rows(findings_rows)
+        self.storage.add_mitigations_rows(mitigation_rows)
+        self.storage.add_page_features_rows(feature_rows)
         self.storage.set_domain_status(
             snapshot_row_id,
             domain_row_id,

@@ -1,0 +1,111 @@
+"""Deterministic reorder buffer for completion-streamed process pools.
+
+The scheduling problem: a per-snapshot ``pool.map`` barrier keeps results
+in order but lets one slow domain idle every other worker until the whole
+snapshot drains.  Consuming completions as they arrive fixes the idling
+but surrenders ordering — and the study's storage layer requires domain
+order so the parallel runner stays bit-identical to the sequential one.
+
+This module provides both halves of the fix:
+
+* :class:`ReorderBuffer` holds out-of-order ``(index, result)``
+  completions and releases the ordered prefix as soon as it is contiguous.
+* :func:`streamed_map` drives a pool through an arbitrary task list with a
+  bounded number of tasks outstanding, yielding results in submission
+  order.  Internally it waits on ``FIRST_COMPLETED`` — deliberately not
+  ``concurrent.futures.as_completed``, whose direct consumption in
+  ``pipeline/`` the staticcheck determinism pass flags, because results
+  consumed in completion order are exactly the nondeterminism this module
+  exists to contain.
+
+Determinism argument: results enter the buffer keyed by submission index
+and leave only via :meth:`ReorderBuffer.drain`, which releases index ``i``
+strictly after ``0..i-1``.  Whatever order the pool completes tasks, the
+consumer observes the sequential order — so any store routine driven by
+:func:`streamed_map` writes exactly what a sequential loop would write.
+
+Memory argument: at most ``window`` tasks are outstanding (in flight or
+completed-and-buffered).  A straggler at the drain head therefore
+throttles submission once ``window - 1`` successors have completed — that
+back-pressure is the memory bound working, not a scheduling bug.
+"""
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from typing import Callable, Iterator, Sequence, TypeVar
+
+Task = TypeVar("Task")
+Result = TypeVar("Result")
+
+
+class ReorderBuffer:
+    """Accepts ``(index, item)`` out of order; releases items in order.
+
+    ``start`` is the first index the buffer will release (indexes are the
+    task's position in submission order).
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self._next = start
+        self._pending: dict[int, object] = {}
+
+    def __len__(self) -> int:
+        """Completed items waiting for their predecessors."""
+        return len(self._pending)
+
+    @property
+    def next_index(self) -> int:
+        """The index the next :meth:`drain` item will carry."""
+        return self._next
+
+    def add(self, index: int, item: object) -> None:
+        if index < self._next:
+            raise ValueError(f"index {index} already drained (next={self._next})")
+        if index in self._pending:
+            raise ValueError(f"index {index} already buffered")
+        self._pending[index] = item
+
+    def drain(self) -> Iterator[tuple[int, object]]:
+        """Yield the contiguous ``(index, item)`` prefix, consuming it."""
+        while self._next in self._pending:
+            index = self._next
+            self._next += 1
+            yield index, self._pending.pop(index)
+
+
+def streamed_map(
+    submit: Callable[[Task], "Future[Result]"],
+    tasks: Sequence[Task],
+    *,
+    window: int,
+) -> Iterator[Result]:
+    """Map ``submit`` over ``tasks``, yielding results in task order.
+
+    ``submit(task)`` must return a future (``pool.submit`` partially
+    applied).  Up to ``window`` tasks are outstanding at once — counting
+    both in-flight futures and completed results still waiting in the
+    reorder buffer, so memory stays flat no matter how the completion
+    order scrambles.  A task's exception propagates when its position in
+    the ordered stream is reached.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    buffer = ReorderBuffer()
+    in_flight: dict[Future, int] = {}
+    position = 0
+    total = len(tasks)
+    while position < total or in_flight:
+        while position < total and len(in_flight) + len(buffer) < window:
+            in_flight[submit(tasks[position])] = position
+            position += 1
+        if not in_flight:
+            # window full of buffered results but nothing running: the
+            # drain head must be buffered now, so drain below frees space
+            if not len(buffer):
+                break
+        else:
+            done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+            for future in done:
+                buffer.add(in_flight.pop(future), future)
+        for _index, future in buffer.drain():
+            yield future.result()

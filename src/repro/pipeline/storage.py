@@ -167,10 +167,62 @@ class Storage:
         )
         return cursor.lastrowid
 
+    def add_pages(
+        self,
+        snapshot_id: int,
+        domain_id: int,
+        rows: list[tuple[str, bool, bool, str]],
+    ) -> list[int]:
+        """Bulk insert ``(url, utf8, checked, declared_encoding)`` rows,
+        returning their page ids in input order.
+
+        ``cursor.lastrowid`` is undefined after ``executemany``, so the ids
+        are recovered from ``last_insert_rowid()``: this connection is the
+        study's single writer, ``pages`` rows are never deleted, and SQLite
+        assigns ``max(rowid)+1`` per insert — so one statement's batch is a
+        contiguous ascending run ending at ``last_insert_rowid()``.  The
+        sequential-vs-parallel bit-identity test machine-checks this.
+        """
+        if not rows:
+            return []
+        self.conn.executemany(
+            "INSERT INTO pages(snapshot_id, domain_id, url, utf8, checked, "
+            "declared_encoding) VALUES (?, ?, ?, ?, ?, ?)",
+            [
+                (snapshot_id, domain_id, url, int(utf8), int(checked), encoding)
+                for url, utf8, checked, encoding in rows
+            ],
+        )
+        last = self.conn.execute("SELECT last_insert_rowid()").fetchone()[0]
+        return list(range(last - len(rows) + 1, last + 1))
+
     def add_findings(self, page_id: int, counts: dict[str, int]) -> None:
         self.conn.executemany(
             "INSERT INTO findings(page_id, violation, count) VALUES (?, ?, ?)",
             [(page_id, violation, count) for violation, count in counts.items()],
+        )
+
+    def add_findings_rows(self, rows: list[tuple[int, str, int]]) -> None:
+        """Bulk insert ``(page_id, violation, count)`` across many pages."""
+        self.conn.executemany(
+            "INSERT INTO findings(page_id, violation, count) VALUES (?, ?, ?)",
+            rows,
+        )
+
+    def add_mitigations_rows(
+        self, rows: list[tuple[int, int, int, int, int]]
+    ) -> None:
+        """Bulk variant of :meth:`add_mitigations`; rows are
+        ``(page_id, script_in_attr, nonced, urls_nl, urls_nl_lt)``."""
+        self.conn.executemany(
+            "INSERT OR REPLACE INTO mitigations VALUES (?, ?, ?, ?, ?)", rows
+        )
+
+    def add_page_features_rows(self, rows: list[tuple[int, int, int]]) -> None:
+        """Bulk variant of :meth:`add_page_features`; rows are
+        ``(page_id, math_elements, svg_elements)``."""
+        self.conn.executemany(
+            "INSERT OR REPLACE INTO page_features VALUES (?, ?, ?)", rows
         )
 
     def add_mitigations(

@@ -31,7 +31,12 @@ This pass turns the idiom into an invariant over ``analysis/``,
   (or the same ``repro-study fuzz --seed``) diverge;
 * **ambient configuration** — ``os.environ`` / ``os.getenv`` reads outside
   config modules let the environment silently change results; thread
-  values through ``StudyConfig`` instead.
+  values through ``StudyConfig`` instead;
+* **completion-order consumption** — ``concurrent.futures.as_completed``
+  inside ``pipeline/`` yields results in whatever order the OS scheduler
+  finishes them, which is exactly the nondeterminism the reorder buffer
+  (``pipeline/reorder.py``, the one exempt module) exists to contain;
+  store-order code must go through :func:`repro.pipeline.reorder.streamed_map`.
 
 Modules whose stem is in :data:`EXEMPT_MODULES` (configuration
 boundaries) are skipped entirely.
@@ -56,6 +61,11 @@ _DATETIME_CALLS = frozenset({"now", "utcnow", "today"})
 _SEEDED_RANDOM_ATTRS = frozenset({"Random", "SystemRandom"})
 _SEEDED_NUMPY_ATTRS = frozenset({"default_rng", "Generator", "SeedSequence"})
 
+#: the one pipeline module allowed to consume completion order — it is
+#: the reorder buffer, whose whole job is turning that order back into
+#: submission order
+REORDER_MODULE = "reorder"
+
 
 class DeterminismPass(LintPass):
     id = PASS_ID
@@ -74,6 +84,12 @@ class DeterminismPass(LintPass):
 
     def visit_Call(self, file: SourceFile, node: ast.Call) -> None:
         chain = attribute_chain(node.func)
+        if chain and chain[-1] == "as_completed":
+            # matches the bare import (`as_completed(...)`) and every
+            # dotted spelling (`futures.as_completed`,
+            # `concurrent.futures.as_completed`)
+            self._check_as_completed(file, node)
+            return
         if len(chain) < 2:
             return
         if chain[0] == "time" and chain[1] in _CLOCK_CALLS and len(chain) == 2:
@@ -118,6 +134,20 @@ class DeterminismPass(LintPass):
                     "numpy RNG",
                     fix_hint="use numpy.random.default_rng(seed)",
                 )
+
+    def _check_as_completed(self, file: SourceFile, node: ast.Call) -> None:
+        if "pipeline" not in file.parts[:-1]:
+            return
+        if file.module_name == REORDER_MODULE:
+            return
+        self.report(
+            file, node,
+            "as_completed() yields results in completion order — "
+            "nondeterministic under pipeline/'s store-order contract",
+            fix_hint="drive the pool through "
+            "repro.pipeline.reorder.streamed_map (or buffer through "
+            "ReorderBuffer) so results are consumed in submission order",
+        )
 
     def visit_Attribute(self, file: SourceFile, node: ast.Attribute) -> None:
         if (

@@ -4,8 +4,22 @@ A from-scratch replacement for ``warcio`` providing exactly what the
 measurement pipeline needs: writing per-record-gzipped WARC files,
 sequential reading, CDX-indexed random access, and SURT canonicalization.
 """
-from .cdx import CDXEntry, CDXFormatError, CDXIndex, CDXWriter, surt
-from .reader import WARCFormatError, iter_records, iter_warc_file, read_record_at
+from .cdx import (
+    CDXEntry,
+    CDXFormatError,
+    CDXIndex,
+    CDXWriter,
+    MMapCDXIndex,
+    domain_prefix,
+    surt,
+)
+from .reader import (
+    WARCFileCache,
+    WARCFormatError,
+    iter_records,
+    iter_warc_file,
+    read_record_at,
+)
 from .record import HTTPResponse, WARCRecord, parse_http_response
 from .writer import WARCWriter
 
@@ -15,9 +29,12 @@ __all__ = [
     "CDXIndex",
     "CDXWriter",
     "HTTPResponse",
+    "MMapCDXIndex",
+    "WARCFileCache",
     "WARCFormatError",
     "WARCRecord",
     "WARCWriter",
+    "domain_prefix",
     "iter_records",
     "iter_warc_file",
     "parse_http_response",

@@ -12,6 +12,7 @@ import gzip
 import io
 import struct
 import zlib
+from collections import OrderedDict
 from pathlib import Path
 from typing import BinaryIO, Iterator
 
@@ -102,15 +103,8 @@ def iter_warc_file(path: str | Path) -> Iterator[WARCRecord]:
         yield from iter_records(stream)
 
 
-def read_record_at(path: str | Path, offset: int, length: int) -> WARCRecord:
-    """Random access: read the single record stored at (offset, length).
-
-    This is the Common Crawl fetch path — a CDX hit gives the member's byte
-    range inside the WARC file; only that slice is read and decompressed.
-    """
-    with open(path, "rb") as stream:
-        stream.seek(offset)
-        blob = _read_exact(stream, length)
+def _record_from_slice(blob: bytes) -> WARCRecord:
+    """Decode one record from its raw (possibly gzipped) byte slice."""
     if blob[:2] == _GZIP_MAGIC:
         try:
             blob = zlib.decompress(blob, wbits=zlib.MAX_WBITS | 16)
@@ -120,3 +114,72 @@ def read_record_at(path: str | Path, offset: int, length: int) -> WARCRecord:
     if record is None:
         raise WARCFormatError("empty record slice")
     return record
+
+
+def read_record_at(path: str | Path, offset: int, length: int) -> WARCRecord:
+    """Random access: read the single record stored at (offset, length).
+
+    This is the Common Crawl fetch path — a CDX hit gives the member's byte
+    range inside the WARC file; only that slice is read and decompressed.
+    """
+    with open(path, "rb") as stream:
+        stream.seek(offset)
+        blob = _read_exact(stream, length)
+    return _record_from_slice(blob)
+
+
+class WARCFileCache:
+    """Bounded LRU of open WARC file handles for repeated range reads.
+
+    The fetch loop reads many records from few files (a snapshot's captures
+    cluster into a handful of WARC files), so re-opening the file per record
+    — what bare :func:`read_record_at` does — pays open/close syscalls for
+    every page.  The cache keeps up to ``maxsize`` handles open, evicting
+    the least recently used; ``maxsize=0`` disables caching and degrades to
+    the one-shot path.
+
+    Not thread-safe; each pipeline worker owns its own cache (handles can't
+    be shared across fork anyway).
+    """
+
+    def __init__(self, maxsize: int = 8) -> None:
+        if maxsize < 0:
+            raise ValueError(f"maxsize must be >= 0, got {maxsize}")
+        self.maxsize = maxsize
+        self._handles: OrderedDict[str, BinaryIO] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._handles)
+
+    def _handle(self, path: str | Path) -> BinaryIO:
+        key = str(path)
+        handle = self._handles.get(key)
+        if handle is not None:
+            self._handles.move_to_end(key)
+            return handle
+        handle = open(key, "rb")
+        self._handles[key] = handle
+        if len(self._handles) > self.maxsize:
+            _, evicted = self._handles.popitem(last=False)
+            evicted.close()
+        return handle
+
+    def read_record_at(self, path: str | Path, offset: int, length: int) -> WARCRecord:
+        """Cached variant of :func:`read_record_at` (same contract)."""
+        if self.maxsize == 0:
+            return read_record_at(path, offset, length)
+        stream = self._handle(path)
+        stream.seek(offset)
+        blob = _read_exact(stream, length)
+        return _record_from_slice(blob)
+
+    def close(self) -> None:
+        for handle in self._handles.values():
+            handle.close()
+        self._handles.clear()
+
+    def __enter__(self) -> "WARCFileCache":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -89,3 +89,62 @@ class TestIndexPagination:
         client, snapshot, domain = client_and_domain
         chunk = list(client.query(snapshot, domain, page=0, page_size=3))
         assert len(chunk) <= 3
+
+    def test_limit_below_page_size(self, client_and_domain):
+        """limit < page_size: the limit wins (the pre-fix behavior, kept)."""
+        client, snapshot, domain = client_and_domain
+        everything = [e.url for e in client.query(snapshot, domain)]
+        assert len(everything) >= 3  # fixture picks the biggest domain
+        hits = [
+            e.url
+            for e in client.query(snapshot, domain, limit=2, page_size=3)
+        ]
+        assert hits == everything[:2]
+
+    def test_limit_spanning_pages_truncates_later_page(self, client_and_domain):
+        """limit caps the capture stream *before* pagination windows it:
+        page 1 of a limit-3 stream with page_size=2 holds only capture #3,
+        and pages past the limit are empty."""
+        client, snapshot, domain = client_and_domain
+        everything = [e.url for e in client.query(snapshot, domain)]
+        assert len(everything) >= 4
+        page0 = [
+            e.url
+            for e in client.query(
+                snapshot, domain, limit=3, page=0, page_size=2
+            )
+        ]
+        page1 = [
+            e.url
+            for e in client.query(
+                snapshot, domain, limit=3, page=1, page_size=2
+            )
+        ]
+        page2 = [
+            e.url
+            for e in client.query(
+                snapshot, domain, limit=3, page=2, page_size=2
+            )
+        ]
+        assert page0 == everything[:2]
+        assert page1 == everything[2:3]
+        assert page2 == []
+
+    def test_paging_a_limited_stream_partitions_it(self, client_and_domain):
+        client, snapshot, domain = client_and_domain
+        everything = [e.url for e in client.query(snapshot, domain)]
+        limit = min(len(everything), 3)
+        paged: list[str] = []
+        page = 0
+        while True:
+            chunk = [
+                entry.url
+                for entry in client.query(
+                    snapshot, domain, limit=limit, page=page, page_size=2
+                )
+            ]
+            if not chunk:
+                break
+            paged.extend(chunk)
+            page += 1
+        assert paged == everything[:limit]

@@ -97,6 +97,14 @@ def test_parallel_batch_oracle_holds_on_small_sample():
     )
 
 
+@pytest.mark.parametrize("workers,window", [(1, 1), (2, 1), (3, 2), (2, 8)])
+def test_parallel_equivalence_across_pool_shapes(workers, window):
+    """The reorder buffer must keep results in input order for any
+    worker-count × in-flight-window combination the harness can draw."""
+    corpus = [b"<p>one</p>", b"<div unclosed", b"\xff\xfe", b"<b><i>x</b></i>"]
+    parallel_equivalence(corpus, workers=workers, window=window)
+
+
 def test_minimize_shrinks_while_preserving_predicate():
     data = b"x" * 64 + b"CRASH" + b"y" * 64
     out = minimize(data, lambda d: b"CRASH" in d)

@@ -127,3 +127,113 @@ class TestRunnerParity:
         assert stats.pages_per_second == pytest.approx(
             stats.pages_checked / stats.seconds
         )
+
+    def test_measure_mitigations_flag_threads_to_workers(self, archive):
+        """Sequential and parallel agree with mitigation measurement off,
+        and the flag actually reaches the workers (no mitigations rows)."""
+        root, plan = archive
+        domains = [(name, rank) for name, rank in plan.domains]
+
+        from repro.commoncrawl import CommonCrawlClient
+
+        with Storage(":memory:") as sequential_storage:
+            StudyRunner(
+                CommonCrawlClient(root), sequential_storage, max_pages=4,
+                measure_mitigations=False,
+            ).run(domains)
+            expected = _snapshot(sequential_storage)
+
+        with Storage(":memory:") as parallel_storage:
+            ParallelStudyRunner(
+                root, parallel_storage, max_pages=4, workers=2,
+                measure_mitigations=False,
+            ).run(domains)
+            actual = _snapshot(parallel_storage)
+            rows = parallel_storage.conn.execute(
+                "SELECT COUNT(*) FROM mitigations"
+            ).fetchone()[0]
+
+        assert rows == 0
+        assert actual == expected
+
+    def test_fetch_retries_threads_to_workers(self, archive):
+        """fetch_retries reaches the worker globals and parity holds."""
+        root, plan = archive
+        domains = [(name, rank) for name, rank in plan.domains]
+
+        from repro.commoncrawl import CommonCrawlClient
+        from repro.pipeline import parallel
+
+        # the initializer itself must install the knobs the worker reads
+        parallel._init_worker(str(root), 5, False)
+        try:
+            assert parallel._fetch_retries == 5
+            assert parallel._measure_mitigations is False
+            snapshot_id = parallel._client.collections()[0].id
+            name, _rank = plan.domains[0]
+            result = parallel.process_domain(snapshot_id, name, 2)
+            assert all(page.mitigation is None for page in result.pages)
+        finally:
+            parallel._init_worker(str(root))
+
+        with Storage(":memory:") as sequential_storage:
+            StudyRunner(
+                CommonCrawlClient(root), sequential_storage, max_pages=4,
+                fetch_retries=0,
+            ).run(domains)
+            expected = _snapshot(sequential_storage)
+
+        with Storage(":memory:") as parallel_storage:
+            ParallelStudyRunner(
+                root, parallel_storage, max_pages=4, workers=2,
+                fetch_retries=0,
+            ).run(domains)
+            assert _snapshot(parallel_storage) == expected
+
+
+def _dump(storage: Storage) -> str:
+    return "\n".join(storage.conn.iterdump())
+
+
+class TestBitIdenticalSQLite:
+    """The acceptance bar: not just equal aggregates — equal databases.
+
+    ``iterdump`` serializes every table row (including autoincrement ids),
+    so equality proves the batched parallel writes assign the exact ids
+    the sequential row-at-a-time writes do, for any worker count.
+    """
+
+    @pytest.fixture(scope="class")
+    def sequential_dump(self, archive):
+        root, plan = archive
+        domains = [(name, rank) for name, rank in plan.domains]
+
+        from repro.commoncrawl import CommonCrawlClient
+
+        with Storage(":memory:") as storage:
+            StudyRunner(
+                CommonCrawlClient(root), storage, max_pages=4
+            ).run(domains)
+            return _dump(storage)
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_parallel_matches_sequential_bit_for_bit(
+        self, archive, sequential_dump, workers
+    ):
+        root, plan = archive
+        domains = [(name, rank) for name, rank in plan.domains]
+        with Storage(":memory:") as storage:
+            ParallelStudyRunner(
+                root, storage, max_pages=4, workers=workers
+            ).run(domains)
+            assert _dump(storage) == sequential_dump
+
+    def test_tiny_window_still_bit_identical(self, archive, sequential_dump):
+        """window=1 forces maximum back-pressure; ordering must survive."""
+        root, plan = archive
+        domains = [(name, rank) for name, rank in plan.domains]
+        with Storage(":memory:") as storage:
+            ParallelStudyRunner(
+                root, storage, max_pages=4, workers=2, window=1
+            ).run(domains)
+            assert _dump(storage) == sequential_dump

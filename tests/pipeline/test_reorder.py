@@ -1,0 +1,129 @@
+"""Unit tests for the deterministic reorder buffer and streamed_map."""
+from __future__ import annotations
+
+import random
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.pipeline.reorder import ReorderBuffer, streamed_map
+
+
+class TestReorderBuffer:
+    def test_in_order_passthrough(self):
+        buffer = ReorderBuffer()
+        released = []
+        for index in range(5):
+            buffer.add(index, f"item{index}")
+            released.extend(buffer.drain())
+        assert released == [(i, f"item{i}") for i in range(5)]
+
+    def test_out_of_order_release(self):
+        buffer = ReorderBuffer()
+        buffer.add(2, "c")
+        buffer.add(1, "b")
+        assert list(buffer.drain()) == []
+        assert len(buffer) == 2
+        buffer.add(0, "a")
+        assert list(buffer.drain()) == [(0, "a"), (1, "b"), (2, "c")]
+        assert len(buffer) == 0
+        assert buffer.next_index == 3
+
+    def test_random_permutations_release_in_order(self):
+        rng = random.Random(99)
+        for _ in range(50):
+            size = rng.randrange(1, 30)
+            order = list(range(size))
+            rng.shuffle(order)
+            buffer = ReorderBuffer()
+            released = []
+            for index in order:
+                buffer.add(index, index)
+                released.extend(item for _i, item in buffer.drain())
+            assert released == list(range(size))
+
+    def test_duplicate_index_rejected(self):
+        buffer = ReorderBuffer()
+        buffer.add(0, "a")
+        with pytest.raises(ValueError):
+            buffer.add(0, "again")
+
+    def test_drained_index_rejected(self):
+        buffer = ReorderBuffer()
+        buffer.add(0, "a")
+        list(buffer.drain())
+        with pytest.raises(ValueError):
+            buffer.add(0, "late")
+
+    def test_start_offset(self):
+        buffer = ReorderBuffer(start=10)
+        buffer.add(10, "x")
+        assert list(buffer.drain()) == [(10, "x")]
+
+
+def _scrambled_sleep(value: int) -> int:
+    # later tasks finish earlier: deliberately adversarial completion order
+    import time
+
+    time.sleep((7 - value % 8) * 0.002)
+    return value * value
+
+
+class TestStreamedMap:
+    def test_results_in_submission_order(self):
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            submit = lambda task: pool.submit(_scrambled_sleep, task)
+            results = list(streamed_map(submit, list(range(24)), window=6))
+        assert results == [value * value for value in range(24)]
+
+    @pytest.mark.parametrize("window", [1, 2, 5, 100])
+    def test_any_window_preserves_order(self, window):
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            submit = lambda task: pool.submit(_scrambled_sleep, task)
+            results = list(streamed_map(submit, list(range(10)), window=window))
+        assert results == [value * value for value in range(10)]
+
+    def test_window_bounds_outstanding_tasks(self):
+        """Never more than ``window`` tasks started but not yet yielded."""
+        lock = threading.Lock()
+        outstanding = {"now": 0, "peak": 0}
+
+        def tracked(value: int) -> int:
+            return value
+
+        def submit(task):
+            with lock:
+                outstanding["now"] += 1
+                outstanding["peak"] = max(outstanding["peak"], outstanding["now"])
+            return pool.submit(tracked, task)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            for result in streamed_map(submit, list(range(40)), window=3):
+                with lock:
+                    outstanding["now"] -= 1
+        assert outstanding["peak"] <= 3
+
+    def test_empty_tasks(self):
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            submit = lambda task: pool.submit(_scrambled_sleep, task)
+            assert list(streamed_map(submit, [], window=4)) == []
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            list(streamed_map(lambda task: None, [1], window=0))
+
+    def test_exception_surfaces_at_ordered_position(self):
+        def boom(value: int) -> int:
+            if value == 3:
+                raise RuntimeError("task 3 failed")
+            return value
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            submit = lambda task: pool.submit(boom, task)
+            stream = streamed_map(submit, list(range(8)), window=8)
+            collected = []
+            with pytest.raises(RuntimeError, match="task 3 failed"):
+                for result in stream:
+                    collected.append(result)
+        assert collected == [0, 1, 2]

@@ -229,6 +229,56 @@ class TestDeterminism:
         result = run_lint(root, [DeterminismPass()])
         assert result.findings == ()
 
+    def test_as_completed_in_pipeline_flagged(self, make_tree):
+        """Both the bare-name and dotted spellings are completion-order
+        consumption and must route through the reorder buffer."""
+        root = make_tree({
+            "pipeline/evil.py": '''
+                from concurrent.futures import as_completed
+                import concurrent.futures
+
+                def drain(futures):
+                    for future in as_completed(futures):
+                        yield future.result()
+
+                def drain_dotted(futures):
+                    for future in concurrent.futures.as_completed(futures):
+                        yield future.result()
+            ''',
+        })
+        result = run_lint(root, [DeterminismPass()])
+        assert len(result.findings) == 2
+        for finding in result.findings:
+            assert "completion order" in finding.message
+            assert "streamed_map" in (finding.fix_hint or "")
+
+    def test_as_completed_allowed_in_reorder_module(self, make_tree):
+        root = make_tree({
+            "pipeline/reorder.py": '''
+                from concurrent.futures import as_completed
+
+                def drain(futures):
+                    for future in as_completed(futures):
+                        yield future.result()
+            ''',
+        })
+        result = run_lint(root, [DeterminismPass()])
+        assert result.findings == ()
+
+    def test_as_completed_outside_pipeline_not_flagged(self, make_tree):
+        """The store-order contract is pipeline/'s; fuzz/ and friends may
+        consume completion order when their oracle sorts afterwards."""
+        root = make_tree({
+            "fuzz/fine.py": '''
+                from concurrent.futures import as_completed
+
+                def drain(futures):
+                    return sorted(future.result() for future in as_completed(futures))
+            ''',
+        })
+        result = run_lint(root, [DeterminismPass()])
+        assert result.findings == ()
+
 
 class TestStateMachine:
     def test_unreachable_handler_flagged(self, make_tree):

@@ -1,0 +1,218 @@
+"""Machine-checked equivalence: MMapCDXIndex vs the linear reference.
+
+Mirrors ``tests/html/test_tokenizer_equivalence.py``: the binary-search
+index is fast because of a stack of assumptions (byte-sorted lines ≡
+tuple-sorted entries, prefix runs are contiguous, keys end at the first
+space) — this suite doesn't argue those assumptions, it diffs the two
+implementations over generated corpora and the adversarial layouts most
+likely to break them.
+"""
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.warc import (
+    CDXEntry,
+    CDXFormatError,
+    CDXIndex,
+    CDXWriter,
+    MMapCDXIndex,
+    domain_prefix,
+    surt,
+)
+
+# Deliberately overlapping pool: example.com is a string prefix of
+# examples.com, and sub.example.com SURTs under com,example, — the cases
+# where a naive prefix range over-matches.
+DOMAINS = [
+    "example.com",
+    "examples.com",
+    "example.co",
+    "sub.example.com",
+    "a.org",
+    "aa.org",
+    "zz.net",
+]
+PATHS = ["/", "/index.html", "/a", "/a/b", "/a?x=1", "/%7euser"]
+TIMESTAMPS = ["20150214000000", "20180101120000", "20220301235959"]
+
+
+def _entry(domain: str, path: str, timestamp: str, serial: int) -> CDXEntry:
+    url = f"http://{domain}{path}"
+    return CDXEntry(
+        urlkey=surt(url),
+        timestamp=timestamp,
+        url=url,
+        mime="text/html",
+        status=200,
+        digest=f"sha1:{serial:08d}",
+        length=100 + serial,
+        offset=serial * 512,
+        filename="data/seg-00000.warc.gz",
+    )
+
+
+def _write(tmp_path, entries):
+    writer = CDXWriter()
+    for entry in entries:
+        writer.add(entry)
+    path = tmp_path / "index.cdxj"
+    writer.write(path)
+    return path
+
+
+def _assert_equivalent(path) -> None:
+    linear = CDXIndex.load(path)
+    with MMapCDXIndex.open(path) as mapped:
+        assert len(mapped) == len(linear)
+        assert list(mapped.entries()) == linear.entries
+        for domain in DOMAINS + ["missing.example", "com", "example"]:
+            assert list(mapped.domain_query(domain)) == list(
+                linear.domain_query(domain)
+            ), domain
+            for limit in (1, 2, None):
+                assert list(mapped.domain_query(domain, limit=limit)) == list(
+                    linear.domain_query(domain, limit=limit)
+                ), (domain, limit)
+        for domain in DOMAINS:
+            for url_path in PATHS[:3]:
+                url = f"http://{domain}{url_path}"
+                assert mapped.lookup(url) == linear.lookup(url), url
+
+
+corpus_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(DOMAINS),
+        st.sampled_from(PATHS),
+        st.sampled_from(TIMESTAMPS),
+    ),
+    min_size=0,
+    max_size=60,
+)
+
+
+class TestGeneratedCorpora:
+    @settings(max_examples=60, deadline=None)
+    @given(captures=corpus_strategy)
+    def test_lookup_and_domain_query_equivalent(self, captures, tmp_path_factory):
+        tmp_path = tmp_path_factory.mktemp("cdx-eq")
+        entries = [
+            _entry(domain, path, timestamp, serial)
+            for serial, (domain, path, timestamp) in enumerate(captures)
+        ]
+        _assert_equivalent(_write(tmp_path, entries))
+
+
+class TestAdversarialLayouts:
+    def test_empty_index(self, tmp_path):
+        path = tmp_path / "empty.cdxj"
+        path.write_text("")
+        _assert_equivalent(path)
+
+    def test_single_entry(self, tmp_path):
+        _assert_equivalent(_write(tmp_path, [_entry("a.org", "/", TIMESTAMPS[0], 0)]))
+
+    def test_prefix_of_a_key_domain_does_not_overmatch(self, tmp_path):
+        """example.com must not absorb examples.com (or example.co miss)."""
+        entries = [
+            _entry("example.com", "/", TIMESTAMPS[0], 0),
+            _entry("examples.com", "/", TIMESTAMPS[0], 1),
+            _entry("example.co", "/", TIMESTAMPS[0], 2),
+        ]
+        path = _write(tmp_path, entries)
+        _assert_equivalent(path)
+        with MMapCDXIndex.open(path) as mapped:
+            hits = [entry.url for entry in mapped.domain_query("example.com")]
+        assert hits == ["http://example.com/"]
+
+    def test_duplicate_urlkeys_all_returned(self, tmp_path):
+        """Same URL captured at many timestamps: lookup returns every one,
+        in timestamp order, from both implementations."""
+        entries = [
+            _entry("a.org", "/dup", timestamp, serial)
+            for serial, timestamp in enumerate(TIMESTAMPS * 3)
+        ]
+        path = _write(tmp_path, entries)
+        _assert_equivalent(path)
+        with MMapCDXIndex.open(path) as mapped:
+            hits = mapped.lookup("http://a.org/dup")
+        assert len(hits) == 9
+        assert [hit.timestamp for hit in hits] == sorted(
+            timestamp for timestamp in TIMESTAMPS * 3
+        )
+
+    def test_first_and_last_line_reachable(self, tmp_path):
+        """Bisect edges: the very first and very last key must be found."""
+        entries = [
+            _entry(domain, "/", TIMESTAMPS[0], serial)
+            for serial, domain in enumerate(DOMAINS)
+        ]
+        path = _write(tmp_path, entries)
+        linear = CDXIndex.load(path)
+        first, last = linear.entries[0], linear.entries[-1]
+        with MMapCDXIndex.open(path) as mapped:
+            assert mapped.lookup(first.url) == linear.lookup(first.url)
+            assert mapped.lookup(last.url) == linear.lookup(last.url)
+
+    def test_crlf_and_blank_lines_tolerated(self, tmp_path):
+        entries = [
+            _entry("a.org", "/", TIMESTAMPS[0], 0),
+            _entry("zz.net", "/", TIMESTAMPS[1], 1),
+        ]
+        path = _write(tmp_path, entries)
+        lines = path.read_text().splitlines()
+        path.write_text("\r\n".join(lines) + "\r\n\r\n\n")
+        _assert_equivalent(path)
+
+    def test_trailing_line_without_newline(self, tmp_path):
+        entries = [_entry("a.org", "/", TIMESTAMPS[0], 0)]
+        path = _write(tmp_path, entries)
+        path.write_text(path.read_text().rstrip("\n"))
+        _assert_equivalent(path)
+
+    def test_malformed_line_raises_on_touch(self, tmp_path):
+        """Parse errors are deferred from open() to first entry access —
+        and still surface as the typed CDXFormatError."""
+        path = tmp_path / "bad.cdxj"
+        path.write_text("com,broken)/ 20150101000000 not-json\n")
+        with MMapCDXIndex.open(path) as mapped:
+            assert len(mapped) == 1
+            assert mapped.key_at(0) == "com,broken)/"
+            with pytest.raises(CDXFormatError):
+                mapped.entry_at(0)
+
+    def test_fast_line_parse_matches_reference(self, tmp_path):
+        """parse_cdx_line's canonical fast path and CDXEntry.from_line
+        agree field-for-field; values JSON must escape fall back."""
+        from repro.warc.cdx import parse_cdx_line
+
+        plain = _entry("example.com", "/a?x=1", TIMESTAMPS[0], 7)
+        tricky = CDXEntry(
+            urlkey=surt('http://example.com/q?note="quoted"'),
+            timestamp=TIMESTAMPS[1],
+            url='http://example.com/q?note="quoted"\\end',
+            mime="text/html",
+            status=200,
+            digest="sha1:TRICKY",
+            length=7,
+            offset=99,
+            filename="seg\\odd.warc.gz",
+        )
+        for entry in (plain, tricky):
+            line = entry.to_line()
+            assert parse_cdx_line(line) == CDXEntry.from_line(line) == entry
+
+    def test_fast_line_parse_malformed_raises_typed(self):
+        from repro.warc.cdx import parse_cdx_line
+
+        with pytest.raises(CDXFormatError):
+            parse_cdx_line("com,broken)/ 20150101000000 not-json")
+
+    def test_domain_prefix_ends_at_host_terminator(self):
+        assert domain_prefix("example.com") == "com,example)"
+        assert domain_prefix("sub.example.com") == "com,example,sub)"
+        assert not domain_prefix("example.com").startswith(
+            domain_prefix("examples.com")
+        )
