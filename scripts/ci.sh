@@ -11,9 +11,22 @@ export PYTHONPATH
 echo "==> pytest"
 python -m pytest -x -q
 
-echo "==> staticcheck lint"
+echo "==> staticcheck lint (stale-baseline check + per-pass stats)"
+LINT_STATS_OUT="${TMPDIR:-/tmp}/staticcheck_ci_stats.json"
 python -c 'import sys; from repro.cli import main; sys.exit(main(sys.argv[1:]))' \
-    lint --fail-on error
+    lint --fail-on error --check-baseline reports/staticcheck_baseline.txt \
+    --format json > "$LINT_STATS_OUT"
+# The footprint pass must actually have analyzed the registry: a registry
+# import error would otherwise let the pass run vacuously over zero rules.
+python -c "import json, sys; r = json.load(open(sys.argv[1])); \
+stats = {s['pass']: s for s in r['stats']}; \
+assert 'footprint' in stats, 'footprint pass did not run'; \
+assert stats['footprint']['metrics'].get('rules_analyzed', 0) > 0, \
+    'footprint pass analyzed zero rules'" \
+    "$LINT_STATS_OUT"
+python -c 'import sys; from repro.cli import main; sys.exit(main(sys.argv[1:]))' \
+    lint --stats --fail-on error --check-baseline reports/staticcheck_baseline.txt
+rm -f "$LINT_STATS_OUT"
 
 echo "==> fuzz smoke (200 iterations, seed 1)"
 python -c 'import sys; from repro.cli import main; sys.exit(main(sys.argv[1:]))' \

@@ -136,6 +136,10 @@ def cmd_lint(args: argparse.Namespace) -> int:
     With no PATH, lints the installed ``repro`` package — the repo
     machine-checks itself (tier-1 via tests/staticcheck/test_self_lint.py).
     """
+    from dataclasses import replace
+
+    from .staticcheck.reporter import render_stats, stale_baseline_findings
+
     if args.path is not None:
         root = Path(args.path)
         if not root.is_dir():
@@ -146,10 +150,35 @@ def cmd_lint(args: argparse.Namespace) -> int:
         root = Path(__file__).resolve().parent
         label = "src/repro"
     result = run_lint(root, root_label=label)
+    if args.check_baseline:
+        baseline_path = Path(args.check_baseline)
+        if not baseline_path.is_file():
+            print(
+                f"lint: baseline file {args.check_baseline} not found",
+                file=sys.stderr,
+            )
+            return 2
+        stale = stale_baseline_findings(
+            result,
+            baseline_path.read_text(encoding="utf-8"),
+            args.check_baseline,
+        )
+        if stale:
+            result = replace(
+                result,
+                findings=tuple(
+                    sorted(
+                        result.findings + tuple(stale),
+                        key=lambda finding: finding.sort_key,
+                    )
+                ),
+            )
     if args.format == "json":
         print(render_json(result))
     else:
         print(render_text(result))
+        if args.stats:
+            print(render_stats(result))
     if args.baseline:
         write_baseline(result, Path(args.baseline), root_label=label)
         print(f"baseline written to {args.baseline}", file=sys.stderr)
@@ -315,6 +344,15 @@ def main(argv: list[str] | None = None) -> int:
     lint_parser.add_argument(
         "--baseline", metavar="FILE", default=None,
         help="also write the drift-diffable baseline report to FILE",
+    )
+    lint_parser.add_argument(
+        "--check-baseline", metavar="FILE", default=None,
+        help="fail on stale entries in FILE that no longer fire "
+        "(the committed baseline can only shrink)",
+    )
+    lint_parser.add_argument(
+        "--stats", action="store_true",
+        help="print per-pass runtime, finding counts and pass metrics",
     )
     lint_parser.set_defaults(func=cmd_lint)
 

@@ -13,7 +13,14 @@ from .mitigations import (
     measure_mitigations,
     measure_mitigations_html,
 )
-from .rules import RULE_CLASSES, Rule, default_rules
+from .rules import (
+    Footprint,
+    FusedCheckEngine,
+    RULE_CLASSES,
+    Rule,
+    RuleExecutionError,
+    default_rules,
+)
 from .features import PageFeatures, measure_features, measure_features_html
 from .strictparse import (
     INITIAL_ENFORCED,
@@ -56,6 +63,8 @@ __all__ = [
     "DecodeFailure",
     "FAMILIES",
     "Finding",
+    "Footprint",
+    "FusedCheckEngine",
     "Group",
     "IDS_BY_GROUP",
     "INITIAL_ENFORCED",
@@ -68,6 +77,7 @@ __all__ = [
     "RolloutStage",
     "RULE_CLASSES",
     "Rule",
+    "RuleExecutionError",
     "ScriptInAttrHit",
     "StrictHeaderError",
     "StrictMode",

@@ -11,7 +11,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from ..html import ParseResult, decode_bytes, parse, parse_fragment, sniff_encoding
-from .rules import Rule, default_rules
+from .rules import FusedCheckEngine, Rule, RuleExecutionError, default_rules
 from .violations import Finding
 
 
@@ -82,16 +82,48 @@ class Checker:
 
     ``rules`` defaults to the full Table 1 set; pass a subset to check
     individual violations (the framework is extensible, section 3.1).
+
+    ``engine`` selects how the rules execute:
+
+    * ``"fused"`` (default) — the :class:`FusedCheckEngine` compiles the
+      rule set's declared footprints into one streaming pass over events,
+      errors, tokens and the DOM;
+    * ``"reference"`` — the retained per-rule path: every rule's own
+      ``check`` runs an independent traversal.  This is the semantics
+      oracle the fused engine is equivalence-pinned to (the
+      ``fused_parity`` fuzz oracle and the corpus replay suite assert
+      bit-identical findings).
+
+    Either engine wraps a failing rule in :class:`RuleExecutionError`
+    naming the rule id, so a crash on one page is attributable.
     """
 
-    def __init__(self, rules: list[Rule] | None = None, *, keep_parse: bool = False) -> None:
+    def __init__(
+        self,
+        rules: list[Rule] | None = None,
+        *,
+        keep_parse: bool = False,
+        engine: str = "fused",
+    ) -> None:
         self.rules = rules if rules is not None else default_rules()
         self.keep_parse = keep_parse
+        if engine not in ("fused", "reference"):
+            raise ValueError(f"unknown checker engine {engine!r}")
+        self.engine = engine
+        self._fused = FusedCheckEngine(self.rules) if engine == "fused" else None
 
     def check_parse(self, result: ParseResult, url: str = "") -> CheckReport:
         report = CheckReport(url=url, parse_result=result if self.keep_parse else None)
+        fused = self._fused
+        if fused is not None:
+            report.findings.extend(fused.run(result))
+            return report
+        findings = report.findings
         for rule in self.rules:
-            report.findings.extend(rule.check(result))
+            try:
+                findings.extend(rule.check(result))
+            except Exception as exc:
+                raise RuleExecutionError(rule.id, exc) from exc
         return report
 
     def check_html(self, text: str, url: str = "") -> CheckReport:

@@ -1,5 +1,11 @@
 """The violation rule set: one rule per Table 1 sub-check."""
 from .base import Rule, URL_ATTRIBUTES, iter_start_tag_attrs, snippet
+from .fused import (
+    Footprint,
+    FusedCheckEngine,
+    FusedCompileError,
+    RuleExecutionError,
+)
 from .data_exfiltration import (
     DanglingMarkupUrl,
     NestedForm,
@@ -57,7 +63,11 @@ def default_rules() -> list[Rule]:
 
 
 __all__ = [
+    "Footprint",
+    "FusedCheckEngine",
+    "FusedCompileError",
     "Rule",
+    "RuleExecutionError",
     "RULE_CLASSES",
     "URL_ATTRIBUTES",
     "default_rules",

@@ -4,6 +4,7 @@ from __future__ import annotations
 from ...html import ParseResult
 from ..violations import Finding
 from .base import URL_ATTRIBUTES, Rule, iter_start_tag_attrs, snippet
+from .fused import Footprint
 
 
 class NonTerminatedTextarea(Rule):
@@ -15,6 +16,7 @@ class NonTerminatedTextarea(Rule):
     """
 
     id = "DE1"
+    footprint = Footprint(events=("rcdata-closed-at-eof",))
 
     def check(self, result: ParseResult) -> list[Finding]:
         return [
@@ -27,6 +29,16 @@ class NonTerminatedTextarea(Rule):
             if event.tag == "textarea"
         ]
 
+    def fused_event(self, event, source, out) -> None:
+        if event.tag == "textarea":
+            out.append(
+                self.finding(
+                    event.offset,
+                    "textarea element closed by EOF",
+                    snippet(source, event.offset),
+                )
+            )
+
 
 class NonTerminatedSelect(Rule):
     """DE2 — ``select``/``option`` still open at end of file.
@@ -36,6 +48,7 @@ class NonTerminatedSelect(Rule):
     """
 
     id = "DE2"
+    footprint = Footprint(events=("element-open-at-eof",))
 
     def check(self, result: ParseResult) -> list[Finding]:
         return [
@@ -48,6 +61,16 @@ class NonTerminatedSelect(Rule):
             if event.tag in ("select", "option")
         ]
 
+    def fused_event(self, event, source, out) -> None:
+        if event.tag in ("select", "option"):
+            out.append(
+                self.finding(
+                    event.offset,
+                    f"{event.tag} element closed by EOF",
+                    snippet(source, event.offset),
+                )
+            )
+
 
 class DanglingMarkupUrl(Rule):
     """DE3_1 — a URL attribute containing both a newline and ``<``.
@@ -58,6 +81,7 @@ class DanglingMarkupUrl(Rule):
     """
 
     id = "DE3_1"
+    footprint = Footprint(token_attrs=tuple(sorted(URL_ATTRIBUTES)))
 
     def check(self, result: ParseResult) -> list[Finding]:
         findings = []
@@ -73,6 +97,17 @@ class DanglingMarkupUrl(Rule):
                 )
         return findings
 
+    def fused_attr(self, tag, name, value, source, out) -> None:
+        if "\n" in value and "<" in value:
+            out.append(
+                self.finding(
+                    tag.offset,
+                    f"URL attribute {name!r} on <{tag.name}> contains "
+                    "newline and '<'",
+                    snippet(source, tag.offset),
+                )
+            )
+
 
 class ScriptInAttribute(Rule):
     """DE3_2 — the string ``<script`` inside an attribute value.
@@ -83,6 +118,7 @@ class ScriptInAttribute(Rule):
     """
 
     id = "DE3_2"
+    footprint = Footprint(token_attrs=("*",))
 
     def check(self, result: ParseResult) -> list[Finding]:
         findings = []
@@ -98,6 +134,17 @@ class ScriptInAttribute(Rule):
                 )
         return findings
 
+    def fused_attr(self, tag, name, value, source, out) -> None:
+        if "<" in value and "<script" in value.lower():
+            out.append(
+                self.finding(
+                    tag.offset,
+                    f"attribute {name!r} on <{tag.name}> contains "
+                    "'<script'",
+                    snippet(source, tag.offset),
+                )
+            )
+
 
 class NewlineInTarget(Rule):
     """DE3_3 — a ``target`` attribute containing a newline.
@@ -108,6 +155,7 @@ class NewlineInTarget(Rule):
     """
 
     id = "DE3_3"
+    footprint = Footprint(token_attrs=("target",))
 
     def check(self, result: ParseResult) -> list[Finding]:
         findings = []
@@ -122,6 +170,16 @@ class NewlineInTarget(Rule):
                 )
         return findings
 
+    def fused_attr(self, tag, name, value, source, out) -> None:
+        if "\n" in value:
+            out.append(
+                self.finding(
+                    tag.offset,
+                    f"target attribute on <{tag.name}> contains a newline",
+                    snippet(source, tag.offset),
+                )
+            )
+
 
 class NestedForm(Rule):
     """DE4 — a ``form`` inside a ``form``; the parser drops the inner one
@@ -129,6 +187,7 @@ class NestedForm(Rule):
     """
 
     id = "DE4"
+    footprint = Footprint(events=("nested-form-ignored",))
 
     def check(self, result: ParseResult) -> list[Finding]:
         return [
@@ -139,3 +198,12 @@ class NestedForm(Rule):
             )
             for event in result.events_of("nested-form-ignored")
         ]
+
+    def fused_event(self, event, source, out) -> None:
+        out.append(
+            self.finding(
+                event.offset,
+                "nested form element ignored by the parser",
+                snippet(source, event.offset),
+            )
+        )

@@ -5,6 +5,7 @@ from ...html import ErrorCode, ParseResult
 from ...html.dom import Element
 from ..violations import Finding
 from .base import URL_ATTRIBUTES, Rule, snippet
+from .fused import Footprint
 
 
 def _inside_head(element: Element) -> bool:
@@ -23,6 +24,7 @@ class MetaOutsideHead(Rule):
     """
 
     id = "DM1"
+    footprint = Footprint(tags=("meta",), regions=("head",))
 
     def check(self, result: ParseResult) -> list[Finding]:
         findings = []
@@ -43,6 +45,21 @@ class MetaOutsideHead(Rule):
                 )
         return findings
 
+    def fused_element(self, element, in_head, source, state, out) -> None:
+        if (
+            element.is_html()
+            and "http-equiv" in element.attributes
+            and not in_head
+        ):
+            out.append(
+                self.finding(
+                    element.source_offset,
+                    f"meta http-equiv={element.get('http-equiv')!r} "
+                    "outside head",
+                    snippet(source, element.source_offset),
+                )
+            )
+
 
 def _base_elements(result: ParseResult) -> list[Element]:
     return [
@@ -57,6 +74,7 @@ class BaseOutsideHead(Rule):
     restricts base to head; the parser honours it anywhere)."""
 
     id = "DM2_1"
+    footprint = Footprint(tags=("base",), regions=("head",))
 
     def check(self, result: ParseResult) -> list[Finding]:
         return [
@@ -69,12 +87,23 @@ class BaseOutsideHead(Rule):
             if not _inside_head(element)
         ]
 
+    def fused_element(self, element, in_head, source, state, out) -> None:
+        if element.is_html() and not in_head:
+            out.append(
+                self.finding(
+                    element.source_offset,
+                    "base element outside head",
+                    snippet(source, element.source_offset),
+                )
+            )
+
 
 class MultipleBase(Rule):
     """DM2_2 — more than one ``base`` element in the document (HTML
     4.2.3 allows exactly one)."""
 
     id = "DM2_2"
+    footprint = Footprint(tags=("base",))
 
     def check(self, result: ParseResult) -> list[Finding]:
         bases = _base_elements(result)
@@ -87,6 +116,20 @@ class MultipleBase(Rule):
             for index, element in enumerate(bases[1:])
         ]
 
+    def fused_element(self, element, in_head, source, state, out) -> None:
+        if not element.is_html():
+            return
+        count = state.get("bases", 0) + 1
+        state["bases"] = count
+        if count >= 2:
+            out.append(
+                self.finding(
+                    element.source_offset,
+                    f"base element #{count} (only one allowed)",
+                    snippet(source, element.source_offset),
+                )
+            )
+
 
 class BaseAfterUrlUse(Rule):
     """DM2_3 — ``base`` appearing after an element that uses a URL.
@@ -97,6 +140,7 @@ class BaseAfterUrlUse(Rule):
     """
 
     id = "DM2_3"
+    footprint = Footprint(tags=("*",))
 
     def check(self, result: ParseResult) -> list[Finding]:
         findings = []
@@ -116,6 +160,22 @@ class BaseAfterUrlUse(Rule):
                 url_seen = True
         return findings
 
+    def fused_element(self, element, in_head, source, state, out) -> None:
+        if element.name == "base" and element.is_html():
+            if state.get("url_seen"):
+                out.append(
+                    self.finding(
+                        element.source_offset,
+                        "base element after a URL-using element",
+                        snippet(source, element.source_offset),
+                    )
+                )
+            return
+        if not state.get("url_seen") and any(
+            name in URL_ATTRIBUTES for name in element.attributes
+        ):
+            state["url_seen"] = True
+
 
 class DuplicateAttributes(Rule):
     """DM3 — the same attribute name twice on one tag.
@@ -125,6 +185,7 @@ class DuplicateAttributes(Rule):
     """
 
     id = "DM3"
+    footprint = Footprint(errors=("DUPLICATE_ATTRIBUTE",))
 
     def check(self, result: ParseResult) -> list[Finding]:
         return [
@@ -135,3 +196,12 @@ class DuplicateAttributes(Rule):
             )
             for error in result.errors_of(ErrorCode.DUPLICATE_ATTRIBUTE)
         ]
+
+    def fused_error(self, error, source, out) -> None:
+        out.append(
+            self.finding(
+                error.offset,
+                f"duplicate attribute {error.detail!r} ignored",
+                snippet(source, error.offset),
+            )
+        )

@@ -8,6 +8,7 @@ from __future__ import annotations
 from ...html import ErrorCode, ParseResult
 from ..violations import Finding
 from .base import Rule, snippet
+from .fused import Footprint
 
 
 class SlashBetweenAttributes(Rule):
@@ -18,6 +19,7 @@ class SlashBetweenAttributes(Rule):
     """
 
     id = "FB1"
+    footprint = Footprint(errors=("UNEXPECTED_SOLIDUS_IN_TAG",))
 
     def check(self, result: ParseResult) -> list[Finding]:
         return [
@@ -29,6 +31,15 @@ class SlashBetweenAttributes(Rule):
             for error in result.errors_of(ErrorCode.UNEXPECTED_SOLIDUS_IN_TAG)
         ]
 
+    def fused_error(self, error, source, out) -> None:
+        out.append(
+            self.finding(
+                error.offset,
+                "slash used as attribute separator",
+                snippet(source, error.offset),
+            )
+        )
+
 
 class MissingSpaceBetweenAttributes(Rule):
     """FB2 — ``<img src="x"onerror=...>``: quoted value directly followed
@@ -37,6 +48,7 @@ class MissingSpaceBetweenAttributes(Rule):
     """
 
     id = "FB2"
+    footprint = Footprint(errors=("MISSING_WHITESPACE_BETWEEN_ATTRIBUTES",))
 
     def check(self, result: ParseResult) -> list[Finding]:
         return [
@@ -49,3 +61,12 @@ class MissingSpaceBetweenAttributes(Rule):
                 ErrorCode.MISSING_WHITESPACE_BETWEEN_ATTRIBUTES
             )
         ]
+
+    def fused_error(self, error, source, out) -> None:
+        out.append(
+            self.finding(
+                error.offset,
+                "attributes not separated by whitespace",
+                snippet(source, error.offset),
+            )
+        )

@@ -4,6 +4,7 @@ from __future__ import annotations
 from ...html import MATHML_NAMESPACE, SVG_NAMESPACE, ParseResult
 from ..violations import Finding
 from .base import Rule, snippet
+from .fused import Footprint
 
 #: Element names that only exist in SVG (lower-cased as they appear when
 #: stranded in the HTML namespace).
@@ -49,6 +50,8 @@ class BrokenHead(Rule):
         "head-element-after-head",
     )
 
+    footprint = Footprint(events=_KINDS)
+
     def check(self, result: ParseResult) -> list[Finding]:
         findings = []
         for event in result.events:
@@ -62,6 +65,16 @@ class BrokenHead(Rule):
                     )
                 )
         return findings
+
+    def fused_event(self, event, source, out) -> None:
+        label = event.tag or event.detail or event.kind
+        out.append(
+            self.finding(
+                event.offset,
+                f"{event.kind} ({label})",
+                snippet(source, event.offset),
+            )
+        )
 
 
 class ContentBeforeBody(Rule):
@@ -78,6 +91,8 @@ class ContentBeforeBody(Rule):
 
     _NON_CONTENT_TRIGGERS = frozenset({"#eof", "/html", "/body"})
 
+    footprint = Footprint(events=("body-start-implied",))
+
     def check(self, result: ParseResult) -> list[Finding]:
         return [
             self.finding(
@@ -89,6 +104,16 @@ class ContentBeforeBody(Rule):
             if event.detail not in self._NON_CONTENT_TRIGGERS
         ]
 
+    def fused_event(self, event, source, out) -> None:
+        if event.detail not in self._NON_CONTENT_TRIGGERS:
+            out.append(
+                self.finding(
+                    event.offset,
+                    f"body implicitly opened by {event.detail!r}",
+                    snippet(source, event.offset),
+                )
+            )
+
 
 class MultipleBody(Rule):
     """HF3 — a second ``body`` start tag merged into the first
@@ -96,6 +121,7 @@ class MultipleBody(Rule):
     """
 
     id = "HF3"
+    footprint = Footprint(events=("second-body-merged",))
 
     def check(self, result: ParseResult) -> list[Finding]:
         return [
@@ -107,6 +133,15 @@ class MultipleBody(Rule):
             for event in result.events_of("second-body-merged")
         ]
 
+    def fused_event(self, event, source, out) -> None:
+        out.append(
+            self.finding(
+                event.offset,
+                "second body start tag merged",
+                snippet(source, event.offset),
+            )
+        )
+
 
 class BrokenTable(Rule):
     """HF4 — content not allowed inside a table is foster-parented in
@@ -115,6 +150,7 @@ class BrokenTable(Rule):
     """
 
     id = "HF4"
+    footprint = Footprint(events=("foster-parented",))
 
     def check(self, result: ParseResult) -> list[Finding]:
         return [
@@ -126,6 +162,15 @@ class BrokenTable(Rule):
             for event in result.events_of("foster-parented")
         ]
 
+    def fused_event(self, event, source, out) -> None:
+        out.append(
+            self.finding(
+                event.offset,
+                f"{event.tag} foster-parented out of table",
+                snippet(source, event.offset),
+            )
+        )
+
 
 class WrongNamespaceHtml(Rule):
     """HF5_1 — SVG/MathML-only elements stranded in the HTML namespace
@@ -134,6 +179,7 @@ class WrongNamespaceHtml(Rule):
     """
 
     id = "HF5_1"
+    footprint = Footprint(tags=tuple(sorted(SVG_ONLY_NAMES | MATHML_ONLY_NAMES)))
 
     def check(self, result: ParseResult) -> list[Finding]:
         findings = []
@@ -152,9 +198,22 @@ class WrongNamespaceHtml(Rule):
                 )
         return findings
 
+    def fused_element(self, element, in_head, source, state, out) -> None:
+        if element.is_html():
+            out.append(
+                self.finding(
+                    element.source_offset,
+                    f"foreign-only element <{element.name}> in HTML "
+                    "namespace",
+                    snippet(source, element.source_offset),
+                )
+            )
+
 
 class _BreakoutRule(Rule):
     namespace = ""
+
+    footprint = Footprint(events=("foreign-breakout",))
 
     def check(self, result: ParseResult) -> list[Finding]:
         return [
@@ -167,6 +226,17 @@ class _BreakoutRule(Rule):
             for event in result.events_of("foreign-breakout")
             if event.namespace == self.namespace
         ]
+
+    def fused_event(self, event, source, out) -> None:
+        if event.namespace == self.namespace:
+            out.append(
+                self.finding(
+                    event.offset,
+                    f"HTML element <{event.tag}> broke out of "
+                    f"{self.namespace_label} content",
+                    snippet(source, event.offset),
+                )
+            )
 
     @property
     def namespace_label(self) -> str:

@@ -475,6 +475,51 @@ def oracle_service_parity(data: bytes) -> None:
         raise OracleFailure("service-parity-divergence", "unlocated diff")
 
 
+# ----------------------------------------------------------- fused engine
+
+#: one pair of engines reused across iterations; rules are stateless by
+#: contract (the footprint staticcheck pass proves it), so reuse is safe
+#: and any cross-call state leak would itself surface as a divergence
+_FUSED_CHECKER: Checker | None = None
+_REFERENCE_CHECKER: Checker | None = None
+
+
+def _engine_pair() -> tuple[Checker, Checker]:
+    global _FUSED_CHECKER, _REFERENCE_CHECKER
+    if _FUSED_CHECKER is None:
+        _FUSED_CHECKER = Checker(engine="fused")
+        _REFERENCE_CHECKER = Checker(engine="reference")
+    return _FUSED_CHECKER, _REFERENCE_CHECKER
+
+
+def oracle_fused_parity(data: bytes) -> None:
+    """The fused single-pass engine equals the per-rule reference path.
+
+    ``Checker(engine="fused")`` compiles all rules' declared footprints
+    into one streaming walk (:mod:`repro.core.rules.fused`);
+    ``engine="reference"`` runs each rule's own ``check`` traversal.  The
+    two must produce **bit-identical ordered findings** on every parse —
+    not just the same multiset: downstream reports slice by offset and
+    evidence, so ordering or field drift is as much a bug as a missing
+    finding.  This is the same retained-reference pattern that pins the
+    chunked tokenizer to ``reference_tokenizer.py``.
+    """
+    text = _decode(data)
+    result = parse(text)
+    fused, reference = _engine_pair()
+    expected = reference.check_parse(result).findings
+    got = fused.check_parse(result).findings
+    if got != expected:
+        length = f"{len(got)} fused vs {len(expected)} reference findings"
+        for index, (left, right) in enumerate(zip(expected, got)):
+            if left != right:
+                raise OracleFailure(
+                    "fused-parity-divergence",
+                    f"finding {index}: reference {left!r} != fused {right!r}",
+                )
+        raise OracleFailure("fused-parity-length", length)
+
+
 # --------------------------------------------------- sequential ∥ parallel
 
 
@@ -559,6 +604,12 @@ ORACLES: dict[str, Oracle] = {
             "autofix",
             "autofix is a fix-point and clears the rules it repairs",
             oracle_autofix,
+        ),
+        Oracle(
+            "fused_parity",
+            "fused single-pass check engine emits findings bit-identical "
+            "to the per-rule reference path",
+            oracle_fused_parity,
         ),
         Oracle(
             "service_parity",

@@ -261,6 +261,11 @@ class TreeBuilder:
         self._saw_explicit_body = False
         self._head_closed = False
         self._stopped = False
+        #: mirror of "adjusted current node is in a foreign namespace";
+        #: maintained by push/pop so token dispatch can skip the full
+        #: ``_dispatch_mode`` integration-point analysis for the (vastly
+        #: dominant) HTML-content case
+        self._current_foreign = False
 
     # ------------------------------------------------------------- plumbing
 
@@ -292,22 +297,38 @@ class TreeBuilder:
         return self.current_node
 
     def _update_foreign_flag(self) -> None:
-        if self.tokenizer is None:
-            return
-        node = self.adjusted_current_node
-        self.tokenizer.in_foreign_content = (
-            node is not None and node.namespace != HTML_NAMESPACE
-        )
+        stack = self.open_elements
+        if self.fragment_context is not None and len(stack) == 1:
+            node = self.fragment_context
+        else:
+            node = stack[-1] if stack else None
+        foreign = node is not None and node.namespace != HTML_NAMESPACE
+        self._current_foreign = foreign
+        tokenizer = self.tokenizer
+        if tokenizer is not None:
+            tokenizer.in_foreign_content = foreign
 
     # ------------------------------------------------------ stack and scopes
 
     def push(self, element: Element) -> None:
         self.open_elements.append(element)
-        self._update_foreign_flag()
+        # pushing an HTML element while already in HTML content cannot
+        # change the foreign flag, which covers almost every push
+        if element.namespace != HTML_NAMESPACE or self._current_foreign:
+            self._update_foreign_flag()
 
     def pop(self) -> Element:
-        element = self.open_elements.pop()
-        self._update_foreign_flag()
+        stack = self.open_elements
+        element = stack.pop()
+        # the flag can only change if we were in foreign content, the new
+        # top is foreign, or the pop just exposed the fragment context
+        if (
+            self._current_foreign
+            or not stack
+            or stack[-1].namespace != HTML_NAMESPACE
+            or (self.fragment_context is not None and len(stack) == 1)
+        ):
+            self._update_foreign_flag()
         return element
 
     def pop_until(self, *names: str) -> Element:
@@ -318,10 +339,18 @@ class TreeBuilder:
         raise AssertionError(f"pop_until missed {names}")  # pragma: no cover
 
     def element_in_scope(self, target: str, scope: frozenset[str] = SCOPE_DEFAULT) -> bool:
+        # hot path: open_elements is nearly always all-HTML, so the
+        # namespace test is hoisted and ``_is_scope_boundary`` inlined
         for element in reversed(self.open_elements):
-            if element.name == target and element.is_html():
-                return True
-            if self._is_scope_boundary(element, scope):
+            if element.namespace == HTML_NAMESPACE:
+                name = element.name
+                if name == target:
+                    return True
+                if name in scope:
+                    return False
+            elif scope is not SCOPE_TABLE and (
+                element.namespace, element.name
+            ) in _FOREIGN_SCOPE_EXTRAS:
                 return False
         return False
 
@@ -341,13 +370,15 @@ class TreeBuilder:
         return False
 
     def generate_implied_end_tags(self, exclude: str | None = None) -> None:
-        while (
-            self.open_elements
-            and self.current_node is not None
-            and self.current_node.is_html()
-            and self.current_node.name in IMPLIED_END_TAGS
-            and self.current_node.name != exclude
-        ):
+        stack = self.open_elements
+        while stack:
+            node = stack[-1]
+            if (
+                node.namespace != HTML_NAMESPACE
+                or node.name not in IMPLIED_END_TAGS
+                or node.name == exclude
+            ):
+                return
             self.pop()
 
     # -------------------------------------------------------------- insertion
@@ -374,19 +405,29 @@ class TreeBuilder:
         return target, None
 
     def create_element(self, token: StartTag, namespace: str = HTML_NAMESPACE) -> Element:
-        attributes: dict[str, str] = {}
-        for attr in token.visible_attributes():
-            if attr.name not in attributes:
-                attributes[attr.name] = attr.value
+        # every repeated attribute name is flagged duplicate by the
+        # tokenizer, so filtering on the flag alone keeps the first
+        # occurrence exactly like the spec's "already on the token" check
         return Element(
-            token.name, namespace=namespace, attributes=attributes,
+            token.name, namespace=namespace,
+            attributes={
+                a.name: a.value for a in token.attributes if not a.duplicate
+            },
             source_offset=token.offset,
         )
 
     def insert_element(self, token: StartTag, namespace: str = HTML_NAMESPACE) -> Element:
         element = self.create_element(token, namespace)
-        parent, before = self.appropriate_insertion_place()
-        parent.insert_before(element, before)
+        if not self.foster_parenting:
+            # hot path: a freshly created element has no parent, so the
+            # insertion-place analysis and re-parenting checks reduce to a
+            # plain append at the current node
+            parent = self.open_elements[-1]
+            element.parent = parent
+            parent.children.append(element)
+        else:
+            parent, before = self.appropriate_insertion_place()
+            parent.insert_before(element, before)
         self.push(element)
         return element
 
@@ -402,6 +443,19 @@ class TreeBuilder:
         return element
 
     def insert_text(self, data: str) -> None:
+        if not self.foster_parenting:
+            # hot path: append-or-merge at the current node, skipping the
+            # insertion-place analysis that only matters under fostering
+            parent = self.open_elements[-1]
+            children = parent.children
+            previous = children[-1] if children else None
+            if type(previous) is Text:
+                previous.data += data
+            else:
+                node = Text(data)
+                node.parent = parent
+                children.append(node)
+            return
         parent, before = self.appropriate_insertion_place()
         if before is not None:
             index = parent.children.index(before)
@@ -480,14 +534,29 @@ class TreeBuilder:
 
     def parse(self, text: str) -> ParseResult:
         pre = preprocess(text)
-        self.tokenizer = Tokenizer(pre.text)
-        for token in self.tokenizer:
-            if self._collect_tokens:
-                self.tokens.append(token)
-            self.process_token(token)
+        tokenizer = self.tokenizer = Tokenizer(pre.text)
+        # drain the tokenizer queue directly rather than through its
+        # generator __iter__ — same visit order, no generator resumption
+        # per token on the hottest loop in the parser
+        queue = tokenizer._queue
+        popleft = queue.popleft
+        process = self.process_token
+        tokens = self.tokens
+        collect = self._collect_tokens
+        while True:
+            if queue:
+                token = popleft()
+            elif tokenizer._done:
+                break
+            else:
+                tokenizer._state()
+                continue
+            if collect:
+                tokens.append(token)
+            process(token)
             if self._stopped:
                 break
-        self.errors.extend(self.tokenizer.errors)
+        self.errors.extend(tokenizer.errors)
         self.errors.sort(key=lambda error: error.offset)
         return ParseResult(
             document=self.document,
@@ -500,12 +569,18 @@ class TreeBuilder:
     # --------------------------------------------------------- token dispatch
 
     def process_token(self, token: Token) -> None:
-        mode = self._dispatch_mode(token)
+        # _dispatch_mode only ever diverges from the insertion mode while
+        # the adjusted current node is foreign (SVG/MathML); push/pop keep
+        # _current_foreign tracking exactly that
+        mode = self._dispatch_mode(token) if self._current_foreign else self.mode
         reprocess = True
         while reprocess:
             reprocess = mode(token)
             if reprocess:
-                mode = self._dispatch_mode(token)
+                mode = (
+                    self._dispatch_mode(token)
+                    if self._current_foreign else self.mode
+                )
 
     def _dispatch_mode(self, token: Token):
         node = self.adjusted_current_node
@@ -844,8 +919,14 @@ class TreeBuilder:
     # ------------------------------------------------------------- in body
 
     def _mode_in_body(self, token: Token) -> bool:
+        # ordered by token frequency: characters and tags dominate real
+        # documents, comments/doctypes/EOF are rare
         if isinstance(token, Character):
             return self._in_body_character(token)
+        if isinstance(token, StartTag):
+            return self._in_body_start_tag(token)
+        if isinstance(token, EndTag):
+            return self._in_body_end_tag(token)
         if isinstance(token, Comment):
             self.insert_comment(token)
             return False
@@ -853,12 +934,8 @@ class TreeBuilder:
             self.parse_error(ErrorCode.UNEXPECTED_DOCTYPE, token)
             self.event("doctype-misplaced", offset=token.offset)
             return False
-        if isinstance(token, EOF):
-            return self._in_body_eof(token)
-        if isinstance(token, StartTag):
-            return self._in_body_start_tag(token)
-        assert isinstance(token, EndTag)
-        return self._in_body_end_tag(token)
+        assert isinstance(token, EOF)
+        return self._in_body_eof(token)
 
     def _in_body_character(self, token: Character) -> bool:
         data = token.data

@@ -33,6 +33,7 @@ import tokenize
 from abc import ABC
 from dataclasses import dataclass, field
 from pathlib import Path
+from time import perf_counter
 from typing import Callable, Iterator, Sequence
 
 from .findings import LintFinding, Location, Severity
@@ -128,6 +129,9 @@ class LintPass(ABC):
 
     def __init__(self) -> None:
         self._findings: list[LintFinding] = []
+        #: free-form counters a pass may publish (surfaced by ``lint
+        #: --stats`` and asserted by CI, e.g. footprint's rules_analyzed)
+        self.metrics: dict[str, int] = {}
         self._visitors: dict[str, Callable] = {
             attr[len("visit_"):]: getattr(self, attr)
             for attr in dir(type(self))
@@ -185,6 +189,16 @@ class LintPass(ABC):
         return findings
 
 
+@dataclass(frozen=True, slots=True)
+class PassStat:
+    """Per-pass accounting for one engine run (``lint --stats``)."""
+
+    pass_id: str
+    seconds: float                  # begin/visit/end/finish wall time
+    findings: int                   # emitted findings surviving suppression
+    metrics: dict[str, int] = field(default_factory=dict)
+
+
 @dataclass(slots=True)
 class LintResult:
     """Outcome of one engine run."""
@@ -194,6 +208,7 @@ class LintResult:
     files: tuple[str, ...]          # root-relative paths scanned
     findings: tuple[LintFinding, ...]
     suppressed: int                 # findings silenced by ignore comments
+    stats: tuple[PassStat, ...] = ()
 
     def count(self, severity: Severity) -> int:
         return sum(1 for finding in self.findings if finding.severity is severity)
@@ -260,17 +275,24 @@ def run_lint(
         files.append(file)
         scanned.append(file.rel)
 
+    timings = {lint_pass.id: 0.0 for lint_pass in passes}
     for file in files:
         interested = [p for p in passes if p.select(file)]
         if not interested:
             continue
         for lint_pass in interested:
+            started = perf_counter()
             lint_pass.begin_file(file)
+            timings[lint_pass.id] += perf_counter() - started
         for node in ast.walk(file.tree):
             for lint_pass in interested:
+                started = perf_counter()
                 lint_pass._dispatch(file, node)
+                timings[lint_pass.id] += perf_counter() - started
         for lint_pass in interested:
+            started = perf_counter()
             lint_pass.end_file(file)
+            timings[lint_pass.id] += perf_counter() - started
             for finding in lint_pass._take_findings():
                 if file.suppressions.allows(finding.pass_id, finding.location.line):
                     suppressed += 1
@@ -279,7 +301,9 @@ def run_lint(
 
     suppressions_by_rel = {file.rel: file.suppressions for file in files}
     for lint_pass in passes:
+        started = perf_counter()
         lint_pass.finish()
+        timings[lint_pass.id] += perf_counter() - started
         for finding in lint_pass._take_findings():
             suppression = suppressions_by_rel.get(finding.location.path)
             if suppression is not None and suppression.allows(
@@ -289,12 +313,26 @@ def run_lint(
             else:
                 findings.append(finding)
 
+    kept = tuple(sorted(findings, key=lambda f: f.sort_key))
+    counts_by_pass: dict[str, int] = {}
+    for finding in kept:
+        counts_by_pass[finding.pass_id] = counts_by_pass.get(finding.pass_id, 0) + 1
+    stats = tuple(
+        PassStat(
+            pass_id=lint_pass.id,
+            seconds=timings[lint_pass.id],
+            findings=counts_by_pass.get(lint_pass.id, 0),
+            metrics=dict(lint_pass.metrics),
+        )
+        for lint_pass in passes
+    )
     return LintResult(
         root=root_label if root_label is not None else str(root),
         pass_ids=tuple(p.id for p in passes),
         files=tuple(scanned),
-        findings=tuple(sorted(findings, key=lambda f: f.sort_key)),
+        findings=kept,
         suppressed=suppressed,
+        stats=stats,
     )
 
 

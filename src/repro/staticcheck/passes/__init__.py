@@ -4,6 +4,7 @@ from __future__ import annotations
 from ..engine import LintPass
 from .determinism import DeterminismPass
 from .exception_hygiene import ExceptionHygienePass
+from .footprint import FootprintPass
 from .registry_consistency import RegistryConsistencyPass
 from .regex_safety import RegexSafetyPass
 from .state_machine import StateMachinePass
@@ -11,6 +12,7 @@ from .state_machine import StateMachinePass
 #: every pass, in documentation order
 ALL_PASSES: tuple[type[LintPass], ...] = (
     RegistryConsistencyPass,
+    FootprintPass,
     DeterminismPass,
     StateMachinePass,
     RegexSafetyPass,
@@ -34,6 +36,7 @@ __all__ = [
     "ALL_PASSES",
     "DeterminismPass",
     "ExceptionHygienePass",
+    "FootprintPass",
     "RegexSafetyPass",
     "RegistryConsistencyPass",
     "StateMachinePass",

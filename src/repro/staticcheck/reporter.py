@@ -16,8 +16,11 @@ import json
 from pathlib import Path
 
 from .engine import LintResult
-from .findings import Severity
+from .findings import LintFinding, Location, Severity
 from .passes import ALL_PASSES
+
+#: pseudo pass id for baseline-drift findings (not an AST pass)
+BASELINE_PASS_ID = "baseline"
 
 
 def render_text(result: LintResult) -> str:
@@ -50,8 +53,34 @@ def render_json(result: LintResult) -> str:
             "note": result.count(Severity.NOTE),
             "suppressed": result.suppressed,
         },
+        "stats": [
+            {
+                "pass": stat.pass_id,
+                "seconds": round(stat.seconds, 6),
+                "findings": stat.findings,
+                "metrics": dict(stat.metrics),
+            }
+            for stat in result.stats
+        ],
     }
     return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def render_stats(result: LintResult) -> str:
+    """Per-pass runtime/finding table (``repro-study lint --stats``)."""
+    lines = [f"{'pass':<22} {'time':>9} {'findings':>9}  metrics"]
+    total = 0.0
+    for stat in result.stats:
+        metrics = ", ".join(
+            f"{key}={value}" for key, value in sorted(stat.metrics.items())
+        )
+        lines.append(
+            f"{stat.pass_id:<22} {stat.seconds * 1000:7.1f}ms "
+            f"{stat.findings:>9}  {metrics}"
+        )
+        total += stat.seconds
+    lines.append(f"{'total':<22} {total * 1000:7.1f}ms")
+    return "\n".join(lines)
 
 
 def render_baseline(result: LintResult, *, root_label: str = "src/repro") -> str:
@@ -83,3 +112,40 @@ def render_baseline(result: LintResult, *, root_label: str = "src/repro") -> str
 def write_baseline(result: LintResult, path: Path, *, root_label: str = "src/repro") -> None:
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(render_baseline(result, root_label=root_label), encoding="utf-8")
+
+
+def parse_baseline_entries(text: str) -> list[str]:
+    """The per-finding ``format()`` lines of a rendered baseline."""
+    return [
+        line[2:]
+        for line in text.splitlines()
+        if line.startswith("  ") and not line.startswith("  - ")
+    ]
+
+
+def stale_baseline_findings(
+    result: LintResult, baseline_text: str, baseline_path: str
+) -> list[LintFinding]:
+    """Baseline entries that no longer fire on the current tree.
+
+    The committed baseline is a grandfather list: findings in it are
+    tolerated, new ones fail the build.  Without this check the list can
+    only *grow stale* — a fixed finding leaves a dead entry that would
+    silently re-admit the same finding if it regressed.  Each stale entry
+    becomes an ERROR so the baseline can only shrink.
+    """
+    current = {finding.format() for finding in result.findings}
+    return [
+        LintFinding(
+            pass_id=BASELINE_PASS_ID,
+            severity=Severity.ERROR,
+            location=Location(path=baseline_path, line=0),
+            message=f"stale baseline entry no longer fires: {entry}",
+            fix_hint=(
+                "regenerate baseline: repro-study lint --baseline "
+                f"{baseline_path}"
+            ),
+        )
+        for entry in parse_baseline_entries(baseline_text)
+        if entry not in current
+    ]

@@ -1,0 +1,256 @@
+"""FootprintPass behaviour on injected-violation fixture trees."""
+from __future__ import annotations
+
+from repro.staticcheck import Severity, run_lint
+from repro.staticcheck.passes import FootprintPass
+
+
+def lint(make_tree, source: str):
+    root = make_tree({"core/rules/fixture.py": source})
+    return run_lint(root, [FootprintPass()])
+
+
+def messages(result):
+    return [finding.message for finding in result.findings]
+
+
+CLEAN_EVENT_RULE = '''
+    class EventRule(Rule):
+        """AB1 — fixture (HTML 1.1.1)."""
+        id = "AB1"
+        footprint = Footprint(events=("foster-parented",))
+
+        def fused_event(self, event, source, out):
+            out.append(self.finding(event.offset))
+
+        def check(self, result):
+            return [self.finding(e.offset)
+                    for e in result.events_of("foster-parented")]
+'''
+
+
+class TestCleanRules:
+    def test_clean_event_rule_passes(self, make_tree):
+        result = lint(make_tree, CLEAN_EVENT_RULE)
+        assert result.findings == ()
+
+    def test_rules_analyzed_metric(self, make_tree):
+        lint_pass = FootprintPass()
+        root = make_tree({"core/rules/fixture.py": CLEAN_EVENT_RULE})
+        run_lint(root, [lint_pass])
+        assert lint_pass.metrics["rules_analyzed"] == 1
+
+    def test_tag_guarded_tree_walk(self, make_tree):
+        result = lint(make_tree, '''
+            class TreeRule(Rule):
+                """AB2 — fixture (HTML 1.1.2)."""
+                id = "AB2"
+                footprint = Footprint(tags=("base",))
+
+                def fused_element(self, element, in_head, source, state, out):
+                    out.append(self.finding(element.offset))
+
+                def check(self, result):
+                    out = []
+                    for element in result.document.iter_elements():
+                        if element.name == "base":
+                            out.append(self.finding(element.offset))
+                    return out
+        ''')
+        assert result.findings == ()
+
+    def test_unguarded_tree_walk_needs_wildcard(self, make_tree):
+        result = lint(make_tree, '''
+            class TreeRule(Rule):
+                """AB2 — fixture (HTML 1.1.2)."""
+                id = "AB2"
+                footprint = Footprint(tags=("*",))
+
+                def fused_element(self, element, in_head, source, state, out):
+                    out.append(self.finding(element.offset))
+
+                def check(self, result):
+                    return [self.finding(e.offset)
+                            for e in result.document.iter_elements()]
+        ''')
+        assert result.findings == ()
+
+
+class TestDeclarationDrift:
+    def test_missing_footprint_flagged(self, make_tree):
+        result = lint(make_tree, '''
+            class NoFootprint(Rule):
+                """AB3 — fixture (HTML 1.1.3)."""
+                id = "AB3"
+
+                def check(self, result):
+                    return []
+        ''')
+        assert any("no declared footprint" in m for m in messages(result))
+        assert result.findings[0].severity is Severity.ERROR
+
+    def test_diverging_field_flagged_with_both_sides(self, make_tree):
+        result = lint(make_tree, '''
+            class Drifted(Rule):
+                """AB4 — fixture (HTML 1.1.4)."""
+                id = "AB4"
+                footprint = Footprint(events=("foster-parented",))
+
+                def fused_event(self, event, source, out):
+                    pass
+
+                def check(self, result):
+                    return [self.finding(e.offset)
+                            for e in result.events_of("second-body-merged")]
+        ''')
+        drift = [m for m in messages(result) if "diverges" in m]
+        assert len(drift) == 1
+        assert "foster-parented" in drift[0]
+        assert "second-body-merged" in drift[0]
+
+    def test_missing_handler_flagged(self, make_tree):
+        result = lint(make_tree, '''
+            class NoHandler(Rule):
+                """AB5 — fixture (HTML 1.1.5)."""
+                id = "AB5"
+                footprint = Footprint(events=("foster-parented",))
+
+                def check(self, result):
+                    return [self.finding(e.offset)
+                            for e in result.events_of("foster-parented")]
+        ''')
+        assert any(
+            "does not implement fused_event()" in m for m in messages(result)
+        )
+
+    def test_unresolvable_declaration_flagged(self, make_tree):
+        result = lint(make_tree, '''
+            class Dynamic(Rule):
+                """AB6 — fixture (HTML 1.1.6)."""
+                id = "AB6"
+                footprint = Footprint(events=tuple(compute_kinds()))
+
+                def fused_event(self, event, source, out):
+                    pass
+
+                def check(self, result):
+                    return []
+        ''')
+        assert any(
+            "not statically evaluable" in m for m in messages(result)
+        )
+
+    def test_events_without_kind_filter_flagged(self, make_tree):
+        result = lint(make_tree, '''
+            class Unfiltered(Rule):
+                """AB7 — fixture (HTML 1.1.7)."""
+                id = "AB7"
+                footprint = Footprint(events=("foster-parented",))
+
+                def fused_event(self, event, source, out):
+                    pass
+
+                def check(self, result):
+                    return [self.finding(e.offset) for e in result.events]
+        ''')
+        assert any(
+            "without a statically recognizable kind filter" in m
+            for m in messages(result)
+        )
+
+
+class TestStreamability:
+    def test_self_assignment_flagged(self, make_tree):
+        result = lint(make_tree, '''
+            class Stateful(Rule):
+                """AC1 — fixture (HTML 1.2.1)."""
+                id = "AC1"
+                footprint = Footprint(events=("foster-parented",))
+
+                def fused_event(self, event, source, out):
+                    pass
+
+                def check(self, result):
+                    self.seen = True
+                    return [self.finding(e.offset)
+                            for e in result.events_of("foster-parented")]
+        ''')
+        assert any("cross-call state" in m for m in messages(result))
+
+    def test_result_mutation_flagged(self, make_tree):
+        result = lint(make_tree, '''
+            class Mutator(Rule):
+                """AC2 — fixture (HTML 1.2.2)."""
+                id = "AC2"
+                footprint = Footprint(events=("foster-parented",))
+
+                def fused_event(self, event, source, out):
+                    pass
+
+                def check(self, result):
+                    result.errors.clear()
+                    return [self.finding(e.offset)
+                            for e in result.events_of("foster-parented")]
+        ''')
+        assert any(
+            "mutating the shared ParseResult" in m for m in messages(result)
+        )
+
+    def test_reordering_flagged(self, make_tree):
+        result = lint(make_tree, '''
+            class Sorter(Rule):
+                """AC3 — fixture (HTML 1.2.3)."""
+                id = "AC3"
+                footprint = Footprint(events=("foster-parented",))
+
+                def fused_event(self, event, source, out):
+                    pass
+
+                def check(self, result):
+                    ordered = sorted(result.errors, key=lambda e: e.offset)
+                    return [self.finding(e.offset)
+                            for e in result.events_of("foster-parented")]
+        ''')
+        assert any("document order only" in m for m in messages(result))
+
+    def test_inline_regex_flagged(self, make_tree):
+        result = lint(make_tree, '''
+            class Regexy(Rule):
+                """AC4 — fixture (HTML 1.2.4)."""
+                id = "AC4"
+                footprint = Footprint(events=("foster-parented",))
+
+                def fused_event(self, event, source, out):
+                    pass
+
+                def check(self, result):
+                    if re.search(r"x+", result.source):
+                        pass
+                    return [self.finding(e.offset)
+                            for e in result.events_of("foster-parented")]
+        ''')
+        assert any("builds a regex inline" in m for m in messages(result))
+
+    def test_implicit_compile_also_flagged(self, make_tree):
+        result = lint(make_tree, '''
+            class Regexy(Rule):
+                """AC5 — fixture (HTML 1.2.5)."""
+                id = "AC5"
+                footprint = Footprint(events=("foster-parented",))
+
+                def fused_event(self, event, source, out):
+                    pass
+
+                def check(self, result):
+                    re.findall(r"y+", result.source)
+                    return [self.finding(e.offset)
+                            for e in result.events_of("foster-parented")]
+        ''')
+        assert any("re.findall" in m for m in messages(result))
+
+    def test_module_level_compile_allowed(self, make_tree):
+        result = lint(make_tree, CLEAN_EVENT_RULE + '''
+
+    PATTERN = re.compile("z+")
+''')
+        assert not any("regex" in m for m in messages(result))

@@ -22,13 +22,13 @@ class TestSelfLint:
             finding.format() for finding in result.findings
         )
 
-    def test_all_five_passes_ran(self):
+    def test_all_six_passes_ran(self):
         result = run_lint(SRC, root_label="src/repro")
         assert set(result.pass_ids) == {
-            "registry-consistency", "determinism", "state-machine",
-            "regex-safety", "exception-hygiene",
+            "registry-consistency", "footprint", "determinism",
+            "state-machine", "regex-safety", "exception-hygiene",
         }
-        assert len(ALL_PASSES) == 5
+        assert len(ALL_PASSES) == 6
 
     def test_scans_the_whole_package(self):
         result = run_lint(SRC, root_label="src/repro")

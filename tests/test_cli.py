@@ -125,6 +125,39 @@ class TestLintCommand:
         assert baseline.exists()
         assert "repro.staticcheck baseline" in baseline.read_text()
 
+    def test_lint_stats_table(self, capsys):
+        assert main(["lint", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "footprint" in out
+        assert "rules_analyzed=" in out
+        assert "total" in out
+
+    def test_lint_json_carries_stats(self, capsys):
+        assert main(["lint", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        stats = {entry["pass"]: entry for entry in payload["stats"]}
+        assert stats["footprint"]["metrics"]["rules_analyzed"] >= 20
+
+    def test_lint_check_baseline_round_trips(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.txt"
+        assert main(["lint", "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--check-baseline", str(baseline)]) == 0
+
+    def test_lint_check_baseline_flags_stale_entry(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.txt"
+        assert main(["lint", "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        with baseline.open("a") as handle:
+            handle.write("  core/rules/gone.py:1:0: error [footprint] x\n")
+        assert main(["lint", "--check-baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "stale baseline entry no longer fires" in out
+        assert "regenerate baseline" in out
+
+    def test_lint_check_baseline_missing_file_is_usage_error(self, capsys):
+        assert main(["lint", "--check-baseline", "/no/such/file.txt"]) == 2
+
     def test_lint_fail_on_warning_fixture(self, tmp_path, capsys):
         target = tmp_path / "pipeline"
         target.mkdir()
