@@ -54,4 +54,19 @@ assert p['pages'] > 0 and p['best_seconds'] > 0, 'empty pipeline case'" \
     "$BENCH_SMOKE_OUT"
 rm -f "$BENCH_SMOKE_OUT"
 
+echo "==> loadgen smoke (open-loop sweep against a spawned server)"
+LOADGEN_SMOKE_OUT="${TMPDIR:-/tmp}/BENCH_ci_loadgen_smoke.json"
+python -c 'import sys; from repro.cli import main; sys.exit(main(sys.argv[1:]))' \
+    loadgen --quick --output "$LOADGEN_SMOKE_OUT"
+python -c "import json, sys; s = json.load(open(sys.argv[1])); \
+assert s['schema'] == 'repro-bench/1', 'bad loadgen snapshot schema'; \
+steps = s['loadgen']['steps']; \
+assert len(steps) == 2 and all(st['completed'] > 0 for st in steps), steps; \
+assert all(st['latency_ms']['p50'] <= st['latency_ms']['p99'] for st in steps), \
+    'quantiles out of order'; \
+assert s['loadgen']['server_metrics']['connections'].get('total', 0) > 0, \
+    'no connection counters scraped'" \
+    "$LOADGEN_SMOKE_OUT"
+rm -f "$LOADGEN_SMOKE_OUT"
+
 echo "==> ci OK"

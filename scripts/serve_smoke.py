@@ -9,12 +9,16 @@ the full request surface over actual sockets:
    on the identical body;
 3. ``POST /check`` with non-UTF-8 bytes → 422 typed decode failure;
 4. ``GET /metrics``  → counters consistent with the traffic sent;
-5. graceful drain: a request is deliberately held *in flight* (headers
-   and half the body sent, then SIGTERM, then the rest) — the already-
-   admitted request must still complete with its 200 and the process
-   must exit 0.
+5. ``POST /check-batch`` → chunked NDJSON stream whose first line equals
+   the single ``POST /check`` payload and whose malformed second line is
+   a per-line 400;
+6. graceful drain over a *keep-alive* connection: one request completes,
+   a second is deliberately held mid-body when SIGTERM lands — the
+   already-admitted request must still complete with its 200, the
+   response must say ``connection: close``, the socket must close
+   cleanly, and the process must exit 0.
 
-Step 5 is the acceptance check for shutdown: stop accepting, finish
+Step 6 is the acceptance check for shutdown: stop accepting, finish
 what was admitted, then exit.  Stdlib only; exits non-zero with the
 server's stderr on any failure.
 """
@@ -103,29 +107,93 @@ def request(
         conn.close()
 
 
+def read_framed_response(sock: socket.socket) -> tuple[bytes, bytes]:
+    """One Content-Length-framed response off a raw socket."""
+    raw = b""
+    while b"\r\n\r\n" not in raw:
+        chunk = sock.recv(4096)
+        if not chunk:
+            break
+        raw += chunk
+    head, _, rest = raw.partition(b"\r\n\r\n")
+    length = 0
+    for line in head.split(b"\r\n"):
+        if line.lower().startswith(b"content-length:"):
+            length = int(line.split(b":", 1)[1])
+    while len(rest) < length:
+        chunk = sock.recv(4096)
+        if not chunk:
+            break
+        rest += chunk
+    return head, rest[:length]
+
+
+def check_batch(proc: subprocess.Popen, port: int, single_payload: dict) -> None:
+    """``POST /check-batch`` streams per-line results matching the single
+    path byte-for-byte (the dirty page's result must equal its ``POST
+    /check`` payload)."""
+    batch_body = b"".join((
+        json.dumps({"html": DIRTY_PAGE.decode("utf-8")}).encode() + b"\n",
+        b"{not ndjson\n",
+    ))
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=15)
+    try:
+        conn.request("POST", "/check-batch", body=batch_body)
+        response = conn.getresponse()
+        encoding = (response.getheader("transfer-encoding") or "").lower()
+        raw = response.read()  # http.client reassembles the chunked frames
+    finally:
+        conn.close()
+    if response.status != 200 or encoding != "chunked":
+        fail(proc, f"/check-batch: {response.status} framing {encoding!r}")
+    lines = [json.loads(line) for line in raw.split(b"\n") if line]
+    if [line["index"] for line in lines] != [0, 1]:
+        fail(proc, f"/check-batch ordering: {raw[:120]!r}")
+    if lines[0]["status"] != 200 or lines[0]["result"] != single_payload:
+        fail(proc, "/check-batch line 0 diverges from single POST /check")
+    if lines[1]["status"] != 400:
+        fail(proc, f"/check-batch malformed line: {lines[1]}")
+
+
 def check_drain(proc: subprocess.Popen, port: int) -> None:
-    """SIGTERM with a request mid-body; the 200 must still arrive."""
+    """SIGTERM with a keep-alive connection open and a request mid-body.
+
+    The connection has already served one request (keep-alive is
+    established, not hypothetical); the second request is half-sent when
+    the drain begins.  The server must answer it, mark the response
+    ``connection: close``, close the socket cleanly, and exit 0.
+    """
     body = DIRTY_PAGE
     head = (
         f"POST /check HTTP/1.1\r\nhost: smoke\r\n"
         f"content-length: {len(body)}\r\n\r\n"
     ).encode("ascii")
     with socket.create_connection(("127.0.0.1", port), timeout=15) as sock:
+        sock.settimeout(15)
+        # request 1 completes normally; the connection stays open
+        sock.sendall(head + body)
+        first_head, _body = read_framed_response(sock)
+        if not first_head.startswith(b"HTTP/1.1 200"):
+            fail(proc, f"keep-alive request 1 failed: {first_head[:60]!r}")
+        if b"connection: close" in first_head:
+            fail(proc, "server closed a keep-alive connection prematurely")
+        # request 2 is mid-body when the drain starts
         sock.sendall(head + body[: len(body) // 2])
         time.sleep(0.2)  # let the server enter the body read
         proc.send_signal(signal.SIGTERM)
         time.sleep(0.2)  # let the drain begin before the body completes
         sock.sendall(body[len(body) // 2:])
-        sock.settimeout(15)
-        raw = b""
-        while b"\r\n\r\n" not in raw:
-            chunk = sock.recv(4096)
-            if not chunk:
-                break
-            raw += chunk
-        status_line = raw.split(b"\r\n", 1)[0].decode("ascii", "replace")
-        if " 200 " not in status_line + " ":
-            fail(proc, f"in-flight request not drained: {status_line!r}")
+        second_head, _body = read_framed_response(sock)
+        if not second_head.startswith(b"HTTP/1.1 200"):
+            fail(proc, f"in-flight request not drained: {second_head[:60]!r}")
+        if b"connection: close" not in second_head:
+            fail(proc, "drained response must announce connection: close")
+        try:
+            trailing = sock.recv(4096)
+        except (ConnectionResetError, socket.timeout):
+            trailing = b""
+        if trailing:
+            fail(proc, f"bytes after drained response: {trailing[:60]!r}")
     try:
         code = proc.wait(timeout=EXIT_TIMEOUT)
     except subprocess.TimeoutExpired:
@@ -146,6 +214,7 @@ def main() -> int:
         fail(proc, f"/check: {status} {payload}")
     if headers.get("x-cache") != "miss":
         fail(proc, f"first /check should miss: {headers}")
+    dirty_payload = payload
 
     status, repeat, headers = request(port, "POST", "/check", DIRTY_PAGE)
     if status != 200 or repeat != payload or headers.get("x-cache") != "hit":
@@ -169,6 +238,7 @@ def main() -> int:
     if not all(checks):
         fail(proc, f"/metrics counters inconsistent: {metrics}")
 
+    check_batch(proc, port, dirty_payload)
     check_drain(proc, port)
     print("serve-smoke OK")
     return 0

@@ -428,10 +428,17 @@ def oracle_service_parity(data: bytes) -> None:
     service is *measuring differently than the study*, the exact bug
     class the fastpath oracle guards against one layer down.
 
+    The same input is then pushed through ``POST /check-batch`` as a
+    ``body_b64`` line, and the framed result must contain the single
+    response's bytes *verbatim* — the batch endpoint is a re-framing of
+    the single path, never a re-implementation.  This runs before the
+    non-UTF-8 skip so 422 outcomes are parity-checked too.
+
     Non-UTF-8 input must map to a 422 whose payload names the encoding
     filter; after verifying that, the input is out of the HTML oracles'
     contract and is skipped.
     """
+    import base64
     import json
 
     from ..service import ServiceApp  # noqa: F401 - ensures import errors surface here
@@ -440,6 +447,27 @@ def oracle_service_parity(data: bytes) -> None:
 
     app = _service_app()
     response = app.handle_sync(post("/check", data, url="http://fuzz.example/page"))
+
+    batch_line = json.dumps({
+        "body_b64": base64.b64encode(data).decode("ascii"),
+        "url": "http://fuzz.example/page",
+    }).encode("ascii") + b"\n"
+    batch_response = app.handle_sync(post("/check-batch", batch_line))
+    if batch_response.status != 200:
+        raise OracleFailure(
+            "service-batch-status",
+            f"batch wrapper answered {batch_response.status}",
+        )
+    expected = (
+        b'{"index":0,"status":%d,"result":' % response.status
+        + response.body + b"}\n"
+    )
+    if batch_response.body != expected:
+        raise OracleFailure(
+            "service-batch-parity",
+            f"batch line {batch_response.body[:80]!r} != "
+            f"framed single response {expected[:80]!r}",
+        )
 
     text = decode_bytes(data)
     if text is None:

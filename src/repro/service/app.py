@@ -31,17 +31,18 @@ import time
 from concurrent.futures import Executor
 from dataclasses import dataclass
 
-from .cache import ResultCache, content_key
+from .cache import content_key, make_cache
 from .http import (
     DEFAULT_MAX_BODY,
     HTTPError,
     Request,
     Response,
+    StreamingResponse,
     error_response,
     json_response,
 )
 from .metrics import ServiceMetrics
-from . import workers
+from . import batch, workers
 
 logger = logging.getLogger("repro.service")
 
@@ -63,6 +64,15 @@ class ServiceConfig:
     deadline: float = 30.0
     #: Retry-After hint on 429/503, seconds
     retry_after: int = 1
+    #: max batch lines dispatched concurrently (the ReorderBuffer window)
+    batch_window: int = 8
+    #: max NDJSON lines one /check-batch request may carry
+    max_batch_lines: int = 1000
+    #: "local" (per-process LRU) or "shared" (cross-process mmap segment)
+    cache_backend: str = "local"
+    #: shared-segment path; "" creates a fresh temp segment, an existing
+    #: path attaches to it (how pre-forked acceptors share one cache)
+    cache_path: str = ""
 
 
 class ServiceApp:
@@ -82,14 +92,35 @@ class ServiceApp:
     ) -> None:
         self.config = config or ServiceConfig()
         self.executor = executor
-        self.cache = ResultCache(self.config.cache_size)
+        self.cache = make_cache(
+            self.config.cache_size,
+            backend=self.config.cache_backend,
+            path=self.config.cache_path,
+        )
+        self.cache_tier = (
+            "shared"
+            if self.config.cache_backend == "shared" and self.config.cache_size > 0
+            else "local"
+        )
         self.metrics = ServiceMetrics()
         self.healthy = True
 
+    def close(self) -> None:
+        """Release cache resources (unlinks a shared segment we own)."""
+        closer = getattr(self.cache, "close", None)
+        if closer is not None:
+            closer()
+
     # --------------------------------------------------------------- routing
 
-    async def handle(self, request: Request) -> Response:
-        """Map one request to one response; never raises."""
+    async def handle(self, request: Request) -> Response | StreamingResponse:
+        """Map one request to one response; never raises.
+
+        Batch requests come back as a :class:`StreamingResponse` whose
+        lines the connection loop writes as they are produced; metrics
+        for those are recorded when the stream finishes (the latency an
+        open-loop client actually observes).
+        """
         started = time.monotonic()
         self.metrics.record_request(request.path, len(request.body))
         try:
@@ -103,12 +134,27 @@ class ServiceApp:
                              request.path)
             self.metrics.internal_errors += 1
             response = error_response(500, "internal error")
+        if isinstance(response, StreamingResponse):
+            response.lines = self._record_stream(
+                response.lines, response.status, started
+            )
+            return response
         self.metrics.record_response(
             response.status, time.monotonic() - started, len(response.body)
         )
         return response
 
-    async def _route(self, request: Request) -> Response:
+    async def _record_stream(self, inner, status: int, started: float):
+        """Pass lines through, recording response metrics at stream end."""
+        total = 0
+        async for line in inner:
+            total += len(line)
+            yield line
+        self.metrics.record_response(
+            status, time.monotonic() - started, total
+        )
+
+    async def _route(self, request: Request) -> Response | StreamingResponse:
         path = request.path
         if path == "/healthz":
             if request.method not in ("GET", "HEAD"):
@@ -117,7 +163,17 @@ class ServiceApp:
         if path == "/metrics":
             if request.method not in ("GET", "HEAD"):
                 return self._method_not_allowed("GET, HEAD")
-            return json_response(200, self.metrics.snapshot())
+            payload = self.metrics.snapshot()
+            payload["cache"].update({
+                "tier": self.cache_tier,
+                "entries": len(self.cache),
+                "evictions": self.cache.stats.evictions,
+            })
+            return json_response(200, payload)
+        if path == "/check-batch":
+            if request.method != "POST":
+                return self._method_not_allowed("POST")
+            return self._run_batch(request)
         if path in CPU_ENDPOINTS:
             if request.method != "POST":
                 return self._method_not_allowed("POST")
@@ -139,24 +195,63 @@ class ServiceApp:
             "queue_depth": self.metrics.queue_depth,
             "queue_limit": self.config.queue_limit,
             "cache_entries": len(self.cache),
+            "cache_tier": self.cache_tier,
         }
 
     # ------------------------------------------------------- CPU dispatching
 
     async def _run_cpu_endpoint(self, endpoint: str, request: Request) -> Response:
+        query = request.query
+        return await self.run_single(
+            endpoint, request.body,
+            url=query.get("url", ""), context=query.get("context", "div"),
+        )
+
+    def _run_batch(self, request: Request) -> Response | StreamingResponse:
+        """``POST /check-batch``: NDJSON documents in, NDJSON results out.
+
+        Whole-batch failures (oversized body, too many lines) are plain
+        buffered errors; anything per-line — malformed JSON, non-UTF-8
+        bytes, worker failure — becomes that *line's* result, framed by
+        :func:`repro.service.batch.stream_batch`, so one bad document
+        never poisons its batch.
+        """
         if len(request.body) > self.config.max_body:
             self.metrics.bad_requests += 1
             return error_response(
                 413, f"body exceeds {self.config.max_body} bytes"
             )
+        items = batch.batch_items(request.body)
+        if len(items) > self.config.max_batch_lines:
+            self.metrics.bad_requests += 1
+            return error_response(
+                413,
+                f"{len(items)} lines exceed the "
+                f"{self.config.max_batch_lines}-line batch limit",
+            )
+        self.metrics.record_batch(len(items))
+        return StreamingResponse(status=200, lines=batch.stream_batch(self, items))
 
-        query = request.query
-        url = query.get("url", "")
-        context = query.get("context", "div")
+    async def run_single(
+        self, endpoint: str, body: bytes, *, url: str = "", context: str = "div"
+    ) -> Response:
+        """One CPU-endpoint dispatch with explicit options.
+
+        This is the shared core of the single endpoints and the batch
+        fan-out: every batch line goes through exactly this method, which
+        is what makes batch/single byte-parity hold by construction
+        (same cache, same admission gate, same worker entry points).
+        """
+        if len(body) > self.config.max_body:
+            self.metrics.bad_requests += 1
+            return error_response(
+                413, f"body exceeds {self.config.max_body} bytes"
+            )
+
         options = f"url={url}"
         if endpoint == "/check-fragment":
             options += f"&context={context}"
-        key = content_key(endpoint, options, request.body)
+        key = content_key(endpoint, options, body)
 
         cached = self.cache.get(key)
         if cached is not None:
@@ -178,11 +273,11 @@ class ServiceApp:
             return response
 
         if endpoint == "/check":
-            call = (workers.run_check, request.body, url)
+            call = (workers.run_check, body, url)
         elif endpoint == "/check-fragment":
-            call = (workers.run_check_fragment, request.body, context, url)
+            call = (workers.run_check_fragment, body, context, url)
         else:
-            call = (workers.run_fix, request.body, url)
+            call = (workers.run_fix, body, url)
 
         self.metrics.enter_queue()
         try:
@@ -224,8 +319,29 @@ class ServiceApp:
     # ----------------------------------------------------------- sync facade
 
     def handle_sync(self, request: Request) -> Response:
-        """Drive :meth:`handle` from synchronous code (oracles, tests)."""
-        return asyncio.run(self.handle(request))
+        """Drive :meth:`handle` from synchronous code (oracles, tests).
+
+        A streamed batch response is materialized into a buffered
+        :class:`Response` whose body is the concatenated NDJSON lines —
+        exactly the bytes a socket client would reassemble from the
+        chunked frames.
+        """
+
+        async def go() -> Response:
+            response = await self.handle(request)
+            if isinstance(response, StreamingResponse):
+                lines = [line async for line in response.lines]
+                return Response(
+                    status=response.status,
+                    body=b"".join(lines),
+                    headers={
+                        **response.headers,
+                        "content-type": response.content_type,
+                    },
+                )
+            return response
+
+        return asyncio.run(go())
 
 
 def post(path: str, body: bytes, *, url: str = "", context: str = "") -> Request:

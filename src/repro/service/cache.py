@@ -17,6 +17,7 @@ from __future__ import annotations
 import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass
+from pathlib import Path
 
 
 def content_key(endpoint: str, options: str, body: bytes) -> str:
@@ -83,3 +84,24 @@ class ResultCache:
 
     def clear(self) -> None:
         self._entries.clear()
+
+
+def make_cache(max_entries: int, *, backend: str = "local", path: str = ""):
+    """Build the configured cache tier behind one interface.
+
+    ``backend="local"`` is the per-process :class:`ResultCache`;
+    ``backend="shared"`` creates (or, given an existing segment ``path``,
+    attaches) a cross-process :class:`~repro.service.shared_cache.
+    SharedResultCache` so every pre-forked acceptor shares one hit set.
+    A non-positive ``max_entries`` always yields the disabled local cache
+    — a shared segment with zero slots has no meaning.
+    """
+    if backend == "local" or max_entries <= 0:
+        return ResultCache(max_entries)
+    if backend != "shared":
+        raise ValueError(f"unknown cache backend {backend!r}")
+    from .shared_cache import SharedResultCache
+
+    if path and Path(path).exists():
+        return SharedResultCache.attach(path)
+    return SharedResultCache.create(max_entries, path=path or None)

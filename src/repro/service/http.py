@@ -8,15 +8,19 @@ hard input limits.  Everything a client can get wrong is mapped to a
 typed :class:`HTTPError` carrying the status the connection loop should
 answer with, so malformed traffic can never crash the acceptor.
 
-Deliberate non-features: no chunked transfer encoding (501 — the service
-consumes bounded documents, not streams), no multipart, no TLS (terminate
-upstream), no HTTP/2.
+Deliberate non-features: no chunked transfer encoding for *requests*
+(501 — the service consumes bounded documents, not streams), no
+multipart, no TLS (terminate upstream), no HTTP/2.  Chunked **response**
+framing is supported (:class:`StreamingResponse`): the NDJSON batch
+endpoint emits result lines as they become available, and chunked
+encoding is what lets a streamed body coexist with keep-alive.
 """
 from __future__ import annotations
 
 import asyncio
 import json
 from dataclasses import dataclass, field
+from typing import AsyncIterator
 from urllib.parse import parse_qsl, urlsplit
 
 #: hard ceiling on the request line + headers block, in bytes
@@ -111,6 +115,54 @@ class Response:
             lines.append(f"{name}: {value}")
         head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
         return head if head_only else head + self.body
+
+
+#: terminal frame of a chunked response body
+LAST_CHUNK = b"0\r\n\r\n"
+
+
+def encode_chunk(data: bytes) -> bytes:
+    """One ``Transfer-Encoding: chunked`` frame (hex size, CRLF framing)."""
+    return f"{len(data):x}\r\n".encode("ascii") + data + b"\r\n"
+
+
+@dataclass(slots=True)
+class StreamingResponse:
+    """A response whose body is produced incrementally.
+
+    ``lines`` yields raw body fragments (for the batch endpoint: complete
+    NDJSON lines, newline included).  The connection loop frames them:
+    chunked transfer encoding under HTTP/1.1 (keep-alive survives),
+    close-delimited under HTTP/1.0.  ``content_type`` defaults to NDJSON
+    since that is the only streaming producer today.
+    """
+
+    status: int
+    lines: AsyncIterator[bytes]
+    headers: dict[str, str] = field(default_factory=dict)
+    content_type: str = "application/x-ndjson; charset=utf-8"
+
+    @property
+    def reason(self) -> str:
+        return REASONS.get(self.status, "Unknown")
+
+    def head_bytes(self, *, chunked: bool, close: bool = False) -> bytes:
+        """The status line + headers for the streamed body.
+
+        No ``content-length`` — the length is unknown by design.  With
+        ``chunked=False`` the caller must close the connection after the
+        body (HTTP/1.0 framing), so ``connection: close`` is forced.
+        """
+        lines = [f"HTTP/1.1 {self.status} {self.reason}"]
+        headers = dict(self.headers)
+        headers.setdefault("content-type", self.content_type)
+        if chunked:
+            headers["transfer-encoding"] = "chunked"
+        if close or not chunked:
+            headers["connection"] = "close"
+        for name, value in headers.items():
+            lines.append(f"{name}: {value}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
 
 
 def json_response(

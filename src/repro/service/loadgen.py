@@ -1,0 +1,466 @@
+"""Open-loop load generation: the saturation curve as a bench artifact.
+
+``repro-study loadgen`` measures what the service bench cannot: sustained
+RPS *over real sockets*, where connection setup, request framing, and the
+event loop all charge their toll.  The generator is **open-loop** — a
+seeded Poisson arrival schedule decides when each request is *offered*,
+independent of how fast the service answers — because closed-loop clients
+famously flatter an overloaded server (they slow their offered load to
+match the bottleneck, hiding the queueing delay real traffic would see;
+the coordinated-omission trap).  Latency here is measured from the
+*scheduled* arrival time, so a request that waited behind a backlog pays
+for the wait.
+
+The sweep runs one step per target RPS and records offered vs. achieved
+throughput plus p50/p90/p99 latency at each step — the saturation curve.
+Snapshots use the same ``repro-bench/1`` schema as ``repro-study bench``
+and live next to its files under ``reports/`` (see EXPERIMENTS.md for the
+before/after methodology).
+
+Determinism: the corpus and every step's arrival schedule are pure
+functions of ``(seed, rps, duration)`` — two runs offer byte-identical
+request sequences at the same nominal instants, so A/B comparisons vary
+only the service under test.  (Wall-clock *measurement* is of course not
+deterministic; the schedule is.)
+"""
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import os
+import random
+import signal
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..commoncrawl.templates import build_page
+
+SCHEMA = "repro-bench/1"
+
+#: default target-RPS sweep (doubling steps bracket the knee)
+DEFAULT_STEPS = (50, 100, 200, 400, 800)
+
+
+@dataclass(slots=True)
+class LoadgenConfig:
+    """One load-generation run (CLI flags map 1:1)."""
+
+    steps: tuple[int, ...] = DEFAULT_STEPS
+    #: seconds each step offers load
+    duration: float = 3.0
+    seed: int = 42
+    #: distinct documents in the corpus (cached-hot once warmed)
+    distinct: int = 16
+    #: client connections driving requests concurrently
+    connections: int = 8
+    #: reuse connections (HTTP/1.1 keep-alive) vs. one connection per
+    #: request (the PR 4 baseline behaviour, ``--no-keepalive``)
+    keepalive: bool = True
+    #: pre-send every corpus document once so the sweep measures the
+    #: cached-hot path; ``--no-warmup`` measures cold misses instead
+    warmup: bool = True
+    #: offered requests that may queue client-side before the generator
+    #: sheds instead (keeps generator memory bounded past saturation)
+    max_outstanding: int = 512
+    #: per-request client timeout, seconds
+    timeout: float = 10.0
+    label: str = ""
+    # ---- server-under-test shape (the subprocess loadgen spawns)
+    server_workers: int = 1
+    procs: int = 1
+    shared_cache: bool = False
+    cache_size: int = 1024
+
+
+# ----------------------------------------------------------- deterministic part
+
+
+def build_corpus(distinct: int, seed: int) -> list[bytes]:
+    """``distinct`` synthesized pages, a pure function of the seed."""
+    corpus = []
+    for index in range(distinct):
+        rng = random.Random(f"loadgen-corpus:{seed}:{index}")
+        page = build_page(f"load{index}.example", f"/p{index}", rng)
+        corpus.append(page.render().encode("utf-8"))
+    return corpus
+
+
+def build_schedule(
+    rps: int, duration: float, seed: int, corpus_size: int
+) -> list[tuple[float, int]]:
+    """Poisson arrivals for one step: ``[(offset_seconds, doc_index)]``.
+
+    Exponential inter-arrival gaps at rate ``rps`` over ``duration``
+    seconds; each arrival picks a corpus document uniformly.  Everything
+    derives from ``random.Random(f"...{seed}:{rps}...")``, so the same
+    configuration always offers the same requests at the same nominal
+    instants (asserted by tests/service/test_loadgen.py).
+    """
+    rng = random.Random(f"loadgen-schedule:{seed}:{rps}:{duration}")
+    schedule: list[tuple[float, int]] = []
+    offset = 0.0
+    while True:
+        offset += rng.expovariate(rps)
+        if offset >= duration:
+            return schedule
+        schedule.append((offset, rng.randrange(corpus_size)))
+
+
+def request_bytes(body: bytes, *, keepalive: bool) -> bytes:
+    """One framed ``POST /check`` request, ready to write."""
+    head = (
+        f"POST /check HTTP/1.1\r\nhost: loadgen\r\n"
+        f"content-length: {len(body)}\r\n"
+    )
+    if not keepalive:
+        head += "connection: close\r\n"
+    return head.encode("ascii") + b"\r\n" + body
+
+
+def quantile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank quantile of an already-sorted sample (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = math.ceil(q * len(sorted_values)) - 1
+    return sorted_values[min(len(sorted_values) - 1, max(0, rank))]
+
+
+# ------------------------------------------------------------------ the client
+
+
+class _StepStats:
+    """Mutable per-step accumulator shared by the worker tasks."""
+
+    __slots__ = ("latencies", "statuses", "cache_hits", "errors", "shed",
+                 "connects")
+
+    def __init__(self) -> None:
+        self.latencies: list[float] = []
+        self.statuses: dict[int, int] = {}
+        self.cache_hits = 0
+        self.errors = 0
+        self.shed = 0
+        self.connects = 0
+
+    def record(self, status: int, latency: float, cache: str) -> None:
+        self.latencies.append(latency)
+        self.statuses[status] = self.statuses.get(status, 0) + 1
+        if cache == "hit":
+            self.cache_hits += 1
+
+
+async def _read_response(
+    reader: asyncio.StreamReader,
+) -> tuple[int, dict[str, str], bytes]:
+    """Parse one Content-Length-framed response off the stream."""
+    status_line = await reader.readline()
+    if not status_line:
+        raise EOFError("connection closed before status line")
+    parts = status_line.split(None, 2)
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise EOFError(f"malformed status line {status_line!r}")
+    status = int(parts[1])
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n"):
+            break
+        if not line:
+            raise EOFError("connection closed inside headers")
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0"))
+    body = await reader.readexactly(length) if length else b""
+    return status, headers, body
+
+
+async def _close_writer(writer: asyncio.StreamWriter | None) -> None:
+    if writer is None:
+        return
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionResetError, BrokenPipeError, OSError):
+        pass
+
+
+async def _worker(
+    host: str,
+    port: int,
+    queue: asyncio.Queue,
+    corpus: list[bytes],
+    stats: _StepStats,
+    *,
+    keepalive: bool,
+    timeout: float,
+) -> None:
+    """Drain scheduled requests; one live connection at a time.
+
+    In keep-alive mode the connection persists across requests until the
+    server asks for a close (request cap, drain) or an error poisons it;
+    in per-connection mode every request dials fresh — exactly the
+    before/after axis the PR 7 acceptance bench sweeps.
+    """
+    loop = asyncio.get_running_loop()
+    reader: asyncio.StreamReader | None = None
+    writer: asyncio.StreamWriter | None = None
+    try:
+        while True:
+            item = await queue.get()
+            if item is None:
+                return
+            scheduled, doc_index = item
+            body = corpus[doc_index]
+            try:
+                if writer is None:
+                    reader, writer = await asyncio.open_connection(host, port)
+                    stats.connects += 1
+                writer.write(request_bytes(body, keepalive=keepalive))
+                await writer.drain()
+                status, headers, _body = await asyncio.wait_for(
+                    _read_response(reader), timeout
+                )
+            except (OSError, EOFError, asyncio.TimeoutError,
+                    asyncio.IncompleteReadError):
+                stats.errors += 1
+                await _close_writer(writer)
+                reader = writer = None
+                continue
+            stats.record(
+                status, loop.time() - scheduled, headers.get("x-cache", "")
+            )
+            if not keepalive or headers.get("connection", "") == "close":
+                await _close_writer(writer)
+                reader = writer = None
+    finally:
+        await _close_writer(writer)
+
+
+async def run_step(
+    host: str, port: int, rps: int, config: LoadgenConfig,
+    corpus: list[bytes],
+) -> dict:
+    """Offer one step's schedule and summarize what came back."""
+    schedule = build_schedule(rps, config.duration, config.seed, len(corpus))
+    queue: asyncio.Queue = asyncio.Queue()
+    stats = _StepStats()
+    loop = asyncio.get_running_loop()
+    epoch = loop.time()
+    workers = [
+        asyncio.ensure_future(_worker(
+            host, port, queue, corpus, stats,
+            keepalive=config.keepalive, timeout=config.timeout,
+        ))
+        for _ in range(config.connections)
+    ]
+    # the open loop: offer each request at its scheduled instant no
+    # matter how the previous ones are faring
+    for offset, doc_index in schedule:
+        delay = epoch + offset - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        if queue.qsize() >= config.max_outstanding:
+            stats.shed += 1
+            continue
+        queue.put_nowait((epoch + offset, doc_index))
+    for _ in workers:
+        queue.put_nowait(None)
+    await asyncio.gather(*workers)
+    elapsed = loop.time() - epoch
+
+    latencies = sorted(stats.latencies)
+    completed = len(latencies)
+    return {
+        "target_rps": rps,
+        "offered_rps": round(len(schedule) / config.duration, 1),
+        "achieved_rps": round(completed / elapsed, 1) if elapsed else 0.0,
+        "scheduled": len(schedule),
+        "completed": completed,
+        "errors": stats.errors,
+        "shed": stats.shed,
+        "connects": stats.connects,
+        "cache_hits": stats.cache_hits,
+        "statuses": {
+            str(status): count
+            for status, count in sorted(stats.statuses.items())
+        },
+        "latency_ms": {
+            "p50": round(quantile(latencies, 0.50) * 1e3, 3),
+            "p90": round(quantile(latencies, 0.90) * 1e3, 3),
+            "p99": round(quantile(latencies, 0.99) * 1e3, 3),
+            "max": round(latencies[-1] * 1e3, 3) if latencies else 0.0,
+        },
+    }
+
+
+async def _warmup(host: str, port: int, corpus: list[bytes]) -> None:
+    """Send every document once so the sweep hits a warm cache."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for body in corpus:
+            writer.write(request_bytes(body, keepalive=True))
+            await writer.drain()
+            await _read_response(reader)
+    finally:
+        await _close_writer(writer)
+
+
+async def _scrape_metrics(host: str, port: int) -> dict:
+    """One ``GET /metrics`` (a single acceptor's view under ``--procs``)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(b"GET /metrics HTTP/1.1\r\nhost: loadgen\r\n"
+                     b"connection: close\r\n\r\n")
+        await writer.drain()
+        _status, _headers, body = await _read_response(reader)
+        return json.loads(body)
+    finally:
+        await _close_writer(writer)
+
+
+# ------------------------------------------------------- server under test
+
+
+def start_server(config: LoadgenConfig) -> tuple[subprocess.Popen, str, int]:
+    """Spawn ``repro-study serve`` on an ephemeral port; returns (proc,
+    host, port) once the listening line appears."""
+    src_root = str(Path(__file__).resolve().parents[2])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    cmd = [
+        sys.executable, "-m", "repro.cli", "serve",
+        "--host", "127.0.0.1", "--port", "0", "--no-access-log",
+        "--workers", str(config.server_workers),
+        "--cache-size", str(config.cache_size),
+        "--procs", str(config.procs),
+    ]
+    if config.shared_cache:
+        cmd.append("--shared-cache")
+    proc = subprocess.Popen(
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        env=env, text=True,
+    )
+    assert proc.stdout is not None
+    line = proc.stdout.readline()
+    if "listening on" not in line:
+        proc.kill()
+        proc.wait()
+        raise RuntimeError(
+            f"server did not start (exit {proc.returncode}): {line!r}"
+        )
+    address = line.rsplit(" ", 1)[1].strip()
+    host, _, port = address.rpartition(":")
+    return proc, host, int(port)
+
+
+def stop_server(proc: subprocess.Popen) -> None:
+    proc.send_signal(signal.SIGTERM)
+    try:
+        proc.wait(timeout=15)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait()
+
+
+# ------------------------------------------------------------------ entrypoint
+
+
+def run_loadgen(config: LoadgenConfig) -> dict:
+    """Full sweep against a freshly spawned server; returns the snapshot."""
+
+    async def sweep(host: str, port: int) -> tuple[list[dict], dict]:
+        if config.warmup:
+            await _warmup(host, port, corpus)
+        steps = []
+        for rps in config.steps:
+            steps.append(await run_step(host, port, rps, config, corpus))
+        metrics = await _scrape_metrics(host, port)
+        return steps, metrics
+
+    corpus = build_corpus(config.distinct, config.seed)
+    proc, host, port = start_server(config)
+    try:
+        steps, metrics = asyncio.run(sweep(host, port))
+    finally:
+        stop_server(proc)
+    return {
+        "schema": SCHEMA,
+        "label": config.label,
+        "cases": {},
+        "rules": {},
+        "loadgen": {
+            "seed": config.seed,
+            "duration": config.duration,
+            "distinct": config.distinct,
+            "connections": config.connections,
+            "keepalive": config.keepalive,
+            "warmup": config.warmup,
+            "server": {
+                "workers": config.server_workers,
+                "procs": config.procs,
+                "shared_cache": config.shared_cache,
+                "cache_size": config.cache_size,
+            },
+            "steps": steps,
+            "server_metrics": {
+                "connections": metrics.get("connections", {}),
+                "cache": metrics.get("cache", {}),
+            },
+        },
+    }
+
+
+def render_loadgen(snapshot: dict) -> str:
+    """Human-readable saturation-curve table for one snapshot."""
+    load = snapshot["loadgen"]
+    title = "repro-study loadgen"
+    if snapshot.get("label"):
+        title += f" [{snapshot['label']}]"
+    mode = "keep-alive" if load["keepalive"] else "per-connection"
+    server = load["server"]
+    lines = [
+        title,
+        "=" * len(title),
+        f"{mode}, {load['connections']} connections, "
+        f"{load['distinct']} distinct docs, "
+        f"server procs={server['procs']} "
+        f"shared_cache={server['shared_cache']}",
+        f"{'target':>7} {'offered':>8} {'achieved':>9} {'p50ms':>8} "
+        f"{'p90ms':>8} {'p99ms':>8} {'err':>5} {'shed':>5} {'hit%':>6}",
+    ]
+    for step in load["steps"]:
+        total = step["completed"] or 1
+        lines.append(
+            f"{step['target_rps']:>7} {step['offered_rps']:>8.1f} "
+            f"{step['achieved_rps']:>9.1f} "
+            f"{step['latency_ms']['p50']:>8.2f} "
+            f"{step['latency_ms']['p90']:>8.2f} "
+            f"{step['latency_ms']['p99']:>8.2f} "
+            f"{step['errors']:>5} {step['shed']:>5} "
+            f"{100.0 * step['cache_hits'] / total:>6.1f}"
+        )
+    reuse = load["server_metrics"].get("connections", {})
+    if reuse:
+        lines.append(
+            f"server connections: {reuse.get('total', 0)} total, "
+            f"{reuse.get('reused', 0)} reused, "
+            f"{reuse.get('keepalive_reuses', 0)} keep-alive requests"
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "DEFAULT_STEPS",
+    "LoadgenConfig",
+    "SCHEMA",
+    "build_corpus",
+    "build_schedule",
+    "quantile",
+    "render_loadgen",
+    "request_bytes",
+    "run_loadgen",
+    "run_step",
+]

@@ -52,6 +52,10 @@ class ServiceMetrics:
         self.queue_high_water = 0
         self.connections_open = 0
         self.connections_total = 0
+        self.connections_reused = 0     # connections that served >= 2 requests
+        self.keepalive_reuses = 0       # requests beyond the first on a conn
+        self.batch_requests = 0         # POST /check-batch requests
+        self.batch_lines = 0            # NDJSON lines across all batches
         self._latencies: deque[float] = deque(maxlen=RESERVOIR_SIZE)
 
     # ------------------------------------------------------------- recording
@@ -71,6 +75,17 @@ class ServiceMetrics:
             self.cache_hits += 1
         else:
             self.cache_misses += 1
+
+    def record_connection_reuse(self, served_on_connection: int) -> None:
+        """Called per request with how many this connection has served."""
+        if served_on_connection == 2:
+            self.connections_reused += 1
+        if served_on_connection >= 2:
+            self.keepalive_reuses += 1
+
+    def record_batch(self, lines: int) -> None:
+        self.batch_requests += 1
+        self.batch_lines += lines
 
     def enter_queue(self) -> None:
         self.queue_depth += 1
@@ -114,6 +129,12 @@ class ServiceMetrics:
             "connections": {
                 "open": self.connections_open,
                 "total": self.connections_total,
+                "reused": self.connections_reused,
+                "keepalive_reuses": self.keepalive_reuses,
+            },
+            "batch": {
+                "requests": self.batch_requests,
+                "lines": self.batch_lines,
             },
             "latency_seconds": {
                 "count": len(latencies),

@@ -3,31 +3,51 @@
 ``asyncio.start_server`` gives us the event loop and stream plumbing; this
 module adds what a long-lived checker service needs on top:
 
-* a per-connection request loop with keep-alive and an idle timeout, so
-  one stalled client cannot pin a connection task forever;
+* a per-connection request loop with keep-alive, an idle timeout, and a
+  request cap, so one stalled client cannot pin a connection task forever
+  and one immortal connection cannot monopolize an acceptor;
 * protocol errors (:class:`~repro.service.http.HTTPError`) answered with
   their mapped status — a malformed request is a *response*, never a
-  traceback;
+  traceback, and poisons at most its own connection;
+* streamed responses (the NDJSON batch endpoint) written as chunked
+  frames under HTTP/1.1 so keep-alive survives a batch, close-delimited
+  under HTTP/1.0;
 * structured JSON access logs per request;
 * graceful shutdown: stop accepting, let in-flight requests finish
   (bounded by ``drain_timeout``), then tear down the worker pool.  The
-  ci.sh serve-smoke stage asserts this drain behaviour end-to-end.
+  ci.sh serve-smoke stage asserts this drain behaviour end-to-end,
+  including over a keep-alive connection with a request mid-flight;
+* a pre-fork mode (``repro-study serve --procs N``): N acceptor
+  processes share one listening socket (the kernel load-balances
+  ``accept``) and one cross-process result cache, the classic
+  production front-end shape.
 
 The process exposes exactly one stdout line on startup::
 
     repro.service listening on 127.0.0.1:8645
 
-so scripted callers (CI, the bench) can bind port 0 and discover the
-ephemeral port.
+so scripted callers (CI, the bench, the load generator) can bind port 0
+and discover the ephemeral port.
 """
 from __future__ import annotations
 
 import asyncio
 import signal
+import socket
 import sys
+import time
+from dataclasses import replace
 
 from .app import ServiceApp, ServiceConfig
-from .http import HTTPError, Request, error_response, read_request
+from .http import (
+    LAST_CHUNK,
+    HTTPError,
+    Request,
+    StreamingResponse,
+    encode_chunk,
+    error_response,
+    read_request,
+)
 from .metrics import AccessLogger
 from .workers import create_pool
 
@@ -35,6 +55,9 @@ from .workers import create_pool
 IDLE_TIMEOUT = 30.0
 #: seconds shutdown waits for in-flight requests before cancelling them
 DRAIN_TIMEOUT = 10.0
+#: requests served on one connection before the server closes it (load
+#: rebalancing across pre-forked acceptors; 0 disables the cap)
+MAX_REQUESTS_PER_CONNECTION = 1000
 
 
 class CheckerService:
@@ -49,6 +72,7 @@ class CheckerService:
         access_logger: AccessLogger | None = None,
         idle_timeout: float = IDLE_TIMEOUT,
         drain_timeout: float = DRAIN_TIMEOUT,
+        max_requests_per_connection: int = MAX_REQUESTS_PER_CONNECTION,
     ) -> None:
         self.app = app
         self.host = host
@@ -56,17 +80,27 @@ class CheckerService:
         self.access = access_logger or AccessLogger(None)
         self.idle_timeout = idle_timeout
         self.drain_timeout = drain_timeout
+        self.max_requests_per_connection = max_requests_per_connection
         self._server: asyncio.AbstractServer | None = None
         self._connections: set[asyncio.Task] = set()
         self._draining = False
 
     # -------------------------------------------------------------- lifecycle
 
-    async def start(self) -> int:
-        """Bind and listen; returns the actual port (for ``port=0``)."""
-        self._server = await asyncio.start_server(
-            self._on_connection, self.host, self.port
-        )
+    async def start(self, sock: socket.socket | None = None) -> int:
+        """Bind and listen; returns the actual port (for ``port=0``).
+
+        ``sock`` is an already-bound listening socket (the pre-fork
+        parent's) to serve on instead of binding a fresh one.
+        """
+        if sock is not None:
+            self._server = await asyncio.start_server(
+                self._on_connection, sock=sock
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._on_connection, self.host, self.port
+            )
         self.port = self._server.sockets[0].getsockname()[1]
         return self.port
 
@@ -90,6 +124,7 @@ class CheckerService:
                 await asyncio.gather(*pending, return_exceptions=True)
         if self.app.executor is not None:
             self.app.executor.shutdown(wait=True, cancel_futures=True)
+        self.app.close()
 
     # ------------------------------------------------------------ connections
 
@@ -121,6 +156,7 @@ class CheckerService:
     ) -> None:
         peer = writer.get_extra_info("peername")
         remote = f"{peer[0]}:{peer[1]}" if isinstance(peer, tuple) else ""
+        served = 0
         while True:
             try:
                 request = await asyncio.wait_for(
@@ -149,27 +185,77 @@ class CheckerService:
             if request is None:
                 return  # clean EOF
 
+            served += 1
+            self.app.metrics.record_connection_reuse(served)
+            at_cap = (
+                self.max_requests_per_connection > 0
+                and served >= self.max_requests_per_connection
+            )
             loop = asyncio.get_running_loop()
             started = loop.time()
             response = await self.app.handle(request)
-            close = self._draining or not request.keep_alive
-            writer.write(
-                response.to_bytes(
-                    head_only=request.method == "HEAD", close=close
+            close = self._draining or not request.keep_alive or at_cap
+            if isinstance(response, StreamingResponse):
+                bytes_out = await self._write_stream(
+                    request, response, writer, close=close
                 )
-            )
-            await writer.drain()
+                # HTTP/1.0 has no chunked framing: the body was
+                # close-delimited, so the connection is done either way
+                close = close or request.version == "HTTP/1.0"
+                cache_state = ""
+            else:
+                writer.write(
+                    response.to_bytes(
+                        head_only=request.method == "HEAD", close=close
+                    )
+                )
+                await writer.drain()
+                bytes_out = len(response.body)
+                cache_state = response.cache_state
             self.access.log(
                 remote=remote, method=request.method, path=request.path,
                 status=response.status, seconds=loop.time() - started,
-                bytes_in=len(request.body), bytes_out=len(response.body),
-                cache=response.cache_state,
+                bytes_in=len(request.body), bytes_out=bytes_out,
+                cache=cache_state,
             )
             if close:
                 return
 
+    async def _write_stream(
+        self,
+        request: Request,
+        response: StreamingResponse,
+        writer: asyncio.StreamWriter,
+        *,
+        close: bool,
+    ) -> int:
+        """Write a streamed body; returns the body byte count.
 
-async def _serve_until_signalled(service: CheckerService) -> None:
+        Chunked frames under HTTP/1.1 (keep-alive preserved), raw
+        close-delimited bytes under HTTP/1.0.  Each line is flushed as
+        soon as the producer yields it — that is the "streamed results"
+        contract: early batch lines reach the client while later
+        documents are still being checked.
+        """
+        chunked = request.version != "HTTP/1.0"
+        writer.write(response.head_bytes(chunked=chunked, close=close))
+        total = 0
+        async for line in response.lines:
+            total += len(line)
+            writer.write(encode_chunk(line) if chunked else line)
+            await writer.drain()
+        if chunked:
+            writer.write(LAST_CHUNK)
+            await writer.drain()
+        return total
+
+
+async def _serve_until_signalled(
+    service: CheckerService,
+    *,
+    sock: socket.socket | None = None,
+    announce: bool = True,
+) -> None:
     loop = asyncio.get_running_loop()
     stop = asyncio.Event()
     for signum in (signal.SIGINT, signal.SIGTERM):
@@ -179,13 +265,91 @@ async def _serve_until_signalled(service: CheckerService) -> None:
             # non-main thread or platform without signal support: the
             # caller stops us by cancelling serve_forever instead
             pass
-    port = await service.start()
-    print(
-        f"repro.service listening on {service.host}:{port}", flush=True
-    )
+    port = await service.start(sock)
+    if announce:
+        print(
+            f"repro.service listening on {service.host}:{port}", flush=True
+        )
     await stop.wait()
     print("repro.service draining", file=sys.stderr, flush=True)
     await service.shutdown()
+
+
+def _build_service(
+    config: ServiceConfig, *, host: str, port: int, access_log: bool
+) -> CheckerService:
+    app = ServiceApp(config, executor=create_pool(config.workers))
+    logger = AccessLogger(sys.stderr if access_log else None)
+    return CheckerService(app, host=host, port=port, access_logger=logger)
+
+
+def _prefork_child(
+    config: ServiceConfig, sock: socket.socket, host: str, access_log: bool
+) -> None:
+    """One forked acceptor: own event loop + pool, shared socket/cache."""
+    service = _build_service(config, host=host, port=0, access_log=access_log)
+    asyncio.run(_serve_until_signalled(service, sock=sock, announce=False))
+
+
+def _run_prefork(
+    config: ServiceConfig, *, host: str, port: int, access_log: bool,
+    procs: int,
+) -> int:
+    """Pre-fork front end: N acceptors on one socket, one shared cache.
+
+    The parent binds, forks, prints the single listening line, then only
+    relays SIGTERM/SIGINT and reaps.  Each child runs the ordinary
+    single-process service on the inherited socket — the kernel's accept
+    queue is the load balancer.  With ``cache_backend="shared"`` the
+    parent creates the segment and every child attaches by path, so a
+    page checked by any acceptor is a cache hit in all of them.
+    """
+    import multiprocessing
+
+    from .shared_cache import SharedResultCache
+
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    sock.bind((host, port))
+    sock.listen(256)
+    actual_port = sock.getsockname()[1]
+
+    owner_cache = None
+    child_config = config
+    if config.cache_backend == "shared" and config.cache_size > 0 \
+            and not config.cache_path:
+        owner_cache = SharedResultCache.create(config.cache_size)
+        child_config = replace(config, cache_path=owner_cache.path)
+
+    ctx = multiprocessing.get_context("fork")
+    children = [
+        ctx.Process(
+            target=_prefork_child,
+            args=(child_config, sock, host, access_log),
+        )
+        for _ in range(procs)
+    ]
+    for child in children:
+        child.start()
+    sock.close()  # the children hold the listening descriptor now
+    print(f"repro.service listening on {host}:{actual_port}", flush=True)
+
+    got: list[int] = []
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda s, _frame: got.append(s))
+    try:
+        while not got and any(child.is_alive() for child in children):
+            time.sleep(0.05)
+    finally:
+        print("repro.service draining", file=sys.stderr, flush=True)
+        for child in children:
+            if child.is_alive():
+                child.terminate()  # SIGTERM: each child drains gracefully
+        for child in children:
+            child.join()
+        if owner_cache is not None:
+            owner_cache.close()
+    return max((child.exitcode or 0 for child in children), default=0)
 
 
 def run_service(
@@ -194,10 +358,19 @@ def run_service(
     host: str = "127.0.0.1",
     port: int = 8645,
     access_log: bool = True,
+    procs: int = 1,
 ) -> int:
-    """Blocking entry point behind ``repro-study serve``; returns 0."""
-    app = ServiceApp(config, executor=create_pool(config.workers))
-    logger = AccessLogger(sys.stderr if access_log else None)
-    service = CheckerService(app, host=host, port=port, access_logger=logger)
+    """Blocking entry point behind ``repro-study serve``; returns 0.
+
+    ``procs > 1`` switches to the pre-fork front end (one listening
+    socket, N acceptor processes, shared result cache when configured).
+    """
+    if procs > 1:
+        return _run_prefork(
+            config, host=host, port=port, access_log=access_log, procs=procs
+        )
+    service = _build_service(
+        config, host=host, port=port, access_log=access_log
+    )
     asyncio.run(_serve_until_signalled(service))
     return 0

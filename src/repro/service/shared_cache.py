@@ -1,0 +1,395 @@
+"""Cross-process shared content-hash LRU cache.
+
+:class:`~repro.service.cache.ResultCache` is private to one process, so a
+pre-forked service (``repro-study serve --procs N``) would pay each cache
+miss up to N times — the kernel's accept load-balancing sends the same
+hot page to whichever acceptor is free.  This module keeps the *exact*
+LRU semantics of ``ResultCache`` (get refreshes recency, put of an
+existing key refreshes recency, eviction pops the oldest) but moves the
+state into an mmap-backed file any process can attach by path, so a fill
+by one worker serves hits to all of them.
+
+Design:
+
+* **storage** — one plain file, ``mmap``-ed by every attached process:
+  a 64-byte header (capacity, slot size, LRU list heads, counters),
+  a digest directory (32-byte sha256 per slot, scanned with C-speed
+  ``mmap.find``), a slot-metadata table (doubly-linked LRU list), and a
+  fixed-size value heap.  Fixed slots mean no allocator and no
+  fragmentation; a value larger than ``slot_size`` is simply not cached
+  (counted in ``skipped_oversize`` — the cache is an optimization, a
+  skip is a future miss, never a wrong answer).
+* **locking** — ``fcntl.flock`` on the backing file, taken exclusively
+  around every operation.  flock is keyed to the open file description,
+  and every attach opens its own descriptor, so mutual exclusion works
+  between arbitrary unrelated processes — including children that must
+  re-attach by path after ``fork`` (an inherited descriptor would share
+  the lock owner and exclude nothing).
+* **parity** — ``tests/service/test_shared_cache.py`` machine-checks
+  this implementation against ``ResultCache`` as the reference: same
+  randomized op sequence, same hits/misses/evictions, same LRU order.
+
+The value heap stores the response's ``(status, body)`` exactly as the
+local cache does; 200/422-only cacheability is the *caller's* contract
+(``ServiceApp`` never puts any other status) and is unchanged here.
+"""
+from __future__ import annotations
+
+import fcntl
+import hashlib
+import mmap
+import os
+import struct
+import tempfile
+
+from .cache import CacheStats
+
+MAGIC = b"RPRSHC1\0"
+HEADER = struct.Struct("<8sIIIiiiQQQQ")  # magic, capacity, slot_size, count,
+                                         # head, tail, free_head,
+                                         # hits, misses, evictions, oversize
+META = struct.Struct("<iiHIBx")          # prev, next, status, value_len,
+                                         # occupied
+HEADER_SIZE = 64
+DIGEST_SIZE = 32
+NIL = -1
+
+#: default per-entry value budget; a serialized check response for a
+#: template page is a few KiB, so 32 KiB covers the realistic tail
+DEFAULT_SLOT_SIZE = 32 * 1024
+
+
+def _digest(key: str) -> bytes:
+    return hashlib.sha256(key.encode("utf-8")).digest()
+
+
+class SharedResultCache:
+    """An exact-LRU result cache shared between processes via mmap.
+
+    Create once with :meth:`create` (the owner; unlinks the backing file
+    on :meth:`close`), attach from any other process with :meth:`attach`
+    using the same ``path``.  The public surface mirrors
+    :class:`~repro.service.cache.ResultCache`: ``get``/``put``/``clear``/
+    ``__len__``/``stats``.
+    """
+
+    def __init__(self, path: str, *, _owner: bool) -> None:
+        self.path = path
+        self._owner = _owner
+        self._file = open(path, "r+b")
+        self._mm = mmap.mmap(self._file.fileno(), 0)
+        magic, capacity, slot_size = struct.unpack_from("<8sII", self._mm, 0)
+        if magic != MAGIC:
+            self._mm.close()
+            self._file.close()
+            raise ValueError(f"{path} is not a shared cache segment")
+        self.max_entries = capacity
+        self.slot_size = slot_size
+        self._digest_off = HEADER_SIZE
+        self._meta_off = self._digest_off + capacity * DIGEST_SIZE
+        self._value_off = self._meta_off + capacity * META.size
+        self._closed = False
+
+    # ------------------------------------------------------------ lifecycle
+
+    @classmethod
+    def create(
+        cls,
+        max_entries: int,
+        *,
+        slot_size: int = DEFAULT_SLOT_SIZE,
+        path: str | None = None,
+    ) -> "SharedResultCache":
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if slot_size < 1:
+            raise ValueError(f"slot_size must be >= 1, got {slot_size}")
+        if path is None:
+            fd, path = tempfile.mkstemp(prefix="repro-shared-cache-")
+        else:
+            fd = os.open(path, os.O_RDWR | os.O_CREAT | os.O_TRUNC, 0o600)
+        total = (
+            HEADER_SIZE
+            + max_entries * (DIGEST_SIZE + META.size + slot_size)
+        )
+        try:
+            os.ftruncate(fd, total)
+            header = HEADER.pack(
+                MAGIC, max_entries, slot_size, 0, NIL, NIL, 0, 0, 0, 0, 0
+            )
+            os.pwrite(fd, header, 0)
+            # free list: slot i links to i+1 via the meta "next" field
+            for slot in range(max_entries):
+                nxt = slot + 1 if slot + 1 < max_entries else NIL
+                meta = META.pack(NIL, nxt, 0, 0, 0)
+                os.pwrite(
+                    fd,
+                    meta,
+                    HEADER_SIZE + max_entries * DIGEST_SIZE + slot * META.size,
+                )
+        finally:
+            os.close(fd)
+        return cls(path, _owner=True)
+
+    @classmethod
+    def attach(cls, path: str) -> "SharedResultCache":
+        return cls(path, _owner=False)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._mm.close()
+        self._file.close()
+        if self._owner:
+            try:
+                os.unlink(self.path)
+            except FileNotFoundError:
+                pass  # a concurrent owner close already removed it
+
+    def __enter__(self) -> "SharedResultCache":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- locking
+
+    def _lock(self) -> None:
+        fcntl.flock(self._file.fileno(), fcntl.LOCK_EX)
+
+    def _unlock(self) -> None:
+        fcntl.flock(self._file.fileno(), fcntl.LOCK_UN)
+
+    # ------------------------------------------------------- header accessors
+
+    def _read_header(self) -> tuple:
+        return HEADER.unpack_from(self._mm, 0)
+
+    def _write_header(
+        self, count, head, tail, free_head, hits, misses, evictions, oversize
+    ) -> None:
+        HEADER.pack_into(
+            self._mm, 0, MAGIC, self.max_entries, self.slot_size,
+            count, head, tail, free_head, hits, misses, evictions, oversize,
+        )
+
+    # --------------------------------------------------------- slot accessors
+
+    def _meta(self, slot: int) -> tuple[int, int, int, int, int]:
+        return META.unpack_from(self._mm, self._meta_off + slot * META.size)
+
+    def _set_meta(
+        self, slot: int, prev: int, nxt: int, status: int,
+        value_len: int, occupied: int,
+    ) -> None:
+        META.pack_into(
+            self._mm, self._meta_off + slot * META.size,
+            prev, nxt, status, value_len, occupied,
+        )
+
+    def _find_slot(self, digest: bytes) -> int:
+        """Index of the occupied slot holding ``digest``, or ``NIL``.
+
+        ``mmap.find`` scans the digest directory at C speed; a match is
+        only real when it lands on a 32-byte slot boundary and the slot
+        is occupied (value bytes never live in this region, so stale
+        digests are the only false-positive source and are zeroed on
+        free).
+        """
+        start = self._digest_off
+        end = self._meta_off
+        pos = self._mm.find(digest, start, end)
+        while pos != -1:
+            offset = pos - start
+            if offset % DIGEST_SIZE == 0:
+                slot = offset // DIGEST_SIZE
+                if self._meta(slot)[4]:
+                    return slot
+            pos = self._mm.find(digest, pos + 1, end)
+        return NIL
+
+    # ------------------------------------------------------- LRU list helpers
+
+    def _unlink(self, slot: int, head: int, tail: int) -> tuple[int, int]:
+        prev, nxt, status, length, occupied = self._meta(slot)
+        if prev != NIL:
+            p = self._meta(prev)
+            self._set_meta(prev, p[0], nxt, p[2], p[3], p[4])
+        else:
+            head = nxt
+        if nxt != NIL:
+            n = self._meta(nxt)
+            self._set_meta(nxt, prev, n[1], n[2], n[3], n[4])
+        else:
+            tail = prev
+        self._set_meta(slot, NIL, NIL, status, length, occupied)
+        return head, tail
+
+    def _append(self, slot: int, head: int, tail: int) -> tuple[int, int]:
+        _prev, _nxt, status, length, occupied = self._meta(slot)
+        self._set_meta(slot, tail, NIL, status, length, occupied)
+        if tail != NIL:
+            t = self._meta(tail)
+            self._set_meta(tail, t[0], slot, t[2], t[3], t[4])
+        else:
+            head = slot
+        return head, slot
+
+    # ------------------------------------------------------------- operations
+
+    def __len__(self) -> int:
+        self._lock()
+        try:
+            return self._read_header()[3]
+        finally:
+            self._unlock()
+
+    @property
+    def stats(self) -> CacheStats:
+        """A point-in-time snapshot of the shared counters."""
+        self._lock()
+        try:
+            (_m, _c, _s, _count, _h, _t, _f,
+             hits, misses, evictions, _oversize) = self._read_header()
+        finally:
+            self._unlock()
+        return CacheStats(hits=hits, misses=misses, evictions=evictions)
+
+    @property
+    def skipped_oversize(self) -> int:
+        self._lock()
+        try:
+            return self._read_header()[10]
+        finally:
+            self._unlock()
+
+    def get(self, key: str) -> tuple[int, bytes] | None:
+        digest = _digest(key)
+        self._lock()
+        try:
+            (_m, _c, _s, count, head, tail, free_head,
+             hits, misses, evictions, oversize) = self._read_header()
+            slot = self._find_slot(digest)
+            if slot == NIL:
+                self._write_header(
+                    count, head, tail, free_head,
+                    hits, misses + 1, evictions, oversize,
+                )
+                return None
+            head, tail = self._unlink(slot, head, tail)
+            head, tail = self._append(slot, head, tail)
+            _prev, _nxt, status, length, _occ = self._meta(slot)
+            value_at = self._value_off + slot * self.slot_size
+            body = bytes(self._mm[value_at:value_at + length])
+            self._write_header(
+                count, head, tail, free_head,
+                hits + 1, misses, evictions, oversize,
+            )
+            return (status, body)
+        finally:
+            self._unlock()
+
+    def put(self, key: str, entry: tuple[int, bytes]) -> None:
+        status, body = entry
+        digest = _digest(key)
+        self._lock()
+        try:
+            (_m, _c, _s, count, head, tail, free_head,
+             hits, misses, evictions, oversize) = self._read_header()
+            slot = self._find_slot(digest)
+            if len(body) > self.slot_size:
+                # can't store it; drop any stale entry under the same key
+                # so a hit can never serve an outdated body
+                if slot != NIL:
+                    head, tail = self._unlink(slot, head, tail)
+                    self._zero_slot(slot)
+                    self._set_meta(slot, NIL, free_head, 0, 0, 0)
+                    free_head = slot
+                    count -= 1
+                self._write_header(
+                    count, head, tail, free_head,
+                    hits, misses, evictions, oversize + 1,
+                )
+                return
+            if slot != NIL:
+                head, tail = self._unlink(slot, head, tail)
+            else:
+                if free_head != NIL:
+                    slot = free_head
+                    free_head = self._meta(slot)[1]
+                else:
+                    slot = head  # evict the LRU entry, reuse its slot
+                    head, tail = self._unlink(slot, head, tail)
+                    self._zero_slot(slot)
+                    evictions += 1
+                    count -= 1
+                self._mm[
+                    self._digest_off + slot * DIGEST_SIZE:
+                    self._digest_off + (slot + 1) * DIGEST_SIZE
+                ] = digest
+                count += 1
+            value_at = self._value_off + slot * self.slot_size
+            self._mm[value_at:value_at + len(body)] = body
+            self._set_meta(slot, NIL, NIL, status, len(body), 1)
+            head, tail = self._append(slot, head, tail)
+            self._write_header(
+                count, head, tail, free_head,
+                hits, misses, evictions, oversize,
+            )
+        finally:
+            self._unlock()
+
+    def clear(self) -> None:
+        """Drop every entry (counters survive, matching ``ResultCache``)."""
+        self._lock()
+        try:
+            (_m, _c, _s, _count, _head, _tail, _free,
+             hits, misses, evictions, oversize) = self._read_header()
+            zero = b"\x00" * DIGEST_SIZE
+            for slot in range(self.max_entries):
+                self._mm[
+                    self._digest_off + slot * DIGEST_SIZE:
+                    self._digest_off + (slot + 1) * DIGEST_SIZE
+                ] = zero
+                nxt = slot + 1 if slot + 1 < self.max_entries else NIL
+                self._set_meta(slot, NIL, nxt, 0, 0, 0)
+            self._write_header(
+                0, NIL, NIL, 0, hits, misses, evictions, oversize
+            )
+        finally:
+            self._unlock()
+
+    def _zero_slot(self, slot: int) -> None:
+        self._mm[
+            self._digest_off + slot * DIGEST_SIZE:
+            self._digest_off + (slot + 1) * DIGEST_SIZE
+        ] = b"\x00" * DIGEST_SIZE
+
+    # ------------------------------------------------------------- diagnostics
+
+    def lru_digests(self) -> list[bytes]:
+        """Stored digests oldest→newest (LRU-parity tests; no stat side
+        effects)."""
+        self._lock()
+        try:
+            (_m, _c, _s, _count, head, _tail, _free,
+             _h, _mi, _e, _o) = self._read_header()
+            order = []
+            slot = head
+            while slot != NIL:
+                order.append(
+                    bytes(self._mm[
+                        self._digest_off + slot * DIGEST_SIZE:
+                        self._digest_off + (slot + 1) * DIGEST_SIZE
+                    ])
+                )
+                slot = self._meta(slot)[1]
+            return order
+        finally:
+            self._unlock()
+
+    @staticmethod
+    def digest_of(key: str) -> bytes:
+        """The directory digest for ``key`` (parity-test helper)."""
+        return _digest(key)

@@ -153,3 +153,43 @@ class TestResponse:
             method="GET", target="", version="HTTP/1.1", headers={}
         )
         assert request.path == "/"
+
+
+class TestStreamingFraming:
+    """Chunked response framing for the NDJSON batch endpoint."""
+
+    @staticmethod
+    def streaming(**kwargs):
+        from repro.service import StreamingResponse
+
+        async def lines():
+            yield b""
+
+        return StreamingResponse(status=200, lines=lines(), **kwargs)
+
+    def test_encode_chunk_is_hex_size_crlf_framed(self):
+        from repro.service.http import LAST_CHUNK, encode_chunk
+
+        assert encode_chunk(b"abc") == b"3\r\nabc\r\n"
+        assert encode_chunk(b"x" * 26) == b"1a\r\n" + b"x" * 26 + b"\r\n"
+        assert LAST_CHUNK == b"0\r\n\r\n"
+
+    def test_chunked_head_has_no_content_length(self):
+        head = self.streaming().head_bytes(chunked=True)
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert head.endswith(b"\r\n\r\n")
+        assert b"transfer-encoding: chunked" in head
+        assert b"content-length" not in head
+        assert b"application/x-ndjson" in head
+        assert b"connection: close" not in head  # keep-alive survives
+
+    def test_unchunked_head_forces_close(self):
+        # HTTP/1.0 has no chunked framing: body is close-delimited
+        head = self.streaming().head_bytes(chunked=False)
+        assert b"transfer-encoding" not in head
+        assert b"connection: close" in head
+
+    def test_explicit_close_requested(self):
+        head = self.streaming().head_bytes(chunked=True, close=True)
+        assert b"transfer-encoding: chunked" in head
+        assert b"connection: close" in head

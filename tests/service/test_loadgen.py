@@ -1,0 +1,127 @@
+"""Loadgen determinism: same seed+config => the identical request plan."""
+from repro.service.loadgen import (
+    LoadgenConfig,
+    build_corpus,
+    build_schedule,
+    quantile,
+    render_loadgen,
+    request_bytes,
+)
+
+
+class TestScheduleDeterminism:
+    def test_same_seed_same_schedule(self):
+        a = build_schedule(200, 2.0, seed=42, corpus_size=16)
+        b = build_schedule(200, 2.0, seed=42, corpus_size=16)
+        assert a == b
+        assert len(a) > 0
+
+    def test_different_seed_different_schedule(self):
+        a = build_schedule(200, 2.0, seed=42, corpus_size=16)
+        b = build_schedule(200, 2.0, seed=43, corpus_size=16)
+        assert a != b
+
+    def test_different_rps_different_schedule(self):
+        a = build_schedule(100, 2.0, seed=42, corpus_size=16)
+        b = build_schedule(200, 2.0, seed=42, corpus_size=16)
+        assert a != b
+        # twice the rate should offer roughly twice the arrivals
+        assert len(b) > len(a)
+
+    def test_schedule_shape(self):
+        schedule = build_schedule(300, 1.5, seed=7, corpus_size=4)
+        offsets = [offset for offset, _doc in schedule]
+        assert offsets == sorted(offsets)
+        assert all(0.0 < offset < 1.5 for offset in offsets)
+        assert {doc for _offset, doc in schedule} <= set(range(4))
+        # Poisson at 300/s over 1.5s: ~450 arrivals, generously bracketed
+        assert 300 < len(schedule) < 600
+
+    def test_corpus_deterministic_and_distinct(self):
+        a = build_corpus(6, seed=42)
+        b = build_corpus(6, seed=42)
+        assert a == b
+        assert len(set(a)) == 6
+        assert all(doc.startswith(b"<!DOCTYPE html>") for doc in a)
+        assert build_corpus(6, seed=1) != a
+
+    def test_identical_request_sequence_end_to_end(self):
+        # the full request plan -- framed bytes in schedule order -- is a
+        # pure function of (seed, rps, duration, distinct)
+        def plan(seed):
+            corpus = build_corpus(4, seed=seed)
+            schedule = build_schedule(150, 1.0, seed=seed, corpus_size=4)
+            return [
+                request_bytes(corpus[doc], keepalive=True)
+                for _offset, doc in schedule
+            ]
+
+        assert plan(9) == plan(9)
+        assert plan(9) != plan(10)
+
+
+class TestRequestFraming:
+    def test_keepalive_request_has_no_close(self):
+        raw = request_bytes(b"<html>", keepalive=True)
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"POST /check HTTP/1.1\r\n")
+        assert b"content-length: 6" in head
+        assert b"connection: close" not in head
+        assert body == b"<html>"
+
+    def test_per_connection_request_closes(self):
+        raw = request_bytes(b"x", keepalive=False)
+        assert b"connection: close" in raw
+
+
+class TestQuantile:
+    def test_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+        assert quantile(values, 0.50) == 5.0
+        assert quantile(values, 0.90) == 9.0
+        assert quantile(values, 0.99) == 10.0
+
+    def test_empty_and_single(self):
+        assert quantile([], 0.5) == 0.0
+        assert quantile([3.5], 0.99) == 3.5
+
+
+class TestRendering:
+    def test_render_snapshot_table(self):
+        snapshot = {
+            "schema": "repro-bench/1",
+            "label": "unit",
+            "loadgen": {
+                "keepalive": True,
+                "connections": 4,
+                "distinct": 8,
+                "server": {"procs": 2, "shared_cache": True},
+                "steps": [{
+                    "target_rps": 100,
+                    "offered_rps": 99.0,
+                    "achieved_rps": 98.5,
+                    "completed": 197,
+                    "errors": 0,
+                    "shed": 0,
+                    "cache_hits": 197,
+                    "latency_ms": {"p50": 1.2, "p90": 2.4, "p99": 4.8},
+                }],
+                "server_metrics": {
+                    "connections": {
+                        "total": 4, "reused": 4, "keepalive_reuses": 190,
+                    },
+                },
+            },
+        }
+        text = render_loadgen(snapshot)
+        assert "[unit]" in text
+        assert "keep-alive" in text
+        assert "procs=2" in text
+        assert "98.5" in text
+        assert "100.0" in text  # hit%
+        assert "190 keep-alive requests" in text
+
+    def test_config_defaults_are_sane(self):
+        config = LoadgenConfig()
+        assert config.keepalive and config.warmup
+        assert all(rps > 0 for rps in config.steps)

@@ -180,3 +180,191 @@ class TestLifecycle:
             return False
 
         assert run(go()) is True
+
+
+def split_responses(raw: bytes) -> list[tuple[bytes, bytes]]:
+    """Split concatenated Content-Length-framed responses byte-exactly.
+
+    Asserts the framing is airtight: every head ends with CRLFCRLF, every
+    body is exactly content-length bytes, and nothing is left over.
+    """
+    out = []
+    rest = raw
+    while rest:
+        head, sep, rest = rest.partition(b"\r\n\r\n")
+        assert sep == b"\r\n\r\n", f"truncated head in {raw!r}"
+        length = 0
+        for line in head.split(b"\r\n"):
+            if line.lower().startswith(b"content-length:"):
+                length = int(line.split(b":", 1)[1])
+        assert len(rest) >= length, "body shorter than content-length"
+        out.append((head, rest[:length]))
+        rest = rest[length:]
+    return out
+
+
+def dechunk(data: bytes) -> bytes:
+    """Reassemble a chunked body; asserts exact CRLF chunk framing."""
+    body = b""
+    rest = data
+    while True:
+        size_line, sep, rest = rest.partition(b"\r\n")
+        assert sep == b"\r\n", f"missing chunk-size CRLF in {data!r}"
+        size = int(size_line, 16)
+        if size == 0:
+            assert rest == b"\r\n", f"bytes after last chunk: {rest!r}"
+            return body
+        assert rest[size:size + 2] == b"\r\n", "missing chunk-data CRLF"
+        body += rest[:size]
+        rest = rest[size + 2:]
+
+
+HEALTHZ = b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n"
+
+
+class TestKeepAliveProtocol:
+    """Pipelining-safe framing: the PR 7 byte-exact protocol suite."""
+
+    def test_two_pipelined_requests_byte_exact(self):
+        # both requests are on the wire before the first response is
+        # read -- the server must frame responses so the client can
+        # split them with content-length alone
+        async def go():
+            service = await started_service()
+            try:
+                raw = await send_and_read(service.port, HEALTHZ + HEALTHZ)
+            finally:
+                await service.shutdown()
+            return raw
+
+        responses = split_responses(run(go()))
+        assert len(responses) == 2
+        for head, body in responses:
+            assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+            assert body.startswith(b"{") and body.endswith(b"}")
+
+    def test_connection_close_is_honored(self):
+        async def go():
+            service = await started_service()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", service.port
+                )
+                writer.write(
+                    b"GET /healthz HTTP/1.1\r\nhost: t\r\n"
+                    b"connection: close\r\n\r\n"
+                )
+                await writer.drain()
+                raw = await asyncio.wait_for(reader.read(), timeout=5)
+                writer.close()
+            finally:
+                await service.shutdown()
+            return raw
+
+        responses = split_responses(run(go()))
+        assert len(responses) == 1  # EOF right after the one response
+        assert b"connection: close" in responses[0][0]
+
+    def test_malformed_second_request_poisons_only_its_connection(self):
+        async def go():
+            service = await started_service()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", service.port
+                )
+                writer.write(HEALTHZ)
+                await writer.drain()
+                first = await reader.readuntil(b"}")
+                writer.write(b"GARBAGE\r\n\r\n")
+                await writer.drain()
+                rest = await asyncio.wait_for(reader.read(), timeout=5)
+                writer.close()
+                # the service keeps accepting: a fresh connection works
+                after = await send_and_read(service.port, HEALTHZ)
+            finally:
+                await service.shutdown()
+            return first, rest, after
+
+        first, rest, after = run(go())
+        assert b"200 OK" in first
+        responses = split_responses(rest)
+        assert len(responses) == 1
+        assert responses[0][0].startswith(b"HTTP/1.1 400 ")
+        assert b"connection: close" in responses[0][0]
+        assert b"200 OK" in status_line(after).encode()
+
+    def test_request_cap_closes_connection(self):
+        async def go():
+            service = await started_service(max_requests_per_connection=2)
+            try:
+                raw = await send_and_read(
+                    service.port, HEALTHZ + HEALTHZ + HEALTHZ
+                )
+            finally:
+                await service.shutdown()
+            return raw
+
+        responses = split_responses(run(go()))
+        assert len(responses) == 2  # the third request was never served
+        assert b"connection: close" not in responses[0][0]
+        assert b"connection: close" in responses[1][0]
+
+    def test_idle_timeout_after_first_request(self):
+        async def go():
+            service = await started_service(idle_timeout=0.05)
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", service.port
+                )
+                writer.write(HEALTHZ)
+                await writer.drain()
+                data = await asyncio.wait_for(reader.read(), timeout=5)
+                writer.close()
+            finally:
+                await service.shutdown()
+            return data
+
+        responses = split_responses(run(go()))
+        assert len(responses) == 1  # served once, then closed when idle
+
+
+class TestBatchOverSocket:
+    def test_chunked_batch_then_keepalive_survives(self):
+        lines = (
+            b'{"html": "<!DOCTYPE html><html><head><title>t</title></head>'
+            b'<body><p>a</p></body></html>"}\n'
+            b'{"not": "a document"}\n'
+        )
+        head = (
+            f"POST /check-batch HTTP/1.1\r\nhost: t\r\n"
+            f"content-length: {len(lines)}\r\n\r\n"
+        ).encode()
+
+        async def go():
+            service = await started_service()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", service.port
+                )
+                writer.write(head + lines)
+                await writer.drain()
+                raw_head = await reader.readuntil(b"\r\n\r\n")
+                chunked = await reader.readuntil(b"0\r\n\r\n")
+                # keep-alive survived the stream: same socket, new request
+                writer.write(HEALTHZ)
+                await writer.drain()
+                after = await reader.readuntil(b"}")
+                writer.close()
+            finally:
+                await service.shutdown()
+            return raw_head, chunked, after
+
+        raw_head, chunked, after = run(go())
+        assert raw_head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"transfer-encoding: chunked" in raw_head
+        body = dechunk(chunked)
+        out = [line for line in body.split(b"\n") if line]
+        assert len(out) == 2
+        assert out[0].startswith(b'{"index":0,"status":200,"result":')
+        assert out[1].startswith(b'{"index":1,"status":400,"result":')
+        assert b"200 OK" in after

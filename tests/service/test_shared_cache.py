@@ -1,0 +1,219 @@
+"""SharedResultCache: exact-LRU parity and cross-process consistency.
+
+The single-process :class:`ResultCache` is the machine-checked reference:
+a randomized op sequence is applied to both implementations and the LRU
+order, the counters, and every lookup result must match move for move.
+The multi-process test then hammers one segment from several forked
+workers and asserts the invariants locking is supposed to buy: counters
+that add up, no torn values, entry count within capacity.
+"""
+import multiprocessing
+import random
+
+import pytest
+
+from repro.service import ResultCache, make_cache
+from repro.service.shared_cache import SharedResultCache
+
+
+@pytest.fixture
+def cache():
+    shared = SharedResultCache.create(4, slot_size=256)
+    yield shared
+    shared.close()
+
+
+class TestBasics:
+    def test_get_put_roundtrip(self, cache):
+        assert cache.get("k") is None
+        cache.put("k", (200, b'{"a":1}'))
+        assert cache.get("k") == (200, b'{"a":1}')
+        assert len(cache) == 1
+        stats = cache.stats
+        assert (stats.hits, stats.misses) == (1, 1)
+
+    def test_put_overwrites_value(self, cache):
+        cache.put("k", (200, b"first"))
+        cache.put("k", (422, b"second"))
+        assert cache.get("k") == (422, b"second")
+        assert len(cache) == 1
+
+    def test_clear_keeps_counters(self, cache):
+        cache.put("k", (200, b"v"))
+        cache.get("k")
+        cache.get("absent")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("k") is None
+        stats = cache.stats
+        assert (stats.hits, stats.misses) == (1, 2)
+
+    def test_oversize_value_is_skipped_not_stored(self, cache):
+        cache.put("big", (200, b"x" * 257))
+        assert cache.get("big") is None
+        assert cache.skipped_oversize == 1
+
+    def test_oversize_put_drops_stale_entry(self, cache):
+        # a value that outgrew its slot must not leave the old body
+        # behind -- a hit serving stale bytes is the one forbidden outcome
+        cache.put("k", (200, b"old"))
+        cache.put("k", (200, b"y" * 300))
+        assert cache.get("k") is None
+        assert len(cache) == 0
+
+    def test_attach_sees_owner_writes(self, cache):
+        cache.put("k", (200, b"v"))
+        other = SharedResultCache.attach(cache.path)
+        try:
+            assert other.get("k") == (200, b"v")
+        finally:
+            other.close()
+
+    def test_owner_close_unlinks_file(self):
+        import os
+
+        shared = SharedResultCache.create(2)
+        path = shared.path
+        shared.close()
+        assert not os.path.exists(path)
+
+    def test_attach_rejects_non_segment(self, tmp_path):
+        bogus = tmp_path / "not-a-segment"
+        bogus.write_bytes(b"x" * 128)
+        with pytest.raises(ValueError):
+            SharedResultCache.attach(str(bogus))
+
+    def test_make_cache_dispatch(self, tmp_path):
+        assert isinstance(make_cache(8), ResultCache)
+        assert isinstance(make_cache(0, backend="shared"), ResultCache)
+        shared = make_cache(8, backend="shared")
+        try:
+            assert isinstance(shared, SharedResultCache)
+        finally:
+            shared.close()
+        with pytest.raises(ValueError):
+            make_cache(8, backend="galactic")
+
+
+class TestLRUParity:
+    """Randomized differential test against the ResultCache reference."""
+
+    CAPACITY = 5
+
+    def reference_order(self, reference: ResultCache) -> list[bytes]:
+        return [
+            SharedResultCache.digest_of(key)
+            for key in reference._entries  # noqa: SLF001 - reference probe
+        ]
+
+    @pytest.mark.parametrize("seed", [7, 21, 1057])
+    def test_same_ops_same_state(self, seed):
+        rng = random.Random(seed)
+        keys = [f"key-{i}" for i in range(self.CAPACITY * 2)]
+        reference = ResultCache(self.CAPACITY)
+        shared = SharedResultCache.create(self.CAPACITY, slot_size=128)
+        try:
+            for step in range(400):
+                key = rng.choice(keys)
+                if rng.random() < 0.5:
+                    entry = (
+                        rng.choice((200, 422)),
+                        f"body-{key}-{step}".encode(),
+                    )
+                    reference.put(key, entry)
+                    shared.put(key, entry)
+                else:
+                    assert shared.get(key) == reference.get(key)
+                assert len(shared) == len(reference)
+                assert shared.lru_digests() == self.reference_order(reference)
+            ref_stats, shared_stats = reference.stats, shared.stats
+            assert shared_stats.hits == ref_stats.hits
+            assert shared_stats.misses == ref_stats.misses
+            assert shared_stats.evictions == ref_stats.evictions
+        finally:
+            shared.close()
+
+    def test_eviction_pops_oldest(self):
+        shared = SharedResultCache.create(2, slot_size=64)
+        try:
+            shared.put("a", (200, b"A"))
+            shared.put("b", (200, b"B"))
+            shared.get("a")          # refresh: "b" is now oldest
+            shared.put("c", (200, b"C"))
+            assert shared.get("b") is None
+            assert shared.get("a") == (200, b"A")
+            assert shared.get("c") == (200, b"C")
+            assert shared.stats.evictions == 1
+        finally:
+            shared.close()
+
+
+def _hammer(path: str, worker: int, ops: int) -> tuple[int, int]:
+    """One child's workload; returns (gets issued, torn reads seen).
+
+    Values encode their key, so any cross-process interleaving bug that
+    serves bytes for the wrong key (or a half-written value) is a torn
+    read, not a silent pass.
+    """
+    cache = SharedResultCache.attach(path)
+    rng = random.Random(f"hammer:{worker}")
+    gets = torn = 0
+    try:
+        for step in range(ops):
+            key = f"shared-{rng.randrange(12)}"
+            if rng.random() < 0.5:
+                cache.put(key, (200, f"value:{key}".encode() * 3))
+            else:
+                gets += 1
+                entry = cache.get(key)
+                if entry is not None and entry[1] != (
+                    f"value:{key}".encode() * 3
+                ):
+                    torn += 1
+    finally:
+        cache.close()
+    return gets, torn
+
+
+def _hammer_child(path: str, worker: int, ops: int, queue) -> None:
+    queue.put(_hammer(path, worker, ops))
+
+
+class TestMultiProcess:
+    def test_concurrent_hammer_consistent(self):
+        ops, workers = 150, 4
+        shared = SharedResultCache.create(8, slot_size=128)
+        ctx = multiprocessing.get_context("fork")
+        queue = ctx.Queue()
+        try:
+            children = [
+                # each child re-attaches by path: flock is per open file
+                # description, so an inherited descriptor would not lock
+                ctx.Process(
+                    target=_hammer_child, args=(shared.path, i, ops, queue)
+                )
+                for i in range(workers)
+            ]
+            for child in children:
+                child.start()
+            results = [queue.get(timeout=60) for _ in children]
+            for child in children:
+                child.join(timeout=60)
+                assert child.exitcode == 0
+
+            total_gets = sum(gets for gets, _torn in results)
+            assert sum(torn for _gets, torn in results) == 0
+            stats = shared.stats
+            # every get is exactly one hit or one miss, no double counts
+            assert stats.hits + stats.misses == total_gets
+            assert 0 < len(shared) <= 8
+            assert len(shared.lru_digests()) == len(shared)
+            # the surviving entries still serve un-torn values
+            for _ in range(50):
+                for i in range(12):
+                    key = f"shared-{i}"
+                    entry = shared.get(key)
+                    if entry is not None:
+                        assert entry[1] == f"value:{key}".encode() * 3
+        finally:
+            shared.close()
