@@ -36,8 +36,9 @@ echo "==> fuzz corpus replay"
 python -c 'import sys; from repro.cli import main; sys.exit(main(sys.argv[1:]))' \
     fuzz --replay tests/fuzz_corpus
 
-echo "==> tokenizer fast-path equivalence"
-python -m pytest -x -q tests/html/test_tokenizer_equivalence.py
+echo "==> tokenizer equivalence (bytes / chunked str / reference three-way)"
+python -m pytest -x -q tests/html/test_tokenizer_equivalence.py \
+    tests/html/test_bytes_tokenizer.py
 
 echo "==> serve smoke (ephemeral port, full surface, graceful drain)"
 python scripts/serve_smoke.py
@@ -50,7 +51,15 @@ python -c "import json, sys; s = json.load(open(sys.argv[1])); \
 assert s['schema'] == 'repro-bench/1' and s['cases'], 'bad bench snapshot'; \
 p = s['pipeline']; \
 assert set(p['stages']) == {'index', 'fetch', 'check', 'store'}, p; \
-assert p['pages'] > 0 and p['best_seconds'] > 0, 'empty pipeline case'" \
+assert p['pages'] > 0 and p['best_seconds'] > 0, 'empty pipeline case'; \
+bcases = {n: c for n, c in s['cases'].items() if c['kind'] == 'tokenize_bytes'}; \
+assert bcases, 'no bytes-domain tokenizer cases in snapshot'; \
+assert all(0.0 <= c['bytes_decoded_ratio'] <= 1.0 for c in bcases.values()), \
+    'bytes_decoded_ratio missing or out of range'; \
+assert bcases['tokenizer_bytes_clean']['bytes_decoded_ratio'] < 0.2, \
+    'lazy bytes path regressed to eager decode (clean fixture)'; \
+assert bcases['tokenizer_bytes_large']['bytes_decoded_ratio'] < 0.1, \
+    'lazy bytes path regressed to eager decode (large fixture)'" \
     "$BENCH_SMOKE_OUT"
 rm -f "$BENCH_SMOKE_OUT"
 

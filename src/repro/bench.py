@@ -42,6 +42,7 @@ from typing import Callable
 from repro.commoncrawl.templates import INJECTORS, build_page
 from repro.core import Checker
 from repro.html import parse
+from repro.html.bytes_tokenizer import BytesTokenizer
 from repro.html.tokenizer import Tokenizer
 
 SCHEMA = "repro-bench/1"
@@ -107,12 +108,20 @@ def large_page() -> str:
 
 
 #: case name -> (kind, fixture); tokenizer cases measure pure scanning,
-#: parse cases the full tree-construction pipeline
+#: tokenizer_bytes cases the decode-free bytes-domain scan over the same
+#: fixture's UTF-8 encoding (what the crawl pipeline actually runs: raw
+#: payload in, lazy text out), parse cases the full tree-construction
+#: pipeline
 CASES: dict[str, tuple[str, Callable[[], str]]] = {
     "tokenizer_clean": ("tokenize", clean_page),
     "tokenizer_dirty": ("tokenize", dirty_page),
     "tokenizer_plaintext": ("tokenize", plaintext_page),
     "tokenizer_script_escape": ("tokenize", script_escape_page),
+    "tokenizer_bytes_clean": ("tokenize_bytes", clean_page),
+    "tokenizer_bytes_dirty": ("tokenize_bytes", dirty_page),
+    "tokenizer_bytes_large": ("tokenize_bytes", large_page),
+    "tokenizer_bytes_plaintext": ("tokenize_bytes", plaintext_page),
+    "tokenizer_bytes_script_escape": ("tokenize_bytes", script_escape_page),
     "parse_clean": ("parse", clean_page),
     "parse_dirty": ("parse", dirty_page),
     "parse_large": ("parse", large_page),
@@ -137,6 +146,12 @@ def best_seconds(func: Callable[[], object], *, repeat: int, number: int) -> flo
 
 def _token_count(text: str) -> int:
     return sum(1 for _token in Tokenizer(text))
+
+
+def _bytes_token_count(data: bytes) -> int:
+    """Drain the bytes tokenizer without touching lazy text (the tree
+    builder's hot loop reads tag names, not every character run)."""
+    return sum(1 for _token in BytesTokenizer(data))
 
 
 @dataclass(slots=True)
@@ -280,11 +295,29 @@ def run_benchmarks(config: BenchConfig) -> dict:
     }
     for name, (kind, fixture) in CASES.items():
         text = fixture()
+        decoded_ratio = None
         if kind == "tokenize":
             tokens = _token_count(text)
             seconds = best_seconds(
                 lambda t=text: _token_count(t),
                 repeat=config.repeat, number=config.number,
+            )
+        elif kind == "tokenize_bytes":
+            data = text.encode("utf-8")
+            tokens = _bytes_token_count(data)
+            seconds = best_seconds(
+                lambda d=data: _bytes_token_count(d),
+                repeat=config.repeat, number=config.number,
+            )
+            # fraction of payload bytes the drain actually decoded: the
+            # laziness headline (1.0 would mean the decode-free scan is
+            # decoding everything anyway)
+            probe = BytesTokenizer(data)
+            for _token in probe:
+                pass
+            decoded_ratio = (
+                probe.decoded_bytes / probe.input_bytes
+                if probe.input_bytes else 0.0
             )
         else:
             tokens = _token_count(text)
@@ -301,6 +334,8 @@ def run_benchmarks(config: BenchConfig) -> dict:
             "tokens_per_second": tokens / seconds if seconds else 0.0,
             "pages_per_second": 1.0 / seconds if seconds else 0.0,
         }
+        if decoded_ratio is not None:
+            snapshot["cases"][name]["bytes_decoded_ratio"] = decoded_ratio
     if config.rules:
         result = parse(dirty_page())
         for rule in Checker().rules:
@@ -325,12 +360,15 @@ def render_snapshot(snapshot: dict) -> str:
         f"{'ktokens/s':>10} {'pages/s':>9}"
     )
     for name, case in snapshot["cases"].items():
-        lines.append(
+        line = (
             f"{name:<24} {case['best_seconds'] * 1e3:>9.3f} "
             f"{case['chars_per_second'] / 1e6:>9.2f} "
             f"{case['tokens_per_second'] / 1e3:>10.1f} "
             f"{case['pages_per_second']:>9.1f}"
         )
+        if "bytes_decoded_ratio" in case:
+            line += f"  decoded {case['bytes_decoded_ratio']:.1%}"
+        lines.append(line)
     if snapshot.get("pipeline"):
         pipeline = snapshot["pipeline"]
         stage_text = ", ".join(

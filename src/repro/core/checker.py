@@ -10,7 +10,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
-from ..html import ParseResult, decode_bytes, parse, parse_fragment, sniff_encoding
+from ..html import ParseResult, parse, parse_bytes, parse_fragment, sniff_encoding
 from .rules import FusedCheckEngine, Rule, RuleExecutionError, default_rules
 from .violations import Finding
 
@@ -143,19 +143,23 @@ class Checker:
         return self.check_parse(result, url=url)
 
     def check_bytes(self, data: bytes, url: str = "") -> CheckReport | DecodeFailure:
-        """Decode-and-check; a :class:`DecodeFailure` for non-UTF-8 bytes.
+        """Check raw bytes decode-free; :class:`DecodeFailure` for non-UTF-8.
 
         Implements the paper's encoding filter (section 4.1): rather than
         guessing charsets, only UTF-8-decodable documents are analysed.
-        Undecodable input yields a :class:`DecodeFailure` carrying the
-        sniffed declared encoding, never a bare ``None`` — callers that
-        must report the rejection (the service's 422 path) get a typed
-        value to branch on with ``isinstance``.
+        The document is parsed straight from bytes (no upfront decode or
+        preprocessing copies); invalid UTF-8 surfaces as a
+        :class:`UnicodeDecodeError` from whichever scan first touches it,
+        and is mapped to a :class:`DecodeFailure` carrying the sniffed
+        declared encoding, never a bare ``None`` — callers that must report
+        the rejection (the service's 422 path) get a typed value to branch
+        on with ``isinstance``.
         """
-        text = decode_bytes(data)
-        if text is None:
+        try:
+            result = parse_bytes(data)
+        except UnicodeDecodeError:
             return DecodeFailure(
                 url=url,
                 declared_encoding=sniff_encoding(data).encoding or "",
             )
-        return self.check_html(text, url=url)
+        return self.check_parse(result, url=url)

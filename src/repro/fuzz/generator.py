@@ -27,6 +27,12 @@ SOUP_ATOMS: tuple[str, ...] = (
     # bare syntax characters
     "<", ">", "/", "=", "&", ";", "\"", "'", " ", "\n", "\t", "\f", "\x00",
     "-", "!", "?", "#", "x", "0", "1", "a", "b", "\xa0", "é",
+    # multi-byte UTF-8 and raw CR: the bytes-domain tokenizer scans below
+    # the decode layer, so 2/3/4-byte sequences, combining marks and
+    # CR/CRLF runs probe its width accounting and lazy-materialization
+    # boundaries (the str path sees them pre-normalized)
+    "漢", "字", "日本語", "Ж", "α", "🎉", "🧪", "á", "é̂",
+    "\r", "\r\n", "\r\r", "<р>", "<a ключ='значение'>", "&#x6f22;",
     # half-open and degenerate constructs
     "<!--", "-->", "<!-", "<!", "</", "</ ", "<?", "<![CDATA[", "]]>",
     "<!doctype html>", "<!DOCTYPE", "<a href=", "<a href='x",

@@ -87,6 +87,28 @@ def encoding_mangle(data: bytes, rng: random.Random) -> bytes:
     return out
 
 
+#: complete multi-byte UTF-8 sequences utf8_stretch splices in: 2/3/4-byte
+#: characters, a combining mark, and a CR-glued pair.  Unlike
+#: ``encoding_mangle`` these keep the input decodable — they move the
+#: ASCII/non-ASCII boundary around inside tokens, which is exactly where
+#: the bytes tokenizer switches between lazy byte spans and eager decode.
+_STRETCH_BYTES = (
+    "é".encode(), "ß".encode(), "漢".encode(), "字".encode(),
+    "🎉".encode(), "́".encode(), " ".encode(),
+    "é\r".encode(), "\r漢".encode(), "\x00字".encode(),
+)
+
+
+def utf8_stretch(data: bytes, rng: random.Random) -> bytes:
+    """Splice valid multi-byte UTF-8 (plus CR/NUL-glued variants) into the
+    input, usually landing mid-construct."""
+    out = data
+    for _ in range(rng.randrange(1, 5)):
+        at = rng.randrange(len(out) + 1)
+        out = out[:at] + rng.choice(_STRETCH_BYTES) + out[at:]
+    return out
+
+
 def truncate(data: bytes, rng: random.Random) -> bytes:
     """Cut the input off, usually mid-construct (the EOF-in-X states)."""
     if len(data) < 2:
@@ -118,6 +140,7 @@ MUTATORS: dict[str, Mutator] = {
     "tag_swap": tag_swap,
     "entity_corrupt": entity_corrupt,
     "encoding_mangle": encoding_mangle,
+    "utf8_stretch": utf8_stretch,
     "truncate": truncate,
     "nesting_bomb": nesting_bomb,
 }

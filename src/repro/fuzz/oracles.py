@@ -27,7 +27,8 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from ..core import Checker, DecodeFailure, autofix
-from ..html import decode_bytes, parse, serialize
+from ..html import decode_bytes, parse, preprocess, serialize
+from ..html.bytes_tokenizer import BytesTokenizer
 from ..html.dom import Element, Text
 from ..html.dump import dump_tree
 from ..html.serializer import RAW_TEXT_ELEMENTS
@@ -149,6 +150,75 @@ def oracle_fastpath(data: bytes) -> None:
             "fastpath-error-divergence",
             f"{len(fast.errors)} fast vs {len(ref_errors)} reference errors "
             f"in {text[:80]!r}",
+        )
+
+
+def oracle_bytes_parity(data: bytes) -> None:
+    """The decode-free bytes tokenizer is observationally identical to
+    decode + preprocess + str tokenizer.
+
+    Two contracts, both checked on every input (this oracle never skips —
+    the bytes domain is exactly where non-UTF-8 inputs live):
+
+    * **UTF-8 input** — :class:`BytesTokenizer` over the raw bytes must
+      emit the same tokens (including lazily materialized character data
+      and attributes) and the same spec-named error sequence as the str
+      :class:`Tokenizer` over ``preprocess(decode_bytes(data)).text``.
+      Offsets are compared too: the bytes path keeps positions in
+      *decoded code points*, so a drift means every downstream violation
+      offset is wrong.
+    * **non-UTF-8 input** — draining the bytes tokenizer must raise
+      :class:`UnicodeDecodeError`; anything else means the section 4.1
+      encoding filter silently admitted an undecodable page.
+    """
+    text = decode_bytes(data)
+    if text is None:
+        try:
+            for _ in BytesTokenizer(data):
+                pass
+        except UnicodeDecodeError:
+            return
+        raise OracleFailure(
+            "bytes-missed-invalid-utf8",
+            f"bytes tokenizer accepted non-UTF-8 input {data[:80]!r}",
+        )
+    reference = Tokenizer(preprocess(text).text)
+    ref_tokens = list(reference)
+    lazy = BytesTokenizer(data)
+    lazy_tokens = list(lazy)
+    if lazy_tokens != ref_tokens:
+        for index, (left, right) in enumerate(zip(lazy_tokens, ref_tokens)):
+            if left != right:
+                raise OracleFailure(
+                    "bytes-token-divergence",
+                    f"token {index}: bytes {left!r} != str {right!r} "
+                    f"in {data[:80]!r}",
+                )
+        raise OracleFailure(
+            "bytes-token-divergence",
+            f"{len(lazy_tokens)} bytes vs {len(ref_tokens)} str tokens "
+            f"in {data[:80]!r}",
+        )
+    if lazy.errors != reference.errors:
+        for index, (left, right) in enumerate(
+            zip(lazy.errors, reference.errors)
+        ):
+            if left != right:
+                raise OracleFailure(
+                    "bytes-error-divergence",
+                    f"error {index}: bytes {left!r} != str {right!r} "
+                    f"in {data[:80]!r}",
+                )
+        raise OracleFailure(
+            "bytes-error-divergence",
+            f"{len(lazy.errors)} bytes vs {len(reference.errors)} str "
+            f"errors in {data[:80]!r}",
+        )
+    if lazy.decoded_bytes > lazy.input_bytes:
+        raise OracleFailure(
+            "bytes-decode-overcount",
+            f"decoded {lazy.decoded_bytes} of {lazy.input_bytes} payload "
+            f"bytes in {data[:80]!r}",
         )
 
 
@@ -622,6 +692,12 @@ ORACLES: dict[str, Oracle] = {
             "chunked fast-path and per-char reference scanner emit identical "
             "tokens and parse errors",
             oracle_fastpath,
+        ),
+        Oracle(
+            "bytes_parity",
+            "decode-free bytes tokenizer matches decode+preprocess+str "
+            "tokenizer; non-UTF-8 input raises",
+            oracle_bytes_parity,
         ),
         Oracle(
             "roundtrip",

@@ -26,6 +26,7 @@ from .dom import (
     Node,
     Text,
 )
+from .bytes_tokenizer import BytesTokenizer, tokenize_bytes
 from .encoding import SniffResult, canonical_label, sniff_encoding
 from .entities import decode_entities
 from .errors import ErrorCode, ParseError, StrictParseError
@@ -35,6 +36,7 @@ from .tokenizer import Tokenizer, tokenize
 from .tokens import (
     EOF,
     Attribute,
+    ByteSource,
     Character,
     Comment,
     Doctype,
@@ -42,13 +44,22 @@ from .tokens import (
     StartTag,
     Token,
 )
-from .treebuilder import ParseResult, TreeBuilder, TreeEvent, parse, parse_fragment
+from .treebuilder import (
+    ParseResult,
+    TreeBuilder,
+    TreeEvent,
+    parse,
+    parse_bytes,
+    parse_fragment,
+)
 
 __all__ = [
     "HTML_NAMESPACE",
     "MATHML_NAMESPACE",
     "SVG_NAMESPACE",
     "Attribute",
+    "ByteSource",
+    "BytesTokenizer",
     "Character",
     "Comment",
     "CommentNode",
@@ -77,8 +88,10 @@ __all__ = [
     "sniff_encoding",
     "inner_html",
     "parse",
+    "parse_bytes",
     "parse_fragment",
     "preprocess",
     "serialize",
     "tokenize",
+    "tokenize_bytes",
 ]

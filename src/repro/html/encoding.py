@@ -13,10 +13,12 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 
+from .preprocessor import UTF8_BOM
+
 PRESCAN_BYTES = 1024
 
 _BOMS = (
-    (b"\xef\xbb\xbf", "utf-8"),
+    (UTF8_BOM, "utf-8"),
     (b"\xfe\xff", "utf-16-be"),
     (b"\xff\xfe", "utf-16-le"),
 )

@@ -82,6 +82,43 @@ def consume_character_reference(
     return CharRefResult("&", 0, [], False)
 
 
+# Character-reference grammar is pure ASCII: every char a reference can
+# consume after "&" is in [#0-9A-Za-z].  The bytes-domain front end exploits
+# that by prescanning the maximal candidate run *in bytes*, decoding only a
+# tiny latin-1 window (the run plus two lookahead bytes — enough for the
+# ";"/next-char checks of both the numeric and named branches), and
+# delegating to the str implementation above.  latin-1 maps every byte to a
+# codepoint, so a multi-byte UTF-8 sequence in the lookahead simply shows up
+# as some non-alnum, non-";" character — the same branch decisions fall out
+# and the window is never re-encoded.
+_RE_REF_RUN_B = re.compile(rb"[#0-9A-Za-zxX]*")
+
+#: ``&name;`` expansions keyed by the *bytes* name without "&"/";" — the
+#: bytes tokenizer's batch loop resolves well-formed named references with
+#: one dict hit instead of the prefix search in :func:`_consume_named`.
+NAMED_ENTITY_BYTES: dict[bytes, str] = {
+    name[:-1].encode("ascii"): value
+    for name, value in _HTML5_ENTITIES.items()
+    if name.endswith(";")
+}
+
+
+def consume_character_reference_bytes(
+    data: bytes, position: int, *, in_attribute: bool
+) -> CharRefResult:
+    """Bytes twin of :func:`consume_character_reference`.
+
+    ``position`` indexes the byte *after* the ampersand.  ``consumed`` counts
+    bytes, which equals characters because the consumed region is ASCII by
+    construction.  Error offsets are **relative to** ``position`` (the str
+    function reports offsets into the text it was handed, and here that text
+    is a window starting at ``position``); the caller rebases them.
+    """
+    run = _RE_REF_RUN_B.match(data, position)
+    window = data[position : run.end() + 2].decode("latin-1")
+    return consume_character_reference(window, 0, in_attribute=in_attribute)
+
+
 def _consume_numeric(text: str, position: int) -> CharRefResult:
     # position points at '#'
     errors: list[ParseError] = []

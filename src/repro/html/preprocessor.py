@@ -12,11 +12,19 @@ described in the paper's section 2.1:
 """
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 
 from .errors import ErrorCode, ParseError
 
 _BOM = "﻿"
+#: the UTF-8 byte-order mark; shared by :func:`decode_bytes`, the encoding
+#: sniffer and the bytes-domain tokenizer (which skips it by offset)
+UTF8_BOM = b"\xef\xbb\xbf"
+
+#: one pass handles both newline forms: ``\r\n?`` consumes a CRLF pair or a
+#: lone CR and rewrites either to LF
+_RE_CR = re.compile("\r\n?")
 
 #: C0/C1 controls that are parse errors when they appear in the input stream
 #: (spec 13.2.3.5).  TAB, LF, FF, CR and NUL are handled separately.
@@ -31,7 +39,7 @@ def decode_bytes(data: bytes) -> str | None:
     The paper's framework "filters out documents that are not UTF-8
     encodable" — a ``None`` return is that filter signal.
     """
-    if data.startswith(b"\xef\xbb\xbf"):
+    if data.startswith(UTF8_BOM):
         data = data[3:]
     try:
         return data.decode("utf-8")
@@ -53,11 +61,18 @@ def preprocess(text: str, *, collect_errors: bool = False) -> PreprocessResult:
     surrogate-in-input-stream parse errors (these are conformance errors
     only; the characters themselves are passed through unchanged, as the
     spec requires).
+
+    This is the str-caller fallback path — the bytes-domain tokenizer folds
+    the same normalization into its scan — so it is kept allocation-lean:
+    no work at all when neither a BOM nor a CR appears, at most one slice
+    for the BOM, and one combined substitution pass for both newline forms
+    (the old ``.replace("\\r\\n", ...).replace("\\r", ...)`` chain copied
+    the whole document twice whenever a lone CR followed any CRLF).
     """
     if text.startswith(_BOM):
         text = text[1:]
     if "\r" in text:
-        text = text.replace("\r\n", "\n").replace("\r", "\n")
+        text = _RE_CR.sub("\n", text)
 
     errors: list[ParseError] = []
     if collect_errors:

@@ -19,6 +19,16 @@ shared with the base class by design: the fast path falls back to those very
 handlers at delimiters, so they are exercised identically by both scanners
 and are covered by the conformance suites instead.
 
+This class is the oracle for the **bytes-domain** fast path too:
+:class:`~repro.html.bytes_tokenizer.BytesTokenizer` chunk-scans raw bytes
+with lazy text materialization, and the ``bytes_parity`` fuzz oracle plus
+``tests/html/test_bytes_tokenizer.py`` diff all three scanners —
+reference (per-character str), chunked str, chunked bytes — pairwise on
+every input.  ``BYTES_OVERRIDES == REFERENCE_OVERRIDES ==
+set(CHUNK_BREAK_SETS)`` is asserted by tier-1 tests *and* statically by
+the ``state_machine`` lint pass, so a state chunked in any domain without
+a reference twin cannot land.
+
 This class is for differential testing; it is deliberately slow.  Use
 :class:`~repro.html.tokenizer.Tokenizer` everywhere else.
 """

@@ -3,10 +3,49 @@
 The tokenizer produces a flat stream of these tokens; the tree builder
 consumes them.  Violation rules may also inspect the raw token stream (for
 example DE3 checks attribute values on :class:`StartTag` tokens directly).
+
+:class:`Character` and :class:`StartTag` are *lazy-capable*: the bytes-domain
+tokenizer (:mod:`repro.html.bytes_tokenizer`) hands them byte spans into a
+shared :class:`ByteSource` instead of decoded strings, and the text is only
+materialized when something actually reads ``.data`` / ``.attributes``.  The
+str-domain tokenizer keeps constructing them eagerly; both forms compare
+equal when their materialized content is equal, so equivalence tests see one
+token vocabulary.
 """
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+
+class ByteSource:
+    """A shared byte buffer plus decode accounting for lazy token spans.
+
+    ``decoded`` counts how many input bytes were materialized as ``str``
+    (by run decoding, lazy-span access, or whole-source access); the bench
+    snapshot's ``bytes_decoded_ratio`` divides it by :meth:`payload_length`
+    to prove the lazy path is not silently eager.
+    """
+
+    __slots__ = ("data", "base", "decoded")
+
+    def __init__(self, data: bytes, base: int = 0) -> None:
+        self.data = data
+        #: start offset of document content (skips an encoding BOM)
+        self.base = base
+        self.decoded = 0
+
+    def payload_length(self) -> int:
+        return len(self.data) - self.base
+
+    def materialize(self, start: int, end: int) -> str:
+        """Decode one ASCII span (bytes tokenizer only emits ASCII spans)."""
+        self.decoded += end - start
+        return self.data[start:end].decode("ascii")
+
+    def materialize_all(self) -> str:
+        """Decode the whole (BOM-stripped, CR-normalized) document."""
+        self.decoded += len(self.data) - self.base
+        return self.data[self.base :].decode("utf-8")
 
 
 @dataclass(slots=True)
@@ -46,15 +85,84 @@ class Doctype(Token):
     force_quirks: bool = False
 
 
-@dataclass(slots=True)
 class StartTag(Token):
-    name: str = ""
-    attributes: list[Attribute] = field(default_factory=list)
-    self_closing: bool = False
-    #: set by the tree builder when the self-closing flag was not acknowledged
-    self_closing_acknowledged: bool = False
-    #: source offset one past the closing '>' (0 when synthesized)
-    end: int = 0
+    """A start tag; ``attributes`` may be a lazy byte region until read.
+
+    The bytes tokenizer's batch loop only defers attribute parsing for tag
+    regions it proved error-free (no glued attributes, no duplicates), so
+    lazy materialization never has parse errors to report.
+    """
+
+    __slots__ = ("name", "_attributes", "_lazy", "self_closing",
+                 "self_closing_acknowledged", "end")
+
+    def __init__(
+        self,
+        offset: int = 0,
+        name: str = "",
+        attributes: list[Attribute] | None = None,
+        self_closing: bool = False,
+        self_closing_acknowledged: bool = False,
+        end: int = 0,
+    ) -> None:
+        self.offset = offset
+        self.name = name
+        self._attributes = [] if attributes is None else attributes
+        self._lazy = None
+        self.self_closing = self_closing
+        #: set by the tree builder when the self-closing flag was not acknowledged
+        self.self_closing_acknowledged = self_closing_acknowledged
+        #: source offset one past the closing '>' (0 when synthesized)
+        self.end = end
+
+    @classmethod
+    def with_lazy_attributes(
+        cls, offset: int, name: str, lazy, end: int, self_closing: bool = False
+    ) -> "StartTag":
+        tag = cls.__new__(cls)
+        tag.offset = offset
+        tag.name = name
+        tag._attributes = None
+        tag._lazy = lazy
+        tag.self_closing = self_closing
+        tag.self_closing_acknowledged = False
+        tag.end = end
+        return tag
+
+    @property
+    def attributes(self) -> list[Attribute]:
+        attributes = self._attributes
+        if attributes is None:
+            attributes = self._attributes = self._lazy.materialize()
+            self._lazy = None
+        return attributes
+
+    @attributes.setter
+    def attributes(self, value: list[Attribute]) -> None:
+        self._attributes = value
+        self._lazy = None
+
+    def __repr__(self) -> str:  # mirrors the former dataclass repr
+        return (
+            f"StartTag(offset={self.offset!r}, name={self.name!r}, "
+            f"attributes={self.attributes!r}, self_closing={self.self_closing!r}, "
+            f"self_closing_acknowledged={self.self_closing_acknowledged!r}, "
+            f"end={self.end!r})"
+        )
+
+    def __eq__(self, other) -> bool:
+        if other.__class__ is not StartTag:
+            return NotImplemented
+        return (
+            self.offset == other.offset
+            and self.name == other.name
+            and self.self_closing == other.self_closing
+            and self.self_closing_acknowledged == other.self_closing_acknowledged
+            and self.end == other.end
+            and self.attributes == other.attributes
+        )
+
+    __hash__ = None  # match the former eq=True dataclass
 
     def attr(self, name: str) -> str | None:
         """Return the value of the first (spec-visible) attribute ``name``."""
@@ -85,11 +193,70 @@ class Comment(Token):
     data: str = ""
 
 
-@dataclass(slots=True)
 class Character(Token):
-    """A run of character data (the spec emits one char at a time; we batch)."""
+    """A run of character data (the spec emits one char at a time; we batch).
 
-    data: str = ""
+    ``data`` is a property: the bytes tokenizer builds Character tokens from
+    *parts* — ASCII byte spans ``(source, start, end)`` into a shared
+    :class:`ByteSource`, interleaved with already-decoded ``str`` pieces
+    (entity expansions, non-ASCII runs) — and the join only happens when a
+    rule footprint or the tree builder reads ``.data``.  The hot single-run
+    case stores the span tuple itself in ``_parts`` (no wrapping list).
+    """
+
+    __slots__ = ("_data", "_parts")
+
+    def __init__(self, offset: int = 0, data: str = "") -> None:
+        self.offset = offset
+        self._data = data
+        self._parts = None
+
+    @classmethod
+    def from_parts(cls, offset: int, parts: list) -> "Character":
+        token = cls.__new__(cls)
+        token.offset = offset
+        token._data = None
+        token._parts = parts
+        return token
+
+    @property
+    def data(self) -> str:
+        data = self._data
+        if data is None:
+            parts = self._parts
+            if parts.__class__ is tuple:  # a bare (source, start, end) span
+                data = parts[0].materialize(parts[1], parts[2])
+            elif len(parts) == 1:
+                part = parts[0]
+                data = (
+                    part
+                    if part.__class__ is str
+                    else part[0].materialize(part[1], part[2])
+                )
+            else:
+                data = "".join(
+                    part if part.__class__ is str
+                    else part[0].materialize(part[1], part[2])
+                    for part in parts
+                )
+            self._data = data
+            self._parts = None
+        return data
+
+    @data.setter
+    def data(self, value: str) -> None:
+        self._data = value
+        self._parts = None
+
+    def __repr__(self) -> str:  # mirrors the former dataclass repr
+        return f"Character(offset={self.offset!r}, data={self.data!r})"
+
+    def __eq__(self, other) -> bool:
+        if other.__class__ is not Character:
+            return NotImplemented
+        return self.offset == other.offset and self.data == other.data
+
+    __hash__ = None  # match the former eq=True dataclass
 
     def is_whitespace(self) -> bool:
         return not self.data.strip("\t\n\f\r ")

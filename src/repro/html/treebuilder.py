@@ -30,6 +30,7 @@ from .dom import (
     Text,
 )
 from .errors import ErrorCode, ParseError
+from .bytes_tokenizer import BytesTokenizer
 from .preprocessor import preprocess
 from .quirks import quirks_mode_for
 from .tokenizer import (
@@ -190,15 +191,37 @@ class TreeEvent:
     detail: str = ""
 
 
-@dataclass(slots=True)
 class ParseResult:
-    """Everything a violation rule might want from one parse."""
+    """Everything a violation rule might want from one parse.
 
-    document: Document
-    errors: list[ParseError]
-    events: list[TreeEvent]
-    tokens: list[Token]
-    source: str
+    ``source`` is lazy: the bytes-domain parse hands a
+    :class:`~repro.html.tokens.ByteSource` here, and the document text is
+    decoded only when a rule (or the fused engine's offset slicing) first
+    reads it — str-domain parses store the text eagerly as before.
+    """
+
+    __slots__ = ("document", "errors", "events", "tokens", "_source")
+
+    def __init__(
+        self,
+        document: Document,
+        errors: list[ParseError],
+        events: list[TreeEvent],
+        tokens: list[Token],
+        source,
+    ) -> None:
+        self.document = document
+        self.errors = errors
+        self.events = events
+        self.tokens = tokens
+        self._source = source
+
+    @property
+    def source(self) -> str:
+        source = self._source
+        if source.__class__ is not str:
+            source = self._source = source.materialize_all()
+        return source
 
     def events_of(self, kind: str) -> list[TreeEvent]:
         return [event for event in self.events if event.kind == kind]
@@ -534,7 +557,22 @@ class TreeBuilder:
 
     def parse(self, text: str) -> ParseResult:
         pre = preprocess(text)
-        tokenizer = self.tokenizer = Tokenizer(pre.text)
+        return self._run(Tokenizer(pre.text), pre.text)
+
+    def parse_bytes(self, data: bytes) -> ParseResult:
+        """Parse raw UTF-8 bytes through the decode-free tokenizer.
+
+        Raises :class:`UnicodeDecodeError` on non-UTF-8 input (the paper's
+        section 4.1 filter, discovered during the scan instead of upfront);
+        for valid input the result is char-offset identical to
+        ``parse(decode_bytes(data))``, with ``result.source`` decoded only
+        on first access.
+        """
+        tokenizer = BytesTokenizer(data)
+        return self._run(tokenizer, tokenizer._src)
+
+    def _run(self, tokenizer: Tokenizer, source) -> ParseResult:
+        self.tokenizer = tokenizer
         # drain the tokenizer queue directly rather than through its
         # generator __iter__ — same visit order, no generator resumption
         # per token on the hottest loop in the parser
@@ -563,7 +601,7 @@ class TreeBuilder:
             errors=self.errors,
             events=self.events,
             tokens=self.tokens if self._collect_tokens else [],
-            source=pre.text,
+            source=source,
         )
 
     # --------------------------------------------------------- token dispatch
@@ -2328,6 +2366,17 @@ def _describe_token(token: Token) -> str:
 def parse(text: str, *, collect_tokens: bool = True) -> ParseResult:
     """Parse a full HTML document with the error-tolerant algorithm."""
     return TreeBuilder(collect_tokens=collect_tokens).parse(text)
+
+
+def parse_bytes(data: bytes, *, collect_tokens: bool = True) -> ParseResult:
+    """Parse raw UTF-8 bytes decode-free (the pipeline hot path).
+
+    Equivalent to ``parse(preprocess(decode_bytes(data)).text)`` for valid
+    UTF-8 input but without the upfront decode and normalization copies;
+    raises :class:`UnicodeDecodeError` for input the section 4.1 encoding
+    filter would reject.
+    """
+    return TreeBuilder(collect_tokens=collect_tokens).parse_bytes(data)
 
 
 def parse_fragment(

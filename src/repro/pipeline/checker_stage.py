@@ -11,7 +11,7 @@ from dataclasses import dataclass
 from ..core import Checker, CheckReport
 from ..core.features import PageFeatures, measure_features
 from ..core.mitigations import MitigationReport, measure_mitigations
-from ..html import decode_bytes, parse, sniff_encoding
+from ..html import parse_bytes, sniff_encoding
 from .crawler import FetchedPage
 
 
@@ -39,10 +39,12 @@ def check_page(
     declared = sniff_encoding(
         page.payload, http_content_type=page.content_type
     ).encoding or ""
-    text = decode_bytes(page.payload)
-    if text is None:
+    try:
+        # decode-free: the bytes tokenizer applies the UTF-8 filter as it
+        # scans, so clean pages never pay for an upfront decode + copy
+        result = parse_bytes(page.payload)
+    except UnicodeDecodeError:
         return CheckedPage(url=page.url, utf8=False, declared_encoding=declared)
-    result = parse(text)
     report = checker.check_parse(result, url=page.url)
     mitigation = (
         measure_mitigations(result) if measure_mitigation_signals else None

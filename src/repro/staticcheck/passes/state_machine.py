@@ -44,14 +44,43 @@ that dict, the pass verifies:
   per-character branch for the new delimiter is a lint error: the run
   pattern would stop at a character the state then silently drops.
 
+The bytes-domain tokenizer (``repro/html/bytes_tokenizer.py``) re-chunks
+the same states over raw UTF-8, which adds a cross-file family of
+invariants (emitted from :meth:`finish`, since the break-set declaration
+lives in ``tokenizer.py`` while the bytes patterns live in their own
+module):
+
+* **single source of truth** — the ``_bytes_scanner`` factory must
+  derive its patterns from ``CHUNK_BREAK_SETS`` (it references the
+  imported dict), and every ``_bytes_scanner("...")`` call names a
+  declared state;
+* **full bytes coverage** — every declared state is either compiled by
+  ``_bytes_scanner`` or folded into the module's combined ``_MASTER``
+  pattern, whose leading text-run class ``([^...]*+)`` is parsed and
+  compared character-for-character against that state's declared break
+  set (widening a break set without updating the master class is a lint
+  error, not a silent divergence);
+* **override lock-step** — every ``Tokenizer`` subclass that re-chunks
+  states (``ReferenceTokenizer``, ``BytesTokenizer``) must define
+  exactly the declared state set: the static twin of the tier-1
+  ``BYTES_OVERRIDES == REFERENCE_OVERRIDES == set(CHUNK_BREAK_SETS)``
+  assertion;
+* **bytes handlers handle their breaks** — run-pattern reference and
+  break-character coverage run against the bytes handlers too, with
+  byte-literal (``b"<"``) and small-int (``0x3C``) spellings counted as
+  handling the corresponding character.
+
 Limitations (documented, suppressible): classes with explicit base
 classes are skipped by the unreachable/dangling checks — their handlers
 may be referenced by (or inherited from) a base defined in another
 module, which a single-file AST pass cannot resolve.  The
-``ReferenceTokenizer`` per-character twin is the one such class today;
-its lock-step with the fast path is enforced instead by the tier-1
-equivalence test (``REFERENCE_OVERRIDES == set(CHUNK_BREAK_SETS)``) and
-the ``fastpath`` fuzz oracle.
+``ReferenceTokenizer`` per-character twin and ``BytesTokenizer`` are the
+such classes today; their lock-step with the fast path is enforced here
+structurally and at runtime by the tier-1 equivalence test
+(``REFERENCE_OVERRIDES == set(CHUNK_BREAK_SETS)``) plus the
+``fastpath`` / ``bytes_parity`` fuzz oracles.  Break-character coverage
+is lexical: an integer constant below 128 in a handler body counts as
+handling ``chr(value)`` even when it is used for something else.
 """
 from __future__ import annotations
 
@@ -75,6 +104,45 @@ MIN_HANDLERS = 3
 BREAK_SETS_NAME = "CHUNK_BREAK_SETS"
 SCANNER_NAME = "_scanner"
 
+#: the bytes-domain twin factory and the combined data-state pattern
+BYTES_SCANNER_NAME = "_bytes_scanner"
+MASTER_NAME = "_MASTER"
+
+#: regex escape spellings the master-class parser understands
+_CLASS_ESCAPES = {
+    "t": "\t", "n": "\n", "r": "\r", "f": "\f", "v": "\v", "0": "\0",
+    "\\": "\\", "]": "]", "^": "^", "-": "-", "&": "&", "<": "<",
+}
+
+
+def _parse_class_chars(content: str) -> set[str] | None:
+    """The character set of a regex class body (no ranges), else None."""
+    chars: set[str] = set()
+    index = 0
+    while index < len(content):
+        char = content[index]
+        if char == "\\":
+            index += 1
+            if index >= len(content):
+                return None
+            escape = content[index]
+            if escape == "x":
+                if index + 2 >= len(content):
+                    return None
+                chars.add(chr(int(content[index + 1:index + 3], 16)))
+                index += 3
+                continue
+            if escape not in _CLASS_ESCAPES:
+                return None
+            chars.add(_CLASS_ESCAPES[escape])
+            index += 1
+            continue
+        if char == "-" and 0 < index < len(content) - 1:
+            return None  # a range: out of this parser's contract
+        chars.add(char)
+        index += 1
+    return chars
+
 
 def _matching(pattern: re.Pattern[str], names: set[str]) -> set[str]:
     return {name for name in names if pattern.match(name)}
@@ -92,8 +160,19 @@ class StateMachinePass(LintPass):
         "tokenizer/tree-builder handler tables have no unreachable "
         "states, no dangling transitions, cover every declared content "
         "model, and chunked fast-path states handle every declared "
-        "break character"
+        "break character; bytes-domain run patterns derive from the same "
+        "CHUNK_BREAK_SETS declaration and the reference/bytes override "
+        "sets stay in lock-step with it"
     )
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: the one module declaring CHUNK_BREAK_SETS: (file, sets, node)
+        self._truth: tuple[SourceFile, dict[str, str], ast.Dict] | None = None
+        #: modules compiling bytes run patterns, keyed by file.rel
+        self._bytes_modules: list[dict] = []
+        #: Tokenizer subclasses that re-chunk states (reference + bytes)
+        self._twin_classes: list[dict] = []
 
     def select(self, file: SourceFile) -> bool:
         return "html" in file.parts[:-1]
@@ -101,9 +180,11 @@ class StateMachinePass(LintPass):
     # ----------------------------------------------------------- module level
 
     def visit_Module(self, file: SourceFile, node: ast.Module) -> None:
+        self._collect_bytes_module(file, node)
         break_sets, dict_node = self._break_set_declaration(node)
         if break_sets is None or dict_node is None:
             return
+        self._truth = (file, break_sets, dict_node)
 
         handlers = {
             statement.name
@@ -154,6 +235,211 @@ class StateMachinePass(LintPass):
                 fix_hint="compile a run pattern from it or drop the entry",
             )
 
+    # ------------------------------------------------------ bytes-domain twin
+
+    @staticmethod
+    def _imports_break_sets(tree: ast.Module) -> bool:
+        return any(
+            isinstance(statement, ast.ImportFrom)
+            and any(alias.name == BREAK_SETS_NAME for alias in statement.names)
+            for statement in tree.body
+        )
+
+    def _collect_bytes_module(self, file: SourceFile, node: ast.Module) -> None:
+        """Record a module compiling bytes run patterns for :meth:`finish`."""
+        calls = [
+            sub
+            for sub in ast.walk(node)
+            if isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Name)
+            and sub.func.id == BYTES_SCANNER_NAME
+        ]
+        if not calls:
+            return
+        compiled: dict[str, ast.Call] = {}
+        for call in calls:
+            state = literal_str(call.args[0]) if call.args else None
+            if state is None:
+                self.report(
+                    file, call,
+                    f"{BYTES_SCANNER_NAME}(...) must be called with a "
+                    f"literal {BREAK_SETS_NAME} key",
+                    fix_hint="pass the state name as a string literal",
+                )
+                continue
+            compiled[state] = call
+        factory = next(
+            (
+                statement
+                for statement in node.body
+                if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and statement.name == BYTES_SCANNER_NAME
+            ),
+            None,
+        )
+        if factory is not None and not any(
+            isinstance(sub, ast.Name) and sub.id == BREAK_SETS_NAME
+            for sub in ast.walk(factory)
+        ):
+            self.report(
+                file, factory,
+                f"{BYTES_SCANNER_NAME} does not derive its patterns from "
+                f"{BREAK_SETS_NAME} (a second source of truth for break sets)",
+                fix_hint=f"compile the pattern from {BREAK_SETS_NAME}[state]",
+            )
+        master_chars, master_node = self._master_class_chars(node)
+        self._bytes_modules.append({
+            "file": file,
+            "tree": node,
+            "compiled": compiled,
+            "run_names": self._run_pattern_names(node, BYTES_SCANNER_NAME),
+            "master_chars": master_chars,
+            "master_node": master_node,
+        })
+
+    @staticmethod
+    def _master_class_chars(
+        tree: ast.Module,
+    ) -> tuple[set[str] | None, ast.AST | None]:
+        """The character set of ``_MASTER``'s leading ``([^...]*+)`` text-run
+        class, parsed from its bytes-literal pattern (None when the module
+        has no such constant or the prefix has another shape)."""
+        for statement in tree.body:
+            if not isinstance(statement, ast.Assign):
+                continue
+            if not any(
+                isinstance(target, ast.Name) and target.id == MASTER_NAME
+                for target in statement.targets
+            ):
+                continue
+            value = statement.value
+            if not (
+                isinstance(value, ast.Call)
+                and value.args
+                and isinstance(value.args[0], ast.Constant)
+                and isinstance(value.args[0].value, bytes)
+            ):
+                return None, statement
+            pattern = value.args[0].value.decode("latin-1")
+            if not pattern.startswith("([^"):
+                return None, statement
+            index = 3
+            while index < len(pattern) and pattern[index] != "]":
+                index += 2 if pattern[index] == "\\" else 1
+            if index >= len(pattern):
+                return None, statement
+            return _parse_class_chars(pattern[3:index]), statement
+        return None, None
+
+    def finish(self) -> None:
+        if self._truth is None:
+            return
+        _truth_file, break_sets, _dict_node = self._truth
+        declared = set(break_sets)
+
+        for module in self._bytes_modules:
+            file = module["file"]
+            compiled: dict[str, ast.Call] = module["compiled"]
+            for state, call in sorted(compiled.items()):
+                if state not in declared:
+                    self.report(
+                        file, call,
+                        f"{BYTES_SCANNER_NAME}({state!r}) compiles a run "
+                        f"pattern for a state with no {BREAK_SETS_NAME} entry",
+                        fix_hint=f"declare the state in {BREAK_SETS_NAME}",
+                    )
+            master_chars = module["master_chars"]
+            master_node = module["master_node"]
+            master_covered = {
+                state
+                for state in declared
+                if master_chars is not None
+                and master_chars == set(break_sets[state])
+            }
+            for state in sorted(declared - set(compiled) - master_covered):
+                self.report(
+                    file, master_node or module["tree"],
+                    f"declared chunked state {state} has no bytes run "
+                    f"pattern: neither compiled by {BYTES_SCANNER_NAME} nor "
+                    f"folded into {MASTER_NAME}'s text-run class",
+                    fix_hint=f"compile it with {BYTES_SCANNER_NAME} or "
+                    f"match {MASTER_NAME}'s class to its break set",
+                )
+            module_strings = self._module_string_constants(module["tree"])
+            run_names: dict[str, str] = module["run_names"]
+            for twin in self._twin_classes:
+                if twin["file"] is not file:
+                    continue
+                methods = twin["methods"]
+                class_name = twin["node"].name
+                for state in sorted(declared):
+                    handler = methods.get(state)
+                    if handler is None:
+                        continue  # the lock-step check reports the absence
+                    reachable = self._reachable_strings(
+                        handler, methods, module_strings
+                    )
+                    run_name = run_names.get(state)
+                    if run_name is not None:
+                        # a state with its own compiled pattern must use it,
+                        # even when its break set coincides with the master
+                        # class (e.g. rcdata shares the data-state set)
+                        if run_name not in reachable.names:
+                            self.report(
+                                file, handler,
+                                f"bytes chunked state {class_name}.{state} "
+                                f"never references its run pattern "
+                                f"{run_name} (scans with the wrong pattern "
+                                "or not at all)",
+                                fix_hint=f"scan with {run_name} or "
+                                "undeclare the state",
+                            )
+                    elif state in master_covered:
+                        if MASTER_NAME not in reachable.names:
+                            self.report(
+                                file, handler,
+                                f"bytes chunked state {class_name}.{state} "
+                                f"never references {MASTER_NAME} (scans with "
+                                "the wrong pattern or not at all)",
+                                fix_hint=f"scan with {MASTER_NAME} or compile "
+                                f"a {BYTES_SCANNER_NAME} pattern for it",
+                            )
+                    handled = "".join(reachable.strings)
+                    for char in break_sets[state]:
+                        if char not in handled:
+                            self.report(
+                                file, handler,
+                                f"bytes chunked state {class_name}.{state} "
+                                f"declares break character {_printable(char)} "
+                                "but no reachable branch handles it "
+                                "(silently dropped delimiter)",
+                                fix_hint="add the per-character branch or "
+                                f"narrow the {BREAK_SETS_NAME} entry",
+                            )
+
+        # override lock-step: the static twin of the tier-1 assertion
+        # BYTES_OVERRIDES == REFERENCE_OVERRIDES == set(CHUNK_BREAK_SETS)
+        for twin in self._twin_classes:
+            class_name = twin["node"].name
+            states: set[str] = twin["states"]
+            for name in sorted(declared - states):
+                self.report(
+                    twin["file"], twin["node"],
+                    f"{class_name} does not re-implement declared chunked "
+                    f"state {name} (it silently falls back to the inherited "
+                    "per-character loop)",
+                    fix_hint="define the handler or narrow "
+                    f"{BREAK_SETS_NAME}",
+                )
+            for name in sorted(states - declared):
+                self.report(
+                    twin["file"], twin["methods"][name],
+                    f"{class_name}.{name} re-chunks a state with no "
+                    f"{BREAK_SETS_NAME} entry (unverified override)",
+                    fix_hint=f"declare the state in {BREAK_SETS_NAME} or "
+                    "drop the override",
+                )
+
     @staticmethod
     def _break_set_declaration(
         tree: ast.Module,
@@ -197,6 +483,18 @@ class StateMachinePass(LintPass):
             not (isinstance(base, ast.Name) and base.id == "object")
             for base in node.bases
         )
+        if has_base and self._imports_break_sets(file.tree):
+            # a Tokenizer subclass re-chunking states in a module that
+            # imports the break-set declaration: the reference and bytes
+            # twins, held in lock-step with the declaration by finish()
+            states = _matching(HANDLER_PATTERNS[0], set(methods))
+            if len(states) >= MIN_HANDLERS:
+                self._twin_classes.append({
+                    "file": file,
+                    "node": node,
+                    "methods": methods,
+                    "states": states,
+                })
         self_refs: dict[str, ast.Attribute] = {}
         stored: set[str] = set()
         for sub in ast.walk(node):
@@ -308,8 +606,21 @@ class StateMachinePass(LintPass):
                     bodies.append(helper)
         for body in bodies:
             for sub in ast.walk(body):
-                if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
-                    reachable.strings.append(sub.value)
+                if isinstance(sub, ast.Constant):
+                    value = sub.value
+                    if isinstance(value, str):
+                        reachable.strings.append(value)
+                    elif isinstance(value, bytes):
+                        # bytes handlers spell delimiters as byte literals
+                        reachable.strings.append(value.decode("latin-1"))
+                    elif (
+                        isinstance(value, int)
+                        and not isinstance(value, bool)
+                        and 0 <= value < 128
+                    ):
+                        # ... or as small ints (``byte == 0x3C``); lexical,
+                        # so any sub-128 int counts (documented limitation)
+                        reachable.strings.append(chr(value))
                 elif isinstance(sub, ast.Name):
                     reachable.names.add(sub.id)
                     constant = module_strings.get(sub.id)
@@ -318,7 +629,9 @@ class StateMachinePass(LintPass):
         return reachable
 
     @staticmethod
-    def _run_pattern_names(tree: ast.Module) -> dict[str, str]:
+    def _run_pattern_names(
+        tree: ast.Module, scanner_name: str = SCANNER_NAME
+    ) -> dict[str, str]:
         """Map declared state -> module constant holding its run pattern
         (``_RUN_DATA = _scanner("_data_state")`` -> ``{"_data_state":
         "_RUN_DATA"}``)."""
@@ -330,7 +643,7 @@ class StateMachinePass(LintPass):
             if not (
                 isinstance(value, ast.Call)
                 and isinstance(value.func, ast.Name)
-                and value.func.id == SCANNER_NAME
+                and value.func.id == scanner_name
                 and value.args
             ):
                 continue
@@ -349,6 +662,10 @@ class StateMachinePass(LintPass):
             if not isinstance(statement, ast.Assign):
                 continue
             value = literal_str(statement.value)
+            if value is None and isinstance(statement.value, ast.Constant):
+                raw = statement.value.value
+                if isinstance(raw, bytes):  # bytes twins of _WHITESPACE etc.
+                    value = raw.decode("latin-1")
             if value is None:
                 continue
             for target in statement.targets:

@@ -1,14 +1,20 @@
-"""Tier-1 equivalence: chunked fast path vs per-character reference scanner.
+"""Tier-1 equivalence: bytes scanner vs chunked fast path vs reference.
 
 The tokenizer's hot states bulk-scan to the next delimiter
 (``CHUNK_BREAK_SETS`` in :mod:`repro.html.tokenizer`);
 :class:`repro.html.reference_tokenizer.ReferenceTokenizer` retains the
-spec-literal one-character-at-a-time loops for exactly those states.  These
-tests replay every regression-corpus entry and every synthetic Common Crawl
-template page (clean and violation-injected) through both scanners and
-assert the **identical token stream and identical parse-error sequence** —
-the errors are the study's violation signal, so any divergence here is a
-measurement bug.
+spec-literal one-character-at-a-time loops for exactly those states; and
+:class:`repro.html.bytes_tokenizer.BytesTokenizer` runs the same state
+machine decode-free over raw UTF-8 bytes with lazy text materialization.
+These tests replay every regression-corpus entry and every synthetic
+Common Crawl template page (clean and violation-injected) through all
+three scanners and assert the **identical token stream and identical
+parse-error sequence** — the errors are the study's violation signal, so
+any divergence here is a measurement bug.
+
+The bytes path is compared against the str path over
+``preprocess(text).text``, because the bytes tokenizer folds the input
+preprocessor (BOM strip, CR/CRLF → LF) into its scan.
 """
 from __future__ import annotations
 
@@ -18,7 +24,8 @@ from pathlib import Path
 
 from repro.commoncrawl.templates import INJECTORS, build_page
 from repro.fuzz import load_corpus
-from repro.html import decode_bytes
+from repro.html import decode_bytes, preprocess
+from repro.html.bytes_tokenizer import BYTES_OVERRIDES, BytesTokenizer
 from repro.html.reference_tokenizer import (
     CHUNK_BREAK_SETS,
     REFERENCE_OVERRIDES,
@@ -35,6 +42,7 @@ def fast_tokenize(text: str) -> tuple[list, list]:
 
 
 def assert_equivalent(test: unittest.TestCase, text: str, source: str) -> None:
+    """Three-way: str fast path vs reference, and bytes vs str."""
     fast_tokens, fast_errors = fast_tokenize(text)
     ref_tokens, ref_errors = reference_tokenize(text)
     test.assertEqual(
@@ -43,16 +51,51 @@ def assert_equivalent(test: unittest.TestCase, text: str, source: str) -> None:
     test.assertEqual(
         fast_errors, ref_errors, f"parse-error sequence diverged on {source}"
     )
+    assert_bytes_equivalent(test, text.encode("utf-8"), source)
+
+
+def assert_bytes_equivalent(
+    test: unittest.TestCase, data: bytes, source: str
+) -> None:
+    """The bytes scanner matches decode + preprocess + str tokenization.
+
+    Token equality goes through ``Token.__eq__``, which materializes lazy
+    character data and lazy attributes — so this also proves the lazy
+    representations decode to the right text at the right offsets.
+    """
+    text = decode_bytes(data)
+    test.assertIsNotNone(text, f"expected UTF-8 input for {source}")
+    clean = preprocess(text).text
+    str_tokenizer = Tokenizer(clean)
+    str_tokens = list(str_tokenizer)
+    bytes_tokenizer = BytesTokenizer(data)
+    bytes_tokens = list(bytes_tokenizer)
+    test.assertEqual(
+        bytes_tokens, str_tokens, f"bytes token stream diverged on {source}"
+    )
+    test.assertEqual(
+        bytes_tokenizer.errors,
+        str_tokenizer.errors,
+        f"bytes parse-error sequence diverged on {source}",
+    )
 
 
 class TestScannerLockstep(unittest.TestCase):
-    """The two scanners must stay structurally in sync."""
+    """The three scanners must stay structurally in sync."""
 
     def test_every_chunked_state_has_a_reference_twin(self):
         # A newly chunked state cannot ship without its per-character twin,
         # and a stale override (for a state no longer chunked) is equally
         # a bug: it would silently stop being compared.
         self.assertEqual(REFERENCE_OVERRIDES, frozenset(CHUNK_BREAK_SETS))
+
+    def test_every_chunked_state_has_a_bytes_twin(self):
+        # The bytes tokenizer must re-chunk exactly the states the str
+        # fast path chunks: a missing override silently falls back to the
+        # inherited per-character loop (a perf bug), an extra one chunks a
+        # state with no reference twin (an unverified state).
+        self.assertEqual(BYTES_OVERRIDES, frozenset(CHUNK_BREAK_SETS))
+        self.assertEqual(BYTES_OVERRIDES, REFERENCE_OVERRIDES)
 
 
 class TestCorpusEquivalence(unittest.TestCase):
@@ -67,6 +110,9 @@ class TestCorpusEquivalence(unittest.TestCase):
             if text is None:
                 continue  # non-UTF-8 inputs are outside the study's scope
             assert_equivalent(self, text, entry.source)
+            # also replay the *original* bytes (BOM/CR intact) so the
+            # folded-in preprocessing is exercised on real regressions
+            assert_bytes_equivalent(self, entry.data, entry.source)
             checked += 1
         self.assertGreater(checked, 0)
 
@@ -118,6 +164,81 @@ class TestTemplateEquivalence(unittest.TestCase):
         ]
         for case in cases:
             assert_equivalent(self, case, repr(case))
+
+
+class TestBytesDomainEquivalence(unittest.TestCase):
+    """Inputs that only exist below the decode layer: multi-byte UTF-8
+    boundaries, BOM/CRLF byte forms, and undecodable tails."""
+
+    def test_non_ascii_text(self):
+        # 2/3/4-byte sequences and combining marks across every content
+        # model the bytes scanner chunks: these force the lazy byte-span
+        # representation to fall back to eager decode mid-run, and check
+        # the code-point (not byte) offset accounting
+        cases = [
+            "漢字テスト<p>段落 🎉 emoji</p>",
+            "<p title='さくら'>日本語の文章と🧪絵文字</p>",
+            "combining: áê <b>ликвидация</b> α β γ",
+            "<таблица атрибут='значение'>non-ASCII tag</таблица>",
+            "<script>var s = '漢字' + \"🎉\";</script>",
+            "<title>日本語 &amp; 漢字</title>",
+            "<plaintext>終わらない 🎉\x00 text",
+            "<!-- コメント 🎉 --><!doctype html 日本語>",
+            "<textarea>многострочный\r\nтекст</textarea>",
+            "&#x6f22;&#x5b57;&amp;漢&notin;字&#127881;",
+            "dense &amp;&lt;&gt;&quot;&AMP&#x41;&#1114112;&unknown;&notit; run",
+        ]
+        for case in cases:
+            assert_equivalent(self, case, repr(case))
+
+    def test_bom_and_crlf_byte_forms(self):
+        # BOM stripping and newline normalization are folded into the
+        # bytes scan; the str path does them in decode_bytes/preprocess
+        cases = [
+            b"\xef\xbb\xbf<!doctype html><p>bom page</p>",
+            b"\xef\xbb\xbf\r\n<html>\r\nbom + crlf\r</html>\r\n",
+            b"line one\r\nline two\rline three\r\r\nline four",
+            b"<pre>\r\n\r\n\r</pre>\r",
+            b"<a href='x\ry'>\r\nCR in attribute value</a>",
+            b"\xef\xbb\xbf\xef\xbb\xbfdouble bom: second survives",
+            b"\r",
+            b"\xef\xbb\xbf",
+        ]
+        for case in cases:
+            assert_bytes_equivalent(self, case, repr(case))
+
+    def test_nul_and_stray_bytes(self):
+        cases = [
+            b"data \x00 nul<p\x00>in tag</p>",
+            b"<a b='\x00'>nul in attribute</a>",
+            b"<script>\x00</script><plaintext>\x00",
+            b"stray CR tail\r",
+            b"\x00",
+        ]
+        for case in cases:
+            assert_bytes_equivalent(self, case, repr(case))
+
+    def test_invalid_utf8_raises(self):
+        # the section 4.1 encoding filter: an undecodable page must
+        # surface as UnicodeDecodeError from the scan, never as garbage
+        # tokens — including truncated multi-byte sequences at EOF, where
+        # the str path never even gets a string to compare against
+        cases = [
+            b"truncated two-byte tail \xc3",
+            b"truncated three-byte tail \xe6\xbc",
+            b"truncated four-byte tail \xf0\x9f\x8e",
+            b"lone continuation \x80 byte",
+            b"overlong \xc0\xaf encoding",
+            b"surrogate half \xed\xa0\x80",
+            b"<p title='\xffin attribute'>",
+            b"<script>\xfe</script>",
+            b"\xef\xbb\xbf\xc3",  # BOM then truncated tail
+        ]
+        for case in cases:
+            self.assertIsNone(decode_bytes(case), repr(case))
+            with self.assertRaises(UnicodeDecodeError, msg=repr(case)):
+                for _ in BytesTokenizer(case):
+                    pass
 
 
 if __name__ == "__main__":

@@ -504,6 +504,161 @@ class TestStateMachineBreakSets:
         assert "_ghost_state" in ghost[0]
 
 
+BYTES_TRUTH = r'''
+    CHUNK_BREAK_SETS = {"_a_state": "<&\x00", "_b_state": "<", "_c_state": "&"}
+
+    def _scanner(state):
+        return CHUNK_BREAK_SETS[state]
+
+    _RUN_A = _scanner("_a_state")
+    _RUN_B = _scanner("_b_state")
+    _RUN_C = _scanner("_c_state")
+
+    class Machine:
+        def __init__(self):
+            self._state = self._a_state
+
+        def _a_state(self):
+            run = _RUN_A
+            if "<" == "&":
+                return "\x00"
+            self._state = self._b_state
+
+        def _b_state(self):
+            run = _RUN_B
+            if "<":
+                self._state = self._c_state
+
+        def _c_state(self):
+            run = _RUN_C
+            if "&":
+                self._state = self._a_state
+'''
+
+BYTES_TWIN = r'''
+    import re
+
+    from .machine import CHUNK_BREAK_SETS, Machine
+
+    def _bytes_scanner(state):
+        return re.compile(
+            b"[^" + re.escape(CHUNK_BREAK_SETS[state].encode("ascii")) + b"]+"
+        )
+
+    _RUN_B_B = _bytes_scanner("_b_state")
+    _RUN_C_B = _bytes_scanner("_c_state")
+
+    _MASTER = re.compile(rb"([^<&\x00]*+)(?:<([a-z]+)>)?")
+
+    class BytesMachine(Machine):
+        def _a_state(self):
+            scan = _MASTER
+            byte = 0x3C
+            if byte == 0x26:
+                return None
+            return "\x00"
+
+        def _b_state(self):
+            match = _RUN_B_B.match(b"")
+            if b"<":
+                return None
+
+        def _c_state(self):
+            match = _RUN_C_B.match(b"")
+            if "&" == "&":
+                return None
+'''
+
+
+class TestStateMachineBytesDomain:
+    """The cross-file bytes-twin family: derivation from the one break-set
+    declaration, master-class folding, and override lock-step."""
+
+    def make_machines(self, make_tree, *, twin=BYTES_TWIN):
+        return make_tree({
+            "html/machine.py": BYTES_TRUTH,
+            "html/bytes_machine.py": twin,
+        })
+
+    def test_clean_bytes_twin(self, make_tree):
+        # _a folds into _MASTER (break chars spelled as ints and a str
+        # literal), _b/_c use their compiled patterns (bytes/str literals)
+        root = self.make_machines(make_tree)
+        result = run_lint(root, [StateMachinePass()])
+        assert result.findings == ()
+
+    def test_master_class_drift_flagged(self, make_tree):
+        # narrowing _MASTER's text class below the declared break set
+        # leaves _a_state with no bytes scan source at all
+        twin = BYTES_TWIN.replace(r"([^<&\x00]*+)", "([^<&]*+)")
+        root = self.make_machines(make_tree, twin=twin)
+        result = run_lint(root, [StateMachinePass()])
+        missing = [m for m in messages(result) if "no bytes run pattern" in m]
+        assert len(missing) == 1
+        assert "_a_state" in missing[0]
+
+    def test_override_lockstep_both_directions(self, make_tree):
+        twin = BYTES_TWIN.replace("def _c_state", "def _d_state")
+        root = self.make_machines(make_tree, twin=twin)
+        result = run_lint(root, [StateMachinePass()])
+        dropped = [m for m in messages(result) if "does not re-implement" in m]
+        extra = [m for m in messages(result) if "re-chunks a state" in m]
+        assert len(dropped) == 1 and "_c_state" in dropped[0]
+        assert len(extra) == 1 and "_d_state" in extra[0]
+
+    def test_factory_must_derive_from_declaration(self, make_tree):
+        twin = BYTES_TWIN.replace(
+            'b"[^" + re.escape(CHUNK_BREAK_SETS[state].encode("ascii")) + b"]+"',
+            'b"[^<]+"',
+        )
+        root = self.make_machines(make_tree, twin=twin)
+        result = run_lint(root, [StateMachinePass()])
+        derive = [m for m in messages(result) if "does not derive" in m]
+        assert len(derive) == 1
+
+    def test_non_literal_scanner_key_flagged(self, make_tree):
+        twin = BYTES_TWIN + '    _RUN_X = _bytes_scanner(object)\n'
+        root = self.make_machines(make_tree, twin=twin)
+        result = run_lint(root, [StateMachinePass()])
+        literal = [m for m in messages(result) if "literal" in m]
+        assert len(literal) == 1
+
+    def test_undeclared_bytes_scanner_flagged(self, make_tree):
+        twin = BYTES_TWIN + '    _RUN_Z_B = _bytes_scanner("_z_state")\n'
+        root = self.make_machines(make_tree, twin=twin)
+        result = run_lint(root, [StateMachinePass()])
+        undeclared = [
+            m for m in messages(result) if "no CHUNK_BREAK_SETS entry" in m
+        ]
+        assert len(undeclared) == 1
+        assert "_z_state" in undeclared[0]
+
+    def test_dropped_break_byte_flagged(self, make_tree):
+        twin = BYTES_TWIN.replace('if b"<":', "if None:")
+        root = self.make_machines(make_tree, twin=twin)
+        result = run_lint(root, [StateMachinePass()])
+        dropped = [m for m in messages(result) if "silently dropped" in m]
+        assert len(dropped) == 1
+        assert "BytesMachine._b_state" in dropped[0]
+        assert "'<'" in dropped[0]
+
+    def test_wrong_run_pattern_flagged(self, make_tree):
+        twin = BYTES_TWIN.replace("match = _RUN_B_B.match", "match = _RUN_C_B.match")
+        root = self.make_machines(make_tree, twin=twin)
+        result = run_lint(root, [StateMachinePass()])
+        wrong = [m for m in messages(result) if "never references its run" in m]
+        assert len(wrong) == 1
+        assert "_RUN_B_B" in wrong[0]
+
+    def test_handler_must_use_master(self, make_tree):
+        twin = BYTES_TWIN.replace("scan = _MASTER\n", "\n")
+        root = self.make_machines(make_tree, twin=twin)
+        result = run_lint(root, [StateMachinePass()])
+        wrong = [m for m in messages(result) if "never references _MASTER" in m]
+        assert len(wrong) == 1
+        assert "_a_state" in wrong[0]
+
+
 class TestRegexSafety:
     def test_nested_quantifier_flagged(self, make_tree):
         root = make_tree({
