@@ -289,8 +289,9 @@ def _store_domain(storage, snapshot_row_id, domain_row_id, page_rows, findings,
                   *, batched: bool) -> None:
     """The parent's per-domain ingest; bulk executemany when available.
 
-    ``page_rows`` are ``(url, utf8, checked, declared_encoding)`` tuples in
-    page order; ``findings`` maps page index -> counts dict.
+    ``page_rows`` are ``(url, utf8, checked, declared_encoding,
+    carried_from)`` tuples in page order; ``findings`` maps page index ->
+    counts dict.
     """
     if batched and hasattr(storage, "add_pages"):
         page_ids = storage.add_pages(
@@ -303,7 +304,7 @@ def _store_domain(storage, snapshot_row_id, domain_row_id, page_rows, findings,
         ]
         storage.add_findings_rows(rows)
     else:
-        for index, (url, utf8, checked, declared) in enumerate(page_rows):
+        for index, (url, utf8, checked, declared, _carried) in enumerate(page_rows):
             page_id = storage.add_page(
                 snapshot_row_id, domain_row_id, url,
                 utf8=utf8, checked=checked, declared_encoding=declared,
@@ -475,7 +476,7 @@ def run_staged_pipeline(root: Path, domains, *, legacy: bool) -> tuple[dict, int
                 if metadata.found:
                     page_rows = [
                         (page.url, result.utf8, result.report is not None,
-                         result.declared_encoding)
+                         result.declared_encoding, "")
                         for page, result in zip(pages, checked)
                     ]
                     findings = {
@@ -633,6 +634,43 @@ def run_pipeline_bench(*, legacy: bool, rounds: int) -> dict:
     }
 
 
+def run_multisnapshot_bench(*, incremental: bool, rounds: int) -> dict | None:
+    """The yearly-study axis: full re-check vs dedup carry-forward.
+
+    Uses :func:`repro.bench.run_incremental_case` (which measures *both*
+    paths on one overlap corpus and asserts aggregate parity); the
+    requested mode decides which side becomes this case's headline
+    ``best_seconds``.  Returns ``None`` on checkouts that predate the
+    incremental engine so a "before" snapshot can still be captured
+    there.
+    """
+    try:
+        from repro.bench import BenchConfig, run_incremental_case
+        from repro import incremental as _incremental  # noqa: F401
+    except ImportError:
+        return None
+    case = run_incremental_case(BenchConfig(repeat=max(1, rounds)))
+    mode = "incremental" if incremental else "full"
+    seconds = case[f"{mode}_seconds"]
+    return {
+        "pipeline_multisnapshot": {
+            "kind": "pipeline",
+            "mode": mode,
+            "pages": case["pages"],
+            "snapshots": case["snapshots"],
+            "domains": case["domains"],
+            "overlap_fraction": case["overlap_fraction"],
+            "best_seconds": seconds,
+            "pages_per_second": case["pages"] / seconds if seconds else 0.0,
+            "full_seconds": case["full_seconds"],
+            "incremental_seconds": case["incremental_seconds"],
+            "speedup": case["speedup"],
+            "aggregate_parity": case["aggregate_parity"],
+            "dedup": case["dedup"],
+        }
+    }
+
+
 def render_storage_snapshot(snapshot: dict) -> str:
     write = snapshot["cases"]["storage_write"]
     durable = snapshot["cases"]["storage_write_durable"]
@@ -670,7 +708,8 @@ def render_pipeline_cases(snapshot: dict) -> str:
     mode = "legacy" if snapshot["config"].get("legacy") else "reworked"
     lines.append(f"pipeline [{mode}]")
     for name in (
-        "pipeline_stages", "pipeline_sequential", "pipeline_parallel_w2"
+        "pipeline_stages", "pipeline_sequential", "pipeline_parallel_w2",
+        "pipeline_multisnapshot",
     ):
         if name not in cases:
             continue
@@ -684,6 +723,14 @@ def render_pipeline_cases(snapshot: dict) -> str:
             line += " — " + ", ".join(
                 f"{stage} {seconds * 1e3:.1f}ms"
                 for stage, seconds in case["stages"].items()
+            )
+        if "speedup" in case:
+            line += (
+                f" — [{case['mode']}] {case['snapshots']} snapshots @ "
+                f"{case['overlap_fraction']:.0%} overlap, full "
+                f"{case['full_seconds'] * 1e3:.0f}ms vs incremental "
+                f"{case['incremental_seconds'] * 1e3:.0f}ms "
+                f"({case['speedup']:.2f}x, parity={case['aggregate_parity']})"
             )
         lines.append(line)
     return "\n".join(lines)
@@ -709,6 +756,12 @@ def main(argv: list[str] | None = None) -> int:
                         "cases (default 3)")
     parser.add_argument("--label", default="",
                         help="provenance label stored in the snapshot")
+    parser.add_argument("--study-mode", choices=("full", "incremental"),
+                        default="incremental",
+                        help="which side of the multi-snapshot study pair "
+                        "this snapshot's headline number records: 'full' "
+                        "re-checks every snapshot (the pre-dedup engine), "
+                        "'incremental' carries unchanged pages forward")
     args = parser.parse_args(argv)
     snapshot = run_storage_bench(
         tuned=not args.untuned, rounds=args.rounds, label=args.label
@@ -718,6 +771,13 @@ def main(argv: list[str] | None = None) -> int:
     snapshot["cases"].update(
         run_pipeline_bench(legacy=args.legacy, rounds=args.pipeline_rounds)
     )
+    multisnapshot = run_multisnapshot_bench(
+        incremental=args.study_mode == "incremental",
+        rounds=args.pipeline_rounds,
+    )
+    if multisnapshot is not None:
+        snapshot["cases"].update(multisnapshot)
+        snapshot["config"]["study_mode"] = args.study_mode
     snapshot["config"]["legacy"] = args.legacy
     snapshot["config"]["cdx_backend"] = backend
     snapshot["config"]["cdx_lines"] = CDX_DOMAINS * CDX_PAGES_PER_DOMAIN

@@ -43,6 +43,9 @@ python -m pytest -x -q tests/html/test_tokenizer_equivalence.py \
 echo "==> serve smoke (ephemeral port, full surface, graceful drain)"
 python scripts/serve_smoke.py
 
+echo "==> incremental replay smoke (two-snapshot study -> manifest -> replay)"
+python scripts/replay_smoke.py
+
 echo "==> bench smoke (one quick iteration + JSON snapshot)"
 BENCH_SMOKE_OUT="${TMPDIR:-/tmp}/BENCH_ci_smoke.json"
 python -c 'import sys; from repro.cli import main; sys.exit(main(sys.argv[1:]))' \
@@ -52,6 +55,10 @@ assert s['schema'] == 'repro-bench/1' and s['cases'], 'bad bench snapshot'; \
 p = s['pipeline']; \
 assert set(p['stages']) == {'index', 'fetch', 'check', 'store'}, p; \
 assert p['pages'] > 0 and p['best_seconds'] > 0, 'empty pipeline case'; \
+d = p['dedup']; \
+assert d['aggregate_parity'], 'dedup ingest diverged from the full pipeline'; \
+assert d['dedup']['carried'] > 0, 'no carries in the incremental bench case'; \
+assert d['dedup']['pages'] == d['dedup']['carried'] + d['dedup']['misses'], d; \
 bcases = {n: c for n, c in s['cases'].items() if c['kind'] == 'tokenize_bytes'}; \
 assert bcases, 'no bytes-domain tokenizer cases in snapshot'; \
 assert all(0.0 <= c['bytes_decoded_ratio'] <= 1.0 for c in bcases.values()), \

@@ -161,6 +161,8 @@ class BenchConfig:
     rules: bool = True
     pipeline: bool = True
     label: str = ""
+    #: shrink the multi-snapshot incremental case for CI smoke runs
+    quick: bool = False
 
 
 # ------------------------------------------------- miniature pipeline case
@@ -284,6 +286,85 @@ def run_pipeline_case(config: BenchConfig) -> dict:
     }
 
 
+# ----------------------------------- incremental dedup pipeline case
+
+#: multi-snapshot corpus for the dedup-ingest case: enough yearly
+#: snapshots that carry-forward dominates, a controlled fraction of
+#: byte-identical pages per domain-year (the knob EXPERIMENTS.md sweeps)
+INCREMENTAL_BENCH_DOMAINS = 8
+INCREMENTAL_BENCH_MAX_PAGES = 20
+INCREMENTAL_BENCH_OVERLAP = 0.9
+INCREMENTAL_BENCH_SEED = 11
+
+
+def run_incremental_case(config: BenchConfig) -> dict:
+    """Full path vs dedup ingest on a multi-snapshot overlap corpus.
+
+    Both paths run through :func:`repro.incremental.execute_study_run`
+    (the timing compared is the runner's own ``total``, excluding archive
+    digesting), so the reported speedup is exactly what ``repro-study run
+    --incremental`` buys.  ``aggregate_parity`` asserts the dedup path's
+    canonical aggregate dump is byte-identical to the full path's — a
+    speedup that changed results would be a bug, not a win.
+    """
+    import tempfile
+
+    from repro.commoncrawl import ArchiveBuilder, CorpusConfig, CorpusPlanner
+    from repro.commoncrawl import calibration as cal
+    from repro.incremental import DedupConfig, execute_study_run
+
+    years = cal.YEARS[-3:] if config.quick else cal.YEARS
+    max_pages = (
+        PIPELINE_BENCH_MAX_PAGES if config.quick else INCREMENTAL_BENCH_MAX_PAGES
+    )
+    corpus = CorpusConfig(
+        num_domains=4 if config.quick else INCREMENTAL_BENCH_DOMAINS,
+        max_pages=max_pages,
+        seed=INCREMENTAL_BENCH_SEED,
+        years=years,
+        overlap_fraction=INCREMENTAL_BENCH_OVERLAP,
+    )
+    plan = CorpusPlanner(corpus).plan()
+    domains = [(name, rank) for name, rank in plan.domains]
+    best = {"full": float("inf"), "incremental": float("inf")}
+    digests: dict[str, str] = {}
+    counters: dict = {}
+    pages = 0
+    with tempfile.TemporaryDirectory() as root:
+        ArchiveBuilder(root).build(plan)
+        for _ in range(max(1, config.repeat)):
+            for mode, dedup in (("full", None), ("incremental", DedupConfig())):
+                manifest, _stats = execute_study_run(
+                    archive_root=root,
+                    db_path=":memory:",
+                    domains=domains,
+                    max_pages=max_pages,
+                    seed=INCREMENTAL_BENCH_SEED,
+                    dedup=dedup,
+                )
+                seconds = manifest["timings"]["total"]
+                if seconds < best[mode]:
+                    best[mode] = seconds
+                digests[mode] = manifest["results"]["aggregate_sha256"]
+                if mode == "full":
+                    pages = manifest["results"]["pages_checked"]
+                else:
+                    counters = manifest["dedup_counters"] or {}
+    return {
+        "domains": len(domains),
+        "snapshots": len(years),
+        "overlap_fraction": INCREMENTAL_BENCH_OVERLAP,
+        "pages": pages,
+        "full_seconds": best["full"],
+        "incremental_seconds": best["incremental"],
+        "speedup": (
+            best["full"] / best["incremental"] if best["incremental"] else 0.0
+        ),
+        "aggregate_parity": digests["full"] == digests["incremental"],
+        "dedup": counters,
+    }
+
+
 def run_benchmarks(config: BenchConfig) -> dict:
     """Run every case (and per-rule costs) and return the snapshot dict."""
     snapshot: dict = {
@@ -346,6 +427,10 @@ def run_benchmarks(config: BenchConfig) -> dict:
             snapshot["rules"][rule.id] = {"best_seconds": seconds}
     if config.pipeline:
         snapshot["pipeline"] = run_pipeline_case(config)
+        try:
+            snapshot["pipeline"]["dedup"] = run_incremental_case(config)
+        except ImportError:
+            pass  # pre-incremental checkout (before/after baseline runs)
     return snapshot
 
 
@@ -381,6 +466,19 @@ def render_snapshot(snapshot: dict) -> str:
             f"{pipeline['best_seconds'] * 1e3:.1f}ms "
             f"({pipeline['pages_per_second']:.0f} pages/s; {stage_text})"
         )
+        dedup = pipeline.get("dedup")
+        if dedup:
+            counters = dedup["dedup"]
+            lines.append(
+                f"pipeline incremental: {dedup['snapshots']} snapshots x "
+                f"{dedup['domains']} domains @ "
+                f"{dedup['overlap_fraction']:.0%} overlap: full "
+                f"{dedup['full_seconds'] * 1e3:.1f}ms -> incremental "
+                f"{dedup['incremental_seconds'] * 1e3:.1f}ms "
+                f"({dedup['speedup']:.1f}x; carried "
+                f"{counters.get('carried', 0)}/{counters.get('pages', 0)} "
+                f"pages; parity={dedup['aggregate_parity']})"
+            )
     if snapshot["rules"]:
         total = sum(r["best_seconds"] for r in snapshot["rules"].values())
         slowest = sorted(
@@ -432,6 +530,7 @@ def main(argv: list[str] | None = None) -> int:
         rules=not args.no_rules,
         pipeline=not args.no_pipeline,
         label=args.label,
+        quick=args.quick,
     )
     snapshot = run_benchmarks(config)
     print(render_snapshot(snapshot))

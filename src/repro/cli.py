@@ -3,9 +3,12 @@
 Usage::
 
     repro-study run [--domains N] [--pages N] [--seed N] [--force]
+                    [--incremental] [--near-hamming N] [--years Y,Y,...]
+                    [--overlap F]
     repro-study check FILE.html
     repro-study fix FILE.html
     repro-study report [--domains N] ...
+    repro-study replay MANIFEST.json [--workers N] [--workdir DIR]
     repro-study lint [PATH] [--format text|json] [--fail-on warning|error]
     repro-study fuzz [--seed N] [--iterations N] [--oracle NAME ...]
                      [--no-minimize] [--save DIR] [--replay DIR]
@@ -51,28 +54,65 @@ def _add_scale_args(parser: argparse.ArgumentParser) -> None:
                         help="re-run even if cached results exist")
     parser.add_argument("--workers", type=int, default=1,
                         help="process-pool size for the pipeline run")
+    parser.add_argument(
+        "--incremental", action="store_true",
+        help="route the run through the cross-snapshot dedup ingest "
+        "(repro.incremental): unchanged bodies carry findings forward",
+    )
+    parser.add_argument(
+        "--near-hamming", type=int, default=None, metavar="N",
+        help="also carry near-duplicate bodies within N simhash bits "
+        "(implies --incremental; trades bit-exactness for more skips)",
+    )
+    parser.add_argument(
+        "--years", default=None, metavar="Y,Y,...",
+        help="restrict the study to these calendar years "
+        "(default: all paper years 2015-2022)",
+    )
+    parser.add_argument(
+        "--overlap", type=float, default=0.0, metavar="F",
+        help="fraction of pages per domain that stay byte-identical "
+        "across snapshots (synthetic-corpus knob, default 0.0)",
+    )
 
 
 def _config(args: argparse.Namespace) -> StudyConfig:
+    years = None
+    if args.years:
+        years = tuple(int(part) for part in args.years.split(","))
     if args.domains is None:
         base = StudyConfig.scaled()
         return StudyConfig(
-            num_domains=base.num_domains, max_pages=args.pages, seed=args.seed
+            num_domains=base.num_domains, max_pages=args.pages,
+            seed=args.seed, years=years, overlap_fraction=args.overlap,
         )
     return StudyConfig(
-        num_domains=args.domains, max_pages=args.pages, seed=args.seed
+        num_domains=args.domains, max_pages=args.pages, seed=args.seed,
+        years=years, overlap_fraction=args.overlap,
+    )
+
+
+def _run_from_args(args: argparse.Namespace):
+    return run_study(
+        _config(args),
+        force=args.force,
+        workers=args.workers,
+        incremental=args.incremental or args.near_hamming is not None,
+        near_hamming=args.near_hamming,
     )
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    study = run_study(_config(args), force=args.force, workers=args.workers)
+    study = _run_from_args(args)
     print(f"study complete: archive={study.archive_dir} db={study.db_path}")
+    if study.manifest_path is not None and study.manifest_path.exists():
+        print(f"run manifest: {study.manifest_path}")
     print(render_table2(study.table2()))
     return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    study = run_study(_config(args), force=args.force, workers=args.workers)
+    study = _run_from_args(args)
     print(render_table2(study.table2()))
     print(render_figure8(study.figure8()))
     print(render_trend(study.figure9(), "Figure 9: Domains with >=1 violation"))
@@ -85,6 +125,32 @@ def cmd_report(args: argparse.Namespace) -> int:
     print(render_mitigations(study.mitigations()))
     print(render_element_usage(study.element_usage()))
     return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Re-execute a recorded run manifest and verify result digests.
+
+    Exit status: 0 when every compared digest matches, 1 on mismatch,
+    2 when the manifest itself is unreadable or malformed.
+    """
+    from .incremental import ManifestFormatError, replay_manifest
+
+    try:
+        report = replay_manifest(
+            args.manifest, workdir=args.workdir, workers=args.workers
+        )
+    except ManifestFormatError as exc:
+        print(f"replay: {exc}", file=sys.stderr)
+        return 2
+    for key in sorted(report.replayed):
+        print(f"replayed {key}: {report.replayed[key]}")
+    if report.ok:
+        compared = ", ".join(report.compared)
+        print(f"replay OK: {compared} digest(s) bit-identical to the manifest")
+        return 0
+    for mismatch in report.mismatches:
+        print(f"MISMATCH: {mismatch}", file=sys.stderr)
+    return 1
 
 
 def cmd_dynamic(args: argparse.Namespace) -> int:
@@ -345,6 +411,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         rules=not args.no_rules,
         pipeline=not args.no_pipeline,
         label=args.label,
+        quick=args.quick,
     )
     snapshot = run_benchmarks(config)
     print(render_snapshot(snapshot))
@@ -368,6 +435,22 @@ def main(argv: list[str] | None = None) -> int:
     report_parser = sub.add_parser("report", help="print every table/figure")
     _add_scale_args(report_parser)
     report_parser.set_defaults(func=cmd_report)
+
+    replay_parser = sub.add_parser(
+        "replay",
+        help="re-execute a repro-manifest/1 run and verify result digests",
+    )
+    replay_parser.add_argument("manifest", help="path to the manifest JSON")
+    replay_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="override the recorded worker count (bit-identity across "
+        "worker counts is part of what replay proves)",
+    )
+    replay_parser.add_argument(
+        "--workdir", default=None,
+        help="scratch directory for the replay DB (default: a tempdir)",
+    )
+    replay_parser.set_defaults(func=cmd_replay)
 
     dynamic_parser = sub.add_parser(
         "dynamic", help="run the section 5.1/5.2 side studies"

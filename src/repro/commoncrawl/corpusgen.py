@@ -246,6 +246,14 @@ class CorpusConfig:
     non_utf8_fraction: float = 0.03
     #: extra non-HTML records (exercise the MIME filter)
     non_html_fraction: float = 0.03
+    #: fraction of each domain-year's planned pages that are *stable*:
+    #: injector-free and rendered from a year-free seed, so the same slot
+    #: yields byte-identical payloads in every snapshot the domain
+    #: appears in — the unchanged web that cross-snapshot dedup carries
+    #: forward.  0.0 (the default) reproduces legacy corpora exactly;
+    #: at least one volatile page per domain-year is always kept so the
+    #: calibrated injector ground truth stays meaningful.
+    overlap_fraction: float = 0.0
 
     def scale(self) -> float:
         return self.num_domains / cal.TRANCO_DATASET_SIZE
@@ -266,6 +274,9 @@ class PageSpec:
     #: match the calibration targets
     use_svg: bool = False
     use_math: bool = False
+    #: stable slot: rendered from a year-free seed with no injectors or
+    #: foreign-root usage, byte-identical across snapshots
+    stable: bool = False
 
 
 @dataclass(slots=True)
@@ -444,12 +455,24 @@ class CorpusPlanner:
                     < cal.EXTRA_FEATURE_YEARLY["MATH_USE"][year_pos]
                 )
                 active = plan.active.get((domain, year), ())
+                # Stable slots model the unchanged web: the low indexes
+                # (same path every year) render from a year-free seed, so
+                # injectors and year-varying foreign-root usage must stay
+                # on the volatile slots.  At least one volatile slot is
+                # always kept so the injector ground truth has somewhere
+                # to land; stable_count == 0 reproduces legacy draws bit
+                # for bit (``range(0, count)`` is ``range(count)``).
+                stable_count = min(
+                    count - 1, round(config.overlap_fraction * count)
+                )
+                stable_count = max(0, stable_count)
                 page_injectors: list[list[str]] = [[] for _ in range(count)]
                 for name in active:
                     share = self._rng("share", domain, name).uniform(0.1, 0.5)
                     affected = max(1, round(share * count))
+                    affected = min(affected, count - stable_count)
                     picks = self._rng("pick", domain, name, year).sample(
-                        range(count), affected
+                        range(stable_count, count), affected
                     )
                     for index in picks:
                         page_injectors[index].append(name)
@@ -460,23 +483,26 @@ class CorpusPlanner:
                         if index < len(self._PATHS)
                         else f"/page/{index}"
                     )
+                    stable = index < stable_count
                     injectors = page_injectors[index]
                     # terminal injectors (unclosed textarea/select) last
                     injectors.sort(key=lambda name: INJECTORS[name].terminal)
                     page_rng = self._rng("pageuse", domain, year, index)
+                    # the first volatile page always carries the domain's
+                    # foreign-root usage so domain-level adoption equals
+                    # the calibrated rate exactly
+                    anchor = index == stable_count
                     specs.append(
                         PageSpec(
                             domain=domain,
                             url=f"https://{domain}{path}",
                             year=year,
                             injectors=tuple(injectors),
-                            # the first page always carries the domain's
-                            # foreign-root usage so domain-level adoption
-                            # equals the calibrated rate exactly
-                            use_svg=svg_user
-                            and (index == 0 or page_rng.random() < 0.5),
-                            use_math=math_user
-                            and (index == 0 or page_rng.random() < 0.3),
+                            use_svg=not stable and svg_user
+                            and (anchor or page_rng.random() < 0.5),
+                            use_math=not stable and math_user
+                            and (anchor or page_rng.random() < 0.3),
+                            stable=stable,
                         )
                     )
                 extra_rng = self._rng("extras", domain, year)
@@ -510,8 +536,14 @@ class CorpusPlanner:
 
 
 def render_page(spec: PageSpec, seed: int) -> bytes:
-    """Render one planned page to bytes (the WARC payload)."""
-    rng = random.Random(f"{seed}:render:{spec.domain}:{spec.year}:{spec.url}")
+    """Render one planned page to bytes (the WARC payload).
+
+    Stable slots seed without the year ("static" cannot collide with a
+    year), so the same slot renders byte-identically in every snapshot —
+    the cross-snapshot overlap the incremental engine deduplicates.
+    """
+    epoch = "static" if spec.stable else spec.year
+    rng = random.Random(f"{seed}:render:{spec.domain}:{epoch}:{spec.url}")
     if not spec.html:
         return (
             '{"status": "ok", "domain": "%s", "year": %d}'

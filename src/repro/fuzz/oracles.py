@@ -676,6 +676,138 @@ def parallel_equivalence(
             )
 
 
+def _dedup_mutation(data: bytes) -> bytes:
+    """A deterministic near-miss revision of ``data`` (content changed)."""
+    import hashlib
+
+    tag = hashlib.sha256(data).hexdigest()[:8].encode("ascii")
+    return data + b"<!-- rev " + tag + b" -->"
+
+
+def _write_dedup_snapshot(
+    root, name: str, year: int, pages: Sequence[tuple[str, bytes]]
+) -> dict:
+    """One synthetic snapshot (WARC part + CDXJ index) under ``root``."""
+    from pathlib import Path
+
+    from ..commoncrawl.snapshot import _cdx_timestamp, _warc_date
+    from ..warc import CDXWriter
+
+    warc_dir = root / "crawl-data" / name / "warc"
+    warc_dir.mkdir(parents=True, exist_ok=True)
+    index_dir = root / "cc-index"
+    index_dir.mkdir(parents=True, exist_ok=True)
+    cdx = CDXWriter()
+    part_rel = Path("crawl-data") / name / "warc" / "part-00000.warc.gz"
+    with open(root / part_rel, "wb") as stream:
+        writer = WARCWriter(stream)
+        writer.write_record(
+            WARCRecord.warcinfo(
+                "part-00000.warc.gz", _warc_date(year, 0),
+                {"software": "repro-fuzz/1.0", "isPartOf": name},
+            )
+        )
+        for counter, (url, payload) in enumerate(pages):
+            date = _warc_date(year, counter)
+            record = WARCRecord.response(
+                url, payload, date, content_type="text/html; charset=UTF-8"
+            )
+            offset, length = writer.write_record(record)
+            cdx.add(
+                CDXEntry(
+                    urlkey=surt(url), timestamp=_cdx_timestamp(date),
+                    url=url, mime="text/html", status=200,
+                    digest=record.payload_digest, length=length,
+                    offset=offset, filename=str(part_rel),
+                )
+            )
+    cdx.write(index_dir / f"{name}.cdxj")
+    return {
+        "id": name, "name": f"fuzz crawl {year}", "year": year,
+        "cdx-api": f"cc-index/{name}.cdxj", "records": len(pages),
+    }
+
+
+def dedup_parity(
+    corpus: Sequence[bytes], *, workers: int = 2, window: int | None = None
+) -> None:
+    """The dedup ingest must never change results (the §3.13 parity claim).
+
+    Builds a two-snapshot archive from the fuzzed corpus with controlled
+    cross-snapshot churn — page ``i`` is byte-identical in the second
+    snapshot when ``i % 3 == 0``, deterministically mutated when
+    ``i % 3 == 1``, and dropped when ``i % 3 == 2`` — then asserts:
+
+    * the incremental run's canonical aggregate dump is byte-identical
+      to the full pipeline's (carry-forward is invisible to analyses);
+    * a parallel incremental run (``workers`` from the session config)
+      produces a full dump — provenance column included — byte-identical
+      to the sequential incremental run.
+
+    ``window`` is accepted for batch-oracle signature compatibility; the
+    reorder window is exercised by the ``parallel`` oracle.
+    """
+    import json
+    import tempfile
+    from pathlib import Path
+
+    from ..commoncrawl.snapshot import snapshot_name
+    from ..incremental import DedupConfig, execute_study_run
+
+    del window
+    if not corpus:
+        raise SkipInput("empty-corpus-sample")
+    # cap the archive size: the oracle runs once per session and pays
+    # three full pipeline executions over this corpus
+    sample = list(corpus)[:12]
+    domain = "fuzz-dedup.example"
+    pages_a = [
+        (f"https://{domain}/p{index}", data)
+        for index, data in enumerate(sample)
+    ]
+    pages_b = [
+        (url, data if index % 3 == 0 else _dedup_mutation(data))
+        for index, (url, data) in enumerate(pages_a)
+        if index % 3 != 2
+    ]
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-dedup-") as tmp:
+        root = Path(tmp)
+        collinfo = [
+            _write_dedup_snapshot(root, snapshot_name(2021), 2021, pages_a),
+            _write_dedup_snapshot(root, snapshot_name(2022), 2022, pages_b),
+        ]
+        (root / "collinfo.json").write_text(json.dumps(collinfo))
+        domains = [(domain, 1000.0)]
+
+        def run(dedup, run_workers, index_path=None):
+            manifest, _stats = execute_study_run(
+                archive_root=root, db_path=":memory:", domains=domains,
+                max_pages=len(sample) + 1, workers=run_workers, seed=0,
+                dedup=dedup, index_path=index_path,
+            )
+            return manifest["results"]
+
+        full = run(None, 1)
+        incremental = run(DedupConfig(), 1)
+        if incremental["aggregate_sha256"] != full["aggregate_sha256"]:
+            raise OracleFailure(
+                "dedup-aggregate-divergence",
+                f"incremental aggregate {incremental['aggregate_sha256']} != "
+                f"full {full['aggregate_sha256']} over {len(sample)} pages",
+            )
+        parallel = run(
+            DedupConfig(), max(2, workers),
+            index_path=root / "content-index.sqlite",
+        )
+        if parallel["full_sha256"] != incremental["full_sha256"]:
+            raise OracleFailure(
+                "dedup-parallel-divergence",
+                f"workers={max(2, workers)} incremental full dump "
+                f"{parallel['full_sha256']} != sequential "
+                f"{incremental['full_sha256']}",
+            )
+
+
 # --------------------------------------------------------------- registry
 
 #: per-input oracles, keyed by CLI name
@@ -740,5 +872,11 @@ BATCH_ORACLES: dict[str, BatchOracle] = {
         "parallel",
         "sequential and process-pool checking produce identical results",
         parallel_equivalence,
+    ),
+    "dedup_parity": BatchOracle(
+        "dedup_parity",
+        "incremental dedup ingest is bit-identical to the full pipeline, "
+        "sequential and parallel",
+        dedup_parity,
     ),
 }

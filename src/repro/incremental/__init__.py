@@ -1,0 +1,52 @@
+"""Incremental multi-snapshot study engine (DESIGN.md §3.13).
+
+Two halves:
+
+* **dedup ingest** — a persistent cross-snapshot content index
+  (:mod:`~repro.incremental.content_index`) consulted in the checker
+  stage (:mod:`~repro.incremental.dedup`): pages whose bodies were
+  already checked in a prior snapshot skip parse+check and carry their
+  findings forward under a provenance marker, with an optional seed-free
+  simhash near-duplicate tier (:mod:`~repro.incremental.simhash`);
+* **run manifests** — every study run records a ``repro-manifest/1``
+  document (:mod:`~repro.incremental.manifest`) and
+  :func:`~repro.incremental.replay.replay_manifest` re-executes it,
+  asserting the aggregate tables regenerate byte-identically.
+"""
+
+from .content_index import (
+    ContentIndex,
+    ContentIndexError,
+    ContentIndexStaleError,
+    IndexEntry,
+)
+from .dedup import DedupConfig, DedupCounters, dedup_meta
+from .manifest import (
+    MANIFEST_SCHEMA,
+    ManifestFormatError,
+    load_manifest,
+    registry_hash,
+    write_manifest,
+)
+from .replay import ReplayReport, execute_study_run, replay_manifest
+from .simhash import hamming64, simhash64
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "ContentIndex",
+    "ContentIndexError",
+    "ContentIndexStaleError",
+    "DedupConfig",
+    "DedupCounters",
+    "IndexEntry",
+    "ManifestFormatError",
+    "ReplayReport",
+    "dedup_meta",
+    "execute_study_run",
+    "hamming64",
+    "load_manifest",
+    "registry_hash",
+    "replay_manifest",
+    "simhash64",
+    "write_manifest",
+]

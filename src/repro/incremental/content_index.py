@@ -1,0 +1,332 @@
+"""Persistent cross-snapshot content index for carry-forward dedup.
+
+One SQLite database, separate from the results store, holding one row
+per *distinct* page body ever checked: its exact-duplicate keys (the CDX
+payload digest and the sha256 content key over payload + content-type),
+an optional simhash sketch for near-duplicate matching, and the full
+check outcome (findings in checker emission order, mitigation counters,
+page features, encoding verdict).  The checker stage consults it before
+parsing: a hit skips parse+check entirely and carries the recorded
+outcome forward into the new snapshot under a provenance marker.
+
+Determinism contract (the parallel runner leans on this):
+
+* lookups only ever see rows *committed* as of the end of the previous
+  snapshot — new outcomes are staged in store order and flushed by
+  :meth:`ContentIndex.commit_snapshot` at snapshot boundaries, so every
+  worker count (and the sequential runner) resolves every page against
+  the identical view;
+* duplicate content keys are first-wins in store order, so the row that
+  lands in the index is the same regardless of completion order;
+* near-duplicate matches scan committed rows in insertion (id) order and
+  take the first within the Hamming threshold — no tie depends on
+  anything but the committed sequence.
+
+Failure modes are explicit: a database stamped by newer code raises
+:class:`~repro.pipeline.migrations.SchemaVersionError`; an index built
+under a different rule registry or check configuration raises
+:class:`ContentIndexStaleError` (or is wiped and rebuilt under
+``on_stale="reset"``); a file SQLite cannot read raises
+:class:`ContentIndexError` (or is likewise rebuilt under
+``on_stale="reset"``).  Carrying findings forward from an index whose
+rules differ from the running registry would silently poison the study —
+hence hard refusal by default.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..pipeline.migrations import SchemaVersionError, ensure_schema
+from .simhash import hamming64
+
+__all__ = [
+    "ContentIndex",
+    "ContentIndexError",
+    "ContentIndexStaleError",
+    "IndexEntry",
+]
+
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS entries (
+    id INTEGER PRIMARY KEY,
+    content_key TEXT NOT NULL UNIQUE,
+    cdx_digest TEXT NOT NULL,
+    simhash INTEGER,
+    snapshot TEXT NOT NULL,
+    url TEXT NOT NULL,
+    utf8 INTEGER NOT NULL,
+    checked INTEGER NOT NULL,
+    declared_encoding TEXT NOT NULL,
+    findings TEXT NOT NULL,
+    mitigation TEXT NOT NULL,
+    features TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_entries_digest ON entries(cdx_digest);
+"""
+
+_ENTRY_COLUMNS = (
+    "snapshot, url, cdx_digest, content_key, simhash, utf8, checked,"
+    " declared_encoding, findings, mitigation, features"
+)
+
+
+class ContentIndexError(RuntimeError):
+    """The content index file is unreadable or corrupt."""
+
+
+class ContentIndexStaleError(ContentIndexError):
+    """The content index was built under incompatible rules/options."""
+
+
+@dataclass(frozen=True, slots=True)
+class IndexEntry:
+    """One distinct page body and its recorded check outcome."""
+
+    snapshot: str
+    url: str
+    cdx_digest: str
+    content_key: str
+    simhash: int | None
+    utf8: bool
+    checked: bool
+    declared_encoding: str
+    #: checker emission order preserved: (violation id, count) pairs
+    findings: tuple[tuple[str, int], ...]
+    mitigation: tuple[int, int, int, int] | None
+    features: tuple[int, int] | None
+
+    @property
+    def provenance(self) -> str:
+        """The ``pages.carried_from`` value for an exact carry."""
+        return f"{self.snapshot} {self.url}"
+
+
+def _row_to_entry(row: tuple) -> IndexEntry:
+    (snapshot, url, cdx_digest, content_key, simhash, utf8, checked,
+     declared_encoding, findings_json, mitigation_json, features_json) = row
+    mitigation = json.loads(mitigation_json)
+    features = json.loads(features_json)
+    return IndexEntry(
+        snapshot=snapshot,
+        url=url,
+        cdx_digest=cdx_digest,
+        content_key=content_key,
+        simhash=simhash,
+        utf8=bool(utf8),
+        checked=bool(checked),
+        declared_encoding=declared_encoding,
+        findings=tuple(
+            (violation, count) for violation, count in json.loads(findings_json)
+        ),
+        mitigation=None if mitigation is None else tuple(mitigation),
+        features=None if features is None else tuple(features),
+    )
+
+
+class ContentIndex:
+    """SQLite-backed content index; see the module docstring for semantics.
+
+    ``meta`` is the compatibility stamp (registry hash, check options): a
+    fresh index records it, an existing index must match it.  Workers
+    open the parent-committed file with ``readonly=True`` and skip the
+    stamp check — the parent validated before the pool started.
+    """
+
+    def __init__(
+        self,
+        path: str | Path = ":memory:",
+        *,
+        meta: dict[str, str] | None = None,
+        readonly: bool = False,
+        on_stale: str = "error",
+    ) -> None:
+        if on_stale not in ("error", "reset"):
+            raise ValueError(f"on_stale must be 'error' or 'reset': {on_stale!r}")
+        self.path = str(path)
+        self.readonly = readonly
+        self._staged: list[IndexEntry] = []
+        self._staged_keys: set[str] = set()
+        try:
+            self._open(meta, on_stale)
+        except sqlite3.DatabaseError as exc:
+            if on_stale == "reset" and self.path != ":memory:":
+                self.conn.close()
+                os.unlink(self.path)
+                self._open(meta, on_stale="error")
+            else:
+                raise ContentIndexError(
+                    f"content index {self.path}: unreadable ({exc})"
+                ) from exc
+
+    def _open(self, meta: dict[str, str] | None, on_stale: str) -> None:
+        if self.readonly:
+            self.conn = sqlite3.connect(f"file:{self.path}?mode=ro", uri=True)
+            version_row = self.conn.execute("PRAGMA user_version").fetchone()
+            if version_row[0] > SCHEMA_VERSION:
+                raise SchemaVersionError(
+                    f"content index {self.path}: schema generation"
+                    f" {version_row[0]} is newer than supported"
+                    f" generation {SCHEMA_VERSION}"
+                )
+        else:
+            self.conn = sqlite3.connect(self.path)
+            ensure_schema(
+                self.conn,
+                latest=SCHEMA_VERSION,
+                create=_SCHEMA,
+                migrations={},
+                label="content index",
+            )
+            if meta is not None:
+                self._check_meta(meta, on_stale)
+        # committed near-dup sketches, in insertion order
+        self._sketches: list[tuple[int, int]] = [
+            (row_id, sketch)
+            for row_id, sketch in self.conn.execute(
+                "SELECT id, simhash FROM entries WHERE simhash IS NOT NULL"
+                " ORDER BY id"
+            )
+        ]
+
+    def _check_meta(self, meta: dict[str, str], on_stale: str) -> None:
+        recorded = dict(self.conn.execute("SELECT key, value FROM meta"))
+        if not recorded:
+            self.conn.executemany(
+                "INSERT INTO meta(key, value) VALUES (?, ?)",
+                sorted(meta.items()),
+            )
+            self.conn.commit()
+            return
+        if recorded == meta:
+            return
+        if on_stale == "reset":
+            with self.conn:
+                self.conn.execute("DELETE FROM entries")
+                self.conn.execute("DELETE FROM meta")
+                self.conn.executemany(
+                    "INSERT INTO meta(key, value) VALUES (?, ?)",
+                    sorted(meta.items()),
+                )
+            return
+        diffs = sorted(
+            key
+            for key in set(recorded) | set(meta)
+            if recorded.get(key) != meta.get(key)
+        )
+        raise ContentIndexStaleError(
+            f"content index {self.path}: built under different"
+            f" configuration (mismatched: {', '.join(diffs)});"
+            " carrying findings across rule or option changes would"
+            " poison the study — delete the index or open with"
+            " on_stale='reset'"
+        )
+
+    # ------------------------------------------------------------- lookups
+
+    def lookup_digest(self, cdx_digest: str) -> IndexEntry | None:
+        """First committed entry with this CDX payload digest, if any."""
+        row = self.conn.execute(
+            f"SELECT {_ENTRY_COLUMNS} FROM entries WHERE cdx_digest = ?"
+            " ORDER BY id LIMIT 1",
+            (cdx_digest,),
+        ).fetchone()
+        return None if row is None else _row_to_entry(row)
+
+    def lookup_key(self, content_key: str) -> IndexEntry | None:
+        """Committed entry with this exact content key, if any."""
+        row = self.conn.execute(
+            f"SELECT {_ENTRY_COLUMNS} FROM entries WHERE content_key = ?",
+            (content_key,),
+        ).fetchone()
+        return None if row is None else _row_to_entry(row)
+
+    def lookup_near(self, sketch: int, max_hamming: int) -> IndexEntry | None:
+        """First committed entry within *max_hamming* bits of *sketch*."""
+        for row_id, candidate in self._sketches:
+            if hamming64(candidate, sketch) <= max_hamming:
+                row = self.conn.execute(
+                    f"SELECT {_ENTRY_COLUMNS} FROM entries WHERE id = ?",
+                    (row_id,),
+                ).fetchone()
+                return _row_to_entry(row)
+        return None
+
+    # ------------------------------------------------------------- staging
+
+    def stage(self, entry: IndexEntry) -> bool:
+        """Queue a freshly checked outcome for the next snapshot commit.
+
+        First-wins: returns False (and stages nothing) when the content
+        key is already staged or committed.
+        """
+        if entry.content_key in self._staged_keys:
+            return False
+        if self.lookup_key(entry.content_key) is not None:
+            return False
+        self._staged.append(entry)
+        self._staged_keys.add(entry.content_key)
+        return True
+
+    def commit_snapshot(self) -> int:
+        """Flush staged entries; they become visible to lookups now."""
+        if not self._staged:
+            return 0
+        inserted = 0
+        for entry in self._staged:
+            cursor = self.conn.execute(
+                "INSERT OR IGNORE INTO entries(content_key, cdx_digest,"
+                " simhash, snapshot, url, utf8, checked, declared_encoding,"
+                " findings, mitigation, features)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    entry.content_key,
+                    entry.cdx_digest,
+                    entry.simhash,
+                    entry.snapshot,
+                    entry.url,
+                    int(entry.utf8),
+                    int(entry.checked),
+                    entry.declared_encoding,
+                    json.dumps([list(pair) for pair in entry.findings]),
+                    json.dumps(
+                        None if entry.mitigation is None
+                        else list(entry.mitigation)
+                    ),
+                    json.dumps(
+                        None if entry.features is None else list(entry.features)
+                    ),
+                ),
+            )
+            if cursor.rowcount and entry.simhash is not None:
+                self._sketches.append((cursor.lastrowid, entry.simhash))
+            inserted += cursor.rowcount
+        self.conn.commit()
+        self._staged.clear()
+        self._staged_keys.clear()
+        return inserted
+
+    # ----------------------------------------------------------- lifecycle
+
+    def entry_count(self) -> int:
+        """Committed entries (staged ones are not counted)."""
+        return self.conn.execute("SELECT COUNT(*) FROM entries").fetchone()[0]
+
+    def close(self) -> None:
+        self.conn.close()
+
+    def __enter__(self) -> "ContentIndex":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

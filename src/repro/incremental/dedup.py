@@ -1,0 +1,216 @@
+"""The dedup ingest path: check a domain against the content index.
+
+This is the checker-stage decision described in DESIGN.md §3.13.  For
+each CDX capture of a domain, in order:
+
+1. **CDX-digest tier** (``trust_cdx_digest``, on by default): the CDX
+   record already carries the payload's sha1 digest, so a committed
+   index hit here skips the *fetch* as well as parse+check.  The
+   documented approximation: the outcome is keyed on body bytes alone,
+   so a capture serving identical bytes under a different charset header
+   carries the source's ``declared_encoding`` forward.
+2. **Content-key tier**: after fetching, the sha256 content key over
+   (payload, content-type) — exact by construction.  This is the only
+   exact tier when ``trust_cdx_digest=False``.
+3. **Near-dup tier** (opt-in via ``near_hamming``): a 64-bit simhash
+   sketch within the Hamming threshold of a committed entry carries that
+   entry's outcome forward under a ``~``-prefixed provenance marker.
+   Near carries are approximations *by design* and therefore excluded
+   from the bit-parity oracles.
+
+A miss pays the full parse+check and ships an :class:`IndexEntry`
+alongside the page result; the parent stages it in store order and
+commits it at the snapshot boundary — see
+:mod:`repro.incremental.content_index` for why that keeps every worker
+count bit-identical.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..commoncrawl import CommonCrawlClient
+from ..core import Checker
+from ..pipeline.checker_stage import check_page, page_content_key
+from ..pipeline.crawler import CrawlStats, fetch_one
+from ..pipeline.metadata import collect_metadata
+from ..pipeline.parallel import DomainResult, PageResult, page_result_from_checked
+from .content_index import ContentIndex, IndexEntry
+from .simhash import simhash64
+
+__all__ = [
+    "DedupConfig",
+    "DedupCounters",
+    "dedup_meta",
+    "process_domain_incremental",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class DedupConfig:
+    """Knobs of the incremental ingest path (picklable; shipped to workers)."""
+
+    #: trust the CDX record's payload digest as an exact-dup key and skip
+    #: the fetch on a hit (tier 1); False forces a fetch and the strict
+    #: sha256 content key for every capture
+    trust_cdx_digest: bool = True
+    #: enable the simhash near-dup tier with this Hamming threshold
+    #: (bits); None disables near-dup matching entirely
+    near_hamming: int | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "trust_cdx_digest": self.trust_cdx_digest,
+            "near_hamming": self.near_hamming,
+        }
+
+
+@dataclass(slots=True)
+class DedupCounters:
+    """Hit/miss/carry accounting, surfaced in bench + progress + manifest."""
+
+    cdx_hits: int = 0
+    content_hits: int = 0
+    near_hits: int = 0
+    misses: int = 0
+    #: distinct new bodies committed into the content index
+    staged: int = 0
+
+    @property
+    def carried(self) -> int:
+        """Pages whose findings were carried forward (checks skipped)."""
+        return self.cdx_hits + self.content_hits + self.near_hits
+
+    @property
+    def pages(self) -> int:
+        return self.carried + self.misses
+
+    def count(self, page: PageResult) -> None:
+        if page.carry_tier == "cdx":
+            self.cdx_hits += 1
+        elif page.carry_tier == "content":
+            self.content_hits += 1
+        elif page.carry_tier == "near":
+            self.near_hits += 1
+        else:
+            self.misses += 1
+
+    def as_dict(self) -> dict:
+        return {
+            "cdx_hits": self.cdx_hits,
+            "content_hits": self.content_hits,
+            "near_hits": self.near_hits,
+            "carried": self.carried,
+            "misses": self.misses,
+            "pages": self.pages,
+            "staged": self.staged,
+        }
+
+
+def dedup_meta(*, measure_mitigations: bool) -> dict[str, str]:
+    """The content index compatibility stamp for the running configuration.
+
+    Keyed on everything that changes a recorded outcome: the rule-pack
+    registry hash and the mitigation-measurement switch.  An index built
+    under any other stamp is stale (see :class:`ContentIndexStaleError`).
+    """
+    from .manifest import registry_hash
+
+    return {
+        "registry_hash": registry_hash(),
+        "measure_mitigations": str(int(measure_mitigations)),
+        "schema": "repro-content-index/1",
+    }
+
+
+def _carried(url: str, hit: IndexEntry, tier: str) -> PageResult:
+    prefix = "~" if tier == "near" else ""
+    return PageResult(
+        url=url,
+        utf8=hit.utf8,
+        checked=hit.checked,
+        findings=dict(hit.findings),
+        mitigation=hit.mitigation,
+        features=hit.features,
+        declared_encoding=hit.declared_encoding,
+        carried_from=prefix + hit.provenance,
+        carry_tier=tier,
+    )
+
+
+def process_domain_incremental(
+    client: CommonCrawlClient,
+    checker: Checker,
+    index: ContentIndex,
+    config: DedupConfig,
+    snapshot_id: str,
+    domain: str,
+    max_pages: int,
+    *,
+    fetch_retries: int = 2,
+    measure_mitigations: bool = True,
+) -> DomainResult:
+    """Stages 1–3 for one domain with the content index consulted per page.
+
+    Lookups hit only entries committed before this snapshot started (the
+    index's staging discipline); fresh outcomes ride back on
+    ``PageResult.index_entry`` for the parent to stage in store order.
+    Per-stage seconds land in ``DomainResult.timings``.
+    """
+    timings = {"index": 0.0, "fetch": 0.0, "check": 0.0}
+    started = time.perf_counter()
+    metadata = collect_metadata(client, snapshot_id, domain, max_pages=max_pages)
+    timings["index"] += time.perf_counter() - started
+    result = DomainResult(
+        domain=domain, snapshot_id=snapshot_id, found=metadata.found,
+        timings=timings,
+    )
+    if not metadata.found:
+        return result
+    crawl_stats = CrawlStats()
+    for entry in metadata.entries:
+        if config.trust_cdx_digest:
+            hit = index.lookup_digest(entry.digest)
+            if hit is not None:
+                result.pages.append(_carried(entry.url, hit, "cdx"))
+                continue
+        started = time.perf_counter()
+        page = fetch_one(client, entry, stats=crawl_stats, retries=fetch_retries)
+        timings["fetch"] += time.perf_counter() - started
+        if page is None:
+            continue
+        key = page_content_key(page.payload, page.content_type)
+        hit = index.lookup_key(key)
+        if hit is not None:
+            result.pages.append(_carried(page.url, hit, "content"))
+            continue
+        sketch: int | None = None
+        if config.near_hamming is not None:
+            sketch = simhash64(page.payload)
+            hit = index.lookup_near(sketch, config.near_hamming)
+            if hit is not None:
+                result.pages.append(_carried(page.url, hit, "near"))
+                continue
+        started = time.perf_counter()
+        checked = check_page(
+            page, checker, measure_mitigation_signals=measure_mitigations
+        )
+        timings["check"] += time.perf_counter() - started
+        page_result = page_result_from_checked(checked)
+        page_result.index_entry = IndexEntry(
+            snapshot=snapshot_id,
+            url=page.url,
+            cdx_digest=entry.digest,
+            content_key=key,
+            simhash=sketch,
+            utf8=page_result.utf8,
+            checked=page_result.checked,
+            declared_encoding=page_result.declared_encoding,
+            findings=tuple(page_result.findings.items()),
+            mitigation=page_result.mitigation,
+            features=page_result.features,
+        )
+        result.pages.append(page_result)
+    result.fetch_failures = crawl_stats.failed
+    return result

@@ -1,0 +1,159 @@
+"""Replayable run manifests (``repro-manifest/1``).
+
+Every study run writes one — the Web-Execution-Bundles idea (Hantke et
+al., PAPERS.md) applied to this pipeline: a JSON record of *everything
+that determined the run's output*, so any figure can be regenerated
+byte-identically from the manifest alone.
+
+What that means concretely:
+
+* **inputs** — the archive root, each snapshot's CDX and WARC file
+  digests, and the collection catalog digest (``collinfo.json``): replay
+  refuses to run against silently different archives;
+* **code** — the package version and the rule-pack registry hash: a rule
+  change legitimately changes results, and the manifest pins which rules
+  produced these;
+* **run configuration** — domains, page caps, worker count, the single
+  run seed, and the full dedup configuration;
+* **outcome digests** — sha256 over the canonical aggregate-table dump
+  (provenance excluded and included): the replay target.
+
+Per-stage timings and dedup counters ride along for EXPERIMENTS.md
+attribution; they are informational and never compared by replay.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from ..core import REGISTRY
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "ManifestFormatError",
+    "archive_digests",
+    "code_version",
+    "file_sha256",
+    "load_manifest",
+    "registry_hash",
+    "write_manifest",
+]
+
+MANIFEST_SCHEMA = "repro-manifest/1"
+
+#: top-level keys every repro-manifest/1 document must carry
+_REQUIRED_KEYS = (
+    "schema",
+    "code_version",
+    "registry_hash",
+    "run",
+    "archive",
+    "results",
+)
+
+
+class ManifestFormatError(ValueError):
+    """The file is not a well-formed repro-manifest/1 document."""
+
+
+def code_version() -> str:
+    """The running package version (lazy: the package imports this module)."""
+    from .. import __version__
+
+    return __version__
+
+
+def registry_hash() -> str:
+    """sha256 over the full rule-pack registry, stable across runs.
+
+    Serializes every :class:`~repro.core.violations.ViolationType` field
+    in sorted id order — any rule addition, removal, redefinition or
+    reclassification changes the hash, which staleness-checks both the
+    content index and replayed manifests.
+    """
+    rows = [
+        {
+            "id": violation.id,
+            "family": violation.family,
+            "name": violation.name,
+            "definition": violation.definition,
+            "category": violation.category.value,
+            "group": violation.group.value,
+            "auto_fixable": violation.auto_fixable,
+            "spec_section": violation.spec_section,
+        }
+        for _, violation in sorted(REGISTRY.items())
+    ]
+    blob = json.dumps(rows, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def file_sha256(path: str | Path) -> str:
+    hasher = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            hasher.update(chunk)
+    return hasher.hexdigest()
+
+
+def archive_digests(root: str | Path, snapshot_ids: list[str]) -> dict:
+    """Digest the archive inputs of a run: catalog + per-snapshot files.
+
+    Layout mirrors the synthetic Common Crawl tree
+    (``collinfo.json``, ``cc-index/<id>.cdxj``,
+    ``crawl-data/<id>/warc/*.warc.gz``).
+    """
+    root = Path(root)
+    snapshots = {}
+    for snapshot_id in snapshot_ids:
+        warc_dir = root / "crawl-data" / snapshot_id / "warc"
+        snapshots[snapshot_id] = {
+            "cdx_sha256": file_sha256(root / "cc-index" / f"{snapshot_id}.cdxj"),
+            "warc_sha256": {
+                part.name: file_sha256(part)
+                for part in sorted(warc_dir.glob("*.warc.gz"))
+            },
+        }
+    return {
+        "root": str(root),
+        "collinfo_sha256": file_sha256(root / "collinfo.json"),
+        "snapshots": snapshots,
+    }
+
+
+def write_manifest(manifest: dict, path: str | Path) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def load_manifest(path: str | Path) -> dict:
+    """Read and shape-check a manifest; raises :class:`ManifestFormatError`."""
+    try:
+        manifest = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise ManifestFormatError(f"{path}: unreadable manifest ({exc})") from exc
+    if not isinstance(manifest, dict):
+        raise ManifestFormatError(f"{path}: manifest is not a JSON object")
+    if manifest.get("schema") != MANIFEST_SCHEMA:
+        raise ManifestFormatError(
+            f"{path}: schema {manifest.get('schema')!r} is not"
+            f" {MANIFEST_SCHEMA!r}"
+        )
+    missing = [key for key in _REQUIRED_KEYS if key not in manifest]
+    if missing:
+        raise ManifestFormatError(
+            f"{path}: missing manifest keys: {', '.join(missing)}"
+        )
+    for digest_key in ("aggregate_sha256", "full_sha256"):
+        value = manifest["results"].get(digest_key)
+        if not (isinstance(value, str) and len(value) == 64):
+            raise ManifestFormatError(
+                f"{path}: results.{digest_key} is not a sha256 hex digest"
+            )
+    return manifest

@@ -1,0 +1,66 @@
+"""Seed-free deterministic 64-bit simhash for near-duplicate pages.
+
+Charikar's simhash over the page's byte tokens: each distinct token
+contributes a 64-bit fingerprint weighted by its occurrence count; the
+sketch keeps the sign of each bit-position sum.  Two pages whose sketches
+are within a small Hamming distance share most of their token mass —
+boilerplate-heavy sites that only rotate a timestamp or a story list
+land within a handful of bits year over year.
+
+Determinism is load-bearing (the staticcheck determinism pass guards
+this module): the fingerprint is built from two CRC-32 halves with fixed
+domain-separation prefixes, so the sketch is a pure function of the
+payload bytes — no process seed, no hash randomization, identical across
+runs, platforms and interpreter restarts.  CRC-32 is not a cryptographic
+hash, which is fine here: simhash needs spread, not adversarial
+collision resistance, and the exact-duplicate tier already uses sha256.
+"""
+
+from __future__ import annotations
+
+import re
+import zlib
+
+__all__ = ["simhash64", "hamming64"]
+
+#: token splitter: runs of bytes that are not whitespace or markup
+#: punctuation — splits tags, attributes and words apart without
+#: decoding, so the sketch works straight off the WARC payload
+_TOKEN = re.compile(rb"[^\s<>=\"'&;]+")
+
+_MASK64 = (1 << 64) - 1
+
+
+def _fingerprint(token: bytes) -> int:
+    """Stable 64-bit fingerprint of one token (two prefixed CRC-32 halves)."""
+    high = zlib.crc32(b"\x01" + token)
+    low = zlib.crc32(b"\x02" + token)
+    return ((high << 32) | low) & _MASK64
+
+
+def simhash64(payload: bytes) -> int:
+    """64-bit simhash sketch of *payload*; 0 for an empty/token-free body."""
+    weights: dict[bytes, int] = {}
+    for match in _TOKEN.finditer(payload):
+        token = match.group()
+        weights[token] = weights.get(token, 0) + 1
+    if not weights:
+        return 0
+    sums = [0] * 64
+    for token, count in weights.items():
+        fingerprint = _fingerprint(token)
+        for bit in range(64):
+            if (fingerprint >> bit) & 1:
+                sums[bit] += count
+            else:
+                sums[bit] -= count
+    sketch = 0
+    for bit in range(64):
+        if sums[bit] > 0:
+            sketch |= 1 << bit
+    return sketch
+
+
+def hamming64(a: int, b: int) -> int:
+    """Hamming distance between two 64-bit sketches."""
+    return ((a ^ b) & _MASK64).bit_count()

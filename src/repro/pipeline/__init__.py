@@ -3,12 +3,14 @@
 Stage 1 (:mod:`metadata`) queries the CDX index, stage 2 (:mod:`crawler`)
 fetches WARC records, stage 3 (:mod:`checker_stage`) filters and checks,
 stage 4 (:mod:`storage`) persists to SQLite.  :class:`StudyRunner`
-orchestrates the whole longitudinal study.
+orchestrates the whole longitudinal study; :mod:`repro.incremental`
+layers cross-snapshot dedup and replayable manifests on top.
 """
-from .checker_stage import CheckedPage, check_page
-from .crawler import CrawlStats, FetchedPage, fetch_pages
+from .checker_stage import CheckedPage, check_page, page_content_key
+from .crawler import CrawlStats, FetchedPage, fetch_one, fetch_pages
 from .metadata import DomainMetadata, collect_metadata
-from .parallel import ParallelRunStats, ParallelStudyRunner
+from .migrations import SchemaVersionError
+from .parallel import ParallelRunStats, ParallelStudyRunner, store_domain_result
 from .runner import RunStats, StudyRunner
 from .storage import Storage
 
@@ -20,9 +22,13 @@ __all__ = [
     "ParallelRunStats",
     "ParallelStudyRunner",
     "RunStats",
+    "SchemaVersionError",
     "Storage",
     "StudyRunner",
     "check_page",
     "collect_metadata",
+    "fetch_one",
     "fetch_pages",
+    "page_content_key",
+    "store_domain_result",
 ]

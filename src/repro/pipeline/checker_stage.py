@@ -3,9 +3,16 @@
 Applies the section 4.1 encoding filter (UTF-8 only) and runs the full
 rule set plus the section 4.5 mitigation detectors over each page, sharing
 a single parse per document.
+
+This stage is also where the incremental engine's dedup decision lives:
+:func:`page_content_key` names a fetched body exactly, and
+:mod:`repro.incremental.dedup` consults the cross-snapshot content index
+under that key *before* paying for :func:`check_page` — a hit carries the
+recorded outcome forward instead of re-parsing.
 """
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 from ..core import Checker, CheckReport
@@ -27,6 +34,23 @@ class CheckedPage:
     #: what the page *declares* (BOM / HTTP charset / meta prescan);
     #: recorded for the section 4.1 context stats, never used to decode
     declared_encoding: str = ""
+
+
+def page_content_key(payload: bytes, content_type: str) -> str:
+    """sha256 key naming a page body for exact-duplicate dedup.
+
+    Length-prefixed parts (the service cache's ambiguity-free framing):
+    the payload bytes plus the HTTP content-type header, because the
+    header feeds the declared-encoding sniff — two captures serving the
+    same bytes under different charset headers are *not* the same page
+    for the section 4.1 encoding stats, so they get distinct keys.
+    """
+    hasher = hashlib.sha256()
+    for part in (payload, content_type.encode("utf-8", "surrogateescape")):
+        hasher.update(str(len(part)).encode("ascii"))
+        hasher.update(b":")
+        hasher.update(part)
+    return hasher.hexdigest()
 
 
 def check_page(

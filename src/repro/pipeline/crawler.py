@@ -10,7 +10,7 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from ..commoncrawl import CommonCrawlClient
-from ..warc import WARCFormatError
+from ..warc import CDXEntry, WARCFormatError
 from .metadata import DomainMetadata
 
 
@@ -31,6 +31,45 @@ class CrawlStats:
     errors: list[str] = field(default_factory=list)
 
 
+def fetch_one(
+    client: CommonCrawlClient,
+    entry: CDXEntry,
+    *,
+    stats: CrawlStats,
+    retries: int = 0,
+) -> FetchedPage | None:
+    """Fetch one CDX capture; None (with *stats* updated) on failure.
+
+    The per-entry unit of :func:`fetch_pages`, split out so the
+    incremental engine can decide *per capture* — a CDX-digest dedup hit
+    skips this call entirely — while sharing the retry/skip semantics.
+    """
+    record = None
+    last_error: Exception | None = None
+    for attempt in range(retries + 1):
+        try:
+            record = client.fetch(entry)
+            break
+        except (OSError, WARCFormatError) as exc:
+            last_error = exc
+            if attempt < retries:
+                stats.retried += 1
+    if record is None:
+        stats.failed += 1
+        stats.errors.append(f"{entry.url}: {last_error}")
+        return None
+    response = record.http_response
+    if response is None or response.status_code != 200:
+        stats.failed += 1
+        return None
+    stats.fetched += 1
+    return FetchedPage(
+        url=entry.url,
+        payload=response.body,
+        content_type=response.content_type,
+    )
+
+
 def fetch_pages(
     client: CommonCrawlClient,
     metadata: DomainMetadata,
@@ -47,27 +86,6 @@ def fetch_pages(
     """
     stats = stats if stats is not None else CrawlStats()
     for entry in metadata.entries:
-        record = None
-        last_error: Exception | None = None
-        for attempt in range(retries + 1):
-            try:
-                record = client.fetch(entry)
-                break
-            except (OSError, WARCFormatError) as exc:
-                last_error = exc
-                if attempt < retries:
-                    stats.retried += 1
-        if record is None:
-            stats.failed += 1
-            stats.errors.append(f"{entry.url}: {last_error}")
-            continue
-        response = record.http_response
-        if response is None or response.status_code != 200:
-            stats.failed += 1
-            continue
-        stats.fetched += 1
-        yield FetchedPage(
-            url=entry.url,
-            payload=response.body,
-            content_type=response.content_type,
-        )
+        page = fetch_one(client, entry, stats=stats, retries=retries)
+        if page is not None:
+            yield page

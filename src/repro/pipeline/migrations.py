@@ -1,0 +1,102 @@
+"""Versioned SQLite schema migrations.
+
+Every on-disk database the pipeline owns (the results store, the
+incremental content index) records its schema generation in
+``PRAGMA user_version``.  :func:`ensure_schema` is the single entry
+point for opening one:
+
+* an empty database gets the latest schema installed atomically and is
+  stamped with the latest version;
+* an older database is upgraded one version at a time, each step inside
+  its own transaction (the version stamp commits with the DDL, so a
+  crash mid-step leaves the previous consistent generation);
+* a database stamped with a *newer* version than this code understands
+  is refused with :class:`SchemaVersionError` — downgrading code must
+  never scribble on a future layout it cannot interpret.
+
+Databases created before this helper existed carry ``user_version == 0``
+but already contain tables; they are treated as generation 1 (the
+pre-versioning layout) and upgraded from there.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Mapping, Sequence
+
+__all__ = ["SchemaVersionError", "ensure_schema", "schema_version"]
+
+
+class SchemaVersionError(RuntimeError):
+    """The database schema is newer than this code understands."""
+
+
+def schema_version(conn: sqlite3.Connection) -> int:
+    """Return the ``PRAGMA user_version`` stamp of *conn*."""
+    row = conn.execute("PRAGMA user_version").fetchone()
+    return int(row[0])
+
+
+def _has_tables(conn: sqlite3.Connection) -> bool:
+    row = conn.execute(
+        "SELECT COUNT(*) FROM sqlite_master"
+        " WHERE type = 'table' AND name NOT LIKE 'sqlite_%'"
+    ).fetchone()
+    return int(row[0]) > 0
+
+
+def ensure_schema(
+    conn: sqlite3.Connection,
+    *,
+    latest: int,
+    create: str,
+    migrations: Mapping[int, Sequence[str]],
+    label: str,
+) -> int:
+    """Bring *conn* to schema generation *latest*; return the version found.
+
+    ``create`` is the full latest-generation DDL script used for empty
+    databases.  ``migrations`` maps a target version ``v`` to the SQL
+    statements that upgrade generation ``v - 1`` to ``v``; each upgrade
+    step runs in one transaction together with its version stamp.
+    """
+    if not _has_tables(conn):
+        conn.executescript(create)
+        conn.execute(f"PRAGMA user_version = {latest:d}")
+        conn.commit()
+        return latest
+
+    version = schema_version(conn)
+    if version == 0:
+        # Pre-versioning database: the original layout is generation 1.
+        version = 1
+    found = version
+    if version > latest:
+        raise SchemaVersionError(
+            f"{label}: database schema is generation {version}, but this"
+            f" code only understands up to generation {latest};"
+            " refusing to open a newer schema"
+        )
+    if version < latest and conn.in_transaction:
+        # flush any implicit transaction the caller left open so each
+        # upgrade step below owns its BEGIN/COMMIT pair
+        conn.commit()
+    while version < latest:
+        target = version + 1
+        steps = migrations.get(target)
+        if steps is None:
+            raise SchemaVersionError(
+                f"{label}: no migration path from generation {version}"
+                f" to {target}"
+            )
+        conn.execute("BEGIN")
+        try:
+            for statement in steps:
+                conn.execute(statement)
+            conn.execute(f"PRAGMA user_version = {target:d}")
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        version = target
+    return found

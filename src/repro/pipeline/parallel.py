@@ -24,33 +24,49 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ..commoncrawl import CommonCrawlClient
 from ..core import Checker
-from .checker_stage import check_page
+from .checker_stage import CheckedPage, check_page
 from .crawler import CrawlStats, fetch_pages
 from .metadata import collect_metadata
 from .reorder import streamed_map
 from .storage import Storage
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep pipeline → incremental
+    # a one-way street (repro.incremental imports this module)
+    from ..incremental.content_index import ContentIndex, IndexEntry
+    from ..incremental.dedup import DedupConfig, DedupCounters
 
 # Per-process globals, set up once by the pool initializer.
 _client: CommonCrawlClient | None = None
 _checker: Checker | None = None
 _fetch_retries: int = 2
 _measure_mitigations: bool = True
+_dedup_config: "DedupConfig | None" = None
+_index_path: str = ""
+# read-only content-index handle, reopened when the parent advances the
+# committed generation (one commit per snapshot boundary)
+_dedup_index: "ContentIndex | None" = None
+_dedup_generation: int = -1
 
 
 def _init_worker(
     archive_root: str,
     fetch_retries: int = 2,
     measure_mitigations: bool = True,
+    dedup_config: "DedupConfig | None" = None,
+    index_path: str = "",
 ) -> None:
     global _client, _checker, _fetch_retries, _measure_mitigations
+    global _dedup_config, _index_path
     _client = CommonCrawlClient(archive_root)
     _checker = Checker()
     _fetch_retries = fetch_retries
     _measure_mitigations = measure_mitigations
+    _dedup_config = dedup_config
+    _index_path = index_path
 
 
 @dataclass(slots=True)
@@ -64,6 +80,45 @@ class PageResult:
     mitigation: tuple[int, int, int, int] | None = None
     features: tuple[int, int] | None = None
     declared_encoding: str = ""
+    #: carry-forward provenance ("" = freshly checked); see Storage schema
+    carried_from: str = ""
+    #: which dedup tier carried this page: "cdx" | "content" | "near" | ""
+    carry_tier: str = ""
+    #: for a freshly checked page under dedup: the content-index entry the
+    #: parent stages in store order (None otherwise)
+    index_entry: "IndexEntry | None" = None
+
+
+def page_result_from_checked(checked: CheckedPage) -> PageResult:
+    """Compress a :class:`CheckedPage` into the picklable wire form."""
+    page_result = PageResult(
+        url=checked.url, utf8=checked.utf8,
+        checked=checked.report is not None,
+        declared_encoding=checked.declared_encoding,
+    )
+    if checked.report is not None and checked.report.counts:
+        page_result.findings = dict(checked.report.counts)
+    if checked.mitigation is not None:
+        mitigation = checked.mitigation
+        if (
+            mitigation.script_in_attr
+            or mitigation.urls_with_newline
+            or mitigation.urls_with_newline_and_lt
+        ):
+            page_result.mitigation = (
+                len(mitigation.script_in_attr),
+                sum(1 for hit in mitigation.script_in_attr
+                    if hit.is_nonced_script),
+                mitigation.urls_with_newline,
+                mitigation.urls_with_newline_and_lt,
+            )
+    if checked.features is not None and (
+        checked.features.uses_math or checked.features.uses_svg
+    ):
+        page_result.features = (
+            checked.features.math_elements, checked.features.svg_elements
+        )
+    return page_result
 
 
 @dataclass(slots=True)
@@ -75,6 +130,9 @@ class DomainResult:
     found: bool
     pages: list[PageResult] = field(default_factory=list)
     fetch_failures: int = 0
+    #: per-stage seconds ("index"/"fetch"/"check"), filled by the
+    #: incremental path for the run manifest; empty otherwise
+    timings: dict[str, float] = field(default_factory=dict)
 
     @property
     def analyzed_pages(self) -> int:
@@ -96,36 +154,37 @@ def process_domain(snapshot_id: str, domain: str, max_pages: int) -> DomainResul
         checked = check_page(
             page, _checker, measure_mitigation_signals=_measure_mitigations
         )
-        page_result = PageResult(
-            url=page.url, utf8=checked.utf8,
-            checked=checked.report is not None,
-            declared_encoding=checked.declared_encoding,
-        )
-        if checked.report is not None and checked.report.counts:
-            page_result.findings = dict(checked.report.counts)
-        if checked.mitigation is not None:
-            mitigation = checked.mitigation
-            if (
-                mitigation.script_in_attr
-                or mitigation.urls_with_newline
-                or mitigation.urls_with_newline_and_lt
-            ):
-                page_result.mitigation = (
-                    len(mitigation.script_in_attr),
-                    sum(1 for hit in mitigation.script_in_attr
-                        if hit.is_nonced_script),
-                    mitigation.urls_with_newline,
-                    mitigation.urls_with_newline_and_lt,
-                )
-        if checked.features is not None and (
-            checked.features.uses_math or checked.features.uses_svg
-        ):
-            page_result.features = (
-                checked.features.math_elements, checked.features.svg_elements
-            )
-        result.pages.append(page_result)
+        result.pages.append(page_result_from_checked(checked))
     result.fetch_failures = crawl_stats.failed
     return result
+
+
+def process_domain_dedup(
+    snapshot_id: str, domain: str, max_pages: int, generation: int
+) -> DomainResult:
+    """Worker task for the incremental path.
+
+    ``generation`` counts parent-side content-index commits (one per
+    snapshot boundary); the worker reopens its read-only handle when it
+    changes, so every lookup sees exactly the committed prior-snapshot
+    view regardless of which worker runs which domain.
+    """
+    global _dedup_index, _dedup_generation
+    assert _client is not None and _checker is not None
+    assert _dedup_config is not None and _index_path
+    from ..incremental.content_index import ContentIndex
+    from ..incremental.dedup import process_domain_incremental
+
+    if _dedup_index is None or _dedup_generation != generation:
+        if _dedup_index is not None:
+            _dedup_index.close()
+        _dedup_index = ContentIndex(_index_path, readonly=True)
+        _dedup_generation = generation
+    return process_domain_incremental(
+        _client, _checker, _dedup_index, _dedup_config, snapshot_id, domain,
+        max_pages, fetch_retries=_fetch_retries,
+        measure_mitigations=_measure_mitigations,
+    )
 
 
 @dataclass(slots=True)
@@ -136,10 +195,86 @@ class ParallelRunStats:
     pages_filtered_non_utf8: int = 0
     fetch_failures: int = 0
     seconds: float = 0.0
+    #: dedup accounting when the incremental path ran; None otherwise
+    dedup: "DedupCounters | None" = None
 
     @property
     def pages_per_second(self) -> float:
         return self.pages_checked / self.seconds if self.seconds else 0.0
+
+
+def store_domain_result(
+    storage: Storage,
+    result: DomainResult,
+    snapshot_row_id: int,
+    domain_row_id: int,
+    stats: ParallelRunStats,
+    *,
+    index: "ContentIndex | None" = None,
+    counters: "DedupCounters | None" = None,
+) -> None:
+    """Bulk-write one domain's results (shared by both runners).
+
+    Rows are batched per table in page order, so every autoincrement
+    id comes out exactly as the sequential runner's row-at-a-time
+    writes produce it (pages ids are contiguous per batch; findings
+    rows follow page order; mitigations/page_features are keyed by
+    page id).  The bit-identical parity test holds this to account.
+
+    Under dedup, fresh pages' index entries are staged here — i.e. in
+    deterministic store order, not completion order — and ``counters``
+    tallies each page's carry tier.
+    """
+    stats.domains_processed += 1
+    stats.fetch_failures += result.fetch_failures
+    if not result.found:
+        storage.set_domain_status(
+            snapshot_row_id, domain_row_id, found=False, analyzed=False,
+            pages=0,
+        )
+        return
+    page_ids = storage.add_pages(
+        snapshot_row_id,
+        domain_row_id,
+        [
+            (page.url, page.utf8, page.checked, page.declared_encoding,
+             page.carried_from)
+            for page in result.pages
+        ],
+    )
+    findings_rows: list[tuple[int, str, int]] = []
+    mitigation_rows: list[tuple[int, int, int, int, int]] = []
+    feature_rows: list[tuple[int, int, int]] = []
+    for page_row_id, page in zip(page_ids, result.pages):
+        if counters is not None:
+            counters.count(page)
+        if index is not None and page.index_entry is not None:
+            if index.stage(page.index_entry) and counters is not None:
+                counters.staged += 1
+        if not page.checked:
+            stats.pages_filtered_non_utf8 += 1
+            continue
+        stats.pages_checked += 1
+        for violation, count in page.findings.items():
+            findings_rows.append((page_row_id, violation, count))
+        if page.mitigation is not None:
+            script_in_attr, nonced, urls_nl, urls_nl_lt = page.mitigation
+            mitigation_rows.append(
+                (page_row_id, script_in_attr, nonced, urls_nl, urls_nl_lt)
+            )
+        if page.features is not None:
+            math_elements, svg_elements = page.features
+            feature_rows.append((page_row_id, math_elements, svg_elements))
+    storage.add_findings_rows(findings_rows)
+    storage.add_mitigations_rows(mitigation_rows)
+    storage.add_page_features_rows(feature_rows)
+    storage.set_domain_status(
+        snapshot_row_id,
+        domain_row_id,
+        found=True,
+        analyzed=result.analyzed_pages > 0,
+        pages=result.analyzed_pages,
+    )
 
 
 class ParallelStudyRunner:
@@ -156,6 +291,18 @@ class ParallelStudyRunner:
 
     ``window`` bounds how many tasks may be outstanding (in flight plus
     reorder-buffered); the default scales with ``workers``.
+
+    The incremental path (``dedup`` set) additionally takes the *writer*
+    :class:`~repro.incremental.content_index.ContentIndex`; its backing
+    file must be a real path so workers can open read-only handles.
+    Scheduling then runs in per-snapshot waves — a snapshot's tasks are
+    only submitted once the previous snapshot is stored and the index
+    committed — because carry-forward lookups are defined against the
+    prior snapshot's committed view.  Within a wave, completion order
+    still streams through the reorder buffer, so bit-identity across
+    worker counts is preserved.  ``progress_dedup`` (if set) receives
+    ``(snapshot_name, domains_done, domains_total, counters)`` with the
+    live :class:`~repro.incremental.dedup.DedupCounters`.
     """
 
     def __init__(
@@ -169,6 +316,9 @@ class ParallelStudyRunner:
         fetch_retries: int = 2,
         measure_mitigations: bool = True,
         progress: Callable[[str, int, int], None] | None = None,
+        dedup: "DedupConfig | None" = None,
+        content_index: "ContentIndex | None" = None,
+        progress_dedup: Callable[[str, int, int, "DedupCounters"], None] | None = None,
     ) -> None:
         self.archive_root = str(archive_root)
         self.storage = storage
@@ -178,6 +328,22 @@ class ParallelStudyRunner:
         self.fetch_retries = fetch_retries
         self.measure_mitigations = measure_mitigations
         self.progress = progress
+        self.dedup = dedup
+        self.content_index = content_index
+        self.progress_dedup = progress_dedup
+        #: per-stage seconds summed over workers ("index"/"fetch"/"check"
+        #: from the workers, "store" from the parent); incremental runs only
+        self.stage_seconds: dict[str, float] = {}
+        if dedup is not None:
+            if content_index is None:
+                raise ValueError(
+                    "incremental parallel run needs a writer ContentIndex"
+                )
+            if content_index.path == ":memory:":
+                raise ValueError(
+                    "incremental parallel run needs a file-backed content"
+                    " index (workers open it read-only)"
+                )
 
     def run(
         self,
@@ -204,6 +370,26 @@ class ParallelStudyRunner:
                 stats.snapshots += 1
             stats.seconds = time.monotonic() - started
             return stats
+        with ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_worker,
+            initargs=(
+                self.archive_root,
+                self.fetch_retries,
+                self.measure_mitigations,
+                self.dedup,
+                "" if self.content_index is None else self.content_index.path,
+            ),
+        ) as pool:
+            if self.dedup is not None:
+                self._run_incremental(pool, collections, names, domain_ids,
+                                      stats)
+            else:
+                self._run_full(pool, collections, names, domain_ids, stats)
+        stats.seconds = time.monotonic() - started
+        return stats
+
+    def _run_full(self, pool, collections, names, domain_ids, stats) -> None:
         # Every snapshot×domain task, submitted up front: workers roll
         # straight from one snapshot's stragglers into the next snapshot's
         # domains instead of idling at a per-snapshot barrier.
@@ -212,102 +398,81 @@ class ParallelStudyRunner:
             for collection in collections
             for name in names
         ]
-        with ProcessPoolExecutor(
-            max_workers=self.workers,
-            initializer=_init_worker,
-            initargs=(
-                self.archive_root,
-                self.fetch_retries,
-                self.measure_mitigations,
-            ),
-        ) as pool:
-            submit = lambda task: pool.submit(process_domain, *task)
-            results = streamed_map(submit, tasks, window=self.window)
-            snapshot_row_id = 0
-            current = -1
-            for index, result in enumerate(results):
-                snapshot_index, domain_index = divmod(index, len(names))
-                if snapshot_index != current:
-                    # crossed a snapshot boundary in store order: commit
-                    # the finished snapshot, open the next — the exact
-                    # write cadence of the sequential runner
-                    if current >= 0:
-                        self.storage.commit()
-                        stats.snapshots += 1
-                    collection = collections[snapshot_index]
-                    snapshot_row_id = self.storage.add_snapshot(
-                        collection.id, collection.year
-                    )
-                    current = snapshot_index
-                self._store(result, snapshot_row_id,
-                            domain_ids[result.domain], stats)
-                if self.progress is not None:
-                    self.progress(
-                        collections[snapshot_index].id, domain_index + 1,
-                        len(names),
-                    )
-            if current >= 0:
-                self.storage.commit()
-                stats.snapshots += 1
-        stats.seconds = time.monotonic() - started
-        return stats
-
-    def _store(
-        self,
-        result: DomainResult,
-        snapshot_row_id: int,
-        domain_row_id: int,
-        stats: ParallelRunStats,
-    ) -> None:
-        """Bulk-write one domain's results.
-
-        Rows are batched per table in page order, so every autoincrement
-        id comes out exactly as the sequential runner's row-at-a-time
-        writes produce it (pages ids are contiguous per batch; findings
-        rows follow page order; mitigations/page_features are keyed by
-        page id).  The bit-identical parity test holds this to account.
-        """
-        stats.domains_processed += 1
-        stats.fetch_failures += result.fetch_failures
-        if not result.found:
-            self.storage.set_domain_status(
-                snapshot_row_id, domain_row_id, found=False, analyzed=False,
-                pages=0,
-            )
-            return
-        page_ids = self.storage.add_pages(
-            snapshot_row_id,
-            domain_row_id,
-            [
-                (page.url, page.utf8, page.checked, page.declared_encoding)
-                for page in result.pages
-            ],
-        )
-        findings_rows: list[tuple[int, str, int]] = []
-        mitigation_rows: list[tuple[int, int, int, int, int]] = []
-        feature_rows: list[tuple[int, int, int]] = []
-        for page_row_id, page in zip(page_ids, result.pages):
-            if not page.checked:
-                stats.pages_filtered_non_utf8 += 1
-                continue
-            stats.pages_checked += 1
-            for violation, count in page.findings.items():
-                findings_rows.append((page_row_id, violation, count))
-            if page.mitigation is not None:
-                script_in_attr, nonced, urls_nl, urls_nl_lt = page.mitigation
-                mitigation_rows.append(
-                    (page_row_id, script_in_attr, nonced, urls_nl, urls_nl_lt)
+        submit = lambda task: pool.submit(process_domain, *task)
+        results = streamed_map(submit, tasks, window=self.window)
+        snapshot_row_id = 0
+        current = -1
+        for index, result in enumerate(results):
+            snapshot_index, domain_index = divmod(index, len(names))
+            if snapshot_index != current:
+                # crossed a snapshot boundary in store order: commit
+                # the finished snapshot, open the next — the exact
+                # write cadence of the sequential runner
+                if current >= 0:
+                    self.storage.commit()
+                    stats.snapshots += 1
+                collection = collections[snapshot_index]
+                snapshot_row_id = self.storage.add_snapshot(
+                    collection.id, collection.year
                 )
-            if page.features is not None:
-                math_elements, svg_elements = page.features
-                feature_rows.append((page_row_id, math_elements, svg_elements))
-        self.storage.add_findings_rows(findings_rows)
-        self.storage.add_mitigations_rows(mitigation_rows)
-        self.storage.add_page_features_rows(feature_rows)
-        self.storage.set_domain_status(
-            snapshot_row_id,
-            domain_row_id,
-            found=True,
-            analyzed=result.analyzed_pages > 0,
-            pages=result.analyzed_pages,
-        )
+                current = snapshot_index
+            store_domain_result(self.storage, result, snapshot_row_id,
+                                domain_ids[result.domain], stats)
+            if self.progress is not None:
+                self.progress(
+                    collections[snapshot_index].id, domain_index + 1,
+                    len(names),
+                )
+        if current >= 0:
+            self.storage.commit()
+            stats.snapshots += 1
+
+    def _run_incremental(
+        self, pool, collections, names, domain_ids, stats
+    ) -> None:
+        # Per-snapshot waves: carry-forward is defined against the prior
+        # snapshot's committed index view, so snapshot N+1 may not start
+        # until snapshot N is stored and the index committed.  The
+        # generation counter tells workers when to reopen their read-only
+        # handles.  Within a wave the reorder buffer streams exactly as in
+        # the full path.
+        from ..incremental.dedup import DedupCounters
+
+        counters = DedupCounters()
+        stats.dedup = counters
+        index = self.content_index
+        assert index is not None
+        self.stage_seconds = {
+            "index": 0.0, "fetch": 0.0, "check": 0.0, "store": 0.0,
+        }
+        for generation, collection in enumerate(collections):
+            snapshot_row_id = self.storage.add_snapshot(
+                collection.id, collection.year
+            )
+            tasks = [
+                (collection.id, name, self.max_pages, generation)
+                for name in names
+            ]
+            submit = lambda task: pool.submit(process_domain_dedup, *task)
+            results = streamed_map(submit, tasks, window=self.window)
+            for domain_index, result in enumerate(results):
+                for stage, seconds in result.timings.items():
+                    self.stage_seconds[stage] += seconds
+                store_started = time.perf_counter()
+                store_domain_result(
+                    self.storage, result, snapshot_row_id,
+                    domain_ids[result.domain], stats,
+                    index=index, counters=counters,
+                )
+                self.stage_seconds["store"] += (
+                    time.perf_counter() - store_started
+                )
+                if self.progress_dedup is not None:
+                    self.progress_dedup(
+                        collection.id, domain_index + 1, len(names), counters
+                    )
+                elif self.progress is not None:
+                    self.progress(collection.id, domain_index + 1, len(names))
+            self.storage.commit()
+            index.commit_snapshot()
+            stats.snapshots += 1

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ..commoncrawl import CommonCrawlClient
 from ..core import Checker
@@ -16,6 +16,11 @@ from .checker_stage import check_page
 from .crawler import CrawlStats, fetch_pages
 from .metadata import collect_metadata
 from .storage import Storage
+
+if TYPE_CHECKING:  # runtime imports stay lazy: pipeline → incremental is
+    # a one-way street (repro.incremental imports this package)
+    from ..incremental.content_index import ContentIndex
+    from ..incremental.dedup import DedupConfig, DedupCounters
 
 
 @dataclass(slots=True)
@@ -30,6 +35,8 @@ class RunStats:
     fetch_failures: int = 0
     seconds: float = 0.0
     per_snapshot: dict[str, int] = field(default_factory=dict)
+    #: dedup accounting when the incremental path ran; None otherwise
+    dedup: "DedupCounters | None" = None
 
     @property
     def pages_per_second(self) -> float:
@@ -42,6 +49,13 @@ class StudyRunner:
     ``max_pages`` is the per-domain page cap (the paper used 100; scale it
     down with the corpus).  ``progress`` is an optional callback
     ``(snapshot_name, domains_done, domains_total)``.
+
+    With ``dedup`` set, the run goes through the incremental ingest path
+    (:mod:`repro.incremental.dedup`): each page is resolved against
+    ``content_index`` (an in-memory index is created when none is given),
+    carried pages skip parse+check, fresh outcomes are staged in store
+    order and committed at snapshot boundaries, and
+    ``progress_dedup``/``stats.dedup`` expose the live counters.
     """
 
     def __init__(
@@ -54,6 +68,9 @@ class StudyRunner:
         measure_mitigations: bool = True,
         fetch_retries: int = 2,
         progress: Callable[[str, int, int], None] | None = None,
+        dedup: "DedupConfig | None" = None,
+        content_index: "ContentIndex | None" = None,
+        progress_dedup: Callable[[str, int, int, "DedupCounters"], None] | None = None,
     ) -> None:
         self.client = client
         self.storage = storage
@@ -62,6 +79,11 @@ class StudyRunner:
         self.measure_mitigations = measure_mitigations
         self.fetch_retries = fetch_retries
         self.progress = progress
+        self.dedup = dedup
+        self.content_index = content_index
+        self.progress_dedup = progress_dedup
+        #: per-stage seconds for the run manifest; incremental runs only
+        self.stage_seconds: dict[str, float] = {}
 
     def run(
         self,
@@ -78,6 +100,10 @@ class StudyRunner:
         domain_ids = {
             name: self.storage.add_domain(name, rank) for name, rank in domains
         }
+        if self.dedup is not None:
+            self._run_incremental(collections, domains, domain_ids, stats)
+            stats.seconds = time.monotonic() - started
+            return stats
         for collection in collections:
             snapshot_row_id = self.storage.add_snapshot(
                 collection.id, collection.year
@@ -92,6 +118,76 @@ class StudyRunner:
             stats.snapshots += 1
         stats.seconds = time.monotonic() - started
         return stats
+
+    def _run_incremental(
+        self,
+        collections: list,
+        domains: list[tuple[str, float]],
+        domain_ids: dict[str, int],
+        stats: RunStats,
+    ) -> None:
+        """The dedup ingest path, sequentially.
+
+        Identical store order and write batching as the incremental
+        parallel path (``store_domain_result``), so sequential and
+        parallel incremental runs are bit-identical end to end.
+        """
+        from ..incremental.content_index import ContentIndex
+        from ..incremental.dedup import (
+            DedupCounters,
+            dedup_meta,
+            process_domain_incremental,
+        )
+        from .parallel import store_domain_result
+
+        index = self.content_index
+        if index is None:
+            index = ContentIndex(
+                ":memory:",
+                meta=dedup_meta(measure_mitigations=self.measure_mitigations),
+            )
+        counters = DedupCounters()
+        stats.dedup = counters
+        self.stage_seconds = {
+            "index": 0.0, "fetch": 0.0, "check": 0.0, "store": 0.0,
+        }
+        for collection in collections:
+            snapshot_row_id = self.storage.add_snapshot(
+                collection.id, collection.year
+            )
+            for position, (name, _rank) in enumerate(domains):
+                result = process_domain_incremental(
+                    self.client, self.checker, index, self.dedup,
+                    collection.id, name, self.max_pages,
+                    fetch_retries=self.fetch_retries,
+                    measure_mitigations=self.measure_mitigations,
+                )
+                for stage, seconds in result.timings.items():
+                    self.stage_seconds[stage] += seconds
+                store_started = time.perf_counter()
+                store_domain_result(
+                    self.storage, result, snapshot_row_id, domain_ids[name],
+                    stats, index=index, counters=counters,
+                )
+                self.stage_seconds["store"] += (
+                    time.perf_counter() - store_started
+                )
+                stats.pages_fetched += sum(
+                    1 for page in result.pages if page.carry_tier != "cdx"
+                )
+                analyzed = result.analyzed_pages
+                stats.per_snapshot[collection.id] = (
+                    stats.per_snapshot.get(collection.id, 0) + analyzed
+                )
+                if self.progress_dedup is not None:
+                    self.progress_dedup(
+                        collection.id, position + 1, len(domains), counters
+                    )
+                elif self.progress is not None:
+                    self.progress(collection.id, position + 1, len(domains))
+            self.storage.commit()
+            index.commit_snapshot()
+            stats.snapshots += 1
 
     def _process_domain(
         self,

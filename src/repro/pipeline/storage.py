@@ -8,10 +8,18 @@ methods, so analyses are SQL-backed exactly as in the paper's framework.
 """
 from __future__ import annotations
 
+import hashlib
 import sqlite3
 from collections import Counter
 from pathlib import Path
 from typing import Iterable
+
+from .migrations import ensure_schema
+
+#: schema generation of ``_SCHEMA`` below.  Generation 1 is the
+#: pre-versioning layout (no ``pages.carried_from``); generation 2 added
+#: the carry-forward provenance column for the incremental engine.
+SCHEMA_VERSION = 2
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS snapshots (
@@ -39,7 +47,11 @@ CREATE TABLE IF NOT EXISTS pages (
     url TEXT NOT NULL,
     utf8 INTEGER NOT NULL,
     checked INTEGER NOT NULL,
-    declared_encoding TEXT NOT NULL DEFAULT ''
+    declared_encoding TEXT NOT NULL DEFAULT '',
+    -- carry-forward provenance: '' for a freshly checked page, otherwise
+    -- "<snapshot> <url>" of the source page whose findings were carried
+    -- (prefixed with '~' for a simhash near-duplicate carry)
+    carried_from TEXT NOT NULL DEFAULT ''
 );
 CREATE TABLE IF NOT EXISTS findings (
     id INTEGER PRIMARY KEY,
@@ -75,6 +87,26 @@ CREATE INDEX IF NOT EXISTS idx_findings_violation_page
     ON findings(violation, page_id);
 """
 
+#: per-generation upgrade steps consumed by
+#: :func:`repro.pipeline.migrations.ensure_schema`; key = target version
+_MIGRATIONS: dict[int, tuple[str, ...]] = {
+    2: (
+        "ALTER TABLE pages ADD COLUMN carried_from TEXT NOT NULL DEFAULT ''",
+    ),
+}
+
+#: every table that feeds an aggregation query, in schema order; the
+#: canonical dump below walks exactly these
+AGGREGATE_TABLES = (
+    "snapshots",
+    "domains",
+    "domain_status",
+    "pages",
+    "findings",
+    "mitigations",
+    "page_features",
+)
+
 #: write-path pragmas: WAL keeps readers unblocked during the runner's
 #: batched inserts and turns fsync-per-commit into fsync-per-checkpoint;
 #: NORMAL is durable through application crashes (the study can always
@@ -104,7 +136,13 @@ class Storage:
         if tuned:
             for pragma in _TUNING_PRAGMAS:
                 self.conn.execute(pragma)
-        self.conn.executescript(_SCHEMA)
+        self.schema_version_found = ensure_schema(
+            self.conn,
+            latest=SCHEMA_VERSION,
+            create=_SCHEMA,
+            migrations=_MIGRATIONS,
+            label="results store",
+        )
         if tuned:
             self.conn.executescript(_INDEXES)
 
@@ -157,13 +195,13 @@ class Storage:
 
     def add_page(
         self, snapshot_id: int, domain_id: int, url: str, *, utf8: bool,
-        checked: bool, declared_encoding: str = "",
+        checked: bool, declared_encoding: str = "", carried_from: str = "",
     ) -> int:
         cursor = self.conn.execute(
             "INSERT INTO pages(snapshot_id, domain_id, url, utf8, checked, "
-            "declared_encoding) VALUES (?, ?, ?, ?, ?, ?)",
+            "declared_encoding, carried_from) VALUES (?, ?, ?, ?, ?, ?, ?)",
             (snapshot_id, domain_id, url, int(utf8), int(checked),
-             declared_encoding),
+             declared_encoding, carried_from),
         )
         return cursor.lastrowid
 
@@ -171,10 +209,10 @@ class Storage:
         self,
         snapshot_id: int,
         domain_id: int,
-        rows: list[tuple[str, bool, bool, str]],
+        rows: list[tuple[str, bool, bool, str, str]],
     ) -> list[int]:
-        """Bulk insert ``(url, utf8, checked, declared_encoding)`` rows,
-        returning their page ids in input order.
+        """Bulk insert ``(url, utf8, checked, declared_encoding,
+        carried_from)`` rows, returning their page ids in input order.
 
         ``cursor.lastrowid`` is undefined after ``executemany``, so the ids
         are recovered from ``last_insert_rowid()``: this connection is the
@@ -187,10 +225,11 @@ class Storage:
             return []
         self.conn.executemany(
             "INSERT INTO pages(snapshot_id, domain_id, url, utf8, checked, "
-            "declared_encoding) VALUES (?, ?, ?, ?, ?, ?)",
+            "declared_encoding, carried_from) VALUES (?, ?, ?, ?, ?, ?, ?)",
             [
-                (snapshot_id, domain_id, url, int(utf8), int(checked), encoding)
-                for url, utf8, checked, encoding in rows
+                (snapshot_id, domain_id, url, int(utf8), int(checked),
+                 encoding, carried)
+                for url, utf8, checked, encoding, carried in rows
             ],
         )
         last = self.conn.execute("SELECT last_insert_rowid()").fetchone()[0]
@@ -453,3 +492,41 @@ class Storage:
             "GROUP BY declared_encoding ORDER BY COUNT(*) DESC"
         )
         return {encoding or "(undeclared)": count for encoding, count in rows}
+
+    # ---------------------------------------------------- canonical dumps
+
+    def aggregate_dump(self, *, include_provenance: bool = True) -> str:
+        """Canonical text dump of every aggregate table, in rowid order.
+
+        This is the bit-parity currency of the equivalence suites:
+        two stores whose dumps are byte-equal answer every aggregation
+        query above identically.  Values are rendered with SQLite's own
+        ``quote()`` so the text is exact (no float reformatting).
+
+        ``include_provenance=False`` drops the ``pages.carried_from``
+        column, which is the one column where an incremental run
+        *legitimately* differs from the full reference path — everything
+        the analyses read must still match byte for byte.  (A custom
+        dump rather than ``iterdump`` because the ``filter=`` parameter
+        landed after this interpreter's sqlite3.)
+        """
+        lines: list[str] = []
+        for table in AGGREGATE_TABLES:
+            columns = [
+                row[1]
+                for row in self.conn.execute(f"PRAGMA table_info({table})")
+            ]
+            if table == "pages" and not include_provenance:
+                columns = [c for c in columns if c != "carried_from"]
+            selected = ", ".join(f"quote({column})" for column in columns)
+            lines.append(f"-- {table}({', '.join(columns)})")
+            for row in self.conn.execute(
+                f"SELECT {selected} FROM {table} ORDER BY rowid"
+            ):
+                lines.append(f"INSERT INTO {table} VALUES({','.join(row)});")
+        return "\n".join(lines) + "\n"
+
+    def aggregate_sha256(self, *, include_provenance: bool = True) -> str:
+        """sha256 hex digest of :meth:`aggregate_dump` (manifest currency)."""
+        dump = self.aggregate_dump(include_provenance=include_provenance)
+        return hashlib.sha256(dump.encode("utf-8")).hexdigest()

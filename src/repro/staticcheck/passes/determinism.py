@@ -51,7 +51,9 @@ from ..findings import Severity
 PASS_ID = "determinism"
 
 #: directories (any path component) the reproducibility guard covers
-GUARDED_DIRS = frozenset({"analysis", "pipeline", "commoncrawl", "fuzz"})
+GUARDED_DIRS = frozenset(
+    {"analysis", "pipeline", "commoncrawl", "fuzz", "incremental"}
+)
 
 #: module stems allowed to read ambient state (configuration boundaries)
 EXEMPT_MODULES = frozenset({"config", "settings"})

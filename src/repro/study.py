@@ -34,13 +34,13 @@ from .analysis import (
 )
 from .commoncrawl import (
     ArchiveBuilder,
-    CommonCrawlClient,
     CorpusConfig,
     CorpusPlanner,
 )
-from .core import Checker
+from .commoncrawl import calibration as cal
 from .core.violations import Group
-from .pipeline import ParallelStudyRunner, Storage, StudyRunner
+from .incremental import DedupConfig, execute_study_run
+from .pipeline import Storage
 
 
 def default_cache_dir() -> Path:
@@ -63,6 +63,12 @@ class StudyConfig:
     num_domains: int = 150
     max_pages: int = 6
     seed: int = 42
+    #: restrict the study to these calendar years (None = all paper
+    #: years); the corpus is generated with exactly these snapshots
+    years: tuple[int, ...] | None = None
+    #: fraction of stable (byte-identical across snapshots) pages per
+    #: domain-year; 0.0 keeps legacy corpora byte-identical
+    overlap_fraction: float = 0.0
 
     @classmethod
     def scaled(cls) -> "StudyConfig":
@@ -70,21 +76,40 @@ class StudyConfig:
         return cls(num_domains=max(40, int(150 * factor)))
 
     def key(self) -> str:
-        return f"d{self.num_domains}-p{self.max_pages}-s{self.seed}"
+        key = f"d{self.num_domains}-p{self.max_pages}-s{self.seed}"
+        # suffixes only when set, so legacy cache entries keep resolving
+        if self.years is not None:
+            key += "-y" + "_".join(str(year) for year in self.years)
+        if self.overlap_fraction:
+            key += f"-o{self.overlap_fraction}"
+        return key
 
     def corpus_config(self) -> CorpusConfig:
         return CorpusConfig(
-            num_domains=self.num_domains, max_pages=self.max_pages, seed=self.seed
+            num_domains=self.num_domains,
+            max_pages=self.max_pages,
+            seed=self.seed,
+            years=cal.YEARS if self.years is None else self.years,
+            overlap_fraction=self.overlap_fraction,
         )
 
 
 class Study:
     """A completed study run: archive + results DB + analyses."""
 
-    def __init__(self, config: StudyConfig, archive_dir: Path, db_path: Path) -> None:
+    def __init__(
+        self,
+        config: StudyConfig,
+        archive_dir: Path,
+        db_path: Path,
+        manifest_path: Path | None = None,
+    ) -> None:
         self.config = config
         self.archive_dir = archive_dir
         self.db_path = db_path
+        #: the repro-manifest/1 record written when this study executed
+        #: (may not exist for caches predating run manifests)
+        self.manifest_path = manifest_path
         self.storage = Storage(db_path)
 
     # ------------------------------------------------------------- analyses
@@ -137,46 +162,83 @@ def run_study(
     cache_dir: Path | None = None,
     force: bool = False,
     workers: int = 1,
+    incremental: bool = False,
+    near_hamming: int | None = None,
+    progress_dedup=None,
 ) -> Study:
     """Run (or load the cached) full study for ``config``.
 
     ``workers > 1`` fans domains out to a process pool
     (:class:`repro.pipeline.ParallelStudyRunner`); results are identical to
     the sequential path and share its cache.
+
+    ``incremental=True`` routes the run through the dedup ingest path
+    (:mod:`repro.incremental`): a persistent content index lives next to
+    the results database, findings of unchanged bodies are carried
+    forward, and the aggregate tables stay byte-identical to the full
+    path (near-dup carries via ``near_hamming`` trade that exactness for
+    more skips).  Incremental runs are cached under their own key.
+
+    Every execution writes a ``repro-manifest/1`` record next to the
+    results database; ``repro-study replay`` re-executes from it.
     """
     config = config or StudyConfig.scaled()
     cache_dir = cache_dir or default_cache_dir()
     cache_dir.mkdir(parents=True, exist_ok=True)
     archive_dir = build_archive(config, cache_dir)
-    db_path = cache_dir / f"results-{config.key()}.sqlite"
-    done_marker = cache_dir / f"results-{config.key()}.done"
+    key = config.key()
+    if incremental:
+        key += "-inc" if near_hamming is None else f"-inc{near_hamming}"
+    db_path = cache_dir / f"results-{key}.sqlite"
+    manifest_path = cache_dir / f"results-{key}.manifest.json"
+    done_marker = cache_dir / f"results-{key}.done"
     if force or not done_marker.exists():
         if db_path.exists():
             db_path.unlink()
-        pages_checked = _execute(config, archive_dir, db_path, workers)
+        pages_checked = _execute(
+            config, archive_dir, db_path, workers,
+            incremental=incremental, near_hamming=near_hamming,
+            index_path=cache_dir / f"content-index-{key}.sqlite",
+            manifest_path=manifest_path,
+            progress_dedup=progress_dedup,
+        )
         done_marker.write_text(json.dumps({"pages_checked": pages_checked}))
-    return Study(config, archive_dir, db_path)
+    return Study(config, archive_dir, db_path, manifest_path=manifest_path)
 
 
 def _execute(
-    config: StudyConfig, archive_dir: Path, db_path: Path, workers: int
+    config: StudyConfig,
+    archive_dir: Path,
+    db_path: Path,
+    workers: int,
+    *,
+    incremental: bool = False,
+    near_hamming: int | None = None,
+    index_path: Path | None = None,
+    manifest_path: Path | None = None,
+    progress_dedup=None,
 ) -> int:
     truth = json.loads((archive_dir / "ground_truth.json").read_text())
     domains = [(item["name"], item["avg_rank"]) for item in truth["domains"]]
+    dedup = None
+    if incremental:
+        dedup = DedupConfig(near_hamming=near_hamming)
+        # a fresh index per execution keeps the recorded manifest fully
+        # replayable (run.index_fresh); re-runs land here only on --force
+        if index_path is not None and index_path.exists():
+            index_path.unlink()
     # one slot of headroom so the trailing non-UTF-8 legacy page is fetched
     # (exercising the encoding filter) without displacing a planned page
-    max_pages = config.max_pages + 1
-    with Storage(db_path) as storage:
-        if workers > 1:
-            stats = ParallelStudyRunner(
-                archive_dir, storage, max_pages=max_pages, workers=workers
-            ).run(domains)
-            pages_checked = stats.pages_checked
-        else:
-            runner = StudyRunner(
-                CommonCrawlClient(archive_dir), storage, checker=Checker(),
-                max_pages=max_pages,
-            )
-            pages_checked = runner.run(domains).pages_checked
-        storage.commit()
-    return pages_checked
+    _manifest, stats = execute_study_run(
+        archive_root=archive_dir,
+        db_path=db_path,
+        domains=domains,
+        max_pages=config.max_pages + 1,
+        workers=workers,
+        seed=config.seed,
+        dedup=dedup,
+        index_path=index_path if incremental else None,
+        manifest_path=manifest_path,
+        progress_dedup=progress_dedup,
+    )
+    return stats.pages_checked

@@ -146,3 +146,59 @@ class TestRenderPage:
                     assert json.loads(payload)["domain"] == spec.domain
                     return
         pytest.skip("no json page in this plan")
+
+
+class TestOverlap:
+    """The overlap knob that feeds the incremental dedup engine."""
+
+    def test_zero_overlap_is_bit_identical_to_legacy_plans(self):
+        """overlap_fraction=0 must not perturb any existing draw: the
+        planner's RNG streams and page specs are unchanged."""
+        legacy = CorpusPlanner(
+            CorpusConfig(num_domains=30, max_pages=4, seed=7)
+        ).plan()
+        explicit = CorpusPlanner(
+            CorpusConfig(num_domains=30, max_pages=4, seed=7,
+                         overlap_fraction=0.0)
+        ).plan()
+        assert legacy.pages == explicit.pages
+        assert all(
+            not spec.stable
+            for specs in legacy.pages.values()
+            for spec in specs
+        )
+
+    def test_stable_pages_render_identically_across_years(self):
+        config = CorpusConfig(num_domains=30, max_pages=4, seed=7,
+                              years=(2020, 2021, 2022),
+                              overlap_fraction=0.75)
+        plan = CorpusPlanner(config).plan()
+        by_url: dict[tuple, dict[int, bytes]] = {}
+        stable_seen = 0
+        for (domain, year), specs in plan.pages.items():
+            for spec in specs:
+                if spec.stable:
+                    stable_seen += 1
+                    assert not spec.injectors, (
+                        "injectors must stay on volatile slots"
+                    )
+                    by_url.setdefault(spec.url, {})[year] = render_page(
+                        spec, config.seed
+                    )
+        assert stable_seen > 0
+        multi_year = {
+            url: renders for url, renders in by_url.items()
+            if len(renders) > 1
+        }
+        assert multi_year, "no page was stable across two snapshots"
+        for renders in multi_year.values():
+            assert len(set(renders.values())) == 1
+
+    def test_every_domain_keeps_a_volatile_slot(self):
+        plan = CorpusPlanner(
+            CorpusConfig(num_domains=30, max_pages=2, seed=7,
+                         overlap_fraction=1.0)
+        ).plan()
+        for specs in plan.pages.values():
+            injectable = [s for s in specs if s.html and s.utf8]
+            assert any(not s.stable for s in injectable)

@@ -1,0 +1,133 @@
+"""Content index tests: staging discipline, persistence, staleness."""
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.incremental import (
+    ContentIndex,
+    ContentIndexError,
+    ContentIndexStaleError,
+    IndexEntry,
+)
+from repro.pipeline import SchemaVersionError
+
+META = {"registry_hash": "r1", "measure_mitigations": "1", "schema": "t/1"}
+
+
+def entry(key: str, *, snapshot: str = "CC-A", url: str = "https://a/",
+          digest: str = "D", simhash: int | None = None) -> IndexEntry:
+    return IndexEntry(
+        snapshot=snapshot, url=url, cdx_digest=digest, content_key=key,
+        simhash=simhash, utf8=True, checked=True, declared_encoding="utf-8",
+        findings=(("DM1", 2), ("FB2", 1)), mitigation=(1, 0, 0, 1),
+        features=(1, 0),
+    )
+
+
+class TestStagingDiscipline:
+    def test_staged_entries_invisible_until_commit(self):
+        with ContentIndex() as index:
+            assert index.stage(entry("k1"))
+            assert index.lookup_key("k1") is None
+            assert index.lookup_digest("D") is None
+            assert index.entry_count() == 0
+            assert index.commit_snapshot() == 1
+            hit = index.lookup_key("k1")
+            assert hit is not None
+            assert hit.findings == (("DM1", 2), ("FB2", 1))
+            assert hit.mitigation == (1, 0, 0, 1)
+            assert hit.provenance == "CC-A https://a/"
+
+    def test_duplicate_content_key_first_wins(self):
+        with ContentIndex() as index:
+            assert index.stage(entry("k1", url="https://first/"))
+            assert not index.stage(entry("k1", url="https://second/"))
+            index.commit_snapshot()
+            # committed entries also block re-staging in later snapshots
+            assert not index.stage(entry("k1", url="https://third/"))
+            assert index.lookup_key("k1").url == "https://first/"
+
+    def test_digest_lookup_earliest_row_wins(self):
+        with ContentIndex() as index:
+            index.stage(entry("k1", digest="SAME", url="https://one/"))
+            index.stage(entry("k2", digest="SAME", url="https://two/"))
+            index.commit_snapshot()
+            assert index.lookup_digest("SAME").url == "https://one/"
+
+    def test_near_lookup_only_sees_committed(self):
+        with ContentIndex() as index:
+            index.stage(entry("k1", simhash=0b1111))
+            assert index.lookup_near(0b1111, 2) is None
+            index.commit_snapshot()
+            assert index.lookup_near(0b1011, 2) is not None
+            assert index.lookup_near(0b1111 << 32, 2) is None
+
+
+class TestPersistence:
+    def test_reopen_sees_committed_entries(self, tmp_path):
+        path = tmp_path / "index.sqlite"
+        with ContentIndex(path, meta=META) as index:
+            index.stage(entry("k1", simhash=7))
+            index.commit_snapshot()
+        with ContentIndex(path, meta=META) as index:
+            assert index.entry_count() == 1
+            assert index.lookup_key("k1") is not None
+            # sketches are reloaded for the near tier too
+            assert index.lookup_near(7, 0) is not None
+
+    def test_readonly_open(self, tmp_path):
+        path = tmp_path / "index.sqlite"
+        with ContentIndex(path, meta=META) as index:
+            index.stage(entry("k1"))
+            index.commit_snapshot()
+        with ContentIndex(path, readonly=True) as reader:
+            assert reader.lookup_key("k1") is not None
+            with pytest.raises(sqlite3.OperationalError):
+                reader.conn.execute("DELETE FROM entries")
+
+
+class TestStaleness:
+    def test_mismatched_meta_refused_with_keys(self, tmp_path):
+        path = tmp_path / "index.sqlite"
+        ContentIndex(path, meta=META).close()
+        changed = dict(META, registry_hash="r2")
+        with pytest.raises(ContentIndexStaleError, match="registry_hash"):
+            ContentIndex(path, meta=changed)
+
+    def test_reset_wipes_and_restamps(self, tmp_path):
+        path = tmp_path / "index.sqlite"
+        with ContentIndex(path, meta=META) as index:
+            index.stage(entry("k1"))
+            index.commit_snapshot()
+        changed = dict(META, registry_hash="r2")
+        with ContentIndex(path, meta=changed, on_stale="reset") as index:
+            assert index.entry_count() == 0
+        # the new stamp sticks: reopening under it is clean
+        with ContentIndex(path, meta=changed) as index:
+            assert index.entry_count() == 0
+
+    def test_newer_schema_generation_refused(self, tmp_path):
+        path = tmp_path / "index.sqlite"
+        ContentIndex(path, meta=META).close()
+        conn = sqlite3.connect(path)
+        conn.execute("PRAGMA user_version = 99")
+        conn.commit()
+        conn.close()
+        with pytest.raises(SchemaVersionError):
+            ContentIndex(path, meta=META)
+        with pytest.raises(SchemaVersionError):
+            ContentIndex(path, readonly=True)
+
+    def test_corrupt_file_refused_or_rebuilt(self, tmp_path):
+        path = tmp_path / "index.sqlite"
+        path.write_bytes(b"this is not a sqlite database, not even close")
+        with pytest.raises(ContentIndexError):
+            ContentIndex(path, meta=META)
+        with ContentIndex(path, meta=META, on_stale="reset") as index:
+            assert index.entry_count() == 0
+
+    def test_invalid_on_stale_rejected(self):
+        with pytest.raises(ValueError):
+            ContentIndex(on_stale="ignore")

@@ -1,0 +1,259 @@
+"""Dedup ingest parity and edge-case tests (DESIGN.md §3.13).
+
+The hard claims: the incremental path's aggregate tables are
+byte-identical to the full pipeline's, and every worker count produces a
+byte-identical database *including* the provenance column.
+"""
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+
+import pytest
+
+from repro.commoncrawl import ArchiveBuilder, CorpusConfig, CorpusPlanner
+from repro.commoncrawl.snapshot import _cdx_timestamp, _warc_date, snapshot_name
+from repro.incremental import DedupConfig, execute_study_run, simhash64, hamming64
+from repro.warc import CDXEntry, CDXWriter, WARCRecord, WARCWriter, surt
+
+CLEAN_PAGE = (
+    b'<!DOCTYPE html><html lang="en"><head><meta charset="utf-8">'
+    b"<title>t</title></head><body><p>hello</p></body></html>"
+)
+DIRTY_PAGE = (
+    b"<html><body><p>unclosed <b>nested <form><form>double form"
+    b"</body></html>"
+)
+
+
+def build_archive(root: Path, snapshots: dict[int, list[tuple]]) -> None:
+    """Hand-rolled archive: ``{year: [(url, payload[, content_type])]}``."""
+    collinfo = []
+    for year, pages in sorted(snapshots.items()):
+        name = snapshot_name(year)
+        warc_dir = root / "crawl-data" / name / "warc"
+        warc_dir.mkdir(parents=True, exist_ok=True)
+        (root / "cc-index").mkdir(parents=True, exist_ok=True)
+        cdx = CDXWriter()
+        part_rel = Path("crawl-data") / name / "warc" / "part-00000.warc.gz"
+        with open(root / part_rel, "wb") as stream:
+            writer = WARCWriter(stream)
+            writer.write_record(WARCRecord.warcinfo(
+                "part-00000.warc.gz", _warc_date(year, 0),
+                {"software": "test/1.0", "isPartOf": name},
+            ))
+            for counter, page in enumerate(pages):
+                url, payload = page[0], page[1]
+                content_type = (
+                    page[2] if len(page) > 2 else "text/html; charset=UTF-8"
+                )
+                date = _warc_date(year, counter)
+                record = WARCRecord.response(
+                    url, payload, date, content_type=content_type
+                )
+                offset, length = writer.write_record(record)
+                cdx.add(CDXEntry(
+                    urlkey=surt(url), timestamp=_cdx_timestamp(date), url=url,
+                    mime="text/html", status=200,
+                    digest=record.payload_digest, length=length,
+                    offset=offset, filename=str(part_rel),
+                ))
+        cdx.write(root / "cc-index" / f"{name}.cdxj")
+        collinfo.append({
+            "id": name, "name": f"test crawl {year}", "year": year,
+            "cdx-api": f"cc-index/{name}.cdxj", "records": len(pages),
+        })
+    (root / "collinfo.json").write_text(json.dumps(collinfo))
+
+
+def run(root, db_path, domains, *, workers=1, dedup=None, index_path=None,
+        max_pages=8):
+    manifest, stats = execute_study_run(
+        archive_root=root, db_path=db_path, domains=domains,
+        max_pages=max_pages, workers=workers, seed=0, dedup=dedup,
+        index_path=index_path,
+    )
+    return manifest, stats
+
+
+def pages_table(db_path) -> list[tuple]:
+    conn = sqlite3.connect(db_path)
+    try:
+        return conn.execute(
+            "SELECT url, checked, carried_from FROM pages"
+            " JOIN snapshots ON snapshots.id = pages.snapshot_id"
+            " ORDER BY pages.id"
+        ).fetchall()
+    finally:
+        conn.close()
+
+
+@pytest.fixture(scope="module")
+def overlap_archive(tmp_path_factory):
+    """A generated multi-snapshot corpus with 2/3 stable pages per year."""
+    root = tmp_path_factory.mktemp("overlap-archive")
+    config = CorpusConfig(num_domains=12, max_pages=3, seed=19,
+                          years=(2020, 2021, 2022), overlap_fraction=0.8)
+    plan = CorpusPlanner(config).plan()
+    ArchiveBuilder(root).build(plan)
+    return root, [(name, rank) for name, rank in plan.domains]
+
+
+class TestFullEquivalence:
+    def test_incremental_matches_full_aggregate(self, overlap_archive, tmp_path):
+        root, domains = overlap_archive
+        full, _ = run(root, tmp_path / "full.sqlite", domains, max_pages=4)
+        inc, _ = run(root, tmp_path / "inc.sqlite", domains, max_pages=4,
+                     dedup=DedupConfig())
+        counters = inc["dedup_counters"]
+        assert counters["carried"] > 0, counters
+        assert counters["cdx_hits"] > 0, counters
+        assert (
+            inc["results"]["aggregate_sha256"]
+            == full["results"]["aggregate_sha256"]
+        )
+        # the full dumps legitimately differ: the incremental run's pages
+        # carry provenance markers the full path never writes
+        assert (
+            inc["results"]["full_sha256"] != full["results"]["full_sha256"]
+        )
+
+    def test_provenance_column_semantics(self, overlap_archive, tmp_path):
+        root, domains = overlap_archive
+        db = tmp_path / "prov.sqlite"
+        run(root, db, domains, max_pages=4, dedup=DedupConfig())
+        rows = pages_table(db)
+        carried = [r for r in rows if r[2]]
+        fresh = [r for r in rows if not r[2]]
+        assert carried and fresh
+        snapshot_ids = {snapshot_name(y) for y in (2020, 2021, 2022)}
+        for _url, _checked, provenance in carried:
+            source_snapshot, source_url = provenance.split(" ", 1)
+            assert source_snapshot in snapshot_ids, provenance
+            assert source_url.startswith("https://"), provenance
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_worker_count_bit_identity(self, overlap_archive, tmp_path, workers):
+        root, domains = overlap_archive
+        sequential, _ = run(
+            root, tmp_path / "w1.sqlite", domains, max_pages=4,
+            dedup=DedupConfig(), index_path=tmp_path / "w1-index.sqlite",
+        )
+        parallel, _ = run(
+            root, tmp_path / f"w{workers}.sqlite", domains, max_pages=4,
+            workers=workers, dedup=DedupConfig(),
+            index_path=tmp_path / f"w{workers}-index.sqlite",
+        )
+        assert (
+            parallel["results"]["full_sha256"]
+            == sequential["results"]["full_sha256"]
+        )
+
+
+class TestEdgeCases:
+    def test_identical_body_different_url_carries(self, tmp_path):
+        root = tmp_path / "archive"
+        build_archive(root, {
+            2021: [("https://site.example/old-path", DIRTY_PAGE)],
+            2022: [("https://site.example/new-path", DIRTY_PAGE)],
+        })
+        db = tmp_path / "r.sqlite"
+        _, _ = run(root, db, [("site.example", 1.0)], dedup=DedupConfig())
+        rows = pages_table(db)
+        assert rows[0] == ("https://site.example/old-path", 1, "")
+        assert rows[1] == (
+            "https://site.example/new-path", 1,
+            f"{snapshot_name(2021)} https://site.example/old-path",
+        )
+
+    def test_zero_findings_page_still_carries(self, tmp_path):
+        """A clean page (no findings at all) is a first-class carry: the
+        index records the empty outcome and the second snapshot skips the
+        check without inventing or dropping rows."""
+        root = tmp_path / "archive"
+        build_archive(root, {
+            2021: [("https://site.example/", CLEAN_PAGE)],
+            2022: [("https://site.example/", CLEAN_PAGE)],
+        })
+        db = tmp_path / "r.sqlite"
+        manifest, _ = run(root, db, [("site.example", 1.0)],
+                          dedup=DedupConfig())
+        assert manifest["dedup_counters"]["carried"] == 1
+        rows = pages_table(db)
+        assert len(rows) == 2
+        assert rows[1][2] == f"{snapshot_name(2021)} https://site.example/"
+        conn = sqlite3.connect(db)
+        assert conn.execute("SELECT COUNT(*) FROM findings").fetchone() == (0,)
+        conn.close()
+
+    def test_same_body_different_charset_header(self, tmp_path):
+        """Identical bytes under a different Content-Type charset: the
+        strict content key treats them as different documents (the
+        declared encoding changes the stored verdict), while the CDX
+        digest tier carries them — the documented approximation."""
+        pages = {
+            2021: [("https://site.example/", DIRTY_PAGE,
+                    "text/html; charset=UTF-8")],
+            2022: [("https://site.example/", DIRTY_PAGE,
+                    "text/html; charset=ISO-8859-1")],
+        }
+        strict_root = tmp_path / "strict"
+        build_archive(strict_root, pages)
+        strict_db = tmp_path / "strict.sqlite"
+        strict, _ = run(strict_root, strict_db, [("site.example", 1.0)],
+                        dedup=DedupConfig(trust_cdx_digest=False))
+        assert strict["dedup_counters"]["carried"] == 0
+        assert all(not r[2] for r in pages_table(strict_db))
+
+        trusting_db = tmp_path / "trusting.sqlite"
+        trusting, _ = run(strict_root, trusting_db, [("site.example", 1.0)],
+                          dedup=DedupConfig(trust_cdx_digest=True))
+        assert trusting["dedup_counters"]["cdx_hits"] == 1
+
+    def test_near_dup_threshold_boundary(self, tmp_path):
+        """The simhash tier carries at exactly the configured Hamming
+        distance and refuses one bit below it."""
+        original = DIRTY_PAGE + b"<p>breaking news story one today</p>"
+        revised = DIRTY_PAGE + b"<p>breaking news story two today</p>"
+        distance = hamming64(simhash64(original), simhash64(revised))
+        assert distance >= 1
+        root = tmp_path / "archive"
+        build_archive(root, {
+            2021: [("https://site.example/", original)],
+            2022: [("https://site.example/", revised)],
+        })
+        domains = [("site.example", 1.0)]
+
+        at_db = tmp_path / "at.sqlite"
+        at, _ = run(root, at_db, domains,
+                    dedup=DedupConfig(near_hamming=distance))
+        assert at["dedup_counters"]["near_hits"] == 1
+        rows = pages_table(at_db)
+        assert rows[1][2] == f"~{snapshot_name(2021)} https://site.example/"
+
+        below_db = tmp_path / "below.sqlite"
+        below, _ = run(root, below_db, domains,
+                       dedup=DedupConfig(near_hamming=distance - 1))
+        assert below["dedup_counters"]["near_hits"] == 0
+        assert below["dedup_counters"]["misses"] == 2
+
+    def test_within_snapshot_duplicates_not_carried(self, tmp_path):
+        """Lookups only see entries committed at the previous snapshot
+        boundary: two identical bodies inside one snapshot are both
+        checked fresh (order-independence across worker counts)."""
+        root = tmp_path / "archive"
+        build_archive(root, {
+            2022: [
+                ("https://site.example/a", DIRTY_PAGE),
+                ("https://site.example/b", DIRTY_PAGE),
+            ],
+        })
+        db = tmp_path / "r.sqlite"
+        manifest, _ = run(root, db, [("site.example", 1.0)],
+                          dedup=DedupConfig())
+        assert manifest["dedup_counters"]["carried"] == 0
+        assert manifest["dedup_counters"]["misses"] == 2
+        # first-wins: only one index entry staged for the shared body
+        assert manifest["dedup_counters"]["staged"] == 1
+        assert all(not r[2] for r in pages_table(db))

@@ -1,0 +1,155 @@
+"""Run-manifest schema, tamper detection and replay tests."""
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.incremental import (
+    DedupConfig,
+    MANIFEST_SCHEMA,
+    ManifestFormatError,
+    execute_study_run,
+    load_manifest,
+    registry_hash,
+    replay_manifest,
+    write_manifest,
+)
+
+from .test_dedup_runner import DIRTY_PAGE, build_archive
+
+
+@pytest.fixture(scope="module")
+def recorded_run(tmp_path_factory):
+    """A small incremental run with its manifest written to disk."""
+    base = tmp_path_factory.mktemp("manifest-run")
+    root = base / "archive"
+    build_archive(root, {
+        2021: [
+            ("https://site.example/a", DIRTY_PAGE),
+            ("https://site.example/b", DIRTY_PAGE + b"<p>unique b</p>"),
+        ],
+        2022: [
+            ("https://site.example/a", DIRTY_PAGE),
+            ("https://site.example/b", DIRTY_PAGE + b"<p>changed b</p>"),
+        ],
+    })
+    manifest_path = base / "run.manifest.json"
+    manifest, _stats = execute_study_run(
+        archive_root=root,
+        db_path=base / "results.sqlite",
+        domains=[("site.example", 1.0)],
+        max_pages=4,
+        seed=5,
+        dedup=DedupConfig(),
+        manifest_path=manifest_path,
+    )
+    return manifest, manifest_path
+
+
+class TestManifestShape:
+    def test_written_manifest_loads(self, recorded_run):
+        manifest, path = recorded_run
+        loaded = load_manifest(path)
+        assert loaded == manifest
+        assert loaded["schema"] == MANIFEST_SCHEMA
+        assert loaded["registry_hash"] == registry_hash()
+        assert loaded["run"]["seed"] == 5
+        assert loaded["run"]["incremental"] is True
+        assert loaded["run"]["index_fresh"] is True
+        assert loaded["dedup_counters"]["carried"] == 1
+        assert set(loaded["archive"]["snapshots"]) == set(
+            loaded["run"]["snapshot_ids"]
+        )
+        assert loaded["timings"]["total"] > 0
+
+    def test_non_incremental_run_has_null_dedup(self, recorded_run, tmp_path):
+        _, path = recorded_run
+        manifest, _ = execute_study_run(
+            archive_root=load_manifest(path)["archive"]["root"],
+            db_path=tmp_path / "full.sqlite",
+            domains=[("site.example", 1.0)],
+            max_pages=4,
+            seed=5,
+        )
+        assert manifest["run"]["incremental"] is False
+        assert manifest["run"]["dedup"] is None
+        assert manifest["dedup_counters"] is None
+        # without a content index the run is trivially replayable in full
+        assert manifest["run"]["index_fresh"] is True
+
+    def test_rejects_wrong_schema(self, recorded_run, tmp_path):
+        manifest, _ = recorded_run
+        bad = dict(manifest, schema="repro-manifest/999")
+        path = tmp_path / "bad.json"
+        write_manifest(bad, path)
+        with pytest.raises(ManifestFormatError, match="schema"):
+            load_manifest(path)
+
+    def test_rejects_missing_keys(self, recorded_run, tmp_path):
+        manifest, _ = recorded_run
+        bad = {k: v for k, v in manifest.items() if k != "archive"}
+        path = tmp_path / "bad.json"
+        write_manifest(bad, path)
+        with pytest.raises(ManifestFormatError, match="archive"):
+            load_manifest(path)
+
+    def test_rejects_malformed_digest(self, recorded_run, tmp_path):
+        manifest, _ = recorded_run
+        bad = json.loads(json.dumps(manifest))
+        bad["results"]["aggregate_sha256"] = "not-a-digest"
+        path = tmp_path / "bad.json"
+        write_manifest(bad, path)
+        with pytest.raises(ManifestFormatError, match="aggregate_sha256"):
+            load_manifest(path)
+
+    def test_rejects_unreadable_file(self, tmp_path):
+        path = tmp_path / "nope.json"
+        with pytest.raises(ManifestFormatError):
+            load_manifest(path)
+        path.write_text("[1, 2]")
+        with pytest.raises(ManifestFormatError, match="JSON object"):
+            load_manifest(path)
+
+
+class TestReplay:
+    def test_replay_ok(self, recorded_run):
+        _, path = recorded_run
+        report = replay_manifest(path)
+        assert report.ok, report.mismatches
+        assert report.compared == ["aggregate", "full"]
+
+    def test_replay_with_worker_override(self, recorded_run):
+        """Bit-identity across worker counts, proven through replay."""
+        _, path = recorded_run
+        report = replay_manifest(path, workers=2)
+        assert report.ok, report.mismatches
+        assert "full" in report.compared
+
+    def test_replay_detects_tampered_archive(self, recorded_run, tmp_path):
+        manifest, _ = recorded_run
+        tampered = json.loads(json.dumps(manifest))
+        snapshot_id = tampered["run"]["snapshot_ids"][0]
+        digests = tampered["archive"]["snapshots"][snapshot_id]
+        digests["cdx_sha256"] = "0" * 64
+        report = replay_manifest(tampered)
+        assert not report.ok
+        assert any("CDX index digest" in m for m in report.mismatches)
+        # archive verification fails fast: no re-execution happened
+        assert report.replayed == {}
+
+    def test_replay_detects_result_drift(self, recorded_run):
+        manifest, _ = recorded_run
+        drifted = json.loads(json.dumps(manifest))
+        drifted["results"]["aggregate_sha256"] = "f" * 64
+        report = replay_manifest(drifted)
+        assert not report.ok
+        assert any("aggregate_sha256" in m for m in report.mismatches)
+
+    def test_replay_refuses_different_registry(self, recorded_run):
+        manifest, _ = recorded_run
+        foreign = json.loads(json.dumps(manifest))
+        foreign["registry_hash"] = "e" * 64
+        report = replay_manifest(foreign)
+        assert not report.ok
+        assert any("registry" in m for m in report.mismatches)

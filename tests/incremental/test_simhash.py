@@ -1,0 +1,54 @@
+"""Simhash sketch tests: seed-free determinism and distance behaviour."""
+from __future__ import annotations
+
+from repro.incremental.simhash import hamming64, simhash64
+
+NEWS_A = (
+    b"<!DOCTYPE html><html><body><p>breaking news story one</p>"
+    b"<p>weather sunny</p></body></html>"
+)
+NEWS_B = (
+    b"<!DOCTYPE html><html><body><p>breaking news story two</p>"
+    b"<p>weather sunny</p></body></html>"
+)
+UNRELATED = (
+    b"completely different content about cooking recipes and baking "
+    b"bread all day long"
+)
+
+
+class TestDeterminism:
+    def test_pinned_value(self):
+        """The sketch is a pure function of the bytes — pinned across
+        platforms, processes and interpreter restarts (no seed, no hash
+        randomization).  A change here is a content-index format break."""
+        assert simhash64(NEWS_A) == 0xF3D862867EC005
+
+    def test_repeated_calls_identical(self):
+        assert simhash64(NEWS_A) == simhash64(NEWS_A)
+        assert simhash64(bytes(NEWS_A)) == simhash64(NEWS_A)
+
+    def test_token_free_payload_is_zero(self):
+        assert simhash64(b"") == 0
+        assert simhash64(b" \t\n  ") == 0
+        assert simhash64(b"<<<>>>&&;;==") == 0
+
+
+class TestDistance:
+    def test_small_edit_small_distance(self):
+        """One changed word on a shared boilerplate lands within a few
+        bits — the property the near-dup tier exploits."""
+        distance = hamming64(simhash64(NEWS_A), simhash64(NEWS_B))
+        assert 0 < distance <= 8
+
+    def test_unrelated_content_far_apart(self):
+        distance = hamming64(simhash64(NEWS_A), simhash64(UNRELATED))
+        assert distance > 16
+
+    def test_identical_content_distance_zero(self):
+        assert hamming64(simhash64(NEWS_A), simhash64(NEWS_A)) == 0
+
+    def test_hamming_basics(self):
+        assert hamming64(0, 0) == 0
+        assert hamming64(0, (1 << 64) - 1) == 64
+        assert hamming64(0b1010, 0b0110) == 2

@@ -1,0 +1,147 @@
+"""Schema migration tests: versioned open, auto-upgrade, refusal."""
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.pipeline import SchemaVersionError, Storage
+from repro.pipeline.migrations import ensure_schema, schema_version
+from repro.pipeline.storage import SCHEMA_VERSION
+
+CREATE_V2 = """
+CREATE TABLE items (id INTEGER PRIMARY KEY, name TEXT NOT NULL,
+                    extra TEXT NOT NULL DEFAULT '');
+"""
+MIGRATIONS = {2: ("ALTER TABLE items ADD COLUMN extra TEXT NOT NULL DEFAULT ''",)}
+
+
+class TestEnsureSchema:
+    def test_empty_database_stamped_latest(self):
+        conn = sqlite3.connect(":memory:")
+        found = ensure_schema(
+            conn, latest=2, create=CREATE_V2, migrations=MIGRATIONS, label="t"
+        )
+        assert found == 2
+        assert schema_version(conn) == 2
+        conn.execute("INSERT INTO items(name) VALUES ('a')")
+
+    def test_unversioned_database_treated_as_generation_one(self):
+        conn = sqlite3.connect(":memory:")
+        conn.execute("CREATE TABLE items (id INTEGER PRIMARY KEY, name TEXT NOT NULL)")
+        conn.execute("INSERT INTO items(name) VALUES ('kept')")
+        found = ensure_schema(
+            conn, latest=2, create=CREATE_V2, migrations=MIGRATIONS, label="t"
+        )
+        assert found == 1
+        assert schema_version(conn) == 2
+        # upgraded in place, data preserved, new column usable
+        assert conn.execute("SELECT name, extra FROM items").fetchall() == [
+            ("kept", "")
+        ]
+
+    def test_current_version_untouched(self):
+        conn = sqlite3.connect(":memory:")
+        ensure_schema(conn, latest=2, create=CREATE_V2, migrations=MIGRATIONS,
+                      label="t")
+        found = ensure_schema(
+            conn, latest=2, create=CREATE_V2, migrations=MIGRATIONS, label="t"
+        )
+        assert found == 2
+
+    def test_newer_version_refused(self):
+        conn = sqlite3.connect(":memory:")
+        ensure_schema(conn, latest=2, create=CREATE_V2, migrations=MIGRATIONS,
+                      label="t")
+        conn.execute("PRAGMA user_version = 3")
+        with pytest.raises(SchemaVersionError, match="generation 3"):
+            ensure_schema(conn, latest=2, create=CREATE_V2,
+                          migrations=MIGRATIONS, label="t")
+
+    def test_missing_migration_path_refused(self):
+        conn = sqlite3.connect(":memory:")
+        conn.execute("CREATE TABLE items (id INTEGER PRIMARY KEY)")
+        with pytest.raises(SchemaVersionError, match="no migration path"):
+            ensure_schema(conn, latest=2, create=CREATE_V2, migrations={},
+                          label="t")
+
+    def test_failed_step_rolls_back_stamp(self):
+        conn = sqlite3.connect(":memory:")
+        conn.execute("CREATE TABLE items (id INTEGER PRIMARY KEY)")
+        bad = {2: ("ALTER TABLE items ADD COLUMN extra TEXT", "SYNTAX ERROR")}
+        with pytest.raises(sqlite3.OperationalError):
+            ensure_schema(conn, latest=2, create=CREATE_V2, migrations=bad,
+                          label="t")
+        # the half-applied step rolled back: version stamp unchanged
+        assert schema_version(conn) == 0
+        assert conn.execute(
+            "SELECT COUNT(*) FROM pragma_table_info('items')"
+            " WHERE name = 'extra'"
+        ).fetchone() == (0,)
+
+
+def _legacy_results_db(path) -> None:
+    """A generation-1 results database: the pre-PR schema, no
+    ``pages.carried_from`` column, ``user_version`` 0."""
+    conn = sqlite3.connect(path)
+    conn.executescript("""
+        CREATE TABLE snapshots (id INTEGER PRIMARY KEY, name TEXT NOT NULL
+            UNIQUE, year INTEGER NOT NULL);
+        CREATE TABLE domains (id INTEGER PRIMARY KEY, name TEXT NOT NULL
+            UNIQUE, avg_rank REAL NOT NULL DEFAULT 0);
+        CREATE TABLE domain_status (snapshot_id INTEGER NOT NULL,
+            domain_id INTEGER NOT NULL, found INTEGER NOT NULL,
+            analyzed INTEGER NOT NULL, pages INTEGER NOT NULL,
+            PRIMARY KEY (snapshot_id, domain_id));
+        CREATE TABLE pages (id INTEGER PRIMARY KEY, snapshot_id INTEGER
+            NOT NULL, domain_id INTEGER NOT NULL, url TEXT NOT NULL,
+            utf8 INTEGER NOT NULL, checked INTEGER NOT NULL,
+            declared_encoding TEXT NOT NULL DEFAULT '');
+        CREATE TABLE findings (id INTEGER PRIMARY KEY, page_id INTEGER
+            NOT NULL, violation TEXT NOT NULL, count INTEGER NOT NULL);
+        CREATE TABLE mitigations (page_id INTEGER PRIMARY KEY,
+            script_in_attr INTEGER NOT NULL, nonced_script_in_attr INTEGER
+            NOT NULL, urls_nl INTEGER NOT NULL, urls_nl_lt INTEGER NOT NULL);
+        CREATE TABLE page_features (page_id INTEGER PRIMARY KEY,
+            math_elements INTEGER NOT NULL, svg_elements INTEGER NOT NULL);
+    """)
+    conn.execute("INSERT INTO snapshots(name, year) VALUES ('CC-OLD', 2020)")
+    conn.execute("INSERT INTO domains(name, avg_rank) VALUES ('d.example', 1)")
+    conn.execute(
+        "INSERT INTO pages(snapshot_id, domain_id, url, utf8, checked)"
+        " VALUES (1, 1, 'https://d.example/', 1, 1)"
+    )
+    conn.commit()
+    conn.close()
+
+
+class TestStorageVersioning:
+    def test_fresh_storage_stamped_latest(self, tmp_path):
+        with Storage(tmp_path / "fresh.sqlite") as storage:
+            assert storage.schema_version_found == SCHEMA_VERSION
+            assert schema_version(storage.conn) == SCHEMA_VERSION
+
+    def test_legacy_database_auto_upgrades(self, tmp_path):
+        path = tmp_path / "legacy.sqlite"
+        _legacy_results_db(path)
+        with Storage(path) as storage:
+            assert storage.schema_version_found == 1
+            assert schema_version(storage.conn) == SCHEMA_VERSION
+            # existing rows got the provenance default; new writes work
+            rows = storage.conn.execute(
+                "SELECT url, carried_from FROM pages"
+            ).fetchall()
+            assert rows == [("https://d.example/", "")]
+            storage.add_page(1, 1, "https://d.example/new", utf8=True,
+                             checked=True, carried_from="CC-OLD https://x/")
+
+    def test_newer_database_refused(self, tmp_path):
+        path = tmp_path / "future.sqlite"
+        with Storage(path):
+            pass
+        conn = sqlite3.connect(path)
+        conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION + 1}")
+        conn.commit()
+        conn.close()
+        with pytest.raises(SchemaVersionError):
+            Storage(path)

@@ -258,3 +258,35 @@ class TestStudyCommands:
         out = capsys.readouterr().out
         assert "Dynamic-content pre-study" in out
         assert "Generalization" in out
+
+    def test_incremental_run_and_replay(self, tmp_path, capsys, monkeypatch):
+        """End-to-end through the CLI: an incremental run writes a
+        manifest, `repro-study replay` re-executes and verifies it."""
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        assert main([
+            "run", "--domains", "6", "--pages", "2", "--incremental",
+            "--years", "2021,2022", "--overlap", "0.8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "run manifest:" in out
+        manifest_path = next(tmp_path.glob("results-*-inc.manifest.json"))
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["run"]["incremental"] is True
+        assert manifest["dedup_counters"]["carried"] > 0
+
+        assert main(["replay", str(manifest_path)]) == 0
+        out = capsys.readouterr().out
+        assert "replay OK" in out
+
+        # a tampered result digest must fail the replay with exit 1
+        manifest["results"]["aggregate_sha256"] = "f" * 64
+        tampered = tmp_path / "tampered.manifest.json"
+        tampered.write_text(json.dumps(manifest))
+        assert main(["replay", str(tampered)]) == 1
+        assert "MISMATCH" in capsys.readouterr().err
+
+    def test_replay_malformed_manifest_is_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        assert main(["replay", str(path)]) == 2
+        assert "replay:" in capsys.readouterr().err

@@ -12,6 +12,15 @@ class TestStudyConfig:
         b = StudyConfig(num_domains=10, seed=2)
         assert a.key() != b.key()
 
+    def test_key_backward_compatible(self):
+        """New knobs left unset must not change legacy cache keys."""
+        assert StudyConfig(num_domains=10, seed=1).key() == "d10-p6-s1"
+        assert (
+            StudyConfig(num_domains=10, seed=1, years=(2021, 2022),
+                        overlap_fraction=0.5).key()
+            == "d10-p6-s1-y2021_2022-o0.5"
+        )
+
     def test_scaled_respects_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "2")
         assert StudyConfig.scaled().num_domains == 300
@@ -45,6 +54,38 @@ class TestCaching:
         assert truth["num_domains"] == 40
         assert "active" in truth
         study.close()
+
+
+class TestIncrementalStudy:
+    def test_incremental_cached_separately_and_matches_full(self, tmp_path):
+        """An incremental run lands under its own cache key, reports dedup
+        progress, and its analyses match the full path's exactly."""
+        config = StudyConfig(num_domains=12, max_pages=2, seed=13,
+                             years=(2021, 2022), overlap_fraction=0.8)
+        full = run_study(config, cache_dir=tmp_path)
+        progress_calls = []
+        incremental = run_study(
+            config, cache_dir=tmp_path, incremental=True,
+            progress_dedup=lambda snapshot, done, total, counters: (
+                progress_calls.append(
+                    (snapshot, done, total, counters.as_dict())
+                )
+            ),
+        )
+        assert incremental.db_path != full.db_path
+        assert incremental.db_path.name.endswith("-inc.sqlite")
+        assert incremental.manifest_path.exists()
+        # one callback per domain per snapshot, counters cumulative
+        assert len(progress_calls) == 2 * 12
+        assert {call[0] for call in progress_calls} == {
+            "CC-MAIN-2021-04", "CC-MAIN-2022-05",
+        }
+        assert all(0 < done <= total for _, done, total, _ in progress_calls)
+        assert progress_calls[-1][3]["carried"] > 0
+        assert incremental.figure9().fractions() == full.figure9().fractions()
+        assert incremental.figure8().distribution == full.figure8().distribution
+        full.close()
+        incremental.close()
 
 
 class TestDeterminism:
