@@ -55,6 +55,13 @@ assert s['schema'] == 'repro-bench/1' and s['cases'], 'bad bench snapshot'; \
 p = s['pipeline']; \
 assert set(p['stages']) == {'index', 'fetch', 'check', 'store'}, p; \
 assert p['pages'] > 0 and p['best_seconds'] > 0, 'empty pipeline case'; \
+assert 0.0 <= p['dom_materialized_ratio'] < 1.0, \
+    'stream check mode not engaged (every page materialized a DOM)'; \
+pcases = {n: c for n, c in s['cases'].items() if c['kind'] == 'parse'}; \
+assert pcases, 'no parse cases in snapshot'; \
+assert all(c['tokenize_seconds'] > 0.0 and c['tree_build_seconds'] >= 0.0 \
+           for c in pcases.values()), \
+    'parse-stage attribution fields missing or inconsistent'; \
 d = p['dedup']; \
 assert d['aggregate_parity'], 'dedup ingest diverged from the full pipeline'; \
 assert d['dedup']['carried'] > 0, 'no carries in the incremental bench case'; \

@@ -190,7 +190,12 @@ def _staged_pipeline_run(root, domains) -> tuple[dict, int]:
     from repro.pipeline.metadata import collect_metadata
 
     stages = {"index": 0.0, "fetch": 0.0, "check": 0.0, "store": 0.0}
-    checker = Checker()
+    try:
+        # what the production pipeline runs: DOM-free streaming checks,
+        # with taint fallback to the materialized walk on reordered pages
+        checker = Checker(mode="stream")
+    except TypeError:
+        checker = Checker()  # pre-stream checkout (before/after baselines)
     pages_stored = 0
     client = CommonCrawlClient(root)
     with Storage(":memory:") as storage:
@@ -248,7 +253,14 @@ def _staged_pipeline_run(root, domains) -> tuple[dict, int]:
     closer = getattr(client, "close", None)
     if closer is not None:
         closer()
-    return stages, pages_stored
+    # fraction of checked pages that needed the full DOM (stream taints
+    # plus DOM-mode parses); 0.0 on a pre-stream checkout's counters
+    checked_pages = getattr(checker, "pages_checked", 0)
+    if checker.__dict__.get("mode") == "stream" and checked_pages:
+        materialized = checker.stream_fallbacks / checked_pages
+    else:
+        materialized = 1.0 if checked_pages else 0.0
+    return stages, pages_stored, materialized
 
 
 def run_pipeline_case(config: BenchConfig) -> dict:
@@ -268,10 +280,11 @@ def run_pipeline_case(config: BenchConfig) -> dict:
     best_stages: dict | None = None
     best_total = float("inf")
     pages = 0
+    materialized = 0.0
     with tempfile.TemporaryDirectory() as root:
         ArchiveBuilder(root).build(plan)
         for _ in range(max(1, config.repeat)):
-            stages, pages = _staged_pipeline_run(root, domains)
+            stages, pages, materialized = _staged_pipeline_run(root, domains)
             total = sum(stages.values())
             if total < best_total:
                 best_total = total
@@ -283,6 +296,9 @@ def run_pipeline_case(config: BenchConfig) -> dict:
         "best_seconds": best_total,
         "pages_per_second": pages / best_total if best_total else 0.0,
         "stages": best_stages,
+        # stream-mode taint rate: what fraction of pages still paid for a
+        # materialized DOM (1.0 = every page, i.e. pure DOM mode)
+        "dom_materialized_ratio": materialized,
     }
 
 
@@ -406,6 +422,15 @@ def run_benchmarks(config: BenchConfig) -> dict:
                 lambda t=text: parse(t),
                 repeat=config.repeat, number=config.number,
             )
+            # stage attribution for perf work: a pure tokenizer drain over
+            # the same fixture bounds the scan cost from below, so the
+            # difference is what tree construction (plus token plumbing)
+            # adds on top
+            tokenize_seconds = best_seconds(
+                lambda t=text: _token_count(t),
+                repeat=config.repeat, number=config.number,
+            )
+            tree_build_seconds = max(0.0, seconds - tokenize_seconds)
         snapshot["cases"][name] = {
             "kind": kind,
             "chars": len(text),
@@ -415,6 +440,9 @@ def run_benchmarks(config: BenchConfig) -> dict:
             "tokens_per_second": tokens / seconds if seconds else 0.0,
             "pages_per_second": 1.0 / seconds if seconds else 0.0,
         }
+        if kind == "parse":
+            snapshot["cases"][name]["tokenize_seconds"] = tokenize_seconds
+            snapshot["cases"][name]["tree_build_seconds"] = tree_build_seconds
         if decoded_ratio is not None:
             snapshot["cases"][name]["bytes_decoded_ratio"] = decoded_ratio
     if config.rules:
@@ -453,6 +481,11 @@ def render_snapshot(snapshot: dict) -> str:
         )
         if "bytes_decoded_ratio" in case:
             line += f"  decoded {case['bytes_decoded_ratio']:.1%}"
+        if "tree_build_seconds" in case:
+            line += (
+                f"  tok {case['tokenize_seconds'] * 1e3:.2f}ms"
+                f" + tree {case['tree_build_seconds'] * 1e3:.2f}ms"
+            )
         lines.append(line)
     if snapshot.get("pipeline"):
         pipeline = snapshot["pipeline"]
@@ -464,7 +497,9 @@ def render_snapshot(snapshot: dict) -> str:
             f"pipeline e2e: {pipeline['pages']} pages over "
             f"{pipeline['domains']} domains in "
             f"{pipeline['best_seconds'] * 1e3:.1f}ms "
-            f"({pipeline['pages_per_second']:.0f} pages/s; {stage_text})"
+            f"({pipeline['pages_per_second']:.0f} pages/s; {stage_text}; "
+            f"DOM materialized on "
+            f"{pipeline.get('dom_materialized_ratio', 1.0):.0%} of pages)"
         )
         dedup = pipeline.get("dedup")
         if dedup:

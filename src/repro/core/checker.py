@@ -10,7 +10,15 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
-from ..html import ParseResult, parse, parse_bytes, parse_fragment, sniff_encoding
+from ..html import (
+    ParseResult,
+    StreamTreeBuilder,
+    parse,
+    parse_bytes,
+    parse_fragment,
+    sniff_encoding,
+)
+from .mitigations import MitigationCollector, MitigationReport, measure_mitigations
 from .rules import FusedCheckEngine, Rule, RuleExecutionError, default_rules
 from .violations import Finding
 
@@ -96,6 +104,20 @@ class Checker:
 
     Either engine wraps a failing rule in :class:`RuleExecutionError`
     naming the rule id, so a crash on one page is attributable.
+
+    ``mode`` selects how bytes are parsed (``check_bytes`` /
+    ``parse_page_bytes`` only):
+
+    * ``"dom"`` (default) — materialize the full DOM and walk it;
+    * ``"stream"`` — DOM-free: the tree builder emits the element
+      pre-order while parsing and the fused tree dispatch runs over the
+      flat list, never building text/comment nodes.  Pages whose parse
+      needs a tree-reordering mutation *taint* mid-parse: the builder
+      finishes normally and the tree dispatch falls back to the ordinary
+      DOM walk over the (element-complete, text-free) tree — no
+      re-parse, findings bit-identical by construction;
+      :attr:`pages_checked` / :attr:`stream_fallbacks` count how often
+      that happens (the bench snapshot exports the ratio).
     """
 
     def __init__(
@@ -104,13 +126,32 @@ class Checker:
         *,
         keep_parse: bool = False,
         engine: str = "fused",
+        mode: str = "dom",
     ) -> None:
         self.rules = rules if rules is not None else default_rules()
         self.keep_parse = keep_parse
         if engine not in ("fused", "reference"):
             raise ValueError(f"unknown checker engine {engine!r}")
+        if mode not in ("dom", "stream"):
+            raise ValueError(f"unknown checker mode {mode!r}")
         self.engine = engine
+        self.mode = mode
         self._fused = FusedCheckEngine(self.rules) if engine == "fused" else None
+        #: pages parsed through ``parse_page_bytes``/``check_bytes``
+        self.pages_checked = 0
+        #: stream-mode parses that tainted and fell back to the DOM walk
+        self.stream_fallbacks = 0
+
+    def parse_page_bytes(self, data: bytes) -> ParseResult:
+        """Parse page bytes honouring :attr:`mode` (with taint fallback)."""
+        self.pages_checked += 1
+        if self.mode == "stream":
+            builder = StreamTreeBuilder()
+            result = builder.parse_bytes(data)
+            if builder.tainted is not None:
+                self.stream_fallbacks += 1
+            return result
+        return parse_bytes(data)
 
     def check_parse(self, result: ParseResult, url: str = "") -> CheckReport:
         report = CheckReport(url=url, parse_result=result if self.keep_parse else None)
@@ -125,6 +166,30 @@ class Checker:
             except Exception as exc:
                 raise RuleExecutionError(rule.id, exc) from exc
         return report
+
+    def check_parse_with_mitigations(
+        self, result: ParseResult, url: str = ""
+    ) -> "tuple[CheckReport, MitigationReport]":
+        """Check a parse and measure mitigations in one pass.
+
+        On the fused engine the section 4.5 mitigation detectors ride the
+        engine's start-tag attribute sweep (one token iteration total);
+        on the reference engine they fall back to the standalone
+        :func:`measure_mitigations` pass.  Either way the report is
+        bit-identical to calling the two measurements separately.
+        """
+        fused = self._fused
+        if fused is None:
+            return (
+                self.check_parse(result, url=url),
+                measure_mitigations(result),
+            )
+        report = CheckReport(
+            url=url, parse_result=result if self.keep_parse else None
+        )
+        collector = MitigationCollector()
+        report.findings.extend(fused.run(result, attr_observer=collector))
+        return report, collector.report
 
     def check_html(self, text: str, url: str = "") -> CheckReport:
         return self.check_parse(parse(text), url=url)
@@ -156,7 +221,7 @@ class Checker:
         on with ``isinstance``.
         """
         try:
-            result = parse_bytes(data)
+            result = self.parse_page_bytes(data)
         except UnicodeDecodeError:
             return DecodeFailure(
                 url=url,

@@ -35,6 +35,17 @@ class PageFeatures:
 def measure_features(result: ParseResult) -> PageFeatures:
     math_elements = 0
     svg_elements = 0
+    stream = result.stream_elements
+    if stream is not None:
+        # stream-mode parse: the emitted pre-order already holds every
+        # element, so counting needs no DOM walk (and the document tree of
+        # a stream parse holds no text nodes anyway)
+        for element, _in_head in stream:
+            if element.name == "math" and element.namespace == MATHML_NAMESPACE:
+                math_elements += 1
+            elif element.name == "svg" and element.namespace == SVG_NAMESPACE:
+                svg_elements += 1
+        return PageFeatures(math_elements=math_elements, svg_elements=svg_elements)
     for element in result.document.iter_elements():
         if element.name == "math" and element.namespace == MATHML_NAMESPACE:
             math_elements += 1

@@ -47,10 +47,24 @@ class MitigationReport:
         return self.urls_with_newline_and_lt > 0
 
 
-def measure_mitigations(result: ParseResult) -> MitigationReport:
-    """Measure both mitigation footprints on one parsed document."""
-    report = MitigationReport()
-    for tag, name, value in iter_start_tag_attrs(result):
+class MitigationCollector:
+    """Attribute-sweep observer form of :func:`measure_mitigations`.
+
+    The fused check engine already iterates every start tag's attributes
+    once; passing an instance of this as its ``attr_observer`` fills the
+    same :class:`MitigationReport` from that one sweep instead of paying
+    for a second full token iteration.  Visit order is identical to
+    :func:`~repro.core.rules.base.iter_start_tag_attrs`, so the report is
+    bit-identical to the standalone measurement.
+    """
+
+    __slots__ = ("report",)
+
+    def __init__(self) -> None:
+        self.report = MitigationReport()
+
+    def __call__(self, tag, name: str, value: str) -> None:
+        report = self.report
         if "<script" in value.lower():
             report.script_in_attr.append(
                 ScriptInAttrHit(
@@ -65,7 +79,14 @@ def measure_mitigations(result: ParseResult) -> MitigationReport:
             report.urls_with_newline += 1
             if "<" in value:
                 report.urls_with_newline_and_lt += 1
-    return report
+
+
+def measure_mitigations(result: ParseResult) -> MitigationReport:
+    """Measure both mitigation footprints on one parsed document."""
+    collector = MitigationCollector()
+    for tag, name, value in iter_start_tag_attrs(result):
+        collector(tag, name, value)
+    return collector.report
 
 
 def measure_mitigations_html(text: str) -> MitigationReport:

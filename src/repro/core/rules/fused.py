@@ -142,7 +142,14 @@ class FusedCheckEngine:
     def fused_rule_count(self) -> int:
         return len(self.rules) - len(self._tables.unfused)
 
-    def run(self, result: ParseResult) -> list[Finding]:
+    def run(self, result: ParseResult, attr_observer=None) -> list[Finding]:
+        """Run the fused pass; ``attr_observer`` (if given) is called
+        ``observer(token, name, value)`` for every start-tag attribute the
+        attr sweep visits — same tokens, same order as
+        :func:`~repro.core.rules.base.iter_start_tag_attrs`, letting
+        callers (the pipeline's mitigation detectors) ride the one token
+        iteration instead of paying for their own.
+        """
         tables = self._tables
         buckets: list[list[Finding]] = [[] for _ in self.rules]
         source = result.source
@@ -165,59 +172,138 @@ class FusedCheckEngine:
                             current = rule
                             handler(error, source, buckets[index])
             attr_subs, attr_wild = tables.attr_subs, tables.attr_wild
-            if attr_subs or attr_wild:
-                for token in result.tokens:
-                    if token.__class__ is StartTag:
-                        for attribute in token.attributes:
-                            name = attribute.name
-                            subs = attr_subs.get(name)
+            if attr_subs or attr_wild or attr_observer is not None:
+                get_attr_subs = attr_subs.get
+                if len(attr_wild) == 1 and attr_observer is None:
+                    # single-wildcard fast lane (the default rule set):
+                    # unpack the lone wild subscriber once and skip the
+                    # per-attribute tuple iteration
+                    wild_index, wild_rule, wild_handler = attr_wild[0]
+                    wild_bucket = buckets[wild_index]
+                    for token in result.tokens:
+                        if token.__class__ is StartTag:
+                            for attribute in token.attributes:
+                                name = attribute.name
+                                value = attribute.value
+                                subs = get_attr_subs(name)
+                                if subs:
+                                    for index, rule, handler in subs:
+                                        current = rule
+                                        handler(
+                                            token, name, value,
+                                            source, buckets[index],
+                                        )
+                                current = wild_rule
+                                wild_handler(
+                                    token, name, value, source, wild_bucket
+                                )
+                else:
+                    for token in result.tokens:
+                        if token.__class__ is StartTag:
+                            for attribute in token.attributes:
+                                name = attribute.name
+                                value = attribute.value
+                                subs = get_attr_subs(name)
+                                if subs:
+                                    for index, rule, handler in subs:
+                                        current = rule
+                                        handler(
+                                            token, name, value,
+                                            source, buckets[index],
+                                        )
+                                for index, rule, handler in attr_wild:
+                                    current = rule
+                                    handler(
+                                        token, name, value,
+                                        source, buckets[index],
+                                    )
+                                if attr_observer is not None:
+                                    attr_observer(token, name, value)
+            tag_subs, tag_wild = tables.tag_subs, tables.tag_wild
+            if tag_subs or tag_wild:
+                states: dict[int, dict] = {i: {} for i in tables.tree_indices}
+                stream = result.stream_elements
+                get_tag_subs = tag_subs.get
+                single_wild = len(tag_wild) == 1
+                if single_wild:
+                    # same single-wildcard fast lane as the attr pass
+                    twild_index, twild_rule, twild_handler = tag_wild[0]
+                    twild_state = states[twild_index]
+                    twild_bucket = buckets[twild_index]
+                if stream is not None:
+                    # stream mode: the tree builder already emitted the
+                    # element pre-order with walk-equivalent in_head flags,
+                    # so dispatch runs over the flat list with no DOM walk
+                    if single_wild:
+                        for node, in_head in stream:
+                            subs = get_tag_subs(node.name)
                             if subs:
                                 for index, rule, handler in subs:
                                     current = rule
                                     handler(
-                                        token, name, attribute.value,
-                                        source, buckets[index],
+                                        node, in_head, source,
+                                        states[index], buckets[index],
                                     )
-                            for index, rule, handler in attr_wild:
-                                current = rule
-                                handler(
-                                    token, name, attribute.value,
-                                    source, buckets[index],
-                                )
-            tag_subs, tag_wild = tables.tag_subs, tables.tag_wild
-            if tag_subs or tag_wild:
-                states: dict[int, dict] = {i: {} for i in tables.tree_indices}
-                # mirror Node.iter()'s iterative pre-order exactly, adding
-                # a "has a <head> ancestor" flag so region-scoped rules do
-                # not re-walk ancestor chains per element
-                stack: list = [(result.document, False)]
-                pop = stack.pop
-                while stack:
-                    node, in_head = pop()
-                    if node.__class__ is Element:
-                        subs = tag_subs.get(node.name)
-                        if subs:
-                            for index, rule, handler in subs:
+                            current = twild_rule
+                            twild_handler(
+                                node, in_head, source,
+                                twild_state, twild_bucket,
+                            )
+                    else:
+                        for node, in_head in stream:
+                            subs = get_tag_subs(node.name)
+                            if subs:
+                                for index, rule, handler in subs:
+                                    current = rule
+                                    handler(
+                                        node, in_head, source,
+                                        states[index], buckets[index],
+                                    )
+                            for index, rule, handler in tag_wild:
                                 current = rule
                                 handler(
                                     node, in_head, source,
                                     states[index], buckets[index],
                                 )
-                        for index, rule, handler in tag_wild:
-                            current = rule
-                            handler(
-                                node, in_head, source,
-                                states[index], buckets[index],
+                else:
+                    # mirror Node.iter()'s iterative pre-order exactly,
+                    # adding a "has a <head> ancestor" flag so
+                    # region-scoped rules do not re-walk ancestor chains
+                    stack: list = [(result.document, False)]
+                    pop = stack.pop
+                    while stack:
+                        node, in_head = pop()
+                        if node.__class__ is Element:
+                            subs = get_tag_subs(node.name)
+                            if subs:
+                                for index, rule, handler in subs:
+                                    current = rule
+                                    handler(
+                                        node, in_head, source,
+                                        states[index], buckets[index],
+                                    )
+                            if single_wild:
+                                current = twild_rule
+                                twild_handler(
+                                    node, in_head, source,
+                                    twild_state, twild_bucket,
+                                )
+                            else:
+                                for index, rule, handler in tag_wild:
+                                    current = rule
+                                    handler(
+                                        node, in_head, source,
+                                        states[index], buckets[index],
+                                    )
+                            child_in_head = in_head or node.name == "head"
+                        else:
+                            child_in_head = in_head
+                        children = node.children
+                        if children:
+                            stack.extend(
+                                (child, child_in_head)
+                                for child in reversed(children)
                             )
-                        child_in_head = in_head or node.name == "head"
-                    else:
-                        child_in_head = in_head
-                    children = node.children
-                    if children:
-                        stack.extend(
-                            (child, child_in_head)
-                            for child in reversed(children)
-                        )
             for index, rule in tables.unfused:
                 current = rule
                 buckets[index] = rule.check(result)

@@ -86,11 +86,55 @@ def generate_template_page(rng: random.Random) -> str:
     return draft.render()
 
 
+#: Skeletons for the tree-reordering corners the stream check mode must
+#: classify correctly (its taint-then-fallback decision): foster
+#: parenting, adoption-agency reparenting, table text buffering, the
+#: frameset body takeover and the after-head element reroute.  ``{}``
+#: slots are filled with a small soup fragment so every instantiation
+#: is distinct.
+REORDER_SKELETONS: tuple[str, ...] = (
+    # foster parenting: flow content directly inside table contexts
+    "<table>{}</table>",
+    "<table><tbody>{}<tr><td>x</td></tr></tbody></table>",
+    "<table><tr>{}<td>y</td></tr></table>",
+    "<table><div>{}</div></table>",
+    # table text: whitespace and non-whitespace pending-character runs
+    "<table> \t\n{}</table>",
+    "<table><tr><td>a</td> {} </tr></table>",
+    # adoption agency with and without a furthest block
+    "<b><p>{}</b>y</p>",
+    "<a><div><a>{}</a></div></a>",
+    "<i><table><i>{}</i></table></i>",
+    "<nobr>x<nobr>{}</nobr>",
+    # frameset takeover of an already-implied body
+    "<div></div><frameset><frame>{}</frameset>",
+    # head-element-after-head reroute
+    "<head></head>{}<base href='/x'>",
+    "<head><meta charset=utf-8></head><link rel=x href={}>",
+)
+
+
+def generate_reorder_page(rng: random.Random) -> str:
+    """A page built around one (or two nested) tree-reordering skeletons."""
+    filler = generate_soup(rng) if rng.random() < 0.5 else "x"
+    page = rng.choice(REORDER_SKELETONS).format(filler)
+    if rng.random() < 0.3:
+        page = rng.choice(REORDER_SKELETONS).format(page)
+    if rng.random() < 0.5:
+        page = "<!doctype html><body>" + page
+    return page
+
+
 def generate(rng: random.Random) -> bytes:
     """One seed input for an iteration: soup-heavy, with template pages
-    mixed in for structural depth."""
-    if rng.random() < 0.2:
+    and tree-reordering pages mixed in for structural depth."""
+    choice = rng.random()
+    if choice < 0.2:
         text = generate_template_page(rng)
+    elif choice < 0.4:
+        # weighted toward the stream-mode taint corners: foster
+        # parenting, adoption agency, table text, frameset, after-head
+        text = generate_reorder_page(rng)
     else:
         text = generate_soup(rng)
     return text.encode("utf-8")

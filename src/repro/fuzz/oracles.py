@@ -618,6 +618,61 @@ def oracle_fused_parity(data: bytes) -> None:
         raise OracleFailure("fused-parity-length", length)
 
 
+_DOM_CHECKER: "Checker | None" = None
+_STREAM_CHECKER: "Checker | None" = None
+
+
+def _mode_pair() -> tuple[Checker, Checker]:
+    global _DOM_CHECKER, _STREAM_CHECKER
+    if _DOM_CHECKER is None:
+        _DOM_CHECKER = Checker(mode="dom")
+        _STREAM_CHECKER = Checker(mode="stream")
+    return _DOM_CHECKER, _STREAM_CHECKER
+
+
+def oracle_stream_parity(data: bytes) -> None:
+    """DOM-free stream checking equals the materialized-DOM walk.
+
+    ``Checker(mode="stream")`` parses through
+    :class:`~repro.html.treebuilder.StreamTreeBuilder` — elements are
+    emitted in pre-order while parsing, text/comment nodes are never
+    built, and the fused tree dispatch runs over the flat emission list.
+    Pages whose parse performs a tree-reordering mutation (foster
+    parenting, adoption-agency reparenting, frameset body takeover, the
+    after-head reroute) *taint* and fall back to the ordinary DOM walk
+    over the element-complete tree.  Either way the findings must be
+    **bit-identical ordered** to ``mode="dom"`` — this is the machine
+    check behind the stream mode's correctness argument, including the
+    fallback path: both the taint classifier (does the builder notice the
+    mutation?) and the emission invariant (is the untainted emission
+    really the final pre-order?) fail loudly here if wrong.
+    """
+    _decode(data)  # SkipInput for non-UTF-8 (both modes would just agree)
+    dom, stream = _mode_pair()
+    expected = dom.check_bytes(data)
+    got = stream.check_bytes(data)
+    if isinstance(expected, DecodeFailure) or isinstance(got, DecodeFailure):
+        if type(expected) is not type(got):
+            raise OracleFailure(
+                "stream-decode-divergence",
+                f"dom {type(expected).__name__} vs stream {type(got).__name__}",
+            )
+        return
+    if got.findings != expected.findings:
+        for index, (left, right) in enumerate(
+            zip(expected.findings, got.findings)
+        ):
+            if left != right:
+                raise OracleFailure(
+                    "stream-parity-divergence",
+                    f"finding {index}: dom {left!r} != stream {right!r}",
+                )
+        raise OracleFailure(
+            "stream-parity-length",
+            f"{len(got.findings)} stream vs {len(expected.findings)} dom",
+        )
+
+
 # --------------------------------------------------- sequential ∥ parallel
 
 
@@ -846,6 +901,12 @@ ORACLES: dict[str, Oracle] = {
             "fused single-pass check engine emits findings bit-identical "
             "to the per-rule reference path",
             oracle_fused_parity,
+        ),
+        Oracle(
+            "stream_parity",
+            "DOM-free stream check mode (incl. taint fallback) emits "
+            "findings bit-identical to the materialized-DOM walk",
+            oracle_stream_parity,
         ),
         Oracle(
             "service_parity",

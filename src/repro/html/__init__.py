@@ -46,10 +46,13 @@ from .tokens import (
 )
 from .treebuilder import (
     ParseResult,
+    StreamTaint,
+    StreamTreeBuilder,
     TreeBuilder,
     TreeEvent,
     parse,
     parse_bytes,
+    parse_bytes_stream,
     parse_fragment,
 )
 
@@ -74,6 +77,8 @@ __all__ = [
     "Node",
     "ParseError",
     "ParseResult",
+    "StreamTaint",
+    "StreamTreeBuilder",
     "SniffResult",
     "StartTag",
     "StrictParseError",
@@ -89,6 +94,7 @@ __all__ = [
     "inner_html",
     "parse",
     "parse_bytes",
+    "parse_bytes_stream",
     "parse_fragment",
     "preprocess",
     "serialize",

@@ -49,6 +49,7 @@ from __future__ import annotations
 
 import re
 
+from .arena import GLOBAL_ATOMS
 from .entities import NAMED_ENTITY_BYTES, consume_character_reference_bytes
 from .errors import ErrorCode, ParseError
 from .preprocessor import UTF8_BOM
@@ -182,14 +183,17 @@ _RE_FAST_ATTR_B = re.compile(
 
 # Bounded bytes->str intern caches for tag / attribute names: pages repeat a
 # tiny name vocabulary, so the decode+ASCII-lower happens once per distinct
-# spelling.  The bound only guards against adversarial name churn.
+# spelling.  The caches live on the process-wide atom table shared with the
+# DOM arena (repro.html.arena.GLOBAL_ATOMS), so the name a token carries is
+# the same str object the arena's names column and every other document
+# use.  The bound only guards against adversarial name churn.
 _NAME_CACHE_LIMIT = 4096
-_TAG_NAMES: dict[bytes, str] = {}
-_ATTR_NAMES: dict[bytes, str] = {}
+_TAG_NAMES: dict[bytes, str] = GLOBAL_ATOMS.tag_bytes
+_ATTR_NAMES: dict[bytes, str] = GLOBAL_ATOMS.attr_bytes
 
 
 def _intern_name(cache: dict[bytes, str], raw: bytes) -> str:
-    name = raw.decode("ascii").translate(_TO_ASCII_LOWER)
+    name = GLOBAL_ATOMS.intern(raw.decode("ascii").translate(_TO_ASCII_LOWER))
     if len(cache) < _NAME_CACHE_LIMIT:
         cache[raw] = name
     return name

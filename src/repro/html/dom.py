@@ -3,10 +3,37 @@
 Only what the parser, the violation rules and the serializer need: a node
 tree with namespaces, ordered attributes, and traversal helpers.  The DOM is
 deliberately small — it is a measurement substrate, not a rendering engine.
+
+Storage is arena-slotted (see :mod:`repro.html.arena` and DESIGN.md §3.14):
+node linkage (kind, parent, batched child list) lives in flat parallel
+columns of a :class:`~repro.html.arena.DomArena`, and the classes here are
+thin views ``(arena, index)`` over those columns.  Hot immutable fields —
+element name, namespace — are mirrored into view slots so the tree
+builder's state machine keeps slot-speed reads.  The view-layer contract:
+
+* ``parent`` / ``children`` are properties over the arena columns;
+  ``children`` materializes the batched child list on first access (leaves
+  never allocate one) and returns the *real* mutable list.
+* ``Element.attributes`` materializes its dict on first access; elements
+  parsed without attributes never allocate one.
+* ``Text.data`` coalesces appended runs lazily: the parser appends parts,
+  the joined string is built once on first read.
+* Links are plain object references, so nodes from different arenas can be
+  mixed freely; standalone constructions get a private arena.
 """
 from __future__ import annotations
 
 from typing import Iterator
+
+from .arena import (
+    KIND_COMMENT,
+    KIND_DOCTYPE,
+    KIND_DOCUMENT,
+    KIND_ELEMENT,
+    KIND_FRAGMENT,
+    KIND_TEXT,
+    DomArena,
+)
 
 HTML_NAMESPACE = "http://www.w3.org/1999/xhtml"
 SVG_NAMESPACE = "http://www.w3.org/2000/svg"
@@ -20,36 +47,72 @@ _NAMESPACE_SHORT = {
 
 
 class Node:
-    """Base tree node."""
+    """Base tree node: a view over one arena slot."""
 
-    __slots__ = ("parent", "children")
+    __slots__ = ("_arena", "_idx")
 
-    def __init__(self) -> None:
-        self.parent: Node | None = None
-        self.children: list[Node] = []
+    #: arena kind allocated by the default constructor
+    _kind = KIND_FRAGMENT
+
+    def __init__(self, arena: DomArena | None = None) -> None:
+        if arena is None:
+            arena = DomArena()
+        self._arena = arena
+        self._idx = arena.alloc(self._kind)
+
+    # ------------------------------------------------------------- linkage
+
+    @property
+    def parent(self) -> "Node | None":
+        return self._arena.parents[self._idx]
+
+    @parent.setter
+    def parent(self, value: "Node | None") -> None:
+        self._arena.parents[self._idx] = value
+
+    @property
+    def children(self) -> list:
+        arena = self._arena
+        idx = self._idx
+        lst = arena.children[idx]
+        if lst is None:
+            lst = arena.children[idx] = []
+        return lst
 
     # ------------------------------------------------------------- mutation
 
     def append(self, child: "Node") -> "Node":
-        if child.parent is not None:
-            child.parent.remove(child)
-        child.parent = self
-        self.children.append(child)
+        child_arena = child._arena
+        child_idx = child._idx
+        old_parent = child_arena.parents[child_idx]
+        if old_parent is not None:
+            # fast path for fresh nodes: skip the O(n) list.remove dance
+            old_parent.remove(child)
+        child_arena.parents[child_idx] = self
+        arena = self._arena
+        idx = self._idx
+        lst = arena.children[idx]
+        if lst is None:
+            arena.children[idx] = [child]
+        else:
+            lst.append(child)
         return child
 
     def insert_before(self, child: "Node", reference: "Node | None") -> "Node":
         if reference is None:
             return self.append(child)
-        if child.parent is not None:
-            child.parent.remove(child)
-        index = self.children.index(reference)
-        child.parent = self
-        self.children.insert(index, child)
+        old_parent = child._arena.parents[child._idx]
+        if old_parent is not None:
+            old_parent.remove(child)
+        children = self.children
+        index = children.index(reference)
+        child._arena.parents[child._idx] = self
+        children.insert(index, child)
         return child
 
     def remove(self, child: "Node") -> None:
         self.children.remove(child)
-        child.parent = None
+        child._arena.parents[child._idx] = None
 
     # ------------------------------------------------------------ traversal
 
@@ -58,13 +121,16 @@ class Node:
 
         Iterative: the parser happily builds trees thousands of elements
         deep (e.g. unclosed-tag repetition), which a recursive walk would
-        turn into a RecursionError.
+        turn into a RecursionError.  Reads the children column directly so
+        leaves never materialize a child list.
         """
         stack: list[Node] = [self]
         while stack:
             node = stack.pop()
             yield node
-            stack.extend(reversed(node.children))
+            lst = node._arena.children[node._idx]
+            if lst:
+                stack.extend(reversed(lst))
 
     def iter_elements(self) -> Iterator["Element"]:
         for node in self.iter():
@@ -106,8 +172,10 @@ class Node:
 class Document(Node):
     __slots__ = ("doctype", "mode")
 
-    def __init__(self) -> None:
-        super().__init__()
+    _kind = KIND_DOCUMENT
+
+    def __init__(self, arena: DomArena | None = None) -> None:
+        super().__init__(arena)
         from .quirks import QuirksMode  # local import avoids a cycle
 
         self.doctype: DocumentType | None = None
@@ -160,19 +228,34 @@ class Document(Node):
 class DocumentFragment(Node):
     __slots__ = ()
 
+    _kind = KIND_FRAGMENT
+
 
 class DocumentType(Node):
     __slots__ = ("name", "public_id", "system_id")
 
-    def __init__(self, name: str, public_id: str = "", system_id: str = "") -> None:
-        super().__init__()
+    _kind = KIND_DOCTYPE
+
+    def __init__(
+        self,
+        name: str,
+        public_id: str = "",
+        system_id: str = "",
+        arena: DomArena | None = None,
+    ) -> None:
+        if arena is None:
+            arena = DomArena()
+        self._arena = arena
+        self._idx = arena.alloc(KIND_DOCTYPE, name)
         self.name = name
         self.public_id = public_id
         self.system_id = system_id
 
 
 class Element(Node):
-    __slots__ = ("name", "namespace", "attributes", "source_offset")
+    __slots__ = ("name", "namespace", "_attrs", "source_offset")
+
+    _kind = KIND_ELEMENT
 
     def __init__(
         self,
@@ -180,21 +263,61 @@ class Element(Node):
         namespace: str = HTML_NAMESPACE,
         attributes: dict[str, str] | None = None,
         source_offset: int = -1,
+        arena: DomArena | None = None,
     ) -> None:
-        super().__init__()
+        if arena is None:
+            arena = DomArena()
+        # allocation is inlined (rather than arena.alloc) because element
+        # construction is the single hottest allocation site in the parser
+        self._arena = arena
+        kinds = arena.kinds
+        self._idx = len(kinds)
+        kinds.append(KIND_ELEMENT)
+        arena.names.append(name)
+        arena.parents.append(None)
+        arena.children.append(None)
         self.name = name
         self.namespace = namespace
-        self.attributes: dict[str, str] = dict(attributes or {})
+        # the attribute dict materializes on first access: most elements in
+        # real pages carry no attributes, so the common case allocates none
+        self._attrs = dict(attributes) if attributes else None
         #: offset of the ``<`` of the start tag in the source, -1 if implied
         self.source_offset = source_offset
 
     # -------------------------------------------------------------- helpers
 
+    @property
+    def attributes(self) -> dict[str, str]:
+        attrs = self._attrs
+        if attrs.__class__ is dict:
+            return attrs
+        if attrs is None:
+            attrs = self._attrs = {}
+            return attrs
+        # deferred form: the tree builder stashed the StartTag token here
+        # instead of building the dict eagerly (most elements never have
+        # their attributes read).  First occurrence wins — the tokenizer
+        # flags repeated names as duplicate.
+        attrs = self._attrs = {
+            a.name: a.value for a in attrs.attributes if not a.duplicate
+        }
+        return attrs
+
     def get(self, name: str, default: str | None = None) -> str | None:
-        return self.attributes.get(name, default)
+        attrs = self._attrs
+        if attrs is None:
+            return default
+        if attrs.__class__ is not dict:
+            attrs = self.attributes
+        return attrs.get(name, default)
 
     def __contains__(self, name: str) -> bool:
-        return name in self.attributes
+        attrs = self._attrs
+        if attrs is None:
+            return False
+        if attrs.__class__ is not dict:
+            attrs = self.attributes
+        return name in attrs
 
     @property
     def implied(self) -> bool:
@@ -214,11 +337,59 @@ class Element(Node):
 
 
 class Text(Node):
-    __slots__ = ("data",)
+    """A text node.
 
-    def __init__(self, data: str = "") -> None:
-        super().__init__()
-        self.data = data
+    ``data`` is coalescing-lazy: the parser appends adjacent character runs
+    with :meth:`append_data` (a list push), and the joined string is built
+    once on first read instead of re-materializing on every append.  Parts
+    may be plain strings or lazy :class:`~repro.html.tokens.Character`
+    tokens (byte spans that decode on first read), so clean parses never
+    decode text content at all until something reads it.
+    """
+
+    __slots__ = ("_parts",)
+
+    _kind = KIND_TEXT
+
+    def __init__(self, data="", arena: DomArena | None = None) -> None:
+        if arena is None:
+            arena = DomArena()
+        self._arena = arena
+        kinds = arena.kinds
+        self._idx = len(kinds)
+        kinds.append(KIND_TEXT)
+        arena.names.append(None)
+        arena.parents.append(None)
+        arena.children.append(None)
+        #: str | lazy Character | list of either
+        self._parts = data
+
+    @property
+    def data(self) -> str:
+        parts = self._parts
+        cls = parts.__class__
+        if cls is str:
+            return parts
+        if cls is list:
+            joined = "".join(
+                part if part.__class__ is str else part.data for part in parts
+            )
+        else:  # a single lazy Character token
+            joined = parts.data
+        self._parts = joined
+        return joined
+
+    @data.setter
+    def data(self, value: str) -> None:
+        self._parts = value
+
+    def append_data(self, more) -> None:
+        """Push one more adjacent run (str or lazy Character token)."""
+        parts = self._parts
+        if parts.__class__ is list:
+            parts.append(more)
+        else:
+            self._parts = [parts, more]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Text {self.data[:30]!r}>"
@@ -227,9 +398,11 @@ class Text(Node):
 class CommentNode(Node):
     __slots__ = ("data",)
 
-    def __init__(self, data: str = "") -> None:
-        super().__init__()
-        self.data = data
+    _kind = KIND_COMMENT
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Comment {self.data[:30]!r}>"
+    def __init__(self, data: str = "", arena: DomArena | None = None) -> None:
+        if arena is None:
+            arena = DomArena()
+        self._arena = arena
+        self._idx = arena.alloc(KIND_COMMENT)
+        self.data = data

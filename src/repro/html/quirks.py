@@ -110,6 +110,10 @@ def quirks_mode_for(token: Doctype | None) -> QuirksMode:
     """Determine the document mode from a DOCTYPE token (None = missing)."""
     if token is None or token.force_quirks or token.name != "html":
         return QuirksMode.QUIRKS
+    if token.public_id is None and token.system_id is None:
+        # the modern ``<!DOCTYPE html>`` — by far the most common case,
+        # and every prefix table below needs a public/system id to match
+        return QuirksMode.NO_QUIRKS
     public = (token.public_id or "").lower()
     system = (token.system_id or "").lower()
     has_system = token.system_id is not None

@@ -193,6 +193,10 @@ class Comment(Token):
     data: str = ""
 
 
+#: the spec's ASCII whitespace set, as bytes (for decode-free span tests)
+_WS_BYTES = b"\t\n\f\r "
+
+
 class Character(Token):
     """A run of character data (the spec emits one char at a time; we batch).
 
@@ -258,8 +262,59 @@ class Character(Token):
 
     __hash__ = None  # match the former eq=True dataclass
 
+    # ---------------------------------------------- decode-free predicates
+    #
+    # The tree builder's character handling only needs three facts about a
+    # run — "is it all whitespace", "does it contain NUL", "does it start
+    # with a newline" — and all three are answerable on the raw byte spans
+    # without materializing the text.  Each falls back to the decoded
+    # string when one already exists.
+
     def is_whitespace(self) -> bool:
-        return not self.data.strip("\t\n\f\r ")
+        data = self._data
+        if data is not None:
+            return not data.strip("\t\n\f\r ")
+        parts = self._parts
+        if parts.__class__ is tuple:
+            source, start, end = parts
+            return not source.data[start:end].translate(None, _WS_BYTES)
+        for part in parts:
+            if part.__class__ is str:
+                if part.strip("\t\n\f\r "):
+                    return False
+            elif part[0].data[part[1] : part[2]].translate(None, _WS_BYTES):
+                return False
+        return True
+
+    def has_nul(self) -> bool:
+        data = self._data
+        if data is not None:
+            return "\x00" in data
+        parts = self._parts
+        if parts.__class__ is tuple:
+            source, start, end = parts
+            return source.data.find(b"\x00", start, end) >= 0
+        for part in parts:
+            if part.__class__ is str:
+                if "\x00" in part:
+                    return True
+            elif part[0].data.find(b"\x00", part[1], part[2]) >= 0:
+                return True
+        return False
+
+    def starts_with_lf(self) -> bool:
+        data = self._data
+        if data is not None:
+            return data.startswith("\n")
+        parts = self._parts
+        part = parts if parts.__class__ is tuple else parts[0]
+        if part.__class__ is str:
+            if part:
+                return part.startswith("\n")
+        elif part[1] < part[2]:
+            return part[0].data[part[1]] == 0x0A
+        # degenerate empty first part: answer on the materialized text
+        return self.data.startswith("\n")
 
 
 @dataclass(slots=True)

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .arena import KIND_ELEMENT, DomArena
 from .dom import (
     HTML_NAMESPACE,
     MATHML_NAMESPACE,
@@ -52,6 +53,9 @@ from .tokens import (
 )
 
 _WS = "\t\n\f\r "
+
+#: raw allocator for the inlined element construction in insert_element
+_new_element = object.__new__
 
 # --------------------------------------------------------------- element sets
 
@@ -198,9 +202,16 @@ class ParseResult:
     :class:`~repro.html.tokens.ByteSource` here, and the document text is
     decoded only when a rule (or the fused engine's offset slicing) first
     reads it — str-domain parses store the text eagerly as before.
+
+    ``stream_elements`` is ``None`` for ordinary parses; a stream-mode
+    parse (:class:`StreamTreeBuilder`) fills it with ``(element, in_head)``
+    pairs in document pre-order, and the fused engine dispatches its tree
+    rules over that flat list instead of walking ``document``.
     """
 
-    __slots__ = ("document", "errors", "events", "tokens", "_source")
+    __slots__ = (
+        "document", "errors", "events", "tokens", "_source", "stream_elements"
+    )
 
     def __init__(
         self,
@@ -209,12 +220,14 @@ class ParseResult:
         events: list[TreeEvent],
         tokens: list[Token],
         source,
+        stream_elements: "list | None" = None,
     ) -> None:
         self.document = document
         self.errors = errors
         self.events = events
         self.tokens = tokens
         self._source = source
+        self.stream_elements = stream_elements
 
     @property
     def source(self) -> str:
@@ -259,7 +272,9 @@ class TreeBuilder:
     """
 
     def __init__(self, *, collect_tokens: bool = True, fragment_context: Element | None = None) -> None:
-        self.document = Document()
+        #: one arena backs every node this builder creates (DESIGN.md §3.14)
+        self.arena = DomArena()
+        self.document = Document(arena=self.arena)
         self.errors: list[ParseError] = []
         self.events: list[TreeEvent] = []
         self.tokens: list[Token] = [] if collect_tokens else None  # type: ignore[assignment]
@@ -289,6 +304,29 @@ class TreeBuilder:
         #: ``_dispatch_mode`` integration-point analysis for the (vastly
         #: dominant) HTML-content case
         self._current_foreign = False
+        #: filled by :class:`StreamTreeBuilder`; ``None`` for normal parses
+        self._stream_elements: list | None = None
+        #: open ``<head>`` count (maintained by StreamTreeBuilder push/pop;
+        #: always 0 here) — read by the emission sites in insert_element
+        self._head_depth = 0
+
+    # ------------------------------------------------------- stream hooks
+    #
+    # No-op hooks on the cold paths whose tree mutations would break the
+    # stream-mode pre-order emission invariant.  ``StreamTreeBuilder``
+    # overrides them to raise :class:`StreamTaint`; keeping the call sites
+    # in this class (rather than overriding whole insertion-mode methods)
+    # matters because the in-body dispatch tables bind this class's
+    # handler functions directly, bypassing virtual dispatch.
+
+    def _stream_taint(self, reason: str) -> None:
+        """A tree-reordering mutation is about to happen (cold paths only)."""
+
+    def _stream_foster_check(self) -> None:
+        """Fostering is active at an element insertion (cold path only)."""
+
+    def _stream_emit_root(self, element: Element) -> None:
+        """The root <html> element was appended outside insert_element."""
 
     # ------------------------------------------------------------- plumbing
 
@@ -335,6 +373,11 @@ class TreeBuilder:
 
     def push(self, element: Element) -> None:
         self.open_elements.append(element)
+        # name-only on purpose: the fused walk's head-region flag
+        # propagates on ``node.name == "head"`` without a namespace
+        # check, and the stream emission must reproduce it bit-for-bit
+        if element.name == "head":
+            self._head_depth += 1
         # pushing an HTML element while already in HTML content cannot
         # change the foreign flag, which covers almost every push
         if element.namespace != HTML_NAMESPACE or self._current_foreign:
@@ -343,6 +386,8 @@ class TreeBuilder:
     def pop(self) -> Element:
         stack = self.open_elements
         element = stack.pop()
+        if element.name == "head":
+            self._head_depth -= 1
         # the flag can only change if we were in foreign content, the new
         # top is foreign, or the pop just exposed the fragment context
         if (
@@ -428,29 +473,70 @@ class TreeBuilder:
         return target, None
 
     def create_element(self, token: StartTag, namespace: str = HTML_NAMESPACE) -> Element:
-        # every repeated attribute name is flagged duplicate by the
-        # tokenizer, so filtering on the flag alone keeps the first
-        # occurrence exactly like the spec's "already on the token" check
-        return Element(
+        # the attribute dict is deferred: the token rides in the view's
+        # ``_attrs`` slot and ``Element.attributes`` builds the dict only
+        # if something (a rule, the serializer, Noah's Ark) ever reads it
+        # — most elements never have their attributes looked at
+        element = Element(
             token.name, namespace=namespace,
-            attributes={
-                a.name: a.value for a in token.attributes if not a.duplicate
-            },
             source_offset=token.offset,
+            arena=self.arena,
         )
+        if token._lazy is not None or token._attributes:
+            element._attrs = token
+        return element
 
     def insert_element(self, token: StartTag, namespace: str = HTML_NAMESPACE) -> Element:
-        element = self.create_element(token, namespace)
         if not self.foster_parenting:
-            # hot path: a freshly created element has no parent, so the
-            # insertion-place analysis and re-parenting checks reduce to a
-            # plain append at the current node
+            # hot path, fully inlined: element allocation (object.__new__
+            # plus direct slot/column writes — this is the single hottest
+            # allocation site in the parser), the plain append at the
+            # current node, and the push.  The attribute dict is deferred:
+            # the token rides in the view's ``_attrs`` slot and
+            # ``Element.attributes`` builds the dict only on first read.
+            arena = self.arena
+            element = _new_element(Element)
+            element._arena = arena
+            kinds = arena.kinds
+            element._idx = idx = len(kinds)
             parent = self.open_elements[-1]
-            element.parent = parent
-            parent.children.append(element)
-        else:
-            parent, before = self.appropriate_insertion_place()
-            parent.insert_before(element, before)
+            kinds.append(KIND_ELEMENT)
+            arena.names.append(token.name)
+            arena.parents.append(parent)
+            arena.children.append(None)
+            element.name = token.name
+            element.namespace = namespace
+            element._attrs = (
+                token if token._lazy is not None or token._attributes
+                else None
+            )
+            element.source_offset = token.offset
+            pidx = parent._idx
+            lst = arena.children[pidx]
+            if lst is None:
+                arena.children[pidx] = [element]
+            else:
+                lst.append(element)
+            # stream emission rides here (not in a subclass override) so
+            # tag handlers bound into the dispatch tables still feed it;
+            # in_head is parent-derived — captured before this push
+            stream = self._stream_elements
+            if stream is not None:
+                stream.append((element, self._head_depth > 0))
+            # inlined self.push(element)
+            self.open_elements.append(element)
+            if element.name == "head":
+                self._head_depth += 1
+            if namespace is not HTML_NAMESPACE or self._current_foreign:
+                self._update_foreign_flag()
+            return element
+        element = self.create_element(token, namespace)
+        self._stream_foster_check()
+        parent, before = self.appropriate_insertion_place()
+        parent.insert_before(element, before)
+        stream = self._stream_elements
+        if stream is not None:
+            stream.append((element, self._head_depth > 0))
         self.push(element)
         return element
 
@@ -459,25 +545,40 @@ class TreeBuilder:
 
     def insert_phantom(self, name: str) -> Element:
         """Insert an element with no corresponding source tag."""
-        element = Element(name, source_offset=-1)
+        element = Element(name, source_offset=-1, arena=self.arena)
+        if self.foster_parenting:
+            self._stream_foster_check()
         parent, before = self.appropriate_insertion_place()
         parent.insert_before(element, before)
+        stream = self._stream_elements
+        if stream is not None:
+            stream.append((element, self._head_depth > 0))
         self.push(element)
         return element
 
     def insert_text(self, data: str) -> None:
         if not self.foster_parenting:
             # hot path: append-or-merge at the current node, skipping the
-            # insertion-place analysis that only matters under fostering
+            # insertion-place analysis that only matters under fostering;
+            # merges push a part onto the previous text node (the joined
+            # string is materialized lazily on first read) and the links
+            # are written straight into the arena columns
+            arena = self.arena
             parent = self.open_elements[-1]
-            children = parent.children
-            previous = children[-1] if children else None
-            if type(previous) is Text:
-                previous.data += data
-            else:
-                node = Text(data)
-                node.parent = parent
+            pidx = parent._idx
+            children = arena.children[pidx]
+            if children:
+                previous = children[-1]
+                if type(previous) is Text:
+                    previous.append_data(data)
+                    return
+                node = Text(data, arena=arena)
+                arena.parents[node._idx] = parent
                 children.append(node)
+            else:
+                node = Text(data, arena=arena)
+                arena.parents[node._idx] = parent
+                arena.children[pidx] = [node]
             return
         parent, before = self.appropriate_insertion_place()
         if before is not None:
@@ -486,12 +587,12 @@ class TreeBuilder:
         else:
             previous = parent.children[-1] if parent.children else None
         if isinstance(previous, Text):
-            previous.data += data
+            previous.append_data(data)
         else:
-            parent.insert_before(Text(data), before)
+            parent.insert_before(Text(data, arena=self.arena), before)
 
     def insert_comment(self, token: Comment, parent: Node | None = None) -> None:
-        node = CommentNode(token.data)
+        node = CommentNode(token.data, arena=self.arena)
         if parent is not None:
             parent.append(node)
         else:
@@ -547,7 +648,7 @@ class TreeBuilder:
             assert stale is not None
             token = self._formatting_tokens.get(id(stale))
             clone_token = token if token is not None else StartTag(name=stale.name)
-            element = self.insert_html_element(clone_token)
+            element = self.insert_element(clone_token)
             self.active_formatting[index] = element
             if token is not None:
                 self._formatting_tokens[id(element)] = token
@@ -578,9 +679,9 @@ class TreeBuilder:
         # per token on the hottest loop in the parser
         queue = tokenizer._queue
         popleft = queue.popleft
-        process = self.process_token
         tokens = self.tokens
         collect = self._collect_tokens
+        dispatch_mode = self._dispatch_mode
         while True:
             if queue:
                 token = popleft()
@@ -591,7 +692,13 @@ class TreeBuilder:
                 continue
             if collect:
                 tokens.append(token)
-            process(token)
+            # inlined process_token: one frame per token on the hot loop
+            mode = dispatch_mode(token) if self._current_foreign else self.mode
+            while mode(token):
+                mode = (
+                    dispatch_mode(token)
+                    if self._current_foreign else self.mode
+                )
             if self._stopped:
                 break
         self.errors.extend(tokenizer.errors)
@@ -602,6 +709,7 @@ class TreeBuilder:
             events=self.events,
             tokens=self.tokens if self._collect_tokens else [],
             source=source,
+            stream_elements=self._stream_elements,
         )
 
     # --------------------------------------------------------- token dispatch
@@ -674,7 +782,8 @@ class TreeBuilder:
             return False
         if isinstance(token, Doctype):
             doctype = DocumentType(
-                token.name, token.public_id or "", token.system_id or ""
+                token.name, token.public_id or "", token.system_id or "",
+                arena=self.arena,
             )
             self.document.append(doctype)
             self.document.doctype = doctype
@@ -702,6 +811,7 @@ class TreeBuilder:
         elif isinstance(token, StartTag) and token.name == "html":
             element = self.create_element(token)
             self.document.append(element)
+            self._stream_emit_root(element)
             self.push(element)
             self.mode = self._mode_before_head
             return False
@@ -710,8 +820,9 @@ class TreeBuilder:
         ):
             self.parse_error(ErrorCode.UNEXPECTED_END_TAG, token, token.name)
             return False
-        root = Element("html", source_offset=-1)
+        root = Element("html", source_offset=-1, arena=self.arena)
         self.document.append(root)
+        self._stream_emit_root(root)
         self.push(root)
         self.mode = self._mode_before_head
         return True
@@ -733,7 +844,7 @@ class TreeBuilder:
             if token.name == "html":
                 return self._mode_in_body(token)
             if token.name == "head":
-                self.head_element = self.insert_html_element(token)
+                self.head_element = self.insert_element(token)
                 self._saw_explicit_head = True
                 self.mode = self._mode_in_head
                 return False
@@ -748,26 +859,27 @@ class TreeBuilder:
         return True
 
     def _mode_in_head(self, token: Token) -> bool:
-        if isinstance(token, Character):
+        cls = token.__class__
+        if cls is Character:
             prefix, rest = _split_leading_ws(token.data)
             if prefix:
                 self.insert_text(prefix)
             if not rest:
                 return False
             token.data = rest
-        elif isinstance(token, Comment):
+        elif cls is Comment:
             self.insert_comment(token)
             return False
-        elif isinstance(token, Doctype):
+        elif cls is Doctype:
             self.parse_error(ErrorCode.UNEXPECTED_DOCTYPE, token)
             self.event("doctype-misplaced", offset=token.offset)
             return False
-        elif isinstance(token, StartTag):
+        elif cls is StartTag:
             name = token.name
             if name == "html":
                 return self._mode_in_body(token)
             if name in ("base", "basefont", "bgsound", "link", "meta"):
-                self.insert_html_element(token)
+                self.insert_element(token)
                 self.pop()
                 return False
             if name == "title":
@@ -777,13 +889,13 @@ class TreeBuilder:
             ):
                 return self._parse_rawtext(token)
             if name == "noscript":
-                self.insert_html_element(token)
+                self.insert_element(token)
                 self.mode = self._mode_in_head_noscript
                 return False
             if name == "script":
                 return self._parse_script(token)
             if name == "template":
-                self.insert_html_element(token)
+                self.insert_element(token)
                 self.insert_formatting_marker()
                 self.frameset_ok = False
                 self.mode = self._mode_in_template
@@ -799,7 +911,7 @@ class TreeBuilder:
                     "disallowed-in-head", tag=name, offset=token.offset
                 )
             return True
-        elif isinstance(token, EndTag):
+        elif cls is EndTag:
             name = token.name
             if name == "head":
                 popped = self.pop()
@@ -912,13 +1024,13 @@ class TreeBuilder:
             if name == "html":
                 return self._mode_in_body(token)
             if name == "body":
-                self.insert_html_element(token)
+                self.insert_element(token)
                 self._saw_explicit_body = True
                 self.frameset_ok = False
                 self.mode = self._mode_in_body
                 return False
             if name == "frameset":
-                self.insert_html_element(token)
+                self.insert_element(token)
                 self.mode = self._mode_in_frameset
                 return False
             if name in HEAD_ALLOWED and name != "noscript":
@@ -928,6 +1040,8 @@ class TreeBuilder:
                     "head-element-after-head", tag=name, offset=token.offset
                 )
                 assert self.head_element is not None
+                # inserting back into the closed <head> breaks pre-order
+                self._stream_taint("head-element-after-head")
                 self.push(self.head_element)
                 self._mode_in_head(token)
                 if self.head_element in self.open_elements:
@@ -958,24 +1072,44 @@ class TreeBuilder:
 
     def _mode_in_body(self, token: Token) -> bool:
         # ordered by token frequency: characters and tags dominate real
-        # documents, comments/doctypes/EOF are rare
-        if isinstance(token, Character):
+        # documents, comments/doctypes/EOF are rare.  Token classes are
+        # leaves (nothing subclasses them), so exact-class checks replace
+        # isinstance, and the start/end tag table dispatch is inlined to
+        # drop one frame per tag token.
+        cls = token.__class__
+        if cls is Character:
             return self._in_body_character(token)
-        if isinstance(token, StartTag):
-            return self._in_body_start_tag(token)
-        if isinstance(token, EndTag):
-            return self._in_body_end_tag(token)
-        if isinstance(token, Comment):
+        if cls is StartTag:
+            handler = _IN_BODY_START.get(token.name)
+            if handler is None:
+                return self._ibs_any(token)
+            return handler(self, token)
+        if cls is EndTag:
+            handler = _IN_BODY_END.get(token.name)
+            if handler is None:
+                return self._any_other_end_tag(token)
+            return handler(self, token)
+        if cls is Comment:
             self.insert_comment(token)
             return False
-        if isinstance(token, Doctype):
+        if cls is Doctype:
             self.parse_error(ErrorCode.UNEXPECTED_DOCTYPE, token)
             self.event("doctype-misplaced", offset=token.offset)
             return False
-        assert isinstance(token, EOF)
+        assert cls is EOF
         return self._in_body_eof(token)
 
     def _in_body_character(self, token: Character) -> bool:
+        # fast path: no pending-newline suppression and no NUL in the run
+        # (checked decode-free on the byte spans) — the token itself is
+        # handed to insert_text, so clean text never materializes here
+        if not self.ignore_next_lf and not token.has_nul():
+            if self.active_formatting:
+                self.reconstruct_active_formatting()
+            self.insert_text(token)
+            if self.frameset_ok and not token.is_whitespace():
+                self.frameset_ok = False
+            return False
         data = token.data
         if self.ignore_next_lf:
             self.ignore_next_lf = False
@@ -1010,376 +1144,430 @@ class TreeBuilder:
         self._stopped = True
         return False
 
+    # ----------------------------------------------- in-body start tags
+    #
+    # The "in body" start-tag rules dispatch through the module-level
+    # ``_IN_BODY_START`` table (tag name -> handler) built after the class
+    # body: one dict hit replaces the spec's ~30-branch comparison chain,
+    # which profiling showed as the hottest dispatch site in the tree
+    # machine.  Each handler transcribes one spec branch verbatim.
+
     def _in_body_start_tag(self, token: StartTag) -> bool:
-        name = token.name
-        if name == "html":
-            self.parse_error(ErrorCode.UNEXPECTED_START_TAG, token, "html")
-            self.event("second-html-merged", offset=token.offset)
-            if self.open_elements:
-                root = self.open_elements[0]
-                for attr in token.visible_attributes():
-                    root.attributes.setdefault(attr.name, attr.value)
-            return False
-        if name in ("base", "basefont", "bgsound", "link", "meta", "noframes",
-                    "style", "script", "template", "title"):
-            return self._mode_in_head(token)
-        if name == "body":
-            self.parse_error(ErrorCode.SECOND_BODY_START_TAG, token)
-            self.event("second-body-merged", offset=token.offset)
-            if len(self.open_elements) > 1:
-                body = self.open_elements[1]
-                if body.name == "body":
-                    self.frameset_ok = False
-                    for attr in token.visible_attributes():
-                        body.attributes.setdefault(attr.name, attr.value)
-            return False
-        if name == "frameset":
-            self.parse_error(ErrorCode.UNEXPECTED_START_TAG, token, name)
-            if self.frameset_ok and len(self.open_elements) > 1:
-                body = self.open_elements[1]
-                if body.parent is not None:
-                    body.parent.remove(body)
-                while len(self.open_elements) > 1:
-                    self.pop()
-                self.insert_html_element(token)
-                self.mode = self._mode_in_frameset
-            return False
-        if name in (
-            "address", "article", "aside", "blockquote", "center", "details",
-            "dialog", "dir", "div", "dl", "fieldset", "figcaption", "figure",
-            "footer", "header", "hgroup", "main", "menu", "nav", "ol", "p",
-            "section", "summary", "ul",
-        ):
-            self._close_p_if_in_button_scope()
-            self.insert_html_element(token)
-            return False
-        if name in HEADING_ELEMENTS:
-            self._close_p_if_in_button_scope()
-            if (
-                self.current_node is not None
-                and self.current_node.name in HEADING_ELEMENTS
-            ):
-                self.parse_error(ErrorCode.UNEXPECTED_START_TAG, token, name)
-                self.pop()
-            self.insert_html_element(token)
-            return False
-        if name in ("pre", "listing"):
-            self._close_p_if_in_button_scope()
-            self.insert_html_element(token)
-            self.ignore_next_lf = True
-            self.frameset_ok = False
-            return False
-        if name == "form":
-            if self.form_element is not None:
-                self.parse_error(ErrorCode.UNEXPECTED_FORM_IN_FORM, token)
-                self.event("nested-form-ignored", offset=token.offset)
-                return False
-            self._close_p_if_in_button_scope()
-            element = self.insert_html_element(token)
-            self.form_element = element
-            return False
-        if name == "li":
-            self.frameset_ok = False
-            for element in reversed(self.open_elements):
-                if element.name == "li" and element.is_html():
-                    self.generate_implied_end_tags(exclude="li")
-                    self.pop_until("li")
-                    break
-                if (
-                    element.is_html()
-                    and element.name in SPECIAL_ELEMENTS
-                    and element.name not in ("address", "div", "p")
-                ):
-                    break
-            self._close_p_if_in_button_scope()
-            self.insert_html_element(token)
-            return False
-        if name in ("dd", "dt"):
-            self.frameset_ok = False
-            for element in reversed(self.open_elements):
-                if element.name in ("dd", "dt") and element.is_html():
-                    self.generate_implied_end_tags(exclude=element.name)
-                    self.pop_until("dd", "dt")
-                    break
-                if (
-                    element.is_html()
-                    and element.name in SPECIAL_ELEMENTS
-                    and element.name not in ("address", "div", "p")
-                ):
-                    break
-            self._close_p_if_in_button_scope()
-            self.insert_html_element(token)
-            return False
-        if name == "plaintext":
-            self._close_p_if_in_button_scope()
-            self.insert_html_element(token)
-            assert self.tokenizer is not None
-            self.tokenizer.switch_to(PLAINTEXT)
-            return False
-        if name == "button":
-            if self.element_in_scope("button"):
-                self.parse_error(ErrorCode.UNEXPECTED_START_TAG, token, name)
-                self.generate_implied_end_tags()
-                self.pop_until("button")
-            self.reconstruct_active_formatting()
-            self.insert_html_element(token)
-            self.frameset_ok = False
-            return False
-        if name == "a":
-            for entry in reversed(self.active_formatting):
-                if entry is None:
-                    break
-                if entry.name == "a":
-                    self.parse_error(ErrorCode.UNEXPECTED_START_TAG, token, "a")
-                    self.adoption_agency(EndTag(name="a", offset=token.offset))
-                    if entry in self.active_formatting:
-                        self.active_formatting.remove(entry)
-                    if entry in self.open_elements:
-                        self.open_elements.remove(entry)
-                        self._update_foreign_flag()
-                    break
-            self.reconstruct_active_formatting()
-            element = self.insert_html_element(token)
-            self.push_formatting(element, token)
-            return False
-        if name in FORMATTING_ELEMENTS:
-            if name == "nobr" and self.element_in_scope("nobr"):
-                self.parse_error(ErrorCode.UNEXPECTED_START_TAG, token, name)
-                self.adoption_agency(EndTag(name="nobr", offset=token.offset))
-                self.reconstruct_active_formatting()
-            else:
-                self.reconstruct_active_formatting()
-            element = self.insert_html_element(token)
-            self.push_formatting(element, token)
-            return False
-        if name in ("applet", "marquee", "object"):
-            self.reconstruct_active_formatting()
-            self.insert_html_element(token)
-            self.insert_formatting_marker()
-            self.frameset_ok = False
-            return False
-        if name == "table":
-            if not self.document.quirks_mode:
-                self._close_p_if_in_button_scope()
-            self.insert_html_element(token)
-            self.frameset_ok = False
-            self.mode = self._mode_in_table
-            return False
-        if name in ("area", "br", "embed", "img", "keygen", "wbr"):
-            self.reconstruct_active_formatting()
-            self.insert_html_element(token)
-            self.pop()
-            self.frameset_ok = False
-            return False
-        if name == "input":
-            self.reconstruct_active_formatting()
-            self.insert_html_element(token)
-            self.pop()
-            input_type = token.attr("type") or ""
-            if input_type.lower() != "hidden":
+        handler = _IN_BODY_START.get(token.name)
+        if handler is None:
+            return self._ibs_any(token)
+        return handler(self, token)
+
+    def _ibs_html(self, token: StartTag) -> bool:
+        self.parse_error(ErrorCode.UNEXPECTED_START_TAG, token, "html")
+        self.event("second-html-merged", offset=token.offset)
+        if self.open_elements:
+            root = self.open_elements[0]
+            for attr in token.visible_attributes():
+                root.attributes.setdefault(attr.name, attr.value)
+        return False
+
+    def _ibs_in_head(self, token: StartTag) -> bool:
+        return self._mode_in_head(token)
+
+    def _ibs_body(self, token: StartTag) -> bool:
+        self.parse_error(ErrorCode.SECOND_BODY_START_TAG, token)
+        self.event("second-body-merged", offset=token.offset)
+        if len(self.open_elements) > 1:
+            body = self.open_elements[1]
+            if body.name == "body":
                 self.frameset_ok = False
-            return False
-        if name in ("param", "source", "track"):
-            self.insert_html_element(token)
+                for attr in token.visible_attributes():
+                    body.attributes.setdefault(attr.name, attr.value)
+        return False
+
+    def _ibs_frameset(self, token: StartTag) -> bool:
+        self.parse_error(ErrorCode.UNEXPECTED_START_TAG, token, token.name)
+        if self.frameset_ok and len(self.open_elements) > 1:
+            # the already-emitted <body> is about to leave the tree, so a
+            # stream parse can no longer mirror the final DOM walk
+            self._stream_taint("frameset-takeover")
+            body = self.open_elements[1]
+            if body.parent is not None:
+                body.parent.remove(body)
+            while len(self.open_elements) > 1:
+                self.pop()
+            self.insert_element(token)
+            self.mode = self._mode_in_frameset
+        return False
+
+    def _ibs_block(self, token: StartTag) -> bool:
+        self._close_p_if_in_button_scope()
+        self.insert_element(token)
+        return False
+
+    def _ibs_heading(self, token: StartTag) -> bool:
+        self._close_p_if_in_button_scope()
+        if (
+            self.current_node is not None
+            and self.current_node.name in HEADING_ELEMENTS
+        ):
+            self.parse_error(ErrorCode.UNEXPECTED_START_TAG, token, token.name)
             self.pop()
+        self.insert_element(token)
+        return False
+
+    def _ibs_pre(self, token: StartTag) -> bool:
+        self._close_p_if_in_button_scope()
+        self.insert_element(token)
+        self.ignore_next_lf = True
+        self.frameset_ok = False
+        return False
+
+    def _ibs_form(self, token: StartTag) -> bool:
+        if self.form_element is not None:
+            self.parse_error(ErrorCode.UNEXPECTED_FORM_IN_FORM, token)
+            self.event("nested-form-ignored", offset=token.offset)
             return False
-        if name == "hr":
-            self._close_p_if_in_button_scope()
-            self.insert_html_element(token)
-            self.pop()
-            self.frameset_ok = False
-            return False
-        if name == "image":
-            # Spec: change it to "img" and reprocess ("don't ask").
-            self.parse_error(ErrorCode.UNEXPECTED_START_TAG, token, "image")
-            token.name = "img"
-            return True
-        if name == "textarea":
-            self.insert_html_element(token)
-            self.ignore_next_lf = True
-            assert self.tokenizer is not None
-            self.tokenizer.switch_to(RCDATA)
-            self.original_mode = self.mode
-            self.frameset_ok = False
-            self.mode = self._mode_text
-            return False
-        if name == "xmp":
-            self._close_p_if_in_button_scope()
-            self.reconstruct_active_formatting()
-            self.frameset_ok = False
-            return self._parse_rawtext(token)
-        if name == "iframe":
-            self.frameset_ok = False
-            return self._parse_rawtext(token)
-        if name == "noembed" or (name == "noscript" and self.scripting_enabled):
-            return self._parse_rawtext(token)
-        if name == "select":
-            self.reconstruct_active_formatting()
-            self.insert_html_element(token)
-            self.frameset_ok = False
-            if self.mode in (
-                self._mode_in_table, self._mode_in_caption,
-                self._mode_in_table_body, self._mode_in_row, self._mode_in_cell,
+        self._close_p_if_in_button_scope()
+        element = self.insert_element(token)
+        self.form_element = element
+        return False
+
+    def _ibs_li(self, token: StartTag) -> bool:
+        self.frameset_ok = False
+        for element in reversed(self.open_elements):
+            if element.name == "li" and element.is_html():
+                self.generate_implied_end_tags(exclude="li")
+                self.pop_until("li")
+                break
+            if (
+                element.is_html()
+                and element.name in SPECIAL_ELEMENTS
+                and element.name not in ("address", "div", "p")
             ):
-                self.mode = self._mode_in_select_in_table
-            else:
-                self.mode = self._mode_in_select
-            return False
-        if name in ("optgroup", "option"):
-            if self.current_node is not None and self.current_node.name == "option":
-                self.pop()
-            self.reconstruct_active_formatting()
-            self.insert_html_element(token)
-            return False
-        if name in ("rb", "rtc"):
-            if self.element_in_scope("ruby"):
-                self.generate_implied_end_tags()
-            self.insert_html_element(token)
-            return False
-        if name in ("rp", "rt"):
-            if self.element_in_scope("ruby"):
-                self.generate_implied_end_tags(exclude="rtc")
-            self.insert_html_element(token)
-            return False
-        if name == "math":
-            self.reconstruct_active_formatting()
-            self._adjust_foreign_attributes(token)
-            element = self.insert_element(token, MATHML_NAMESPACE)
-            if token.self_closing:
-                self.pop()
-            return False
-        if name == "svg":
-            self.reconstruct_active_formatting()
-            self._adjust_foreign_attributes(token)
-            element = self.insert_element(token, SVG_NAMESPACE)
-            if token.self_closing:
-                self.pop()
-            return False
-        if name in ("caption", "col", "colgroup", "frame", "head", "tbody",
-                    "td", "tfoot", "th", "thead", "tr"):
-            self.parse_error(ErrorCode.UNEXPECTED_START_TAG, token, name)
-            return False
-        # Any other start tag.
+                break
+        self._close_p_if_in_button_scope()
+        self.insert_element(token)
+        return False
+
+    def _ibs_dd_dt(self, token: StartTag) -> bool:
+        self.frameset_ok = False
+        for element in reversed(self.open_elements):
+            if element.name in ("dd", "dt") and element.is_html():
+                self.generate_implied_end_tags(exclude=element.name)
+                self.pop_until("dd", "dt")
+                break
+            if (
+                element.is_html()
+                and element.name in SPECIAL_ELEMENTS
+                and element.name not in ("address", "div", "p")
+            ):
+                break
+        self._close_p_if_in_button_scope()
+        self.insert_element(token)
+        return False
+
+    def _ibs_plaintext(self, token: StartTag) -> bool:
+        self._close_p_if_in_button_scope()
+        self.insert_element(token)
+        assert self.tokenizer is not None
+        self.tokenizer.switch_to(PLAINTEXT)
+        return False
+
+    def _ibs_button(self, token: StartTag) -> bool:
+        if self.element_in_scope("button"):
+            self.parse_error(ErrorCode.UNEXPECTED_START_TAG, token, token.name)
+            self.generate_implied_end_tags()
+            self.pop_until("button")
         self.reconstruct_active_formatting()
-        self.insert_html_element(token)
+        self.insert_element(token)
+        self.frameset_ok = False
+        return False
+
+    def _ibs_a(self, token: StartTag) -> bool:
+        for entry in reversed(self.active_formatting):
+            if entry is None:
+                break
+            if entry.name == "a":
+                self.parse_error(ErrorCode.UNEXPECTED_START_TAG, token, "a")
+                self.adoption_agency(EndTag(name="a", offset=token.offset))
+                if entry in self.active_formatting:
+                    self.active_formatting.remove(entry)
+                if entry in self.open_elements:
+                    self.open_elements.remove(entry)
+                    self._update_foreign_flag()
+                break
+        self.reconstruct_active_formatting()
+        element = self.insert_element(token)
+        self.push_formatting(element, token)
+        return False
+
+    def _ibs_formatting(self, token: StartTag) -> bool:
+        if token.name == "nobr" and self.element_in_scope("nobr"):
+            self.parse_error(ErrorCode.UNEXPECTED_START_TAG, token, token.name)
+            self.adoption_agency(EndTag(name="nobr", offset=token.offset))
+            self.reconstruct_active_formatting()
+        else:
+            self.reconstruct_active_formatting()
+        element = self.insert_element(token)
+        self.push_formatting(element, token)
+        return False
+
+    def _ibs_applet(self, token: StartTag) -> bool:
+        self.reconstruct_active_formatting()
+        self.insert_element(token)
+        self.insert_formatting_marker()
+        self.frameset_ok = False
+        return False
+
+    def _ibs_table(self, token: StartTag) -> bool:
+        if not self.document.quirks_mode:
+            self._close_p_if_in_button_scope()
+        self.insert_element(token)
+        self.frameset_ok = False
+        self.mode = self._mode_in_table
+        return False
+
+    def _ibs_void(self, token: StartTag) -> bool:
+        self.reconstruct_active_formatting()
+        self.insert_element(token)
+        self.pop()
+        self.frameset_ok = False
+        return False
+
+    def _ibs_input(self, token: StartTag) -> bool:
+        self.reconstruct_active_formatting()
+        self.insert_element(token)
+        self.pop()
+        input_type = token.attr("type") or ""
+        if input_type.lower() != "hidden":
+            self.frameset_ok = False
+        return False
+
+    def _ibs_param(self, token: StartTag) -> bool:
+        self.insert_element(token)
+        self.pop()
+        return False
+
+    def _ibs_hr(self, token: StartTag) -> bool:
+        self._close_p_if_in_button_scope()
+        self.insert_element(token)
+        self.pop()
+        self.frameset_ok = False
+        return False
+
+    def _ibs_image(self, token: StartTag) -> bool:
+        # Spec: change it to "img" and reprocess ("don't ask").
+        self.parse_error(ErrorCode.UNEXPECTED_START_TAG, token, "image")
+        token.name = "img"
+        return True
+
+    def _ibs_textarea(self, token: StartTag) -> bool:
+        self.insert_element(token)
+        self.ignore_next_lf = True
+        assert self.tokenizer is not None
+        self.tokenizer.switch_to(RCDATA)
+        self.original_mode = self.mode
+        self.frameset_ok = False
+        self.mode = self._mode_text
+        return False
+
+    def _ibs_xmp(self, token: StartTag) -> bool:
+        self._close_p_if_in_button_scope()
+        self.reconstruct_active_formatting()
+        self.frameset_ok = False
+        return self._parse_rawtext(token)
+
+    def _ibs_iframe(self, token: StartTag) -> bool:
+        self.frameset_ok = False
+        return self._parse_rawtext(token)
+
+    def _ibs_noembed(self, token: StartTag) -> bool:
+        return self._parse_rawtext(token)
+
+    def _ibs_noscript(self, token: StartTag) -> bool:
+        if self.scripting_enabled:
+            return self._parse_rawtext(token)
+        return self._ibs_any(token)
+
+    def _ibs_select(self, token: StartTag) -> bool:
+        self.reconstruct_active_formatting()
+        self.insert_element(token)
+        self.frameset_ok = False
+        if self.mode in (
+            self._mode_in_table, self._mode_in_caption,
+            self._mode_in_table_body, self._mode_in_row, self._mode_in_cell,
+        ):
+            self.mode = self._mode_in_select_in_table
+        else:
+            self.mode = self._mode_in_select
+        return False
+
+    def _ibs_option(self, token: StartTag) -> bool:
+        if self.current_node is not None and self.current_node.name == "option":
+            self.pop()
+        self.reconstruct_active_formatting()
+        self.insert_element(token)
+        return False
+
+    def _ibs_rb(self, token: StartTag) -> bool:
+        if self.element_in_scope("ruby"):
+            self.generate_implied_end_tags()
+        self.insert_element(token)
+        return False
+
+    def _ibs_rp(self, token: StartTag) -> bool:
+        if self.element_in_scope("ruby"):
+            self.generate_implied_end_tags(exclude="rtc")
+        self.insert_element(token)
+        return False
+
+    def _ibs_math(self, token: StartTag) -> bool:
+        self.reconstruct_active_formatting()
+        self._adjust_foreign_attributes(token)
+        self.insert_element(token, MATHML_NAMESPACE)
+        if token.self_closing:
+            self.pop()
+        return False
+
+    def _ibs_svg(self, token: StartTag) -> bool:
+        self.reconstruct_active_formatting()
+        self._adjust_foreign_attributes(token)
+        self.insert_element(token, SVG_NAMESPACE)
+        if token.self_closing:
+            self.pop()
+        return False
+
+    def _ibs_table_misplaced(self, token: StartTag) -> bool:
+        self.parse_error(ErrorCode.UNEXPECTED_START_TAG, token, token.name)
+        return False
+
+    def _ibs_any(self, token: StartTag) -> bool:
+        if self.active_formatting:
+            self.reconstruct_active_formatting()
+        self.insert_element(token)
         if token.self_closing:
             self.parse_error(
                 ErrorCode.NON_VOID_ELEMENT_START_TAG_WITH_TRAILING_SOLIDUS,
                 token,
-                name,
+                token.name,
             )
         return False
 
+    # ------------------------------------------------- in-body end tags
+    #
+    # Same table-dispatch scheme as the start tags: ``_IN_BODY_END`` maps
+    # tag name -> handler, the default falls through to the spec's "any
+    # other end tag" loop (shared with the foreign-content path).
+
     def _in_body_end_tag(self, token: EndTag) -> bool:
-        name = token.name
-        if name == "body":
-            if not self.element_in_scope("body"):
-                self.parse_error(ErrorCode.UNEXPECTED_END_TAG, token, name)
-                return False
-            self.mode = self._mode_after_body
+        handler = _IN_BODY_END.get(token.name)
+        if handler is None:
+            self._any_other_end_tag(token)
             return False
-        if name == "html":
-            if not self.element_in_scope("body"):
-                self.parse_error(ErrorCode.UNEXPECTED_END_TAG, token, name)
-                return False
-            self.mode = self._mode_after_body
-            return True
-        if name in (
-            "address", "article", "aside", "blockquote", "button", "center",
-            "details", "dialog", "dir", "div", "dl", "fieldset", "figcaption",
-            "figure", "footer", "header", "hgroup", "listing", "main", "menu",
-            "nav", "ol", "pre", "section", "summary", "ul",
-        ):
-            if not self.element_in_scope(name):
-                self.parse_error(ErrorCode.UNEXPECTED_END_TAG, token, name)
-                return False
-            self.generate_implied_end_tags()
-            if self.current_node is not None and self.current_node.name != name:
-                self.parse_error(ErrorCode.UNEXPECTED_END_TAG, token, name)
-            self.pop_until(name)
+        return handler(self, token)
+
+    def _ibe_body(self, token: EndTag) -> bool:
+        if not self.element_in_scope("body"):
+            self.parse_error(ErrorCode.UNEXPECTED_END_TAG, token, token.name)
             return False
-        if name == "form":
-            node = self.form_element
-            self.form_element = None
-            if node is None or not self.element_in_scope("form"):
-                self.parse_error(ErrorCode.UNEXPECTED_END_TAG, token, name)
-                return False
-            self.generate_implied_end_tags()
-            if self.current_node is not node:
-                self.parse_error(ErrorCode.UNEXPECTED_END_TAG, token, name)
-            if node in self.open_elements:
-                self.open_elements.remove(node)
-                self._update_foreign_flag()
-            return False
-        if name == "p":
-            if not self.element_in_scope("p", SCOPE_BUTTON):
-                self.parse_error(ErrorCode.UNEXPECTED_END_TAG, token, name)
-                self.insert_phantom("p")
-            self._close_p_element()
-            return False
-        if name == "li":
-            if not self.element_in_scope("li", SCOPE_LIST_ITEM):
-                self.parse_error(ErrorCode.UNEXPECTED_END_TAG, token, name)
-                return False
-            self.generate_implied_end_tags(exclude="li")
-            if self.current_node is not None and self.current_node.name != "li":
-                self.parse_error(ErrorCode.UNEXPECTED_END_TAG, token, name)
-            self.pop_until("li")
-            return False
-        if name in ("dd", "dt"):
-            if not self.element_in_scope(name):
-                self.parse_error(ErrorCode.UNEXPECTED_END_TAG, token, name)
-                return False
-            self.generate_implied_end_tags(exclude=name)
-            if self.current_node is not None and self.current_node.name != name:
-                self.parse_error(ErrorCode.UNEXPECTED_END_TAG, token, name)
-            self.pop_until(name)
-            return False
-        if name in HEADING_ELEMENTS:
-            if not any(
-                self.element_in_scope(heading) for heading in HEADING_ELEMENTS
-            ):
-                self.parse_error(ErrorCode.UNEXPECTED_END_TAG, token, name)
-                return False
-            self.generate_implied_end_tags()
-            if self.current_node is not None and self.current_node.name != name:
-                self.parse_error(ErrorCode.UNEXPECTED_END_TAG, token, name)
-            self.pop_until(*HEADING_ELEMENTS)
-            return False
-        if name in FORMATTING_ELEMENTS:
-            self.adoption_agency(token)
-            return False
-        if name in ("applet", "marquee", "object"):
-            if not self.element_in_scope(name):
-                self.parse_error(ErrorCode.UNEXPECTED_END_TAG, token, name)
-                return False
-            self.generate_implied_end_tags()
-            if self.current_node is not None and self.current_node.name != name:
-                self.parse_error(ErrorCode.UNEXPECTED_END_TAG, token, name)
-            self.pop_until(name)
-            self.clear_formatting_to_marker()
-            return False
-        if name == "br":
-            self.parse_error(ErrorCode.UNEXPECTED_END_TAG, token, name)
-            self._in_body_start_tag(StartTag(name="br", offset=token.offset))
-            return False
-        if name == "template":
-            return self._mode_in_head(token)
-        # Any other end tag.
-        for element in reversed(self.open_elements):
-            if element.name == name and element.is_html():
-                self.generate_implied_end_tags(exclude=name)
-                if self.current_node is not element:
-                    self.parse_error(ErrorCode.UNEXPECTED_END_TAG, token, name)
-                while True:
-                    popped = self.pop()
-                    if popped is element:
-                        break
-                return False
-            if element.is_html() and element.name in SPECIAL_ELEMENTS:
-                self.parse_error(ErrorCode.UNEXPECTED_END_TAG, token, name)
-                return False
+        self.mode = self._mode_after_body
         return False
+
+    def _ibe_html(self, token: EndTag) -> bool:
+        if not self.element_in_scope("body"):
+            self.parse_error(ErrorCode.UNEXPECTED_END_TAG, token, token.name)
+            return False
+        self.mode = self._mode_after_body
+        return True
+
+    def _ibe_block(self, token: EndTag) -> bool:
+        name = token.name
+        if not self.element_in_scope(name):
+            self.parse_error(ErrorCode.UNEXPECTED_END_TAG, token, name)
+            return False
+        self.generate_implied_end_tags()
+        if self.current_node is not None and self.current_node.name != name:
+            self.parse_error(ErrorCode.UNEXPECTED_END_TAG, token, name)
+        self.pop_until(name)
+        return False
+
+    def _ibe_form(self, token: EndTag) -> bool:
+        name = token.name
+        node = self.form_element
+        self.form_element = None
+        if node is None or not self.element_in_scope("form"):
+            self.parse_error(ErrorCode.UNEXPECTED_END_TAG, token, name)
+            return False
+        self.generate_implied_end_tags()
+        if self.current_node is not node:
+            self.parse_error(ErrorCode.UNEXPECTED_END_TAG, token, name)
+        if node in self.open_elements:
+            self.open_elements.remove(node)
+            self._update_foreign_flag()
+        return False
+
+    def _ibe_p(self, token: EndTag) -> bool:
+        if not self.element_in_scope("p", SCOPE_BUTTON):
+            self.parse_error(ErrorCode.UNEXPECTED_END_TAG, token, token.name)
+            self.insert_phantom("p")
+        self._close_p_element()
+        return False
+
+    def _ibe_li(self, token: EndTag) -> bool:
+        name = token.name
+        if not self.element_in_scope("li", SCOPE_LIST_ITEM):
+            self.parse_error(ErrorCode.UNEXPECTED_END_TAG, token, name)
+            return False
+        self.generate_implied_end_tags(exclude="li")
+        if self.current_node is not None and self.current_node.name != "li":
+            self.parse_error(ErrorCode.UNEXPECTED_END_TAG, token, name)
+        self.pop_until("li")
+        return False
+
+    def _ibe_dd_dt(self, token: EndTag) -> bool:
+        name = token.name
+        if not self.element_in_scope(name):
+            self.parse_error(ErrorCode.UNEXPECTED_END_TAG, token, name)
+            return False
+        self.generate_implied_end_tags(exclude=name)
+        if self.current_node is not None and self.current_node.name != name:
+            self.parse_error(ErrorCode.UNEXPECTED_END_TAG, token, name)
+        self.pop_until(name)
+        return False
+
+    def _ibe_heading(self, token: EndTag) -> bool:
+        name = token.name
+        if not any(
+            self.element_in_scope(heading) for heading in HEADING_ELEMENTS
+        ):
+            self.parse_error(ErrorCode.UNEXPECTED_END_TAG, token, name)
+            return False
+        self.generate_implied_end_tags()
+        if self.current_node is not None and self.current_node.name != name:
+            self.parse_error(ErrorCode.UNEXPECTED_END_TAG, token, name)
+        self.pop_until(*HEADING_ELEMENTS)
+        return False
+
+    def _ibe_formatting(self, token: EndTag) -> bool:
+        self.adoption_agency(token)
+        return False
+
+    def _ibe_applet(self, token: EndTag) -> bool:
+        name = token.name
+        if not self.element_in_scope(name):
+            self.parse_error(ErrorCode.UNEXPECTED_END_TAG, token, name)
+            return False
+        self.generate_implied_end_tags()
+        if self.current_node is not None and self.current_node.name != name:
+            self.parse_error(ErrorCode.UNEXPECTED_END_TAG, token, name)
+        self.pop_until(name)
+        self.clear_formatting_to_marker()
+        return False
+
+    def _ibe_br(self, token: EndTag) -> bool:
+        self.parse_error(ErrorCode.UNEXPECTED_END_TAG, token, token.name)
+        self._in_body_start_tag(StartTag(name="br", offset=token.offset))
+        return False
+
+    def _ibe_template(self, token: EndTag) -> bool:
+        return self._mode_in_head(token)
 
     def _close_p_if_in_button_scope(self) -> None:
         if self.element_in_scope("p", SCOPE_BUTTON):
@@ -1440,6 +1628,8 @@ class TreeBuilder:
                 self.pop()
                 self.active_formatting.remove(formatting_element)
                 return
+            # the furthest-block path re-parents already-emitted subtrees
+            self._stream_taint("adoption-agency")
             common_ancestor = self.open_elements[stack_index - 1]
             bookmark = self.active_formatting.index(formatting_element)
             node = furthest_block
@@ -1461,7 +1651,7 @@ class TreeBuilder:
                     continue
                 clone = Element(
                     node.name, node.namespace, dict(node.attributes),
-                    source_offset=node.source_offset,
+                    source_offset=node.source_offset, arena=self.arena,
                 )
                 formatting_index = self.active_formatting.index(node)
                 self.active_formatting[formatting_index] = clone
@@ -1490,6 +1680,7 @@ class TreeBuilder:
                 formatting_element.namespace,
                 dict(formatting_element.attributes),
                 source_offset=formatting_element.source_offset,
+                arena=self.arena,
             )
             for child in list(furthest_block.children):
                 clone.append(child)
@@ -1530,7 +1721,7 @@ class TreeBuilder:
     # ------------------------------------------------------------ text mode
 
     def _parse_rcdata(self, token: StartTag) -> bool:
-        self.insert_html_element(token)
+        self.insert_element(token)
         assert self.tokenizer is not None
         self.tokenizer.switch_to(RCDATA)
         self.original_mode = self.mode
@@ -1538,7 +1729,7 @@ class TreeBuilder:
         return False
 
     def _parse_rawtext(self, token: StartTag) -> bool:
-        self.insert_html_element(token)
+        self.insert_element(token)
         assert self.tokenizer is not None
         self.tokenizer.switch_to(RAWTEXT)
         self.original_mode = self.mode
@@ -1546,7 +1737,7 @@ class TreeBuilder:
         return False
 
     def _parse_script(self, token: StartTag) -> bool:
-        self.insert_html_element(token)
+        self.insert_element(token)
         assert self.tokenizer is not None
         self.tokenizer.switch_to(SCRIPT_DATA)
         self.original_mode = self.mode
@@ -1555,11 +1746,16 @@ class TreeBuilder:
 
     def _mode_text(self, token: Token) -> bool:
         if isinstance(token, Character):
+            if not self.ignore_next_lf:
+                # raw text runs (scripts, styles) are the largest character
+                # tokens in real pages; hand the lazy token through so they
+                # are never decoded unless something reads the DOM text
+                self.insert_text(token)
+                return False
             data = token.data
-            if self.ignore_next_lf:
-                self.ignore_next_lf = False
-                if data.startswith("\n"):
-                    data = data[1:]
+            self.ignore_next_lf = False
+            if data.startswith("\n"):
+                data = data[1:]
             if data:
                 self.insert_text(data)
             return False
@@ -1608,12 +1804,12 @@ class TreeBuilder:
             if name == "caption":
                 self._clear_table_stack_to(("table",))
                 self.insert_formatting_marker()
-                self.insert_html_element(token)
+                self.insert_element(token)
                 self.mode = self._mode_in_caption
                 return False
             if name == "colgroup":
                 self._clear_table_stack_to(("table",))
-                self.insert_html_element(token)
+                self.insert_element(token)
                 self.mode = self._mode_in_column_group
                 return False
             if name == "col":
@@ -1623,7 +1819,7 @@ class TreeBuilder:
                 return True
             if name in ("tbody", "tfoot", "thead"):
                 self._clear_table_stack_to(("table",))
-                self.insert_html_element(token)
+                self.insert_element(token)
                 self.mode = self._mode_in_table_body
                 return False
             if name in ("td", "th", "tr"):
@@ -1644,13 +1840,13 @@ class TreeBuilder:
                 input_type = (token.attr("type") or "").lower()
                 if input_type == "hidden":
                     self.parse_error(ErrorCode.UNEXPECTED_START_TAG, token, name)
-                    self.insert_html_element(token)
+                    self.insert_element(token)
                     self.pop()
                     return False
             if name == "form":
                 self.parse_error(ErrorCode.UNEXPECTED_START_TAG, token, name)
                 if self.form_element is None:
-                    element = self.insert_html_element(token)
+                    element = self.insert_element(token)
                     self.form_element = element
                     self.pop()
                 else:
@@ -1697,19 +1893,23 @@ class TreeBuilder:
 
     def _mode_in_table_text(self, token: Token) -> bool:
         if isinstance(token, Character):
+            if not token.has_nul():
+                # common case: buffer the lazy token itself, decode-free
+                self._pending_table_text.append(token)
+                return False
             data = token.data.replace("\x00", "")
             if data:
                 self._pending_table_text.append(Character(token.offset, data))
             return False
         pending = self._pending_table_text
         self._pending_table_text = []
-        all_ws = all(not chunk.data.strip(_WS) for chunk in pending)
+        all_ws = all(chunk.is_whitespace() for chunk in pending)
         assert self.original_mode is not None
         self.mode = self.original_mode
         if pending:
             if all_ws:
                 for chunk in pending:
-                    self.insert_text(chunk.data)
+                    self.insert_text(chunk)
             else:
                 for chunk in pending:
                     self.parse_error(ErrorCode.FOSTER_PARENTED_CONTENT, chunk)
@@ -1773,7 +1973,7 @@ class TreeBuilder:
             if token.name == "html":
                 return self._mode_in_body(token)
             if token.name == "col":
-                self.insert_html_element(token)
+                self.insert_element(token)
                 self.pop()
                 return False
             if token.name == "template":
@@ -1804,7 +2004,7 @@ class TreeBuilder:
         if isinstance(token, StartTag):
             if token.name == "tr":
                 self._clear_table_stack_to(("tbody", "tfoot", "thead"))
-                self.insert_html_element(token)
+                self.insert_element(token)
                 self.mode = self._mode_in_row
                 return False
             if token.name in ("th", "td"):
@@ -1855,7 +2055,7 @@ class TreeBuilder:
         if isinstance(token, StartTag):
             if token.name in ("th", "td"):
                 self._clear_table_stack_to(("tr",))
-                self.insert_html_element(token)
+                self.insert_element(token)
                 self.mode = self._mode_in_cell
                 self.insert_formatting_marker()
                 return False
@@ -1966,14 +2166,14 @@ class TreeBuilder:
             if name == "option":
                 if self.current_node is not None and self.current_node.name == "option":
                     self.pop()
-                self.insert_html_element(token)
+                self.insert_element(token)
                 return False
             if name == "optgroup":
                 if self.current_node is not None and self.current_node.name == "option":
                     self.pop()
                 if self.current_node is not None and self.current_node.name == "optgroup":
                     self.pop()
-                self.insert_html_element(token)
+                self.insert_element(token)
                 return False
             if name == "select":
                 self.parse_error(ErrorCode.UNEXPECTED_START_TAG, token, name)
@@ -2147,10 +2347,10 @@ class TreeBuilder:
             if token.name == "html":
                 return self._mode_in_body(token)
             if token.name == "frameset":
-                self.insert_html_element(token)
+                self.insert_element(token)
                 return False
             if token.name == "frame":
-                self.insert_html_element(token)
+                self.insert_element(token)
                 self.pop()
                 return False
             if token.name == "noframes":
@@ -2342,6 +2542,169 @@ class TreeBuilder:
                 return
 
 
+class StreamTaint(Exception):
+    """A stream-mode parse hit a mutation the flat emission cannot mirror.
+
+    Only raised by :func:`parse_bytes_stream` with ``taint="raise"``
+    (equivalence tooling); the production path records the taint and keeps
+    parsing — see :class:`StreamTreeBuilder`.
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class StreamTreeBuilder(TreeBuilder):
+    """A tree builder that emits elements for DOM-free checking.
+
+    Runs the full tree-construction state machine (the stack, formatting
+    list and insertion modes all behave identically) but:
+
+    * every inserted element is appended to ``_stream_elements`` together
+      with its walk-equivalent ``in_head`` flag, maintained as a counter
+      of open ``head``-named elements — captured *before* the push, which
+      matches the fused walk handing each element its parent-derived flag;
+    * text and comment nodes are never constructed or linked (no rule
+      reads them from the tree — the fused walk dispatches elements only
+      and no footprint reaches ``text_content``), which skips the text
+      coalescing and node allocation entirely;
+    * any mutation that would make emission order diverge from the final
+      tree's pre-order *taints* the parse: the builder keeps going, the
+      finished :class:`ParseResult` carries ``stream_elements = None``,
+      and the checker dispatches via the ordinary DOM walk over the
+      (element-complete, text-free) tree — no re-parse, findings
+      bit-identical by construction.
+
+    Emission order equals final-tree pre-order because every non-tainted
+    insertion appends to the element on top of the open-elements stack,
+    whose earlier children are already complete.  Post-emission attribute
+    merges (second ``<html>``/``<body>`` tags) are safe: dispatch over the
+    buffered list happens after the parse, on the same element objects.
+
+    The four taint sites: foster-parented element insertion into an open
+    table, the adoption agency's furthest-block path, the frameset body
+    takeover, and a head element re-routed into the closed ``<head>``.
+    """
+
+    _FOSTER_TARGETS = frozenset({"table", "tbody", "tfoot", "thead", "tr"})
+
+    def __init__(
+        self, *, collect_tokens: bool = True, taint: str = "fallback"
+    ) -> None:
+        super().__init__(collect_tokens=collect_tokens)
+        self._stream_elements = []
+        self._head_depth = 0
+        self.tainted: str | None = None
+        #: "fallback" records the taint and keeps parsing; "raise" aborts
+        #: with :class:`StreamTaint` (used by parity tooling to find the
+        #: first divergence point)
+        self._taint_policy = taint
+
+    def _stream_taint(self, reason: str) -> None:
+        if self._taint_policy == "raise":
+            raise StreamTaint(reason)
+        if self.tainted is None:
+            self.tainted = reason
+            # the flat emission is now unusable; stop paying for it
+            self._stream_elements = None
+
+    def _stream_emit_root(self, element: Element) -> None:
+        elements = self._stream_elements
+        if elements is not None:
+            elements.append((element, False))
+
+    def _stream_foster_check(self) -> None:
+        # called from the base insertion sites only while fostering is
+        # active: inserting at a table-section target reorders the tree
+        target = self.open_elements[-1]
+        if target.is_html() and target.name in self._FOSTER_TARGETS:
+            self._stream_taint("foster-parented element")
+
+    def insert_text(self, data) -> None:
+        """Text nodes are invisible to every tree rule: skip them."""
+
+    def insert_comment(self, token: Comment, parent: Node | None = None) -> None:
+        """Comment nodes are invisible to every tree rule: skip them."""
+
+
+def _build_dispatch(entries: dict) -> dict:
+    """Expand {name-or-name-tuple: handler} into a flat name -> handler map."""
+    table: dict = {}
+    for key, handler in entries.items():
+        if isinstance(key, tuple):
+            for name in key:
+                table[name] = handler
+        else:
+            table[key] = handler
+    return table
+
+
+#: "in body" start-tag dispatch: one dict hit replaces the spec's ordered
+#: comparison chain.  Tags absent from the table take the "any other start
+#: tag" path.  ``a`` overrides the generic formatting handler; ``noscript``
+#: resolves the scripting flag inside its handler.
+_IN_BODY_START = _build_dispatch({
+    "html": TreeBuilder._ibs_html,
+    ("base", "basefont", "bgsound", "link", "meta", "noframes", "style",
+     "script", "template", "title"): TreeBuilder._ibs_in_head,
+    "body": TreeBuilder._ibs_body,
+    "frameset": TreeBuilder._ibs_frameset,
+    ("address", "article", "aside", "blockquote", "center", "details",
+     "dialog", "dir", "div", "dl", "fieldset", "figcaption", "figure",
+     "footer", "header", "hgroup", "main", "menu", "nav", "ol", "p",
+     "section", "summary", "ul"): TreeBuilder._ibs_block,
+    tuple(HEADING_ELEMENTS): TreeBuilder._ibs_heading,
+    ("pre", "listing"): TreeBuilder._ibs_pre,
+    "form": TreeBuilder._ibs_form,
+    "li": TreeBuilder._ibs_li,
+    ("dd", "dt"): TreeBuilder._ibs_dd_dt,
+    "plaintext": TreeBuilder._ibs_plaintext,
+    "button": TreeBuilder._ibs_button,
+    tuple(FORMATTING_ELEMENTS - {"a"}): TreeBuilder._ibs_formatting,
+    "a": TreeBuilder._ibs_a,
+    ("applet", "marquee", "object"): TreeBuilder._ibs_applet,
+    "table": TreeBuilder._ibs_table,
+    ("area", "br", "embed", "img", "keygen", "wbr"): TreeBuilder._ibs_void,
+    "input": TreeBuilder._ibs_input,
+    ("param", "source", "track"): TreeBuilder._ibs_param,
+    "hr": TreeBuilder._ibs_hr,
+    "image": TreeBuilder._ibs_image,
+    "textarea": TreeBuilder._ibs_textarea,
+    "xmp": TreeBuilder._ibs_xmp,
+    "iframe": TreeBuilder._ibs_iframe,
+    "noembed": TreeBuilder._ibs_noembed,
+    "noscript": TreeBuilder._ibs_noscript,
+    "select": TreeBuilder._ibs_select,
+    ("optgroup", "option"): TreeBuilder._ibs_option,
+    ("rb", "rtc"): TreeBuilder._ibs_rb,
+    ("rp", "rt"): TreeBuilder._ibs_rp,
+    "math": TreeBuilder._ibs_math,
+    "svg": TreeBuilder._ibs_svg,
+    ("caption", "col", "colgroup", "frame", "head", "tbody", "td", "tfoot",
+     "th", "thead", "tr"): TreeBuilder._ibs_table_misplaced,
+})
+
+#: "in body" end-tag dispatch; absent tags take ``_any_other_end_tag``.
+_IN_BODY_END = _build_dispatch({
+    "body": TreeBuilder._ibe_body,
+    "html": TreeBuilder._ibe_html,
+    ("address", "article", "aside", "blockquote", "button", "center",
+     "details", "dialog", "dir", "div", "dl", "fieldset", "figcaption",
+     "figure", "footer", "header", "hgroup", "listing", "main", "menu",
+     "nav", "ol", "pre", "section", "summary", "ul"): TreeBuilder._ibe_block,
+    "form": TreeBuilder._ibe_form,
+    "p": TreeBuilder._ibe_p,
+    "li": TreeBuilder._ibe_li,
+    ("dd", "dt"): TreeBuilder._ibe_dd_dt,
+    tuple(HEADING_ELEMENTS): TreeBuilder._ibe_heading,
+    tuple(FORMATTING_ELEMENTS): TreeBuilder._ibe_formatting,
+    ("applet", "marquee", "object"): TreeBuilder._ibe_applet,
+    "br": TreeBuilder._ibe_br,
+    "template": TreeBuilder._ibe_template,
+})
+
+
 def _split_leading_ws(data: str) -> tuple[str, str]:
     rest = data.lstrip(_WS)
     return data[: len(data) - len(rest)], rest
@@ -2379,6 +2742,25 @@ def parse_bytes(data: bytes, *, collect_tokens: bool = True) -> ParseResult:
     return TreeBuilder(collect_tokens=collect_tokens).parse_bytes(data)
 
 
+def parse_bytes_stream(
+    data: bytes, *, collect_tokens: bool = True, taint: str = "fallback"
+) -> ParseResult:
+    """Parse raw UTF-8 bytes in DOM-free stream mode.
+
+    For untainted pages the returned result carries ``stream_elements`` —
+    the element pre-order as ``(element, in_head)`` pairs; tainted pages
+    come back with ``stream_elements = None`` and are checked through the
+    ordinary DOM walk instead.  Either way the document tree contains
+    elements only (no text or comment nodes), so it must not be fed to
+    the serializer or text-reading consumers.  ``taint="raise"`` aborts
+    with :class:`StreamTaint` at the first divergence instead (parity
+    tooling).
+    """
+    return StreamTreeBuilder(
+        collect_tokens=collect_tokens, taint=taint
+    ).parse_bytes(data)
+
+
 def parse_fragment(
     text: str, context: str = "div", *, collect_tokens: bool = True
 ) -> tuple[list[Node], ParseResult]:
@@ -2392,7 +2774,7 @@ def parse_fragment(
     builder = TreeBuilder(
         collect_tokens=collect_tokens, fragment_context=context_element
     )
-    root = Element("html", source_offset=-1)
+    root = Element("html", source_offset=-1, arena=builder.arena)
     builder.document.append(root)
     builder.push(root)
     if context in ("title", "textarea"):

@@ -17,8 +17,8 @@ from dataclasses import dataclass
 
 from ..core import Checker, CheckReport
 from ..core.features import PageFeatures, measure_features
-from ..core.mitigations import MitigationReport, measure_mitigations
-from ..html import parse_bytes, sniff_encoding
+from ..core.mitigations import MitigationReport
+from ..html import sniff_encoding
 from .crawler import FetchedPage
 
 
@@ -65,14 +65,21 @@ def check_page(
     ).encoding or ""
     try:
         # decode-free: the bytes tokenizer applies the UTF-8 filter as it
-        # scans, so clean pages never pay for an upfront decode + copy
-        result = parse_bytes(page.payload)
+        # scans, so clean pages never pay for an upfront decode + copy;
+        # honours the checker's mode (stream parses skip the DOM build and
+        # fall back to it only on tainted pages)
+        result = checker.parse_page_bytes(page.payload)
     except UnicodeDecodeError:
         return CheckedPage(url=page.url, utf8=False, declared_encoding=declared)
-    report = checker.check_parse(result, url=page.url)
-    mitigation = (
-        measure_mitigations(result) if measure_mitigation_signals else None
-    )
+    if measure_mitigation_signals:
+        # the mitigation sweep rides the fused engine's attribute pass —
+        # one token iteration for the rules and the section 4.5 detectors
+        report, mitigation = checker.check_parse_with_mitigations(
+            result, url=page.url
+        )
+    else:
+        report = checker.check_parse(result, url=page.url)
+        mitigation = None
     features = measure_features(result)
     return CheckedPage(
         url=page.url, utf8=True, report=report, mitigation=mitigation,

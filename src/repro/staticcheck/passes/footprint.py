@@ -44,6 +44,14 @@ verified over the same body:
 Handler consistency rides along: every non-empty footprint field must
 have its ``fused_*`` handler implemented on the class (or a same-module
 base), or the fused compiler would reject the registry at import time.
+
+``fused_element`` handlers carry one extra obligation: the stream check
+mode (``Checker(mode="stream")``) calls them *during* the parse, in
+pre-order, on elements whose child lists are not yet complete and whose
+text children are never materialized.  A handler reading ``.children``
+or ``.parent`` would therefore see a half-built tree in stream mode and
+a finished one in DOM mode — a silent parity break the fuzz oracle can
+only catch after the fact.  The pass bans those reads statically.
 """
 from __future__ import annotations
 
@@ -76,6 +84,12 @@ _REGEX_CALLS = frozenset(
 )
 
 _FOOTPRINT_FIELDS = ("events", "errors", "token_attrs", "tags", "regions")
+
+#: tree-structure attributes forbidden inside ``fused_element`` handlers:
+#: the stream check mode emits elements pre-order during the parse, so
+#: child lists are incomplete (and text children absent) when the handler
+#: runs — structural reads would diverge between stream and DOM modes
+_STRUCTURE_ATTRS = frozenset({"children", "parent"})
 
 
 class _Unresolvable(Exception):
@@ -165,7 +179,9 @@ class FootprintPass(LintPass):
         "each Rule's declared Footprint matches the AST-analyzed footprint "
         "of its check body; check bodies are streamable (no ParseResult "
         "mutation, cross-call state, re-sorting, or inline regex "
-        "construction) and fused_* handlers exist for every declared field"
+        "construction); fused_* handlers exist for every declared field and "
+        "fused_element bodies never read tree structure (.children/.parent), "
+        "which the stream check mode has not built yet"
     )
 
     def __init__(self) -> None:
@@ -298,7 +314,29 @@ class FootprintPass(LintPass):
                     fix_hint="the fused compiler rejects a subscribed rule "
                     "without its streaming handler",
                 )
+        handler = self._class_method(record, "fused_element")
+        if handler is not None:
+            self._check_element_handler_stream_safe(file, node, handler)
         return True
+
+    def _check_element_handler_stream_safe(
+        self, file: SourceFile, cls: ast.ClassDef, handler: ast.FunctionDef
+    ) -> None:
+        """Ban ``.children`` / ``.parent`` reads in fused_element bodies."""
+        for node in ast.walk(handler):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in _STRUCTURE_ATTRS
+            ):
+                self.report(
+                    file, node,
+                    f"rule {cls.name} fused_element() reads .{node.attr} — "
+                    "the stream check mode delivers elements pre-order "
+                    "during the parse, before tree structure is complete",
+                    fix_hint="derive structural context from the walk "
+                    "(the in_head flag, the per-document state dict), "
+                    "never from the node's own links",
+                )
 
     def _evaluate_footprint(
         self,

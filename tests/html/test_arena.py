@@ -1,0 +1,207 @@
+"""Arena-slotted node storage: deep trees, atom interning, view layer.
+
+The DOM refactor moved node linkage into flat arena columns
+(:mod:`repro.html.arena`) with :class:`~repro.html.dom.Node` as a thin
+``(arena, index)`` view.  These tests pin the properties the rest of the
+codebase leans on: traversal never recurses (unclosed-tag repetition
+builds trees thousands deep), tag names are interned across documents
+(the fused engine pointer-compares them), and the view layer round-trips
+through every public traversal/serialization surface on realistic pages.
+"""
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.commoncrawl.templates import INJECTORS, build_page
+from repro.html import parse, parse_bytes, serialize
+from repro.html.arena import (
+    GLOBAL_ATOMS,
+    KIND_ELEMENT,
+    KIND_TEXT,
+    AtomTable,
+    DomArena,
+)
+from repro.html.dom import Element, Text
+from repro.html.dump import dump_tree
+
+DEPTH = 10_000
+
+
+class TestDeepTrees:
+    """Unclosed-tag repetition: linear columns, no recursion anywhere."""
+
+    @pytest.fixture(scope="class")
+    def deep(self):
+        return parse("<!doctype html>" + "<div>" * DEPTH)
+
+    def test_builds_full_depth(self, deep):
+        assert len(deep.document.find_all("div")) == DEPTH
+
+    def test_iter_is_iterative(self, deep):
+        # pre-order over a 10k-deep chain: a recursive walk would blow
+        # the interpreter stack two orders of magnitude before this
+        count = sum(1 for _node in deep.document.iter())
+        assert count >= DEPTH
+
+    def test_ancestors_walk_full_chain(self, deep):
+        divs = deep.document.find_all("div")
+        deepest = divs[-1]
+        chain = [n for n in deepest.ancestors() if getattr(n, "name", None) == "div"]
+        assert len(chain) == DEPTH - 1
+
+    def test_text_content_at_depth(self):
+        result = parse("<div>" * DEPTH + "payload")
+        assert result.document.text_content() == "payload"
+
+    def test_serialize_deep_tree(self, deep):
+        html = serialize(deep.document)
+        assert html.count("<div>") == DEPTH
+
+    def test_one_arena_backs_the_document(self, deep):
+        document = deep.document
+        arena = document._arena
+        nodes = list(document.iter())
+        assert all(node._arena is arena for node in nodes)
+        # every view has a live slot in the columns it reads through
+        assert all(0 <= node._idx < len(arena) for node in nodes)
+        kinds = arena.kinds
+        assert all(
+            kinds[node._idx] == KIND_ELEMENT
+            for node in nodes
+            if isinstance(node, Element)
+        )
+
+
+class TestAtomInterning:
+    def test_tag_names_shared_across_documents(self):
+        first = parse_bytes(b"<!doctype html><section><p>a</p></section>")
+        second = parse_bytes(b"<!doctype html><section><p>b</p></section>")
+        for tag in ("section", "p", "html", "head", "body"):
+            one = first.document.find(tag)
+            two = second.document.find(tag)
+            assert one is not None and two is not None
+            assert one.name is two.name, tag
+
+    def test_bytes_spellings_collapse_across_documents(self):
+        # interning happens in the bytes-domain decode cache, so distinct
+        # raw spellings of one tag still share a single canonical str
+        upper = parse_bytes(b"<ARTICLE>x</ARTICLE>").document.find("article")
+        lower = parse_bytes(b"<article>y</article>").document.find("article")
+        assert upper is not None and lower is not None
+        assert upper.name is lower.name
+
+    def test_mixed_case_spellings_collapse_to_one_atom(self):
+        result = parse_bytes(b"<DiV></dIv><div></div><DIV></DIV>")
+        divs = result.document.find_all("div")
+        assert len(divs) == 3
+        assert len({id(div.name) for div in divs}) == 1
+
+    def test_global_table_backs_parser_arenas(self):
+        result = parse_bytes(b"<main>x</main>")
+        assert result.document._arena.atoms is GLOBAL_ATOMS
+        assert "main" in GLOBAL_ATOMS
+
+    def test_intern_bytes_caches_raw_spellings(self):
+        table = AtomTable()
+        atom = table.intern_bytes(b"DiV")
+        assert atom == "div"
+        assert table.intern_bytes(b"DiV") is atom
+        assert table.intern_bytes(b"div") is atom
+
+    def test_cap_bounds_fuzzed_name_flood(self):
+        table = AtomTable(cap=8)
+        for i in range(50):
+            table.intern(f"tag{i}")
+        assert len(table) <= 8
+
+    def test_private_arena_for_standalone_nodes(self):
+        element = Element("div")
+        text = Text("hi")
+        assert element._arena is not text._arena
+        element.append(text)  # cross-arena links are plain references
+        assert text.parent is element
+        assert element.children == [text]
+
+
+class TestViewRoundTrips:
+    """The view layer over arena columns on realistic template pages."""
+
+    @pytest.fixture(scope="class", params=[3, 17, 91])
+    def page(self, request):
+        rng = random.Random(request.param)
+        draft = build_page("arena.example", "/", rng, use_svg=True)
+        for name in ("FB2", "DM3"):
+            INJECTORS[name].apply(draft, rng)
+        return draft.render()
+
+    def test_reparse_dump_stable(self, page):
+        first = dump_tree(parse(page).document)
+        second = dump_tree(parse(page).document)
+        assert first == second
+
+    def test_str_and_bytes_parses_agree(self, page):
+        via_str = dump_tree(parse(page).document)
+        via_bytes = dump_tree(parse_bytes(page.encode("utf-8")).document)
+        assert via_str == via_bytes
+
+    def test_parent_child_columns_consistent(self, page):
+        document = parse(page).document
+        for node in document.iter():
+            lst = node._arena.children[node._idx]
+            for child in lst or ():
+                assert child.parent is node
+        for node in document.iter():
+            if node.parent is not None:
+                assert node in node.parent.children
+
+    def test_find_all_matches_manual_walk(self, page):
+        document = parse(page).document
+        manual = [
+            node
+            for node in document.iter()
+            if isinstance(node, Element) and node.name == "a"
+        ]
+        assert document.find_all("a") == manual
+
+    def test_text_content_matches_text_nodes(self, page):
+        document = parse(page).document
+        joined = "".join(
+            node.data for node in document.iter() if isinstance(node, Text)
+        )
+        assert document.text_content() == joined
+        kinds = document._arena.kinds
+        assert all(
+            kinds[node._idx] == KIND_TEXT
+            for node in document.iter()
+            if isinstance(node, Text)
+        )
+
+
+class TestDeferredAttributes:
+    """Element attribute dicts materialize on first read, not at parse."""
+
+    def test_parsed_attributes_read_correctly(self):
+        result = parse_bytes(b"<a href='/x' target=_blank HREF='/dup'>go</a>")
+        link = result.document.find("a")
+        assert link is not None
+        assert link.get("href") == "/x"  # first occurrence wins
+        assert "target" in link
+        assert link.attributes == {"href": "/x", "target": "_blank"}
+
+    def test_attribute_free_element_has_no_dict_until_read(self):
+        result = parse_bytes(b"<div>x</div>")
+        div = result.document.find("div")
+        assert div is not None
+        assert div._attrs is None
+        assert div.get("id") is None
+        assert "id" not in div
+        assert div._attrs is None  # get/contains need no materialization
+        assert div.attributes == {}
+
+    def test_constructor_attributes_copied(self):
+        source = {"id": "a"}
+        element = Element("div", attributes=source)
+        source["id"] = "b"
+        assert element.get("id") == "a"

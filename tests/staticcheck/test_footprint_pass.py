@@ -254,3 +254,90 @@ class TestStreamability:
     PATTERN = re.compile("z+")
 ''')
         assert not any("regex" in m for m in messages(result))
+
+
+class TestElementHandlerStreamSafety:
+    """fused_element must not read tree structure — stream mode emits
+    elements pre-order during the parse, before the tree is finished."""
+
+    def test_children_read_flagged(self, make_tree):
+        result = lint(make_tree, '''
+            class ChildReader(Rule):
+                """AD1 — fixture (HTML 1.3.1)."""
+                id = "AD1"
+                footprint = Footprint(tags=("base",))
+
+                def fused_element(self, element, in_head, source, state, out):
+                    if element.children:
+                        out.append(self.finding(element.offset))
+
+                def check(self, result):
+                    out = []
+                    for element in result.document.iter_elements():
+                        if element.name == "base":
+                            out.append(self.finding(element.offset))
+                    return out
+        ''')
+        flagged = [m for m in messages(result) if "reads .children" in m]
+        assert len(flagged) == 1
+        assert "pre-order" in flagged[0]
+        assert result.findings[0].severity is Severity.ERROR
+
+    def test_parent_read_flagged(self, make_tree):
+        result = lint(make_tree, '''
+            class ParentReader(Rule):
+                """AD2 — fixture (HTML 1.3.2)."""
+                id = "AD2"
+                footprint = Footprint(tags=("base",))
+
+                def fused_element(self, element, in_head, source, state, out):
+                    if element.parent is not None:
+                        out.append(self.finding(element.offset))
+
+                def check(self, result):
+                    out = []
+                    for element in result.document.iter_elements():
+                        if element.name == "base":
+                            out.append(self.finding(element.offset))
+                    return out
+        ''')
+        assert any("reads .parent" in m for m in messages(result))
+
+    def test_structure_free_handler_passes(self, make_tree):
+        result = lint(make_tree, '''
+            class Clean(Rule):
+                """AD3 — fixture (HTML 1.3.3)."""
+                id = "AD3"
+                footprint = Footprint(tags=("base",))
+
+                def fused_element(self, element, in_head, source, state, out):
+                    if element.is_html() and not in_head:
+                        out.append(self.finding(element.offset))
+
+                def check(self, result):
+                    out = []
+                    for element in result.document.iter_elements():
+                        if element.name == "base":
+                            out.append(self.finding(element.offset))
+                    return out
+        ''')
+        assert result.findings == ()
+
+    def test_structure_read_in_check_body_still_allowed(self, make_tree):
+        # the ban is scoped to the streaming handler; the reference check
+        # runs over the finished DOM and may read structure freely
+        result = lint(make_tree, '''
+            class CheckOnly(Rule):
+                """AD4 — fixture (HTML 1.3.4)."""
+                id = "AD4"
+                footprint = Footprint(tags=("*",))
+
+                def fused_element(self, element, in_head, source, state, out):
+                    out.append(self.finding(element.offset))
+
+                def check(self, result):
+                    return [self.finding(e.offset)
+                            for e in result.document.iter_elements()
+                            if e.parent is not None]
+        ''')
+        assert not any("reads .parent" in m for m in messages(result))
